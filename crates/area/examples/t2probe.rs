@@ -1,0 +1,1 @@
+fn main(){ println!("{}", argus_area::table2()); }

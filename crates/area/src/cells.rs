@@ -1,0 +1,61 @@
+//! Standard-cell primitives in NAND2-equivalents and the area calibration.
+
+/// Area of one NAND2-equivalent gate, including routing overhead, in µm²
+/// (calibrated so the ~40k-gate baseline core occupies the published
+/// 6.58 mm² in the VTVT 0.25µm library).
+pub const NAND2_AREA_UM2: f64 = 6.58e6 / 40_000.0;
+
+/// Gate-equivalent costs of common cells (typical standard-cell ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// 2-input NAND (the unit).
+    Nand2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// Full adder.
+    FullAdder,
+    /// D flip-flop.
+    Dff,
+}
+
+impl Cell {
+    /// NAND2-equivalents of this cell.
+    pub fn nand2_equiv(self) -> f64 {
+        match self {
+            Cell::Nand2 => 1.0,
+            Cell::Xor2 => 2.5,
+            Cell::Mux2 => 2.0,
+            Cell::FullAdder => 6.0,
+            Cell::Dff => 6.0,
+        }
+    }
+
+    /// Area in µm² of `n` instances.
+    pub fn area_um2(self, n: f64) -> f64 {
+        self.nand2_equiv() * n * NAND2_AREA_UM2
+    }
+}
+
+/// Converts NAND2-equivalents to mm².
+pub fn gates_to_mm2(gates: f64) -> f64 {
+    gates * NAND2_AREA_UM2 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_published_core() {
+        assert!((gates_to_mm2(40_000.0) - 6.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_ratios_are_sane() {
+        assert!(Cell::Dff.nand2_equiv() > Cell::Xor2.nand2_equiv());
+        assert!(Cell::FullAdder.nand2_equiv() > Cell::Mux2.nand2_equiv());
+        assert!(Cell::Xor2.area_um2(10.0) > 0.0);
+    }
+}

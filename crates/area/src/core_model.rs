@@ -1,0 +1,192 @@
+//! Gate-level inventory of the baseline core and the Argus-1 additions.
+
+use crate::cells::{gates_to_mm2, Cell};
+
+/// One inventoried block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Block name.
+    pub name: &'static str,
+    /// Size in NAND2-equivalent gates.
+    pub gates: f64,
+}
+
+/// Sums an inventory in gates.
+pub fn total_gates(components: &[Component]) -> f64 {
+    components.iter().map(|c| c.gates).sum()
+}
+
+/// Sums an inventory in mm².
+pub fn total_mm2(components: &[Component]) -> f64 {
+    gates_to_mm2(total_gates(components))
+}
+
+fn dff(n: f64) -> f64 {
+    Cell::Dff.nand2_equiv() * n
+}
+
+fn mux2(n: f64) -> f64 {
+    Cell::Mux2.nand2_equiv() * n
+}
+
+fn xor2(n: f64) -> f64 {
+    Cell::Xor2.nand2_equiv() * n
+}
+
+fn fa(n: f64) -> f64 {
+    Cell::FullAdder.nand2_equiv() * n
+}
+
+/// The baseline OR1200-like core: a ~40k-gate inventory consistent with
+/// the paper's "roughly 40,000 total gates".
+pub fn baseline_core() -> Vec<Component> {
+    vec![
+        // 32×32b flip-flop register file with 2 read ports and 1 write port.
+        Component {
+            name: "register file",
+            gates: dff(1024.0) + mux2(2.0 * 32.0 * 31.0) + 200.0,
+        },
+        // Carry-lookahead adder, bitwise logic, barrel shifter, flags.
+        Component {
+            name: "ALU",
+            gates: fa(32.0) + 400.0 + 300.0 + mux2(32.0 * 5.0 * 2.0) + 200.0,
+        },
+        // Non-pipelined 32×32 array multiplier.
+        Component { name: "multiplier", gates: fa(1024.0) + 1024.0 },
+        // Serial restoring divider.
+        Component { name: "divider", gates: fa(33.0) + 250.0 + dff(100.0) },
+        // Load/store unit: aligners, merge network, address mux.
+        Component { name: "LSU", gates: mux2(32.0 * 4.0) + 700.0 + 250.0 },
+        // PC, next-PC logic, fetch buffer.
+        Component { name: "fetch", gates: dff(62.0) + 200.0 + mux2(96.0) },
+        Component { name: "decode", gates: 1_800.0 },
+        Component { name: "pipeline latches", gates: dff(340.0) },
+        Component { name: "control", gates: 3_000.0 },
+        Component { name: "cache controllers / bus", gates: 9_000.0 },
+        Component { name: "SPRs / misc", gates: 900.0 },
+    ]
+}
+
+/// Argus parameters that affect checker area (the ablation knobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArgusParams {
+    /// Signature width in bits (paper: 5).
+    pub sig_width: u32,
+    /// Residue-checker modulus (paper: 31, i.e. 5 bits).
+    pub modulus: u32,
+}
+
+impl Default for ArgusParams {
+    fn default() -> Self {
+        Self { sig_width: 5, modulus: 31 }
+    }
+}
+
+/// The Argus-1 additions, computed structurally from §3.
+pub fn argus_additions(p: ArgusParams) -> Vec<Component> {
+    let w = p.sig_width as f64;
+    // Bits of the residue checker's modulus.
+    let k = (32 - p.modulus.leading_zeros()) as f64;
+    vec![
+        // One SHS per register + PC/mem/flag, one parity bit per register.
+        Component {
+            name: "SHS + parity storage",
+            gates: dff(32.0 * w + 3.0 * w + 32.0),
+        },
+        // SHS/parity bits accompanying operands and results through the
+        // pipeline.
+        Component { name: "SHS datapath widening", gates: dff(2.0 * (3.0 * w + 3.0)) },
+        // One CRC + substitution unit per functional unit (ALU, mul/div,
+        // LSU, branch/compare).
+        Component {
+            name: "SHS computation units",
+            gates: 4.0 * (30.0 * w + xor2(8.0 * w)),
+        },
+        // Parallel SHS reset, hard-wired permutation (wiring only), XOR
+        // tree, DCS comparator.
+        Component {
+            name: "DCS reduction + compare",
+            gates: mux2(32.0 * w) + xor2(35.0 * w) + xor2(w) + 20.0,
+        },
+        // Fetch-side extraction of embedded bits, slot buffer and parser,
+        // link-DCS mux.
+        Component {
+            name: "signature extraction",
+            gates: dff(16.0 * w) + 370.0 + mux2(4.0 * w),
+        },
+        // Ripple-carry adder checker with logic-op emulation muxes.
+        Component {
+            name: "adder sub-checker",
+            gates: fa(32.0) + mux2(64.0) + xor2(32.0) + 60.0,
+        },
+        // Right-shift + sign-extend checker.
+        Component {
+            name: "RSSE sub-checker",
+            gates: mux2(32.0 * 5.0) + 50.0 + xor2(32.0) + 80.0,
+        },
+        // Two residue-folding trees, a k×k multiplier, negate/mux, compare.
+        Component {
+            name: "mod-M sub-checker",
+            gates: 2.0 * fa(6.0 * k) + fa(k * k) + 100.0 + xor2(k),
+        },
+        // Operand/result/load parity generators and checkers.
+        Component { name: "parity trees", gates: xor2(4.0 * 31.0) },
+        // Store/load D⊕A XOR at the memory interface.
+        Component { name: "address-XOR unit", gates: xor2(32.0) + mux2(8.0) },
+        Component { name: "watchdog", gates: dff(6.0) + 55.0 },
+        Component { name: "checker control", gates: 300.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_about_40k_gates() {
+        let g = total_gates(&baseline_core());
+        assert!(
+            (38_000.0..42_000.0).contains(&g),
+            "baseline {g} gates, expected ≈40k"
+        );
+    }
+
+    #[test]
+    fn baseline_area_matches_published() {
+        let a = total_mm2(&baseline_core());
+        assert!((a - 6.58).abs() < 0.40, "baseline {a} mm², published 6.58");
+    }
+
+    #[test]
+    fn argus_overhead_is_under_17_percent() {
+        let base = total_gates(&baseline_core());
+        let add = total_gates(&argus_additions(ArgusParams::default()));
+        let pct = 100.0 * add / base;
+        assert!(
+            (12.0..17.0).contains(&pct),
+            "Argus-1 adds {pct:.1}%, paper reports <17%"
+        );
+    }
+
+    #[test]
+    fn wider_signatures_cost_more() {
+        let a3 = total_gates(&argus_additions(ArgusParams { sig_width: 3, modulus: 31 }));
+        let a8 = total_gates(&argus_additions(ArgusParams { sig_width: 8, modulus: 31 }));
+        assert!(a8 > a3 * 1.3, "w=8 ({a8}) vs w=3 ({a3})");
+    }
+
+    #[test]
+    fn larger_modulus_costs_more() {
+        let m3 = total_gates(&argus_additions(ArgusParams { sig_width: 5, modulus: 3 }));
+        let m255 = total_gates(&argus_additions(ArgusParams { sig_width: 5, modulus: 255 }));
+        assert!(m255 > m3);
+    }
+
+    #[test]
+    fn multiplier_dominates_among_fus() {
+        let inv = baseline_core();
+        let get = |n: &str| inv.iter().find(|c| c.name == n).unwrap().gates;
+        assert!(get("multiplier") > get("ALU"));
+        assert!(get("multiplier") > get("divider"));
+    }
+}

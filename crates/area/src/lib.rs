@@ -1,0 +1,39 @@
+//! # argus-area — the analytical area model (Table 2)
+//!
+//! The paper synthesizes the OR1200 with and without Argus-1 using the
+//! VTVT 0.25µm standard-cell library and lays it out (Synopsys DC +
+//! Cadence SE), then sizes the 8KB caches with Cacti 3.0. Neither tool
+//! chain is available here, so this crate substitutes an analytical model:
+//!
+//! * a **standard-cell accounting** of the baseline core — a gate-level
+//!   inventory per block (register file, ALU, multiplier/divider, LSU,
+//!   fetch/decode, control) totalling the "roughly 40,000 gates" the paper
+//!   reports, calibrated to the published 6.58 mm² baseline;
+//! * the **Argus-1 additions** computed structurally from the paper's §3
+//!   description (SHS storage and CRC units, the DCS permutation/XOR tree,
+//!   signature extraction, sub-checkers, parity, watchdog), parameterized
+//!   by signature width and residue modulus so the ablation benches can
+//!   sweep the cost side of the trade-offs;
+//! * a **Cacti-like cache model** (data + tag arrays, per-way overheads)
+//!   calibrated to the published 2.14/2.42 mm² 8KB points, with the
+//!   Argus-1 D-cache parity/XOR additions computed from the structure.
+//!
+//! The calibration pins the *baseline* absolute numbers; every *overhead
+//! ratio* — the quantity Table 2 argues about — emerges from the
+//! structural inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_area::report::table2;
+//! let t = table2();
+//! assert!(t.core_overhead_pct() < 25.0);
+//! println!("{t}");
+//! ```
+
+pub mod cache_model;
+pub mod cells;
+pub mod core_model;
+pub mod report;
+
+pub use report::{table2, Table2};

@@ -1,0 +1,153 @@
+//! Table 2 assembly and formatting.
+
+use crate::cache_model::{cache_area_mm2, CacheGeometry};
+use crate::core_model::{argus_additions, baseline_core, total_mm2, ArgusParams};
+use std::fmt;
+
+/// The full area comparison of Table 2 (areas in mm²).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// Baseline core.
+    pub core_base: f64,
+    /// Core with Argus-1.
+    pub core_argus: f64,
+    /// I-cache per associativity `[1-way, 2-way]` (unchanged by Argus-1 —
+    /// no instruction parity).
+    pub icache: [f64; 2],
+    /// Baseline D-cache per associativity.
+    pub dcache_base: [f64; 2],
+    /// Argus-1 D-cache per associativity.
+    pub dcache_argus: [f64; 2],
+}
+
+impl Table2 {
+    /// Core area overhead in percent.
+    pub fn core_overhead_pct(&self) -> f64 {
+        100.0 * (self.core_argus - self.core_base) / self.core_base
+    }
+
+    /// D-cache overhead in percent for 1-way (`0`) or 2-way (`1`).
+    pub fn dcache_overhead_pct(&self, way_idx: usize) -> f64 {
+        100.0 * (self.dcache_argus[way_idx] - self.dcache_base[way_idx])
+            / self.dcache_base[way_idx]
+    }
+
+    /// Total chip area, baseline, for 1-way (`0`) or 2-way (`1`).
+    pub fn total_base(&self, way_idx: usize) -> f64 {
+        self.core_base + self.icache[way_idx] + self.dcache_base[way_idx]
+    }
+
+    /// Total chip area with Argus-1.
+    pub fn total_argus(&self, way_idx: usize) -> f64 {
+        self.core_argus + self.icache[way_idx] + self.dcache_argus[way_idx]
+    }
+
+    /// Total overhead in percent.
+    pub fn total_overhead_pct(&self, way_idx: usize) -> f64 {
+        100.0 * (self.total_argus(way_idx) - self.total_base(way_idx)) / self.total_base(way_idx)
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:16} {:>8} {:>13} {:>9}", "", "OR1200", "with Argus-1", "overhead")?;
+        writeln!(
+            f,
+            "{:16} {:8.2} {:13.2} {:8.1}%",
+            "core",
+            self.core_base,
+            self.core_argus,
+            self.core_overhead_pct()
+        )?;
+        for (i, name) in ["I-cache: 1-way", "         2-way"].iter().enumerate() {
+            writeln!(f, "{:16} {:8.2} {:13.2} {:>9}", name, self.icache[i], self.icache[i], "0%")?;
+        }
+        for (i, name) in ["D-cache: 1-way", "         2-way"].iter().enumerate() {
+            writeln!(
+                f,
+                "{:16} {:8.2} {:13.2} {:8.1}%",
+                name,
+                self.dcache_base[i],
+                self.dcache_argus[i],
+                self.dcache_overhead_pct(i)
+            )?;
+        }
+        for (i, name) in ["total:   1-way", "         2-way"].iter().enumerate() {
+            writeln!(
+                f,
+                "{:16} {:8.2} {:13.2} {:8.1}%",
+                name,
+                self.total_base(i),
+                self.total_argus(i),
+                self.total_overhead_pct(i)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes Table 2 at the paper's design point.
+pub fn table2() -> Table2 {
+    table2_with(ArgusParams::default())
+}
+
+/// Computes Table 2 for arbitrary Argus parameters (ablations).
+pub fn table2_with(p: ArgusParams) -> Table2 {
+    let core_base = total_mm2(&baseline_core());
+    let core_argus = core_base + total_mm2(&argus_additions(p));
+    Table2 {
+        core_base,
+        core_argus,
+        icache: [
+            cache_area_mm2(CacheGeometry::kb8(1), false),
+            cache_area_mm2(CacheGeometry::kb8(2), false),
+        ],
+        dcache_base: [
+            cache_area_mm2(CacheGeometry::kb8(1), false),
+            cache_area_mm2(CacheGeometry::kb8(2), false),
+        ],
+        dcache_argus: [
+            cache_area_mm2(CacheGeometry::kb8(1), true),
+            cache_area_mm2(CacheGeometry::kb8(2), true),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_published_shape() {
+        let t = table2();
+        // Paper: core +16.6%, D-cache +4.9/5.1%, total +10.9/10.6%.
+        assert!((12.0..18.0).contains(&t.core_overhead_pct()), "core {:.1}%", t.core_overhead_pct());
+        for i in 0..2 {
+            assert!((3.5..6.5).contains(&t.dcache_overhead_pct(i)));
+            assert!((7.0..13.0).contains(&t.total_overhead_pct(i)), "total {:.1}%", t.total_overhead_pct(i));
+        }
+    }
+
+    #[test]
+    fn absolute_areas_near_published() {
+        let t = table2();
+        assert!((t.core_base - 6.58).abs() < 0.4);
+        assert!((t.total_base(0) - 10.86).abs() < 0.6);
+        assert!((t.total_base(1) - 11.42).abs() < 0.6);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = table2().to_string();
+        assert!(s.contains("core"));
+        assert!(s.contains("I-cache"));
+        assert!(s.contains("D-cache"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn icache_is_never_touched() {
+        let t = table2();
+        assert_eq!(t.icache[0], t.dcache_base[0], "same geometry baseline");
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: checker subsets.
+//!
+//! §4.1.1 concludes that "a composition of all checkers is necessary in
+//! order to achieve good coverage". This ablation disables one checker
+//! family at a time and measures the unmasked-error coverage drop.
+
+use argus_core::ArgusConfig;
+use argus_faults::campaign::{run_campaign, CampaignConfig};
+use argus_sim::fault::FaultKind;
+
+fn coverage(acfg: ArgusConfig, injections: usize) -> f64 {
+    let rep = run_campaign(
+        &argus_workloads::stress(),
+        &CampaignConfig {
+            injections,
+            kind: FaultKind::Permanent,
+            acfg,
+            ..Default::default()
+        },
+    );
+    100.0 * rep.unmasked_coverage()
+}
+
+fn main() {
+    println!("== Ablation: coverage of unmasked errors by checker subset ==\n");
+    let injections = 1500;
+    let full = ArgusConfig::default();
+    let configs: Vec<(&str, ArgusConfig)> = vec![
+        ("all checkers", full),
+        ("no computation", ArgusConfig { enable_cc: false, ..full }),
+        ("no parity", ArgusConfig { enable_parity: false, ..full }),
+        ("no DCS", ArgusConfig { enable_dcs: false, ..full }),
+        ("no watchdog", ArgusConfig { enable_watchdog: false, ..full }),
+        ("DCS only", ArgusConfig { enable_cc: false, enable_parity: false, enable_watchdog: false, ..full }),
+    ];
+    for (name, acfg) in configs {
+        println!("{name:16} coverage {:.1}%", coverage(acfg, injections));
+    }
+    println!("\npaper: every family contributes (cc 45%, parity 36%, dcs 16%, wd 3%");
+    println!("of detections) — removing any of the big three must cost coverage.");
+}

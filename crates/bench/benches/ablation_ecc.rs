@@ -1,0 +1,81 @@
+//! Ablation: EDC (parity + address embedding, the Argus-1 design point)
+//! versus SEC-DED ECC on the data cache — the §4.2 alternative for
+//! bounding memory-error detection latency.
+//!
+//! Measures: area cost of each scheme, and a Monte-Carlo comparison of
+//! what happens to corrupted memory words (EDC: detect on next load,
+//! recover via checkpoint; ECC: correct in place, no recovery needed;
+//! double-bit: EDC parity misses entirely, SEC-DED still detects).
+
+use argus_area::cache_model::{cache_area_protected, CacheGeometry, Protection};
+use argus_mem::ecc::{decode, encode, EccOutcome};
+use argus_sim::bits::parity32;
+use argus_sim::rng::SplitMix64;
+
+fn main() {
+    println!("== Ablation: EDC (Argus-1 parity) vs SEC-DED ECC on the D-cache ==\n");
+
+    // --- area -------------------------------------------------------------
+    println!("{:12} {:>10} {:>10} {:>10}", "scheme", "1-way mm²", "2-way mm²", "overhead");
+    let base1 = cache_area_protected(CacheGeometry::kb8(1), Protection::None);
+    for (name, prot) in [
+        ("none", Protection::None),
+        ("parity", Protection::Parity),
+        ("sec-ded", Protection::SecDed),
+    ] {
+        let a1 = cache_area_protected(CacheGeometry::kb8(1), prot);
+        let a2 = cache_area_protected(CacheGeometry::kb8(2), prot);
+        println!(
+            "{name:12} {a1:>10.2} {a2:>10.2} {:>9.1}%",
+            100.0 * (a1 - base1) / base1
+        );
+    }
+
+    // --- behaviour under memory corruption --------------------------------
+    let trials = 100_000u32;
+    let mut rng = SplitMix64::new(0xECC0);
+    let mut edc_detected = 0u32;
+    let mut ecc_corrected = 0u32;
+    let mut ecc_detected = 0u32;
+    let mut edc_missed_double = 0u32;
+    let mut ecc_missed = 0u32;
+    for _ in 0..trials {
+        let w = rng.next_u32();
+        let double = rng.below(5) == 0; // 20% double-bit errors
+        let mut bad = w ^ (1u32 << rng.below(32));
+        if double {
+            loop {
+                let b = 1u32 << rng.below(32);
+                if bad ^ b != w {
+                    bad ^= b;
+                    break;
+                }
+            }
+        }
+        // EDC: parity over the word.
+        if parity32(bad) != parity32(w) {
+            edc_detected += 1;
+        } else if bad != w {
+            edc_missed_double += 1;
+        }
+        // ECC.
+        match decode(bad, encode(w)) {
+            EccOutcome::CorrectedData { word, .. } if word == w => ecc_corrected += 1,
+            EccOutcome::DoubleError => ecc_detected += 1,
+            EccOutcome::Clean | EccOutcome::CorrectedCheck => ecc_missed += 1,
+            EccOutcome::CorrectedData { .. } => ecc_missed += 1,
+        }
+    }
+    let pct = |n: u32| 100.0 * n as f64 / trials as f64;
+    println!("\nper-word corruption outcomes ({trials} trials, 20% double-bit):");
+    println!("  EDC  detected:          {:5.1}%  (needs checkpoint recovery)", pct(edc_detected));
+    println!("  EDC  silent (even-bit): {:5.1}%  (the parity blind spot)", pct(edc_missed_double));
+    println!("  ECC  corrected inline:  {:5.1}%  (no recovery, zero latency)", pct(ecc_corrected));
+    println!("  ECC  detected (double): {:5.1}%", pct(ecc_detected));
+    println!("  ECC  silent:            {:5.1}%", pct(ecc_missed));
+    println!("\ntrade-off: SEC-DED spends 7× the redundancy bits (≈22% D-cache area");
+    println!("vs parity's ≈5%) to turn every single-bit memory error into a");
+    println!("zero-latency inline correction and to close parity's double-bit");
+    println!("blind spot — the paper's suggested remedy for the unbounded EDC");
+    println!("detection latency of §4.2.");
+}

@@ -1,0 +1,50 @@
+//! Ablation: residue-checker modulus.
+//!
+//! §3.3.2: the mod-M checker's aliasing probability "can be made
+//! arbitrarily small by increasing M, at the cost of a larger multiplier
+//! in the sub-checker". This ablation measures the Monte-Carlo escape rate
+//! of the multiplier checker (fraction of random single/double-bit product
+//! corruptions that alias mod M) against its area.
+
+use argus_area::core_model::{argus_additions, total_gates, ArgusParams};
+use argus_core::cc::modm;
+use argus_sim::fault::FaultInjector;
+use argus_sim::rng::SplitMix64;
+
+fn escape_rate(m: u32, trials: u32) -> f64 {
+    let mut rng = SplitMix64::new(0xAB1A_7E ^ m as u64);
+    let mut escapes = 0u32;
+    let mut inj = FaultInjector::none();
+    for _ in 0..trials {
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        let full = a as u64 * b as u64;
+        // Corrupt 1 or 2 bits of the 64-bit product.
+        let mut bad = full ^ (1u64 << rng.below(64));
+        if rng.below(4) == 0 {
+            bad ^= 1u64 << rng.below(64);
+        }
+        if bad == full {
+            continue;
+        }
+        if modm::check_mul(m, false, a, b, bad as u32, (bad >> 32) as u32, &mut inj) {
+            escapes += 1;
+        }
+    }
+    escapes as f64 / trials as f64
+}
+
+fn main() {
+    println!("== Ablation: mod-M residue checker ==\n");
+    println!("{:>5} | {:>11} | {:>13}", "M", "escape rate", "checker gates");
+    for m in [3u32, 7, 15, 31, 63, 127, 255] {
+        let gates = total_gates(&argus_additions(ArgusParams { sig_width: 5, modulus: m }))
+            - total_gates(&argus_additions(ArgusParams { sig_width: 5, modulus: 3 }));
+        let rel = escape_rate(m, 40_000);
+        println!("{m:>5} | {:>10.3}% | {:>10.0} (+)", 100.0 * rel, gates);
+    }
+    println!("\nMersenne moduli (2^k − 1) keep the fold cheap; the paper picks");
+    println!("M = 31. Single-bit product flips never alias (2^i mod M ≠ 0);");
+    println!("the residual escapes are multi-bit corruptions whose difference");
+    println!("is a multiple of M.");
+}

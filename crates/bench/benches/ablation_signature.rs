@@ -1,0 +1,43 @@
+//! Ablation: signature width.
+//!
+//! §2 claims DCS aliasing "can be arbitrarily reduced by increasing
+//! signature sizes"; §3.2.2 picks 5 bits as the smallest width giving each
+//! register a unique initial value. This ablation sweeps the SHS/DCS width,
+//! measuring silent-corruption rate against checker area.
+
+use argus_area::core_model::{argus_additions, total_gates, ArgusParams};
+use argus_compiler::EmbedConfig;
+use argus_core::ArgusConfig;
+use argus_faults::campaign::{run_campaign, CampaignConfig, Outcome};
+use argus_sim::fault::FaultKind;
+
+fn main() {
+    println!("== Ablation: SHS/DCS signature width ==\n");
+    println!(
+        "{:>5} | {:>9} | {:>9} | {:>12}",
+        "bits", "SDC", "coverage", "checker gates"
+    );
+    for w in [3u32, 4, 5] {
+        let rep = run_campaign(
+            &argus_workloads::stress(),
+            &CampaignConfig {
+                injections: 1200,
+                kind: FaultKind::Permanent,
+                acfg: ArgusConfig { sig_width: w, ..Default::default() },
+                ecfg: EmbedConfig { sig_width: w, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let gates = total_gates(&argus_additions(ArgusParams { sig_width: w, modulus: 31 }));
+        println!(
+            "{w:>5} | {:>8.2}% | {:>8.1}% | {gates:>12.0}",
+            100.0 * rep.fraction(Outcome::UnmaskedUndetected),
+            100.0 * rep.unmasked_coverage(),
+        );
+    }
+    println!("\npaper design point: 5 bits — the widest signature the embedding");
+    println!("budget supports (one 5-bit slot per successor; indirect targets");
+    println!("carry 5 top bits), and the narrowest giving every register a");
+    println!("unique initial value. The area model (argus-area) extrapolates");
+    println!("hypothetical 6-8 bit checkers for cost comparison only.");
+}

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the library itself: simulator throughput,
+//! checker update rates, and the hot primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use argus_compiler::{compile, EmbedConfig, Mode};
+use argus_core::dcs::DcsUnit;
+use argus_core::shs::{ShsEngine, ShsFile};
+use argus_core::{Argus, ArgusConfig};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_sim::crc::Crc;
+use argus_sim::fault::FaultInjector;
+
+fn bench_crc(c: &mut Criterion) {
+    let crc = Crc::new(5);
+    c.bench_function("crc5_update", |b| {
+        b.iter(|| {
+            let mut s = 0u32;
+            for i in 0..32u32 {
+                s = crc.update(black_box(s), black_box(i & 31));
+            }
+            s
+        })
+    });
+}
+
+fn bench_shs_dcs(c: &mut Criterion) {
+    let engine = ShsEngine::new(5);
+    let dcs = DcsUnit::new(5);
+    let add = argus_isa::Instr::Alu {
+        op: argus_isa::AluOp::Add,
+        rd: argus_isa::Reg::new(1),
+        ra: argus_isa::Reg::new(2),
+        rb: argus_isa::Reg::new(3),
+    };
+    c.bench_function("shs_apply_block_of_16", |b| {
+        b.iter(|| {
+            let mut f = ShsFile::new(5);
+            for _ in 0..16 {
+                engine.apply_static(&mut f, black_box(&add));
+            }
+            dcs.compute(&f)
+        })
+    });
+}
+
+fn machine_with_stress(argus_mode: bool) -> Machine {
+    let w = argus_workloads::stress();
+    let mode = if argus_mode { Mode::Argus } else { Mode::Baseline };
+    let prog = compile(&w.unit, mode, &EmbedConfig::default()).unwrap();
+    let mut m = Machine::new(MachineConfig { argus_mode, ..Default::default() });
+    prog.load(&mut m);
+    m
+}
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("machine_run_stress_baseline", |b| {
+        b.iter_batched(
+            || machine_with_stress(false),
+            |mut m| m.run_to_halt(&mut FaultInjector::none(), 10_000_000),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("machine_run_stress_checked", |b| {
+        b.iter_batched(
+            || machine_with_stress(true),
+            |mut m| {
+                let mut argus = Argus::new(ArgusConfig::default());
+                let mut inj = FaultInjector::none();
+                loop {
+                    match m.step(&mut inj) {
+                        StepOutcome::Committed(rec) => {
+                            argus.on_commit(&rec, &mut inj);
+                        }
+                        StepOutcome::Stalled => {}
+                        StepOutcome::Halted => break,
+                    }
+                }
+                argus.events().len()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let unit = argus_workloads::stress().unit;
+    c.bench_function("compile_stress_argus", |b| {
+        b.iter(|| compile(black_box(&unit), Mode::Argus, &EmbedConfig::default()).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crc, bench_shs_dcs, bench_machine, bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Reproduces **Figure 5** — dynamic instruction-count overhead of
+//! signature embedding per benchmark (paper: 3.5% average; static
+//! overhead 7% average), on the MediaBench-like suite.
+
+use argus_bench::{chart, mean_of, measure_suite};
+
+fn main() {
+    println!("== Figure 5: dynamic instruction overhead (paper avg ≈3.5%) ==\n");
+    let rows = measure_suite(1);
+    for r in &rows {
+        println!("{}", chart::row(r.name, r.dynamic_pct(), 3.0));
+    }
+    let dyn_mean = mean_of(&rows, |r| r.dynamic_pct());
+    let stat_mean = mean_of(&rows, |r| r.static_pct());
+    println!("{}", chart::row("mean", dyn_mean, 3.0));
+    println!("\nstatic instruction overhead per benchmark (paper avg ≈7%):");
+    for r in &rows {
+        println!("  {:12} {:6.2}%  ({} → {})", r.name, r.static_pct(), r.static_base, r.static_argus);
+    }
+    println!("  {:12} {:6.2}%", "mean", stat_mean);
+    println!(
+        "\nsummary: dynamic {dyn_mean:.2}% (paper 3.5%), static {stat_mean:.2}% (paper 7%)"
+    );
+}

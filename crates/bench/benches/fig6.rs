@@ -1,0 +1,17 @@
+//! Reproduces **Figure 6** — runtime overhead with direct-mapped 8KB
+//! caches (paper: 3.9% average, with high per-benchmark variance including
+//! occasional speedups from basic-block re-alignment).
+
+use argus_bench::{chart, mean_of, measure_suite};
+
+fn main() {
+    println!("== Figure 6: runtime overhead, 1-way I-cache (paper avg ≈3.9%) ==\n");
+    let rows = measure_suite(1);
+    for r in &rows {
+        println!("{}", chart::row(r.name, r.runtime_pct(), 3.0));
+    }
+    let mean = mean_of(&rows, |r| r.runtime_pct());
+    println!("{}", chart::row("mean", mean, 3.0));
+    println!("\nsummary: runtime overhead {mean:.2}% (paper 3.9%)");
+    println!("cycles: {:?}", rows.iter().map(|r| (r.name, r.cycles_base, r.cycles_argus)).collect::<Vec<_>>());
+}

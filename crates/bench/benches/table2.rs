@@ -1,0 +1,34 @@
+//! Reproduces **Table 2** (area overhead, mm², VTVT 0.25µm).
+//!
+//! Paper reference:
+//!
+//! ```text
+//!                 OR1200   with Argus-1   overhead
+//! core              6.58           7.67      16.6%
+//! I-cache: 1-way    2.14           2.14         0%
+//!          2-way    2.42           2.42
+//! D-cache: 1-way    2.14           2.24       4.9%
+//!          2-way    2.42           2.54       5.1%
+//! total:   1-way   10.86          12.05      10.9%
+//!          2-way   11.42          12.63      10.6%
+//! ```
+
+fn main() {
+    println!("== Table 2: area overhead (analytical standard-cell + cache model) ==\n");
+    let t = argus_area::table2();
+    println!("{t}");
+    println!("paper: core +16.6%, D-cache +4.9%/+5.1%, total +10.9%/+10.6%");
+
+    println!("\n-- Argus-1 additions by block --");
+    let adds = argus_area::core_model::argus_additions(Default::default());
+    for c in &adds {
+        println!(
+            "  {:28} {:>7.0} gates  ({:.3} mm²)",
+            c.name,
+            c.gates,
+            argus_area::cells::gates_to_mm2(c.gates)
+        );
+    }
+    let total = argus_area::core_model::total_gates(&adds);
+    println!("  {:28} {:>7.0} gates", "TOTAL", total);
+}

@@ -1,0 +1,43 @@
+//! Minimal ASCII bar rendering for figure-style output.
+
+/// Renders one horizontal bar for a percentage value (negative values
+/// render to the left of the axis, as the paper's re-alignment speedups
+/// do in Figure 6).
+pub fn bar(pct: f64, scale: f64) -> String {
+    let units = (pct.abs() * scale).round() as usize;
+    let body: String = std::iter::repeat('#').take(units.min(60)).collect();
+    if pct < 0.0 {
+        format!("{body:>20}|")
+    } else {
+        format!("{:>20}|{}", "", body)
+    }
+}
+
+/// Renders a labeled figure row.
+pub fn row(name: &str, pct: f64, scale: f64) -> String {
+    format!("{name:12} {pct:7.2}% {}", bar(pct, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_render_on_the_correct_side() {
+        assert!(bar(5.0, 2.0).ends_with("##########"));
+        let neg = bar(-2.0, 2.0);
+        assert!(neg.ends_with('|'));
+        assert!(neg.contains("####"));
+    }
+
+    #[test]
+    fn bars_are_capped() {
+        assert!(bar(1000.0, 10.0).len() < 100);
+    }
+
+    #[test]
+    fn row_contains_name_and_value() {
+        let s = row("jpeg_enc", 3.25, 2.0);
+        assert!(s.contains("jpeg_enc") && s.contains("3.25"));
+    }
+}

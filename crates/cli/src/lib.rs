@@ -1,0 +1,460 @@
+//! # argus-cli — command-line driver
+//!
+//! A small front end over the workspace for interactive use:
+//!
+//! ```text
+//! argus asm <file.s> [--argus]           disassemble the compiled image
+//! argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]
+//! argus inject <file.s> --site S --bit N [--permanent] [--arm C]
+//! argus campaign [-n N] [--permanent]    Table-1 campaign on the stress test
+//! argus sites                            list the fault-site inventory
+//! ```
+//!
+//! The library half exposes the command implementations so they are unit
+//! testable; `main.rs` is a thin argv shim.
+
+use argus_compiler::{asm, compile, EmbedConfig, Mode};
+use argus_core::{Argus, ArgusConfig};
+use argus_faults::campaign::{run_campaign, CampaignConfig};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_mem::MemConfig;
+use argus_sim::fault::{Fault, FaultInjector, FaultKind};
+use std::fmt::Write as _;
+
+/// A CLI-level failure, printed to stderr with exit code 1.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Simple flag scanner: `--name value` and boolean `--name`.
+pub struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    /// Wraps raw arguments (without the program name and subcommand).
+    pub fn new(rest: Vec<String>) -> Self {
+        Self { rest }
+    }
+
+    /// Removes and returns a boolean flag.
+    pub fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.rest.iter().position(|a| a == name) {
+            self.rest.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns a `--name value` option.
+    pub fn opt(&mut self, name: &str) -> Option<String> {
+        let i = self.rest.iter().position(|a| a == name)?;
+        if i + 1 >= self.rest.len() {
+            return None;
+        }
+        let v = self.rest.remove(i + 1);
+        self.rest.remove(i);
+        Some(v)
+    }
+
+    /// Removes and returns the first positional argument.
+    pub fn positional(&mut self) -> Option<String> {
+        let i = self.rest.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.rest.remove(i))
+    }
+
+    /// Errors if anything was left unconsumed.
+    pub fn finish(self) -> Result<(), CliError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(fail(format!("unrecognized arguments: {:?}", self.rest)))
+        }
+    }
+}
+
+fn load_unit(path: &str) -> Result<argus_compiler::ProgramUnit, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    asm::assemble(&src).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+/// `argus asm`: compile and disassemble.
+pub fn cmd_asm(mut args: Args) -> Result<String, CliError> {
+    let path = args.positional().ok_or_else(|| fail("usage: argus asm <file.s> [--argus]"))?;
+    let mode = if args.flag("--argus") { Mode::Argus } else { Mode::Baseline };
+    args.finish()?;
+    let unit = load_unit(&path)?;
+    let prog = compile(&unit, mode, &EmbedConfig::default()).map_err(|e| fail(e.to_string()))?;
+    let mut out = asm::disassemble(&prog.code, prog.code_base);
+    let _ = writeln!(
+        out,
+        "; {} instructions ({} signature words), {} data words, mode {:?}",
+        prog.stats.static_instrs,
+        prog.stats.sig_instrs,
+        prog.data.len(),
+        mode
+    );
+    Ok(out)
+}
+
+/// `argus run`: compile + execute, optionally under the checker.
+pub fn cmd_run(mut args: Args) -> Result<String, CliError> {
+    let path = args
+        .positional()
+        .ok_or_else(|| fail("usage: argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]"))?;
+    let baseline = args.flag("--baseline");
+    let two_way = args.flag("--two-way");
+    let regs: Vec<argus_isa::Reg> = match args.opt("--regs") {
+        Some(spec) => spec
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .strip_prefix('r')
+                    .and_then(|n| n.parse::<u8>().ok())
+                    .filter(|&n| n < 32)
+                    .map(argus_isa::Reg::new)
+                    .ok_or_else(|| fail(format!("bad register `{t}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![],
+    };
+    let max_cycles: u64 = match args.opt("--max-cycles") {
+        Some(s) => s.parse().map_err(|_| fail("bad --max-cycles"))?,
+        None => 200_000_000,
+    };
+    let trace: u64 = match args.opt("--trace") {
+        Some(s) => s.parse().map_err(|_| fail("bad --trace"))?,
+        None => 0,
+    };
+    args.finish()?;
+
+    let unit = load_unit(&path)?;
+    let mode = if baseline { Mode::Baseline } else { Mode::Argus };
+    let prog = compile(&unit, mode, &EmbedConfig::default()).map_err(|e| fail(e.to_string()))?;
+    let mem = if two_way { MemConfig::default().two_way() } else { MemConfig::default() };
+    let mut m = Machine::new(MachineConfig { argus_mode: !baseline, mem, ..Default::default() });
+    prog.load(&mut m);
+
+    let mut out = String::new();
+    let mut checker = (!baseline).then(|| {
+        let mut c = Argus::new(ArgusConfig::default());
+        c.expect_entry(prog.entry_dcs.unwrap_or(0));
+        c
+    });
+    let mut inj = FaultInjector::none();
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                if m.retired() <= trace {
+                    let _ = writeln!(
+                        out,
+                        "[{:>6}] {:#06x}: {}{}",
+                        rec.cycle,
+                        rec.pc,
+                        rec.instr,
+                        if rec.block_end { "   ; block end" } else { "" }
+                    );
+                }
+                if let Some(c) = checker.as_mut() {
+                    for ev in c.on_commit(&rec, &mut inj) {
+                        let _ = writeln!(out, "DETECTED: {ev}");
+                    }
+                }
+            }
+            StepOutcome::Stalled => {
+                if let Some(c) = checker.as_mut() {
+                    c.on_stall(1, &mut inj);
+                }
+            }
+            StepOutcome::Halted => break,
+        }
+        if m.cycle() > max_cycles {
+            break;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "halted={} cycles={} retired={} detections={}",
+        m.halted(),
+        m.cycle(),
+        m.retired(),
+        checker.as_ref().map(|c| c.events().len()).unwrap_or(0)
+    );
+    for r in regs {
+        let _ = writeln!(out, "{r} = {:#010x}", m.reg(r));
+    }
+    Ok(out)
+}
+
+/// `argus inject`: single-fault run with outcome report.
+pub fn cmd_inject(mut args: Args) -> Result<String, CliError> {
+    let path = args.positional().ok_or_else(|| {
+        fail("usage: argus inject <file.s> --site S --bit N [--permanent] [--arm C]")
+    })?;
+    let site_name = args.opt("--site").ok_or_else(|| fail("--site is required"))?;
+    let bit: u8 = args
+        .opt("--bit")
+        .ok_or_else(|| fail("--bit is required"))?
+        .parse()
+        .map_err(|_| fail("bad --bit"))?;
+    let kind = if args.flag("--permanent") { FaultKind::Permanent } else { FaultKind::Transient };
+    let arm: u64 = match args.opt("--arm") {
+        Some(s) => s.parse().map_err(|_| fail("bad --arm"))?,
+        None => 100,
+    };
+    args.finish()?;
+
+    let inventory = argus_faults::sites::full_inventory();
+    let site = inventory
+        .iter()
+        .find(|s| s.name == site_name)
+        .ok_or_else(|| fail(format!("unknown site `{site_name}` (try `argus sites`)")))?;
+    if bit >= site.width {
+        return Err(fail(format!("bit {bit} out of range for {site_name} (width {})", site.width)));
+    }
+
+    let unit = load_unit(&path)?;
+    let prog =
+        compile(&unit, Mode::Argus, &EmbedConfig::default()).map_err(|e| fail(e.to_string()))?;
+
+    // Golden run for masking classification.
+    let mut golden = Machine::new(MachineConfig::default());
+    prog.load(&mut golden);
+    golden.run_to_halt(&mut FaultInjector::none(), 200_000_000);
+    let (gd, gc) = (golden.state_digest(), golden.cycle());
+
+    let mut m = Machine::new(MachineConfig::default());
+    prog.load(&mut m);
+    let mut checker = Argus::new(ArgusConfig::default());
+    checker.expect_entry(prog.entry_dcs.unwrap_or(0));
+    let mut inj = FaultInjector::with_fault(Fault {
+        site: site.name,
+        bit,
+        kind,
+        arm_cycle: arm,
+        flavor: site.flavor,
+        width: site.width,
+        sensitization: 1.0,
+    });
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                checker.on_commit(&rec, &mut inj);
+            }
+            StepOutcome::Stalled => {
+                checker.on_stall(1, &mut inj);
+            }
+            StepOutcome::Halted => break,
+        }
+        if m.cycle() > gc * 2 + 2_000 {
+            break;
+        }
+    }
+    if checker.first_detection().is_none() {
+        checker.scrub_memory(&m, prog.data_base, &mut inj);
+    }
+
+    let masked = m.halted() && m.state_digest() == gd;
+    let mut out = String::new();
+    let _ = writeln!(out, "site {site_name} bit {bit} ({kind:?}, armed at cycle {arm})");
+    let _ = writeln!(out, "exercised: {:?}", inj.first_flip_cycle());
+    match checker.first_detection() {
+        Some(ev) => {
+            let _ = writeln!(out, "detected: {ev}");
+        }
+        None => {
+            let _ = writeln!(out, "detected: no");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "outcome: {}",
+        match (masked, checker.first_detection().is_some()) {
+            (false, false) => "UNMASKED, UNDETECTED — silent data corruption",
+            (false, true) => "unmasked, detected",
+            (true, false) => "masked, undetected",
+            (true, true) => "masked, detected (DME)",
+        }
+    );
+    Ok(out)
+}
+
+/// `argus sites`: the fault-site inventory.
+pub fn cmd_sites(args: Args) -> Result<String, CliError> {
+    args.finish()?;
+    let mut out = format!("{:24} {:>5} {:>9} {:>7} {}\n", "site", "width", "weight", "sens", "unit");
+    for s in argus_faults::sites::full_inventory() {
+        let _ = writeln!(
+            out,
+            "{:24} {:>5} {:>9.2} {:>7.2} {}{}",
+            s.name,
+            s.width,
+            s.weight,
+            s.sensitization,
+            s.unit,
+            if matches!(s.flavor, argus_sim::fault::SiteFlavor::Double) { " (double)" } else { "" }
+        );
+    }
+    Ok(out)
+}
+
+/// `argus campaign`: a Table-1 campaign on the stress microbenchmark.
+pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
+    let n: usize = match args.opt("-n") {
+        Some(s) => s.parse().map_err(|_| fail("bad -n"))?,
+        None => 1000,
+    };
+    let kind = if args.flag("--permanent") { FaultKind::Permanent } else { FaultKind::Transient };
+    args.finish()?;
+    let rep = run_campaign(
+        &argus_workloads::stress(),
+        &CampaignConfig { injections: n, kind, ..Default::default() },
+    );
+    Ok(format!("{rep}"))
+}
+
+/// `argus verify`: compile in Argus mode and statically verify the image's
+/// embedded signatures.
+pub fn cmd_verify(mut args: Args) -> Result<String, CliError> {
+    let path = args.positional().ok_or_else(|| fail("usage: argus verify <file.s>"))?;
+    args.finish()?;
+    let unit = load_unit(&path)?;
+    let ecfg = EmbedConfig::default();
+    let prog = compile(&unit, Mode::Argus, &ecfg).map_err(|e| fail(e.to_string()))?;
+    let rep = argus_compiler::binver::verify_image(&prog, &ecfg)
+        .map_err(|e| fail(format!("verification FAILED: {e}")))?;
+    Ok(format!(
+        "image verifies: {} blocks, {} embedded successor slots checked, entry DCS {:#04x}\n",
+        rep.blocks,
+        rep.slots_checked,
+        prog.entry_dcs.unwrap_or(0)
+    ))
+}
+
+/// Dispatches a subcommand; returns the text to print.
+pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
+    match cmd {
+        "asm" => cmd_asm(args),
+        "run" => cmd_run(args),
+        "inject" => cmd_inject(args),
+        "sites" => cmd_sites(args),
+        "campaign" => cmd_campaign(args),
+        "verify" => cmd_verify(args),
+        other => Err(fail(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign> [options]
+  argus asm <file.s> [--argus]
+  argus run <file.s> [--baseline] [--two-way] [--regs r3,r4] [--max-cycles N]
+  argus inject <file.s> --site S --bit N [--permanent] [--arm C]
+  argus verify <file.s>
+  argus campaign [-n N] [--permanent]
+  argus sites";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(xs: &[&str]) -> Args {
+        Args::new(xs.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("argus-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, contents).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    const PROG: &str = "li r3, 0\nli r4, 1\nli r5, 10\nloop: add r3, r3, r4\naddi r4, r4, 1\nsfleu r4, r5\nbf loop\nnop\nhalt\n";
+
+    #[test]
+    fn args_parsing() {
+        let mut a = args(&["file.s", "--permanent", "--bit", "3"]);
+        assert_eq!(a.positional().as_deref(), Some("file.s"));
+        assert!(a.flag("--permanent"));
+        assert!(!a.flag("--permanent"));
+        assert_eq!(a.opt("--bit").as_deref(), Some("3"));
+        assert!(a.finish().is_ok());
+
+        let a = args(&["--mystery"]);
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn asm_command() {
+        let p = write_temp("asm.s", PROG);
+        let out = cmd_asm(args(&[p.as_str(), "--argus"])).unwrap();
+        assert!(out.contains("add r3, r3, r4"));
+        assert!(out.contains("signature words"));
+    }
+
+    #[test]
+    fn run_command_baseline_and_checked() {
+        let p = write_temp("run.s", PROG);
+        let out = cmd_run(args(&[p.as_str(), "--baseline", "--regs", "r3"])).unwrap();
+        assert!(out.contains("halted=true"));
+        assert!(out.contains("r3 = 0x00000037"), "{out}");
+        let out = cmd_run(args(&[p.as_str(), "--regs", "r3"])).unwrap();
+        assert!(out.contains("detections=0"));
+    }
+
+    #[test]
+    fn inject_command_detects_alu_fault() {
+        let p = write_temp("inject.s", PROG);
+        let out = cmd_inject(args(&[
+            p.as_str(),
+            "--site",
+            "alu_adder_out",
+            "--bit",
+            "2",
+            "--permanent",
+            "--arm",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("detected: computation"), "{out}");
+    }
+
+    #[test]
+    fn inject_rejects_unknown_site() {
+        let p = write_temp("bad.s", PROG);
+        let e = cmd_inject(args(&[p.as_str(), "--site", "nope", "--bit", "0"])).unwrap_err();
+        assert!(e.to_string().contains("unknown site"));
+    }
+
+    #[test]
+    fn sites_command_lists_inventory() {
+        let out = cmd_sites(args(&[])).unwrap();
+        assert!(out.contains("alu_adder_out"));
+        assert!(out.contains("shs_crc_out"));
+    }
+
+    #[test]
+    fn dispatch_unknown_command() {
+        assert!(dispatch("frobnicate", args(&[])).is_err());
+    }
+
+    #[test]
+    fn verify_command() {
+        let p = write_temp("verify.s", PROG);
+        let out = cmd_verify(args(&[p.as_str()])).unwrap();
+        assert!(out.contains("image verifies"), "{out}");
+    }
+}

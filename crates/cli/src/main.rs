@@ -1,0 +1,17 @@
+//! `argus` — thin argv shim over [`argus_cli`].
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", argus_cli::USAGE);
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    match argus_cli::dispatch(&cmd, argus_cli::Args::new(argv)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("argus: {e}");
+            std::process::exit(1);
+        }
+    }
+}

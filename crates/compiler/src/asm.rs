@@ -1,0 +1,569 @@
+//! Text assembler: parses human-written assembly into a [`ProgramUnit`].
+//!
+//! The syntax follows the disassembly produced by `argus_isa::Instr`'s
+//! `Display` impl, plus labels, comments, a data section and a few
+//! pseudo-instructions:
+//!
+//! ```text
+//! ; sum the numbers 1..=100
+//!         li   r3, 0          ; pseudo: expands to movhi/ori as needed
+//!         li   r4, 1
+//!         li   r5, 100
+//! loop:   add  r3, r3, r4
+//!         addi r4, r4, 1
+//!         sfleu r4, r5
+//!         bf   loop
+//!         nop
+//!         halt
+//!
+//! .data
+//! .label table
+//! .word 42
+//! .ptr  loop               ; packed (address, DCS) code pointer
+//! ```
+
+use crate::builder::{DataItem, ProgramUnit, Stmt};
+use argus_isa::instr::{AluImmOp, AluOp, Cond, ExtKind, Instr, MemSize, MulDivOp, ShiftOp};
+use argus_isa::reg::Reg;
+use std::fmt;
+
+/// A parse error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let idx: u8 = t
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected register, found `{t}`")))?;
+    if idx < 32 {
+        Ok(Reg::new(idx))
+    } else {
+        Err(err(line, format!("register r{idx} out of range")))
+    }
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| err(line, format!("expected number, found `{t}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_imm16(tok: &str, line: usize) -> Result<u16, AsmError> {
+    let v = parse_int(tok, line)?;
+    if (-(1 << 15)..(1 << 16)).contains(&v) {
+        Ok(v as u16)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit in 16 bits")))
+    }
+}
+
+/// Parses `off(rB)`.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| err(line, format!("expected off(reg), found `{t}`")))?;
+    let close = t
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| err(line, "missing `)`".to_string()))?;
+    let off = parse_int(&t[..open], line)?;
+    if !(-(1i64 << 15)..(1 << 15)).contains(&off) {
+        return Err(err(line, format!("offset {off} does not fit in 16 bits")));
+    }
+    Ok((off as i16, parse_reg(&t[open + 1..close], line)?))
+}
+
+fn cond_from_suffix(s: &str) -> Option<Cond> {
+    Some(match s {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "gtu" => Cond::Gtu,
+        "geu" => Cond::Geu,
+        "ltu" => Cond::Ltu,
+        "leu" => Cond::Leu,
+        "gts" => Cond::Gts,
+        "ges" => Cond::Ges,
+        "lts" => Cond::Lts,
+        "les" => Cond::Les,
+        _ => return None,
+    })
+}
+
+/// Parses a whole source file into a [`ProgramUnit`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its line number.
+pub fn assemble(source: &str) -> Result<ProgramUnit, AsmError> {
+    let mut unit = ProgramUnit::default();
+    let mut in_data = false;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            let arg = parts.next();
+            match directive {
+                "data" => in_data = true,
+                "text" => in_data = false,
+                "word" => {
+                    let v = parse_int(arg.ok_or_else(|| err(line, ".word needs a value"))?, line)?;
+                    unit.data.push(DataItem::Word(v as u32));
+                }
+                "zeros" => {
+                    let n = parse_int(arg.ok_or_else(|| err(line, ".zeros needs a count"))?, line)?;
+                    for _ in 0..n {
+                        unit.data.push(DataItem::Word(0));
+                    }
+                }
+                "ptr" => {
+                    let l = arg.ok_or_else(|| err(line, ".ptr needs a label"))?;
+                    unit.data.push(DataItem::CodePtr(l.to_owned()));
+                }
+                "label" => {
+                    let l = arg.ok_or_else(|| err(line, ".label needs a name"))?;
+                    let off = unit.data.len() as u32 * 4;
+                    unit.data_labels.push((l.to_owned(), off));
+                }
+                other => return Err(err(line, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+
+        if in_data {
+            return Err(err(line, "instructions are not allowed in the data section"));
+        }
+
+        // Leading label(s): `name:`.
+        let mut text = text;
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("malformed label `{label}`")));
+            }
+            unit.stmts.push(Stmt::Label(label.to_owned()));
+            text = rest[1..].trim();
+            if text.is_empty() {
+                break;
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, operands) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if operands.is_empty() {
+            vec![]
+        } else {
+            operands.split(',').map(str::trim).collect()
+        };
+        let nops = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{mnemonic}` expects {n} operand(s), found {}", ops.len())))
+            }
+        };
+
+        let stmt: Stmt = match mnemonic {
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" => {
+                nops(3)?;
+                let op = match mnemonic {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "and" => AluOp::And,
+                    "or" => AluOp::Or,
+                    "xor" => AluOp::Xor,
+                    "sll" => AluOp::Sll,
+                    "srl" => AluOp::Srl,
+                    _ => AluOp::Sra,
+                };
+                Stmt::Op(Instr::Alu {
+                    op,
+                    rd: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    rb: parse_reg(ops[2], line)?,
+                })
+            }
+            "mul" | "mulu" | "div" | "divu" => {
+                nops(3)?;
+                let op = match mnemonic {
+                    "mul" => MulDivOp::Mul,
+                    "mulu" => MulDivOp::Mulu,
+                    "div" => MulDivOp::Div,
+                    _ => MulDivOp::Divu,
+                };
+                Stmt::Op(Instr::MulDiv {
+                    op,
+                    rd: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    rb: parse_reg(ops[2], line)?,
+                })
+            }
+            "addi" | "andi" | "ori" | "xori" => {
+                nops(3)?;
+                let op = match mnemonic {
+                    "addi" => AluImmOp::Addi,
+                    "andi" => AluImmOp::Andi,
+                    "ori" => AluImmOp::Ori,
+                    _ => AluImmOp::Xori,
+                };
+                Stmt::Op(Instr::AluImm {
+                    op,
+                    rd: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    imm: parse_imm16(ops[2], line)?,
+                })
+            }
+            "slli" | "srli" | "srai" => {
+                nops(3)?;
+                let op = match mnemonic {
+                    "slli" => ShiftOp::Sll,
+                    "srli" => ShiftOp::Srl,
+                    _ => ShiftOp::Sra,
+                };
+                let sh = parse_int(ops[2], line)?;
+                if !(0..32).contains(&sh) {
+                    return Err(err(line, format!("shift amount {sh} out of range")));
+                }
+                Stmt::Op(Instr::ShiftImm {
+                    op,
+                    rd: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    sh: sh as u8,
+                })
+            }
+            "movhi" => {
+                nops(2)?;
+                Stmt::Op(Instr::Movhi {
+                    rd: parse_reg(ops[0], line)?,
+                    imm: parse_imm16(ops[1], line)?,
+                })
+            }
+            "extbs" | "extbz" | "exths" | "exthz" => {
+                nops(2)?;
+                let kind = match mnemonic {
+                    "extbs" => ExtKind::Bs,
+                    "extbz" => ExtKind::Bz,
+                    "exths" => ExtKind::Hs,
+                    _ => ExtKind::Hz,
+                };
+                Stmt::Op(Instr::Ext {
+                    kind,
+                    rd: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                })
+            }
+            "lw" | "lh" | "lhu" | "lb" | "lbu" => {
+                nops(2)?;
+                let (size, signed) = match mnemonic {
+                    "lw" => (MemSize::Word, false),
+                    "lh" => (MemSize::Half, true),
+                    "lhu" => (MemSize::Half, false),
+                    "lb" => (MemSize::Byte, true),
+                    _ => (MemSize::Byte, false),
+                };
+                let (off, ra) = parse_mem_operand(ops[1], line)?;
+                Stmt::Op(Instr::Load { size, signed, rd: parse_reg(ops[0], line)?, ra, off })
+            }
+            "sw" | "sh" | "sb" => {
+                nops(2)?;
+                let size = match mnemonic {
+                    "sw" => MemSize::Word,
+                    "sh" => MemSize::Half,
+                    _ => MemSize::Byte,
+                };
+                let (off, ra) = parse_mem_operand(ops[1], line)?;
+                Stmt::Op(Instr::Store { size, ra, rb: parse_reg(ops[0], line)?, off })
+            }
+            "bf" => {
+                nops(1)?;
+                Stmt::BranchTo { taken_if: true, label: ops[0].to_owned() }
+            }
+            "bnf" => {
+                nops(1)?;
+                Stmt::BranchTo { taken_if: false, label: ops[0].to_owned() }
+            }
+            "j" => {
+                nops(1)?;
+                Stmt::JumpTo { link: false, label: ops[0].to_owned() }
+            }
+            "jal" => {
+                nops(1)?;
+                Stmt::JumpTo { link: true, label: ops[0].to_owned() }
+            }
+            "jr" => {
+                nops(1)?;
+                Stmt::JumpReg { link: false, rb: parse_reg(ops[0], line)? }
+            }
+            "jalr" => {
+                nops(1)?;
+                Stmt::JumpReg { link: true, rb: parse_reg(ops[0], line)? }
+            }
+            "nop" => {
+                nops(0)?;
+                Stmt::Op(Instr::Nop)
+            }
+            "halt" => {
+                nops(0)?;
+                Stmt::Op(Instr::Halt)
+            }
+            // Pseudo: li rd, imm32 → movhi/ori pair (or single ori/movhi).
+            "li" => {
+                nops(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let v = parse_int(ops[1], line)? as u32;
+                if v <= 0xFFFF {
+                    Stmt::Op(Instr::AluImm { op: AluImmOp::Ori, rd, ra: Reg::ZERO, imm: v as u16 })
+                } else {
+                    unit.stmts.push(Stmt::Op(Instr::Movhi { rd, imm: (v >> 16) as u16 }));
+                    if v & 0xFFFF == 0 {
+                        continue;
+                    }
+                    Stmt::Op(Instr::AluImm { op: AluImmOp::Ori, rd, ra: rd, imm: v as u16 })
+                }
+            }
+            m if m.starts_with("sf") => {
+                nops(2)?;
+                let rest = &m[2..];
+                // `sfXXi ra, imm` vs `sfXX ra, rb`
+                if let Some(cond) = cond_from_suffix(rest) {
+                    Stmt::Op(Instr::SetFlag {
+                        cond,
+                        ra: parse_reg(ops[0], line)?,
+                        rb: parse_reg(ops[1], line)?,
+                    })
+                } else if let Some(cond) =
+                    rest.strip_suffix('i').and_then(cond_from_suffix)
+                {
+                    Stmt::Op(Instr::SetFlagImm {
+                        cond,
+                        ra: parse_reg(ops[0], line)?,
+                        imm: parse_imm16(ops[1], line)?,
+                    })
+                } else {
+                    return Err(err(line, format!("unknown compare `{m}`")));
+                }
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        unit.stmts.push(stmt);
+    }
+    Ok(unit)
+}
+
+/// Disassembles a compiled code image back to text (one instruction per
+/// line, with addresses), the inverse presentation of [`assemble`].
+pub fn disassemble(code: &[u32], base: u32) -> String {
+    let mut out = String::new();
+    for (k, &w) in code.iter().enumerate() {
+        let i = argus_isa::decode::decode(w);
+        out.push_str(&format!("{:#06x}: {:#010x}  {}\n", base + 4 * k as u32, w, i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, EmbedConfig, Mode};
+    use argus_machine::{Machine, MachineConfig};
+    use argus_sim::fault::FaultInjector;
+
+    const SUM_PROGRAM: &str = r"
+; sum 1..=100 into r3
+        li   r3, 0
+        li   r4, 1
+        li   r5, 100
+loop:   add  r3, r3, r4
+        addi r4, r4, 1
+        sfleu r4, r5
+        bf   loop
+        nop
+        halt
+";
+
+    fn run(src: &str) -> Machine {
+        let unit = assemble(src).expect("assembles");
+        let prog = compile(&unit, Mode::Baseline, &EmbedConfig::default()).expect("compiles");
+        let mut m = Machine::new(MachineConfig { argus_mode: false, ..Default::default() });
+        prog.load(&mut m);
+        let res = m.run_to_halt(&mut FaultInjector::none(), 10_000_000);
+        assert!(res.halted);
+        m
+    }
+
+    #[test]
+    fn sum_program_assembles_and_runs() {
+        let m = run(SUM_PROGRAM);
+        assert_eq!(m.reg(Reg::new(3)), 5050);
+    }
+
+    #[test]
+    fn memory_and_subword_syntax() {
+        let m = run(r"
+        li  r2, 0x80100
+        li  r3, 0xdeadbeef
+        sw  r3, 0(r2)
+        sb  r3, 5(r2)
+        lw  r4, 0(r2)
+        lbu r5, 5(r2)
+        lh  r6, 0(r2)
+        halt
+");
+        assert_eq!(m.reg(Reg::new(4)), 0xDEAD_BEEF);
+        assert_eq!(m.reg(Reg::new(5)), 0xEF);
+        assert_eq!(m.reg(Reg::new(6)), 0xFFFF_BEEF);
+    }
+
+    #[test]
+    fn calls_and_data_section() {
+        let unit = assemble(r"
+        li   r2, 0x80000
+        lw   r3, 0(r2)       ; load 42 from data
+        jal  double
+        nop
+        halt
+double: add  r3, r3, r3
+        jr   r9
+        nop
+.data
+.label answer
+.word 42
+.ptr double
+")
+        .expect("assembles");
+        let prog = compile(&unit, Mode::Argus, &EmbedConfig::default()).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        prog.load(&mut m);
+        m.run_to_halt(&mut FaultInjector::none(), 100_000);
+        assert_eq!(m.reg(Reg::new(3)), 84);
+        // .ptr packed a code pointer with a DCS in the top bits.
+        let ptr = m.read_data_word(0x8_0004);
+        let (addr, _dcs) = argus_isa::split_indirect_target(ptr);
+        assert!(addr < 4 * prog.code.len() as u32);
+    }
+
+    #[test]
+    fn every_mnemonic_parses() {
+        let src = r"
+        add r1, r2, r3
+        sub r1, r2, r3
+        and r1, r2, r3
+        or r1, r2, r3
+        xor r1, r2, r3
+        sll r1, r2, r3
+        srl r1, r2, r3
+        sra r1, r2, r3
+        mul r1, r2, r3
+        mulu r1, r2, r3
+        div r1, r2, r3
+        divu r1, r2, r3
+        addi r1, r2, -5
+        andi r1, r2, 0xff
+        ori r1, r2, 7
+        xori r1, r2, 1
+        slli r1, r2, 3
+        srli r1, r2, 3
+        srai r1, r2, 3
+        movhi r1, 0x1234
+        extbs r1, r2
+        extbz r1, r2
+        exths r1, r2
+        exthz r1, r2
+        sfeq r1, r2
+        sfne r1, r2
+        sfgtu r1, r2
+        sfgeu r1, r2
+        sfltu r1, r2
+        sfleu r1, r2
+        sfgts r1, r2
+        sfges r1, r2
+        sflts r1, r2
+        sfles r1, r2
+        sfeqi r1, 5
+        sfltsi r1, -3
+        lw r1, 0(r2)
+        lh r1, 2(r2)
+        lhu r1, 2(r2)
+        lb r1, 1(r2)
+        lbu r1, 1(r2)
+        sw r1, 0(r2)
+        sh r1, 2(r2)
+        sb r1, 1(r2)
+        nop
+        halt
+";
+        let unit = assemble(src).expect("all mnemonics parse");
+        assert_eq!(unit.stmts.iter().filter(|s| s.is_instr()).count(), 46);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+
+        let e = assemble("addi r1, r2, 99999\n").unwrap_err();
+        assert!(e.message.contains("16 bits"));
+
+        let e = assemble("lw r1, r2\n").unwrap_err();
+        assert!(e.message.contains("off(reg)"));
+
+        let e = assemble(".data\nnop\n").unwrap_err();
+        assert!(e.message.contains("data section"));
+
+        let e = assemble("add r1, r2, r99\n").unwrap_err();
+        assert!(e.message.contains("register"));
+    }
+
+    #[test]
+    fn disassembly_roundtrips_through_the_assembler() {
+        let unit = assemble(SUM_PROGRAM).unwrap();
+        let prog = compile(&unit, Mode::Baseline, &EmbedConfig::default()).unwrap();
+        let text = disassemble(&prog.code, prog.code_base);
+        assert!(text.contains("add r3, r3, r4"));
+        assert!(text.contains("halt"));
+        assert_eq!(text.lines().count(), prog.code.len());
+    }
+}

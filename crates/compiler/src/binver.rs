@@ -1,0 +1,364 @@
+//! Static binary verifier.
+//!
+//! Re-derives the basic-block structure of a compiled Argus image straight
+//! from its instruction words — the same segmentation rules the runtime
+//! checker applies — recomputes each block's DCS, re-parses the embedded
+//! successor slots, and confirms every slot names the DCS of the block it
+//! points at. A loader (or a paranoid build system) can run this to prove
+//! an image's signatures are self-consistent before execution; the test
+//! suite uses it as an oracle that any bit of embedded signature state is
+//! load-bearing.
+
+use crate::compile::{EmbedConfig, Mode};
+use crate::program::Program;
+use argus_core::dcs::DcsUnit;
+use argus_core::shs::{ShsEngine, ShsFile};
+use argus_isa::decode::decode;
+use argus_isa::instr::Instr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The image was not compiled in Argus mode.
+    NotArgusMode,
+    /// A basic block exceeds the runtime checker's length bound.
+    BlockTooLong {
+        /// Address of the block's first instruction.
+        block_addr: u32,
+        /// Its length in instructions.
+        len: u32,
+    },
+    /// An embedded successor slot disagrees with the successor's DCS.
+    SlotMismatch {
+        /// Address of the block carrying the slot.
+        block_addr: u32,
+        /// Slot index within the block.
+        slot: usize,
+        /// The embedded value.
+        embedded: u32,
+        /// The recomputed successor DCS.
+        expected: u32,
+    },
+    /// A control transfer targets an address that is not a block start.
+    TargetNotABlock {
+        /// Address of the CTI.
+        at: u32,
+        /// The offending target.
+        target: u32,
+    },
+    /// The recorded entry DCS disagrees with the first block's DCS.
+    EntryDcsMismatch,
+    /// Code runs off the end of the image without `halt` or a jump.
+    MissingTerminator,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotArgusMode => write!(f, "image is not an Argus-mode binary"),
+            VerifyError::BlockTooLong { block_addr, len } => {
+                write!(f, "block at {block_addr:#x} has {len} instructions (over the bound)")
+            }
+            VerifyError::SlotMismatch { block_addr, slot, embedded, expected } => write!(
+                f,
+                "block {block_addr:#x} slot {slot}: embedded {embedded:#04x} ≠ successor DCS {expected:#04x}"
+            ),
+            VerifyError::TargetNotABlock { at, target } => {
+                write!(f, "CTI at {at:#x} targets {target:#x}, which is mid-block")
+            }
+            VerifyError::EntryDcsMismatch => write!(f, "entry DCS does not match the first block"),
+            VerifyError::MissingTerminator => write!(f, "code runs off the end of the image"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verification statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Blocks found.
+    pub blocks: usize,
+    /// Embedded successor slots checked.
+    pub slots_checked: usize,
+}
+
+#[derive(Debug)]
+struct Block {
+    addr: u32,
+    /// Word indices `[start, end]` inclusive.
+    start: usize,
+    end: usize,
+    /// Indices whose bits feed the embedded stream (excludes the delay slot).
+    embed_end: usize,
+    term: Term,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Term {
+    Cond { target: u32 },
+    Jump { target: u32, link: bool },
+    JumpReg { link: bool },
+    FallThrough,
+    Halt,
+}
+
+fn segment(code: &[u32], base: u32) -> Result<Vec<Block>, VerifyError> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < code.len() {
+        let instr = decode(code[i]);
+        let addr = base + 4 * i as u32;
+        if instr.is_cti() {
+            if i + 1 >= code.len() {
+                return Err(VerifyError::MissingTerminator);
+            }
+            let term = match instr {
+                Instr::Branch { off, .. } => {
+                    Term::Cond { target: addr.wrapping_add((off as u32) << 2) }
+                }
+                Instr::Jump { off, link } => {
+                    Term::Jump { target: addr.wrapping_add((off as u32) << 2), link }
+                }
+                Instr::JumpReg { link, .. } => Term::JumpReg { link },
+                _ => unreachable!("is_cti"),
+            };
+            blocks.push(Block {
+                addr: base + 4 * start as u32,
+                start,
+                end: i + 1,
+                embed_end: i + 1,
+                term,
+            });
+            start = i + 2;
+            i += 2;
+        } else if matches!(instr, Instr::Sig { eob: true, .. }) {
+            blocks.push(Block {
+                addr: base + 4 * start as u32,
+                start,
+                end: i,
+                embed_end: i + 1,
+                term: Term::FallThrough,
+            });
+            start = i + 1;
+            i += 1;
+        } else if matches!(instr, Instr::Halt) {
+            blocks.push(Block {
+                addr: base + 4 * start as u32,
+                start,
+                end: i,
+                embed_end: i + 1,
+                term: Term::Halt,
+            });
+            start = i + 1;
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(blocks)
+}
+
+fn embedded_stream(code: &[u32], b: &Block) -> Vec<bool> {
+    code[b.start..b.embed_end]
+        .iter()
+        .flat_map(|&w| argus_isa::encode::embedded_bits(w))
+        .collect()
+}
+
+fn slot(bits: &[bool], k: usize) -> u32 {
+    let mut v = 0;
+    for i in 0..5 {
+        if bits.get(5 * k + i).copied().unwrap_or(false) {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+/// Verifies a compiled Argus image.
+///
+/// # Errors
+///
+/// Returns the first inconsistency found (see [`VerifyError`]).
+pub fn verify_image(prog: &Program, cfg: &EmbedConfig) -> Result<VerifyReport, VerifyError> {
+    if prog.mode != Mode::Argus {
+        return Err(VerifyError::NotArgusMode);
+    }
+    let blocks = segment(&prog.code, prog.code_base)?;
+    let engine = ShsEngine::new(cfg.sig_width);
+    let dcs_unit = DcsUnit::new(cfg.sig_width);
+    let slot_mask = (1u32 << cfg.sig_width.min(5)) - 1;
+
+    let mut dcs = Vec::with_capacity(blocks.len());
+    let mut by_addr: HashMap<u32, usize> = HashMap::new();
+    for (bi, b) in blocks.iter().enumerate() {
+        let len = (b.end - b.start + 1) as u32;
+        if len > cfg.max_block_len {
+            return Err(VerifyError::BlockTooLong { block_addr: b.addr, len });
+        }
+        let mut file = ShsFile::new(cfg.sig_width);
+        for &w in &prog.code[b.start..=b.end] {
+            engine.apply_static(&mut file, &decode(w));
+        }
+        dcs.push(dcs_unit.compute(&file) & slot_mask);
+        by_addr.insert(b.addr, bi);
+    }
+
+    if prog.entry_dcs != Some(dcs[0]) {
+        return Err(VerifyError::EntryDcsMismatch);
+    }
+
+    let block_at = |addr: u32, at: u32| -> Result<usize, VerifyError> {
+        by_addr
+            .get(&addr)
+            .copied()
+            .ok_or(VerifyError::TargetNotABlock { at, target: addr })
+    };
+
+    let mut report = VerifyReport { blocks: blocks.len(), slots_checked: 0 };
+    for (bi, b) in blocks.iter().enumerate() {
+        let cti_addr = prog.code_base + 4 * (b.embed_end as u32 - 1);
+        let expected_slots: Vec<u32> = match b.term {
+            Term::Cond { target } => {
+                vec![dcs[block_at(target, cti_addr)?], *dcs.get(bi + 1).unwrap_or(&0)]
+            }
+            Term::Jump { target, link: false } => vec![dcs[block_at(target, cti_addr)?]],
+            Term::Jump { target, link: true } => {
+                vec![dcs[block_at(target, cti_addr)?], *dcs.get(bi + 1).unwrap_or(&0)]
+            }
+            Term::JumpReg { link: true } => vec![*dcs.get(bi + 1).unwrap_or(&0)],
+            Term::JumpReg { link: false } => vec![],
+            Term::FallThrough => vec![*dcs.get(bi + 1).unwrap_or(&0)],
+            Term::Halt => vec![],
+        };
+        let bits = embedded_stream(&prog.code, b);
+        for (k, &want) in expected_slots.iter().enumerate() {
+            let got = slot(&bits, k);
+            if got != want {
+                return Err(VerifyError::SlotMismatch {
+                    block_addr: b.addr,
+                    slot: k,
+                    embedded: got,
+                    expected: want,
+                });
+            }
+            report.slots_checked += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::compile::compile;
+    use argus_isa::instr::Cond;
+    use argus_isa::reg::{r, Reg};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(r(3), 0);
+        b.li(r(4), 1);
+        b.label("loop");
+        b.add(r(3), r(3), r(4));
+        b.addi(r(4), r(4), 1);
+        b.sfi(Cond::Leu, r(4), 10);
+        b.bf("loop");
+        b.nop();
+        b.jal("fn");
+        b.nop();
+        b.halt();
+        b.label("fn");
+        b.add(r(5), r(3), r(3));
+        b.jr(Reg::LR);
+        b.nop();
+        compile(&b.unit(), Mode::Argus, &EmbedConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn compiled_images_verify() {
+        let prog = sample_program();
+        let rep = verify_image(&prog, &EmbedConfig::default()).expect("image verifies");
+        assert!(rep.blocks >= 4);
+        assert!(rep.slots_checked >= 4);
+    }
+
+    #[test]
+    fn all_workload_style_programs_verify() {
+        // A larger program with a split straight-line run.
+        let mut b = ProgramBuilder::new();
+        for i in 0..120 {
+            b.addi(r(3), r(3), (i % 5) as i16);
+        }
+        b.halt();
+        let prog = compile(&b.unit(), Mode::Argus, &EmbedConfig::default()).unwrap();
+        let rep = verify_image(&prog, &EmbedConfig::default()).unwrap();
+        assert!(rep.blocks > 4, "split blocks expected");
+    }
+
+    #[test]
+    fn baseline_images_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let prog = compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()).unwrap();
+        assert_eq!(verify_image(&prog, &EmbedConfig::default()), Err(VerifyError::NotArgusMode));
+    }
+
+    #[test]
+    fn corrupting_an_embedded_slot_fails_verification() {
+        let mut prog = sample_program();
+        // Find a Sig with payload slots and flip a payload bit.
+        let idx = prog
+            .code
+            .iter()
+            .position(|&w| matches!(decode(w), Instr::Sig { nslots, .. } if nslots > 0))
+            .expect("program has a slot-carrying Sig");
+        prog.code[idx] ^= 1; // payload bit 0
+        let err = verify_image(&prog, &EmbedConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::SlotMismatch { .. } | VerifyError::EntryDcsMismatch),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn corrupting_an_instruction_fails_verification() {
+        let mut prog = sample_program();
+        // Flip a semantic bit of the first add (its rd field).
+        let idx = prog
+            .code
+            .iter()
+            .position(|&w| matches!(decode(w), Instr::Alu { .. }))
+            .unwrap();
+        prog.code[idx] ^= 1 << 21;
+        let err = verify_image(&prog, &EmbedConfig::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::SlotMismatch { .. } | VerifyError::EntryDcsMismatch
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn entry_dcs_is_checked() {
+        let mut prog = sample_program();
+        prog.entry_dcs = Some(prog.entry_dcs.unwrap() ^ 1);
+        assert_eq!(
+            verify_image(&prog, &EmbedConfig::default()),
+            Err(VerifyError::EntryDcsMismatch)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VerifyError::SlotMismatch { block_addr: 0x40, slot: 1, embedded: 3, expected: 9 };
+        assert!(e.to_string().contains("0x40"));
+    }
+}

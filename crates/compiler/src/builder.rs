@@ -1,0 +1,389 @@
+//! The macro-assembler: a programmatic way to write workload sources.
+
+use argus_isa::instr::{AluImmOp, AluOp, Cond, ExtKind, Instr, MemSize, MulDivOp, ShiftOp};
+use argus_isa::reg::Reg;
+
+/// One source statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A label (attaches to the next instruction; starts a basic block).
+    Label(String),
+    /// A plain (non-control-transfer) instruction.
+    Op(Instr),
+    /// Conditional branch to a label (`bf`/`bnf`).
+    BranchTo {
+        /// Branch when the flag equals this.
+        taken_if: bool,
+        /// Target label.
+        label: String,
+    },
+    /// Direct jump/call to a label (`j`/`jal`).
+    JumpTo {
+        /// Write the return address to `r9`.
+        link: bool,
+        /// Target label.
+        label: String,
+    },
+    /// Register-indirect jump (`jr`/`jalr`).
+    JumpReg {
+        /// Write the return address to `r9`.
+        link: bool,
+        /// Register holding the packed target.
+        rb: Reg,
+    },
+}
+
+impl Stmt {
+    /// True for statements that occupy one instruction word.
+    pub fn is_instr(&self) -> bool {
+        !matches!(self, Stmt::Label(_))
+    }
+
+    /// True for control transfers (which require a delay slot).
+    pub fn is_cti(&self) -> bool {
+        matches!(self, Stmt::BranchTo { .. } | Stmt::JumpTo { .. } | Stmt::JumpReg { .. })
+            || matches!(self, Stmt::Op(i) if i.is_cti())
+    }
+}
+
+/// A data-section item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataItem {
+    /// A literal word.
+    Word(u32),
+    /// A pointer to a code label; in Argus mode the linker packs it as
+    /// `(address, DCS)` for use by indirect jumps (jump tables, function
+    /// pointers).
+    CodePtr(String),
+}
+
+/// A complete source unit: statements plus an initialized data section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramUnit {
+    /// Code statements in program order.
+    pub stmts: Vec<Stmt>,
+    /// Data words in data-section order.
+    pub data: Vec<DataItem>,
+    /// Label → word offset into the data section.
+    pub data_labels: Vec<(String, u32)>,
+}
+
+/// Fluent builder for [`ProgramUnit`]s.
+///
+/// Control transfers do **not** implicitly add a delay slot: the statement
+/// after a CTI *is* its delay slot (push a [`ProgramBuilder::nop`] when
+/// nothing useful fits, as a compiler's scheduler would).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    unit: ProgramUnit,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes and returns the unit.
+    pub fn unit(&self) -> ProgramUnit {
+        self.unit.clone()
+    }
+
+    /// Consumes the builder, returning the unit without cloning.
+    pub fn into_unit(self) -> ProgramUnit {
+        self.unit
+    }
+
+    /// Defines a code label here.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.unit.stmts.push(Stmt::Label(name.to_owned()));
+        self
+    }
+
+    /// Pushes any concrete instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.unit.stmts.push(Stmt::Op(i));
+        self
+    }
+
+    // --- arithmetic / logic -------------------------------------------------
+
+    /// `rd = ra + rb`.
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Add, rd, ra, rb })
+    }
+
+    /// `rd = ra - rb`.
+    pub fn sub(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Sub, rd, ra, rb })
+    }
+
+    /// `rd = ra & rb`.
+    pub fn and(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::And, rd, ra, rb })
+    }
+
+    /// `rd = ra | rb`.
+    pub fn or(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Or, rd, ra, rb })
+    }
+
+    /// `rd = ra ^ rb`.
+    pub fn xor(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Xor, rd, ra, rb })
+    }
+
+    /// `rd = ra << (rb & 31)`.
+    pub fn sll(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Sll, rd, ra, rb })
+    }
+
+    /// `rd = ra >> (rb & 31)` (logical).
+    pub fn srl(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Srl, rd, ra, rb })
+    }
+
+    /// `rd = ra >> (rb & 31)` (arithmetic).
+    pub fn sra(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Sra, rd, ra, rb })
+    }
+
+    /// `rd = ra * rb` (signed, low word).
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::MulDiv { op: MulDivOp::Mul, rd, ra, rb })
+    }
+
+    /// `rd = ra * rb` (unsigned, low word).
+    pub fn mulu(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::MulDiv { op: MulDivOp::Mulu, rd, ra, rb })
+    }
+
+    /// `rd = ra / rb` (signed).
+    pub fn div(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::MulDiv { op: MulDivOp::Div, rd, ra, rb })
+    }
+
+    /// `rd = ra / rb` (unsigned).
+    pub fn divu(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::MulDiv { op: MulDivOp::Divu, rd, ra, rb })
+    }
+
+    /// `rd = ra + sext(imm)`.
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: i16) -> &mut Self {
+        self.push(Instr::AluImm { op: AluImmOp::Addi, rd, ra, imm: imm as u16 })
+    }
+
+    /// `rd = ra & zext(imm)`.
+    pub fn andi(&mut self, rd: Reg, ra: Reg, imm: u16) -> &mut Self {
+        self.push(Instr::AluImm { op: AluImmOp::Andi, rd, ra, imm })
+    }
+
+    /// `rd = ra | zext(imm)`.
+    pub fn ori(&mut self, rd: Reg, ra: Reg, imm: u16) -> &mut Self {
+        self.push(Instr::AluImm { op: AluImmOp::Ori, rd, ra, imm })
+    }
+
+    /// `rd = ra ^ sext(imm)`.
+    pub fn xori(&mut self, rd: Reg, ra: Reg, imm: u16) -> &mut Self {
+        self.push(Instr::AluImm { op: AluImmOp::Xori, rd, ra, imm })
+    }
+
+    /// `rd = ra << sh`.
+    pub fn slli(&mut self, rd: Reg, ra: Reg, sh: u8) -> &mut Self {
+        self.push(Instr::ShiftImm { op: ShiftOp::Sll, rd, ra, sh })
+    }
+
+    /// `rd = ra >> sh` (logical).
+    pub fn srli(&mut self, rd: Reg, ra: Reg, sh: u8) -> &mut Self {
+        self.push(Instr::ShiftImm { op: ShiftOp::Srl, rd, ra, sh })
+    }
+
+    /// `rd = ra >> sh` (arithmetic).
+    pub fn srai(&mut self, rd: Reg, ra: Reg, sh: u8) -> &mut Self {
+        self.push(Instr::ShiftImm { op: ShiftOp::Sra, rd, ra, sh })
+    }
+
+    /// `rd = imm << 16`.
+    pub fn movhi(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.push(Instr::Movhi { rd, imm })
+    }
+
+    /// Sign/zero extension.
+    pub fn ext(&mut self, kind: ExtKind, rd: Reg, ra: Reg) -> &mut Self {
+        self.push(Instr::Ext { kind, rd, ra })
+    }
+
+    /// Loads a full 32-bit constant (`movhi` + `ori`; one `ori`/`addi` when
+    /// it fits).
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        if value <= 0xFFFF {
+            self.ori(rd, Reg::ZERO, value as u16)
+        } else {
+            self.movhi(rd, (value >> 16) as u16);
+            if value & 0xFFFF != 0 {
+                self.ori(rd, rd, value as u16);
+            }
+            self
+        }
+    }
+
+    // --- compare / control --------------------------------------------------
+
+    /// Flag-setting compare.
+    pub fn sf(&mut self, cond: Cond, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::SetFlag { cond, ra, rb })
+    }
+
+    /// Flag-setting compare against a sign-extended immediate.
+    pub fn sfi(&mut self, cond: Cond, ra: Reg, imm: i16) -> &mut Self {
+        self.push(Instr::SetFlagImm { cond, ra, imm: imm as u16 })
+    }
+
+    /// Branch to `label` if the flag is set. The next statement is the
+    /// delay slot.
+    pub fn bf(&mut self, label: &str) -> &mut Self {
+        self.unit.stmts.push(Stmt::BranchTo { taken_if: true, label: label.to_owned() });
+        self
+    }
+
+    /// Branch to `label` if the flag is clear.
+    pub fn bnf(&mut self, label: &str) -> &mut Self {
+        self.unit.stmts.push(Stmt::BranchTo { taken_if: false, label: label.to_owned() });
+        self
+    }
+
+    /// Unconditional jump.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.unit.stmts.push(Stmt::JumpTo { link: false, label: label.to_owned() });
+        self
+    }
+
+    /// Call (jump and link).
+    pub fn jal(&mut self, label: &str) -> &mut Self {
+        self.unit.stmts.push(Stmt::JumpTo { link: true, label: label.to_owned() });
+        self
+    }
+
+    /// Indirect jump through a register (function return: `jr r9`).
+    pub fn jr(&mut self, rb: Reg) -> &mut Self {
+        self.unit.stmts.push(Stmt::JumpReg { link: false, rb });
+        self
+    }
+
+    /// Indirect call through a register.
+    pub fn jalr(&mut self, rb: Reg) -> &mut Self {
+        self.unit.stmts.push(Stmt::JumpReg { link: true, rb });
+        self
+    }
+
+    /// `nop` (also the default delay-slot filler).
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Stops the simulation.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    // --- memory ---------------------------------------------------------------
+
+    /// `rd = mem32[ra + off]`.
+    pub fn lw(&mut self, rd: Reg, ra: Reg, off: i16) -> &mut Self {
+        self.push(Instr::Load { size: MemSize::Word, signed: false, rd, ra, off })
+    }
+
+    /// Sub-word loads.
+    pub fn load(&mut self, size: MemSize, signed: bool, rd: Reg, ra: Reg, off: i16) -> &mut Self {
+        self.push(Instr::Load { size, signed, rd, ra, off })
+    }
+
+    /// `mem32[ra + off] = rb`.
+    pub fn sw(&mut self, ra: Reg, rb: Reg, off: i16) -> &mut Self {
+        self.push(Instr::Store { size: MemSize::Word, ra, rb, off })
+    }
+
+    /// Sub-word stores.
+    pub fn store(&mut self, size: MemSize, ra: Reg, rb: Reg, off: i16) -> &mut Self {
+        self.push(Instr::Store { size, ra, rb, off })
+    }
+
+    // --- data section -----------------------------------------------------------
+
+    /// Defines a data label at the current end of the data section.
+    pub fn data_label(&mut self, name: &str) -> &mut Self {
+        let off = self.unit.data.len() as u32 * 4;
+        self.unit.data_labels.push((name.to_owned(), off));
+        self
+    }
+
+    /// Appends a literal data word.
+    pub fn data_word(&mut self, value: u32) -> &mut Self {
+        self.unit.data.push(DataItem::Word(value));
+        self
+    }
+
+    /// Appends `n` zero words.
+    pub fn data_zeros(&mut self, n: u32) -> &mut Self {
+        for _ in 0..n {
+            self.unit.data.push(DataItem::Word(0));
+        }
+        self
+    }
+
+    /// Appends a code pointer (jump-table / function-pointer entry).
+    pub fn data_code_ptr(&mut self, code_label: &str) -> &mut Self {
+        self.unit.data.push(DataItem::CodePtr(code_label.to_owned()));
+        self
+    }
+
+    /// Word offset of a data label, if defined.
+    pub fn data_offset(&self, name: &str) -> Option<u32> {
+        self.unit
+            .data_labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, off)| off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_isa::reg::r;
+
+    #[test]
+    fn builder_produces_statements_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.label("start").addi(r(3), Reg::ZERO, 1).bf("start").nop().halt();
+        let u = b.unit();
+        assert_eq!(u.stmts.len(), 5);
+        assert!(matches!(u.stmts[0], Stmt::Label(_)));
+        assert!(u.stmts[2].is_cti());
+        assert!(!u.stmts[1].is_cti());
+    }
+
+    #[test]
+    fn li_expands_to_one_or_two_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x1234);
+        assert_eq!(b.unit().stmts.len(), 1);
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0xDEAD_BEEF);
+        assert_eq!(b.unit().stmts.len(), 2);
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0x0005_0000);
+        assert_eq!(b.unit().stmts.len(), 1, "no ori needed for low half zero");
+    }
+
+    #[test]
+    fn data_section_offsets() {
+        let mut b = ProgramBuilder::new();
+        b.data_label("a").data_word(1).data_word(2);
+        b.data_label("b").data_code_ptr("func");
+        assert_eq!(b.data_offset("a"), Some(0));
+        assert_eq!(b.data_offset("b"), Some(8));
+        assert_eq!(b.data_offset("missing"), None);
+        assert_eq!(b.unit().data.len(), 3);
+    }
+}

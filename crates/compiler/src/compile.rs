@@ -1,0 +1,664 @@
+//! The three-phase DCS embedding pipeline (§3.2.2).
+
+use crate::builder::{DataItem, ProgramUnit, Stmt};
+use crate::error::CompileError;
+use crate::program::{EmbedStats, Program};
+use argus_core::dcs::DcsUnit;
+use argus_core::shs::{ShsEngine, ShsFile};
+use argus_isa::encode::{encode, unused_bit_positions, SIG_MAX_SLOTS};
+use argus_isa::instr::Instr;
+use argus_isa::pack_indirect_target;
+use argus_isa::reg::Reg;
+use argus_isa::INDIRECT_ADDR_MASK;
+use std::collections::HashMap;
+
+/// Compilation target: a plain binary or a signature-embedded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No signatures — the binary the paper's overhead figures compare
+    /// against (run with `argus_mode: false` machines).
+    Baseline,
+    /// Full Argus-1 embedding.
+    Argus,
+}
+
+/// Embedding parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmbedConfig {
+    /// Signature width (must match the runtime checker's).
+    pub sig_width: u32,
+    /// The runtime checker's block-length bound (hard upper limit).
+    pub max_block_len: u32,
+    /// Where the compiler splits straight-line runs. Short blocks bound the
+    /// window in which a small-signature divergence can alias away before
+    /// the next DCS comparison, at the cost of more end-of-block markers.
+    pub split_limit: u32,
+    /// Code section base address.
+    pub code_base: u32,
+    /// Data section base address.
+    pub data_base: u32,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        Self { sig_width: 5, max_block_len: 64, split_limit: 16, code_base: 0, data_base: 0x8_0000 }
+    }
+}
+
+/// One instruction-position in the flattened program.
+#[derive(Debug, Clone, PartialEq)]
+struct Item {
+    labels: Vec<String>,
+    stmt: Stmt,
+}
+
+impl Item {
+    fn is_cti(&self) -> bool {
+        self.stmt.is_cti()
+    }
+
+    fn is_halt(&self) -> bool {
+        matches!(self.stmt, Stmt::Op(Instr::Halt))
+    }
+
+    fn plain_unused_bits(&self) -> u32 {
+        match &self.stmt {
+            Stmt::Op(i) => match i {
+                // Sig payload capacity is counted explicitly.
+                Instr::Sig { nslots, .. } => *nslots as u32 * 5,
+                _ => unused_bit_positions(encode(i)).len() as u32,
+            },
+            // Branches and direct jumps have no unused bits; register-
+            // indirect jumps have 21.
+            Stmt::BranchTo { .. } | Stmt::JumpTo { .. } => 0,
+            Stmt::JumpReg { .. } => 21,
+            Stmt::Label(_) => 0,
+        }
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+enum Term {
+    /// Conditional branch: successors are (taken target, fall-through).
+    Cond { label: String },
+    /// Direct jump or call.
+    Jump { label: String, link: bool },
+    /// Register-indirect jump or call.
+    JumpReg { link: bool },
+    /// Falls through over an end-of-block Signature marker.
+    FallThrough,
+    /// Ends the program.
+    Halt,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    /// Item index range `[start, end]`, inclusive (includes the delay slot
+    /// for CTI-terminated blocks).
+    start: usize,
+    end: usize,
+    /// Items `[start, embed_end)` may carry embedded DCS bits (the delay
+    /// slot is excluded: its bits arrive after the CTI already consumed
+    /// the slots).
+    embed_end: usize,
+    term: Term,
+}
+
+fn flatten(unit: &ProgramUnit) -> Result<Vec<Item>, CompileError> {
+    let mut items: Vec<Item> = Vec::new();
+    let mut pending_labels: Vec<String> = Vec::new();
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    for stmt in &unit.stmts {
+        match stmt {
+            Stmt::Label(l) => {
+                if seen.insert(l.clone(), ()).is_some() {
+                    return Err(CompileError::DuplicateLabel(l.clone()));
+                }
+                pending_labels.push(l.clone());
+            }
+            s => items.push(Item { labels: std::mem::take(&mut pending_labels), stmt: s.clone() }),
+        }
+    }
+    if let Some(l) = pending_labels.into_iter().next() {
+        return Err(CompileError::TrailingLabel(l));
+    }
+    if items.is_empty() {
+        return Err(CompileError::EmptyProgram);
+    }
+    for (i, item) in items.iter().enumerate() {
+        // Pre-resolved control transfers pushed as raw `Stmt::Op` bypass
+        // label resolution and block analysis; require the symbolic forms.
+        if matches!(&item.stmt, Stmt::Op(instr) if instr.is_cti()) {
+            return Err(CompileError::RawControlTransfer { at: i });
+        }
+        // Delay-slot discipline: every CTI must be followed by a plain,
+        // label-free instruction.
+        if item.is_cti() {
+            match items.get(i + 1) {
+                Some(next) if !next.is_cti() && next.labels.is_empty() && !next.is_halt() => {}
+                _ => return Err(CompileError::DelaySlotViolation { at: i }),
+            }
+        }
+    }
+    // The program must not run off the end: it has to end with `halt` or
+    // an *unconditional* transfer (a trailing conditional branch still
+    // falls through into nothing on the not-taken path).
+    let last_ok = items.last().map(|it| it.is_halt()).unwrap_or(false)
+        || items.len() >= 2
+            && matches!(
+                items[items.len() - 2].stmt,
+                Stmt::JumpTo { .. } | Stmt::JumpReg { .. }
+            );
+    if !last_ok {
+        return Err(CompileError::NoTerminator);
+    }
+    Ok(items)
+}
+
+/// Phase 1: insert Signature instructions (carriers before CTIs whose
+/// blocks lack unused bits, end-of-block markers at fall-through
+/// boundaries) and split blocks exceeding the length cap.
+fn phase1_insert(items: Vec<Item>, cfg: &EmbedConfig) -> Vec<Item> {
+    let cap_limit = cfg.split_limit.min(cfg.max_block_len.saturating_sub(12)).clamp(4, 48);
+    let marker = |nslots: u8| Item {
+        labels: vec![],
+        stmt: Stmt::Op(Instr::Sig { nslots, eob: true, payload: 0 }),
+    };
+    let carrier = |nslots: u8| Item {
+        labels: vec![],
+        stmt: Stmt::Op(Instr::Sig { nslots, eob: false, payload: 0 }),
+    };
+
+    let mut out: Vec<Item> = Vec::with_capacity(items.len() + items.len() / 4);
+    let mut cap_bits = 0u32;
+    let mut blk_len = 0u32;
+    let mut i = 0;
+    while i < items.len() {
+        let item = &items[i];
+        if !item.labels.is_empty() && blk_len > 0 {
+            // Fall-through into a labeled block: close with a marker.
+            let nslots = u8::from(cap_bits < 5);
+            out.push(marker(nslots));
+            blk_len = 0;
+            cap_bits = 0;
+        }
+        if item.is_cti() {
+            let need = match &item.stmt {
+                Stmt::BranchTo { .. } => 10,
+                Stmt::JumpTo { link, .. } => {
+                    if *link {
+                        10
+                    } else {
+                        5
+                    }
+                }
+                Stmt::JumpReg { link, .. } => {
+                    if *link {
+                        5
+                    } else {
+                        0
+                    }
+                }
+                _ => 0,
+            };
+            let total = cap_bits + item.plain_unused_bits();
+            let mut item = item.clone();
+            if total < need {
+                let deficit = need - total;
+                let nslots = deficit.div_ceil(5).min(SIG_MAX_SLOTS as u32) as u8;
+                let mut c = carrier(nslots);
+                // A labeled CTI stays a branch target only if the carrier
+                // inserted in front of it takes over the label (the block —
+                // and therefore the embedded slots — must start there).
+                c.labels = std::mem::take(&mut item.labels);
+                out.push(c);
+            }
+            out.push(item);
+            out.push(items[i + 1].clone()); // delay slot (validated)
+            i += 2;
+            blk_len = 0;
+            cap_bits = 0;
+            continue;
+        }
+        if item.is_halt() {
+            out.push(item.clone());
+            i += 1;
+            blk_len = 0;
+            cap_bits = 0;
+            continue;
+        }
+        out.push(item.clone());
+        blk_len += 1;
+        cap_bits += item.plain_unused_bits();
+        i += 1;
+        // Length cap: split long straight-line runs.
+        let next_is_boundary = items
+            .get(i)
+            .map(|n| !n.labels.is_empty() || n.is_cti() || n.is_halt())
+            .unwrap_or(true);
+        if blk_len >= cap_limit && !next_is_boundary {
+            let nslots = u8::from(cap_bits < 5);
+            out.push(marker(nslots));
+            blk_len = 0;
+            cap_bits = 0;
+        }
+    }
+    out
+}
+
+/// Segments the (post-insertion) item list into basic blocks.
+fn segment(items: &[Item]) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < items.len() {
+        let item = &items[i];
+        if item.is_cti() {
+            // CTI + delay slot end the block.
+            let end = i + 1;
+            let term = match &item.stmt {
+                Stmt::BranchTo { label, .. } => Term::Cond { label: label.clone() },
+                Stmt::JumpTo { label, link } => Term::Jump { label: label.clone(), link: *link },
+                Stmt::JumpReg { link, .. } => Term::JumpReg { link: *link },
+                _ => unreachable!("is_cti"),
+            };
+            blocks.push(Block { start, end, embed_end: i + 1, term });
+            start = end + 1;
+            i = end + 1;
+        } else if matches!(item.stmt, Stmt::Op(Instr::Sig { eob: true, .. })) {
+            blocks.push(Block { start, end: i, embed_end: i + 1, term: Term::FallThrough });
+            start = i + 1;
+            i += 1;
+        } else if item.is_halt() {
+            blocks.push(Block { start, end: i, embed_end: i + 1, term: Term::Halt });
+            start = i + 1;
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    blocks
+}
+
+fn concrete_instr(
+    item: &Item,
+    addr: u32,
+    labels: &HashMap<String, u32>,
+) -> Result<Instr, CompileError> {
+    let resolve = |l: &String| {
+        labels
+            .get(l)
+            .copied()
+            .ok_or_else(|| CompileError::UnknownLabel(l.clone()))
+    };
+    let word_off = |target: u32, label: &String| -> Result<i32, CompileError> {
+        let diff = (target as i64 - addr as i64) / 4;
+        if (-(1 << 25)..(1 << 25)).contains(&diff) {
+            Ok(diff as i32)
+        } else {
+            Err(CompileError::OffsetOutOfRange { label: label.clone() })
+        }
+    };
+    Ok(match &item.stmt {
+        Stmt::Op(i) => *i,
+        Stmt::BranchTo { taken_if, label } => {
+            Instr::Branch { taken_if: *taken_if, off: word_off(resolve(label)?, label)? }
+        }
+        Stmt::JumpTo { link, label } => {
+            Instr::Jump { link: *link, off: word_off(resolve(label)?, label)? }
+        }
+        Stmt::JumpReg { link, rb } => Instr::JumpReg { link: *link, rb: *rb },
+        Stmt::Label(_) => unreachable!("labels were flattened away"),
+    })
+}
+
+/// Compiles a source unit into a loadable image.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed sources: unknown or duplicate
+/// labels, delay-slot violations, out-of-range branches, or code that does
+/// not end in `halt`/a jump.
+pub fn compile(unit: &ProgramUnit, mode: Mode, cfg: &EmbedConfig) -> Result<Program, CompileError> {
+    if cfg.max_block_len < 16 {
+        // The split limit needs headroom for a carrier Sig + CTI + delay
+        // slot + marker below the runtime's hard bound.
+        return Err(CompileError::BadConfig("max_block_len must be at least 16"));
+    }
+    if cfg.split_limit < 4 {
+        return Err(CompileError::BadConfig("split_limit must be at least 4"));
+    }
+    let items = flatten(unit)?;
+    let items = if mode == Mode::Argus { phase1_insert(items, cfg) } else { items };
+
+    // Layout: one word per item.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    for (k, item) in items.iter().enumerate() {
+        let addr = cfg.code_base + 4 * k as u32;
+        for l in &item.labels {
+            labels.insert(l.clone(), addr);
+        }
+    }
+    let mut instrs: Vec<Instr> = Vec::with_capacity(items.len());
+    for (k, item) in items.iter().enumerate() {
+        instrs.push(concrete_instr(item, cfg.code_base + 4 * k as u32, &labels)?);
+    }
+
+    let mut stats = EmbedStats {
+        blocks: 0,
+        sig_instrs: instrs.iter().filter(|i| matches!(i, Instr::Sig { .. })).count(),
+        static_instrs: instrs.len(),
+    };
+
+    let mut code: Vec<u32> = instrs.iter().map(encode).collect();
+    let mut block_dcs_by_addr: HashMap<u32, u32> = HashMap::new();
+    let mut entry_dcs = None;
+
+    if mode == Mode::Argus {
+        let blocks = segment(&items);
+        stats.blocks = blocks.len();
+        let engine = ShsEngine::new(cfg.sig_width);
+        let dcs_unit = DcsUnit::new(cfg.sig_width);
+        let slot_mask = (1u32 << cfg.sig_width.min(5)) - 1;
+
+        // Phase 2: compute every block's DCS.
+        let mut dcs: Vec<u32> = Vec::with_capacity(blocks.len());
+        for b in &blocks {
+            let mut file = ShsFile::new(cfg.sig_width);
+            for instr in &instrs[b.start..=b.end] {
+                engine.apply_static(&mut file, instr);
+            }
+            dcs.push(dcs_unit.compute(&file) & slot_mask);
+        }
+        for (bi, b) in blocks.iter().enumerate() {
+            block_dcs_by_addr.insert(cfg.code_base + 4 * b.start as u32, dcs[bi]);
+        }
+        entry_dcs = dcs.first().copied();
+
+        // Map label → block index (labels always sit at block starts).
+        let mut block_at_item: HashMap<usize, usize> = HashMap::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            block_at_item.insert(b.start, bi);
+        }
+        let block_of_label = |l: &String| -> Result<usize, CompileError> {
+            let addr = labels.get(l).ok_or_else(|| CompileError::UnknownLabel(l.clone()))?;
+            let idx = ((addr - cfg.code_base) / 4) as usize;
+            block_at_item
+                .get(&idx)
+                .copied()
+                .ok_or_else(|| CompileError::UnknownLabel(l.clone()))
+        };
+
+        // Phase 3: embed the successor DCS slots.
+        for (bi, b) in blocks.iter().enumerate() {
+            let next_dcs = || dcs.get(bi + 1).copied().unwrap_or(0);
+            let slots: Vec<u32> = match &b.term {
+                Term::Cond { label } => vec![dcs[block_of_label(label)?], next_dcs()],
+                Term::Jump { label, link: false } => vec![dcs[block_of_label(label)?]],
+                Term::Jump { label, link: true } => {
+                    vec![dcs[block_of_label(label)?], next_dcs()]
+                }
+                Term::JumpReg { link: true } => vec![next_dcs()],
+                Term::JumpReg { link: false } => vec![],
+                Term::FallThrough => vec![next_dcs()],
+                Term::Halt => vec![],
+            };
+            let mut bits: Vec<bool> = Vec::with_capacity(slots.len() * 5);
+            for s in &slots {
+                for i in 0..5 {
+                    bits.push((s >> i) & 1 == 1);
+                }
+            }
+            let mut cursor = 0usize;
+            for k in b.start..b.embed_end {
+                if cursor >= bits.len() {
+                    break;
+                }
+                match instrs[k] {
+                    Instr::Sig { nslots, eob, .. } => {
+                        let mut payload = 0u16;
+                        for i in 0..(nslots as usize * 5) {
+                            if cursor < bits.len() && bits[cursor] {
+                                payload |= 1 << i;
+                            }
+                            cursor += 1;
+                        }
+                        code[k] = encode(&Instr::Sig { nslots, eob, payload });
+                    }
+                    ref instr => {
+                        let mut w = code[k];
+                        for pos in unused_bit_positions(encode(instr)) {
+                            if cursor >= bits.len() {
+                                break;
+                            }
+                            if bits[cursor] {
+                                w |= 1 << pos;
+                            }
+                            cursor += 1;
+                        }
+                        code[k] = w;
+                    }
+                }
+            }
+            assert!(
+                cursor >= bits.len(),
+                "phase 1 under-allocated embedding capacity in block {bi}"
+            );
+        }
+    }
+
+    // Data section: pack code pointers.
+    let mut data = Vec::with_capacity(unit.data.len());
+    for item in &unit.data {
+        match item {
+            DataItem::Word(w) => data.push(*w),
+            DataItem::CodePtr(l) => {
+                let addr =
+                    *labels.get(l).ok_or_else(|| CompileError::UnknownLabel(l.clone()))?;
+                if mode == Mode::Argus {
+                    if addr > INDIRECT_ADDR_MASK {
+                        return Err(CompileError::AddressTooLarge(addr));
+                    }
+                    // Labels always sit at block starts after phase 1, so a
+                    // miss here is a compiler invariant violation, not a
+                    // user error worth a silent zero.
+                    let d = *block_dcs_by_addr
+                        .get(&addr)
+                        .unwrap_or_else(|| panic!("label `{l}` not at a block start"));
+                    data.push(pack_indirect_target(addr, d));
+                } else {
+                    data.push(addr);
+                }
+            }
+        }
+    }
+
+    Ok(Program {
+        mode,
+        code_base: cfg.code_base,
+        code,
+        data_base: cfg.data_base,
+        data,
+        entry: cfg.code_base,
+        entry_dcs,
+        stats,
+    })
+}
+
+/// Convenience: the register conventionally used as the stack pointer when
+/// workloads need one.
+pub const SP: Reg = Reg::SP;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use argus_isa::instr::Cond;
+    use argus_isa::reg::r;
+
+    fn simple_unit() -> ProgramUnit {
+        let mut b = ProgramBuilder::new();
+        b.addi(r(3), Reg::ZERO, 10);
+        b.label("loop");
+        b.addi(r(4), r(4), 1);
+        b.sfi(Cond::Ltu, r(4), 10);
+        b.bf("loop");
+        b.nop();
+        b.halt();
+        b.unit()
+    }
+
+    #[test]
+    fn baseline_compiles_without_sigs() {
+        let p = compile(&simple_unit(), Mode::Baseline, &EmbedConfig::default()).unwrap();
+        assert_eq!(p.stats.sig_instrs, 0);
+        assert_eq!(p.code.len(), 6);
+    }
+
+    #[test]
+    fn argus_inserts_marker_and_carrier_sigs() {
+        let p = compile(&simple_unit(), Mode::Argus, &EmbedConfig::default()).unwrap();
+        assert!(p.stats.sig_instrs >= 1, "branch block has few unused bits");
+        assert!(p.code.len() > 6);
+        assert!(p.stats.blocks >= 3);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").nop().label("x").halt();
+        assert_eq!(
+            compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::DuplicateLabel("x".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.j("nowhere").nop().halt();
+        assert_eq!(
+            compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::UnknownLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn delay_slot_violations_rejected() {
+        // CTI followed by a label.
+        let mut b = ProgramBuilder::new();
+        b.j("end").label("end").nop().halt();
+        assert!(matches!(
+            compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::DelaySlotViolation { .. })
+        ));
+        // CTI followed by another CTI.
+        let mut b = ProgramBuilder::new();
+        b.label("top").j("top").j("top").nop().halt();
+        assert!(matches!(
+            compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::DelaySlotViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.halt().label("end");
+        assert_eq!(
+            compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::TrailingLabel("end".into()))
+        );
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        assert_eq!(
+            compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::NoTerminator)
+        );
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(
+            compile(&ProgramUnit::default(), Mode::Baseline, &EmbedConfig::default()),
+            Err(CompileError::EmptyProgram)
+        );
+    }
+
+    #[test]
+    fn long_straight_line_blocks_are_split() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..200 {
+            b.add(r(3), r(3), r(4));
+        }
+        b.halt();
+        let p = compile(&b.unit(), Mode::Argus, &EmbedConfig::default()).unwrap();
+        assert!(p.stats.blocks >= 4, "200-instruction run must be split, got {}", p.stats.blocks);
+    }
+
+    #[test]
+    fn code_pointers_are_packed_in_argus_mode() {
+        let mut b = ProgramBuilder::new();
+        b.data_label("table").data_code_ptr("func");
+        b.j("func").nop();
+        b.label("func").halt();
+        let p = compile(&b.unit(), Mode::Argus, &EmbedConfig::default()).unwrap();
+        let packed = p.data[0];
+        let (addr, _dcs) = argus_isa::split_indirect_target(packed);
+        // The label must resolve inside the code section.
+        assert!(addr >= p.code_base && addr < p.code_base + 4 * p.code.len() as u32);
+
+        let pb = compile(&b.unit(), Mode::Baseline, &EmbedConfig::default()).unwrap();
+        assert!(pb.data[0] < 4 * pb.code.len() as u32, "baseline pointer is a plain address");
+    }
+
+    #[test]
+    fn embedded_slots_decode_back_from_the_image() {
+        // Reconstruct the embedded stream of the first block and verify the
+        // first slot equals the DCS the compiler computed for its successor.
+        let cfg = EmbedConfig::default();
+        let mut b = ProgramBuilder::new();
+        b.addi(r(3), Reg::ZERO, 1);
+        b.label("next");
+        b.addi(r(4), Reg::ZERO, 2);
+        b.halt();
+        let p = compile(&b.unit(), Mode::Argus, &cfg).unwrap();
+
+        // Block 0 = [addi, marker-sig]; block 1 = [addi, halt].
+        let engine = ShsEngine::new(cfg.sig_width);
+        let dcsu = DcsUnit::new(cfg.sig_width);
+        let mut file = ShsFile::new(cfg.sig_width);
+        engine.apply_static(
+            &mut file,
+            &argus_isa::decode::decode(p.code[2]),
+        );
+        engine.apply_static(&mut file, &argus_isa::decode::decode(p.code[3]));
+        let expected = dcsu.compute(&file) & 31;
+
+        // Collect the embedded stream of block 0 the way the hardware does.
+        let mut bits = Vec::new();
+        for &w in &p.code[..2] {
+            match argus_isa::decode::decode(w) {
+                Instr::Sig { nslots, payload, .. } => {
+                    for i in 0..(nslots as u32 * 5) {
+                        bits.push((payload >> i) & 1 == 1);
+                    }
+                }
+                _ => {
+                    for pos in unused_bit_positions(w) {
+                        bits.push((w >> pos) & 1 == 1);
+                    }
+                }
+            }
+        }
+        let slot0 = bits.iter().take(5).enumerate().fold(0u32, |acc, (i, &bit)| {
+            acc | ((bit as u32) << i)
+        });
+        assert_eq!(slot0, expected);
+    }
+}

@@ -1,0 +1,83 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// Errors raised while assembling or embedding a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A control transfer references an unknown label.
+    UnknownLabel(String),
+    /// A control-transfer instruction is not followed by a plain delay-slot
+    /// instruction (labels and CTIs are illegal in delay slots).
+    DelaySlotViolation {
+        /// Index of the offending statement.
+        at: usize,
+    },
+    /// A branch target is out of encodable range.
+    OffsetOutOfRange {
+        /// The label that is too far away.
+        label: String,
+    },
+    /// The program is empty.
+    EmptyProgram,
+    /// A code address does not fit the indirect-target address field.
+    AddressTooLarge(u32),
+    /// A label is defined after the last instruction.
+    TrailingLabel(String),
+    /// A control transfer was pushed as a raw instruction (`Stmt::Op`)
+    /// instead of the symbolic `bf`/`j`/`jr` forms the block analysis
+    /// needs.
+    RawControlTransfer {
+        /// Index of the offending statement.
+        at: usize,
+    },
+    /// The program does not end with `halt` or a control transfer.
+    NoTerminator,
+    /// The embedding configuration is unusable (e.g. a block-length bound
+    /// too small for the compiler's insertion headroom).
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            CompileError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            CompileError::DelaySlotViolation { at } => {
+                write!(f, "statement {at}: control transfer needs a plain delay-slot instruction")
+            }
+            CompileError::OffsetOutOfRange { label } => {
+                write!(f, "branch to `{label}` exceeds the 26-bit offset range")
+            }
+            CompileError::EmptyProgram => write!(f, "program has no instructions"),
+            CompileError::AddressTooLarge(a) => {
+                write!(f, "code address {a:#x} exceeds the 27-bit indirect-target range")
+            }
+            CompileError::TrailingLabel(l) => write!(f, "label `{l}` after the last instruction"),
+            CompileError::RawControlTransfer { at } => write!(
+                f,
+                "statement {at}: use the symbolic branch/jump builder forms, not a raw instruction"
+            ),
+            CompileError::NoTerminator => {
+                write!(f, "program must end with `halt` or a control transfer")
+            }
+            CompileError::BadConfig(msg) => write!(f, "bad embedding configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CompileError::UnknownLabel("loop".into()).to_string().contains("loop"));
+        assert!(CompileError::DelaySlotViolation { at: 7 }.to_string().contains('7'));
+        assert!(CompileError::AddressTooLarge(1 << 28).to_string().contains("27-bit"));
+    }
+}

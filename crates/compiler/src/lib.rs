@@ -1,0 +1,48 @@
+//! # argus-compiler — the signature-embedding tool chain
+//!
+//! The paper adds Dataflow and Control Signatures (DCSs) to basic blocks
+//! "in three distinct phases as part of program compilation and linking"
+//! (§3.2.2). This crate is that tool chain:
+//!
+//! 1. **Phase 1** — basic-block formation (delay-slot aware), block-length
+//!    capping, and insertion of Signature instructions where a block's
+//!    unused instruction bits cannot hold the DCSs it must carry (plus the
+//!    end-of-block markers fall-through blocks need, as in Figure 2).
+//! 2. **Phase 2** — computing every block's DCS by symbolically executing
+//!    the same SHS update rules the runtime checker applies.
+//! 3. **Phase 3** — embedding each block's legal-successor DCSs into its
+//!    unused bits / Signature payloads, packing function-pointer and
+//!    jump-table entries as `(address, DCS)` pairs, and wiring the link
+//!    DCS for returns.
+//!
+//! The same source can be compiled in [`Mode::Baseline`] (no signatures —
+//! the binary the paper's overhead figures compare against) or
+//! [`Mode::Argus`].
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_compiler::{ProgramBuilder, Mode, compile};
+//! use argus_isa::{Reg, instr::AluImmOp};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.addi(Reg::new(3), Reg::ZERO, 41);
+//! b.addi(Reg::new(3), Reg::new(3), 1);
+//! b.halt();
+//! let prog = compile(&b.unit(), Mode::Argus, &Default::default())?;
+//! assert!(!prog.code.is_empty());
+//! # Ok::<(), argus_compiler::CompileError>(())
+//! ```
+
+pub mod asm;
+pub mod binver;
+pub mod builder;
+pub mod compile;
+pub mod error;
+pub mod program;
+pub mod verify;
+
+pub use builder::{DataItem, ProgramBuilder, ProgramUnit, Stmt};
+pub use compile::{compile, EmbedConfig, Mode};
+pub use error::CompileError;
+pub use program::{EmbedStats, Program};

@@ -1,0 +1,68 @@
+//! Compiled program images.
+
+use crate::compile::Mode;
+use argus_machine::Machine;
+
+/// Statistics from the signature-embedding phases (feed Figure 5's static
+/// instruction-count overhead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmbedStats {
+    /// Number of basic blocks formed.
+    pub blocks: usize,
+    /// Signature instructions inserted (carriers + end-of-block markers).
+    pub sig_instrs: usize,
+    /// Total static instructions in the final binary.
+    pub static_instrs: usize,
+}
+
+/// A fully linked program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Compilation mode this image was produced for.
+    pub mode: Mode,
+    /// Base address of the code section.
+    pub code_base: u32,
+    /// Encoded instruction words.
+    pub code: Vec<u32>,
+    /// Base address of the data section.
+    pub data_base: u32,
+    /// Initialized data words (code pointers already packed).
+    pub data: Vec<u32>,
+    /// Entry point.
+    pub entry: u32,
+    /// DCS of the entry block (Argus builds only). A real system's loader
+    /// enters a protected binary through an indirect jump whose target
+    /// register carries this value; the runtime checker is armed with it so
+    /// the first basic block is verified like every other.
+    pub entry_dcs: Option<u32>,
+    /// Embedding statistics (zeroed for baseline builds except
+    /// `static_instrs`).
+    pub stats: EmbedStats,
+}
+
+impl Program {
+    /// Loads the image into a machine and sets the entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's Argus mode does not match the image's
+    /// compilation mode (running a signature-embedded binary on a baseline
+    /// core, or vice versa, is a configuration bug).
+    pub fn load(&self, m: &mut Machine) {
+        let want_argus = self.mode == Mode::Argus;
+        assert_eq!(
+            m.config().argus_mode,
+            want_argus,
+            "machine mode does not match program mode {:?}",
+            self.mode
+        );
+        m.load_code(self.code_base, &self.code);
+        m.load_data(self.data_base, &self.data);
+        m.set_pc(self.entry);
+    }
+
+    /// Address of the data word at `offset` bytes into the data section.
+    pub fn data_addr(&self, offset: u32) -> u32 {
+        self.data_base + offset
+    }
+}

@@ -1,0 +1,291 @@
+//! Whole-pipeline verification helpers: compile → load → run under the
+//! full Argus-1 checker.
+//!
+//! These helpers are used by the test suites, the fault-injection campaign
+//! and the benchmark harness, so they live in the library rather than in
+//! test code.
+
+use crate::compile::{compile, EmbedConfig, Mode};
+use crate::error::CompileError;
+use crate::{Program, ProgramUnit};
+use argus_core::{Argus, ArgusConfig, DetectionEvent};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_sim::fault::FaultInjector;
+
+/// Outcome of running a program to completion under the checker.
+#[derive(Debug, Clone)]
+pub struct CheckedRun {
+    /// The machine after the run (architectural state inspection).
+    pub machine: Machine,
+    /// All detections raised.
+    pub events: Vec<DetectionEvent>,
+    /// Whether the program reached `halt` within the cycle bound.
+    pub halted: bool,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+/// Compiles a unit in both modes with default configs.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from either compilation.
+pub fn compile_both(unit: &ProgramUnit) -> Result<(Program, Program), CompileError> {
+    let cfg = EmbedConfig::default();
+    Ok((compile(unit, Mode::Baseline, &cfg)?, compile(unit, Mode::Argus, &cfg)?))
+}
+
+/// Runs an Argus-mode program under the full checker with no injected
+/// faults (or with the provided injector).
+pub fn run_checked(
+    prog: &Program,
+    mcfg: MachineConfig,
+    acfg: ArgusConfig,
+    inj: &mut FaultInjector,
+    max_cycles: u64,
+) -> CheckedRun {
+    let mut m = Machine::new(mcfg);
+    prog.load(&mut m);
+    let mut argus = Argus::new(acfg);
+    if let Some(d) = prog.entry_dcs {
+        argus.expect_entry(d);
+    }
+    loop {
+        match m.step(inj) {
+            StepOutcome::Committed(rec) => {
+                argus.on_commit(&rec, inj);
+            }
+            StepOutcome::Stalled => {
+                argus.on_stall(1, inj);
+            }
+            StepOutcome::Halted => break,
+        }
+        if m.cycle() > max_cycles {
+            break;
+        }
+    }
+    CheckedRun {
+        halted: m.halted(),
+        retired: m.retired(),
+        cycles: m.cycle(),
+        events: argus.events().to_vec(),
+        machine: m,
+    }
+}
+
+/// Runs a baseline program (no checker).
+pub fn run_baseline(prog: &Program, mcfg: MachineConfig, max_cycles: u64) -> CheckedRun {
+    assert!(!mcfg.argus_mode, "baseline runs need argus_mode: false");
+    let mut m = Machine::new(mcfg);
+    prog.load(&mut m);
+    let mut inj = FaultInjector::none();
+    let res = m.run_to_halt(&mut inj, max_cycles);
+    CheckedRun {
+        halted: res.halted,
+        retired: res.retired,
+        cycles: res.cycles,
+        events: vec![],
+        machine: m,
+    }
+}
+
+/// Compiles and runs a unit in both modes, asserting that the Argus run is
+/// false-positive free and agrees with the baseline run on the given
+/// result registers. (Registers holding *code addresses* — the link
+/// register, function pointers — legitimately differ between modes because
+/// the embedded Signature instructions shift the code layout, so the
+/// caller names the registers that carry data results.) Returns
+/// `(baseline, argus)` runs for further inspection.
+///
+/// # Panics
+///
+/// Panics on compilation failure, checker false positives, or divergence —
+/// this is the workhorse assertion of the integration tests.
+pub fn assert_modes_agree(
+    unit: &ProgramUnit,
+    max_cycles: u64,
+    result_regs: &[argus_isa::Reg],
+) -> (CheckedRun, CheckedRun) {
+    let (base_prog, argus_prog) = compile_both(unit).expect("compilation failed");
+    let base = run_baseline(
+        &base_prog,
+        MachineConfig { argus_mode: false, ..MachineConfig::default() },
+        max_cycles,
+    );
+    let argus = run_checked(
+        &argus_prog,
+        MachineConfig::default(),
+        ArgusConfig::default(),
+        &mut FaultInjector::none(),
+        max_cycles,
+    );
+    assert!(base.halted, "baseline run did not halt");
+    assert!(argus.halted, "argus run did not halt");
+    assert!(
+        argus.events.is_empty(),
+        "false positives in fault-free run: {:?}",
+        argus.events
+    );
+    for &r in result_regs {
+        assert_eq!(
+            base.machine.reg(r),
+            argus.machine.reg(r),
+            "register {r} differs between baseline and argus runs"
+        );
+    }
+    (base, argus)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use argus_isa::instr::{Cond, ExtKind, MemSize};
+    use argus_isa::reg::{r, Reg};
+
+    use super::assert_modes_agree;
+
+    #[test]
+    fn loop_with_branches_runs_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(3), 0); // sum
+        b.li(r(4), 1); // i
+        b.label("loop");
+        b.add(r(3), r(3), r(4));
+        b.addi(r(4), r(4), 1);
+        b.sfi(Cond::Leu, r(4), 100);
+        b.bf("loop");
+        b.nop();
+        b.halt();
+        let (base, argus) = assert_modes_agree(&b.unit(), 1_000_000, &[r(3)]);
+        assert_eq!(argus.machine.reg(r(3)), 5050);
+        assert!(argus.retired > base.retired, "signature overhead exists");
+    }
+
+    #[test]
+    fn function_calls_and_returns_run_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(3), 7);
+        b.jal("double");
+        b.nop();
+        b.jal("double");
+        b.nop();
+        b.halt();
+        b.label("double");
+        b.add(r(3), r(3), r(3));
+        b.jr(Reg::LR);
+        b.nop();
+        let (_, argus) = assert_modes_agree(&b.unit(), 100_000, &[r(3)]);
+        assert_eq!(argus.machine.reg(r(3)), 28);
+    }
+
+    #[test]
+    fn nested_calls_preserve_link_dcs() {
+        // outer() calls inner(); the link register is saved/restored on a
+        // stack in memory, carrying its DCS with it.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::SP, 0x9_0000);
+        b.li(r(3), 1);
+        b.jal("outer");
+        b.nop();
+        b.halt();
+        b.label("outer");
+        b.addi(Reg::SP, Reg::SP, -4);
+        b.sw(Reg::SP, Reg::LR, 0);
+        b.jal("inner");
+        b.nop();
+        b.lw(Reg::LR, Reg::SP, 0);
+        b.addi(Reg::SP, Reg::SP, 4);
+        b.addi(r(3), r(3), 100);
+        b.jr(Reg::LR);
+        b.nop();
+        b.label("inner");
+        b.addi(r(3), r(3), 10);
+        b.jr(Reg::LR);
+        b.nop();
+        let (_, argus) = assert_modes_agree(&b.unit(), 100_000, &[r(3)]);
+        assert_eq!(argus.machine.reg(r(3)), 111);
+    }
+
+    #[test]
+    fn jump_table_dispatch_runs_clean() {
+        let mut b = ProgramBuilder::new();
+        b.data_label("table");
+        b.data_code_ptr("case0");
+        b.data_code_ptr("case1");
+        b.data_code_ptr("case2");
+        // selector in r5
+        b.li(r(5), 2);
+        b.li(r(6), 0x8_0000); // table base (default data_base)
+        b.slli(r(7), r(5), 2);
+        b.add(r(6), r(6), r(7));
+        b.lw(r(8), r(6), 0);
+        b.jr(r(8));
+        b.nop();
+        b.label("case0");
+        b.li(r(10), 100);
+        b.j("end");
+        b.nop();
+        b.label("case1");
+        b.li(r(10), 200);
+        b.j("end");
+        b.nop();
+        b.label("case2");
+        b.li(r(10), 300);
+        b.j("end");
+        b.nop();
+        b.label("end");
+        b.halt();
+        let (_, argus) = assert_modes_agree(&b.unit(), 100_000, &[r(10)]);
+        assert_eq!(argus.machine.reg(r(10)), 300);
+    }
+
+    #[test]
+    fn memory_and_subword_traffic_runs_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(2), 0x8_1000);
+        b.li(r(3), 0xDEAD_BEEF);
+        b.sw(r(2), r(3), 0);
+        b.store(MemSize::Byte, r(2), r(3), 5);
+        b.store(MemSize::Half, r(2), r(3), 10);
+        b.lw(r(4), r(2), 0);
+        b.load(MemSize::Byte, true, r(5), r(2), 5);
+        b.load(MemSize::Half, false, r(6), r(2), 10);
+        b.ext(ExtKind::Hs, r(7), r(4));
+        b.halt();
+        let (_, argus) = assert_modes_agree(&b.unit(), 100_000, &[r(4), r(5), r(6), r(7)]);
+        assert_eq!(argus.machine.reg(r(4)), 0xDEAD_BEEF);
+        assert_eq!(argus.machine.reg(r(5)), 0xFFFF_FFEF);
+        assert_eq!(argus.machine.reg(r(6)), 0xBEEF);
+        assert_eq!(argus.machine.reg(r(7)), 0xFFFF_BEEF);
+    }
+
+    #[test]
+    fn muldiv_heavy_code_runs_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(3), 12345);
+        b.li(r(4), 97);
+        b.mul(r(5), r(3), r(4));
+        b.divu(r(6), r(5), r(4));
+        b.li(r(7), 0xFFFF_FFFF);
+        b.mulu(r(8), r(7), r(7));
+        b.div(r(9), r(5), r(4));
+        b.halt();
+        let (_, argus) = assert_modes_agree(&b.unit(), 100_000, &[r(5), r(6), r(8), r(9)]);
+        assert_eq!(argus.machine.reg(r(6)), 12345);
+    }
+
+    #[test]
+    fn long_straight_line_code_with_split_blocks_runs_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(3), 0);
+        for i in 0..150 {
+            b.addi(r(3), r(3), (i % 7) as i16);
+        }
+        b.halt();
+        let (_, argus) = assert_modes_agree(&b.unit(), 100_000, &[r(3)]);
+        let expected: u32 = (0..150u32).map(|i| i % 7).sum();
+        assert_eq!(argus.machine.reg(r(3)), expected);
+    }
+}

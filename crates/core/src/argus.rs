@@ -1,0 +1,610 @@
+//! The assembled Argus-1 checker.
+//!
+//! [`Argus`] consumes the commit stream of an `argus_machine::Machine` and
+//! runs all four invariant checkers over it, raising [`DetectionEvent`]s.
+//! The intended wiring is:
+//!
+//! ```text
+//! loop {
+//!     match machine.step(&mut inj) {
+//!         Committed(rec) => for ev in argus.on_commit(&rec, &mut inj) { ... },
+//!         Stalled        => if let Some(ev) = argus.on_stall(1, &mut inj) { ... },
+//!         Halted         => break,
+//!     }
+//! }
+//! ```
+
+use crate::cc;
+use crate::cfc::Cfc;
+use crate::config::{ArgusConfig, CheckerKind, DetectionEvent};
+use crate::dcs::DcsUnit;
+use crate::shs::{ShsEngine, ShsFile};
+use crate::sites;
+use crate::watchdog::Watchdog;
+use argus_isa::instr::Instr;
+use argus_isa::split_indirect_target;
+use argus_isa::INDIRECT_ADDR_MASK;
+use argus_machine::commit::CommitRecord;
+use argus_machine::exec;
+use argus_sim::bits::{parity32, sign_extend};
+use argus_sim::fault::FaultInjector;
+
+/// The Argus-1 runtime checker.
+#[derive(Debug, Clone)]
+pub struct Argus {
+    cfg: ArgusConfig,
+    engine: ShsEngine,
+    file: ShsFile,
+    dcs: DcsUnit,
+    cfc: Cfc,
+    watchdog: Watchdog,
+    events: Vec<DetectionEvent>,
+}
+
+impl Argus {
+    /// Builds the checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ArgusConfig::validate`]).
+    pub fn new(cfg: ArgusConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            engine: ShsEngine::new(cfg.sig_width),
+            file: ShsFile::new(cfg.sig_width),
+            dcs: DcsUnit::new(cfg.sig_width),
+            cfc: Cfc::new(cfg.max_block_len),
+            watchdog: Watchdog::new(cfg.watchdog_bits),
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ArgusConfig {
+        self.cfg
+    }
+
+    /// All detections so far, in order.
+    pub fn events(&self) -> &[DetectionEvent] {
+        &self.events
+    }
+
+    /// The live SHS file (introspection for tests and tools).
+    pub fn shs_file(&self) -> &crate::shs::ShsFile {
+        &self.file
+    }
+
+    /// Arms the checker with the entry block's DCS (carried by the loader's
+    /// indirect jump into the binary), so the first basic block is verified
+    /// like every other.
+    pub fn expect_entry(&mut self, dcs: u32) {
+        self.cfc.expect_entry(dcs);
+    }
+
+    /// Memory scrub (§4.2): sweeps the data region's words, verifying each
+    /// word's parity over its address-decoded value. Bounds the otherwise
+    /// arbitrary detection latency of EDC-protected memory. (Never-written
+    /// words carry factory-valid EDC contents — see `Machine::new` — so
+    /// the whole region is checkable.)
+    ///
+    /// Returns a Parity detection on the first corrupt word.
+    pub fn scrub_memory(
+        &mut self,
+        m: &argus_machine::Machine,
+        from_addr: u32,
+        inj: &mut FaultInjector,
+    ) -> Option<DetectionEvent> {
+        if !self.cfg.enable_parity {
+            return None;
+        }
+        let mem = m.mem().memory();
+        let mut addr = from_addr & !3;
+        while let Ok((payload, tag)) = mem.read(addr) {
+            {
+                let d = payload ^ addr;
+                let ok = inj.tap1(sites::MFC_PARITY_CHECK, parity32(d) == tag);
+                if !ok {
+                    let ev = DetectionEvent {
+                        checker: CheckerKind::Parity,
+                        reason: "scrub_parity",
+                        cycle: inj.cycle(),
+                        pc: addr,
+                    };
+                    self.events.push(ev.clone());
+                    return Some(ev);
+                }
+            }
+            match addr.checked_add(4) {
+                Some(a) => addr = a,
+                None => break,
+            }
+        }
+        None
+    }
+
+    /// The first detection, if any.
+    pub fn first_detection(&self) -> Option<&DetectionEvent> {
+        self.events.first()
+    }
+
+    /// Feeds `n` stalled cycles (no instruction committed).
+    pub fn on_stall(&mut self, n: u32, inj: &mut FaultInjector) -> Option<DetectionEvent> {
+        if !self.cfg.enable_watchdog {
+            return None;
+        }
+        if self.watchdog.stall(n, inj) {
+            let ev = DetectionEvent {
+                checker: CheckerKind::Watchdog,
+                reason: "liveness_timeout",
+                cycle: inj.cycle(),
+                pc: 0,
+            };
+            self.events.push(ev.clone());
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Runs all checkers over one committed instruction. Returns the events
+    /// raised by this commit (also accumulated in [`Self::events`]).
+    pub fn on_commit(&mut self, rec: &CommitRecord, inj: &mut FaultInjector) -> Vec<DetectionEvent> {
+        let mut evs: Vec<DetectionEvent> = Vec::new();
+        let push = |checker, reason: &'static str, evs: &mut Vec<DetectionEvent>| {
+            evs.push(DetectionEvent { checker, reason, cycle: rec.cycle, pc: rec.pc });
+        };
+
+        // Liveness: stall cycles accumulated by this instruction, then the
+        // commit itself counts as progress.
+        if self.cfg.enable_watchdog {
+            if rec.stall_cycles() > 0 && self.watchdog.stall(rec.stall_cycles(), inj) {
+                push(CheckerKind::Watchdog, "liveness_timeout", &mut evs);
+            }
+            self.watchdog.progress();
+        }
+
+        // Computation sub-checkers (they also verify the compare result the
+        // CFC's flag shadow depends on).
+        if self.cfg.enable_cc {
+            for reason in self.check_computation(rec, inj) {
+                push(CheckerKind::Computation, reason, &mut evs);
+            }
+        }
+
+        // Parity on operands read from the register file.
+        if self.cfg.enable_parity {
+            for op in &rec.operands {
+                if op.reg.is_some() {
+                    let tag = inj.tap1(sites::PARITY_RF_TAG, op.parity);
+                    let ok = inj.tap1(sites::PARITY_CHECK, parity32(op.value) == tag);
+                    if !ok {
+                        push(CheckerKind::Parity, "operand_parity", &mut evs);
+                    }
+                }
+            }
+            // Memory checker: per-word parity over address-embedded data.
+            if let Some(m) = &rec.mem {
+                if !m.is_store && !inj.tap1(sites::MFC_PARITY_CHECK, m.parity_ok) {
+                    push(CheckerKind::Parity, "load_parity", &mut evs);
+                }
+            }
+        }
+
+        // Dataflow + control flow. The SHS write shares the register file's
+        // write port: if the datapath performed no writeback, no signature
+        // is written either — a dropped architectural write then leaves the
+        // destination's SHS at odds with the static DCS, which is exactly
+        // how the checker sees it.
+        if self.cfg.enable_dcs {
+            let srcs: Vec<_> = rec.operands.iter().map(|o| o.reg).collect();
+            let dest = rec.wb.map(|(r, _, _)| r);
+            self.engine.apply(&mut self.file, &rec.op_shs, &srcs, dest, inj);
+
+            if let Some(reason) = self.cfc.note_instr(&rec.embedded_bits) {
+                push(CheckerKind::Dcs, reason, &mut evs);
+            }
+            if let Some(v) = rec.flag_write {
+                self.cfc.on_flag_write(v);
+            }
+            if let Some(b) = &rec.branch {
+                self.cfc.on_cti(&rec.op_shs, b, inj);
+            }
+            if rec.block_end {
+                let computed =
+                    inj.tap32(sites::DCS_XOR_OUT, self.dcs.compute(&self.file)) & self.sig_mask();
+                static TRACE_DCS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+                if *TRACE_DCS.get_or_init(|| std::env::var_os("ARGUS_TRACE_DCS").is_some()) {
+                    eprintln!(
+                        "[dcs] c{} pc={:#x} computed={:#04x} expected={:?}",
+                        rec.cycle,
+                        rec.pc,
+                        computed,
+                        self.cfc.expected()
+                    );
+                }
+                if let Some(exp) = self.cfc.finish_block(rec.in_delay_slot, inj) {
+                    let exp = inj.tap32(sites::DCS_EXPECTED, exp) & self.sig_mask();
+                    if exp != computed {
+                        push(CheckerKind::Dcs, "dcs_mismatch", &mut evs);
+                    }
+                }
+                self.file.reset();
+            }
+        }
+
+        self.events.extend(evs.iter().cloned());
+        evs
+    }
+
+    fn sig_mask(&self) -> u32 {
+        (1 << self.cfg.sig_width.min(5)) - 1
+    }
+
+    fn check_computation(
+        &mut self,
+        rec: &CommitRecord,
+        inj: &mut FaultInjector,
+    ) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        let opv = |k: usize| rec.operands.get(k).map(|o| o.value).unwrap_or(0);
+        let result = rec.result.unwrap_or(0);
+        let m = self.cfg.modulus;
+
+        match rec.op_subchk {
+            Instr::Alu { op, .. } => {
+                use argus_isa::instr::{AluOp, ShiftOp};
+                match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                        let sop = match op {
+                            AluOp::Sll => ShiftOp::Sll,
+                            AluOp::Srl => ShiftOp::Srl,
+                            _ => ShiftOp::Sra,
+                        };
+                        if !cc::rsse::check_shift(sop, opv(0), opv(1) & 31, result, inj) {
+                            out.push("rsse_shift_mismatch");
+                        }
+                    }
+                    _ => {
+                        if !cc::adder::check_alu(op, opv(0), opv(1), result, inj) {
+                            out.push("adder_mismatch");
+                        }
+                    }
+                }
+            }
+            Instr::AluImm { op, imm, .. } => {
+                let b_eff = exec::alu_imm_operand(op, imm);
+                if !cc::adder::check_alu(exec::alu_imm_base(op), opv(0), b_eff, result, inj) {
+                    out.push("adder_mismatch");
+                }
+            }
+            Instr::ShiftImm { op, sh, .. } => {
+                if !cc::rsse::check_shift(op, opv(0), sh as u32, result, inj) {
+                    out.push("rsse_shift_mismatch");
+                }
+            }
+            Instr::Ext { kind, .. } => {
+                if !cc::rsse::check_ext(kind, opv(0), result, inj) {
+                    out.push("rsse_ext_mismatch");
+                }
+            }
+            Instr::Movhi { imm, .. } => {
+                if inj.tap32(sites::CC_ADDER_OUT, (imm as u32) << 16) != result {
+                    out.push("movhi_mismatch");
+                }
+            }
+            Instr::MulDiv { op, .. } => {
+                use argus_isa::instr::MulDivOp;
+                let aux = rec.aux_result.unwrap_or(0);
+                let ok = match op {
+                    MulDivOp::Mul => cc::modm::check_mul(m, true, opv(0), opv(1), result, aux, inj),
+                    MulDivOp::Mulu => {
+                        cc::modm::check_mul(m, false, opv(0), opv(1), result, aux, inj)
+                    }
+                    MulDivOp::Div => cc::modm::check_div(m, true, opv(0), opv(1), result, aux, inj),
+                    MulDivOp::Divu => {
+                        cc::modm::check_div(m, false, opv(0), opv(1), result, aux, inj)
+                    }
+                };
+                if !ok {
+                    out.push("modm_mismatch");
+                }
+            }
+            Instr::SetFlag { cond, .. } => {
+                if !cc::adder::check_compare(cond, opv(0), opv(1), rec.flag_write.unwrap_or(false), inj)
+                {
+                    out.push("compare_mismatch");
+                }
+            }
+            Instr::SetFlagImm { cond, imm, .. } => {
+                let b = sign_extend(imm as u32, 16);
+                if !cc::adder::check_compare(cond, opv(0), b, rec.flag_write.unwrap_or(false), inj) {
+                    out.push("compare_mismatch");
+                }
+            }
+            Instr::Branch { off, .. } => {
+                if let Some(b) = &rec.branch {
+                    if b.taken {
+                        if let Some(t) = b.target {
+                            if !cc::adder::check_target(rec.pc, off, t, inj) {
+                                out.push("target_mismatch");
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Jump { off, link } => {
+                if let Some(t) = rec.branch.as_ref().and_then(|b| b.target) {
+                    if !cc::adder::check_target(rec.pc, off, t, inj) {
+                        out.push("target_mismatch");
+                    }
+                }
+                if link {
+                    let ret = rec.pc.wrapping_add(8) & INDIRECT_ADDR_MASK;
+                    let observed = result & INDIRECT_ADDR_MASK;
+                    if inj.tap32(sites::CC_ADDER_OUT, ret) != observed {
+                        out.push("link_mismatch");
+                    }
+                }
+            }
+            Instr::JumpReg { link, .. } => {
+                if let Some(t) = rec.branch.as_ref().and_then(|b| b.target) {
+                    let (addr, _) = split_indirect_target(opv(0));
+                    if inj.tap32(sites::CC_ADDER_OUT, addr) != t {
+                        out.push("target_mismatch");
+                    }
+                }
+                if link {
+                    let ret = rec.pc.wrapping_add(8) & INDIRECT_ADDR_MASK;
+                    if inj.tap32(sites::CC_ADDER_OUT, ret) != result & INDIRECT_ADDR_MASK {
+                        out.push("link_mismatch");
+                    }
+                }
+            }
+            Instr::Load { .. } | Instr::Store { .. } => {}
+            Instr::Nop | Instr::Sig { .. } | Instr::Halt => {}
+        }
+
+        // Memory-side computation checks: effective address (adder) and
+        // sub-word alignment (RSSE).
+        if let Some(mm) = &rec.mem {
+            if !cc::adder::check_addr(mm.base, mm.offset, mm.addr, inj) {
+                out.push("addr_mismatch");
+            }
+            if !mm.is_store {
+                let byte_off = exec::align_addr(mm.addr, mm.size) & 3;
+                if !cc::rsse::check_align(mm.raw_word, byte_off, mm.size, mm.signed, mm.value, inj)
+                {
+                    out.push("align_mismatch");
+                }
+            } else if let Some(merged) = mm.store_merged {
+                // Sub-word store re-alignment is the RSSE's job too (§3.4);
+                // the store data is taken from the checker's copy of the
+                // operand bus, upstream of the store-data bus.
+                let byte_off = exec::align_addr(mm.addr, mm.size) & 3;
+                let data = rec.operands.get(1).map(|o| o.value).unwrap_or(0);
+                if !cc::rsse::check_merge(mm.raw_word, byte_off, mm.size, data, merged, inj) {
+                    out.push("merge_mismatch");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_isa::encode::encode;
+    use argus_isa::instr::{AluImmOp, AluOp};
+    use argus_isa::reg::{r, Reg};
+    use argus_machine::{Machine, MachineConfig, StepOutcome};
+
+    /// Computes the static DCS of a straight-line block (the compiler's
+    /// side of the comparison), ending at a block boundary.
+    fn static_dcs(block: &[Instr], cfg: &ArgusConfig) -> u32 {
+        let engine = ShsEngine::new(cfg.sig_width);
+        let dcs = DcsUnit::new(cfg.sig_width);
+        let mut file = ShsFile::new(cfg.sig_width);
+        for i in block {
+            engine.apply_static(&mut file, i);
+        }
+        dcs.compute(&file)
+    }
+
+    /// Runs a program under Argus with no faults; returns events.
+    fn run_clean(prog: &[Instr]) -> Vec<DetectionEvent> {
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let mut argus = Argus::new(ArgusConfig::default());
+        let mut inj = FaultInjector::none();
+        loop {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    argus.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {
+                    argus.on_stall(1, &mut inj);
+                }
+                StepOutcome::Halted => break,
+            }
+            if m.cycle() > 100_000 {
+                panic!("runaway test program");
+            }
+        }
+        argus.events().to_vec()
+    }
+
+    fn two_block_program() -> Vec<Instr> {
+        let cfg = ArgusConfig::default();
+        // BB1: add + eob-Sig carrying DCS(BB1 body? no: slot0 = DCS of BB2).
+        let bb2 = vec![
+            Instr::Alu { op: AluOp::Add, rd: r(5), ra: r(3), rb: r(3) },
+            Instr::Halt,
+        ];
+        let d2 = static_dcs(&bb2, &cfg);
+        let mut prog = vec![
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 21 },
+            Instr::Sig { nslots: 1, eob: true, payload: d2 as u16 },
+        ];
+        prog.extend(bb2);
+        prog
+    }
+
+    #[test]
+    fn clean_two_block_run_has_no_false_positives() {
+        let evs = run_clean(&two_block_program());
+        assert!(evs.is_empty(), "false positives: {evs:?}");
+    }
+
+    #[test]
+    fn wrong_embedded_dcs_is_detected() {
+        let mut prog = two_block_program();
+        // Corrupt the embedded successor DCS.
+        if let Instr::Sig { payload, .. } = &mut prog[1] {
+            *payload ^= 1;
+        } else {
+            panic!("expected Sig");
+        }
+        let evs = run_clean(&prog);
+        assert!(
+            evs.iter().any(|e| e.checker == CheckerKind::Dcs),
+            "expected DCS mismatch, got {evs:?}"
+        );
+    }
+
+    #[test]
+    fn alu_internal_fault_detected_by_computation_checker() {
+        use argus_machine::sites as msites;
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let words: Vec<u32> = two_block_program().iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let mut argus = Argus::new(ArgusConfig::default());
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: msites::ALU_ADDER_OUT,
+            bit: 3,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        loop {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    argus.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {
+                    argus.on_stall(1, &mut inj);
+                }
+                StepOutcome::Halted => break,
+            }
+        }
+        let first = argus.first_detection().expect("must detect");
+        assert_eq!(first.checker, CheckerKind::Computation);
+    }
+
+    #[test]
+    fn register_cell_fault_detected_by_parity() {
+        use argus_machine::machine::RF_CELL_SITES;
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let words: Vec<u32> = two_block_program().iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let mut argus = Argus::new(ArgusConfig::default());
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: RF_CELL_SITES[3],
+            bit: 7,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        loop {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    argus.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {}
+                StepOutcome::Halted => break,
+            }
+        }
+        let first = argus.first_detection().expect("must detect");
+        assert_eq!(first.checker, CheckerKind::Parity);
+    }
+
+    #[test]
+    fn stall_fault_detected_by_watchdog() {
+        use argus_machine::sites as msites;
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let words: Vec<u32> = two_block_program().iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let mut argus = Argus::new(ArgusConfig::default());
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: msites::CTL_STALL_RELEASE,
+            bit: 0,
+            kind: FaultKind::Permanent,
+            arm_cycle: 2,
+            flavor: SiteFlavor::Single,
+            width: 1,
+            sensitization: 1.0,
+        });
+        let mut detected = None;
+        for _ in 0..1000 {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    argus.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {
+                    if let Some(ev) = argus.on_stall(1, &mut inj) {
+                        detected = Some(ev);
+                        break;
+                    }
+                }
+                StepOutcome::Halted => break,
+            }
+        }
+        let ev = detected.expect("watchdog must fire");
+        assert_eq!(ev.checker, CheckerKind::Watchdog);
+    }
+
+    #[test]
+    fn disabled_checkers_stay_silent() {
+        use argus_machine::sites as msites;
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let words: Vec<u32> = two_block_program().iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let cfg = ArgusConfig {
+            enable_cc: false,
+            enable_parity: false,
+            enable_dcs: false,
+            enable_watchdog: false,
+            ..ArgusConfig::default()
+        };
+        let mut argus = Argus::new(cfg);
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: msites::ALU_ADDER_OUT,
+            bit: 3,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        loop {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    argus.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {}
+                StepOutcome::Halted => break,
+            }
+        }
+        assert!(argus.events().is_empty());
+    }
+}

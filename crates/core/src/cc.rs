@@ -1,0 +1,376 @@
+//! Computation sub-checkers (§3.3).
+//!
+//! One sub-checker per functional unit, each performing a redundant
+//! computation from the *same operand signals the functional unit consumed*
+//! and comparing against the observed result:
+//!
+//! * [`adder`] — the carry-check adder checker (also emulates the bitwise
+//!   logic operations, e.g. a full adder acts as XOR with carry-in tied
+//!   to 0), and checks compares, branch targets and load/store addresses.
+//! * [`rsse`] — the right-shift + sign-extend unit checking all shifts,
+//!   extensions, and the alignment of sub-word loads.
+//! * [`modm`] — the Mersenne mod-M residue checker for the multiplier and
+//!   divider (`[(A mod M)·(B mod M)] mod M = Product mod M`; division is
+//!   checked as `B·Q ≡ A − R (mod M)` with the same hardware).
+//!
+//! Because operand buses fan out to both the FU and its sub-checker, a
+//! single operand-bus fault corrupts both consistently and is *not* caught
+//! here — that is parity's job. What the sub-checkers catch is corruption
+//! *inside* the functional units.
+
+pub mod adder {
+    //! Adder/logic/compare/address sub-checker.
+
+    use crate::sites;
+    use argus_isa::instr::{AluOp, Cond};
+    use argus_sim::fault::FaultInjector;
+
+    /// Recomputes an adder/logic-unit operation and compares with the
+    /// observed result. Returns `true` when the observed result is accepted.
+    pub fn check_alu(
+        op: AluOp,
+        a: u32,
+        b: u32,
+        observed: u32,
+        inj: &mut FaultInjector,
+    ) -> bool {
+        // Shifts are the RSSE's responsibility; accept here. (Logic ops
+        // are emulated on the adder's full-adder cells in hardware; the
+        // fault independence of this redundant computation is modeled by
+        // the CC_ADDER_OUT tap, so the reference semantics are shared.)
+        if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+            return true;
+        }
+        let recomputed = argus_machine::exec::alu(op, a, b);
+        inj.tap32(sites::CC_ADDER_OUT, recomputed) == observed
+    }
+
+    /// Checks a flag-setting compare (a subtract on the same checker).
+    pub fn check_compare(cond: Cond, a: u32, b: u32, observed: bool, inj: &mut FaultInjector) -> bool {
+        inj.tap1(sites::CC_CMP_OUT, cond.eval(a, b)) == observed
+    }
+
+    /// Checks an effective-address computation (`base + offset`).
+    pub fn check_addr(base: u32, off: i16, observed: u32, inj: &mut FaultInjector) -> bool {
+        let recomputed = base.wrapping_add(off as i32 as u32);
+        inj.tap32(sites::CC_ADDER_OUT, recomputed) == observed
+    }
+
+    /// Checks a PC-relative branch/jump target (`pc + 4·off`).
+    pub fn check_target(pc: u32, off: i32, observed: u32, inj: &mut FaultInjector) -> bool {
+        let recomputed = pc.wrapping_add((off as u32) << 2);
+        inj.tap32(sites::CC_ADDER_OUT, recomputed) == observed
+    }
+}
+
+pub mod rsse {
+    //! Right-Shift + Sign-Extend checker (§3.3.1).
+
+    use crate::sites;
+    use argus_isa::instr::{ExtKind, MemSize, ShiftOp};
+    use argus_sim::fault::FaultInjector;
+
+    /// Checks a shift of `a` by `sh` that produced `observed`.
+    ///
+    /// Right shifts are replayed directly. A left shift is checked by
+    /// shifting the *result* back to the right and comparing against the
+    /// input bits that were not shifted off the end, plus verifying the
+    /// vacated low bits are zero.
+    pub fn check_shift(op: ShiftOp, a: u32, sh: u32, observed: u32, inj: &mut FaultInjector) -> bool {
+        let sh = sh & 31;
+        match op {
+            ShiftOp::Srl => inj.tap32(sites::CC_RSSE_OUT, a.wrapping_shr(sh)) == observed,
+            ShiftOp::Sra => {
+                inj.tap32(sites::CC_RSSE_OUT, ((a as i32).wrapping_shr(sh)) as u32) == observed
+            }
+            ShiftOp::Sll => {
+                let back = inj.tap32(sites::CC_RSSE_OUT, observed.wrapping_shr(sh));
+                let mask = if sh == 0 { u32::MAX } else { u32::MAX >> sh };
+                let low_ok = sh == 0 || observed & ((1u32 << sh) - 1) == 0;
+                back == (a & mask) && low_ok
+            }
+        }
+    }
+
+    /// Checks a sign/zero extension (a zero-bit right shift followed by the
+    /// sign extender).
+    pub fn check_ext(kind: ExtKind, a: u32, observed: u32, inj: &mut FaultInjector) -> bool {
+        let recomputed = argus_machine::exec::extend(kind, a);
+        inj.tap32(sites::CC_RSSE_OUT, recomputed) == observed
+    }
+
+    /// Checks the re-alignment of a sub-word store: replays the
+    /// read-modify-write merge from the old memory word and the store data
+    /// (as delivered on the checker's operand bus) and compares against the
+    /// word actually written.
+    pub fn check_merge(
+        old_word: u32,
+        byte_off: u32,
+        size: MemSize,
+        data: u32,
+        observed_merged: u32,
+        inj: &mut FaultInjector,
+    ) -> bool {
+        let recomputed = argus_machine::exec::merge_store(old_word, byte_off, size, data);
+        inj.tap32(sites::CC_RSSE_OUT, recomputed) == observed_merged
+    }
+
+    /// Checks the alignment + extension of a sub-word load: replays the
+    /// shift/extend from the raw memory word and compares.
+    pub fn check_align(
+        raw_word: u32,
+        byte_off: u32,
+        size: MemSize,
+        signed: bool,
+        observed: u32,
+        inj: &mut FaultInjector,
+    ) -> bool {
+        let recomputed = argus_machine::exec::align_load(raw_word, byte_off, size, signed);
+        inj.tap32(sites::CC_RSSE_OUT, recomputed) == observed
+    }
+}
+
+pub mod modm {
+    //! Mod-M residue checker for multiply/divide (§3.3.2, Figure 4).
+
+    use crate::sites;
+    use argus_sim::fault::FaultInjector;
+
+    fn residue(x: i128, m: u32) -> u32 {
+        x.rem_euclid(m as i128) as u32
+    }
+
+    /// Checks a multiplication: `[(A mod M)·(B mod M)] mod M` must equal
+    /// the residue of the full 64-bit product observed on the datapath
+    /// (`hi:lo`). `signed` selects the operand interpretation.
+    ///
+    /// Faults that change the product by a multiple of `M` alias — the
+    /// small, quantifiable escape probability the paper accepts.
+    pub fn check_mul(
+        m: u32,
+        signed: bool,
+        a: u32,
+        b: u32,
+        lo: u32,
+        hi: u32,
+        inj: &mut FaultInjector,
+    ) -> bool {
+        let (ra, rb) = if signed {
+            (residue(a as i32 as i128, m), residue(b as i32 as i128, m))
+        } else {
+            (residue(a as i128, m), residue(b as i128, m))
+        };
+        let lhs = inj.tap32(sites::CC_MOD_OUT, (ra as u64 * rb as u64 % m as u64) as u32);
+        let full = ((hi as u64) << 32) | lo as u64;
+        let rhs = if signed {
+            residue(full as i64 as i128, m)
+        } else {
+            residue(full as i128, m)
+        };
+        lhs == inj.tap32(sites::CC_MOD_OUT, rhs)
+    }
+
+    /// Checks a division via `B·Q ≡ A − R (mod M)` on the same hardware
+    /// (inputs muxed, remainder negated).
+    ///
+    /// The product is formed in the datapath's wrapping 32-bit arithmetic:
+    /// for every legal division `B·Q = A − R` exactly (no overflow), and
+    /// the one wrapping case — the divider's defined `i32::MIN / −1 =
+    /// i32::MIN` result — then satisfies the congruence instead of raising
+    /// a false positive.
+    pub fn check_div(
+        m: u32,
+        signed: bool,
+        a: u32,
+        b: u32,
+        q: u32,
+        r: u32,
+        inj: &mut FaultInjector,
+    ) -> bool {
+        let prod = b.wrapping_mul(q);
+        let diff = a.wrapping_sub(r);
+        let (sp, sd) = if signed {
+            (prod as i32 as i128, diff as i32 as i128)
+        } else {
+            (prod as i128, diff as i128)
+        };
+        let lhs = inj.tap32(sites::CC_MOD_OUT, residue(sp, m));
+        let rhs = inj.tap32(sites::CC_MOD_OUT, residue(sd, m));
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_isa::instr::{AluOp, Cond, ExtKind, MemSize, ShiftOp};
+    use argus_sim::fault::FaultInjector;
+    use proptest::prelude::*;
+
+    fn inj() -> FaultInjector {
+        FaultInjector::none()
+    }
+
+    #[test]
+    fn adder_accepts_correct_and_rejects_corrupt() {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor] {
+            let good = crate::cc::test_support::alu_ref(op, 0x1234, 0x5678);
+            assert!(adder::check_alu(op, 0x1234, 0x5678, good, &mut inj()));
+            for b in [0, 7, 31] {
+                assert!(
+                    !adder::check_alu(op, 0x1234, 0x5678, good ^ (1 << b), &mut inj()),
+                    "{op:?} bit {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_delegates_shifts() {
+        assert!(adder::check_alu(AluOp::Sll, 1, 1, 0xDEAD, &mut inj()));
+    }
+
+    #[test]
+    fn compare_checker() {
+        assert!(adder::check_compare(Cond::Lts, 1, 2, true, &mut inj()));
+        assert!(!adder::check_compare(Cond::Lts, 1, 2, false, &mut inj()));
+    }
+
+    #[test]
+    fn address_and_target_checkers() {
+        assert!(adder::check_addr(0x100, -4, 0xFC, &mut inj()));
+        assert!(!adder::check_addr(0x100, -4, 0x100, &mut inj()));
+        assert!(adder::check_target(0x40, 3, 0x4C, &mut inj()));
+        assert!(!adder::check_target(0x40, 3, 0x50, &mut inj()));
+    }
+
+    #[test]
+    fn rsse_right_shifts_and_extensions() {
+        assert!(rsse::check_shift(ShiftOp::Srl, 0xF0, 4, 0x0F, &mut inj()));
+        assert!(!rsse::check_shift(ShiftOp::Srl, 0xF0, 4, 0x1F, &mut inj()));
+        assert!(rsse::check_shift(ShiftOp::Sra, 0x8000_0000, 4, 0xF800_0000, &mut inj()));
+        assert!(rsse::check_ext(ExtKind::Bs, 0x80, 0xFFFF_FF80, &mut inj()));
+        assert!(!rsse::check_ext(ExtKind::Bs, 0x80, 0x80, &mut inj()));
+    }
+
+    #[test]
+    fn rsse_left_shift_check_catches_both_sides() {
+        let a = 0x8001_0003u32;
+        let good = a << 8;
+        assert!(rsse::check_shift(ShiftOp::Sll, a, 8, good, &mut inj()));
+        // corruption in the surviving bits
+        assert!(!rsse::check_shift(ShiftOp::Sll, a, 8, good ^ (1 << 20), &mut inj()));
+        // corruption in the vacated low bits
+        assert!(!rsse::check_shift(ShiftOp::Sll, a, 8, good | 1, &mut inj()));
+        // zero-amount shift
+        assert!(rsse::check_shift(ShiftOp::Sll, a, 0, a, &mut inj()));
+    }
+
+    #[test]
+    fn rsse_merge_checker() {
+        let old = 0x4433_2211u32;
+        let data = 0xFFFF_FFAAu32;
+        // Correct merges are accepted.
+        assert!(rsse::check_merge(old, 1, MemSize::Byte, data, 0x4433_AA11, &mut inj()));
+        assert!(rsse::check_merge(old, 2, MemSize::Half, data, 0xFFAA_2211, &mut inj()));
+        assert!(rsse::check_merge(old, 0, MemSize::Word, data, data, &mut inj()));
+        // A corrupted merged word is rejected, whether the corruption is in
+        // the inserted bytes or in the preserved neighbours.
+        assert!(!rsse::check_merge(old, 1, MemSize::Byte, data, 0x4433_AB11, &mut inj()));
+        assert!(!rsse::check_merge(old, 1, MemSize::Byte, data, 0x4432_AA11, &mut inj()));
+        // Corrupted *store data* (bus fault downstream of the checker's
+        // operand copy) is also rejected.
+        assert!(!rsse::check_merge(old, 1, MemSize::Byte, data ^ 0x10, 0x4433_AA11, &mut inj()));
+    }
+
+    #[test]
+    fn rsse_align_checker() {
+        let w = 0x4433_2211u32;
+        assert!(rsse::check_align(w, 1, MemSize::Byte, false, 0x22, &mut inj()));
+        assert!(!rsse::check_align(w, 1, MemSize::Byte, false, 0x11, &mut inj()));
+        assert!(rsse::check_align(w, 2, MemSize::Half, true, 0x4433, &mut inj()));
+        assert!(rsse::check_align(w, 0, MemSize::Word, false, w, &mut inj()));
+    }
+
+    #[test]
+    fn modm_accepts_correct_products() {
+        let (a, b) = (123_456u32, 789u32);
+        let full = a as u64 * b as u64;
+        assert!(modm::check_mul(31, false, a, b, full as u32, (full >> 32) as u32, &mut inj()));
+        let (sa, sb) = (-5i32 as u32, 7u32);
+        let sfull = (-35i64) as u64;
+        assert!(modm::check_mul(31, true, sa, sb, sfull as u32, (sfull >> 32) as u32, &mut inj()));
+    }
+
+    #[test]
+    fn modm_rejects_most_corruptions_but_aliases_multiples_of_m() {
+        let (a, b) = (1000u32, 77u32);
+        let full = a as u64 * b as u64;
+        // +1 is detected
+        let bad = full + 1;
+        assert!(!modm::check_mul(31, false, a, b, bad as u32, (bad >> 32) as u32, &mut inj()));
+        // +31 aliases (the documented escape)
+        let alias = full + 31;
+        assert!(modm::check_mul(31, false, a, b, alias as u32, (alias >> 32) as u32, &mut inj()));
+    }
+
+    #[test]
+    fn modm_div_identity_and_rejection() {
+        assert!(modm::check_div(31, false, 100, 7, 14, 2, &mut inj()));
+        assert!(!modm::check_div(31, false, 100, 7, 15, 2, &mut inj()));
+        // signed: -100 / 7 = -14 rem -2
+        assert!(modm::check_div(31, true, -100i32 as u32, 7, -14i32 as u32, -2i32 as u32, &mut inj()));
+        // div-by-zero convention: q = !0, r = a  →  b·q = 0 = a − r.
+        assert!(modm::check_div(31, false, 55, 0, u32::MAX, 55, &mut inj()));
+        // The divider's wrapping corner: i32::MIN / −1 = i32::MIN rem 0
+        // must not raise a false positive.
+        assert!(modm::check_div(
+            31,
+            true,
+            0x8000_0000,
+            u32::MAX,
+            0x8000_0000,
+            0,
+            &mut inj()
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn modm_never_rejects_correct_mul(a in any::<u32>(), b in any::<u32>(), signed in any::<bool>()) {
+            let full = if signed {
+                ((a as i32 as i64) * (b as i32 as i64)) as u64
+            } else {
+                a as u64 * b as u64
+            };
+            prop_assert!(modm::check_mul(31, signed, a, b, full as u32, (full >> 32) as u32, &mut inj()));
+        }
+
+        #[test]
+        fn modm_never_rejects_correct_div(a in any::<u32>(), b in 1u32..) {
+            prop_assert!(modm::check_div(31, false, a, b, a / b, a % b, &mut inj()));
+        }
+
+        #[test]
+        fn rsse_never_rejects_correct_shifts(a in any::<u32>(), sh in 0u32..32) {
+            prop_assert!(rsse::check_shift(ShiftOp::Sll, a, sh, a.wrapping_shl(sh), &mut inj()));
+            prop_assert!(rsse::check_shift(ShiftOp::Srl, a, sh, a.wrapping_shr(sh), &mut inj()));
+            prop_assert!(rsse::check_shift(ShiftOp::Sra, a, sh, ((a as i32).wrapping_shr(sh)) as u32, &mut inj()));
+        }
+
+        #[test]
+        fn adder_detects_any_single_bit_result_error(a in any::<u32>(), b in any::<u32>(), bit in 0u32..32) {
+            let good = a.wrapping_add(b);
+            prop_assert!(!adder::check_alu(AluOp::Add, a, b, good ^ (1 << bit), &mut inj()));
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use argus_isa::instr::AluOp;
+
+    pub fn alu_ref(op: AluOp, a: u32, b: u32) -> u32 {
+        argus_machine::exec::alu(op, a, b)
+    }
+}

@@ -1,0 +1,226 @@
+//! Control-flow checker state (§3.2.1).
+//!
+//! The CFC collects the embedded DCS slots of the executing basic block,
+//! and — when the block ends — selects which successor DCS the *next*
+//! block must produce:
+//!
+//! * conditional branch: slot 0 (taken target) or slot 1 (fall-through),
+//!   selected by the checker's private copy of the compare flag (whose
+//!   value the computation checker verified when it was written);
+//! * direct jump / call: slot 0 (the callee's entry DCS for `jal`);
+//! * indirect jump / return: the DCS carried in the top 5 bits of the
+//!   target register (§3.2.2, "Indirect Branches");
+//! * fall-through block (ends with an end-of-block Signature marker):
+//!   slot 0.
+//!
+//! It also bounds basic-block length, which together with the watchdog
+//! bounds the time between control-flow checks.
+
+use crate::sites;
+use argus_isa::instr::Instr;
+use argus_machine::commit::BranchInfo;
+use argus_sim::fault::FaultInjector;
+
+/// Control-flow checker state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfc {
+    max_block_len: u32,
+    block_bits: Vec<bool>,
+    block_len: u32,
+    /// DCS the current block must produce (selected when the previous
+    /// block ended). `None` before the first boundary.
+    expected: Option<u32>,
+    /// Successor DCS selected at the block's CTI, applied at block end.
+    pending_next: Option<u32>,
+    /// The checker's private flag copy.
+    flag_shadow: bool,
+}
+
+impl Cfc {
+    /// Creates the checker with a block-length bound.
+    pub fn new(max_block_len: u32) -> Self {
+        Self {
+            max_block_len,
+            block_bits: Vec::new(),
+            block_len: 0,
+            expected: None,
+            pending_next: None,
+            flag_shadow: false,
+        }
+    }
+
+    /// The DCS anticipated for the block currently executing.
+    pub fn expected(&self) -> Option<u32> {
+        self.expected
+    }
+
+    /// Arms the expectation for the entry block (supplied by the loader's
+    /// indirect jump into the binary).
+    pub fn expect_entry(&mut self, dcs: u32) {
+        self.expected = Some(dcs & 31);
+    }
+
+    /// Accounts one committed instruction: collects its embedded bits and
+    /// enforces the block-length bound. Returns a violation reason when the
+    /// block is illegally long.
+    pub fn note_instr(&mut self, embedded_bits: &[bool]) -> Option<&'static str> {
+        self.block_bits.extend_from_slice(embedded_bits);
+        self.block_len += 1;
+        (self.block_len > self.max_block_len).then_some("block_length_exceeded")
+    }
+
+    /// Records a verified flag write (the computation checker has already
+    /// validated the compare result).
+    pub fn on_flag_write(&mut self, value: bool) {
+        self.flag_shadow = value;
+    }
+
+    /// Parses the k-th embedded 5-bit slot of the current block.
+    pub fn slot(&self, k: usize, inj: &mut FaultInjector) -> u32 {
+        let mut v = 0u32;
+        for i in 0..5 {
+            if self.block_bits.get(5 * k + i).copied().unwrap_or(false) {
+                v |= 1 << i;
+            }
+        }
+        inj.tap32(sites::CFC_SLOT_PARSE, v) & 31
+    }
+
+    /// Handles the block's control-transfer instruction: selects the
+    /// anticipated successor DCS.
+    pub fn on_cti(&mut self, op: &Instr, branch: &BranchInfo, inj: &mut FaultInjector) {
+        let next = match op {
+            Instr::Branch { taken_if, .. } => {
+                let shadow = inj.tap1(sites::CFC_FLAG_SHADOW, self.flag_shadow);
+                if shadow == *taken_if {
+                    self.slot(0, inj)
+                } else {
+                    self.slot(1, inj)
+                }
+            }
+            Instr::Jump { .. } => self.slot(0, inj),
+            Instr::JumpReg { .. } => branch.indirect_dcs.unwrap_or(0),
+            _ => return,
+        };
+        self.pending_next = Some(next);
+    }
+
+    /// Ends the current block. `ended_by_cti` is true when the block ended
+    /// after the delay slot of a control transfer (vs. a fall-through
+    /// end-of-block marker). Returns the DCS the block was expected to
+    /// produce (for the caller to compare) and arms the expectation for
+    /// the next block.
+    pub fn finish_block(&mut self, ended_by_cti: bool, inj: &mut FaultInjector) -> Option<u32> {
+        let finished_expectation = self.expected;
+        self.expected = if ended_by_cti {
+            self.pending_next.take()
+        } else {
+            self.pending_next = None;
+            Some(self.slot(0, inj))
+        };
+        self.block_bits.clear();
+        self.block_len = 0;
+        finished_expectation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_isa::reg::Reg;
+
+    fn bits_of(v: u32, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn cond_branch() -> Instr {
+        Instr::Branch { taken_if: true, off: 4 }
+    }
+
+    fn binfo(taken: bool) -> BranchInfo {
+        BranchInfo { conditional: true, taken, flag_used: Some(taken), target: None, indirect_dcs: None }
+    }
+
+    #[test]
+    fn slot_parsing() {
+        let mut cfc = Cfc::new(64);
+        let mut inj = FaultInjector::none();
+        // slots: 0b10101, 0b00111
+        cfc.note_instr(&bits_of(0b00111_10101, 10));
+        assert_eq!(cfc.slot(0, &mut inj), 0b10101);
+        assert_eq!(cfc.slot(1, &mut inj), 0b00111);
+        assert_eq!(cfc.slot(2, &mut inj), 0, "missing slots read as zero");
+    }
+
+    #[test]
+    fn conditional_selection_uses_shadow_flag() {
+        let mut inj = FaultInjector::none();
+        for (flag, expect) in [(true, 0b10101u32), (false, 0b00111)] {
+            let mut cfc = Cfc::new(64);
+            cfc.note_instr(&bits_of(0b00111_10101, 10));
+            cfc.on_flag_write(flag);
+            cfc.on_cti(&cond_branch(), &binfo(flag), &mut inj);
+            assert_eq!(cfc.finish_block(true, &mut inj), None, "first block unchecked");
+            assert_eq!(cfc.expected(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn selection_ignores_datapath_direction() {
+        // A fault flipped the actual branch direction; the CFC still selects
+        // by its verified flag copy, so the next block will mismatch.
+        let mut inj = FaultInjector::none();
+        let mut cfc = Cfc::new(64);
+        cfc.note_instr(&bits_of(0b00111_10101, 10));
+        cfc.on_flag_write(true);
+        cfc.on_cti(&cond_branch(), &binfo(false), &mut inj);
+        cfc.finish_block(true, &mut inj);
+        assert_eq!(cfc.expected(), Some(0b10101), "selected the flag-consistent successor");
+    }
+
+    #[test]
+    fn indirect_uses_register_dcs() {
+        let mut inj = FaultInjector::none();
+        let mut cfc = Cfc::new(64);
+        let b = BranchInfo {
+            conditional: false,
+            taken: true,
+            flag_used: None,
+            target: Some(0x40),
+            indirect_dcs: Some(0b01110),
+        };
+        cfc.on_cti(&Instr::JumpReg { link: false, rb: Reg::LR }, &b, &mut inj);
+        cfc.finish_block(true, &mut inj);
+        assert_eq!(cfc.expected(), Some(0b01110));
+    }
+
+    #[test]
+    fn fallthrough_uses_slot0() {
+        let mut inj = FaultInjector::none();
+        let mut cfc = Cfc::new(64);
+        cfc.note_instr(&bits_of(0b11011, 5));
+        cfc.finish_block(false, &mut inj);
+        assert_eq!(cfc.expected(), Some(0b11011));
+    }
+
+    #[test]
+    fn finish_returns_previous_expectation_and_resets_bits() {
+        let mut inj = FaultInjector::none();
+        let mut cfc = Cfc::new(64);
+        cfc.note_instr(&bits_of(0b00001, 5));
+        cfc.finish_block(false, &mut inj);
+        cfc.note_instr(&bits_of(0b00010, 5));
+        let checked = cfc.finish_block(false, &mut inj);
+        assert_eq!(checked, Some(0b00001));
+        assert_eq!(cfc.expected(), Some(0b00010));
+    }
+
+    #[test]
+    fn block_length_bound() {
+        let mut cfc = Cfc::new(4);
+        for _ in 0..4 {
+            assert_eq!(cfc.note_instr(&[]), None);
+        }
+        assert_eq!(cfc.note_instr(&[]), Some("block_length_exceeded"));
+    }
+}

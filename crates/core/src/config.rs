@@ -1,0 +1,149 @@
+//! Checker configuration and detection events.
+
+use std::fmt;
+
+/// Which Argus-1 checker raised a detection (the attribution axis of
+/// §4.1.1: computation 45%, parity 36%, DCS 16%, watchdog 3%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckerKind {
+    /// A computation sub-checker (adder, RSSE, mod-M, compare, target
+    /// address).
+    Computation,
+    /// Parity on operands, registers, load values or memory words.
+    Parity,
+    /// The DCS comparison (covers both dataflow shape and control flow).
+    Dcs,
+    /// The liveness watchdog.
+    Watchdog,
+}
+
+impl fmt::Display for CheckerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckerKind::Computation => "computation",
+            CheckerKind::Parity => "parity",
+            CheckerKind::Dcs => "dcs",
+            CheckerKind::Watchdog => "watchdog",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionEvent {
+    /// The checker that fired.
+    pub checker: CheckerKind,
+    /// A short machine-readable reason (e.g. `"adder_mismatch"`).
+    pub reason: &'static str,
+    /// Cycle at which the checker fired.
+    pub cycle: u64,
+    /// PC of the instruction being checked (0 for watchdog timeouts).
+    pub pc: u32,
+}
+
+impl fmt::Display for DetectionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} error at cycle {} (pc {:#x}): {}",
+            self.checker, self.cycle, self.pc, self.reason
+        )
+    }
+}
+
+/// Argus-1 configuration. The defaults are the paper's design point:
+/// 5-bit signatures (CRC5), modulus 31 (Mersenne 2^5−1), a 6-bit watchdog,
+/// and a 64-instruction basic-block cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgusConfig {
+    /// SHS/DCS signature width in bits (3–5; ablation knob). The upper
+    /// bound is architectural: embedded DCS slots and the top bits of
+    /// indirect-branch targets hold exactly 5 bits, so wider internal
+    /// signatures could never be compared end-to-end.
+    pub sig_width: u32,
+    /// Modulus for the multiplier/divider residue checker (ablation knob).
+    pub modulus: u32,
+    /// Watchdog counter width in bits.
+    pub watchdog_bits: u32,
+    /// Maximum legal basic-block length in instructions.
+    pub max_block_len: u32,
+    /// Enable the computation sub-checkers.
+    pub enable_cc: bool,
+    /// Enable parity checking (operands, registers, load values).
+    pub enable_parity: bool,
+    /// Enable DCS (dataflow + control flow) checking.
+    pub enable_dcs: bool,
+    /// Enable the watchdog.
+    pub enable_watchdog: bool,
+}
+
+impl Default for ArgusConfig {
+    fn default() -> Self {
+        Self {
+            sig_width: 5,
+            modulus: 31,
+            watchdog_bits: 6,
+            max_block_len: 64,
+            enable_cc: true,
+            enable_parity: true,
+            enable_dcs: true,
+            enable_watchdog: true,
+        }
+    }
+}
+
+impl ArgusConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig_width` is outside 3–8, `modulus` < 3, or
+    /// `watchdog_bits` is outside 2–16.
+    pub fn validate(&self) {
+        assert!(
+            (3..=5).contains(&self.sig_width),
+            "sig_width {} outside 3..=5 (embedded slots are 5 bits wide)",
+            self.sig_width
+        );
+        assert!(self.modulus >= 3, "modulus {} too small", self.modulus);
+        assert!(
+            (2..=16).contains(&self.watchdog_bits),
+            "watchdog_bits {} outside 2..=16",
+            self.watchdog_bits
+        );
+        assert!(self.max_block_len >= 4, "max_block_len too small");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_design_point() {
+        let c = ArgusConfig::default();
+        c.validate();
+        assert_eq!(c.sig_width, 5);
+        assert_eq!(c.modulus, 31);
+        assert_eq!(c.watchdog_bits, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sig_width")]
+    fn validate_rejects_wide_signatures() {
+        ArgusConfig { sig_width: 6, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn event_display() {
+        let e = DetectionEvent {
+            checker: CheckerKind::Parity,
+            reason: "operand_parity",
+            cycle: 42,
+            pc: 0x100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("parity") && s.contains("42") && s.contains("0x100"));
+    }
+}

@@ -1,0 +1,225 @@
+//! The Dataflow and Control Signature (DCS) computation (§3.2.2).
+//!
+//! At the end of a basic block, all 35 SHSs (32 registers + PC + memory +
+//! flag) are run through a hard-wired bit permutation and an XOR tree that
+//! folds them into one `width`-bit DCS. The permutation makes the DCS
+//! depend not only on the *set* of signatures present but also on the
+//! *assignment* of signatures to registers, so a result written to the
+//! wrong register still perturbs the DCS.
+
+use crate::shs::ShsFile;
+use argus_sim::rng::SplitMix64;
+
+/// Fixed seed of the hard-wired permutation (a design constant of the
+/// checker hardware, identical in the compiler and the runtime checker).
+const PERMUTATION_SEED: u64 = 0xA56_0B17;
+
+/// The DCS permutation + XOR-tree unit.
+///
+/// The permutation is block-structured: each of the 35 locations gets its
+/// own fixed bijection from signature bits to XOR-tree output bits. This
+/// gives two properties the checker needs: flipping any single stored
+/// signature bit flips exactly one DCS bit (no cancellation inside one
+/// location), and two locations have different bit-to-output wirings, so
+/// the DCS depends on the *assignment* of signatures to registers, not
+/// just on the set of signatures present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DcsUnit {
+    width: u32,
+    /// `map[loc][bit]` = XOR-tree output bit for signature bit `bit` of
+    /// location `loc`.
+    map: Vec<Vec<u8>>,
+}
+
+impl DcsUnit {
+    /// Builds the unit for a signature width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside 3–8.
+    pub fn new(width: u32) -> Self {
+        assert!((3..=8).contains(&width), "DCS width {width} outside 3..=8");
+        let mut rng = SplitMix64::new(PERMUTATION_SEED ^ width as u64);
+        let map = (0..35)
+            .map(|_| {
+                let mut bits: Vec<u8> = (0..width as u8).collect();
+                rng.shuffle(&mut bits);
+                bits
+            })
+            .collect();
+        Self { width, map }
+    }
+
+    /// Signature width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Folds a signature file into its DCS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file's width differs from the unit's.
+    pub fn compute(&self, file: &ShsFile) -> u32 {
+        assert_eq!(file.width(), self.width, "SHS/DCS width mismatch");
+        let sigs = file.all();
+        let mut out = 0u32;
+        for (loc, &sig) in sigs.iter().enumerate() {
+            for (bit, &obit) in self.map[loc].iter().enumerate() {
+                if (sig >> bit) & 1 == 1 {
+                    out ^= 1 << obit;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shs::ShsEngine;
+    use argus_isa::instr::{AluOp, Instr};
+    use argus_isa::reg::r;
+    use argus_sim::fault::FaultInjector;
+
+    fn add(rd: u8, ra: u8, rb: u8) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd: r(rd), ra: r(ra), rb: r(rb) }
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let u = DcsUnit::new(5);
+        let f = ShsFile::new(5);
+        let d = u.compute(&f);
+        assert_eq!(d, u.compute(&f));
+        assert!(d < 32);
+    }
+
+    #[test]
+    fn same_sequence_same_dcs() {
+        let u = DcsUnit::new(5);
+        let e = ShsEngine::new(5);
+        let mut fa = ShsFile::new(5);
+        let mut fb = ShsFile::new(5);
+        for i in [add(1, 2, 3), add(4, 1, 1), add(5, 4, 2)] {
+            e.apply_static(&mut fa, &i);
+            e.apply_static(&mut fb, &i);
+        }
+        assert_eq!(u.compute(&fa), u.compute(&fb));
+    }
+
+    #[test]
+    fn dcs_depends_on_register_assignment() {
+        // The key property the permutation provides: writing a signature to
+        // the wrong register must (almost always — 5-bit aliasing exists by
+        // design) change the DCS.
+        let u = DcsUnit::new(5);
+        let e = ShsEngine::new(5);
+        let i = add(1, 2, 3);
+        let srcs = [Some(r(2)), Some(r(3))];
+        let mut base = ShsFile::new(5);
+        e.apply(&mut base, &i, &srcs, Some(r(1)), &mut FaultInjector::none());
+        let base_dcs = u.compute(&base);
+        let mut differing = 0;
+        let mut total = 0;
+        for wrong in 2..32u8 {
+            let mut f = ShsFile::new(5);
+            e.apply(&mut f, &i, &srcs, Some(r(wrong)), &mut FaultInjector::none());
+            total += 1;
+            if u.compute(&f) != base_dcs {
+                differing += 1;
+            }
+        }
+        assert!(
+            differing as f64 / total as f64 > 0.85,
+            "wrong-destination writes aliased too often: {differing}/{total}"
+        );
+    }
+
+    #[test]
+    fn dcs_distinguishes_most_single_instruction_changes() {
+        // Aliasing exists by design (5-bit signature) but must be rare:
+        // across many single-op perturbations of a block, the overwhelming
+        // majority must produce a different DCS.
+        let u = DcsUnit::new(5);
+        let e = ShsEngine::new(5);
+        let mut base = ShsFile::new(5);
+        for i in [add(1, 2, 3), add(4, 1, 5), add(6, 4, 1)] {
+            e.apply_static(&mut base, &i);
+        }
+        let base_dcs = u.compute(&base);
+        let mut alias = 0;
+        let mut total = 0;
+        for rd in 1..16u8 {
+            for rb in 1..16u8 {
+                if (rd, rb) == (6, 1) {
+                    continue;
+                }
+                let mut f = ShsFile::new(5);
+                e.apply_static(&mut f, &add(1, 2, 3));
+                e.apply_static(&mut f, &add(4, 1, 5));
+                e.apply_static(&mut f, &add(rd, 4, rb));
+                total += 1;
+                if u.compute(&f) == base_dcs {
+                    alias += 1;
+                }
+            }
+        }
+        let rate = alias as f64 / total as f64;
+        assert!(rate < 0.10, "alias rate {rate} too high for a 5-bit DCS");
+    }
+
+    #[test]
+    fn wider_signatures_alias_less() {
+        // The ablation claim: increasing signature width reduces aliasing.
+        let alias_rate = |w: u32| {
+            let u = DcsUnit::new(w);
+            let e = ShsEngine::new(w);
+            let mut base = ShsFile::new(w);
+            e.apply_static(&mut base, &add(1, 2, 3));
+            let base_dcs = u.compute(&base);
+            let mut alias = 0;
+            let mut total = 0;
+            for rd in 1..32u8 {
+                for ra in 0..32u8 {
+                    if (rd, ra) == (1, 2) {
+                        continue;
+                    }
+                    let mut f = ShsFile::new(w);
+                    e.apply_static(&mut f, &add(rd, ra, 3));
+                    total += 1;
+                    if u.compute(&f) == base_dcs {
+                        alias += 1;
+                    }
+                }
+            }
+            alias as f64 / total as f64
+        };
+        assert!(alias_rate(8) < alias_rate(3) + 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        DcsUnit::new(5).compute(&ShsFile::new(6));
+    }
+
+    #[test]
+    fn every_signature_bit_influences_dcs() {
+        // The guaranteed property of the permutation + XOR tree: flipping
+        // any single stored signature bit flips exactly one DCS bit.
+        let u = DcsUnit::new(5);
+        let base = ShsFile::new(5);
+        let base_dcs = u.compute(&base);
+        for reg in 1..32u8 {
+            for bit in 0..5 {
+                let mut f = ShsFile::new(5);
+                f.set_reg(r(reg), f.reg(r(reg)) ^ (1 << bit));
+                let d = u.compute(&f);
+                assert_ne!(d, base_dcs, "bit {bit} of r{reg} invisible to DCS");
+                assert_eq!((d ^ base_dcs).count_ones(), 1, "single source bit → single DCS bit");
+            }
+        }
+    }
+}

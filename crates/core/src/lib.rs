@@ -1,0 +1,57 @@
+//! # argus-core — the Argus-1 error-detection checkers
+//!
+//! This crate is the paper's contribution: runtime verification of the four
+//! invariants that make a von Neumann core correct — **control flow**,
+//! **dataflow**, **computation**, and **memory access** — implemented the
+//! way the Argus-1 prototype does (§3):
+//!
+//! * [`shs`] — State History Signatures: one CRC-updated signature per
+//!   architectural location, tracking the *creation history* of its value
+//!   (never the value itself).
+//! * [`dcs`] — the Dataflow and Control Signature: a hard-wired bit
+//!   permutation and XOR tree folding all SHSs into one block signature,
+//!   compared at every basic-block boundary against the static DCS the
+//!   compiler embedded in the binary.
+//! * [`cfc`] — control-flow checking: selecting the anticipated successor
+//!   DCS from the embedded slots (or from the top bits of an indirect
+//!   branch target), bounding block length, and keeping a private flag
+//!   copy so a corrupted branch direction cannot fool the selection.
+//! * [`cc`] — computation sub-checkers per functional unit: the adder
+//!   checker (also covering bitwise logic by emulation), the RSSE
+//!   (right-shift + sign-extend) unit for shifts/extensions/sub-word
+//!   alignment, and the Mersenne mod-M residue checker for multiply/divide.
+//! * [`watchdog`] — the 6-bit stall counter for liveness.
+//! * [`argus`] — [`argus::Argus`], the façade consuming
+//!   `argus_machine::CommitRecord`s and raising [`DetectionEvent`]s.
+//! * [`ideal`] — the "perfect checker" of Appendix A, realized as a
+//!   lockstep golden core, used to ground-truth masking and to test the
+//!   Appendix B equivalence claims.
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_core::shs::{ShsEngine, ShsFile};
+//! use argus_isa::{Instr, AluOp, Reg};
+//! use argus_sim::fault::FaultInjector;
+//!
+//! let engine = ShsEngine::new(5);
+//! let mut file = ShsFile::new(5);
+//! let add = Instr::Alu { op: AluOp::Add, rd: Reg::new(1), ra: Reg::new(2), rb: Reg::new(3) };
+//! engine.apply(&mut file, &add, &[Some(Reg::new(2)), Some(Reg::new(3))],
+//!              Some(Reg::new(1)), &mut FaultInjector::none());
+//! assert_ne!(file.reg(Reg::new(1)), 1, "history of r1 changed");
+//! ```
+
+pub mod argus;
+pub mod cc;
+pub mod cfc;
+pub mod config;
+pub mod dcs;
+pub mod ideal;
+pub mod recovery;
+pub mod shs;
+pub mod sites;
+pub mod watchdog;
+
+pub use argus::Argus;
+pub use config::{ArgusConfig, CheckerKind, DetectionEvent};

@@ -1,0 +1,227 @@
+//! Checkpoint/rollback recovery (§1, §4.4).
+//!
+//! Argus only *detects*; the paper assumes a backward-error-recovery
+//! substrate (it cites SafetyNet) that restores a pre-error checkpoint
+//! once a checker fires — which is also why Argus-1 never needs to stall
+//! the pipeline. This module supplies that substrate for the simulator:
+//! a [`CheckpointedRun`] snapshots the whole machine every N committed
+//! instructions and, on detection, rolls back to the last checkpoint and
+//! re-executes. A transient fault has expired by then and the replay
+//! succeeds; a permanent fault trips the checker again and again until the
+//! retry budget is exhausted, which a real system would escalate to
+//! reconfiguration or decommissioning.
+
+use crate::argus::Argus;
+use crate::config::{ArgusConfig, DetectionEvent};
+use argus_machine::{Machine, StepOutcome};
+use argus_sim::fault::FaultInjector;
+
+/// Outcome of a checkpointed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The program completed; `recoveries` rollbacks were needed.
+    Completed {
+        /// Number of rollbacks performed.
+        recoveries: u32,
+    },
+    /// Detections kept recurring — a permanent fault this substrate cannot
+    /// outrun.
+    Unrecoverable {
+        /// Rollbacks attempted before giving up.
+        attempts: u32,
+        /// The last detection.
+        last: DetectionEvent,
+    },
+    /// The cycle budget ran out without `halt`.
+    Timeout,
+}
+
+/// Configuration for [`CheckpointedRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Commit interval between checkpoints.
+    pub checkpoint_interval: u64,
+    /// Rollbacks before declaring the fault unrecoverable.
+    pub max_recoveries: u32,
+    /// Total cycle budget across all attempts.
+    pub max_cycles: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { checkpoint_interval: 256, max_recoveries: 8, max_cycles: 50_000_000 }
+    }
+}
+
+/// Runs a machine under the checker with checkpoint/rollback recovery.
+///
+/// The caller provides the loaded machine, the checker configuration and
+/// the entry DCS; the injector carries whatever fault is being studied.
+pub fn run_with_recovery(
+    machine: Machine,
+    acfg: ArgusConfig,
+    entry_dcs: u32,
+    inj: &mut FaultInjector,
+    rcfg: RecoveryConfig,
+) -> (Machine, RecoveryOutcome) {
+    let fresh_checker = |dcs: u32| {
+        let mut a = Argus::new(acfg);
+        a.expect_entry(dcs);
+        a
+    };
+    // The checkpoint captures machine AND checker state (the checker's
+    // expectations are block-aligned, so both must roll back together).
+    let mut checkpoint = (machine.clone(), fresh_checker(entry_dcs));
+    let mut m = machine;
+    let mut argus = fresh_checker(entry_dcs);
+    let mut since_checkpoint = 0u64;
+    let mut recoveries = 0u32;
+    let mut budget_used = 0u64;
+
+    loop {
+        let before = m.cycle();
+        let outcome = m.step(inj);
+        budget_used += m.cycle() - before;
+        if budget_used > rcfg.max_cycles {
+            return (m, RecoveryOutcome::Timeout);
+        }
+        let detection = match outcome {
+            StepOutcome::Committed(rec) => {
+                since_checkpoint += 1;
+                let evs = argus.on_commit(&rec, inj);
+                let first = evs.into_iter().next();
+                // Checkpoints are taken at block boundaries so the rolled-
+                // back checker restarts with consistent expectations.
+                if first.is_none() && rec.block_end && since_checkpoint >= rcfg.checkpoint_interval
+                {
+                    checkpoint = (m.clone(), argus.clone());
+                    since_checkpoint = 0;
+                }
+                first
+            }
+            StepOutcome::Stalled => argus.on_stall(1, inj),
+            StepOutcome::Halted => {
+                return (m, RecoveryOutcome::Completed { recoveries });
+            }
+        };
+        if let Some(ev) = detection {
+            recoveries += 1;
+            if recoveries > rcfg.max_recoveries {
+                return (m, RecoveryOutcome::Unrecoverable { attempts: recoveries - 1, last: ev });
+            }
+            let (cm, ca) = checkpoint.clone();
+            m = cm;
+            argus = ca;
+            since_checkpoint = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_machine::MachineConfig;
+    use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+
+    /// A loop-heavy raw program (no compiler dependency in this crate's
+    /// unit tests): sum 1..=200 with signatures hand-omitted — so we run
+    /// with DCS checking disabled and rely on the computation checker,
+    /// which is exactly what the ALU-fault scenarios below exercise.
+    fn machine() -> (Machine, u32) {
+        use argus_isa::encode::encode;
+        use argus_isa::instr::{AluImmOp, AluOp, Cond, Instr};
+        use argus_isa::reg::{r, Reg};
+        let prog: Vec<u32> = [
+            Instr::AluImm { op: AluImmOp::Ori, rd: r(3), ra: Reg::ZERO, imm: 0 },
+            Instr::AluImm { op: AluImmOp::Ori, rd: r(4), ra: Reg::ZERO, imm: 1 },
+            Instr::AluImm { op: AluImmOp::Ori, rd: r(5), ra: Reg::ZERO, imm: 200 },
+            Instr::Alu { op: AluOp::Add, rd: r(3), ra: r(3), rb: r(4) },
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(4), ra: r(4), imm: 1 },
+            Instr::SetFlag { cond: Cond::Leu, ra: r(4), rb: r(5) },
+            Instr::Branch { taken_if: true, off: -3 },
+            Instr::Nop,
+            Instr::Halt,
+        ]
+        .iter()
+        .map(encode)
+        .collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &prog);
+        (m, 0)
+    }
+
+    fn cc_only() -> ArgusConfig {
+        ArgusConfig { enable_dcs: false, ..Default::default() }
+    }
+
+    #[test]
+    fn clean_run_completes_without_recovery() {
+        let (m, dcs) = machine();
+        let (m, out) = run_with_recovery(
+            m,
+            cc_only(),
+            dcs,
+            &mut FaultInjector::none(),
+            RecoveryConfig::default(),
+        );
+        assert_eq!(out, RecoveryOutcome::Completed { recoveries: 0 });
+        assert_eq!(m.reg(argus_isa::Reg::new(3)), 20100);
+    }
+
+    #[test]
+    fn transient_alu_fault_is_outrun_by_rollback() {
+        let (m, dcs) = machine();
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: argus_machine::sites::ALU_ADDER_OUT,
+            bit: 6,
+            kind: FaultKind::Transient,
+            arm_cycle: 150,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        let (m, out) = run_with_recovery(
+            m,
+            cc_only(),
+            dcs,
+            &mut inj,
+            RecoveryConfig { checkpoint_interval: 16, ..Default::default() },
+        );
+        match out {
+            RecoveryOutcome::Completed { recoveries } => {
+                assert!(recoveries >= 1, "the fault must have forced a rollback");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(
+            m.reg(argus_isa::Reg::new(3)),
+            20100,
+            "recovered execution must produce the correct result"
+        );
+    }
+
+    #[test]
+    fn permanent_alu_fault_is_unrecoverable() {
+        let (m, dcs) = machine();
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: argus_machine::sites::ALU_ADDER_OUT,
+            bit: 6,
+            kind: FaultKind::Permanent,
+            arm_cycle: 150,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        let (_, out) = run_with_recovery(
+            m,
+            cc_only(),
+            dcs,
+            &mut inj,
+            RecoveryConfig { checkpoint_interval: 16, max_recoveries: 4, ..Default::default() },
+        );
+        match out {
+            RecoveryOutcome::Unrecoverable { attempts, .. } => assert_eq!(attempts, 4),
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! State History Signatures (§3.2.2).
+//!
+//! Every architectural location — the 32 registers, the program counter,
+//! memory (as one aggregate), and the compare flag — carries a small
+//! signature describing *how* its current value was created: the operation
+//! identifiers and input histories involved, but never the data values.
+//! Signatures are reset to location-specific initial values at the start of
+//! every basic block; the DCS folds them all together at the end.
+//!
+//! The same engine is used by the runtime checker (fed with effective
+//! register indices from commit records, under fault injection) and by the
+//! compiler (fed with canonical indices, fault-free) — by construction the
+//! two agree exactly on error-free executions.
+
+use crate::sites;
+use argus_isa::encode::op_token;
+use argus_isa::instr::Instr;
+use argus_isa::reg::Reg;
+use argus_sim::crc::Crc;
+use argus_sim::fault::FaultInjector;
+
+/// Initial-value salt for the PC signature.
+const PC_INIT: u32 = 0x05;
+/// Initial-value salt for the memory signature.
+const MEM_INIT: u32 = 0x0B;
+/// Initial-value salt for the flag signature.
+const FLAG_INIT: u32 = 0x13;
+/// Symbol mixed into a link-register write so it differs from the PC write
+/// of the same jump.
+const LINK_SALT: u32 = 0x1D;
+
+/// The per-location signature file (the paper's 160-bit wide SHS register,
+/// plus PC/memory/flag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShsFile {
+    width: u32,
+    regs: [u32; 32],
+    pc: u32,
+    mem: u32,
+    flag: u32,
+}
+
+impl ShsFile {
+    /// Creates a file with all locations at their initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside 3–8.
+    pub fn new(width: u32) -> Self {
+        assert!((3..=8).contains(&width), "SHS width {width} outside 3..=8");
+        let mut f = Self { width, regs: [0; 32], pc: 0, mem: 0, flag: 0 };
+        f.reset();
+        f
+    }
+
+    /// Signature width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn mask(&self) -> u32 {
+        (1 << self.width) - 1
+    }
+
+    /// Resets every location to its initial value (performed in parallel at
+    /// each basic-block boundary; the paper sizes the signature at 5 bits
+    /// precisely so each of the 32 registers gets a unique initial value).
+    pub fn reset(&mut self) {
+        let mask = self.mask();
+        for (i, r) in self.regs.iter_mut().enumerate() {
+            *r = i as u32 & mask;
+        }
+        self.pc = PC_INIT & self.mask();
+        self.mem = MEM_INIT & self.mask();
+        self.flag = FLAG_INIT & self.mask();
+    }
+
+    /// The signature of a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[usize::from(r)]
+    }
+
+    /// Overwrites a register's signature (tests and fault modeling).
+    pub fn set_reg(&mut self, r: Reg, sig: u32) {
+        self.regs[usize::from(r)] = sig & self.mask();
+    }
+
+    /// The PC signature.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The memory signature.
+    pub fn mem(&self) -> u32 {
+        self.mem
+    }
+
+    /// The flag signature.
+    pub fn flag(&self) -> u32 {
+        self.flag
+    }
+
+    /// All 35 signatures in canonical order (r0..r31, pc, mem, flag), as
+    /// consumed by the DCS unit.
+    pub fn all(&self) -> [u32; 35] {
+        let mut out = [0u32; 35];
+        out[..32].copy_from_slice(&self.regs);
+        out[32] = self.pc;
+        out[33] = self.mem;
+        out[34] = self.flag;
+        out
+    }
+}
+
+/// Seed of the hard-wired substitution box (a design constant shared by
+/// compiler and checker).
+const SBOX_SEED: u64 = 0x5B0C_5EED;
+
+/// The SHS update unit: one CRC per functional unit in hardware, one shared
+/// engine here.
+///
+/// The update is CRC absorption followed by a hard-wired substitution box.
+/// A pure CRC update is *affine* (`U(s, x) = A·s ⊕ B·x ⊕ c`), and
+/// self-referential dataflow of the form `x ← x op f(x)` — the inner loop
+/// of every hash and PRNG — composes two affine images of the same
+/// signature, so the corruption-difference map becomes `B(A ⊕ B)`, which is
+/// singular for CRC5: a wrong-operand error whose signature difference lies
+/// in the kernel is *systematically* cancelled, not 1-in-2^w aliased. The
+/// substitution layer (a few gates per SHS unit) removes the algebraic
+/// structure and restores ordinary aliasing behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShsEngine {
+    crc: Crc,
+    sbox: Vec<u32>,
+}
+
+impl ShsEngine {
+    /// Creates an engine with the given signature width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside 3–8.
+    pub fn new(width: u32) -> Self {
+        let crc = Crc::new(width);
+        let sbox = argus_sim::rng::seeded_permutation(SBOX_SEED ^ width as u64, 1 << width)
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+        Self { crc, sbox }
+    }
+
+    /// Signature width in bits.
+    pub fn width(&self) -> u32 {
+        self.crc.width()
+    }
+
+    /// The operation identifier fed into every update: a hash of the
+    /// instruction's semantic bits (opcode, sub-opcode, condition,
+    /// immediates — register numbers excluded).
+    pub fn op_sym(&self, instr: &Instr) -> u32 {
+        self.crc.fold_word(0, op_token(instr))
+    }
+
+    fn update(&self, op_sym: u32, inputs: &[u32], inj: &mut FaultInjector) -> u32 {
+        let mut s = self.sbox[self.crc.update(0, op_sym) as usize];
+        for &i in inputs {
+            s = self.sbox[self.crc.update(s, i) as usize];
+        }
+        inj.tap32(sites::SHS_CRC_OUT, s) & self.crc.mask()
+    }
+
+    /// Applies one committed instruction to the signature file.
+    ///
+    /// `srcs` are the *effective* source registers the datapath actually
+    /// read (in operand order); `dest` is the *effective* destination
+    /// register actually written. In fault-free execution these equal the
+    /// instruction's canonical fields; under a fault they may differ, which
+    /// is exactly what perturbs the DCS.
+    pub fn apply(
+        &self,
+        file: &mut ShsFile,
+        instr: &Instr,
+        srcs: &[Option<Reg>],
+        dest: Option<Reg>,
+        inj: &mut FaultInjector,
+    ) {
+        let op = self.op_sym(instr);
+        let mask = file.mask();
+        let nsrc = instr.sources().len();
+        let mut inputs = Vec::with_capacity(2);
+        for k in 0..nsrc {
+            let sig = srcs
+                .get(k)
+                .copied()
+                .flatten()
+                .map(|r| inj.tap32(sites::SHS_FILE_CELL, file.reg(r)) & mask)
+                .unwrap_or(0);
+            inputs.push(sig);
+        }
+
+        match instr {
+            Instr::Alu { .. }
+            | Instr::Ext { .. }
+            | Instr::MulDiv { .. }
+            | Instr::AluImm { .. }
+            | Instr::ShiftImm { .. }
+            | Instr::Movhi { .. }
+            | Instr::Load { .. } => {
+                let out = self.update(op, &inputs, inj);
+                if let Some(d) = dest {
+                    if d != Reg::ZERO {
+                        file.regs[usize::from(d)] = out;
+                    }
+                }
+            }
+            Instr::Store { .. } => {
+                // SHS_mem ← hash(prior SHS_mem, store output SHS): preserves
+                // the history of every prior store in the block.
+                let out = self.update(op, &inputs, inj);
+                let prior = file.mem;
+                file.mem = self.update(out, &[prior], inj);
+            }
+            Instr::SetFlag { .. } | Instr::SetFlagImm { .. } => {
+                file.flag = self.update(op, &inputs, inj);
+            }
+            Instr::Branch { .. } => {
+                let f = file.flag;
+                file.pc = self.update(op, &[f], inj);
+            }
+            Instr::Jump { link, .. } => {
+                file.pc = self.update(op, &[], inj);
+                if *link {
+                    let out = self.update(op, &[LINK_SALT & file.mask()], inj);
+                    let d = dest.unwrap_or(Reg::LR);
+                    if d != Reg::ZERO {
+                        file.regs[usize::from(d)] = out;
+                    }
+                }
+            }
+            Instr::JumpReg { link, .. } => {
+                let rb = inputs.first().copied().unwrap_or(0);
+                file.pc = self.update(op, &[rb], inj);
+                if *link {
+                    let out = self.update(op, &[rb, LINK_SALT & file.mask()], inj);
+                    let d = dest.unwrap_or(Reg::LR);
+                    if d != Reg::ZERO {
+                        file.regs[usize::from(d)] = out;
+                    }
+                }
+            }
+            Instr::Nop | Instr::Sig { .. } | Instr::Halt => {}
+        }
+    }
+
+    /// Convenience for static (compiler-side) evaluation: canonical
+    /// indices, no faults.
+    pub fn apply_static(&self, file: &mut ShsFile, instr: &Instr) {
+        let srcs: Vec<Option<Reg>> = instr.sources().into_iter().map(Some).collect();
+        self.apply(file, instr, &srcs, instr.dest(), &mut FaultInjector::none());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_isa::instr::{AluImmOp, AluOp, Cond, MemSize};
+    use argus_isa::reg::r;
+
+    fn add(rd: u8, ra: u8, rb: u8) -> Instr {
+        Instr::Alu { op: AluOp::Add, rd: r(rd), ra: r(ra), rb: r(rb) }
+    }
+
+    #[test]
+    fn initial_values_unique_per_register_at_width_5() {
+        let f = ShsFile::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for reg in Reg::all() {
+            assert!(seen.insert(f.reg(reg)), "duplicate init for {reg}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_initials() {
+        let e = ShsEngine::new(5);
+        let mut f = ShsFile::new(5);
+        e.apply_static(&mut f, &add(1, 2, 3));
+        assert_ne!(f.reg(r(1)), 1);
+        f.reset();
+        assert_eq!(f.reg(r(1)), 1);
+        assert_eq!(f.all().len(), 35);
+    }
+
+    #[test]
+    fn update_depends_on_operation_not_values() {
+        // Same dataflow, different op → different signature.
+        let e = ShsEngine::new(5);
+        let mut fa = ShsFile::new(5);
+        let mut fb = ShsFile::new(5);
+        e.apply_static(&mut fa, &add(1, 2, 3));
+        e.apply_static(&mut fb, &Instr::Alu { op: AluOp::Sub, rd: r(1), ra: r(2), rb: r(3) });
+        assert_ne!(fa.reg(r(1)), fb.reg(r(1)));
+    }
+
+    #[test]
+    fn update_depends_on_source_history() {
+        let e = ShsEngine::new(5);
+        let mut fa = ShsFile::new(5);
+        let mut fb = ShsFile::new(5);
+        e.apply_static(&mut fa, &add(1, 2, 3));
+        e.apply_static(&mut fb, &add(1, 2, 4)); // different source register
+        assert_ne!(fa.reg(r(1)), fb.reg(r(1)));
+    }
+
+    #[test]
+    fn immediates_are_part_of_the_operation() {
+        let e = ShsEngine::new(5);
+        let mut fa = ShsFile::new(5);
+        let mut fb = ShsFile::new(5);
+        e.apply_static(&mut fa, &Instr::AluImm { op: AluImmOp::Addi, rd: r(1), ra: r(2), imm: 5 });
+        e.apply_static(&mut fb, &Instr::AluImm { op: AluImmOp::Addi, rd: r(1), ra: r(2), imm: 6 });
+        assert_ne!(fa.reg(r(1)), fb.reg(r(1)), "immediate corruption must perturb SHS");
+    }
+
+    #[test]
+    fn store_history_accumulates() {
+        // Two stores must leave a different SHS_mem than either alone, and
+        // order must matter.
+        let e = ShsEngine::new(5);
+        let st1 = Instr::Store { size: MemSize::Word, ra: r(1), rb: r(2), off: 0 };
+        let st2 = Instr::Store { size: MemSize::Word, ra: r(3), rb: r(4), off: 4 };
+        let mut f12 = ShsFile::new(5);
+        e.apply_static(&mut f12, &st1);
+        let after_one = f12.mem();
+        e.apply_static(&mut f12, &st2);
+        let mut f21 = ShsFile::new(5);
+        e.apply_static(&mut f21, &st2);
+        e.apply_static(&mut f21, &st1);
+        assert_ne!(f12.mem(), after_one, "second store must change SHS_mem");
+        assert_ne!(f12.mem(), f21.mem(), "store order must matter");
+    }
+
+    #[test]
+    fn branch_consumes_flag_history() {
+        let e = ShsEngine::new(5);
+        let mut fa = ShsFile::new(5);
+        let mut fb = ShsFile::new(5);
+        // Different compare conditions → different SHS_flag → different SHS_pc.
+        e.apply_static(&mut fa, &Instr::SetFlag { cond: Cond::Eq, ra: r(1), rb: r(2) });
+        e.apply_static(&mut fb, &Instr::SetFlag { cond: Cond::Ne, ra: r(1), rb: r(2) });
+        let br = Instr::Branch { taken_if: true, off: 4 };
+        e.apply_static(&mut fa, &br);
+        e.apply_static(&mut fb, &br);
+        assert_ne!(fa.pc(), fb.pc(), "a decode error on the compare must surface in SHS_pc");
+    }
+
+    #[test]
+    fn link_and_pc_signatures_differ() {
+        let e = ShsEngine::new(5);
+        let mut f = ShsFile::new(5);
+        e.apply_static(&mut f, &Instr::Jump { link: true, off: 16 });
+        assert_ne!(f.pc(), f.reg(Reg::LR));
+    }
+
+    #[test]
+    fn writes_to_r0_are_dropped() {
+        let e = ShsEngine::new(5);
+        let mut f = ShsFile::new(5);
+        e.apply_static(&mut f, &add(0, 2, 3));
+        assert_eq!(f.reg(Reg::ZERO), 0, "SHS of r0 must stay at its initial value");
+    }
+
+    #[test]
+    fn effective_destination_overrides_canonical() {
+        // A write-address fault steers the SHS to the register actually
+        // written — the DCS then sees the wrong assignment.
+        let e = ShsEngine::new(5);
+        let mut f_ok = ShsFile::new(5);
+        let mut f_bad = ShsFile::new(5);
+        let i = add(1, 2, 3);
+        let srcs = [Some(r(2)), Some(r(3))];
+        e.apply(&mut f_ok, &i, &srcs, Some(r(1)), &mut FaultInjector::none());
+        e.apply(&mut f_bad, &i, &srcs, Some(r(7)), &mut FaultInjector::none());
+        assert_ne!(f_ok.all(), f_bad.all());
+        assert_eq!(f_bad.reg(r(1)), 1, "r1 keeps its init value");
+    }
+
+    #[test]
+    fn all_widths_work() {
+        for w in 3..=8 {
+            let e = ShsEngine::new(w);
+            let mut f = ShsFile::new(w);
+            e.apply_static(&mut f, &add(1, 2, 3));
+            assert!(f.reg(r(1)) < (1 << w));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The liveness watchdog (§3.2.2, "Checking Liveness").
+//!
+//! A small saturating counter: reset whenever the pipeline makes progress
+//! (an instruction commits), incremented for every stalled cycle. When it
+//! saturates — 63 consecutive stall cycles for the paper's 6-bit counter —
+//! the core is declared hung.
+
+use crate::sites;
+use argus_sim::fault::FaultInjector;
+
+/// The stall-counting watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watchdog {
+    bits: u32,
+    count: u32,
+    tripped: bool,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with a `bits`-wide counter (saturation at
+    /// `2^bits − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 2–16.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "watchdog width {bits} outside 2..=16");
+        Self { bits, count: 0, tripped: false }
+    }
+
+    /// Saturation threshold.
+    pub fn threshold(&self) -> u32 {
+        (1 << self.bits) - 1
+    }
+
+    /// Feeds `n` consecutive stall cycles. Returns `true` if the counter
+    /// saturates (liveness violation).
+    pub fn stall(&mut self, n: u32, inj: &mut FaultInjector) -> bool {
+        let next = self.count.saturating_add(n).min(self.threshold());
+        self.count = inj.tap32(sites::WD_COUNT, next) & self.threshold();
+        if self.count >= self.threshold() {
+            self.tripped = true;
+        }
+        self.tripped
+    }
+
+    /// Pipeline made progress: reset the counter (and re-arm after a trip —
+    /// the recovery substrate restores a checkpoint and execution resumes).
+    pub fn progress(&mut self) {
+        self.count = 0;
+        self.tripped = false;
+    }
+
+    /// Whether the watchdog has ever fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_saturation_only() {
+        let mut w = Watchdog::new(6);
+        let mut inj = FaultInjector::none();
+        assert_eq!(w.threshold(), 63);
+        assert!(!w.stall(62, &mut inj));
+        assert!(w.stall(1, &mut inj));
+        assert!(w.tripped());
+    }
+
+    #[test]
+    fn progress_resets() {
+        let mut w = Watchdog::new(6);
+        let mut inj = FaultInjector::none();
+        for _ in 0..100 {
+            assert!(!w.stall(50, &mut inj));
+            w.progress();
+        }
+        assert!(!w.tripped());
+    }
+
+    #[test]
+    fn legitimate_stalls_never_fire() {
+        // Worst legitimate stall: I-miss (20) + D-miss (20) can't co-occur
+        // on one instruction with a divide, but even 20+31 stays under 63.
+        let mut w = Watchdog::new(6);
+        let mut inj = FaultInjector::none();
+        assert!(!w.stall(51, &mut inj));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=16")]
+    fn rejects_bad_width() {
+        Watchdog::new(1);
+    }
+
+    #[test]
+    fn counter_fault_can_false_fire() {
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let mut w = Watchdog::new(6);
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: sites::WD_COUNT,
+            bit: 5,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 8,
+            sensitization: 1.0,
+        });
+        inj.set_cycle(0);
+        // One stall cycle becomes 1 | 32 = 33; repeated stalls reach the
+        // threshold far too early — a detected masked error.
+        let mut fired = false;
+        for _ in 0..40 {
+            fired |= w.stall(1, &mut inj);
+        }
+        assert!(fired);
+    }
+}

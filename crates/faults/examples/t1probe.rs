@@ -1,0 +1,20 @@
+use argus_faults::campaign::{run_campaign, CampaignConfig, Outcome};
+use argus_sim::fault::FaultKind;
+use std::collections::BTreeMap;
+fn main() {
+    for kind in [FaultKind::Transient, FaultKind::Permanent] {
+        let rep = run_campaign(&argus_workloads::stress(), &CampaignConfig {
+            injections: 2500, kind, seed: 0xA9_05, ..Default::default()
+        });
+        println!("{}", rep.table_row());
+        println!("coverage {:.1}%", 100.0 * rep.unmasked_coverage());
+        let mut sdc: BTreeMap<&str, u32> = BTreeMap::new();
+        for r in &rep.results {
+            if r.outcome == Outcome::UnmaskedUndetected {
+                *sdc.entry(r.point.site.name).or_insert(0) += 1;
+            }
+        }
+        println!("SDC by site: {:?}", sdc);
+        println!("attribution:\n{}", rep.attribution);
+    }
+}

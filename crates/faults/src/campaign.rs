@@ -1,0 +1,347 @@
+//! The error-injection campaign and Table-1 classification.
+
+use crate::sites::{full_inventory, sample_points, SamplePoint};
+use argus_compiler::{compile, EmbedConfig, Mode, Program};
+use argus_core::{Argus, ArgusConfig, CheckerKind, DetectionEvent};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_sim::fault::{FaultInjector, FaultKind};
+use argus_sim::rng::SplitMix64;
+use argus_sim::stats::CounterSet;
+use argus_workloads::Workload;
+use std::fmt;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of injections.
+    pub injections: usize,
+    /// Transient or permanent bit inversions.
+    pub kind: FaultKind,
+    /// RNG seed (site sampling and arm-cycle choice).
+    pub seed: u64,
+    /// Checker configuration.
+    pub acfg: ArgusConfig,
+    /// Machine configuration (must be Argus mode).
+    pub mcfg: MachineConfig,
+    /// Extra cycles added to the hang window (the run is declared hung
+    /// after `2 × golden_cycles + hang_slack` cycles).
+    pub hang_slack: u64,
+    /// Structural-masking probability: the fraction of sampled gate
+    /// outputs whose faults can never reach an observable signal at all
+    /// (untestable/redundant logic, off-path gates). These injections run
+    /// but never corrupt anything — the masked-undetected population
+    /// gate-level studies report.
+    pub structural_mask: f64,
+    /// Compiler/embedding configuration (must agree with `acfg` on the
+    /// signature width and block-length bound; ablations sweep both
+    /// together).
+    pub ecfg: EmbedConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            injections: 1000,
+            kind: FaultKind::Transient,
+            seed: 0xA9_05,
+            acfg: ArgusConfig::default(),
+            mcfg: MachineConfig::default(),
+            hang_slack: 2_000,
+            structural_mask: 0.30,
+            ecfg: EmbedConfig::default(),
+        }
+    }
+}
+
+/// Classification quadrants (the columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Silent data corruption — the bad quadrant.
+    UnmaskedUndetected,
+    /// Detected genuine error.
+    UnmaskedDetected,
+    /// No architectural effect, no report.
+    MaskedUndetected,
+    /// Detected masked error (DME) — a spurious but safe recovery.
+    MaskedDetected,
+}
+
+/// One injection's result.
+#[derive(Debug, Clone)]
+pub struct InjectionResult {
+    /// The injected point.
+    pub point: SamplePoint,
+    /// Cycle at which the fault armed.
+    pub arm_cycle: u64,
+    /// Classification.
+    pub outcome: Outcome,
+    /// First checker to fire, if detected.
+    pub detector: Option<CheckerKind>,
+    /// Cycles from the fault's first actual corruption to detection.
+    pub detect_latency: Option<u64>,
+    /// Whether the fault ever corrupted a signal.
+    pub exercised: bool,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-injection results.
+    pub results: Vec<InjectionResult>,
+    /// Fault kind injected.
+    pub kind: FaultKind,
+    /// First-detector attribution over all detected injections.
+    pub attribution: CounterSet,
+    /// Golden run length in cycles.
+    pub golden_cycles: u64,
+}
+
+impl CampaignReport {
+    /// Count of one outcome.
+    pub fn count(&self, o: Outcome) -> usize {
+        self.results.iter().filter(|r| r.outcome == o).count()
+    }
+
+    /// Fraction of one outcome (0.0 when empty).
+    pub fn fraction(&self, o: Outcome) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.count(o) as f64 / self.results.len() as f64
+        }
+    }
+
+    /// Coverage of unmasked errors: detected / (detected + undetected).
+    pub fn unmasked_coverage(&self) -> f64 {
+        let d = self.count(Outcome::UnmaskedDetected) as f64;
+        let u = self.count(Outcome::UnmaskedUndetected) as f64;
+        if d + u == 0.0 {
+            1.0
+        } else {
+            d / (d + u)
+        }
+    }
+
+    /// One formatted row in the style of Table 1.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:9} | {:>8.2}% | {:>8.1}% | {:>8.1}% | {:>8.1}%",
+            match self.kind {
+                FaultKind::Transient => "transient",
+                FaultKind::Permanent => "permanent",
+            },
+            100.0 * self.fraction(Outcome::UnmaskedUndetected),
+            100.0 * self.fraction(Outcome::UnmaskedDetected),
+            100.0 * self.fraction(Outcome::MaskedUndetected),
+            100.0 * self.fraction(Outcome::MaskedDetected),
+        )
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:9} | unmasked | unmasked | masked   | masked",
+            ""
+        )?;
+        writeln!(
+            f,
+            "{:9} | undet(SDC)| detected | undetect | detected(DME)",
+            "type"
+        )?;
+        writeln!(f, "{}", self.table_row())?;
+        writeln!(f, "unmasked coverage: {:.1}%", 100.0 * self.unmasked_coverage())?;
+        writeln!(f, "detection attribution:")?;
+        write!(f, "{}", self.attribution)
+    }
+}
+
+/// Compiles the workload once (Argus mode).
+fn compile_workload(w: &Workload, ecfg: &EmbedConfig) -> Program {
+    compile(&w.unit, Mode::Argus, ecfg)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name))
+}
+
+struct GoldenRun {
+    digest: u64,
+    cycles: u64,
+}
+
+fn golden_run(prog: &Program, mcfg: MachineConfig) -> GoldenRun {
+    let mut m = Machine::new(mcfg);
+    prog.load(&mut m);
+    let mut inj = FaultInjector::none();
+    let res = m.run_to_halt(&mut inj, 500_000_000);
+    assert!(res.halted, "golden run must halt");
+    GoldenRun { digest: m.state_digest(), cycles: res.cycles }
+}
+
+/// One faulty run. Returns (first detection, exercised-at, halted, digest).
+fn faulty_run(
+    prog: &Program,
+    cfg: &CampaignConfig,
+    fault: argus_sim::fault::Fault,
+    window: u64,
+) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
+    let mut m = Machine::new(cfg.mcfg);
+    prog.load(&mut m);
+    let mut argus = Argus::new(cfg.acfg);
+    if let Some(d) = prog.entry_dcs {
+        argus.expect_entry(d);
+    }
+    let mut inj = FaultInjector::with_fault(fault);
+    let mut first: Option<DetectionEvent> = None;
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                let evs = argus.on_commit(&rec, &mut inj);
+                if first.is_none() {
+                    first = evs.into_iter().next();
+                }
+            }
+            StepOutcome::Stalled => {
+                if let Some(ev) = argus.on_stall(1, &mut inj) {
+                    if first.is_none() {
+                        first = Some(ev);
+                    }
+                }
+            }
+            StepOutcome::Halted => break,
+        }
+        if m.cycle() > window {
+            break;
+        }
+    }
+    // End-of-run scrub bounds the EDC detection latency for errors parked
+    // in memory (§4.2).
+    if first.is_none() {
+        first = argus.scrub_memory(&m, prog.data_base, &mut inj);
+    }
+    (first, inj.first_flip_cycle(), m.halted(), m.state_digest())
+}
+
+/// Runs a full injection campaign on one workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or the golden run does not halt.
+pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> CampaignReport {
+    assert!(cfg.mcfg.argus_mode, "campaigns run signature-embedded binaries");
+    assert_eq!(
+        cfg.ecfg.sig_width, cfg.acfg.sig_width,
+        "embedding and checker signature widths must agree"
+    );
+    let prog = compile_workload(w, &cfg.ecfg);
+    let golden = golden_run(&prog, cfg.mcfg);
+    let window = golden.cycles * 2 + cfg.hang_slack;
+
+    let inventory = full_inventory();
+    let points = sample_points(&inventory, cfg.injections, cfg.seed);
+    let mut arm_rng = SplitMix64::new(cfg.seed ^ 0x5EED);
+
+    let mut results = Vec::with_capacity(points.len());
+    let mut attribution = CounterSet::new();
+    for point in points {
+        // Arm somewhere in the first 3/4 of the golden execution so the
+        // fault has time to be exercised and detected.
+        let arm_cycle = arm_rng.below((golden.cycles * 3 / 4).max(1));
+        let mut fault = point.fault(cfg.kind, arm_cycle);
+        if arm_rng.next_f64() < cfg.structural_mask {
+            fault.sensitization = 0.0;
+        }
+        let (detection, exercised_at, halted, digest) = faulty_run(&prog, cfg, fault, window);
+
+        let masked = halted && digest == golden.digest;
+        let detected = detection.is_some();
+        let outcome = match (masked, detected) {
+            (false, false) => Outcome::UnmaskedUndetected,
+            (false, true) => Outcome::UnmaskedDetected,
+            (true, false) => Outcome::MaskedUndetected,
+            (true, true) => Outcome::MaskedDetected,
+        };
+        let detector = detection.as_ref().map(|d| d.checker);
+        if let Some(k) = detector {
+            attribution.bump(&k.to_string());
+        }
+        let detect_latency = match (&detection, exercised_at) {
+            (Some(d), Some(x)) => Some(d.cycle.saturating_sub(x)),
+            _ => None,
+        };
+        results.push(InjectionResult {
+            point,
+            arm_cycle,
+            outcome,
+            detector,
+            detect_latency,
+            exercised: exercised_at.is_some(),
+        });
+    }
+
+    CampaignReport { results, kind: cfg.kind, attribution, golden_cycles: golden.cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign(kind: FaultKind, n: usize) -> CampaignReport {
+        run_campaign(
+            &argus_workloads::stress(),
+            &CampaignConfig { injections: n, kind, seed: 0xC0FE, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn campaign_runs_and_classifies() {
+        let rep = small_campaign(FaultKind::Transient, 60);
+        assert_eq!(rep.results.len(), 60);
+        let total: usize = [
+            Outcome::UnmaskedUndetected,
+            Outcome::UnmaskedDetected,
+            Outcome::MaskedUndetected,
+            Outcome::MaskedDetected,
+        ]
+        .iter()
+        .map(|&o| rep.count(o))
+        .sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn most_unmasked_errors_are_detected() {
+        let rep = small_campaign(FaultKind::Permanent, 80);
+        let unmasked =
+            rep.count(Outcome::UnmaskedDetected) + rep.count(Outcome::UnmaskedUndetected);
+        if unmasked >= 10 {
+            assert!(
+                rep.unmasked_coverage() > 0.80,
+                "coverage {:.2} too low",
+                rep.unmasked_coverage()
+            );
+        }
+    }
+
+    #[test]
+    fn unexercised_transients_are_masked() {
+        let rep = small_campaign(FaultKind::Transient, 60);
+        for r in &rep.results {
+            if !r.exercised {
+                assert!(
+                    matches!(r.outcome, Outcome::MaskedUndetected),
+                    "unexercised fault at {} classified {:?}",
+                    r.point.site.name,
+                    r.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_formats() {
+        let rep = small_campaign(FaultKind::Transient, 20);
+        let s = rep.to_string();
+        assert!(s.contains("transient"));
+        assert!(s.contains("coverage"));
+    }
+}

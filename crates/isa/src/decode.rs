@@ -1,0 +1,249 @@
+//! Instruction decoding.
+
+use crate::encode::{opc, sub};
+use crate::instr::{AluImmOp, AluOp, Cond, ExtKind, Instr, MemSize, MulDivOp, ShiftOp};
+use crate::reg::Reg;
+use argus_sim::bits::{field, sign_extend};
+use std::fmt;
+
+/// Error returned by [`try_decode`] for encodings outside the ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeInstrError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeInstrError {}
+
+/// Decodes a word, reporting invalid encodings.
+///
+/// # Errors
+///
+/// Returns [`DecodeInstrError`] when the primary opcode, sub-opcode, or
+/// condition field has no defined meaning.
+pub fn try_decode(word: u32) -> Result<Instr, DecodeInstrError> {
+    let err = || DecodeInstrError { word };
+    let rd = Reg::from_field(field(word, 21, 5));
+    let ra = Reg::from_field(field(word, 16, 5));
+    let rb = Reg::from_field(field(word, 11, 5));
+    let imm16 = field(word, 0, 16) as u16;
+    let off26 = sign_extend(field(word, 0, 26), 26) as i32;
+
+    Ok(match field(word, 26, 6) {
+        opc::J => Instr::Jump { link: false, off: off26 },
+        opc::JAL => Instr::Jump { link: true, off: off26 },
+        opc::BNF => Instr::Branch { taken_if: false, off: off26 },
+        opc::BF => Instr::Branch { taken_if: true, off: off26 },
+        opc::NOP => Instr::Nop,
+        opc::MOVHI => Instr::Movhi { rd, imm: imm16 },
+        opc::HALT => Instr::Halt,
+        opc::SIG => {
+            let nslots = field(word, 24, 2) as u8;
+            if nslots > crate::encode::SIG_MAX_SLOTS {
+                return Err(err());
+            }
+            Instr::Sig {
+                nslots,
+                eob: field(word, 23, 1) == 1,
+                payload: field(word, 0, 15) as u16,
+            }
+        }
+        opc::JR => Instr::JumpReg { link: false, rb },
+        opc::JALR => Instr::JumpReg { link: true, rb },
+        opc::LW => Instr::Load { size: MemSize::Word, signed: false, rd, ra, off: imm16 as i16 },
+        opc::LBU => Instr::Load { size: MemSize::Byte, signed: false, rd, ra, off: imm16 as i16 },
+        opc::LB => Instr::Load { size: MemSize::Byte, signed: true, rd, ra, off: imm16 as i16 },
+        opc::LHU => Instr::Load { size: MemSize::Half, signed: false, rd, ra, off: imm16 as i16 },
+        opc::LH => Instr::Load { size: MemSize::Half, signed: true, rd, ra, off: imm16 as i16 },
+        opc::ADDI => Instr::AluImm { op: AluImmOp::Addi, rd, ra, imm: imm16 },
+        opc::ANDI => Instr::AluImm { op: AluImmOp::Andi, rd, ra, imm: imm16 },
+        opc::ORI => Instr::AluImm { op: AluImmOp::Ori, rd, ra, imm: imm16 },
+        opc::XORI => Instr::AluImm { op: AluImmOp::Xori, rd, ra, imm: imm16 },
+        opc::SHIFTI => {
+            let op = match field(word, 6, 2) {
+                0 => ShiftOp::Sll,
+                1 => ShiftOp::Srl,
+                2 => ShiftOp::Sra,
+                _ => return Err(err()),
+            };
+            Instr::ShiftImm { op, rd, ra, sh: field(word, 0, 5) as u8 }
+        }
+        opc::SFI => Instr::SetFlagImm {
+            cond: Cond::from_code(field(word, 21, 5)).ok_or_else(err)?,
+            ra,
+            imm: imm16,
+        },
+        opc::SW | opc::SB | opc::SH => {
+            let size = match field(word, 26, 6) {
+                opc::SW => MemSize::Word,
+                opc::SB => MemSize::Byte,
+                _ => MemSize::Half,
+            };
+            let imm = ((field(word, 21, 5) << 11) | field(word, 0, 11)) as u16;
+            Instr::Store { size, ra, rb, off: imm as i16 }
+        }
+        opc::RTYPE => match field(word, 0, 4) {
+            sub::ADD => Instr::Alu { op: AluOp::Add, rd, ra, rb },
+            sub::SUB => Instr::Alu { op: AluOp::Sub, rd, ra, rb },
+            sub::AND => Instr::Alu { op: AluOp::And, rd, ra, rb },
+            sub::OR => Instr::Alu { op: AluOp::Or, rd, ra, rb },
+            sub::XOR => Instr::Alu { op: AluOp::Xor, rd, ra, rb },
+            sub::SLL => Instr::Alu { op: AluOp::Sll, rd, ra, rb },
+            sub::SRL => Instr::Alu { op: AluOp::Srl, rd, ra, rb },
+            sub::SRA => Instr::Alu { op: AluOp::Sra, rd, ra, rb },
+            sub::MUL => Instr::MulDiv { op: MulDivOp::Mul, rd, ra, rb },
+            sub::MULU => Instr::MulDiv { op: MulDivOp::Mulu, rd, ra, rb },
+            sub::DIV => Instr::MulDiv { op: MulDivOp::Div, rd, ra, rb },
+            sub::DIVU => Instr::MulDiv { op: MulDivOp::Divu, rd, ra, rb },
+            sub::EXTBS => Instr::Ext { kind: ExtKind::Bs, rd, ra },
+            sub::EXTBZ => Instr::Ext { kind: ExtKind::Bz, rd, ra },
+            sub::EXTHS => Instr::Ext { kind: ExtKind::Hs, rd, ra },
+            sub::EXTHZ => Instr::Ext { kind: ExtKind::Hz, rd, ra },
+            _ => unreachable!("4-bit subop"),
+        },
+        opc::SF => Instr::SetFlag {
+            cond: Cond::from_code(field(word, 21, 5)).ok_or_else(err)?,
+            ra,
+            rb,
+        },
+        _ => return Err(err()),
+    })
+}
+
+/// Total decode: invalid encodings fall back to [`Instr::Nop`].
+///
+/// This mirrors the fault model: a corrupted instruction that no longer
+/// decodes executes as a NOP, dropping its architectural effects — which
+/// the DCS comparison then exposes at the end of the basic block.
+pub fn decode(word: u32) -> Instr {
+    try_decode(word).unwrap_or(Instr::Nop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::r;
+    use proptest::prelude::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Sig { nslots: 3, eob: false, payload: 0x7FFF },
+            Instr::Sig { nslots: 0, eob: true, payload: 0 },
+            Instr::Movhi { rd: r(30), imm: 0xFFFF },
+            Instr::Jump { link: false, off: -1 },
+            Instr::Jump { link: true, off: (1 << 25) - 1 },
+            Instr::Branch { taken_if: true, off: -(1 << 25) },
+            Instr::Branch { taken_if: false, off: 1234 },
+            Instr::JumpReg { link: false, rb: r(9) },
+            Instr::JumpReg { link: true, rb: r(11) },
+        ];
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            v.push(Instr::Alu { op, rd: r(1), ra: r(2), rb: r(3) });
+        }
+        for op in [MulDivOp::Mul, MulDivOp::Mulu, MulDivOp::Div, MulDivOp::Divu] {
+            v.push(Instr::MulDiv { op, rd: r(4), ra: r(5), rb: r(6) });
+        }
+        for kind in [ExtKind::Bs, ExtKind::Bz, ExtKind::Hs, ExtKind::Hz] {
+            v.push(Instr::Ext { kind, rd: r(7), ra: r(8) });
+        }
+        for op in [AluImmOp::Addi, AluImmOp::Andi, AluImmOp::Ori, AluImmOp::Xori] {
+            v.push(Instr::AluImm { op, rd: r(9), ra: r(10), imm: 0x8001 });
+        }
+        for op in [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra] {
+            v.push(Instr::ShiftImm { op, rd: r(11), ra: r(12), sh: 31 });
+        }
+        for cond in [
+            Cond::Eq, Cond::Ne, Cond::Gtu, Cond::Geu, Cond::Ltu, Cond::Leu,
+            Cond::Gts, Cond::Ges, Cond::Lts, Cond::Les,
+        ] {
+            v.push(Instr::SetFlag { cond, ra: r(13), rb: r(14) });
+            v.push(Instr::SetFlagImm { cond, ra: r(15), imm: 0x7FFF });
+        }
+        for (size, signed) in [
+            (MemSize::Word, false),
+            (MemSize::Half, true),
+            (MemSize::Half, false),
+            (MemSize::Byte, true),
+            (MemSize::Byte, false),
+        ] {
+            v.push(Instr::Load { size, signed, rd: r(16), ra: r(17), off: -32768 });
+        }
+        for size in [MemSize::Word, MemSize::Half, MemSize::Byte] {
+            v.push(Instr::Store { size, ra: r(18), rb: r(19), off: 32767 });
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_all_forms() {
+        for i in sample_instrs() {
+            let w = encode(&i);
+            assert_eq!(try_decode(w), Ok(i), "roundtrip failed for {i} ({w:#010x})");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_errors() {
+        let w = 0x3Fu32 << 26;
+        assert!(try_decode(w).is_err());
+        assert_eq!(decode(w), Instr::Nop);
+    }
+
+    #[test]
+    fn invalid_cond_errors() {
+        let w = (opc::SF << 26) | (0x1F << 21);
+        assert!(try_decode(w).is_err());
+    }
+
+    #[test]
+    fn sig_slot_bounds() {
+        let max = (opc::SIG << 26) | (0x3 << 24);
+        assert!(try_decode(max).is_ok(), "3 slots is the max and valid");
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decode_encode_decode_is_stable(word in any::<u32>()) {
+            // Decoding is a projection: decode(encode(decode(w))) == decode(w).
+            let i = decode(word);
+            prop_assert_eq!(decode(encode(&i)), i);
+        }
+
+        #[test]
+        fn rtype_roundtrip(rd in 0u8..32, ra in 0u8..32, rb in 0u8..32, subop in 0u32..16) {
+            // Unary extension ops ignore the rb field, so clear it there to
+            // compare against the canonical encoding.
+            let rb = if subop >= sub::EXTBS { 0 } else { rb };
+            let w = (opc::RTYPE << 26)
+                | ((rd as u32) << 21) | ((ra as u32) << 16) | ((rb as u32) << 11) | subop;
+            let i = try_decode(w).expect("all R-type subops defined");
+            prop_assert_eq!(encode(&i), w);
+        }
+
+        #[test]
+        fn store_offset_roundtrip(off in any::<i16>()) {
+            let i = Instr::Store { size: MemSize::Half, ra: r(1), rb: r(2), off };
+            prop_assert_eq!(try_decode(encode(&i)), Ok(i));
+        }
+
+        #[test]
+        fn branch_offset_roundtrip(off in -(1i32 << 25)..(1i32 << 25)) {
+            let i = Instr::Branch { taken_if: true, off };
+            prop_assert_eq!(try_decode(encode(&i)), Ok(i));
+        }
+    }
+}

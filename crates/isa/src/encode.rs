@@ -1,0 +1,427 @@
+//! Binary instruction encoding, the unused-bit model, and operation tokens.
+//!
+//! The 6-bit primary opcode lives in bits `[31:26]`. Formats follow the
+//! OpenRISC style: register fields are 5 bits, immediates 16 bits (stores
+//! split theirs around the `rb` field), jumps carry a signed 26-bit word
+//! offset. Many formats leave bits unused; [`unused_bit_positions`] exposes
+//! exactly which, and the Argus compiler packs DCS slots into them.
+
+use crate::instr::{AluImmOp, AluOp, ExtKind, Instr, MemSize, MulDivOp, ShiftOp};
+use crate::reg::Reg;
+use argus_sim::bits::{field, insert};
+
+/// Primary opcodes.
+pub mod opc {
+    /// `j` — unconditional jump.
+    pub const J: u32 = 0x00;
+    /// `jal` — jump and link.
+    pub const JAL: u32 = 0x01;
+    /// `bnf` — branch if flag clear.
+    pub const BNF: u32 = 0x03;
+    /// `bf` — branch if flag set.
+    pub const BF: u32 = 0x04;
+    /// `nop`.
+    pub const NOP: u32 = 0x05;
+    /// `movhi`.
+    pub const MOVHI: u32 = 0x06;
+    /// `halt` (simulation exit).
+    pub const HALT: u32 = 0x08;
+    /// Signature instruction (a NOP carrying DCS slots).
+    pub const SIG: u32 = 0x0E;
+    /// `jr` — register-indirect jump.
+    pub const JR: u32 = 0x11;
+    /// `jalr` — register-indirect jump and link.
+    pub const JALR: u32 = 0x12;
+    /// `lw`.
+    pub const LW: u32 = 0x21;
+    /// `lbu`.
+    pub const LBU: u32 = 0x23;
+    /// `lb`.
+    pub const LB: u32 = 0x24;
+    /// `lhu`.
+    pub const LHU: u32 = 0x25;
+    /// `lh`.
+    pub const LH: u32 = 0x26;
+    /// `addi`.
+    pub const ADDI: u32 = 0x27;
+    /// `andi`.
+    pub const ANDI: u32 = 0x29;
+    /// `ori`.
+    pub const ORI: u32 = 0x2A;
+    /// `xori`.
+    pub const XORI: u32 = 0x2B;
+    /// Shift-by-immediate group.
+    pub const SHIFTI: u32 = 0x2E;
+    /// Flag-setting compare with immediate.
+    pub const SFI: u32 = 0x2F;
+    /// `sw`.
+    pub const SW: u32 = 0x35;
+    /// `sb`.
+    pub const SB: u32 = 0x36;
+    /// `sh`.
+    pub const SH: u32 = 0x37;
+    /// Register-register ALU/mul/div/ext group.
+    pub const RTYPE: u32 = 0x38;
+    /// Flag-setting compare, register-register.
+    pub const SF: u32 = 0x39;
+}
+
+/// R-type sub-opcodes (bits `[3:0]`).
+pub mod sub {
+    /// `add`.
+    pub const ADD: u32 = 0;
+    /// `sub`.
+    pub const SUB: u32 = 1;
+    /// `and`.
+    pub const AND: u32 = 2;
+    /// `or`.
+    pub const OR: u32 = 3;
+    /// `xor`.
+    pub const XOR: u32 = 4;
+    /// `sll`.
+    pub const SLL: u32 = 5;
+    /// `srl`.
+    pub const SRL: u32 = 6;
+    /// `sra`.
+    pub const SRA: u32 = 7;
+    /// `mul`.
+    pub const MUL: u32 = 8;
+    /// `mulu`.
+    pub const MULU: u32 = 9;
+    /// `div`.
+    pub const DIV: u32 = 10;
+    /// `divu`.
+    pub const DIVU: u32 = 11;
+    /// `extbs`.
+    pub const EXTBS: u32 = 12;
+    /// `extbz`.
+    pub const EXTBZ: u32 = 13;
+    /// `exths`.
+    pub const EXTHS: u32 = 14;
+    /// `exthz`.
+    pub const EXTHZ: u32 = 15;
+}
+
+/// Maximum number of 5-bit DCS slots a single Signature instruction carries.
+pub const SIG_MAX_SLOTS: u8 = 3;
+
+fn enc_off26(word: u32, off: i32) -> u32 {
+    assert!(
+        (-(1 << 25)..(1 << 25)).contains(&off),
+        "jump/branch offset {off} out of 26-bit range"
+    );
+    insert(word, 0, 26, off as u32)
+}
+
+/// Encodes a decoded instruction into its canonical 32-bit word, with all
+/// unused bits cleared. The DCS embedder later fills those bits; the
+/// decoder ignores them.
+///
+/// # Panics
+///
+/// Panics if a jump/branch offset exceeds its 26-bit field or a shift
+/// amount exceeds 31.
+pub fn encode(i: &Instr) -> u32 {
+    let op = |o: u32| o << 26;
+    match *i {
+        Instr::Alu { op: a, rd, ra, rb } => {
+            let subop = match a {
+                AluOp::Add => sub::ADD,
+                AluOp::Sub => sub::SUB,
+                AluOp::And => sub::AND,
+                AluOp::Or => sub::OR,
+                AluOp::Xor => sub::XOR,
+                AluOp::Sll => sub::SLL,
+                AluOp::Srl => sub::SRL,
+                AluOp::Sra => sub::SRA,
+            };
+            rtype(rd, ra, rb, subop)
+        }
+        Instr::MulDiv { op: m, rd, ra, rb } => {
+            let subop = match m {
+                MulDivOp::Mul => sub::MUL,
+                MulDivOp::Mulu => sub::MULU,
+                MulDivOp::Div => sub::DIV,
+                MulDivOp::Divu => sub::DIVU,
+            };
+            rtype(rd, ra, rb, subop)
+        }
+        Instr::Ext { kind, rd, ra } => {
+            let subop = match kind {
+                ExtKind::Bs => sub::EXTBS,
+                ExtKind::Bz => sub::EXTBZ,
+                ExtKind::Hs => sub::EXTHS,
+                ExtKind::Hz => sub::EXTHZ,
+            };
+            rtype(rd, ra, Reg::ZERO, subop)
+        }
+        Instr::AluImm { op: a, rd, ra, imm } => {
+            let o = match a {
+                AluImmOp::Addi => opc::ADDI,
+                AluImmOp::Andi => opc::ANDI,
+                AluImmOp::Ori => opc::ORI,
+                AluImmOp::Xori => opc::XORI,
+            };
+            op(o) | reg_at(rd, 21) | reg_at(ra, 16) | imm as u32
+        }
+        Instr::ShiftImm { op: s, rd, ra, sh } => {
+            assert!(sh < 32, "shift amount {sh} out of range");
+            let subop = match s {
+                ShiftOp::Sll => 0u32,
+                ShiftOp::Srl => 1,
+                ShiftOp::Sra => 2,
+            };
+            op(opc::SHIFTI) | reg_at(rd, 21) | reg_at(ra, 16) | (subop << 6) | sh as u32
+        }
+        Instr::Movhi { rd, imm } => op(opc::MOVHI) | reg_at(rd, 21) | imm as u32,
+        Instr::SetFlag { cond, ra, rb } => {
+            op(opc::SF) | (cond.code() << 21) | reg_at(ra, 16) | reg_at(rb, 11)
+        }
+        Instr::SetFlagImm { cond, ra, imm } => {
+            op(opc::SFI) | (cond.code() << 21) | reg_at(ra, 16) | imm as u32
+        }
+        Instr::Branch { taken_if, off } => {
+            enc_off26(op(if taken_if { opc::BF } else { opc::BNF }), off)
+        }
+        Instr::Jump { link, off } => enc_off26(op(if link { opc::JAL } else { opc::J }), off),
+        Instr::JumpReg { link, rb } => {
+            op(if link { opc::JALR } else { opc::JR }) | reg_at(rb, 11)
+        }
+        Instr::Load { size, signed, rd, ra, off } => {
+            let o = match (size, signed) {
+                (MemSize::Word, _) => opc::LW,
+                (MemSize::Half, true) => opc::LH,
+                (MemSize::Half, false) => opc::LHU,
+                (MemSize::Byte, true) => opc::LB,
+                (MemSize::Byte, false) => opc::LBU,
+            };
+            op(o) | reg_at(rd, 21) | reg_at(ra, 16) | (off as u16) as u32
+        }
+        Instr::Store { size, ra, rb, off } => {
+            let o = match size {
+                MemSize::Word => opc::SW,
+                MemSize::Byte => opc::SB,
+                MemSize::Half => opc::SH,
+            };
+            let imm = off as u16 as u32;
+            op(o) | ((imm >> 11) << 21) | reg_at(ra, 16) | reg_at(rb, 11) | (imm & 0x7FF)
+        }
+        Instr::Nop => op(opc::NOP),
+        Instr::Sig { nslots, eob, payload } => {
+            assert!(nslots <= SIG_MAX_SLOTS, "Sig carries at most {SIG_MAX_SLOTS} slots");
+            assert!(payload < (1 << 15), "Sig payload wider than 15 bits");
+            op(opc::SIG) | ((nslots as u32) << 24) | ((eob as u32) << 23) | payload as u32
+        }
+        Instr::Halt => op(opc::HALT),
+    }
+}
+
+fn rtype(rd: Reg, ra: Reg, rb: Reg, subop: u32) -> u32 {
+    (opc::RTYPE << 26) | reg_at(rd, 21) | reg_at(ra, 16) | reg_at(rb, 11) | subop
+}
+
+fn reg_at(r: Reg, lo: u32) -> u32 {
+    (r.index() as u32) << lo
+}
+
+/// Bit positions within an encoded word that the decoder ignores — the
+/// storage the DCS embedder uses. Positions are returned low-to-high; the
+/// embedder fills them in that order across the block's instructions.
+///
+/// Invalid encodings have no usable bits.
+pub fn unused_bit_positions(word: u32) -> Vec<u32> {
+    let o = field(word, 26, 6);
+    match o {
+        opc::RTYPE => {
+            let subop = field(word, 0, 4);
+            if (sub::EXTBS..=sub::EXTHZ).contains(&subop) {
+                // rb field is also free for unary extension ops.
+                (4..16).collect()
+            } else if subop <= sub::DIVU {
+                (4..11).collect()
+            } else {
+                vec![]
+            }
+        }
+        opc::SF => (0..11).collect(),
+        opc::SHIFTI => {
+            let mut v: Vec<u32> = vec![5];
+            v.extend(8..16);
+            v
+        }
+        opc::MOVHI => (16..21).collect(),
+        opc::JR | opc::JALR => {
+            let mut v: Vec<u32> = (0..11).collect();
+            v.extend(16..26);
+            v
+        }
+        opc::NOP => (0..16).collect(),
+        // Sig payload bits are the DCS slots themselves, not general-purpose
+        // unused storage; bits [22:15] are reserved.
+        opc::SIG => vec![],
+        _ => vec![],
+    }
+}
+
+/// Total unused-bit capacity of one encoded instruction.
+pub fn unused_bit_count(word: u32) -> u32 {
+    unused_bit_positions(word).len() as u32
+}
+
+/// The DCS-carrying bits one instruction word contributes to its basic
+/// block's embedded stream, in collection order: a Signature instruction
+/// contributes its payload slots, every other instruction its unused-field
+/// bits. This is the single definition shared by the fetch-side extraction
+/// hardware model, the compiler's phase-3 embedder, and the static binary
+/// verifier.
+pub fn embedded_bits(word: u32) -> Vec<bool> {
+    match crate::decode::decode(word) {
+        Instr::Sig { nslots, payload, .. } => {
+            (0..nslots as u32 * 5).map(|i| (payload >> i) & 1 == 1).collect()
+        }
+        _ => unused_bit_positions(word)
+            .into_iter()
+            .map(|pos| (word >> pos) & 1 == 1)
+            .collect(),
+    }
+}
+
+/// The *operation token*: the semantic identity of an instruction — opcode,
+/// sub-opcode, condition, immediates — with register numbers and unused
+/// bits cleared.
+///
+/// The SHS computation unit hashes this token into every result signature,
+/// so instruction-memory corruption of any semantic bit (including
+/// immediates, which the paper folds into the "function definition")
+/// perturbs the DCS. Register numbers are excluded: source identity flows
+/// through the operands' own SHSs and destination identity through the
+/// register-assignment-sensitive DCS permutation.
+pub fn op_token(i: &Instr) -> u32 {
+    let neutered = match *i {
+        Instr::Alu { op, .. } => Instr::Alu { op, rd: Reg::ZERO, ra: Reg::ZERO, rb: Reg::ZERO },
+        Instr::Ext { kind, .. } => Instr::Ext { kind, rd: Reg::ZERO, ra: Reg::ZERO },
+        Instr::MulDiv { op, .. } => {
+            Instr::MulDiv { op, rd: Reg::ZERO, ra: Reg::ZERO, rb: Reg::ZERO }
+        }
+        Instr::AluImm { op, imm, .. } => {
+            Instr::AluImm { op, rd: Reg::ZERO, ra: Reg::ZERO, imm }
+        }
+        Instr::ShiftImm { op, sh, .. } => {
+            Instr::ShiftImm { op, rd: Reg::ZERO, ra: Reg::ZERO, sh }
+        }
+        Instr::Movhi { imm, .. } => Instr::Movhi { rd: Reg::ZERO, imm },
+        Instr::SetFlag { cond, .. } => Instr::SetFlag { cond, ra: Reg::ZERO, rb: Reg::ZERO },
+        Instr::SetFlagImm { cond, imm, .. } => {
+            Instr::SetFlagImm { cond, ra: Reg::ZERO, imm }
+        }
+        Instr::Load { size, signed, off, .. } => {
+            Instr::Load { size, signed, rd: Reg::ZERO, ra: Reg::ZERO, off }
+        }
+        Instr::Store { size, off, .. } => {
+            Instr::Store { size, ra: Reg::ZERO, rb: Reg::ZERO, off }
+        }
+        Instr::JumpReg { link, .. } => Instr::JumpReg { link, rb: Reg::ZERO },
+        other => other,
+    };
+    encode(&neutered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Cond;
+    use crate::reg::r;
+
+    #[test]
+    fn rtype_layout() {
+        let w = encode(&Instr::Alu { op: AluOp::Sub, rd: r(4), ra: r(1), rb: r(2) });
+        assert_eq!(field(w, 26, 6), opc::RTYPE);
+        assert_eq!(field(w, 21, 5), 4);
+        assert_eq!(field(w, 16, 5), 1);
+        assert_eq!(field(w, 11, 5), 2);
+        assert_eq!(field(w, 0, 4), sub::SUB);
+        assert_eq!(field(w, 4, 7), 0, "unused bits canonical zero");
+    }
+
+    #[test]
+    fn store_splits_immediate() {
+        let w = encode(&Instr::Store { size: MemSize::Word, ra: r(1), rb: r(7), off: -4 });
+        let imm = (field(w, 21, 5) << 11) | field(w, 0, 11);
+        assert_eq!(imm as u16 as i16, -4);
+        assert_eq!(field(w, 16, 5), 1);
+        assert_eq!(field(w, 11, 5), 7);
+    }
+
+    #[test]
+    fn unused_bit_counts_match_formats() {
+        let cases: Vec<(Instr, u32)> = vec![
+            (Instr::Alu { op: AluOp::Add, rd: r(1), ra: r(2), rb: r(3) }, 7),
+            (Instr::MulDiv { op: MulDivOp::Mul, rd: r(1), ra: r(2), rb: r(3) }, 7),
+            (Instr::Ext { kind: ExtKind::Bs, rd: r(1), ra: r(2) }, 12),
+            (Instr::SetFlag { cond: Cond::Eq, ra: r(1), rb: r(2) }, 11),
+            (Instr::ShiftImm { op: ShiftOp::Sll, rd: r(1), ra: r(2), sh: 3 }, 9),
+            (Instr::Movhi { rd: r(1), imm: 0xBEEF }, 5),
+            (Instr::JumpReg { link: false, rb: r(9) }, 21),
+            (Instr::Nop, 16),
+            (Instr::Sig { nslots: 2, eob: false, payload: 0x3FF }, 0),
+            (Instr::AluImm { op: AluImmOp::Addi, rd: r(1), ra: r(2), imm: 5 }, 0),
+            (Instr::Load { size: MemSize::Word, signed: false, rd: r(1), ra: r(2), off: 0 }, 0),
+            (Instr::Store { size: MemSize::Byte, ra: r(1), rb: r(2), off: 0 }, 0),
+            (Instr::Jump { link: true, off: 12 }, 0),
+            (Instr::Branch { taken_if: true, off: -3 }, 0),
+            (Instr::SetFlagImm { cond: Cond::Ne, ra: r(1), imm: 9 }, 0),
+        ];
+        for (i, expect) in cases {
+            assert_eq!(unused_bit_count(encode(&i)), expect, "for {i}");
+        }
+    }
+
+    #[test]
+    fn unused_positions_do_not_overlap_fields() {
+        let w = encode(&Instr::Alu { op: AluOp::Or, rd: r(31), ra: r(31), rb: r(31) });
+        for pos in unused_bit_positions(w) {
+            let flipped = w ^ (1 << pos);
+            assert_eq!(
+                crate::decode::decode(flipped),
+                crate::decode::decode(w),
+                "flipping unused bit {pos} changed decode"
+            );
+        }
+    }
+
+    #[test]
+    fn op_token_ignores_registers_but_not_immediates() {
+        let a = Instr::AluImm { op: AluImmOp::Addi, rd: r(1), ra: r(2), imm: 5 };
+        let b = Instr::AluImm { op: AluImmOp::Addi, rd: r(7), ra: r(9), imm: 5 };
+        let c = Instr::AluImm { op: AluImmOp::Addi, rd: r(1), ra: r(2), imm: 6 };
+        assert_eq!(op_token(&a), op_token(&b));
+        assert_ne!(op_token(&a), op_token(&c));
+    }
+
+    #[test]
+    fn op_token_distinguishes_operations() {
+        let add = Instr::Alu { op: AluOp::Add, rd: r(1), ra: r(2), rb: r(3) };
+        let subi = Instr::Alu { op: AluOp::Sub, rd: r(1), ra: r(2), rb: r(3) };
+        assert_ne!(op_token(&add), op_token(&subi));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 26-bit range")]
+    fn jump_offset_overflow_panics() {
+        encode(&Instr::Jump { link: false, off: 1 << 25 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn sig_slot_overflow_panics() {
+        encode(&Instr::Sig { nslots: 4, eob: false, payload: 0 });
+    }
+
+    #[test]
+    fn sig_eob_bit_roundtrips() {
+        for eob in [false, true] {
+            let i = Instr::Sig { nslots: 1, eob, payload: 0x15 };
+            assert_eq!(crate::decode::decode(encode(&i)), i);
+        }
+    }
+}

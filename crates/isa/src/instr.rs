@@ -1,0 +1,582 @@
+//! Decoded instruction forms and their semantic metadata.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Register-register ALU operations (single-cycle, checked by the adder /
+/// RSSE sub-checkers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `rb & 31`.
+    Sll,
+    /// Logical shift right by `rb & 31`.
+    Srl,
+    /// Arithmetic shift right by `rb & 31`.
+    Sra,
+}
+
+/// Multi-cycle multiplier/divider operations (checked by the mod-M
+/// residue sub-checker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Signed 32×32→32 multiply (low word architecturally visible; the
+    /// upper word exists in the datapath but is only reachable via
+    /// multiply-accumulate, which this core does not implement — the
+    /// paper's "masked" error class).
+    Mul,
+    /// Unsigned multiply.
+    Mulu,
+    /// Signed divide (quotient). Division by zero yields all-ones, as in
+    /// typical embedded cores, rather than trapping.
+    Div,
+    /// Unsigned divide.
+    Divu,
+}
+
+/// Immediate ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `rd = ra + sext(imm16)`.
+    Addi,
+    /// `rd = ra & zext(imm16)`.
+    Andi,
+    /// `rd = ra | zext(imm16)`.
+    Ori,
+    /// `rd = ra ^ sext(imm16)`.
+    Xori,
+}
+
+/// Shift-by-immediate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+}
+
+/// Sign-/zero-extension unary ops (checked by the RSSE sub-checker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtKind {
+    /// Sign-extend low byte.
+    Bs,
+    /// Zero-extend low byte.
+    Bz,
+    /// Sign-extend low half-word.
+    Hs,
+    /// Zero-extend low half-word.
+    Hz,
+}
+
+/// Compare conditions for the `sf*` flag-setting instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned greater-than.
+    Gtu,
+    /// Unsigned greater-or-equal.
+    Geu,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Signed greater-than.
+    Gts,
+    /// Signed greater-or-equal.
+    Ges,
+    /// Signed less-than.
+    Lts,
+    /// Signed less-or-equal.
+    Les,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operand values.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Gtu => a > b,
+            Cond::Geu => a >= b,
+            Cond::Ltu => a < b,
+            Cond::Leu => a <= b,
+            Cond::Gts => sa > sb,
+            Cond::Ges => sa >= sb,
+            Cond::Lts => sa < sb,
+            Cond::Les => sa <= sb,
+        }
+    }
+
+    /// The 5-bit field encoding of the condition.
+    pub fn code(self) -> u32 {
+        match self {
+            Cond::Eq => 0x0,
+            Cond::Ne => 0x1,
+            Cond::Gtu => 0x2,
+            Cond::Geu => 0x3,
+            Cond::Ltu => 0x4,
+            Cond::Leu => 0x5,
+            Cond::Gts => 0xA,
+            Cond::Ges => 0xB,
+            Cond::Lts => 0xC,
+            Cond::Les => 0xD,
+        }
+    }
+
+    /// Decodes a 5-bit condition field. Unknown codes yield `None`.
+    pub fn from_code(code: u32) -> Option<Self> {
+        Some(match code {
+            0x0 => Cond::Eq,
+            0x1 => Cond::Ne,
+            0x2 => Cond::Gtu,
+            0x3 => Cond::Geu,
+            0x4 => Cond::Ltu,
+            0x5 => Cond::Leu,
+            0xA => Cond::Gts,
+            0xB => Cond::Ges,
+            0xC => Cond::Lts,
+            0xD => Cond::Les,
+            _ => return None,
+        })
+    }
+}
+
+/// Memory access width for loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+impl MemSize {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+            MemSize::Word => 4,
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// Unknown encodings decode to [`Instr::Nop`]-like behaviour at the machine
+/// level (see `argus-machine`); the decoder itself reports them distinctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Register-register ALU operation: `rd = ra <op> rb`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// Sign/zero extension: `rd = ext(ra)`.
+    Ext {
+        /// Extension kind.
+        kind: ExtKind,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+    },
+    /// Multi-cycle multiply/divide: `rd = ra <op> rb`.
+    MulDiv {
+        /// Operation.
+        op: MulDivOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// ALU with 16-bit immediate.
+    AluImm {
+        /// Operation (determines immediate extension).
+        op: AluImmOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+        /// Raw 16-bit immediate.
+        imm: u16,
+    },
+    /// Shift by a 5-bit immediate.
+    ShiftImm {
+        /// Operation.
+        op: ShiftOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+        /// Shift amount, `0..32`.
+        sh: u8,
+    },
+    /// `rd = imm << 16`.
+    Movhi {
+        /// Destination.
+        rd: Reg,
+        /// High half-word.
+        imm: u16,
+    },
+    /// Flag-setting compare: `F = ra <cond> rb`.
+    SetFlag {
+        /// Condition.
+        cond: Cond,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// Flag-setting compare with sign-extended immediate.
+    SetFlagImm {
+        /// Condition.
+        cond: Cond,
+        /// Source.
+        ra: Reg,
+        /// Raw 16-bit immediate (sign-extended).
+        imm: u16,
+    },
+    /// Conditional branch on the flag (`bf` when `taken_if`, else `bnf`),
+    /// PC-relative word offset, one delay slot.
+    Branch {
+        /// Branch taken when flag equals this.
+        taken_if: bool,
+        /// Signed word offset from the branch instruction.
+        off: i32,
+    },
+    /// Unconditional PC-relative jump (`j`/`jal`), one delay slot.
+    Jump {
+        /// Writes the return address (+ link DCS) to `r9` when true.
+        link: bool,
+        /// Signed word offset from the jump instruction.
+        off: i32,
+    },
+    /// Register-indirect jump (`jr`/`jalr`), one delay slot. The target
+    /// register carries the DCS of the destination block in its top 5 bits.
+    JumpReg {
+        /// Writes the return address to `r9` when true.
+        link: bool,
+        /// Register holding the packed target.
+        rb: Reg,
+    },
+    /// Memory load: `rd = mem[ra + sext(off)]`.
+    Load {
+        /// Access width.
+        size: MemSize,
+        /// Sign-extend the loaded value (ignored for words).
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        ra: Reg,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// Memory store: `mem[ra + sext(off)] = rb`.
+    Store {
+        /// Access width.
+        size: MemSize,
+        /// Base address register.
+        ra: Reg,
+        /// Data register.
+        rb: Reg,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// No operation.
+    Nop,
+    /// Signature instruction: a NOP whose payload carries up to three 5-bit
+    /// DCS slots that did not fit in the block's unused bits (§3.2.2).
+    ///
+    /// When `eob` is set the instruction also marks the end of a basic
+    /// block that falls through into its successor (Figure 2 shows such a
+    /// marker at the end of BB3); the runtime checker performs its DCS
+    /// comparison there.
+    Sig {
+        /// Number of meaningful 5-bit slots, `0..=3`.
+        nslots: u8,
+        /// End-of-block marker for fallthrough blocks.
+        eob: bool,
+        /// Packed payload, slot 0 in bits `[4:0]`.
+        payload: u16,
+    },
+    /// Stops the simulation (stands in for a syscall/exit; the modeled core
+    /// has no I/O or exceptions, matching the paper's scope).
+    Halt,
+}
+
+impl Instr {
+    /// True for control-transfer instructions (all have one delay slot).
+    pub fn is_cti(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::JumpReg { .. }
+        )
+    }
+
+    /// The register written by this instruction, if any. `r0` writes are
+    /// architecturally discarded but still reported here.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::Ext { rd, .. }
+            | Instr::MulDiv { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::ShiftImm { rd, .. }
+            | Instr::Movhi { rd, .. }
+            | Instr::Load { rd, .. } => Some(rd),
+            Instr::Jump { link: true, .. } | Instr::JumpReg { link: true, .. } => Some(Reg::LR),
+            _ => None,
+        }
+    }
+
+    /// The registers read by this instruction, in operand order.
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Alu { ra, rb, .. }
+            | Instr::MulDiv { ra, rb, .. }
+            | Instr::SetFlag { ra, rb, .. } => vec![ra, rb],
+            Instr::Ext { ra, .. }
+            | Instr::AluImm { ra, .. }
+            | Instr::ShiftImm { ra, .. }
+            | Instr::SetFlagImm { ra, .. }
+            | Instr::Load { ra, .. } => vec![ra],
+            Instr::Store { ra, rb, .. } => vec![ra, rb],
+            Instr::JumpReg { rb, .. } => vec![rb],
+            _ => vec![],
+        }
+    }
+
+    /// True if the instruction reads the compare flag.
+    pub fn reads_flag(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// True if the instruction writes the compare flag.
+    pub fn writes_flag(&self) -> bool {
+        matches!(self, Instr::SetFlag { .. } | Instr::SetFlagImm { .. })
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// True if the instruction uses the multi-cycle multiplier/divider.
+    pub fn is_muldiv(&self) -> bool {
+        matches!(self, Instr::MulDiv { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, ra, rb } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::And => "and",
+                    AluOp::Or => "or",
+                    AluOp::Xor => "xor",
+                    AluOp::Sll => "sll",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                };
+                write!(f, "{m} {rd}, {ra}, {rb}")
+            }
+            Instr::Ext { kind, rd, ra } => {
+                let m = match kind {
+                    ExtKind::Bs => "extbs",
+                    ExtKind::Bz => "extbz",
+                    ExtKind::Hs => "exths",
+                    ExtKind::Hz => "exthz",
+                };
+                write!(f, "{m} {rd}, {ra}")
+            }
+            Instr::MulDiv { op, rd, ra, rb } => {
+                let m = match op {
+                    MulDivOp::Mul => "mul",
+                    MulDivOp::Mulu => "mulu",
+                    MulDivOp::Div => "div",
+                    MulDivOp::Divu => "divu",
+                };
+                write!(f, "{m} {rd}, {ra}, {rb}")
+            }
+            Instr::AluImm { op, rd, ra, imm } => {
+                let m = match op {
+                    AluImmOp::Addi => "addi",
+                    AluImmOp::Andi => "andi",
+                    AluImmOp::Ori => "ori",
+                    AluImmOp::Xori => "xori",
+                };
+                write!(f, "{m} {rd}, {ra}, {:#x}", imm)
+            }
+            Instr::ShiftImm { op, rd, ra, sh } => {
+                let m = match op {
+                    ShiftOp::Sll => "slli",
+                    ShiftOp::Srl => "srli",
+                    ShiftOp::Sra => "srai",
+                };
+                write!(f, "{m} {rd}, {ra}, {sh}")
+            }
+            Instr::Movhi { rd, imm } => write!(f, "movhi {rd}, {imm:#x}"),
+            Instr::SetFlag { cond, ra, rb } => write!(f, "sf{} {ra}, {rb}", cond_name(cond)),
+            Instr::SetFlagImm { cond, ra, imm } => {
+                write!(f, "sf{}i {ra}, {imm:#x}", cond_name(cond))
+            }
+            Instr::Branch { taken_if: true, off } => write!(f, "bf {off:+}"),
+            Instr::Branch { taken_if: false, off } => write!(f, "bnf {off:+}"),
+            Instr::Jump { link: false, off } => write!(f, "j {off:+}"),
+            Instr::Jump { link: true, off } => write!(f, "jal {off:+}"),
+            Instr::JumpReg { link: false, rb } => write!(f, "jr {rb}"),
+            Instr::JumpReg { link: true, rb } => write!(f, "jalr {rb}"),
+            Instr::Load { size, signed, rd, ra, off } => {
+                let m = match (size, signed) {
+                    (MemSize::Word, _) => "lw",
+                    (MemSize::Half, true) => "lh",
+                    (MemSize::Half, false) => "lhu",
+                    (MemSize::Byte, true) => "lb",
+                    (MemSize::Byte, false) => "lbu",
+                };
+                write!(f, "{m} {rd}, {off}({ra})")
+            }
+            Instr::Store { size, ra, rb, off } => {
+                let m = match size {
+                    MemSize::Word => "sw",
+                    MemSize::Half => "sh",
+                    MemSize::Byte => "sb",
+                };
+                write!(f, "{m} {rb}, {off}({ra})")
+            }
+            Instr::Nop => write!(f, "nop"),
+            Instr::Sig { nslots, eob, payload } => {
+                write!(f, "sig n={nslots}{} {payload:#x}", if eob { " eob" } else { "" })
+            }
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Gtu => "gtu",
+        Cond::Geu => "geu",
+        Cond::Ltu => "ltu",
+        Cond::Leu => "leu",
+        Cond::Gts => "gts",
+        Cond::Ges => "ges",
+        Cond::Lts => "lts",
+        Cond::Les => "les",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        assert!(Cond::Gtu.eval(0xFFFF_FFFF, 1));
+        assert!(!Cond::Gts.eval(0xFFFF_FFFF, 1)); // -1 > 1 is false
+        assert!(Cond::Lts.eval(0x8000_0000, 0)); // i32::MIN < 0
+        assert!(!Cond::Ltu.eval(0x8000_0000, 0));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Les.eval(5, 5));
+        assert!(Cond::Geu.eval(5, 5));
+    }
+
+    #[test]
+    fn cond_code_roundtrip() {
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Gtu,
+            Cond::Geu,
+            Cond::Ltu,
+            Cond::Leu,
+            Cond::Gts,
+            Cond::Ges,
+            Cond::Lts,
+            Cond::Les,
+        ] {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(0x1F), None);
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Alu { op: AluOp::Add, rd: r(1), ra: r(2), rb: r(3) };
+        assert_eq!(i.dest(), Some(r(1)));
+        assert_eq!(i.sources(), vec![r(2), r(3)]);
+
+        let s = Instr::Store { size: MemSize::Word, ra: r(4), rb: r(5), off: -8 };
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), vec![r(4), r(5)]);
+
+        let jal = Instr::Jump { link: true, off: 4 };
+        assert_eq!(jal.dest(), Some(Reg::LR));
+        assert!(jal.sources().is_empty());
+    }
+
+    #[test]
+    fn category_predicates() {
+        assert!(Instr::Branch { taken_if: true, off: 1 }.is_cti());
+        assert!(Instr::JumpReg { link: false, rb: r(9) }.is_cti());
+        assert!(!Instr::Nop.is_cti());
+        assert!(Instr::Branch { taken_if: false, off: 0 }.reads_flag());
+        assert!(Instr::SetFlag { cond: Cond::Eq, ra: r(1), rb: r(2) }.writes_flag());
+        assert!(Instr::Load { size: MemSize::Byte, signed: true, rd: r(1), ra: r(2), off: 0 }
+            .is_mem());
+        assert!(Instr::MulDiv { op: MulDivOp::Div, rd: r(1), ra: r(2), rb: r(3) }.is_muldiv());
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::Byte.bytes(), 1);
+        assert_eq!(MemSize::Half.bytes(), 2);
+        assert_eq!(MemSize::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Alu { op: AluOp::Xor, rd: r(8), ra: r(6), rb: r(9) };
+        assert_eq!(i.to_string(), "xor r8, r6, r9");
+        assert_eq!(Instr::Nop.to_string(), "nop");
+        assert_eq!(
+            Instr::Load { size: MemSize::Half, signed: false, rd: r(3), ra: r(1), off: 12 }
+                .to_string(),
+            "lhu r3, 12(r1)"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! # argus-isa — the OR1200-like instruction set
+//!
+//! A 32-bit, fixed-width RISC ISA modeled on the OpenRISC ORBIS32 subset
+//! implemented by the OR1200 core the paper instruments: 32 general-purpose
+//! registers, a 1-bit compare flag, delayed branches, and no floating point.
+//!
+//! Beyond ordinary encode/decode, this crate models the property Argus-1's
+//! signature embedding exploits: fixed-size RISC formats leave *unused bits*
+//! in many instructions (register-register ALU ops most of all), and the
+//! compiler hides Dataflow and Control Signatures (DCS) in them. See
+//! [`encode::unused_bit_positions`].
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_isa::{Instr, AluOp, Reg, encode, decode};
+//! let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(1), ra: Reg::new(2), rb: Reg::new(3) };
+//! let word = encode::encode(&i);
+//! assert_eq!(decode::decode(word), i);
+//! assert_eq!(encode::unused_bit_positions(word).len(), 7);
+//! ```
+
+pub mod decode;
+pub mod encode;
+pub mod instr;
+pub mod reg;
+
+pub use instr::{AluOp, Cond, ExtKind, Instr, MemSize, MulDivOp, ShiftOp};
+pub use reg::Reg;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// Bytes per instruction (fixed-width encoding).
+pub const INSTR_BYTES: u32 = 4;
+
+/// Number of address bits usable by register-indirect control transfers.
+///
+/// Argus-1 stores the 5-bit DCS of the target block in the 5 most
+/// significant bits of any register holding a branch-target address
+/// (§3.2.2, "Indirect Branches"), which restricts the addressable range.
+pub const INDIRECT_ADDR_BITS: u32 = 27;
+
+/// Mask selecting the address portion of an indirect branch target.
+pub const INDIRECT_ADDR_MASK: u32 = (1 << INDIRECT_ADDR_BITS) - 1;
+
+/// Splits a link/function-pointer register value into `(address, dcs)`.
+pub fn split_indirect_target(value: u32) -> (u32, u32) {
+    (value & INDIRECT_ADDR_MASK, value >> INDIRECT_ADDR_BITS)
+}
+
+/// Packs an address and a DCS into a register value for indirect control
+/// transfers.
+///
+/// # Panics
+///
+/// Panics if the address does not fit in [`INDIRECT_ADDR_BITS`] bits or the
+/// DCS in 5 bits.
+pub fn pack_indirect_target(addr: u32, dcs: u32) -> u32 {
+    assert!(addr <= INDIRECT_ADDR_MASK, "indirect target {addr:#x} out of range");
+    assert!(dcs < 32, "DCS {dcs} wider than 5 bits");
+    addr | (dcs << INDIRECT_ADDR_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indirect_target_roundtrip() {
+        let v = pack_indirect_target(0x0012_3454, 0b10110);
+        let (a, d) = split_indirect_target(v);
+        assert_eq!(a, 0x0012_3454);
+        assert_eq!(d, 0b10110);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pack_rejects_wide_address() {
+        pack_indirect_target(1 << 27, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 5 bits")]
+    fn pack_rejects_wide_dcs() {
+        pack_indirect_target(0, 32);
+    }
+}

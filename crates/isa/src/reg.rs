@@ -1,0 +1,104 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers, `r0`–`r31`.
+///
+/// By ABI convention (mirroring OpenRISC): `r0` is hardwired to zero,
+/// `r1` is the stack pointer, and `r9` is the link register written by
+/// `jal`/`jalr`.
+///
+/// ```
+/// use argus_isa::Reg;
+/// assert_eq!(Reg::LR.index(), 9);
+/// assert_eq!(format!("{}", Reg::new(17)), "r17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The stack pointer `r1`.
+    pub const SP: Reg = Reg(1);
+    /// The link register `r9`.
+    pub const LR: Reg = Reg(9);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    pub const fn from_field(field: u32) -> Self {
+        Reg((field & 31) as u8)
+    }
+
+    /// The register index, `0..32`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+/// Shorthand constructor, convenient in tests and workload builders.
+///
+/// # Panics
+///
+/// Panics if `index >= 32`.
+pub const fn r(index: u8) -> Reg {
+    Reg::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Reg::new(0), Reg::ZERO);
+        assert_eq!(Reg::new(31).index(), 31);
+        assert_eq!(Reg::from_field(0xFFFF_FFE3).index(), 3);
+        assert_eq!(r(5).index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn out_of_range_panics() {
+        Reg::new(32);
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        assert_eq!(v[9], Reg::LR);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::SP.to_string(), "r1");
+        assert_eq!(Reg::new(31).to_string(), "r31");
+    }
+}

@@ -1,0 +1,98 @@
+//! Structural ALU model: the pure semantics of [`crate::exec`] with fault
+//! taps at the internal unit outputs, so injected faults distinguish
+//! "error inside the functional unit" (caught by the computation checker)
+//! from "error on the operand/result buses" (caught by parity).
+
+use crate::exec;
+use crate::sites;
+use argus_isa::instr::{AluOp, ExtKind, ShiftOp};
+use argus_sim::fault::FaultInjector;
+
+/// Executes a register-register ALU op, tapping the owning sub-unit's
+/// output signal.
+pub fn execute(op: AluOp, a: u32, b: u32, inj: &mut FaultInjector) -> u32 {
+    let raw = exec::alu(op, a, b);
+    match op {
+        AluOp::Add | AluOp::Sub => inj.tap32(sites::ALU_ADDER_OUT, raw),
+        AluOp::And | AluOp::Or | AluOp::Xor => inj.tap32(sites::ALU_LOGIC_OUT, raw),
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => inj.tap32(sites::ALU_SHIFT_OUT, raw),
+    }
+}
+
+/// Executes a shift-by-immediate through the shifter.
+pub fn execute_shift_imm(op: ShiftOp, a: u32, sh: u8, inj: &mut FaultInjector) -> u32 {
+    inj.tap32(sites::ALU_SHIFT_OUT, exec::shift_imm(op, a, sh))
+}
+
+/// Executes a sign/zero extension through the shifter/extension unit.
+pub fn execute_ext(kind: ExtKind, a: u32, inj: &mut FaultInjector) -> u32 {
+    inj.tap32(sites::ALU_SHIFT_OUT, exec::extend(kind, a))
+}
+
+/// Computes a load/store effective address on the shared ALU adder.
+pub fn execute_addr(base: u32, off: i16, inj: &mut FaultInjector) -> u32 {
+    let sum = base.wrapping_add(off as i32 as u32);
+    let adder_out = inj.tap32(sites::ALU_ADDER_OUT, sum);
+    inj.tap32(sites::LSU_ADDR, adder_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+
+    fn adder_fault() -> FaultInjector {
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: sites::ALU_ADDER_OUT,
+            bit: 0,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        inj.set_cycle(0);
+        inj
+    }
+
+    #[test]
+    fn fault_free_matches_pure_semantics() {
+        let mut inj = FaultInjector::none();
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            assert_eq!(execute(op, 0xF0F0, 5, &mut inj), exec::alu(op, 0xF0F0, 5));
+        }
+    }
+
+    #[test]
+    fn adder_fault_hits_add_but_not_logic() {
+        let mut inj = adder_fault();
+        assert_eq!(execute(AluOp::Add, 2, 2, &mut inj), 5);
+        let mut inj = adder_fault();
+        assert_eq!(execute(AluOp::Xor, 2, 2, &mut inj), 0, "logic unit unaffected");
+    }
+
+    #[test]
+    fn address_adder_shares_the_alu_adder() {
+        let mut inj = adder_fault();
+        assert_eq!(execute_addr(0x100, 4, &mut inj), 0x105);
+    }
+
+    #[test]
+    fn ext_uses_shift_unit() {
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: sites::ALU_SHIFT_OUT,
+            bit: 31,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        inj.set_cycle(0);
+        assert_eq!(execute_ext(ExtKind::Bz, 0xFF, &mut inj), 0x8000_00FF);
+        assert_eq!(
+            execute_shift_imm(ShiftOp::Srl, 0x8000_0000, 1, &mut inj),
+            0xC000_0000
+        );
+    }
+}

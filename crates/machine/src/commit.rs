@@ -1,0 +1,149 @@
+//! The commit record: everything the Argus-1 checker hardware taps.
+//!
+//! One [`CommitRecord`] is emitted per retired instruction. Its fields are
+//! the values *as they appeared on the corresponding signals* — i.e. after
+//! any injected fault — so a fault is seen consistently by the architectural
+//! datapath and by the checkers, exactly as a gate-level fault would be.
+
+use argus_isa::instr::{Instr, MemSize};
+use argus_isa::reg::Reg;
+
+/// One source operand as delivered to the execute stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operand {
+    /// Effective source register (after any read-address fault), or `None`
+    /// for non-register operands.
+    pub reg: Option<Reg>,
+    /// The value on the operand bus.
+    pub value: u32,
+    /// The parity tag that travelled with the value from the register file.
+    pub parity: bool,
+}
+
+/// Control-transfer outcome of a committed CTI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// True for conditional branches (`bf`/`bnf`).
+    pub conditional: bool,
+    /// Whether the transfer was actually taken by the datapath.
+    pub taken: bool,
+    /// The flag value the branch unit read (conditional branches only).
+    pub flag_used: Option<bool>,
+    /// The resolved target (when taken).
+    pub target: Option<u32>,
+    /// For indirect jumps in Argus mode: the DCS carried in the target
+    /// register's top bits.
+    pub indirect_dcs: Option<u32>,
+}
+
+/// A committed memory access as seen at the LSU / memory interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// Access width.
+    pub size: MemSize,
+    /// Sign-extend on load.
+    pub signed: bool,
+    /// Base register value fed to the address adder.
+    pub base: u32,
+    /// Immediate offset fed to the address adder.
+    pub offset: i16,
+    /// Effective address produced by the LSU adder (post-fault).
+    pub addr: u32,
+    /// Word address used by the D⊕A XOR unit.
+    pub word_addr_xor: u32,
+    /// Word address used for row selection in the memory arrays.
+    pub word_addr_row: u32,
+    /// The recovered memory word (`payload ⊕ A`): loaded word, or the old
+    /// word read for a sub-word read-modify-write store.
+    pub raw_word: u32,
+    /// Memory-checker parity verdict for loads (`true` when clean or when
+    /// protection is disabled).
+    pub parity_ok: bool,
+    /// Load: aligned/extended value before the load-data bus.
+    /// Store: the data value sent on the store bus.
+    pub value: u32,
+    /// For sub-word stores: the merged word actually written.
+    pub store_merged: Option<u32>,
+}
+
+/// Everything observable about one retired instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Raw instruction bits as fetched (post fetch-bus fault).
+    pub raw: u32,
+    /// Decoded view executed by the datapath.
+    pub instr: Instr,
+    /// Decoded view delivered to the computation sub-checker.
+    pub op_subchk: Instr,
+    /// Decoded view delivered to the SHS computation unit.
+    pub op_shs: Instr,
+    /// Source operands in operand order.
+    pub operands: Vec<Operand>,
+    /// Functional-unit output (post internal fault, before the result bus).
+    pub result: Option<u32>,
+    /// Auxiliary FU output: product high word or division remainder.
+    pub aux_result: Option<u32>,
+    /// Writeback performed: `(effective rd, value, parity)` as stored.
+    pub wb: Option<(Reg, u32, bool)>,
+    /// Memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Control transfer, if any.
+    pub branch: Option<BranchInfo>,
+    /// Compare result written to the flag, if any.
+    pub flag_write: Option<bool>,
+    /// PC the machine will fetch next.
+    pub next_pc: u32,
+    /// This instruction sat in the delay slot of the previous CTI.
+    pub in_delay_slot: bool,
+    /// Committing this instruction ends the current basic block (it is a
+    /// delay-slot instruction, or an end-of-block Signature marker).
+    pub block_end: bool,
+    /// The DCS-carrying bits this instruction contributed to the block's
+    /// embedded signature stream (unused-field bits or Sig payload).
+    pub embedded_bits: Vec<bool>,
+    /// Cycles this instruction occupied the pipeline (1 = no stall).
+    pub cycles: u32,
+    /// Global cycle count at commit.
+    pub cycle: u64,
+}
+
+impl CommitRecord {
+    /// Stall cycles this instruction contributed (feeds the watchdog).
+    pub fn stall_cycles(&self) -> u32 {
+        self.cycles.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_cycles() {
+        let rec = CommitRecord {
+            pc: 0,
+            raw: 0,
+            instr: Instr::Nop,
+            op_subchk: Instr::Nop,
+            op_shs: Instr::Nop,
+            operands: vec![],
+            result: None,
+            aux_result: None,
+            wb: None,
+            mem: None,
+            branch: None,
+            flag_write: None,
+            next_pc: 4,
+            in_delay_slot: false,
+            block_end: false,
+            embedded_bits: vec![],
+            cycles: 21,
+            cycle: 21,
+        };
+        assert_eq!(rec.stall_cycles(), 20);
+    }
+}

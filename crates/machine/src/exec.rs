@@ -1,0 +1,254 @@
+//! Pure (structural-fault-free) instruction semantics.
+//!
+//! These functions define the reference behaviour of each functional unit.
+//! The structural models in [`crate::alu`] and [`crate::muldiv`] wrap them
+//! with fault taps; the Argus computation sub-checkers and the ideal
+//! checker recompute through them.
+
+use argus_isa::instr::{AluImmOp, AluOp, ExtKind, MemSize, MulDivOp, ShiftOp};
+use argus_sim::bits::{sign_extend, zero_extend};
+
+/// Result of a register-register ALU operation.
+pub fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+    }
+}
+
+/// Result of an immediate ALU operation, including the operation-specific
+/// immediate extension.
+pub fn alu_imm(op: AluImmOp, a: u32, imm: u16) -> u32 {
+    match op {
+        AluImmOp::Addi => a.wrapping_add(sign_extend(imm as u32, 16)),
+        AluImmOp::Andi => a & imm as u32,
+        AluImmOp::Ori => a | imm as u32,
+        AluImmOp::Xori => a ^ sign_extend(imm as u32, 16),
+    }
+}
+
+/// The effective second operand an immediate ALU op feeds into the adder /
+/// logic unit (what the computation checker sees as input B).
+pub fn alu_imm_operand(op: AluImmOp, imm: u16) -> u32 {
+    match op {
+        AluImmOp::Addi | AluImmOp::Xori => sign_extend(imm as u32, 16),
+        AluImmOp::Andi | AluImmOp::Ori => imm as u32,
+    }
+}
+
+/// Maps an immediate ALU op onto the underlying register-register op.
+pub fn alu_imm_base(op: AluImmOp) -> AluOp {
+    match op {
+        AluImmOp::Addi => AluOp::Add,
+        AluImmOp::Andi => AluOp::And,
+        AluImmOp::Ori => AluOp::Or,
+        AluImmOp::Xori => AluOp::Xor,
+    }
+}
+
+/// Result of a shift-by-immediate.
+pub fn shift_imm(op: ShiftOp, a: u32, sh: u8) -> u32 {
+    match op {
+        ShiftOp::Sll => a.wrapping_shl(sh as u32 & 31),
+        ShiftOp::Srl => a.wrapping_shr(sh as u32 & 31),
+        ShiftOp::Sra => ((a as i32).wrapping_shr(sh as u32 & 31)) as u32,
+    }
+}
+
+/// Result of a sign/zero extension.
+pub fn extend(kind: ExtKind, a: u32) -> u32 {
+    match kind {
+        ExtKind::Bs => sign_extend(a, 8),
+        ExtKind::Bz => zero_extend(a, 8),
+        ExtKind::Hs => sign_extend(a, 16),
+        ExtKind::Hz => zero_extend(a, 16),
+    }
+}
+
+/// Full 64-bit multiply result (the core architecturally exposes only the
+/// low word; the high word models the datapath bits only reachable through
+/// multiply-accumulate, which this core lacks — the paper's masked class).
+pub fn multiply(op: MulDivOp, a: u32, b: u32) -> (u32, u32) {
+    let full = match op {
+        MulDivOp::Mul => (a as i32 as i64).wrapping_mul(b as i32 as i64) as u64,
+        MulDivOp::Mulu => (a as u64).wrapping_mul(b as u64),
+        _ => panic!("multiply called with a divide op"),
+    };
+    (full as u32, (full >> 32) as u32)
+}
+
+/// Divide producing `(quotient, remainder)`. Division by zero yields an
+/// all-ones quotient and the dividend as remainder (no traps in this core).
+pub fn divide(op: MulDivOp, a: u32, b: u32) -> (u32, u32) {
+    match op {
+        MulDivOp::Div => {
+            if b == 0 {
+                (u32::MAX, a)
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                // i32::MIN / -1 overflows; define it as wrapping.
+                (0x8000_0000, 0)
+            } else {
+                (
+                    ((a as i32) / (b as i32)) as u32,
+                    ((a as i32) % (b as i32)) as u32,
+                )
+            }
+        }
+        MulDivOp::Divu => {
+            if b == 0 {
+                (u32::MAX, a)
+            } else {
+                (a / b, a % b)
+            }
+        }
+        _ => panic!("divide called with a multiply op"),
+    }
+}
+
+/// Extracts and extends a sub-word value from an aligned word, as the
+/// load-aligner does. `byte_off` is the little-endian byte offset of the
+/// access inside the word (already masked to natural alignment).
+pub fn align_load(word: u32, byte_off: u32, size: MemSize, signed: bool) -> u32 {
+    match size {
+        MemSize::Word => word,
+        MemSize::Half => {
+            let half = (word >> (8 * (byte_off & 2))) & 0xFFFF;
+            if signed { sign_extend(half, 16) } else { half }
+        }
+        MemSize::Byte => {
+            let byte = (word >> (8 * byte_off)) & 0xFF;
+            if signed { sign_extend(byte, 8) } else { byte }
+        }
+    }
+}
+
+/// Merges a sub-word store value into an existing word (read-modify-write
+/// in the write-back cache). Returns the new word.
+pub fn merge_store(old_word: u32, byte_off: u32, size: MemSize, data: u32) -> u32 {
+    match size {
+        MemSize::Word => data,
+        MemSize::Half => {
+            let sh = 8 * (byte_off & 2);
+            (old_word & !(0xFFFFu32 << sh)) | ((data & 0xFFFF) << sh)
+        }
+        MemSize::Byte => {
+            let sh = 8 * byte_off;
+            (old_word & !(0xFFu32 << sh)) | ((data & 0xFF) << sh)
+        }
+    }
+}
+
+/// Natural alignment mask for an access size.
+pub fn align_addr(addr: u32, size: MemSize) -> u32 {
+    addr & !(size.bytes() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alu_ops() {
+        assert_eq!(alu(AluOp::Add, 3, u32::MAX), 2);
+        assert_eq!(alu(AluOp::Sub, 3, 5), -2i32 as u32);
+        assert_eq!(alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(alu(AluOp::Sll, 1, 31), 0x8000_0000);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Sll, 1, 32), 1, "shift amount masked to 5 bits");
+    }
+
+    #[test]
+    fn imm_extension_rules() {
+        assert_eq!(alu_imm(AluImmOp::Addi, 10, 0xFFFF), 9, "addi sign-extends");
+        assert_eq!(alu_imm(AluImmOp::Andi, u32::MAX, 0xFFFF), 0xFFFF, "andi zero-extends");
+        assert_eq!(alu_imm(AluImmOp::Ori, 0, 0x8000), 0x8000);
+        assert_eq!(alu_imm(AluImmOp::Xori, 0, 0xFFFF), u32::MAX, "xori sign-extends");
+    }
+
+    #[test]
+    fn shift_imm_ops() {
+        assert_eq!(shift_imm(ShiftOp::Sll, 1, 4), 16);
+        assert_eq!(shift_imm(ShiftOp::Srl, 0x80, 4), 8);
+        assert_eq!(shift_imm(ShiftOp::Sra, 0x8000_0000, 4), 0xF800_0000);
+    }
+
+    #[test]
+    fn extend_ops() {
+        assert_eq!(extend(ExtKind::Bs, 0x1FF), 0xFFFF_FFFF);
+        assert_eq!(extend(ExtKind::Bz, 0x1FF), 0xFF);
+        assert_eq!(extend(ExtKind::Hs, 0x1_8000), 0xFFFF_8000);
+        assert_eq!(extend(ExtKind::Hz, 0x1_8000), 0x8000);
+    }
+
+    #[test]
+    fn multiply_signedness() {
+        assert_eq!(multiply(MulDivOp::Mul, -2i32 as u32, 3), (-6i32 as u32, u32::MAX));
+        assert_eq!(multiply(MulDivOp::Mulu, u32::MAX, 2), (u32::MAX - 1, 1));
+    }
+
+    #[test]
+    fn divide_cases() {
+        assert_eq!(divide(MulDivOp::Div, -7i32 as u32, 2), (-3i32 as u32, -1i32 as u32));
+        assert_eq!(divide(MulDivOp::Divu, 7, 2), (3, 1));
+        assert_eq!(divide(MulDivOp::Div, 5, 0), (u32::MAX, 5));
+        assert_eq!(divide(MulDivOp::Div, 0x8000_0000, u32::MAX), (0x8000_0000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide op")]
+    fn multiply_rejects_div() {
+        multiply(MulDivOp::Div, 1, 1);
+    }
+
+    #[test]
+    fn align_and_merge_are_inverse() {
+        let word = 0x4433_2211u32;
+        assert_eq!(align_load(word, 0, MemSize::Byte, false), 0x11);
+        assert_eq!(align_load(word, 3, MemSize::Byte, false), 0x44);
+        assert_eq!(align_load(word, 2, MemSize::Half, false), 0x4433);
+        assert_eq!(align_load(word, 0, MemSize::Half, true), 0x2211);
+        assert_eq!(merge_store(word, 1, MemSize::Byte, 0xAA), 0x4433_AA11);
+        assert_eq!(merge_store(word, 2, MemSize::Half, 0xBEEF), 0xBEEF_2211);
+        assert_eq!(merge_store(word, 0, MemSize::Word, 5), 5);
+    }
+
+    #[test]
+    fn align_addr_masks() {
+        assert_eq!(align_addr(0x103, MemSize::Word), 0x100);
+        assert_eq!(align_addr(0x103, MemSize::Half), 0x102);
+        assert_eq!(align_addr(0x103, MemSize::Byte), 0x103);
+    }
+
+    proptest! {
+        #[test]
+        fn div_identity(a in any::<u32>(), b in 1u32..) {
+            let (q, r) = divide(MulDivOp::Divu, a, b);
+            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+            prop_assert!(r < b);
+        }
+
+        #[test]
+        fn signed_div_identity(a in any::<i32>(), b in any::<i32>()) {
+            prop_assume!(b != 0 && !(a == i32::MIN && b == -1));
+            let (q, r) = divide(MulDivOp::Div, a as u32, b as u32);
+            let lhs = (q as i32).wrapping_mul(b).wrapping_add(r as i32);
+            prop_assert_eq!(lhs, a);
+        }
+
+        #[test]
+        fn merge_then_load_roundtrip(word in any::<u32>(), data in any::<u32>(), off in 0u32..4) {
+            let merged = merge_store(word, off, MemSize::Byte, data);
+            prop_assert_eq!(align_load(merged, off, MemSize::Byte, false), data & 0xFF);
+        }
+    }
+}

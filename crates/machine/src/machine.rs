@@ -1,0 +1,886 @@
+//! The cycle-level core model.
+
+use crate::alu;
+use crate::commit::{BranchInfo, CommitRecord, MemAccess, Operand};
+use crate::exec;
+use crate::muldiv;
+use crate::sites;
+use argus_isa::decode::decode;
+use argus_isa::instr::Instr;
+use argus_isa::reg::Reg;
+use argus_isa::{pack_indirect_target, split_indirect_target, INDIRECT_ADDR_MASK};
+use argus_mem::{MemConfig, MemorySystem};
+use argus_sim::bits::parity32;
+use argus_sim::fault::FaultInjector;
+
+/// Per-register fault-site names for the register file cells (one site per
+/// architectural register, so a permanent fault is pinned to one cell).
+pub const RF_CELL_SITES: [&str; 32] = [
+    "rf_cell_r0", "rf_cell_r1", "rf_cell_r2", "rf_cell_r3", "rf_cell_r4", "rf_cell_r5",
+    "rf_cell_r6", "rf_cell_r7", "rf_cell_r8", "rf_cell_r9", "rf_cell_r10", "rf_cell_r11",
+    "rf_cell_r12", "rf_cell_r13", "rf_cell_r14", "rf_cell_r15", "rf_cell_r16", "rf_cell_r17",
+    "rf_cell_r18", "rf_cell_r19", "rf_cell_r20", "rf_cell_r21", "rf_cell_r22", "rf_cell_r23",
+    "rf_cell_r24", "rf_cell_r25", "rf_cell_r26", "rf_cell_r27", "rf_cell_r28", "rf_cell_r29",
+    "rf_cell_r30", "rf_cell_r31",
+];
+
+/// Core configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// Argus mode: run a signature-embedded binary with protected memory,
+    /// link-DCS packing and masked indirect targets. Baseline binaries run
+    /// with this off.
+    pub argus_mode: bool,
+    /// Total cycles of a multiply (paper's OR1200: non-pipelined, 3).
+    pub mul_cycles: u32,
+    /// Total cycles of a divide (serial divider, 32).
+    pub div_cycles: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self { mem: MemConfig::default(), argus_mode: true, mul_cycles: 3, div_cycles: 32 }
+    }
+}
+
+/// Result of one [`Machine::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// An instruction retired.
+    Committed(Box<CommitRecord>),
+    /// The pipeline spent a cycle stalled without retiring (only happens
+    /// under an injected stall-control fault).
+    Stalled,
+    /// The machine has halted; no further progress.
+    Halted,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Whether the program reached `halt` (vs. hitting the cycle bound).
+    pub halted: bool,
+}
+
+/// The OR1200-like core.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    regs: [u32; 32],
+    parity: [bool; 32],
+    flag: bool,
+    pc: u32,
+    mem: MemorySystem,
+    cycle: u64,
+    retired: u64,
+    pending_branch: Option<u32>,
+    delay_slot: bool,
+    block_bits: Vec<bool>,
+    halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed architectural state and PC 0.
+    ///
+    /// In Argus mode, main memory is initialized with the protected
+    /// encoding of zero (`payload = 0 ⊕ A = A`, even parity), the way real
+    /// EDC memory ships with valid check bits — so reading a never-written
+    /// word returns 0 with clean parity in both modes.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mut mem = MemorySystem::new(cfg.mem);
+        if cfg.argus_mode {
+            mem.memory_mut().fill_protected_zero();
+        }
+        Self {
+            cfg,
+            regs: [0; 32],
+            parity: [false; 32],
+            flag: false,
+            pc: 0,
+            mem,
+            cycle: 0,
+            retired: 0,
+            pending_branch: None,
+            delay_slot: false,
+            block_bits: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.cfg
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (entry point).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[usize::from(r)]
+    }
+
+    /// Writes an architectural register directly (setup code). Parity is
+    /// kept consistent. Writes to `r0` are ignored.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[usize::from(r)] = v;
+            self.parity[usize::from(r)] = parity32(v);
+        }
+    }
+
+    /// The compare flag.
+    pub fn flag(&self) -> bool {
+        self.flag
+    }
+
+    /// Total cycles elapsed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The memory system (stats, golden snapshots).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable memory system access.
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Loads instruction words at `base` (plain, never address-embedded).
+    pub fn load_code(&mut self, base: u32, words: &[u32]) {
+        self.mem.memory_mut().load_image(base, words);
+    }
+
+    /// Loads initial data words at `base`, using the protected encoding
+    /// when the machine runs in Argus mode.
+    pub fn load_data(&mut self, base: u32, words: &[u32]) {
+        for (k, &w) in words.iter().enumerate() {
+            let addr = base + 4 * k as u32;
+            self.write_data_word(addr, w);
+        }
+    }
+
+    /// Host-side data read that undoes the protection encoding.
+    pub fn read_data_word(&self, addr: u32) -> u32 {
+        let a = addr & !3;
+        let (p, _t) = self.mem.memory().read(a).unwrap_or((0, false));
+        if self.cfg.argus_mode {
+            p ^ a
+        } else {
+            p
+        }
+    }
+
+    /// Host-side data write using the protection encoding of this machine.
+    pub fn write_data_word(&mut self, addr: u32, value: u32) {
+        let a = addr & !3;
+        let (payload, tag) = if self.cfg.argus_mode {
+            (value ^ a, parity32(value))
+        } else {
+            argus_mem::protect::encode_plain(value)
+        };
+        self.mem
+            .memory_mut()
+            .write(a, payload, tag)
+            .unwrap_or_else(|e| panic!("data write out of range: {e}"));
+    }
+
+    /// A digest of the architectural state (registers, flag, memory, PC),
+    /// used for masked/unmasked classification against a golden run.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for &r in &self.regs {
+            mix(r as u64);
+        }
+        mix(self.flag as u64);
+        mix(self.pc as u64);
+        for &w in self.mem.memory().words() {
+            mix(w as u64);
+        }
+        h
+    }
+
+    fn parse_block_slot(&self, k: usize) -> u32 {
+        let mut v = 0u32;
+        for i in 0..5 {
+            if self.block_bits.get(5 * k + i).copied().unwrap_or(false) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    fn wb_store(
+        &mut self,
+        bus_site: &'static str,
+        rd: Reg,
+        val: u32,
+        inj: &mut FaultInjector,
+    ) -> (Reg, u32, bool) {
+        let par = parity32(val);
+        let v = inj.tap32(bus_site, val);
+        let rd_eff = Reg::from_field(inj.tap32(sites::RF_WADDR, rd.index() as u32));
+        if rd_eff != Reg::ZERO {
+            self.regs[usize::from(rd_eff)] = v;
+            self.parity[usize::from(rd_eff)] = par;
+        }
+        (rd_eff, v, par)
+    }
+
+    fn read_operand(&mut self, port: usize, r: Reg, inj: &mut FaultInjector) -> Operand {
+        let raddr_site = if port == 0 { sites::RF_RADDR_A } else { sites::RF_RADDR_B };
+        let idx = Reg::from_field(inj.tap32(raddr_site, r.index() as u32));
+        let stored = self.regs[usize::from(idx)];
+        let cell_site = RF_CELL_SITES[usize::from(idx)];
+        let was_transient = inj.has_transient_on(cell_site);
+        let v0 = inj.tap32(cell_site, stored);
+        if v0 != stored && was_transient && idx != Reg::ZERO {
+            // A transient upset of a storage cell persists until overwritten.
+            self.regs[usize::from(idx)] = v0;
+        }
+        let par = self.parity[usize::from(idx)];
+        let bus_site = if port == 0 { sites::EX_OPA_BUS } else { sites::EX_OPB_BUS };
+        let v1 = inj.tap32(bus_site, v0);
+        Operand { reg: Some(idx), value: v1, parity: par }
+    }
+
+    /// Executes one instruction (or one stalled cycle) and returns what
+    /// happened. Repeated calls after `halt` return [`StepOutcome::Halted`].
+    pub fn step(&mut self, inj: &mut FaultInjector) -> StepOutcome {
+        if self.halted {
+            return StepOutcome::Halted;
+        }
+        inj.set_cycle(self.cycle);
+        if !inj.tap1(sites::CTL_STALL_RELEASE, true) {
+            self.cycle += 1;
+            return StepOutcome::Stalled;
+        }
+
+        let pc = self.pc;
+        let (raw0, fetch_cycles) = self.mem.fetch(pc);
+        let raw = inj.tap32(sites::IF_IBUS, raw0);
+        let trunk = inj.tap32(sites::ID_OPC_TRUNK, raw);
+        let instr = decode(inj.tap32(sites::ID_OPC_FU, trunk));
+        let op_subchk = decode(inj.tap32(sites::ID_OPC_SUBCHK, trunk));
+        let op_shs = decode(inj.tap32(sites::ID_OPC_SHS, trunk));
+
+        // Signature extraction (Argus assist logic on the fetch path).
+        let embedded_bits = argus_isa::encode::embedded_bits(raw);
+        self.block_bits.extend(embedded_bits.iter().copied());
+
+        let in_delay_slot = self.delay_slot;
+        self.delay_slot = false;
+        let mut block_end = in_delay_slot;
+
+        let srcs = instr.sources();
+        let mut operands = Vec::with_capacity(srcs.len());
+        for (k, &r) in srcs.iter().enumerate() {
+            let op = self.read_operand(k.min(1), r, inj);
+            operands.push(op);
+        }
+        let opv = |k: usize| operands.get(k).map(|o| o.value).unwrap_or(0);
+
+        let mut result = None;
+        let mut aux_result = None;
+        let mut wb = None;
+        let mut memacc = None;
+        let mut branch = None;
+        let mut flag_write = None;
+        let mut extra_cycles = 0u32;
+        let mut mem_cycles = 0u32;
+        let mut new_pending: Option<u32> = None;
+        let argus = self.cfg.argus_mode;
+
+        match instr {
+            Instr::Alu { op, rd, .. } => {
+                let r = alu::execute(op, opv(0), opv(1), inj);
+                result = Some(r);
+                wb = Some(self.wb_store(sites::EX_RESULT_BUS, rd, r, inj));
+            }
+            Instr::AluImm { op, rd, imm, .. } => {
+                let b_eff = exec::alu_imm_operand(op, imm);
+                let r = alu::execute(exec::alu_imm_base(op), opv(0), b_eff, inj);
+                result = Some(r);
+                wb = Some(self.wb_store(sites::EX_RESULT_BUS, rd, r, inj));
+            }
+            Instr::ShiftImm { op, rd, sh, .. } => {
+                let r = alu::execute_shift_imm(op, opv(0), sh, inj);
+                result = Some(r);
+                wb = Some(self.wb_store(sites::EX_RESULT_BUS, rd, r, inj));
+            }
+            Instr::Ext { kind, rd, .. } => {
+                let r = alu::execute_ext(kind, opv(0), inj);
+                result = Some(r);
+                wb = Some(self.wb_store(sites::EX_RESULT_BUS, rd, r, inj));
+            }
+            Instr::Movhi { rd, imm } => {
+                let r = (imm as u32) << 16;
+                result = Some(r);
+                wb = Some(self.wb_store(sites::EX_RESULT_BUS, rd, r, inj));
+            }
+            Instr::MulDiv { op, rd, .. } => {
+                let r = muldiv::execute(op, opv(0), opv(1), inj);
+                result = Some(r.value);
+                aux_result = Some(r.aux);
+                extra_cycles = if op.is_div() {
+                    self.cfg.div_cycles.saturating_sub(1)
+                } else {
+                    self.cfg.mul_cycles.saturating_sub(1)
+                };
+                wb = Some(self.wb_store(sites::EX_RESULT_BUS, rd, r.value, inj));
+            }
+            Instr::SetFlag { cond, .. } => {
+                let c = inj.tap1(sites::CMP_FLAG_OUT, cond.eval(opv(0), opv(1)));
+                self.flag = c;
+                flag_write = Some(c);
+            }
+            Instr::SetFlagImm { cond, imm, .. } => {
+                let b = argus_sim::bits::sign_extend(imm as u32, 16);
+                let c = inj.tap1(sites::CMP_FLAG_OUT, cond.eval(opv(0), b));
+                self.flag = c;
+                flag_write = Some(c);
+            }
+            Instr::Branch { taken_if, off } => {
+                let f = inj.tap1(sites::FLAG_READ, self.flag);
+                let taken = inj.tap1(sites::BR_TAKEN, f == taken_if);
+                let target = taken.then(|| {
+                    inj.tap32(sites::BR_TARGET, pc.wrapping_add((off as u32) << 2))
+                });
+                new_pending = target;
+                branch = Some(BranchInfo {
+                    conditional: true,
+                    taken,
+                    flag_used: Some(f),
+                    target,
+                    indirect_dcs: None,
+                });
+            }
+            Instr::Jump { link, off } => {
+                let target = inj.tap32(sites::BR_TARGET, pc.wrapping_add((off as u32) << 2));
+                new_pending = Some(target);
+                if link {
+                    let v = self.link_value(pc, 1, inj);
+                    result = Some(v);
+                    wb = Some(self.wb_store(sites::EX_RESULT_BUS, Reg::LR, v, inj));
+                }
+                branch = Some(BranchInfo {
+                    conditional: false,
+                    taken: true,
+                    flag_used: None,
+                    target: Some(target),
+                    indirect_dcs: None,
+                });
+            }
+            Instr::JumpReg { link, .. } => {
+                let v = opv(0);
+                let (addr, dcs) = if argus { split_indirect_target(v) } else { (v, 0) };
+                let target = inj.tap32(sites::BR_TARGET, addr);
+                new_pending = Some(target);
+                if link {
+                    let lv = self.link_value(pc, 0, inj);
+                    result = Some(lv);
+                    wb = Some(self.wb_store(sites::EX_RESULT_BUS, Reg::LR, lv, inj));
+                }
+                branch = Some(BranchInfo {
+                    conditional: false,
+                    taken: true,
+                    flag_used: None,
+                    target: Some(target),
+                    indirect_dcs: argus.then_some(dcs),
+                });
+            }
+            Instr::Load { size, signed, off, rd, .. } => {
+                let base = opv(0);
+                let addr = alu::execute_addr(base, off, inj);
+                let ali = exec::align_addr(addr, size);
+                let word_addr = ali & !3;
+                let a_xor = if argus { inj.tap32(sites::LSU_ADDR_XOR, word_addr) } else { word_addr };
+                let a_row = inj.tap32(sites::DMEM_ROW_ADDR, word_addr);
+                let fallback = self.cfg.mem.hit_cycles + self.cfg.mem.miss_penalty;
+                let (payload, tag, lat) =
+                    self.mem.load_word(a_row).unwrap_or((u32::MAX, false, fallback));
+                let d = if argus { payload ^ a_xor } else { payload };
+                let parity_ok = !argus || parity32(d) == tag;
+                let v0 = exec::align_load(d, ali & 3, size, signed);
+                let v1 = inj.tap32(sites::LSU_ALIGN_OUT, v0);
+                mem_cycles = lat.saturating_sub(1);
+                wb = Some(self.wb_store(sites::LSU_LD_BUS, rd, v1, inj));
+                memacc = Some(MemAccess {
+                    is_store: false,
+                    size,
+                    signed,
+                    base,
+                    offset: off,
+                    addr,
+                    word_addr_xor: a_xor,
+                    word_addr_row: a_row,
+                    raw_word: d,
+                    parity_ok,
+                    value: v1,
+                    store_merged: None,
+                });
+            }
+            Instr::Store { size, off, .. } => {
+                let base = opv(0);
+                let data0 = opv(1);
+                let carried_par = operands.get(1).map(|o| o.parity).unwrap_or(false);
+                let addr = alu::execute_addr(base, off, inj);
+                let ali = exec::align_addr(addr, size);
+                let word_addr = ali & !3;
+                let a_xor = if argus { inj.tap32(sites::LSU_ADDR_XOR, word_addr) } else { word_addr };
+                let a_row = inj.tap32(sites::DMEM_ROW_ADDR, word_addr);
+                let data1 = inj.tap32(sites::LSU_ST_BUS, data0);
+                let (payload, tag, merged_opt, raw_word) =
+                    if matches!(size, argus_isa::instr::MemSize::Word) {
+                        let payload = if argus { data1 ^ a_xor } else { data1 };
+                        let tag = if argus { carried_par } else { parity32(data1) };
+                        (payload, tag, None, 0)
+                    } else {
+                        // Read-modify-write: recover the old word, merge the
+                        // sub-word, regenerate parity locally (the paper's
+                        // residual sub-word store vulnerability).
+                        let (oldp, _oldt) =
+                            self.mem.memory().read(a_row).unwrap_or((0, false));
+                        let old_d = if argus { oldp ^ a_xor } else { oldp };
+                        let merged = exec::merge_store(old_d, ali & 3, size, data1);
+                        let m = inj.tap32(sites::LSU_ST_MERGE, merged);
+                        let payload = if argus { m ^ a_xor } else { m };
+                        (payload, parity32(m), Some(m), old_d)
+                    };
+                let fallback = self.cfg.mem.hit_cycles + self.cfg.mem.miss_penalty;
+                let lat = self
+                    .mem
+                    .store_word_tagged(a_row, payload, tag)
+                    .unwrap_or(fallback);
+                mem_cycles = lat.saturating_sub(1);
+                memacc = Some(MemAccess {
+                    is_store: true,
+                    size,
+                    signed: false,
+                    base,
+                    offset: off,
+                    addr,
+                    word_addr_xor: a_xor,
+                    word_addr_row: a_row,
+                    raw_word,
+                    parity_ok: true,
+                    value: data1,
+                    store_merged: merged_opt,
+                });
+            }
+            Instr::Nop => {}
+            Instr::Sig { eob, .. } => {
+                if eob {
+                    block_end = true;
+                }
+            }
+            Instr::Halt => {
+                self.halted = true;
+                block_end = true;
+            }
+        }
+
+        // Resolve the next PC: a pending branch applies after its delay slot.
+        let seq = pc.wrapping_add(4);
+        let next = if in_delay_slot {
+            self.pending_branch.take().unwrap_or(seq)
+        } else {
+            seq
+        };
+        if instr.is_cti() {
+            self.pending_branch = new_pending;
+            self.delay_slot = true;
+        }
+        // The PC register has no bits [1:0]; mask after the tap so faults
+        // on nonexistent low wires are naturally masked.
+        let next_pc = inj.tap32(sites::IF_PC_NEXT, next) & !3;
+        self.pc = next_pc;
+
+        let cycles = fetch_cycles + mem_cycles + extra_cycles;
+        self.cycle += cycles as u64;
+        self.retired += 1;
+
+        let rec = CommitRecord {
+            pc,
+            raw,
+            instr,
+            op_subchk,
+            op_shs,
+            operands,
+            result,
+            aux_result,
+            wb,
+            mem: memacc,
+            branch,
+            flag_write,
+            next_pc,
+            in_delay_slot,
+            block_end,
+            embedded_bits,
+            cycles,
+            cycle: self.cycle,
+        };
+        if block_end {
+            self.block_bits.clear();
+        }
+        StepOutcome::Committed(Box::new(rec))
+    }
+
+    fn link_value(&mut self, pc: u32, slot: usize, inj: &mut FaultInjector) -> u32 {
+        let ret = pc.wrapping_add(8);
+        if self.cfg.argus_mode {
+            let dcs = inj.tap32(sites::LNK_DCS_MUX, self.parse_block_slot(slot)) & 31;
+            let dcs = inj.tap32(sites::SIG_EXTRACT, dcs) & 31;
+            pack_indirect_target(ret & INDIRECT_ADDR_MASK, dcs)
+        } else {
+            ret
+        }
+    }
+
+    /// Runs until `halt` or until `max_cycles` elapse, discarding commit
+    /// records (baseline timing runs).
+    pub fn run_to_halt(&mut self, inj: &mut FaultInjector, max_cycles: u64) -> RunResult {
+        while !self.halted && self.cycle < max_cycles {
+            match self.step(inj) {
+                StepOutcome::Halted => break,
+                StepOutcome::Committed(_) | StepOutcome::Stalled => {}
+            }
+        }
+        RunResult { cycles: self.cycle, retired: self.retired, halted: self.halted }
+    }
+}
+
+/// Extension trait used internally to classify mul/div ops.
+trait MulDivExt {
+    fn is_div(&self) -> bool;
+}
+
+impl MulDivExt for argus_isa::instr::MulDivOp {
+    fn is_div(&self) -> bool {
+        matches!(
+            self,
+            argus_isa::instr::MulDivOp::Div | argus_isa::instr::MulDivOp::Divu
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_isa::encode::encode;
+    use argus_isa::instr::{AluImmOp, AluOp, Cond, MemSize, MulDivOp};
+    use argus_isa::reg::r;
+
+    fn run_program(prog: &[Instr], argus_mode: bool) -> Machine {
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig {
+            argus_mode,
+            ..MachineConfig::default()
+        });
+        m.load_code(0, &words);
+        let mut inj = FaultInjector::none();
+        let res = m.run_to_halt(&mut inj, 1_000_000);
+        assert!(res.halted, "program must halt");
+        m
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let m = run_program(
+            &[
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 7 },
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(4), ra: Reg::ZERO, imm: 5 },
+                Instr::Alu { op: AluOp::Add, rd: r(5), ra: r(3), rb: r(4) },
+                Instr::MulDiv { op: MulDivOp::Mul, rd: r(6), ra: r(5), rb: r(4) },
+                Instr::Halt,
+            ],
+            false,
+        );
+        assert_eq!(m.reg(r(5)), 12);
+        assert_eq!(m.reg(r(6)), 60);
+        assert_eq!(m.retired(), 5);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let m = run_program(
+            &[
+                Instr::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, ra: Reg::ZERO, imm: 9 },
+                Instr::Halt,
+            ],
+            false,
+        );
+        assert_eq!(m.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn branch_with_delay_slot() {
+        // r3 = 1; if flag (1==1) branch over the poison; delay slot still runs.
+        let m = run_program(
+            &[
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 1 },
+                Instr::SetFlagImm { cond: Cond::Eq, ra: r(3), imm: 1 },
+                Instr::Branch { taken_if: true, off: 3 }, // to pc+12 = halt
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(4), ra: Reg::ZERO, imm: 42 }, // delay slot
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(5), ra: Reg::ZERO, imm: 99 }, // skipped
+                Instr::Halt,
+            ],
+            false,
+        );
+        assert_eq!(m.reg(r(4)), 42, "delay slot must execute");
+        assert_eq!(m.reg(r(5)), 0, "branch target skips this");
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let m = run_program(
+            &[
+                Instr::SetFlagImm { cond: Cond::Eq, ra: Reg::ZERO, imm: 5 }, // false
+                Instr::Branch { taken_if: true, off: 3 },
+                Instr::Nop,
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(5), ra: Reg::ZERO, imm: 7 },
+                Instr::Halt,
+            ],
+            false,
+        );
+        assert_eq!(m.reg(r(5)), 7);
+    }
+
+    #[test]
+    fn jal_and_return_baseline() {
+        // jal to a function at word 4 that adds and returns via jr r9.
+        let m = run_program(
+            &[
+                Instr::Jump { link: true, off: 4 }, // to word 4
+                Instr::Nop,                          // delay slot
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(6), ra: r(5), imm: 1 },
+                Instr::Halt,
+                // fn:
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(5), ra: Reg::ZERO, imm: 10 },
+                Instr::JumpReg { link: false, rb: Reg::LR },
+                Instr::Nop, // delay slot
+            ],
+            false,
+        );
+        assert_eq!(m.reg(r(5)), 10);
+        assert_eq!(m.reg(r(6)), 11, "returned to pc+8 and continued");
+        assert_eq!(m.reg(Reg::LR), 8);
+    }
+
+    #[test]
+    fn memory_roundtrip_word_and_subword() {
+        let m = run_program(
+            &[
+                Instr::Movhi { rd: r(2), imm: 0x0001 }, // base 0x10000
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 0x1234 },
+                Instr::Store { size: MemSize::Word, ra: r(2), rb: r(3), off: 0 },
+                Instr::Store { size: MemSize::Byte, ra: r(2), rb: r(3), off: 1 },
+                Instr::Load { size: MemSize::Word, signed: false, rd: r(4), ra: r(2), off: 0 },
+                Instr::Load { size: MemSize::Byte, signed: false, rd: r(5), ra: r(2), off: 1 },
+                Instr::Load { size: MemSize::Half, signed: true, rd: r(6), ra: r(2), off: 0 },
+                Instr::Halt,
+            ],
+            true,
+        );
+        assert_eq!(m.reg(r(4)), 0x0000_3434, "byte store merged into word");
+        assert_eq!(m.reg(r(5)), 0x34);
+        assert_eq!(m.reg(r(6)), 0x3434);
+    }
+
+    #[test]
+    fn protected_and_plain_memory_agree_architecturally() {
+        for mode in [false, true] {
+            let m = run_program(
+                &[
+                    Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 0x77 },
+                    Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(3), off: 0x100 },
+                    Instr::Load { size: MemSize::Word, signed: false, rd: r(4), ra: Reg::ZERO, off: 0x100 },
+                    Instr::Halt,
+                ],
+                mode,
+            );
+            assert_eq!(m.reg(r(4)), 0x77, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn timing_charges_cache_misses_and_muldiv() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(
+            0,
+            &[
+                encode(&Instr::Nop),
+                encode(&Instr::Nop),
+                encode(&Instr::MulDiv { op: MulDivOp::Div, rd: r(3), ra: r(1), rb: r(2) }),
+                encode(&Instr::Halt),
+            ],
+        );
+        let mut inj = FaultInjector::none();
+        let res = m.run_to_halt(&mut inj, 10_000);
+        // First fetch misses (21), nop 1, div fetch hit 1 + 31 extra, halt 1.
+        assert_eq!(res.cycles, 21 + 1 + 32 + 1);
+        assert_eq!(res.retired, 4);
+    }
+
+    #[test]
+    fn div_by_zero_defined() {
+        let m = run_program(
+            &[
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 9 },
+                Instr::MulDiv { op: MulDivOp::Divu, rd: r(4), ra: r(3), rb: Reg::ZERO },
+                Instr::Halt,
+            ],
+            false,
+        );
+        assert_eq!(m.reg(r(4)), u32::MAX);
+    }
+
+    #[test]
+    fn state_digest_distinguishes_states() {
+        let a = run_program(
+            &[
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 1 },
+                Instr::Halt,
+            ],
+            false,
+        );
+        let b = run_program(
+            &[
+                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 2 },
+                Instr::Halt,
+            ],
+            false,
+        );
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn run_bound_stops_infinite_loop() {
+        let mut m = Machine::new(MachineConfig::default());
+        // j 0 (self-loop) with nop in delay slot.
+        m.load_code(0, &[encode(&Instr::Jump { link: false, off: 0 }), encode(&Instr::Nop)]);
+        let mut inj = FaultInjector::none();
+        let res = m.run_to_halt(&mut inj, 5_000);
+        assert!(!res.halted);
+        assert!(res.cycles >= 5_000);
+    }
+
+    #[test]
+    fn stall_fault_produces_stalled_outcomes() {
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &[encode(&Instr::Halt)]);
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: sites::CTL_STALL_RELEASE,
+            bit: 0,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 1,
+            sensitization: 1.0,
+        });
+        for _ in 0..100 {
+            assert_eq!(m.step(&mut inj), StepOutcome::Stalled);
+        }
+        assert!(!m.halted());
+    }
+
+    #[test]
+    fn link_register_carries_dcs_in_argus_mode() {
+        // Block: sig with two slots (callee DCS=0b00111, link DCS=0b10101),
+        // then jal. The link register must carry 0b10101 in its top bits.
+        let sig = Instr::Sig { nslots: 2, eob: false, payload: (0b10101 << 5) | 0b00111 };
+        let m = run_program(
+            &[
+                sig,
+                Instr::Jump { link: true, off: 3 }, // to word 4
+                Instr::Nop,                          // delay slot
+                Instr::Halt,                         // (skipped: jal target is halt below)
+                Instr::Halt,
+            ],
+            true,
+        );
+        let (addr, dcs) = split_indirect_target(m.reg(Reg::LR));
+        assert_eq!(addr, 12, "return address = jal pc + 8");
+        assert_eq!(dcs, 0b10101);
+    }
+
+    #[test]
+    fn commit_record_carries_embedded_bits() {
+        let mut m = Machine::new(MachineConfig::default());
+        let add = Instr::Alu { op: AluOp::Add, rd: r(1), ra: r(2), rb: r(3) };
+        let mut w = encode(&add);
+        // Hand-embed 0b1010101 into the 7 unused bits.
+        for (i, pos) in argus_isa::encode::unused_bit_positions(w).into_iter().enumerate() {
+            if i % 2 == 0 {
+                w |= 1 << pos;
+            }
+        }
+        m.load_code(0, &[w, encode(&Instr::Halt)]);
+        let mut inj = FaultInjector::none();
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                assert_eq!(rec.embedded_bits.len(), 7);
+                assert_eq!(
+                    rec.embedded_bits,
+                    vec![true, false, true, false, true, false, true]
+                );
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_end_flags() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(
+            0,
+            &[
+                encode(&Instr::Sig { nslots: 0, eob: true, payload: 0 }),
+                encode(&Instr::Jump { link: false, off: 2 }),
+                encode(&Instr::Nop), // delay slot → block end
+                encode(&Instr::Halt),
+            ],
+        );
+        let mut inj = FaultInjector::none();
+        let recs: Vec<_> = std::iter::from_fn(|| match m.step(&mut inj) {
+            StepOutcome::Committed(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+        assert!(recs[0].block_end, "eob Sig ends a block");
+        assert!(!recs[1].block_end, "CTI itself does not end the block");
+        assert!(recs[2].block_end, "delay slot ends the block");
+        assert!(recs[2].in_delay_slot);
+    }
+}

@@ -1,0 +1,80 @@
+//! Structural multiplier/divider model (non-pipelined, multi-cycle, as in
+//! the OR1200) with fault taps on the array outputs.
+
+use crate::exec;
+use crate::sites;
+use argus_isa::instr::MulDivOp;
+use argus_sim::fault::FaultInjector;
+
+/// Result of one multiplier/divider operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulDivResult {
+    /// Architecturally visible result (product low word or quotient).
+    pub value: u32,
+    /// Auxiliary datapath value: product high word, or division remainder
+    /// (consumed only by the mod-M sub-checker).
+    pub aux: u32,
+}
+
+/// Executes a multiply or divide, tapping the array outputs.
+pub fn execute(op: MulDivOp, a: u32, b: u32, inj: &mut FaultInjector) -> MulDivResult {
+    match op {
+        MulDivOp::Mul | MulDivOp::Mulu => {
+            let (lo, hi) = exec::multiply(op, a, b);
+            MulDivResult {
+                value: inj.tap32(sites::MUL_LO, lo),
+                aux: inj.tap32(sites::MUL_HI, hi),
+            }
+        }
+        MulDivOp::Div | MulDivOp::Divu => {
+            let (q, r) = exec::divide(op, a, b);
+            MulDivResult {
+                value: inj.tap32(sites::DIV_Q, q),
+                aux: inj.tap32(sites::DIV_R, r),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+
+    fn inj_at(site: &'static str) -> FaultInjector {
+        let mut inj = FaultInjector::with_fault(Fault {
+            site,
+            bit: 1,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        });
+        inj.set_cycle(0);
+        inj
+    }
+
+    #[test]
+    fn fault_free() {
+        let mut inj = FaultInjector::none();
+        assert_eq!(execute(MulDivOp::Mul, 6, 7, &mut inj), MulDivResult { value: 42, aux: 0 });
+        assert_eq!(execute(MulDivOp::Divu, 43, 6, &mut inj), MulDivResult { value: 7, aux: 1 });
+    }
+
+    #[test]
+    fn mul_hi_fault_leaves_visible_result_intact() {
+        let mut inj = inj_at(sites::MUL_HI);
+        let r = execute(MulDivOp::Mulu, 3, 4, &mut inj);
+        assert_eq!(r.value, 12, "low word untouched");
+        assert_eq!(r.aux, 2, "high word corrupted (architecturally invisible)");
+    }
+
+    #[test]
+    fn quotient_fault_corrupts_value() {
+        let mut inj = inj_at(sites::DIV_Q);
+        let r = execute(MulDivOp::Divu, 10, 2, &mut inj);
+        assert_eq!(r.value, 7, "5 with bit 1 flipped");
+        assert_eq!(r.aux, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fault-site inventory of the core datapath and control.
+//!
+//! Site weights approximate each unit's share of the synthesized gate count
+//! (the paper samples 5,000 of ~40,000 gate outputs). `Double`-flavor
+//! entries model gates that drive two adjacent datapath bits — the
+//! even-bit-flip population that single-bit parity cannot see, which the
+//! paper identifies as the dominant source of its residual silent
+//! corruptions.
+//!
+//! The Argus-1 checker hardware adds its own sites in `argus-core`; the
+//! few listed here with `Argus*` units are assist logic that physically
+//! lives in the fetch/LSU paths (signature extraction, link-DCS muxing,
+//! the store-address XOR) but exists only because of Argus-1.
+
+use argus_sim::fault::{SiteDesc, Unit};
+
+// --- Fetch ---------------------------------------------------------------
+/// Instruction fetch bus (I-cache to decode).
+pub const IF_IBUS: &str = "if_ibus";
+/// Next-PC mux output.
+pub const IF_PC_NEXT: &str = "if_pc_next";
+
+// --- Decode / opcode distribution (§3.3, Figure 3) -----------------------
+/// Shared opcode trunk feeding FU, sub-checker and SHS unit alike.
+pub const ID_OPC_TRUNK: &str = "id_opc_trunk";
+/// Private opcode branch to the functional unit only.
+pub const ID_OPC_FU: &str = "id_opc_fu";
+/// Private opcode branch to the computation sub-checker only (Argus HW).
+pub const ID_OPC_SUBCHK: &str = "id_opc_subchk";
+/// Private opcode branch to the SHS computation unit only (Argus HW).
+pub const ID_OPC_SHS: &str = "id_opc_shs";
+
+// --- Register file --------------------------------------------------------
+/// Read-port A address decoder.
+pub const RF_RADDR_A: &str = "rf_raddr_a";
+/// Read-port B address decoder.
+pub const RF_RADDR_B: &str = "rf_raddr_b";
+/// Write-port address decoder.
+pub const RF_WADDR: &str = "rf_waddr";
+
+// --- Execute --------------------------------------------------------------
+/// Operand A bus into EX (feeds FU and sub-checker identically).
+pub const EX_OPA_BUS: &str = "ex_opa_bus";
+/// Operand B bus into EX.
+pub const EX_OPB_BUS: &str = "ex_opb_bus";
+/// Adder output inside the ALU.
+pub const ALU_ADDER_OUT: &str = "alu_adder_out";
+/// Bitwise-logic unit output inside the ALU.
+pub const ALU_LOGIC_OUT: &str = "alu_logic_out";
+/// Shifter / extension unit output inside the ALU.
+pub const ALU_SHIFT_OUT: &str = "alu_shift_out";
+/// Result bus from EX to writeback (after result-parity generation).
+pub const EX_RESULT_BUS: &str = "ex_result_bus";
+
+// --- Multiplier / divider --------------------------------------------------
+/// Low word of the multiplier array output.
+pub const MUL_LO: &str = "mul_lo";
+/// High word of the multiplier array (reachable only via multiply-
+/// accumulate, which this core lacks — errors here are always masked).
+pub const MUL_HI: &str = "mul_hi";
+/// Divider quotient output.
+pub const DIV_Q: &str = "div_q";
+/// Divider remainder output (consumed only by the mod-M sub-checker).
+pub const DIV_R: &str = "div_r";
+
+// --- Load/store unit --------------------------------------------------------
+/// Effective-address adder output.
+pub const LSU_ADDR: &str = "lsu_addr";
+/// Store-data bus (after the LSU-input parity check point).
+pub const LSU_ST_BUS: &str = "lsu_st_bus";
+/// Sub-word read-modify-write merge network.
+pub const LSU_ST_MERGE: &str = "lsu_st_merge";
+/// Load aligner / sign-extension output.
+pub const LSU_ALIGN_OUT: &str = "lsu_align_out";
+/// Load-data bus to writeback (after load-parity generation).
+pub const LSU_LD_BUS: &str = "lsu_ld_bus";
+
+// --- Control ----------------------------------------------------------------
+/// Pipeline stall-release signal; a stuck value hangs the core (watchdog
+/// territory).
+pub const CTL_STALL_RELEASE: &str = "ctl_stall_release";
+/// Branch-taken mux select.
+pub const BR_TAKEN: &str = "br_taken";
+/// Branch/jump target adder output.
+pub const BR_TARGET: &str = "br_target";
+/// Compare (set-flag) unit output.
+pub const CMP_FLAG_OUT: &str = "cmp_flag_out";
+/// Flag read port feeding the branch unit.
+pub const FLAG_READ: &str = "flag_read";
+
+// --- Memory interface ---------------------------------------------------------
+/// Row/word-select address as seen by the D-side memory arrays.
+pub const DMEM_ROW_ADDR: &str = "dmem_row_addr";
+
+// --- Argus assist logic in the core (accounted as Argus hardware) -------------
+/// Address input of the store/load D⊕A XOR unit (§3.4).
+pub const LSU_ADDR_XOR: &str = "lsu_addr_xor";
+/// Link-DCS mux writing the target-block DCS into the link register.
+pub const LNK_DCS_MUX: &str = "lnk_dcs_mux";
+/// Signature-extraction shift register collecting embedded DCS bits.
+pub const SIG_EXTRACT: &str = "sig_extract";
+
+/// The complete fault-site inventory of the core (excluding checker-internal
+/// sites owned by `argus-core`).
+pub fn core_sites() -> Vec<SiteDesc> {
+    use argus_sim::fault::SiteFlavor::Double;
+    let mut sites = per_register_cell_sites();
+    sites.extend(vec![
+        // Fetch/decode cones: moderate logic depth between a faulted gate
+        // and these signals.
+        SiteDesc::new(IF_IBUS, 32, Unit::Fetch, 3.0).sensitized(0.7),
+        SiteDesc::new(IF_PC_NEXT, 32, Unit::Fetch, 2.0).sensitized(0.6),
+        SiteDesc::new(ID_OPC_TRUNK, 32, Unit::Decode, 2.0).sensitized(0.5),
+        SiteDesc::new(ID_OPC_FU, 32, Unit::Decode, 1.5).sensitized(0.5),
+        SiteDesc::new(ID_OPC_SUBCHK, 32, Unit::ArgusCc, 0.8).sensitized(0.5),
+        SiteDesc::new(ID_OPC_SHS, 32, Unit::ArgusShs, 0.8).sensitized(0.5),
+        // Port address decoders are a few dozen gates each — a sliver of
+        // the ~40k-gate design.
+        SiteDesc::new(RF_RADDR_A, 5, Unit::RegFile, 0.08),
+        SiteDesc::new(RF_RADDR_B, 5, Unit::RegFile, 0.08),
+        SiteDesc::new(RF_WADDR, 5, Unit::RegFile, 0.08),
+        SiteDesc::new(EX_OPA_BUS, 32, Unit::Alu, 1.5).sensitized(0.9),
+        SiteDesc { flavor: Double, ..SiteDesc::new(EX_OPA_BUS, 32, Unit::Alu, 0.12) },
+        SiteDesc::new(EX_OPB_BUS, 32, Unit::Alu, 1.5).sensitized(0.9),
+        SiteDesc { flavor: Double, ..SiteDesc::new(EX_OPB_BUS, 32, Unit::Alu, 0.12) },
+        // Deep combinational cones: a random internal gate fault rarely
+        // sensitizes a path to the unit output on a given operand pair.
+        SiteDesc::new(ALU_ADDER_OUT, 32, Unit::Alu, 3.0).sensitized(0.4),
+        SiteDesc::new(ALU_LOGIC_OUT, 32, Unit::Alu, 1.0).sensitized(0.5),
+        SiteDesc::new(ALU_SHIFT_OUT, 32, Unit::Alu, 2.0).sensitized(0.4),
+        SiteDesc::new(EX_RESULT_BUS, 32, Unit::Alu, 1.5).sensitized(0.9),
+        SiteDesc { flavor: Double, ..SiteDesc::new(EX_RESULT_BUS, 32, Unit::Alu, 0.15) },
+        SiteDesc::new(MUL_LO, 32, Unit::MulDiv, 4.0).sensitized(0.35),
+        SiteDesc::new(MUL_HI, 32, Unit::MulDiv, 4.0).sensitized(0.35),
+        SiteDesc::new(DIV_Q, 32, Unit::MulDiv, 2.0).sensitized(0.35),
+        SiteDesc::new(DIV_R, 32, Unit::MulDiv, 1.0).sensitized(0.35),
+        SiteDesc::new(LSU_ADDR, 32, Unit::Lsu, 1.5).sensitized(0.5),
+        SiteDesc::new(LSU_ST_BUS, 32, Unit::Lsu, 0.6).sensitized(0.9),
+        SiteDesc { flavor: Double, ..SiteDesc::new(LSU_ST_BUS, 32, Unit::Lsu, 0.06) },
+        SiteDesc::new(LSU_ST_MERGE, 32, Unit::Lsu, 0.15).sensitized(0.6),
+        SiteDesc::new(LSU_ALIGN_OUT, 32, Unit::Lsu, 1.0).sensitized(0.6),
+        SiteDesc::new(LSU_LD_BUS, 32, Unit::Lsu, 1.0).sensitized(0.9),
+        SiteDesc { flavor: Double, ..SiteDesc::new(LSU_LD_BUS, 32, Unit::Lsu, 0.1) },
+        SiteDesc::new(CTL_STALL_RELEASE, 1, Unit::Control, 0.8).sensitized(0.5),
+        SiteDesc::new(BR_TAKEN, 1, Unit::Control, 0.4).sensitized(0.5),
+        SiteDesc::new(BR_TARGET, 32, Unit::Control, 1.0).sensitized(0.5),
+        SiteDesc::new(CMP_FLAG_OUT, 1, Unit::Control, 0.4).sensitized(0.5),
+        SiteDesc::new(FLAG_READ, 1, Unit::Control, 0.2).sensitized(0.8),
+        // Row selection spans the word-offset + index bits of the 8KB
+        // arrays; faults in higher address bits surface as tag mismatches
+        // (clean misses), which redundant tag compare covers.
+        SiteDesc::new(DMEM_ROW_ADDR, 14, Unit::MemIface, 1.2).sensitized(0.7),
+        SiteDesc::new(LSU_ADDR_XOR, 32, Unit::ArgusParity, 0.5).sensitized(0.7),
+        SiteDesc::new(LNK_DCS_MUX, 5, Unit::ArgusDcs, 0.2),
+        SiteDesc::new(SIG_EXTRACT, 5, Unit::ArgusDcs, 0.4),
+    ]);
+    sites
+}
+
+/// One storage site per architectural register, so a permanent cell fault
+/// is pinned to a single register (total register-file weight 8.0 for the
+/// single-bit population plus a small double-bit population).
+fn per_register_cell_sites() -> Vec<SiteDesc> {
+    use argus_sim::fault::SiteFlavor::Double;
+    let mut v = Vec::with_capacity(64);
+    for name in crate::machine::RF_CELL_SITES {
+        v.push(SiteDesc::new(name, 32, Unit::RegFile, 10.5 / 32.0));
+        v.push(SiteDesc { flavor: Double, ..SiteDesc::new(name, 32, Unit::RegFile, 0.25 / 32.0) });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_is_nonempty_and_weighted() {
+        let sites = core_sites();
+        assert!(sites.len() > 30);
+        assert!(sites.iter().all(|s| s.weight > 0.0 && s.width >= 1));
+    }
+
+    #[test]
+    fn duplicate_names_only_differ_in_flavor() {
+        use std::collections::HashMap;
+        let mut seen: HashMap<&str, Vec<argus_sim::fault::SiteFlavor>> = HashMap::new();
+        for s in core_sites() {
+            seen.entry(s.name).or_default().push(s.flavor);
+        }
+        for (name, flavors) in seen {
+            let singles = flavors
+                .iter()
+                .filter(|f| matches!(f, argus_sim::fault::SiteFlavor::Single))
+                .count();
+            assert!(singles <= 1, "site {name} listed twice with Single flavor");
+        }
+    }
+
+    #[test]
+    fn argus_assist_sites_classified_as_argus() {
+        let sites = core_sites();
+        for name in [LSU_ADDR_XOR, LNK_DCS_MUX, SIG_EXTRACT, ID_OPC_SHS, ID_OPC_SUBCHK] {
+            let s = sites.iter().find(|s| s.name == name).unwrap();
+            assert!(s.unit.is_argus_hardware(), "{name} must be Argus hardware");
+        }
+    }
+}

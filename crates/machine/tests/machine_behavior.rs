@@ -1,0 +1,240 @@
+//! Behavioural tests of the core model: protection semantics, fault
+//! persistence, addressing edge cases, and timing invariants.
+
+use argus_isa::encode::encode;
+use argus_isa::instr::{AluImmOp, AluOp, Cond, Instr, MemSize, MulDivOp};
+use argus_isa::reg::{r, Reg};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_sim::fault::{Fault, FaultInjector, FaultKind, SiteFlavor};
+use proptest::prelude::*;
+
+fn machine_with(prog: &[Instr], argus_mode: bool) -> Machine {
+    let words: Vec<u32> = prog.iter().map(encode).collect();
+    let mut m = Machine::new(MachineConfig { argus_mode, ..Default::default() });
+    m.load_code(0, &words);
+    m
+}
+
+fn run(prog: &[Instr], argus_mode: bool) -> Machine {
+    let mut m = machine_with(prog, argus_mode);
+    let res = m.run_to_halt(&mut FaultInjector::none(), 10_000_000);
+    assert!(res.halted);
+    m
+}
+
+#[test]
+fn subword_rmw_preserves_neighbours_under_protection() {
+    let m = run(
+        &[
+            Instr::Movhi { rd: r(2), imm: 0x0008 }, // 0x80000
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 0x7788 },
+            Instr::Movhi { rd: r(4), imm: 0x1122 },
+            Instr::AluImm { op: AluImmOp::Ori, rd: r(4), ra: r(4), imm: 0x3344 },
+            Instr::Store { size: MemSize::Word, ra: r(2), rb: r(4), off: 0 },
+            Instr::Store { size: MemSize::Byte, ra: r(2), rb: r(3), off: 2 },
+            Instr::Store { size: MemSize::Half, ra: r(2), rb: r(3), off: 0 },
+            Instr::Load { size: MemSize::Word, signed: false, rd: r(5), ra: r(2), off: 0 },
+            Instr::Halt,
+        ],
+        true,
+    );
+    // word = 0x11223344; byte@2 := 0x88 → 0x11883344; half@0 := 0x7788.
+    assert_eq!(m.reg(r(5)), 0x1188_7788);
+    assert_eq!(m.read_data_word(0x80000), 0x1188_7788);
+}
+
+#[test]
+fn wild_load_address_yields_garbage_without_crashing() {
+    let m = run(
+        &[
+            Instr::Movhi { rd: r(2), imm: 0x7FFF }, // far outside memory
+            Instr::Load { size: MemSize::Word, signed: false, rd: r(3), ra: r(2), off: 0 },
+            Instr::Halt,
+        ],
+        true,
+    );
+    assert!(m.halted());
+}
+
+#[test]
+fn wild_store_is_dropped() {
+    let m = run(
+        &[
+            Instr::Movhi { rd: r(2), imm: 0x7FFF },
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 42 },
+            Instr::Store { size: MemSize::Word, ra: r(2), rb: r(3), off: 0 },
+            Instr::Halt,
+        ],
+        true,
+    );
+    assert!(m.halted(), "a wild store must not abort the simulation");
+}
+
+#[test]
+fn transient_register_cell_corruption_persists_until_overwritten() {
+    let prog = [
+        Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 0x50 },
+        // Two consecutive reads of r3: the transient flips the first read
+        // and the corruption must stick for the second.
+        Instr::Alu { op: AluOp::Add, rd: r(4), ra: r(3), rb: Reg::ZERO },
+        Instr::Alu { op: AluOp::Add, rd: r(5), ra: r(3), rb: Reg::ZERO },
+        Instr::Halt,
+    ];
+    let mut m = machine_with(&prog, false);
+    let mut inj = FaultInjector::with_fault(Fault {
+        site: argus_machine::machine::RF_CELL_SITES[3],
+        bit: 0,
+        kind: FaultKind::Transient,
+        arm_cycle: 0,
+        flavor: SiteFlavor::Single,
+        width: 32,
+        sensitization: 1.0,
+    });
+    m.run_to_halt(&mut inj, 100_000);
+    assert_eq!(m.reg(r(4)), 0x51, "first read corrupted");
+    assert_eq!(m.reg(r(5)), 0x51, "cell upset persists");
+    assert_eq!(m.reg(r(3)), 0x51);
+}
+
+#[test]
+fn r0_writes_are_dropped_in_all_writeback_paths() {
+    let m = run(
+        &[
+            Instr::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, ra: Reg::ZERO, imm: 7 },
+            Instr::Movhi { rd: Reg::ZERO, imm: 0xFFFF },
+            Instr::MulDiv { op: MulDivOp::Mul, rd: Reg::ZERO, ra: r(1), rb: r(1) },
+            Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: Reg::ZERO, off: 0x100 },
+            Instr::Load { size: MemSize::Word, signed: false, rd: Reg::ZERO, ra: Reg::ZERO, off: 0x100 },
+            Instr::Halt,
+        ],
+        true,
+    );
+    assert_eq!(m.reg(Reg::ZERO), 0);
+}
+
+#[test]
+fn branch_not_taken_executes_delay_slot_then_falls_through() {
+    let m = run(
+        &[
+            Instr::SetFlagImm { cond: Cond::Eq, ra: Reg::ZERO, imm: 1 }, // false
+            Instr::Branch { taken_if: true, off: 4 },
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 1 }, // delay
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(4), ra: Reg::ZERO, imm: 2 }, // fallthrough
+            Instr::Halt,
+        ],
+        false,
+    );
+    assert_eq!(m.reg(r(3)), 1);
+    assert_eq!(m.reg(r(4)), 2);
+}
+
+#[test]
+fn timing_load_hit_costs_one_extra_cycle() {
+    // Warm both lines, then measure a hit-load's cost: fetch 1 + mem 1 = 2.
+    let prog = [
+        Instr::AluImm { op: AluImmOp::Addi, rd: r(2), ra: Reg::ZERO, imm: 0x100 },
+        Instr::Load { size: MemSize::Word, signed: false, rd: r(3), ra: r(2), off: 0 },
+        Instr::Load { size: MemSize::Word, signed: false, rd: r(4), ra: r(2), off: 0 },
+        Instr::Halt,
+    ];
+    let mut m = machine_with(&prog, false);
+    let mut inj = FaultInjector::none();
+    // addi (cold fetch): 21; first load: 1 fetch + 21 mem − 1 = 21... run
+    // and compare the two loads' individual costs via commit records.
+    let mut costs = vec![];
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                if matches!(rec.instr, Instr::Load { .. }) {
+                    costs.push(rec.cycles);
+                }
+            }
+            StepOutcome::Stalled => {}
+            StepOutcome::Halted => break,
+        }
+    }
+    assert_eq!(costs.len(), 2);
+    assert!(costs[0] > costs[1], "first load misses, second hits");
+    // "Hits take 1 cycle" (§4.4): a hitting load does not stall the pipe.
+    assert_eq!(costs[1], 1);
+}
+
+#[test]
+fn commit_records_expose_memory_signals() {
+    let prog = [
+        Instr::AluImm { op: AluImmOp::Addi, rd: r(2), ra: Reg::ZERO, imm: 0x40 },
+        Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 0x5A },
+        Instr::Store { size: MemSize::Word, ra: r(2), rb: r(3), off: 4 },
+        Instr::Load { size: MemSize::Word, signed: false, rd: r(4), ra: r(2), off: 4 },
+        Instr::Halt,
+    ];
+    let mut m = machine_with(&prog, true);
+    let mut inj = FaultInjector::none();
+    let mut mems = vec![];
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                if let Some(mm) = rec.mem {
+                    mems.push(mm);
+                }
+            }
+            StepOutcome::Stalled => {}
+            StepOutcome::Halted => break,
+        }
+    }
+    assert_eq!(mems.len(), 2);
+    let (st, ld) = (&mems[0], &mems[1]);
+    assert!(st.is_store && !ld.is_store);
+    assert_eq!(st.addr, 0x44);
+    assert_eq!(ld.addr, 0x44);
+    assert_eq!(st.base, 0x40);
+    assert_eq!(st.offset, 4);
+    assert_eq!(ld.value, 0x5A);
+    assert!(ld.parity_ok);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn straightline_alu_matches_host_mirror(
+        seeds in prop::collection::vec(any::<u16>(), 4),
+        ops in prop::collection::vec((0u8..8, 3u8..8, 3u8..8, 3u8..8), 1..30)
+    ) {
+        // Build: seed r3..r6, run random reg-reg ops over r3..r7, halt.
+        let mut prog = Vec::new();
+        let mut host = [0u32; 8];
+        for (k, &s) in seeds.iter().enumerate() {
+            let rd = 3 + k as u8;
+            prog.push(Instr::AluImm { op: AluImmOp::Ori, rd: r(rd), ra: Reg::ZERO, imm: s });
+            host[rd as usize] = s as u32;
+        }
+        for &(opk, d, a, b) in &ops {
+            let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or,
+                      AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra][opk as usize];
+            prog.push(Instr::Alu { op, rd: r(d), ra: r(a), rb: r(b) });
+            host[d as usize] = argus_machine::exec::alu(op, host[a as usize], host[b as usize]);
+        }
+        prog.push(Instr::Halt);
+        let m = run(&prog, false);
+        for k in 3u8..8 {
+            prop_assert_eq!(m.reg(r(k)), host[k as usize], "r{}", k);
+        }
+    }
+
+    #[test]
+    fn word_memory_roundtrip_any_value(v in any::<u32>(), slot in 0u32..64) {
+        let addr_imm = (0x100 + slot * 4) as i16;
+        for mode in [false, true] {
+            let mut prog = vec![
+                Instr::Movhi { rd: r(3), imm: (v >> 16) as u16 },
+                Instr::AluImm { op: AluImmOp::Ori, rd: r(3), ra: r(3), imm: v as u16 },
+                Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(3), off: addr_imm },
+                Instr::Load { size: MemSize::Word, signed: false, rd: r(4), ra: Reg::ZERO, off: addr_imm },
+            ];
+            prog.push(Instr::Halt);
+            let m = run(&prog, mode);
+            prop_assert_eq!(m.reg(r(4)), v);
+        }
+    }
+}

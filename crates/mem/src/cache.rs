@@ -1,0 +1,268 @@
+//! Set-associative cache timing model.
+//!
+//! The cache is a tag/state array only: it decides hit vs. miss, tracks
+//! dirty lines and LRU state, and counts events. Data always lives in main
+//! memory, which is behaviourally exact for a single-core write-back
+//! hierarchy while keeping every cache policy effect the paper's
+//! performance figures depend on — capacity misses from code-footprint
+//! growth and conflict-miss "re-alignment" noise in the direct-mapped
+//! configuration (§4.4).
+
+/// Cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity: 1 (direct-mapped) or more (LRU replacement).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// The paper's 8KB configuration with 16-byte lines.
+    pub fn kb8(ways: u32) -> Self {
+        Self { size_bytes: 8 * 1024, line_bytes: 16, ways }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (non-power-of-two line size,
+    /// zero ways, or capacity not divisible into sets).
+    pub fn num_sets(&self) -> u32 {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4);
+        assert!(self.ways >= 1, "cache needs at least one way");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines % self.ways == 0 && lines >= self.ways,
+            "capacity/line/ways mismatch"
+        );
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::kb8(1)
+    }
+}
+
+/// Event counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (fills).
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (0.0 when no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim was written back.
+    pub writeback: bool,
+}
+
+/// A blocking, write-back, write-allocate cache (tag array only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::num_sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets();
+        Self {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways as usize]; sets as usize],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let sets = self.sets.len() as u32;
+        let line = addr / self.cfg.line_bytes;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Performs one access at byte address `addr`. `is_write` marks the
+    /// line dirty (write-back). Misses allocate (write-allocate).
+    pub fn access(&mut self, addr: u32, is_write: bool) -> Access {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return Access { hit: true, writeback: false };
+        }
+
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("cache set has at least one way");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line { valid: true, dirty: is_write, tag, lru: self.tick };
+        Access { hit: false, writeback }
+    }
+
+    /// Invalidates everything (used between experiment runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::kb8(1).num_sets(), 512);
+        assert_eq!(CacheConfig::kb8(2).num_sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn bad_geometry_panics() {
+        CacheConfig { size_bytes: 48, line_bytes: 16, ways: 9 }.num_sets();
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::kb8(1));
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x104, false).hit, "same 16B line");
+        assert!(!c.access(0x110, false).hit, "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(CacheConfig::kb8(1));
+        // Two addresses 8KB apart map to the same set in a direct-mapped 8KB cache.
+        assert!(!c.access(0x0, false).hit);
+        assert!(!c.access(0x2000, false).hit);
+        assert!(!c.access(0x0, false).hit, "conflict evicted it");
+    }
+
+    #[test]
+    fn two_way_avoids_simple_conflict() {
+        let mut c = Cache::new(CacheConfig::kb8(2));
+        assert!(!c.access(0x0, false).hit);
+        assert!(!c.access(0x2000, false).hit);
+        assert!(c.access(0x0, false).hit, "2-way keeps both");
+        assert!(c.access(0x2000, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(CacheConfig::kb8(2));
+        c.access(0x0, false); // way A
+        c.access(0x2000, false); // way B
+        c.access(0x0, false); // A most recent
+        c.access(0x4000, false); // evicts B
+        assert!(c.access(0x0, false).hit);
+        assert!(!c.access(0x2000, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = Cache::new(CacheConfig::kb8(1));
+        c.access(0x0, true);
+        let a = c.access(0x2000, false);
+        assert!(a.writeback, "dirty victim must write back");
+        assert_eq!(c.stats().writebacks, 1);
+        // Clean eviction: no writeback.
+        let b = c.access(0x4000, false);
+        assert!(!b.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = Cache::new(CacheConfig::kb8(1));
+        c.access(0x0, false);
+        c.access(0x0, true);
+        assert!(c.access(0x2000, false).writeback);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(CacheConfig::kb8(2));
+        c.access(0x0, false);
+        c.flush();
+        assert!(!c.access(0x0, false).hit);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = Cache::new(CacheConfig::kb8(1));
+        c.access(0x0, false);
+        c.access(0x0, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

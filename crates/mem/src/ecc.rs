@@ -1,0 +1,207 @@
+//! SEC-DED ECC for memory words (§4.2 extension).
+//!
+//! The paper notes that the arbitrarily long detection latency of
+//! EDC-protected memory "can be circumvented by using error correcting
+//! codes (ECC) instead of simple error detecting codes (EDC)". This module
+//! implements the standard Hamming(39,32) + overall-parity SEC-DED code:
+//! any single-bit error (data or check bits) is *corrected*, any double-bit
+//! error is *detected*.
+//!
+//! Check bits are the classic Hamming construction: check bit `i` covers
+//! the codeword positions whose index has bit `i` set; an extra overall
+//! parity bit distinguishes single (odd syndrome weight ⇒ correctable)
+//! from double (even) errors.
+
+use argus_sim::bits::parity32;
+
+/// Number of Hamming check bits for 32 data bits.
+const HAMMING_BITS: u32 = 6;
+
+/// Decode outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// No error.
+    Clean,
+    /// A single data-bit error was corrected; the payload carries the
+    /// corrected word and the flipped bit position.
+    CorrectedData {
+        /// The repaired word.
+        word: u32,
+        /// Which data bit had flipped.
+        bit: u32,
+    },
+    /// A single check-bit error was corrected (data was fine).
+    CorrectedCheck,
+    /// An uncorrectable (double-bit) error was detected.
+    DoubleError,
+}
+
+/// Maps data bit `d` (0..32) to its codeword position: positions that are
+/// powers of two hold check bits, everything else holds data, in order.
+fn data_position(d: u32) -> u32 {
+    // Codeword positions start at 1; skip 1, 2, 4, 8, 16, 32.
+    let mut pos: u32 = 1;
+    let mut seen = 0;
+    loop {
+        if !pos.is_power_of_two() {
+            if seen == d {
+                return pos;
+            }
+            seen += 1;
+        }
+        pos += 1;
+    }
+}
+
+fn hamming_bits(word: u32) -> u8 {
+    let mut check = 0u8;
+    for c in 0..HAMMING_BITS {
+        let mut p = false;
+        for d in 0..32 {
+            if data_position(d) & (1 << c) != 0 && (word >> d) & 1 == 1 {
+                p = !p;
+            }
+        }
+        if p {
+            check |= 1 << c;
+        }
+    }
+    check
+}
+
+/// Computes the 6 Hamming check bits + 1 overall parity bit for `word`.
+/// Bit layout of the return value: `[6]` overall parity, `[5:0]` Hamming.
+/// The overall bit makes the parity of the *whole stored codeword*
+/// (data + Hamming + overall) even.
+pub fn encode(word: u32) -> u8 {
+    let check = hamming_bits(word);
+    let overall = parity32(word) ^ (check.count_ones() % 2 == 1);
+    check | ((overall as u8) << HAMMING_BITS)
+}
+
+/// Decodes a stored `(word, check)` pair, correcting single-bit errors.
+pub fn decode(word: u32, check: u8) -> EccOutcome {
+    let stored_hamming = check & 0x3F;
+    let syndrome = (hamming_bits(word) ^ stored_hamming) as u32;
+    // Parity of the received codeword as a whole: even (false) when clean
+    // or after a double error, odd (true) for any single error.
+    let total_odd =
+        parity32(word) ^ (check.count_ones() % 2 == 1);
+
+    match (syndrome, total_odd) {
+        (0, false) => EccOutcome::Clean,
+        (0, true) => EccOutcome::CorrectedCheck, // the overall bit itself flipped
+        (s, true) => {
+            // Single error at codeword position s: a Hamming bit if s is a
+            // power of two, otherwise the data bit stored at position s.
+            if s.is_power_of_two() {
+                EccOutcome::CorrectedCheck
+            } else {
+                for d in 0..32 {
+                    if data_position(d) == s {
+                        return EccOutcome::CorrectedData { word: word ^ (1 << d), bit: d };
+                    }
+                }
+                // A syndrome pointing outside the codeword: uncorrectable.
+                EccOutcome::DoubleError
+            }
+        }
+        (_, false) => EccOutcome::DoubleError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for w in [0u32, 1, 0xDEAD_BEEF, u32::MAX, 0x8000_0001] {
+            assert_eq!(decode(w, encode(w)), EccOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_error_is_corrected() {
+        let w = 0xCAFE_F00Du32;
+        let c = encode(w);
+        for b in 0..32 {
+            match decode(w ^ (1 << b), c) {
+                EccOutcome::CorrectedData { word, bit } => {
+                    assert_eq!(word, w, "bit {b} miscorrected");
+                    assert_eq!(bit, b);
+                }
+                other => panic!("bit {b}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_error_is_corrected() {
+        let w = 0x1234_5678u32;
+        let c = encode(w);
+        for b in 0..7 {
+            assert_eq!(decode(w, c ^ (1 << b)), EccOutcome::CorrectedCheck, "check bit {b}");
+        }
+    }
+
+    #[test]
+    fn double_data_errors_are_detected_not_miscorrected() {
+        let w = 0x0F0F_0F0Fu32;
+        let c = encode(w);
+        for b1 in 0..32u32 {
+            for b2 in (b1 + 1)..32 {
+                let bad = w ^ (1 << b1) ^ (1 << b2);
+                assert_eq!(
+                    decode(bad, c),
+                    EccOutcome::DoubleError,
+                    "bits {b1},{b2} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn data_positions_are_distinct_and_skip_powers_of_two() {
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..32 {
+            let p = data_position(d);
+            assert!(!p.is_power_of_two(), "data bit {d} landed on a check position");
+            assert!(seen.insert(p), "duplicate position {p}");
+        }
+        assert!(seen.iter().all(|&p| p <= 39));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any(w in any::<u32>()) {
+            prop_assert_eq!(decode(w, encode(w)), EccOutcome::Clean);
+        }
+
+        #[test]
+        fn single_error_corrected_any(w in any::<u32>(), b in 0u32..32) {
+            match decode(w ^ (1 << b), encode(w)) {
+                EccOutcome::CorrectedData { word, bit } => {
+                    prop_assert_eq!(word, w);
+                    prop_assert_eq!(bit, b);
+                }
+                other => prop_assert!(false, "got {:?}", other),
+            }
+        }
+
+        #[test]
+        fn data_plus_check_error_detected(w in any::<u32>(), db in 0u32..32, cb in 0u32..7) {
+            // One data bit and one check bit: still a double error — must
+            // never silently pass as Clean or miscorrect to a wrong word.
+            let out = decode(w ^ (1 << db), encode(w) ^ (1 << cb));
+            match out {
+                EccOutcome::Clean => prop_assert!(false, "double error decoded clean"),
+                EccOutcome::CorrectedData { word, .. } => prop_assert_eq!(
+                    word, w, "double error miscorrected to a different word"
+                ),
+                _ => {}
+            }
+        }
+    }
+}

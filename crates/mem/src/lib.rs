@@ -1,0 +1,37 @@
+//! # argus-mem — memory hierarchy substrate
+//!
+//! The OR1200-like memory system the paper's evaluation assumes: separate
+//! 8KB instruction and data caches (direct-mapped or 2-way LRU), a
+//! write-back write-allocate blocking data cache, 1-cycle hits and 20-cycle
+//! misses, in front of a flat main memory.
+//!
+//! The crate also implements the Argus-1 memory protection codec
+//! ([`protect`]): each data word is stored as `D XOR A` with a parity bit
+//! computed over `D`, which detects both data corruption and wrong-word
+//! accesses (§3.4). The instruction side is deliberately unprotected —
+//! instruction errors surface as DCS mismatches.
+//!
+//! Caches are modeled as tag/state arrays (timing filters); data always
+//! lives in [`MainMemory`], which is exact for a single-core write-back
+//! hierarchy.
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_mem::{MemConfig, MemorySystem};
+//! let mut ms = MemorySystem::new(MemConfig::default());
+//! let c1 = ms.store_word(0x1000, 42, false);
+//! let (v, _tag, c2) = ms.load_word_ok(0x1000);
+//! assert_eq!(v, 42);
+//! assert!(c1 >= 1 && c2 >= 1);
+//! ```
+
+pub mod cache;
+pub mod ecc;
+pub mod main_memory;
+pub mod protect;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use main_memory::MainMemory;
+pub use system::{MemConfig, MemorySystem};

@@ -1,0 +1,161 @@
+//! Flat word-addressed main memory with one parity tag per word.
+
+/// Main memory: a flat array of 32-bit payload words, each with a parity
+/// tag bit (the "assuming ECC is not already present" EDC of §3.4).
+///
+/// Addresses are byte addresses; accesses are word-granular (the load/store
+/// unit performs sub-word merging). Out-of-range accesses are reported as
+/// errors so wild addresses from fault injection never abort a campaign.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    words: Vec<u32>,
+    tags: Vec<bool>,
+    size_bytes: u32,
+}
+
+/// Error for accesses beyond the configured memory size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfRangeError {
+    /// The offending byte address.
+    pub addr: u32,
+    /// Configured memory size in bytes.
+    pub size: u32,
+}
+
+impl std::fmt::Display for OutOfRangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "address {:#010x} outside memory of {} bytes", self.addr, self.size)
+    }
+}
+
+impl std::error::Error for OutOfRangeError {}
+
+impl MainMemory {
+    /// Allocates `size_bytes` of zeroed memory (rounded up to a whole word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(size_bytes: u32) -> Self {
+        assert!(size_bytes > 0, "memory size must be positive");
+        let words = size_bytes.div_ceil(4) as usize;
+        Self { words: vec![0; words], tags: vec![false; words], size_bytes }
+    }
+
+    /// Memory size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, OutOfRangeError> {
+        if addr >= self.size_bytes {
+            Err(OutOfRangeError { addr, size: self.size_bytes })
+        } else {
+            Ok((addr / 4) as usize)
+        }
+    }
+
+    /// Reads the payload word and tag containing byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` is outside memory.
+    pub fn read(&self, addr: u32) -> Result<(u32, bool), OutOfRangeError> {
+        let i = self.index(addr)?;
+        Ok((self.words[i], self.tags[i]))
+    }
+
+    /// Writes the payload word and tag containing byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` is outside memory.
+    pub fn write(&mut self, addr: u32, payload: u32, tag: bool) -> Result<(), OutOfRangeError> {
+        let i = self.index(addr)?;
+        self.words[i] = payload;
+        self.tags[i] = tag;
+        Ok(())
+    }
+
+    /// Bulk-loads raw words starting at byte address `base` (used by the
+    /// program loader). Tags are set to the plain parity of each word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit.
+    pub fn load_image(&mut self, base: u32, words: &[u32]) {
+        for (k, &w) in words.iter().enumerate() {
+            let addr = base + 4 * k as u32;
+            let (p, t) = crate::protect::encode_plain(w);
+            self.write(addr, p, t)
+                .unwrap_or_else(|e| panic!("program image overflows memory: {e}"));
+        }
+    }
+
+    /// Snapshot of all payload words (for golden-run comparison).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Initializes every word with the address-embedded encoding of zero
+    /// (`payload = 0 ⊕ A = A`, tag = parity(0) = false) — factory-valid
+    /// EDC contents for an Argus-mode memory.
+    pub fn fill_protected_zero(&mut self) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w = 4 * i as u32;
+        }
+        self.tags.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = MainMemory::new(1024);
+        m.write(0x100, 0xABCD_1234, true).unwrap();
+        assert_eq!(m.read(0x100).unwrap(), (0xABCD_1234, true));
+        assert_eq!(m.read(0x104).unwrap(), (0, false));
+    }
+
+    #[test]
+    fn subword_addresses_hit_same_word() {
+        let mut m = MainMemory::new(64);
+        m.write(0x10, 7, false).unwrap();
+        for a in 0x10..0x14 {
+            assert_eq!(m.read(a).unwrap().0, 7);
+        }
+    }
+
+    #[test]
+    fn out_of_range_reported() {
+        let m = MainMemory::new(64);
+        let e = m.read(64).unwrap_err();
+        assert_eq!(e.addr, 64);
+        assert!(e.to_string().contains("outside memory"));
+    }
+
+    #[test]
+    fn load_image_sets_parity_tags() {
+        let mut m = MainMemory::new(64);
+        m.load_image(8, &[0b111, 0b11]);
+        let (w0, t0) = m.read(8).unwrap();
+        let (w1, t1) = m.read(12).unwrap();
+        assert_eq!((w0, t0), (0b111, true));
+        assert_eq!((w1, t1), (0b11, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows memory")]
+    fn load_image_overflow_panics() {
+        MainMemory::new(8).load_image(4, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn size_rounds_up_to_word() {
+        let m = MainMemory::new(5);
+        assert_eq!(m.words().len(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! The assembled memory system: I-cache + D-cache + main memory.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::main_memory::{MainMemory, OutOfRangeError};
+
+/// Memory system configuration (defaults match the paper's §4.4 setup:
+/// 8KB caches, 1-cycle hits, 20-cycle misses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data cache geometry.
+    pub dcache: CacheConfig,
+    /// Main memory size in bytes.
+    pub mem_bytes: u32,
+    /// Cycles for a cache hit.
+    pub hit_cycles: u32,
+    /// Additional cycles for a miss.
+    pub miss_penalty: u32,
+    /// Additional cycles to write back a dirty victim (the paper's flat
+    /// "misses take 20 cycles" model corresponds to 0).
+    pub writeback_penalty: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            icache: CacheConfig::kb8(1),
+            dcache: CacheConfig::kb8(1),
+            mem_bytes: 1 << 20,
+            hit_cycles: 1,
+            miss_penalty: 20,
+            writeback_penalty: 0,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Same configuration but with 2-way set-associative caches.
+    pub fn two_way(mut self) -> Self {
+        self.icache = CacheConfig::kb8(2);
+        self.dcache = CacheConfig::kb8(2);
+        self
+    }
+}
+
+/// I-cache, D-cache and main memory with simple blocking timing.
+///
+/// Word payloads and parity tags are stored in [`MainMemory`]; the caches
+/// provide timing only. All methods return the access latency in cycles.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    icache: Cache,
+    dcache: Cache,
+    mem: MainMemory,
+}
+
+impl MemorySystem {
+    /// Builds the memory system.
+    pub fn new(cfg: MemConfig) -> Self {
+        Self {
+            cfg,
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            mem: MainMemory::new(cfg.mem_bytes),
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> MemConfig {
+        self.cfg
+    }
+
+    /// Direct access to main memory (program loading, golden snapshots).
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable access to main memory (program loading).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Instruction-cache statistics.
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// Data-cache statistics.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    fn latency(&self, hit: bool, writeback: bool) -> u32 {
+        let mut c = self.cfg.hit_cycles;
+        if !hit {
+            c += self.cfg.miss_penalty;
+        }
+        if writeback {
+            c += self.cfg.writeback_penalty;
+        }
+        c
+    }
+
+    /// Fetches the instruction word at `pc`. Returns `(word, cycles)`.
+    /// Out-of-range fetches return an all-ones word (which decodes as
+    /// invalid → NOP) so wild PCs from fault injection stay simulable.
+    pub fn fetch(&mut self, pc: u32) -> (u32, u32) {
+        let a = self.icache.access(pc, false);
+        let cycles = self.latency(a.hit, false);
+        match self.mem.read(pc) {
+            Ok((w, _)) => (w, cycles),
+            Err(_) => (u32::MAX, cycles),
+        }
+    }
+
+    /// Loads the payload word and tag containing byte address `addr`.
+    /// Returns `(payload, tag, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` is outside main memory (the cache state is still
+    /// updated, mirroring a bus error after tag lookup).
+    pub fn load_word(&mut self, addr: u32) -> Result<(u32, bool, u32), OutOfRangeError> {
+        let a = self.dcache.access(addr, false);
+        let (p, t) = self.mem.read(addr)?;
+        Ok((p, t, self.latency(a.hit, a.writeback)))
+    }
+
+    /// Convenience for `load_word` that also panics on out-of-range, for
+    /// doc examples and tests with known-good addresses.
+    pub fn load_word_ok(&mut self, addr: u32) -> (u32, bool, u32) {
+        self.load_word(addr).expect("address in range")
+    }
+
+    /// Stores a payload word and tag at byte address `addr`. Returns the
+    /// latency in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` is outside main memory.
+    pub fn store_word_tagged(
+        &mut self,
+        addr: u32,
+        payload: u32,
+        tag: bool,
+    ) -> Result<u32, OutOfRangeError> {
+        let a = self.dcache.access(addr, true);
+        self.mem.write(addr, payload, tag)?;
+        Ok(self.latency(a.hit, a.writeback))
+    }
+
+    /// Unprotected store of a plain value (tag = parity of the value).
+    /// Panics on out-of-range; intended for setup code and examples.
+    pub fn store_word(&mut self, addr: u32, value: u32, _protected: bool) -> u32 {
+        let (p, t) = crate::protect::encode_plain(value);
+        self.store_word_tagged(addr, p, t).expect("address in range")
+    }
+
+    /// Invalidates both caches and resets nothing else (between runs on the
+    /// same loaded image).
+    pub fn flush_caches(&mut self) {
+        self.icache.flush();
+        self.dcache.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_timing_and_locality() {
+        let mut ms = MemorySystem::new(MemConfig::default());
+        ms.memory_mut().load_image(0, &[0x11, 0x22, 0x33, 0x44, 0x55]);
+        let (w0, c0) = ms.fetch(0);
+        assert_eq!(w0, 0x11);
+        assert_eq!(c0, 21, "cold miss: 1 + 20");
+        let (w1, c1) = ms.fetch(4);
+        assert_eq!(w1, 0x22);
+        assert_eq!(c1, 1, "same line hits");
+        let (_, c4) = ms.fetch(16);
+        assert_eq!(c4, 21, "next line misses");
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_timing() {
+        let mut ms = MemorySystem::new(MemConfig::default());
+        let c = ms.store_word_tagged(0x200, 99, true).unwrap();
+        assert_eq!(c, 21, "write-allocate miss");
+        let (p, t, c2) = ms.load_word(0x200).unwrap();
+        assert_eq!((p, t), (99, true));
+        assert_eq!(c2, 1);
+    }
+
+    #[test]
+    fn dirty_writeback_penalty_configurable() {
+        let cfg = MemConfig { writeback_penalty: 20, ..MemConfig::default() };
+        let mut ms = MemorySystem::new(cfg);
+        ms.store_word_tagged(0x0, 1, false).unwrap();
+        // Conflicting line (8KB apart, direct-mapped) evicts the dirty line.
+        let (_, _, c) = ms.load_word(0x2000).unwrap();
+        assert_eq!(c, 41, "1 + 20 miss + 20 writeback");
+    }
+
+    #[test]
+    fn out_of_range_load_errors() {
+        let mut ms = MemorySystem::new(MemConfig { mem_bytes: 64, ..MemConfig::default() });
+        assert!(ms.load_word(0x1000).is_err());
+    }
+
+    #[test]
+    fn out_of_range_fetch_yields_invalid_word() {
+        let mut ms = MemorySystem::new(MemConfig { mem_bytes: 64, ..MemConfig::default() });
+        let (w, _) = ms.fetch(0x8000);
+        assert_eq!(w, u32::MAX);
+    }
+
+    #[test]
+    fn flush_restores_cold_state() {
+        let mut ms = MemorySystem::new(MemConfig::default());
+        ms.fetch(0);
+        ms.flush_caches();
+        let (_, c) = ms.fetch(0);
+        assert_eq!(c, 21);
+    }
+
+    #[test]
+    fn stats_exposed() {
+        let mut ms = MemorySystem::new(MemConfig::default());
+        ms.fetch(0);
+        ms.load_word(0).unwrap();
+        assert_eq!(ms.icache_stats().accesses, 1);
+        assert_eq!(ms.dcache_stats().accesses, 1);
+    }
+
+    #[test]
+    fn two_way_config() {
+        let cfg = MemConfig::default().two_way();
+        assert_eq!(cfg.icache.ways, 2);
+        assert_eq!(cfg.dcache.ways, 2);
+        let _ = MemorySystem::new(cfg);
+    }
+}

@@ -1,0 +1,262 @@
+//! Bit-level helpers: parity, field extraction/insertion, sign extension.
+//!
+//! These model the combinational primitives that Argus-1 hardware uses:
+//! parity trees over data words, bit-field packing for embedding Dataflow
+//! and Control Signatures (DCS) into unused instruction bits, and the
+//! sign-extension behaviour of sub-word loads.
+
+/// Even parity of a 32-bit word: `true` if the number of set bits is odd.
+///
+/// Argus-1 attaches one parity bit to every register and every part of the
+/// datapath that carries an operand or result. This function is that parity
+/// tree.
+///
+/// ```
+/// assert!(argus_sim::bits::parity32(0b1011));
+/// assert!(!argus_sim::bits::parity32(0b1001));
+/// ```
+#[inline]
+pub fn parity32(x: u32) -> bool {
+    x.count_ones() % 2 == 1
+}
+
+/// Parity of the low `n` bits of `x`.
+///
+/// # Panics
+///
+/// Panics if `n > 32`.
+#[inline]
+pub fn parity_n(x: u32, n: u32) -> bool {
+    assert!(n <= 32, "parity width {n} exceeds 32");
+    if n == 32 {
+        parity32(x)
+    } else {
+        parity32(x & ((1u32 << n) - 1))
+    }
+}
+
+/// Extract bit field `[lo, lo+width)` from `x`.
+///
+/// # Panics
+///
+/// Panics if the field does not fit in 32 bits.
+#[inline]
+pub fn field(x: u32, lo: u32, width: u32) -> u32 {
+    assert!(lo + width <= 32, "field [{lo}, {lo}+{width}) out of range");
+    if width == 32 {
+        x
+    } else {
+        (x >> lo) & ((1u32 << width) - 1)
+    }
+}
+
+/// Insert `value` into bit field `[lo, lo+width)` of `x`, returning the new
+/// word. Bits of `value` above `width` are ignored.
+///
+/// # Panics
+///
+/// Panics if the field does not fit in 32 bits.
+#[inline]
+pub fn insert(x: u32, lo: u32, width: u32, value: u32) -> u32 {
+    assert!(lo + width <= 32, "field [{lo}, {lo}+{width}) out of range");
+    let mask = if width == 32 { u32::MAX } else { ((1u32 << width) - 1) << lo };
+    (x & !mask) | ((value << lo) & mask)
+}
+
+/// Sign-extend the low `width` bits of `x` to a full 32-bit word.
+///
+/// ```
+/// assert_eq!(argus_sim::bits::sign_extend(0x8000, 16), 0xFFFF_8000);
+/// assert_eq!(argus_sim::bits::sign_extend(0x7FFF, 16), 0x0000_7FFF);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 32.
+#[inline]
+pub fn sign_extend(x: u32, width: u32) -> u32 {
+    assert!(width > 0 && width <= 32, "invalid sign-extend width {width}");
+    let shift = 32 - width;
+    (((x << shift) as i32) >> shift) as u32
+}
+
+/// Zero-extend the low `width` bits of `x` (i.e., mask the rest off).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 32.
+#[inline]
+pub fn zero_extend(x: u32, width: u32) -> u32 {
+    assert!(width > 0 && width <= 32, "invalid zero-extend width {width}");
+    if width == 32 {
+        x
+    } else {
+        x & ((1u32 << width) - 1)
+    }
+}
+
+/// A little-endian bit stream writer used when packing DCS slots into the
+/// unused bits of a basic block's instructions.
+///
+/// Bits are pushed least-significant-first and can be drained in fixed-width
+/// chunks by the matching [`BitReader`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    /// Creates an empty bit stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    pub fn push(&mut self, value: u32, width: u32) {
+        for i in 0..width {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Consumes the writer, returning the raw bit vector.
+    pub fn into_bits(self) -> Vec<bool> {
+        self.bits
+    }
+}
+
+/// Reads fixed-width values back out of a bit vector produced by
+/// [`BitWriter`] (or collected from instruction unused-bit fields).
+#[derive(Debug, Clone)]
+pub struct BitReader {
+    bits: Vec<bool>,
+    pos: usize,
+}
+
+impl BitReader {
+    /// Wraps a bit vector for reading.
+    pub fn new(bits: Vec<bool>) -> Self {
+        Self { bits, pos: 0 }
+    }
+
+    /// Reads the next `width` bits (LSB first). Returns `None` if the stream
+    /// is exhausted before `width` bits are available.
+    pub fn read(&mut self, width: u32) -> Option<u32> {
+        if self.pos + width as usize > self.bits.len() {
+            return None;
+        }
+        let mut v = 0u32;
+        for i in 0..width {
+            if self.bits[self.pos + i as usize] {
+                v |= 1 << i;
+            }
+        }
+        self.pos += width as usize;
+        Some(v)
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_basics() {
+        assert!(!parity32(0));
+        assert!(parity32(1));
+        assert!(parity32(0x8000_0000));
+        assert!(!parity32(0x8000_0001));
+        assert!(!parity32(u32::MAX));
+    }
+
+    #[test]
+    fn parity_single_bit_flip_always_changes_parity() {
+        // The property Argus-1's datapath parity relies on.
+        for x in [0u32, 1, 0xDEAD_BEEF, u32::MAX, 0x1234_5678] {
+            for b in 0..32 {
+                assert_ne!(parity32(x), parity32(x ^ (1 << b)));
+            }
+        }
+    }
+
+    #[test]
+    fn parity_n_masks_high_bits() {
+        assert!(parity_n(0x8000_0001, 16));
+        assert!(!parity_n(0x8001_0000, 16));
+        assert!(parity_n(u32::MAX, 1));
+    }
+
+    #[test]
+    fn field_and_insert_roundtrip() {
+        let x = 0xABCD_EF01u32;
+        for (lo, w) in [(0u32, 6u32), (26, 6), (11, 5), (16, 16), (0, 32)] {
+            let f = field(x, lo, w);
+            assert_eq!(insert(x, lo, w, f), x);
+            assert_eq!(field(insert(0, lo, w, f), lo, w), f);
+        }
+    }
+
+    #[test]
+    fn insert_ignores_high_bits_of_value() {
+        assert_eq!(field(insert(0, 4, 4, 0xFF), 4, 4), 0xF);
+        assert_eq!(insert(0, 4, 4, 0x10), 0);
+    }
+
+    #[test]
+    fn sign_extend_cases() {
+        assert_eq!(sign_extend(0xFF, 8), 0xFFFF_FFFF);
+        assert_eq!(sign_extend(0x7F, 8), 0x7F);
+        assert_eq!(sign_extend(0x80, 8), 0xFFFF_FF80);
+        assert_eq!(sign_extend(0xDEAD_BEEF, 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn zero_extend_cases() {
+        assert_eq!(zero_extend(0xFFFF_FFFF, 8), 0xFF);
+        assert_eq!(zero_extend(0xFFFF_FFFF, 32), u32::MAX);
+        assert_eq!(zero_extend(0x1FF, 8), 0xFF);
+    }
+
+    #[test]
+    fn bit_writer_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push(0b10110, 5);
+        w.push(0b01, 2);
+        w.push(0x1F, 5);
+        assert_eq!(w.len(), 12);
+        let mut r = BitReader::new(w.into_bits());
+        assert_eq!(r.read(5), Some(0b10110));
+        assert_eq!(r.read(2), Some(0b01));
+        assert_eq!(r.read(5), Some(0x1F));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn bit_reader_exhaustion() {
+        let mut r = BitReader::new(vec![true, false, true]);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.read(4), None);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn field_out_of_range_panics() {
+        field(0, 30, 4);
+    }
+}

@@ -1,0 +1,516 @@
+//! Fault-injection substrate.
+//!
+//! The paper injects single transient and permanent bit-inversion errors at
+//! randomly sampled gate outputs of the synthesized OR1200 + Argus-1 netlist
+//! (§4.1). Our simulator is not gate-level, so we reproduce the methodology
+//! at the granularity of *named signal sites*: every microarchitectural
+//! signal a gate output would drive — register-file cells and address
+//! decoders, operand/result buses, functional-unit internals, PC update,
+//! pipeline control, the memory interface, and all of the Argus checker
+//! hardware itself — is declared as a [`SiteDesc`] and *tapped* each time a
+//! component drives it.
+//!
+//! A [`FaultInjector`] carries at most one active [`Fault`]. When the tapped
+//! site matches, the injector inverts the chosen bit:
+//!
+//! * **Transient** faults follow the paper's activation protocol: the fault
+//!   stays armed until the first cycle in which it actually corrupts a tapped
+//!   value ("until it shows up"), then disappears.
+//! * **Permanent** faults invert the bit on every tap from the arm cycle on.
+//!
+//! Sites with [`SiteFlavor::Double`] model gates whose output drives two
+//! datapath bits; these flip an even number of bits and are exactly the
+//! parity blind spot the paper identifies as the dominant cause of silent
+//! data corruption.
+
+use std::fmt;
+
+/// Which hardware unit a signal site belongs to. Used for weighting the
+/// sample population (approximating relative gate counts) and for reporting
+/// which checker covers which unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Instruction fetch: PC register, fetch bus.
+    Fetch,
+    /// Decode logic and opcode distribution trees.
+    Decode,
+    /// Architectural register file (data bits, read/write port addressing).
+    RegFile,
+    /// Integer ALU (adder, logic unit, shifter) and its result bus.
+    Alu,
+    /// Non-pipelined multiplier/divider.
+    MulDiv,
+    /// Load/store unit and data re-alignment.
+    Lsu,
+    /// Pipeline/stall/branch control.
+    Control,
+    /// Core-to-memory interface buses (the paper injects here, not in the
+    /// cache arrays themselves).
+    MemIface,
+    /// Argus-1 SHS registers and CRC update units.
+    ArgusShs,
+    /// Argus-1 DCS permutation/XOR tree, signature extraction, compare.
+    ArgusDcs,
+    /// Argus-1 computation sub-checkers (adder checker, RSSE, mod-M).
+    ArgusCc,
+    /// Argus-1 parity generation/check trees and parity storage.
+    ArgusParity,
+    /// Argus-1 watchdog counter.
+    ArgusWatchdog,
+}
+
+impl Unit {
+    /// True for units that exist only because of Argus-1 (errors there can
+    /// never corrupt the architectural execution of the core).
+    pub fn is_argus_hardware(self) -> bool {
+        matches!(
+            self,
+            Unit::ArgusShs
+                | Unit::ArgusDcs
+                | Unit::ArgusCc
+                | Unit::ArgusParity
+                | Unit::ArgusWatchdog
+        )
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// How many datapath bits a single fault at this site corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteFlavor {
+    /// Ordinary gate output: one inverted bit.
+    Single,
+    /// A driver/mux-select style gate that corrupts two adjacent bits —
+    /// invisible to single-bit parity.
+    Double,
+}
+
+/// A named fault-injection site: one signal of `width` bits inside `unit`.
+///
+/// `weight` scales the probability of the site being picked by a campaign,
+/// approximating the number of gates feeding that signal in a real netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteDesc {
+    /// Globally unique site name (used to match taps).
+    pub name: &'static str,
+    /// Signal width in bits; campaigns pick `bit < width`.
+    pub width: u8,
+    /// Owning hardware unit.
+    pub unit: Unit,
+    /// Relative sampling weight (≈ gate-count share).
+    pub weight: f64,
+    /// Single- or double-bit corruption.
+    pub flavor: SiteFlavor,
+    /// Logical-masking model: the probability that a faulty gate output in
+    /// this signal's cone of logic is *sensitized* — i.e. actually reaches
+    /// the tapped signal on a given exercise. Gate-level studies find most
+    /// transients logically masked; our taps sit on unit boundaries, so
+    /// deep combinational cones (ALU internals, the multiplier array,
+    /// decode) get values well below 1.0, while wires, latches and storage
+    /// cells stay near 1.0.
+    pub sensitization: f64,
+}
+
+impl SiteDesc {
+    /// Convenience constructor for a single-bit-flavor, fully sensitized
+    /// site.
+    pub const fn new(name: &'static str, width: u8, unit: Unit, weight: f64) -> Self {
+        Self { name, width, unit, weight, flavor: SiteFlavor::Single, sensitization: 1.0 }
+    }
+
+    /// Convenience constructor for a double-bit-flavor site.
+    pub const fn double(name: &'static str, width: u8, unit: Unit, weight: f64) -> Self {
+        Self { name, width, unit, weight, flavor: SiteFlavor::Double, sensitization: 1.0 }
+    }
+
+    /// Sets the logical-masking sensitization probability.
+    pub const fn sensitized(mut self, p: f64) -> Self {
+        self.sensitization = p;
+        self
+    }
+}
+
+/// Transient vs. permanent bit inversion (the paper's two error models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Armed at `arm_cycle`, disappears after the first cycle in which it
+    /// corrupts a tapped value.
+    Transient,
+    /// Inverts the bit on every tap from `arm_cycle` on.
+    Permanent,
+}
+
+/// A single injected fault: invert `bit` of the signal at `site`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Site name (must match a tap's site name exactly).
+    pub site: &'static str,
+    /// Bit position within the signal.
+    pub bit: u8,
+    /// Transient or permanent.
+    pub kind: FaultKind,
+    /// Cycle at which the fault becomes active.
+    pub arm_cycle: u64,
+    /// Whether the site corrupts one or two bits per activation.
+    pub flavor: SiteFlavor,
+    /// Width of the site signal (for wrapping the second bit of a double).
+    pub width: u8,
+    /// Per-exercise propagation probability (logical masking; 1.0 = every
+    /// exercise corrupts).
+    pub sensitization: f64,
+}
+
+impl Fault {
+    fn mask(&self) -> u32 {
+        let w = self.width.max(1) as u32;
+        let b0 = 1u32 << (self.bit as u32 % w.min(32));
+        match self.flavor {
+            SiteFlavor::Single => b0,
+            SiteFlavor::Double => {
+                let b1 = 1u32 << ((self.bit as u32 + 1) % w.min(32));
+                b0 | b1
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    fault: Fault,
+    expired: bool,
+    exposures: u64,
+}
+
+/// Threads zero or more faults through the simulator. Components call
+/// [`FaultInjector::tap32`]/[`FaultInjector::tap1`] on every signal they
+/// drive; the injector flips bits when an armed fault matches. Campaigns
+/// inject a single fault (the paper's methodology); multi-fault injectors
+/// support the §4.1 multiple-error scenarios (e.g. a core error plus an
+/// error in the corresponding checker).
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    slots: Vec<Slot>,
+    cycle: u64,
+    /// Cycle of the first actual corruption, if any.
+    first_flip: Option<u64>,
+    /// Total number of corrupted taps.
+    flips: u64,
+}
+
+impl FaultInjector {
+    /// An injector with no fault: taps pass values through unchanged.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An injector carrying one fault.
+    pub fn with_fault(fault: Fault) -> Self {
+        Self::with_faults(vec![fault])
+    }
+
+    /// An injector carrying several independent faults.
+    pub fn with_faults(faults: Vec<Fault>) -> Self {
+        Self {
+            slots: faults
+                .into_iter()
+                .map(|fault| Slot { fault, expired: false, exposures: 0 })
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Advances the injector's notion of the current cycle. The machine
+    /// calls this once per simulated cycle.
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    /// Current cycle as last set by [`Self::set_cycle`].
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Cycle of the first corrupted tap, or `None` if no fault ever fired.
+    pub fn first_flip_cycle(&self) -> Option<u64> {
+        self.first_flip
+    }
+
+    /// Number of taps corrupted so far (across all faults).
+    pub fn flip_count(&self) -> u64 {
+        self.flips
+    }
+
+    /// The first fault carried by this injector, if any.
+    pub fn fault(&self) -> Option<&Fault> {
+        self.slots.first().map(|s| &s.fault)
+    }
+
+    /// Per-exercise logical-masking draw (deterministic in cycle and
+    /// exposure count, so campaigns replay exactly). Transients stay armed
+    /// across logically-masked exercises — the paper's methodology
+    /// activates a transient "until it shows up or until a fixed amount of
+    /// time has elapsed", which is exactly why its transient and permanent
+    /// masking rates coincide.
+    fn sensitized(slot: &mut Slot, cycle: u64) -> bool {
+        slot.exposures += 1;
+        let p = slot.fault.sensitization;
+        if p >= 1.0 {
+            return true;
+        }
+        // Mix the fault's identity in so co-resident faults draw
+        // independent masking decisions (content hash, not a pointer, so
+        // campaigns replay identically across processes).
+        let mut ident: u64 = 0xcbf2_9ce4_8422_2325 ^ ((slot.fault.bit as u64) << 56);
+        for b in slot.fault.site.bytes() {
+            ident = (ident ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut h = crate::rng::SplitMix64::new(
+            cycle ^ (slot.exposures << 40) ^ ident ^ 0x5E27_1A7E,
+        );
+        h.next_f64() < p
+    }
+
+    /// True when any armed (and due) transient fault targets `site` (the
+    /// machine uses this to decide whether a flipped storage-cell read
+    /// should persist as a cell upset).
+    pub fn has_transient_on(&self, site: &'static str) -> bool {
+        self.slots.iter().any(|s| {
+            !s.expired
+                && s.fault.site == site
+                && self.cycle >= s.fault.arm_cycle
+                && matches!(s.fault.kind, FaultKind::Transient)
+        })
+    }
+
+    /// Computes the XOR mask contributed by all matching faults at this
+    /// tap, handling expiry and masking. Returns 0 when nothing fires.
+    #[inline]
+    fn fire_mask(&mut self, site: &'static str) -> u32 {
+        if self.slots.is_empty() {
+            return 0;
+        }
+        let cycle = self.cycle;
+        let mut mask = 0u32;
+        let mut fired = 0u64;
+        for slot in &mut self.slots {
+            if slot.expired || slot.fault.site != site || cycle < slot.fault.arm_cycle {
+                continue;
+            }
+            if !Self::sensitized(slot, cycle) {
+                continue;
+            }
+            mask ^= slot.fault.mask();
+            fired += 1;
+            if matches!(slot.fault.kind, FaultKind::Transient) {
+                slot.expired = true;
+            }
+        }
+        // Co-resident faults whose masks cancel exactly leave the signal
+        // untouched — no corruption happened, so don't count one.
+        if mask != 0 {
+            self.flips += fired;
+            if self.first_flip.is_none() {
+                self.first_flip = Some(cycle);
+            }
+        }
+        mask
+    }
+
+    /// Taps a multi-bit signal: returns the (possibly corrupted) value.
+    #[inline]
+    pub fn tap32(&mut self, site: &'static str, value: u32) -> u32 {
+        value ^ self.fire_mask(site)
+    }
+
+    /// Taps a single-bit signal.
+    #[inline]
+    pub fn tap1(&mut self, site: &'static str, value: bool) -> bool {
+        if self.fire_mask(site) != 0 {
+            !value
+        } else {
+            value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(kind: FaultKind) -> Fault {
+        Fault {
+            site: "test_bus",
+            bit: 3,
+            kind,
+            arm_cycle: 10,
+            flavor: SiteFlavor::Single,
+            width: 32,
+            sensitization: 1.0,
+        }
+    }
+
+    #[test]
+    fn no_fault_is_transparent() {
+        let mut inj = FaultInjector::none();
+        inj.set_cycle(100);
+        assert_eq!(inj.tap32("anything", 0xABCD), 0xABCD);
+        assert!(inj.tap1("x", true));
+        assert_eq!(inj.flip_count(), 0);
+        assert_eq!(inj.first_flip_cycle(), None);
+    }
+
+    #[test]
+    fn fault_waits_for_arm_cycle() {
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Permanent));
+        inj.set_cycle(9);
+        assert_eq!(inj.tap32("test_bus", 0), 0);
+        inj.set_cycle(10);
+        assert_eq!(inj.tap32("test_bus", 0), 1 << 3);
+    }
+
+    #[test]
+    fn fault_only_hits_matching_site() {
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Permanent));
+        inj.set_cycle(50);
+        assert_eq!(inj.tap32("other_bus", 0), 0);
+        assert_eq!(inj.flip_count(), 0);
+    }
+
+    #[test]
+    fn transient_fires_once() {
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Transient));
+        inj.set_cycle(20);
+        assert_eq!(inj.tap32("test_bus", 0), 1 << 3);
+        assert_eq!(inj.tap32("test_bus", 0), 0, "transient must expire");
+        assert_eq!(inj.flip_count(), 1);
+        assert_eq!(inj.first_flip_cycle(), Some(20));
+    }
+
+    #[test]
+    fn permanent_fires_repeatedly() {
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Permanent));
+        inj.set_cycle(20);
+        for _ in 0..5 {
+            assert_eq!(inj.tap32("test_bus", 0), 1 << 3);
+        }
+        assert_eq!(inj.flip_count(), 5);
+    }
+
+    #[test]
+    fn double_flavor_flips_two_adjacent_bits() {
+        let mut inj = FaultInjector::with_fault(Fault {
+            flavor: SiteFlavor::Double,
+            ..fault(FaultKind::Permanent)
+        });
+        inj.set_cycle(10);
+        let v = inj.tap32("test_bus", 0);
+        assert_eq!(v.count_ones(), 2);
+        assert_eq!(v, (1 << 3) | (1 << 4));
+    }
+
+    #[test]
+    fn double_flavor_wraps_at_width() {
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: "narrow",
+            bit: 4,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Double,
+            width: 5,
+            sensitization: 1.0,
+        });
+        inj.set_cycle(0);
+        let v = inj.tap32("narrow", 0);
+        assert_eq!(v, (1 << 4) | 1, "second bit wraps to bit 0");
+    }
+
+    #[test]
+    fn tap1_inverts() {
+        let mut inj = FaultInjector::with_fault(Fault {
+            site: "flag",
+            bit: 0,
+            kind: FaultKind::Permanent,
+            arm_cycle: 0,
+            flavor: SiteFlavor::Single,
+            width: 1,
+            sensitization: 1.0,
+        });
+        inj.set_cycle(0);
+        assert!(!inj.tap1("flag", true));
+        assert!(inj.tap1("flag", false));
+    }
+
+    #[test]
+    fn multiple_faults_fire_independently() {
+        let mut inj = FaultInjector::with_faults(vec![
+            Fault { site: "bus_a", bit: 0, ..fault(FaultKind::Permanent) },
+            Fault { site: "bus_b", bit: 1, ..fault(FaultKind::Permanent) },
+        ]);
+        inj.set_cycle(10);
+        assert_eq!(inj.tap32("bus_a", 0), 1);
+        assert_eq!(inj.tap32("bus_b", 0), 2);
+        assert_eq!(inj.tap32("bus_c", 0), 0);
+        assert_eq!(inj.flip_count(), 2);
+    }
+
+    #[test]
+    fn two_faults_on_one_site_compose_by_xor() {
+        let mut inj = FaultInjector::with_faults(vec![
+            Fault { bit: 0, ..fault(FaultKind::Permanent) },
+            Fault { bit: 4, ..fault(FaultKind::Permanent) },
+        ]);
+        inj.set_cycle(10);
+        assert_eq!(inj.tap32("test_bus", 0), 0b10001);
+    }
+
+    #[test]
+    fn transient_expiry_is_per_fault() {
+        let mut inj = FaultInjector::with_faults(vec![
+            Fault { bit: 0, ..fault(FaultKind::Transient) },
+            Fault { bit: 4, ..fault(FaultKind::Permanent) },
+        ]);
+        inj.set_cycle(10);
+        assert_eq!(inj.tap32("test_bus", 0), 0b10001, "both fire first");
+        assert_eq!(inj.tap32("test_bus", 0), 0b10000, "transient expired");
+        assert!(!inj.has_transient_on("test_bus"));
+    }
+
+    #[test]
+    fn has_transient_on_tracks_armed_transients() {
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Transient));
+        assert!(!inj.has_transient_on("test_bus"), "not yet armed at cycle 0");
+        inj.set_cycle(10);
+        assert!(inj.has_transient_on("test_bus"));
+        assert!(!inj.has_transient_on("other"));
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Permanent));
+        inj.set_cycle(10);
+        assert!(!inj.has_transient_on("test_bus"));
+    }
+
+    #[test]
+    fn zero_sensitization_never_fires() {
+        let mut inj = FaultInjector::with_fault(Fault {
+            sensitization: 0.0,
+            ..fault(FaultKind::Permanent)
+        });
+        inj.set_cycle(10);
+        for _ in 0..100 {
+            assert_eq!(inj.tap32("test_bus", 0), 0);
+        }
+        assert_eq!(inj.flip_count(), 0);
+        assert_eq!(inj.first_flip_cycle(), None);
+    }
+
+    #[test]
+    fn unit_argus_classification() {
+        assert!(Unit::ArgusShs.is_argus_hardware());
+        assert!(Unit::ArgusWatchdog.is_argus_hardware());
+        assert!(!Unit::Alu.is_argus_hardware());
+        assert!(!Unit::MemIface.is_argus_hardware());
+    }
+}

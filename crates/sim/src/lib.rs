@@ -1,0 +1,29 @@
+//! # argus-sim — shared simulation primitives
+//!
+//! Low-level building blocks used throughout the Argus reproduction:
+//!
+//! * [`bits`] — parity, bit-field manipulation, sign extension.
+//! * [`crc`] — width-parametric CRC used for State History Signature (SHS)
+//!   updates (the paper uses CRC5).
+//! * [`rng`] — small deterministic PRNG (SplitMix64) for reproducible
+//!   campaigns and fixed hardware permutations.
+//! * [`stats`] — counters and histograms for experiment reporting.
+//! * [`fault`] — the fault-injection substrate: named signal *sites* that
+//!   components tap every time they drive a value, and a [`fault::FaultInjector`]
+//!   that flips bits at a chosen site (transient or permanent), mirroring the
+//!   paper's gate-output bit-inversion methodology.
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_sim::crc::Crc;
+//! let crc5 = Crc::new(5);
+//! let sig = crc5.update_many(0, &[3, 17, 9]);
+//! assert!(sig < 32);
+//! ```
+
+pub mod bits;
+pub mod crc;
+pub mod fault;
+pub mod rng;
+pub mod stats;

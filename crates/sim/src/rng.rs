@@ -1,0 +1,173 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Fault-injection campaigns and the fixed "hard-wired" DCS bit permutation
+//! must be exactly reproducible across runs, so everything randomized in this
+//! workspace flows through [`SplitMix64`] with explicit seeds.
+
+/// SplitMix64: a tiny, fast, high-quality 64-bit PRNG.
+///
+/// ```
+/// use argus_sim::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` via rejection-free multiply-shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks an index in `[0, weights.len())` with probability proportional
+    /// to `weights[i]`. Returns `None` when the total weight is zero or the
+    /// slice is empty.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) {
+            return None;
+        }
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return Some(i);
+            }
+            x -= w;
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+}
+
+/// Derives a fixed permutation of `0..n` from a seed (used for the DCS
+/// bit permutation, which is "hard-wired" in the Argus-1 RTL).
+pub fn seeded_permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    SplitMix64::new(seed).shuffle(&mut idx);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let xs: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let ys: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            SplitMix64::new(1).next_u64(),
+            SplitMix64::new(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut xs: Vec<u32> = (0..100).collect();
+        SplitMix64::new(5).shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn seeded_permutation_is_stable() {
+        assert_eq!(seeded_permutation(11, 50), seeded_permutation(11, 50));
+        assert_ne!(seeded_permutation(11, 50), seeded_permutation(12, 50));
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut r = SplitMix64::new(21);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "counts {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_empty_or_zero() {
+        let mut r = SplitMix64::new(21);
+        assert_eq!(r.weighted_index(&[]), None);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Counters and histograms used by the experiment harnesses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A map of named event counters with stable (sorted) iteration order,
+/// used e.g. to attribute detections to checkers (§4.1.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments `name` by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counts.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (zero if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum over all counters.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates `(name, count)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Fraction of the total attributed to `name` (0.0 when empty).
+    pub fn share(&self, name: &str) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(name) as f64 / t as f64
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for (k, v) in self.iter() {
+            let pct = if total == 0 { 0.0 } else { 100.0 * v as f64 / total as f64 };
+            writeln!(f, "{k:30} {v:10} ({pct:5.1}%)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two bucketing, used for
+/// error-detection latency distributions (§4.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// bucket `i` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts zeros
+    /// and ones.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { min: u64::MAX, ..Self::default() }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v <= 1 { 0 } else { (64 - (v - 1).leading_zeros()) as usize };
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample. `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample. `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} out of [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i == 0 { 1 } else { 1u64 << i });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={} p50≤{} p99≤{}",
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.percentile(0.5).unwrap_or(0),
+            self.percentile(0.99).unwrap_or(0),
+        )
+    }
+}
+
+/// Running mean / standard deviation (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates empty running stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples seen so far (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0.0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = CounterSet::new();
+        c.bump("cc");
+        c.bump("cc");
+        c.add("parity", 3);
+        assert_eq!(c.get("cc"), 2);
+        assert_eq!(c.get("parity"), 3);
+        assert_eq!(c.get("nothing"), 0);
+        assert_eq!(c.total(), 5);
+        assert!((c.share("parity") - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_iteration_is_sorted() {
+        let mut c = CounterSet::new();
+        c.bump("zeta");
+        c.bump("alpha");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 21.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 >= 512);
+    }
+
+    #[test]
+    fn histogram_records_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.percentile(1.0), Some(1));
+    }
+
+    #[test]
+    fn online_stats() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_degenerate() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.stddev(), 0.0);
+        s.push(3.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+}

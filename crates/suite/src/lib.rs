@@ -1,0 +1,29 @@
+//! # argus-suite — examples and cross-crate integration tests
+//!
+//! This crate hosts the repository-level `examples/` binaries and the
+//! `tests/` integration suite, and re-exports the workspace's public
+//! surface as a convenience prelude.
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_suite::prelude::*;
+//! let mut b = ProgramBuilder::new();
+//! b.addi(Reg::new(3), Reg::ZERO, 1).halt();
+//! let prog = compile(&b.unit(), Mode::Argus, &EmbedConfig::default())?;
+//! assert!(prog.entry_dcs.is_some());
+//! # Ok::<(), CompileError>(())
+//! ```
+
+/// One-stop imports for examples and downstream experiments.
+pub mod prelude {
+    pub use argus_compiler::{
+        compile, CompileError, EmbedConfig, Mode, Program, ProgramBuilder,
+    };
+    pub use argus_core::{Argus, ArgusConfig, CheckerKind, DetectionEvent};
+    pub use argus_faults::campaign::{run_campaign, CampaignConfig, Outcome};
+    pub use argus_isa::{instr::Cond, AluOp, Instr, MemSize, Reg};
+    pub use argus_machine::{Machine, MachineConfig, StepOutcome};
+    pub use argus_sim::fault::{Fault, FaultInjector, FaultKind, SiteFlavor};
+    pub use argus_workloads::{stress, suite, Workload};
+}

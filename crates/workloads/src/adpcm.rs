@@ -1,0 +1,207 @@
+//! ADPCM codec kernels (MediaBench `adpcm rawcaudio`/`rawdaudio`
+//! equivalents): an adaptive-step-size differential codec with the classic
+//! structure — predictor, quantizer, step adaptation — exercising signed
+//! divide, multiply, shifts, compares and short branches.
+
+use crate::common::{input_samples, Workload};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::{r, Reg};
+
+/// Samples per processing pass.
+const CHUNK: usize = 24;
+/// Number of independent passes (inflates the code footprint the way a
+/// real codec's many routines do).
+const PASSES: usize = 8;
+
+/// Total samples processed.
+pub const N: usize = CHUNK * PASSES;
+
+/// Host-side reference encoder. Returns (codes, final predictions).
+fn reference_encode(input: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let mut pred: i32 = 0;
+    let mut step: i32 = 4;
+    let mut codes = Vec::with_capacity(input.len());
+    let mut preds = Vec::with_capacity(input.len());
+    for &s in input {
+        let diff = s.wrapping_sub(pred);
+        let code = (diff / step).clamp(-8, 7);
+        pred = pred.wrapping_add(code.wrapping_mul(step));
+        let acode = code.abs();
+        if acode >= 6 {
+            step += step >> 1;
+        } else if acode <= 1 {
+            step -= step >> 2;
+        }
+        if step < 1 {
+            step = 1;
+        }
+        codes.push(code);
+        preds.push(pred);
+    }
+    (codes, preds)
+}
+
+/// Emits the shared per-sample codec body. Registers: `r6` holds the input
+/// value for the step (sample for encode, code for decode); state in
+/// `r10` (pred) and `r11` (step); encode leaves the code in `r8`.
+fn emit_codec_step(b: &mut ProgramBuilder, tag: &str, encode: bool) {
+    if encode {
+        // diff = s - pred; code = clamp(diff / step, -8, 7) — branchless
+        // saturation, as an optimized codec would compile it.
+        b.sub(r(7), r(6), r(10));
+        b.div(r(8), r(7), r(11));
+        crate::common::emit_min_const(b, 8, 7, 16, 17);
+        crate::common::emit_max_const(b, 8, -8, 16, 17);
+    } else {
+        // code arrives in r6
+        b.add(r(8), r(6), Reg::ZERO);
+    }
+    // pred += code * step
+    b.mul(r(12), r(8), r(11));
+    b.add(r(10), r(10), r(12));
+    // acode = |code|
+    b.srai(r(13), r(8), 31);
+    b.xor(r(14), r(8), r(13));
+    b.sub(r(14), r(14), r(13));
+    // step adaptation (thresholds held in registers: r18 = 6, r19 = 1)
+    b.sf(Cond::Ges, r(14), r(18));
+    b.bnf(&format!("{tag}_small"));
+    b.nop();
+    b.srai(r(15), r(11), 1);
+    b.add(r(11), r(11), r(15));
+    b.j(&format!("{tag}_adapted"));
+    b.nop();
+    b.label(&format!("{tag}_small"));
+    b.sf(Cond::Leu, r(14), r(19));
+    b.bnf(&format!("{tag}_adapted"));
+    b.nop();
+    b.srai(r(15), r(11), 2);
+    b.sub(r(11), r(11), r(15));
+    b.label(&format!("{tag}_adapted"));
+    b.sf(Cond::Lts, r(11), r(19));
+    b.bnf(&format!("{tag}_stepok"));
+    b.nop();
+    b.addi(r(11), Reg::ZERO, 1);
+    b.label(&format!("{tag}_stepok"));
+}
+
+fn build(encode: bool) -> Workload {
+    let input: Vec<i32> = if encode {
+        input_samples(0xADCE, N, 4000)
+    } else {
+        reference_encode(&input_samples(0xADCE, N, 4000)).0
+    };
+    let (codes, preds) = if encode {
+        reference_encode(&input)
+    } else {
+        // Decoding the encoder's codes reproduces the predictions.
+        let orig = input_samples(0xADCE, N, 4000);
+        reference_encode(&orig)
+    };
+    let expected: Vec<i32> = if encode { codes } else { preds };
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &input {
+        b.data_word(v as u32);
+    }
+    b.data_label("output");
+    b.data_zeros(N as u32);
+    let out_off = b.data_offset("output").unwrap();
+
+    // Outer passes re-run the whole codec over the same data (idempotent),
+    // giving the instruction cache a realistic reuse pattern.
+    b.li(r(26), 2);
+    b.label("outer");
+    // Prologue: typical pointer/immediate setup (few unused bits).
+    b.li(r(2), crate::common::DATA_BASE);
+    b.li(r(3), crate::common::DATA_BASE + out_off);
+    b.li(r(10), 0); // pred
+    b.li(r(11), 4); // step
+    b.li(r(18), 6); // adaptation threshold
+    b.li(r(19), 1); // adaptation threshold / step floor
+
+    for pass in 0..PASSES {
+        let lp = format!("p{pass}_loop");
+        b.li(r(4), 0);
+        b.li(r(5), CHUNK as u32);
+        b.label(&lp);
+        b.lw(r(6), r(2), 0);
+        emit_codec_step(&mut b, &format!("p{pass}"), encode);
+        if encode {
+            b.sw(r(3), r(8), 0);
+        } else {
+            b.sw(r(3), r(10), 0);
+        }
+        b.addi(r(2), r(2), 4);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(5));
+        b.bf(&lp);
+        b.nop();
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (out_off + 4 * i as u32, v as u32))
+        .collect();
+    Workload {
+        name: if encode { "adpcm_enc" } else { "adpcm_dec" },
+        unit: b.into_unit(),
+        checks,
+    }
+}
+
+/// The ADPCM encoder workload.
+pub fn encode() -> Workload {
+    build(true)
+}
+
+/// The ADPCM decoder workload.
+pub fn decode() -> Workload {
+    build(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn reference_encoder_is_stable() {
+        let input = input_samples(0xADCE, N, 4000);
+        let (codes, preds) = reference_encode(&input);
+        assert_eq!(codes.len(), N);
+        assert!(codes.iter().all(|&c| (-8..=7).contains(&c)));
+        // Predictions track the input within the quantizer's error bound
+        // after the adaptive warm-up.
+        let tail_err: i64 = input[N - 8..]
+            .iter()
+            .zip(&preds[N - 8..])
+            .map(|(&x, &p)| (x as i64 - p as i64).abs())
+            .max()
+            .unwrap();
+        assert!(tail_err < 8000, "codec diverged: err {tail_err}");
+    }
+
+    #[test]
+    fn encode_runs_and_checks_in_both_modes() {
+        let w = encode();
+        run_workload(&w, false, 5_000_000);
+        run_workload(&w, true, 5_000_000);
+    }
+
+    #[test]
+    fn decode_runs_and_checks_in_both_modes() {
+        let w = decode();
+        run_workload(&w, false, 5_000_000);
+        run_workload(&w, true, 5_000_000);
+    }
+}

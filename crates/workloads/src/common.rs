@@ -1,0 +1,129 @@
+//! Workload plumbing: self-checking programs and shared input generation.
+
+use argus_compiler::ProgramUnit;
+use argus_machine::Machine;
+use argus_sim::rng::SplitMix64;
+
+/// Default data-section base (must match `EmbedConfig::default`).
+pub const DATA_BASE: u32 = 0x8_0000;
+
+/// A self-checking benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name as it appears in the figures.
+    pub name: &'static str,
+    /// The source unit (compile in either mode).
+    pub unit: ProgramUnit,
+    /// `(data-section byte offset, expected word)` pairs to verify after a
+    /// run.
+    pub checks: Vec<(u32, u32)>,
+}
+
+impl Workload {
+    /// Verifies the run's results against the host-side reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching word.
+    pub fn check(&self, m: &Machine) -> Result<(), String> {
+        for &(off, expect) in &self.checks {
+            let got = m.read_data_word(DATA_BASE + off);
+            if got != expect {
+                return Err(format!(
+                    "{}: data[{:#x}] = {:#010x}, expected {:#010x}",
+                    self.name, off, got, expect
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles and runs a workload in the given mode, verifying its
+/// self-checks and (in Argus mode) the absence of false positives.
+/// Returns the finished run.
+///
+/// # Panics
+///
+/// Panics on compile errors, failed self-checks, non-halting runs, or
+/// checker false positives — the invariants every workload must satisfy.
+pub fn run_workload(w: &Workload, argus: bool, max_cycles: u64) -> argus_compiler::verify::CheckedRun {
+    use argus_compiler::{compile, EmbedConfig, Mode};
+    let mode = if argus { Mode::Argus } else { Mode::Baseline };
+    let prog = compile(&w.unit, mode, &EmbedConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    let run = if argus {
+        argus_compiler::verify::run_checked(
+            &prog,
+            argus_machine::MachineConfig::default(),
+            argus_core::ArgusConfig::default(),
+            &mut argus_sim::fault::FaultInjector::none(),
+            max_cycles,
+        )
+    } else {
+        argus_compiler::verify::run_baseline(
+            &prog,
+            argus_machine::MachineConfig { argus_mode: false, ..Default::default() },
+            max_cycles,
+        )
+    };
+    assert!(run.halted, "{}: did not halt within {max_cycles} cycles", w.name);
+    if argus {
+        assert!(run.events.is_empty(), "{}: false positives: {:?}", w.name, run.events);
+    }
+    if let Err(e) = w.check(&run.machine) {
+        panic!("self-check failed: {e}");
+    }
+    run
+}
+
+/// Emits a branchless `rx = min(rx, c)` (signed) using `rt`/`rt2` as
+/// scratch: `d = x − c; x' = c + (d & (d>>31))`.
+pub fn emit_min_const(b: &mut argus_compiler::ProgramBuilder, rx: u8, c: i16, rt: u8, rt2: u8) {
+    use argus_isa::reg::r;
+    b.addi(r(rt), r(rx), -c);
+    b.srai(r(rt2), r(rt), 31);
+    b.and(r(rt), r(rt), r(rt2));
+    b.addi(r(rx), r(rt), c);
+}
+
+/// Emits a branchless `rx = max(rx, c)` (signed):
+/// `d = x − c; x' = c + (d & ~(d>>31))`.
+pub fn emit_max_const(b: &mut argus_compiler::ProgramBuilder, rx: u8, c: i16, rt: u8, rt2: u8) {
+    use argus_isa::reg::r;
+    b.addi(r(rt), r(rx), -c);
+    b.srai(r(rt2), r(rt), 31);
+    b.xori(r(rt2), r(rt2), 0xFFFF); // sign-extends to !mask
+    b.and(r(rt), r(rt), r(rt2));
+    b.addi(r(rx), r(rt), c);
+}
+
+/// Deterministic pseudo-random input samples in `[-bound, bound)`,
+/// identical on every call with the same tag.
+pub fn input_samples(tag: u64, n: usize, bound: i32) -> Vec<i32> {
+    let mut rng = SplitMix64::new(0xBEEF_0000 ^ tag);
+    (0..n)
+        .map(|_| (rng.below(2 * bound as u64) as i32) - bound)
+        .collect()
+}
+
+/// Deterministic pseudo-random unsigned bytes.
+pub fn input_bytes(tag: u64, n: usize) -> Vec<u32> {
+    let mut rng = SplitMix64::new(0xF00D_0000 ^ tag);
+    (0..n).map(|_| (rng.below(256)) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_deterministic_and_bounded() {
+        let a = input_samples(7, 100, 1000);
+        let b = input_samples(7, 100, 1000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-1000..1000).contains(&x)));
+        assert_ne!(input_samples(8, 100, 1000), a);
+        assert!(input_bytes(1, 64).iter().all(|&x| x < 256));
+    }
+}

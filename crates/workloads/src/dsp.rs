@@ -1,0 +1,258 @@
+//! G.721-style adaptive prediction and GSM-style autocorrelation kernels.
+
+use crate::common::{input_samples, Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::{r, Reg};
+
+const G721_CHUNK: usize = 32;
+const G721_PASSES: usize = 6;
+/// Samples processed by the G.721-style kernels.
+pub const G721_N: usize = G721_CHUNK * G721_PASSES;
+
+/// Host reference: 2-tap adaptive predictor with sign-LMS adaptation.
+/// Returns (quantized residuals, reconstructions).
+fn g721_reference(input: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let (mut a1, mut a2): (i32, i32) = (192, -64);
+    let (mut y1, mut y2): (i32, i32) = (0, 0);
+    let mut qs = Vec::with_capacity(input.len());
+    let mut ys = Vec::with_capacity(input.len());
+    for &x in input {
+        let pred = (a1.wrapping_mul(y1).wrapping_add(a2.wrapping_mul(y2))) >> 8;
+        let e = x.wrapping_sub(pred);
+        let q = e >> 4;
+        let xr = pred.wrapping_add(q << 4);
+        // sign-sign LMS
+        let se = if e >= 0 { 1 } else { -1 };
+        let s1 = if y1 >= 0 { 1 } else { -1 };
+        let s2 = if y2 >= 0 { 1 } else { -1 };
+        a1 = (a1 + se * s1).clamp(-256, 256);
+        a2 = (a2 + se * s2).clamp(-256, 256);
+        y2 = y1;
+        y1 = xr;
+        qs.push(q);
+        ys.push(xr);
+    }
+    (qs, ys)
+}
+
+/// Emits `rd = sign(rs)` (1 or -1) without branches.
+fn emit_sign(b: &mut ProgramBuilder, rd: u8, rs: u8) {
+    // sign = (x >> 31) | 1  →  -1 for negative, 1 otherwise.
+    b.srai(r(rd), r(rs), 31);
+    b.ori(r(rd), r(rd), 1);
+}
+
+/// Emits a branchless `clamp(rx, -256, 256)`.
+fn emit_clamp256(b: &mut ProgramBuilder, _tag: &str, rx: u8) {
+    crate::common::emit_min_const(b, rx, 256, 22, 23);
+    crate::common::emit_max_const(b, rx, -256, 22, 23);
+}
+
+fn g721_build(encode: bool) -> Workload {
+    let input = input_samples(0x0721, G721_N, 8000);
+    let (qs, ys) = g721_reference(&input);
+    let expected: Vec<i32> = if encode { qs } else { ys };
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &input {
+        b.data_word(v as u32);
+    }
+    b.data_label("output");
+    b.data_zeros(G721_N as u32);
+    let out_off = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    b.li(r(2), DATA_BASE);
+    b.li(r(3), DATA_BASE + out_off);
+    b.li(r(10), 192); // a1
+    b.addi(r(11), Reg::ZERO, -64); // a2
+    b.li(r(12), 0); // y1
+    b.li(r(13), 0); // y2
+
+    for pass in 0..G721_PASSES {
+        let lp = format!("g{pass}_loop");
+        b.li(r(4), 0);
+        b.li(r(5), G721_CHUNK as u32); // loop bound in a register
+        b.label(&lp);
+        b.lw(r(6), r(2), 0); // x
+        // pred = (a1*y1 + a2*y2) >> 8
+        b.mul(r(7), r(10), r(12));
+        b.mul(r(8), r(11), r(13));
+        b.add(r(7), r(7), r(8));
+        b.srai(r(7), r(7), 8);
+        // e = x - pred; q = e >> 4; xr = pred + (q << 4)
+        b.sub(r(14), r(6), r(7));
+        b.srai(r(15), r(14), 4);
+        b.slli(r(16), r(15), 4);
+        b.add(r(17), r(7), r(16)); // xr
+        // adaptation
+        emit_sign(&mut b, 18, 14); // se
+        emit_sign(&mut b, 19, 12); // s1
+        emit_sign(&mut b, 20, 13); // s2
+        b.mul(r(21), r(18), r(19));
+        b.add(r(10), r(10), r(21));
+        emit_clamp256(&mut b, &format!("g{pass}a1"), 10);
+        b.mul(r(21), r(18), r(20));
+        b.add(r(11), r(11), r(21));
+        emit_clamp256(&mut b, &format!("g{pass}a2"), 11);
+        // shift delay line
+        b.add(r(13), r(12), Reg::ZERO);
+        b.add(r(12), r(17), Reg::ZERO);
+        // store result
+        if encode {
+            b.sw(r(3), r(15), 0);
+        } else {
+            b.sw(r(3), r(17), 0);
+        }
+        b.addi(r(2), r(2), 4);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(5));
+        b.bf(&lp);
+        b.nop();
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (out_off + 4 * i as u32, v as u32))
+        .collect();
+    Workload {
+        name: if encode { "g721_enc" } else { "g721_dec" },
+        unit: b.into_unit(),
+        checks,
+    }
+}
+
+/// G.721-style encoder (emits quantized residuals).
+pub fn g721_encode() -> Workload {
+    g721_build(true)
+}
+
+/// G.721-style decoder (emits reconstructions).
+pub fn g721_decode() -> Workload {
+    g721_build(false)
+}
+
+const GSM_WINDOW: usize = 40;
+const GSM_LAGS: usize = 9;
+const GSM_FRAMES: usize = 5;
+
+/// Host reference: per-frame autocorrelation, the heart of GSM LPC
+/// analysis.
+fn gsm_reference(input: &[i32]) -> Vec<i32> {
+    let mut out = Vec::new();
+    for f in 0..GSM_FRAMES {
+        let frame = &input[f * GSM_WINDOW..(f + 1) * GSM_WINDOW];
+        for k in 0..GSM_LAGS {
+            let mut acc: i32 = 0;
+            for i in 0..GSM_WINDOW - k {
+                acc = acc.wrapping_add((frame[i] >> 3).wrapping_mul(frame[i + k] >> 3));
+            }
+            out.push(acc);
+        }
+    }
+    out
+}
+
+/// GSM-style LPC autocorrelation workload (multiply-dominated).
+pub fn gsm_encode() -> Workload {
+    let input = input_samples(0x0675, GSM_WINDOW * GSM_FRAMES, 16000);
+    let expected = gsm_reference(&input);
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &input {
+        b.data_word(v as u32);
+    }
+    b.data_label("output");
+    b.data_zeros((GSM_LAGS * GSM_FRAMES) as u32);
+    let out_off = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    b.li(r(3), DATA_BASE + out_off);
+    for f in 0..GSM_FRAMES {
+        b.li(r(2), DATA_BASE + (f * GSM_WINDOW * 4) as u32);
+        for k in 0..GSM_LAGS {
+            let lp = format!("f{f}k{k}_loop");
+            b.li(r(10), 0); // acc
+            b.li(r(4), 0); // i
+            b.li(r(5), (GSM_WINDOW - k) as u32);
+            // r6 = &frame[0], r7 = &frame[k]
+            b.add(r(6), r(2), Reg::ZERO);
+            b.addi(r(7), r(2), (k * 4) as i16);
+            b.label(&lp);
+            b.lw(r(11), r(6), 0);
+            b.lw(r(12), r(7), 0);
+            b.srai(r(11), r(11), 3);
+            b.srai(r(12), r(12), 3);
+            b.mul(r(13), r(11), r(12));
+            b.add(r(10), r(10), r(13));
+            b.addi(r(6), r(6), 4);
+            b.addi(r(7), r(7), 4);
+            b.addi(r(4), r(4), 1);
+            b.sf(Cond::Ltu, r(4), r(5));
+            b.bf(&lp);
+            b.nop();
+            b.sw(r(3), r(10), 0);
+            b.addi(r(3), r(3), 4);
+        }
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (out_off + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "gsm_enc", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn g721_encode_runs_clean() {
+        run_workload(&g721_encode(), true, 5_000_000);
+    }
+
+    #[test]
+    fn g721_decode_runs_clean() {
+        run_workload(&g721_decode(), true, 5_000_000);
+        run_workload(&g721_decode(), false, 5_000_000);
+    }
+
+    #[test]
+    fn gsm_runs_clean() {
+        run_workload(&gsm_encode(), true, 10_000_000);
+        run_workload(&gsm_encode(), false, 10_000_000);
+    }
+
+    #[test]
+    fn g721_reference_reconstruction_tracks_input() {
+        let input = input_samples(0x0721, G721_N, 8000);
+        let (_, ys) = g721_reference(&input);
+        let err: i64 = input[G721_N - 8..]
+            .iter()
+            .zip(&ys[G721_N - 8..])
+            .map(|(&x, &y)| (x as i64 - y as i64).abs())
+            .max()
+            .unwrap();
+        assert!(err <= 16, "reconstruction error {err} exceeds quantizer bound");
+    }
+}

@@ -1,0 +1,207 @@
+//! EPIC-style image pyramid kernels: a two-level Haar-like analysis
+//! (`epic`) and its synthesis inverse (`unepic`). Shift/add dominated,
+//! with strided memory access patterns.
+
+use crate::common::{input_samples, Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::r;
+
+/// Input length (power of two).
+pub const N: usize = 128;
+
+/// One analysis level: lo[i] = (x[2i] + x[2i+1]) >> 1, hi[i] = x[2i] − x[2i+1].
+fn analyze(x: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let mut lo = Vec::with_capacity(x.len() / 2);
+    let mut hi = Vec::with_capacity(x.len() / 2);
+    for p in x.chunks(2) {
+        lo.push((p[0].wrapping_add(p[1])) >> 1);
+        hi.push(p[0].wrapping_sub(p[1]));
+    }
+    (lo, hi)
+}
+
+/// Inverse of [`analyze`] (exact because hi carries the parity).
+fn synthesize(lo: &[i32], hi: &[i32]) -> Vec<i32> {
+    let mut x = Vec::with_capacity(lo.len() * 2);
+    for (&l, &h) in lo.iter().zip(hi) {
+        // x0 = l + ((h + (h & 1)) >> 1)? Reconstruct from l = (x0+x1)>>1, h = x0-x1:
+        // x0 + x1 = 2l + ((x0+x1) & 1); the lost parity bit equals
+        // (h & 1) because x0+x1 and x0-x1 have the same parity.
+        let sum = 2 * l + (h & 1);
+        let x0 = (sum + h) >> 1;
+        x.push(x0);
+        x.push(x0 - h);
+    }
+    x
+}
+
+/// Two-level pyramid layout: [lo2 | hi2 | hi1].
+fn epic_reference(input: &[i32]) -> Vec<i32> {
+    let (lo1, hi1) = analyze(input);
+    let (lo2, hi2) = analyze(&lo1);
+    let mut out = lo2;
+    out.extend(hi2);
+    out.extend(hi1);
+    out
+}
+
+fn unepic_reference(pyr: &[i32]) -> Vec<i32> {
+    let (lo2, rest) = pyr.split_at(N / 4);
+    let (hi2, hi1) = rest.split_at(N / 4);
+    let lo1 = synthesize(lo2, hi2);
+    synthesize(&lo1, hi1)
+}
+
+/// Emits one analysis level from `src_off` (len `n`) into lo at `lo_off`
+/// and hi at `hi_off` (data-section byte offsets).
+fn emit_analyze(b: &mut ProgramBuilder, tag: &str, src_off: u32, lo_off: u32, hi_off: u32, n: u32) {
+    let lp = format!("{tag}_loop");
+    b.li(r(2), DATA_BASE + src_off);
+    b.li(r(3), DATA_BASE + lo_off);
+    b.li(r(5), DATA_BASE + hi_off);
+    b.li(r(4), 0);
+    b.li(r(11), n / 2); // loop bound in a register
+    b.label(&lp);
+    b.lw(r(6), r(2), 0);
+    b.lw(r(7), r(2), 4);
+    b.add(r(8), r(6), r(7));
+    b.srai(r(8), r(8), 1);
+    b.sub(r(10), r(6), r(7));
+    b.sw(r(3), r(8), 0);
+    b.sw(r(5), r(10), 0);
+    b.addi(r(2), r(2), 8);
+    b.addi(r(3), r(3), 4);
+    b.addi(r(5), r(5), 4);
+    b.addi(r(4), r(4), 1);
+    b.sf(Cond::Ltu, r(4), r(11));
+    b.bf(&lp);
+    b.nop();
+}
+
+/// Emits one synthesis level from lo at `lo_off`, hi at `hi_off` into
+/// `dst_off` (each lo/hi has `n/2` entries).
+fn emit_synthesize(b: &mut ProgramBuilder, tag: &str, lo_off: u32, hi_off: u32, dst_off: u32, n: u32) {
+    let lp = format!("{tag}_loop");
+    b.li(r(2), DATA_BASE + lo_off);
+    b.li(r(3), DATA_BASE + hi_off);
+    b.li(r(5), DATA_BASE + dst_off);
+    b.li(r(4), 0);
+    b.li(r(13), n / 2); // loop bound in a register
+    b.label(&lp);
+    b.lw(r(6), r(2), 0); // l
+    b.lw(r(7), r(3), 0); // h
+    b.slli(r(8), r(6), 1); // 2l
+    b.andi(r(10), r(7), 1); // parity
+    b.add(r(8), r(8), r(10)); // sum
+    b.add(r(11), r(8), r(7));
+    b.srai(r(11), r(11), 1); // x0
+    b.sub(r(12), r(11), r(7)); // x1
+    b.sw(r(5), r(11), 0);
+    b.sw(r(5), r(12), 4);
+    b.addi(r(2), r(2), 4);
+    b.addi(r(3), r(3), 4);
+    b.addi(r(5), r(5), 8);
+    b.addi(r(4), r(4), 1);
+    b.sf(Cond::Ltu, r(4), r(13));
+    b.bf(&lp);
+    b.nop();
+}
+
+/// The EPIC analysis workload.
+pub fn epic() -> Workload {
+    let input = input_samples(0xE61C, N, 20000);
+    let expected = epic_reference(&input);
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &input {
+        b.data_word(v as u32);
+    }
+    b.data_label("lo1");
+    b.data_zeros((N / 2) as u32);
+    b.data_label("out");
+    b.data_zeros(N as u32); // [lo2 | hi2 | hi1]
+    let lo1 = b.data_offset("lo1").unwrap();
+    let out = b.data_offset("out").unwrap();
+    let (lo2, hi2, hi1) = (out, out + N as u32, out + 2 * N as u32);
+
+    b.li(r(26), 3);
+    b.label("outer");
+    emit_analyze(&mut b, "l1", 0, lo1, hi1, N as u32);
+    emit_analyze(&mut b, "l2", lo1, lo2, hi2, (N / 2) as u32);
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (out + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "epic", unit: b.into_unit(), checks }
+}
+
+/// The EPIC synthesis (reconstruction) workload.
+pub fn unepic() -> Workload {
+    let original = input_samples(0xE61C, N, 20000);
+    let pyr = epic_reference(&original);
+    let expected = unepic_reference(&pyr);
+    assert_eq!(expected, original, "host reference must reconstruct exactly");
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("pyr");
+    for &v in &pyr {
+        b.data_word(v as u32);
+    }
+    b.data_label("lo1");
+    b.data_zeros((N / 2) as u32);
+    b.data_label("out");
+    b.data_zeros(N as u32);
+    let lo1 = b.data_offset("lo1").unwrap();
+    let out = b.data_offset("out").unwrap();
+    let (lo2, hi2, hi1) = (0u32, (N as u32), 2 * N as u32);
+
+    b.li(r(26), 3);
+    b.label("outer");
+    emit_synthesize(&mut b, "s2", lo2, hi2, lo1, (N / 2) as u32);
+    emit_synthesize(&mut b, "s1", lo1, hi1, out, N as u32);
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (out + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "unepic", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn analysis_synthesis_roundtrip() {
+        let x = input_samples(1, 64, 1 << 20);
+        let (lo, hi) = analyze(&x);
+        assert_eq!(synthesize(&lo, &hi), x);
+    }
+
+    #[test]
+    fn epic_runs_clean() {
+        run_workload(&epic(), true, 5_000_000);
+        run_workload(&epic(), false, 5_000_000);
+    }
+
+    #[test]
+    fn unepic_runs_clean() {
+        run_workload(&unepic(), true, 5_000_000);
+    }
+}

@@ -1,0 +1,336 @@
+//! Ghostscript-like kernel: a bytecode interpreter. Interpreters are the
+//! worst case for control-flow checking — every virtual instruction is an
+//! indirect jump through a function-pointer table — so this workload
+//! hammers the CFC's register-carried-DCS mechanism (§3.2.2, "Indirect
+//! Branches").
+
+use crate::common::{Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::r;
+
+/// Virtual-machine opcodes (the jump table in the data section has one
+/// handler per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VmOp {
+    /// Push the following literal word.
+    Push = 0,
+    /// Pop b, a; push a + b.
+    Add = 1,
+    /// Pop b, a; push a − b.
+    Sub = 2,
+    /// Pop b, a; push a · b.
+    Mul = 3,
+    /// Duplicate the top of stack.
+    Dup = 4,
+    /// Swap the two top stack entries.
+    Swap = 5,
+    /// Pop and write to output slot (following word).
+    Store = 6,
+    /// Pop; if nonzero, jump to bytecode index (following word).
+    Jnz = 7,
+    /// Stop the VM.
+    Halt = 8,
+    /// Push variable (following word = index).
+    Load = 9,
+    /// Pop into variable (following word = index).
+    SetVar = 10,
+}
+
+/// The interpreted program: sum of squares 1..=N into out[0], a derived
+/// product into out[1], and a stack-shuffle checksum into out[2].
+fn bytecode(n: u32) -> Vec<u32> {
+    use VmOp::*;
+    let mut c: Vec<u32> = Vec::new();
+    fn emit_into(c: &mut Vec<u32>, op: VmOp, arg: Option<u32>) {
+        c.push(op as u32);
+        if let Some(a) = arg {
+            c.push(a);
+        }
+    }
+    emit_into(&mut c, Push, Some(n)); // counter
+    emit_into(&mut c, SetVar, Some(0));
+    emit_into(&mut c, Push, Some(0)); // acc
+    emit_into(&mut c, SetVar, Some(1));
+    let loop_top = c.len() as u32;
+    let mut emit = |op: VmOp, arg: Option<u32>| emit_into(&mut c, op, arg);
+    emit(Load, Some(0));
+    emit(Dup, None);
+    emit(Mul, None);
+    emit(Load, Some(1));
+    emit(Add, None);
+    emit(SetVar, Some(1));
+    emit(Load, Some(0));
+    emit(Push, Some(1));
+    emit(Sub, None);
+    emit(Dup, None);
+    emit(SetVar, Some(0));
+    emit(Jnz, Some(loop_top));
+    emit(Load, Some(1));
+    emit(Store, Some(0));
+    // out[1] = 7·acc − n  (uses Swap).
+    emit(Push, Some(7));
+    emit(Load, Some(1));
+    emit(Mul, None);
+    emit(Push, Some(n));
+    emit(Swap, None);
+    emit(Sub, None); // n − 7·acc, then negate via 0 − x
+    emit(Push, Some(0));
+    emit(Swap, None);
+    emit(Sub, None);
+    emit(Store, Some(1));
+    // out[2] = a small stack dance checksum.
+    emit(Push, Some(0x1234));
+    emit(Push, Some(0x0F0F));
+    emit(Dup, None);
+    emit(Add, None);
+    emit(Swap, None);
+    emit(Sub, None);
+    emit(Store, Some(2));
+    emit(Halt, None);
+    c
+}
+
+/// Host-side reference interpreter (same wrapping semantics as the
+/// assembly one).
+fn interpret(code: &[u32]) -> Vec<u32> {
+    let mut pc = 0usize;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut vars = [0u32; 8];
+    let mut out = vec![0u32; 4];
+    loop {
+        let op = code[pc];
+        pc += 1;
+        let mut arg = || {
+            let a = code[pc];
+            pc += 1;
+            a
+        };
+        match op {
+            x if x == VmOp::Push as u32 => {
+                let a = arg();
+                stack.push(a);
+            }
+            x if x == VmOp::Add as u32 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a.wrapping_add(b));
+            }
+            x if x == VmOp::Sub as u32 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a.wrapping_sub(b));
+            }
+            x if x == VmOp::Mul as u32 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a.wrapping_mul(b));
+            }
+            x if x == VmOp::Dup as u32 => {
+                let a = *stack.last().unwrap();
+                stack.push(a);
+            }
+            x if x == VmOp::Swap as u32 => {
+                let len = stack.len();
+                stack.swap(len - 1, len - 2);
+            }
+            x if x == VmOp::Store as u32 => {
+                let slot = arg();
+                out[slot as usize] = stack.pop().unwrap();
+            }
+            x if x == VmOp::Jnz as u32 => {
+                let target = arg();
+                if stack.pop().unwrap() != 0 {
+                    pc = target as usize;
+                }
+            }
+            x if x == VmOp::Halt as u32 => return out,
+            x if x == VmOp::Load as u32 => {
+                let idx = arg();
+                stack.push(vars[idx as usize]);
+            }
+            x if x == VmOp::SetVar as u32 => {
+                let idx = arg();
+                vars[idx as usize] = stack.pop().unwrap();
+            }
+            other => panic!("bad opcode {other}"),
+        }
+    }
+}
+
+/// The interpreter workload.
+pub fn gs() -> Workload {
+    let code = bytecode(48);
+    let expected = interpret(&code);
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("bytecode");
+    for &w in &code {
+        b.data_word(w);
+    }
+    b.data_label("table");
+    for name in [
+        "op_push", "op_add", "op_sub", "op_mul", "op_dup", "op_swap", "op_store", "op_jnz",
+        "op_haltvm", "op_load", "op_setvar",
+    ] {
+        b.data_code_ptr(name);
+    }
+    b.data_label("vars");
+    b.data_zeros(8);
+    b.data_label("stack");
+    b.data_zeros(64);
+    b.data_label("output");
+    b.data_zeros(4);
+    let tbl = b.data_offset("table").unwrap();
+    let vars = b.data_offset("vars").unwrap();
+    let stack = b.data_offset("stack").unwrap();
+    let out = b.data_offset("output").unwrap();
+
+    // r24 = bytecode base, r2 = VM pc, r3 = stack top, r5 = table base,
+    // r25 = vars base, r10 = output base.
+    b.li(r(24), DATA_BASE);
+    b.li(r(2), DATA_BASE);
+    b.li(r(3), DATA_BASE + stack);
+    b.li(r(5), DATA_BASE + tbl);
+    b.li(r(25), DATA_BASE + vars);
+    b.li(r(10), DATA_BASE + out);
+
+    b.label("dispatch");
+    b.lw(r(4), r(2), 0); // opcode
+    b.addi(r(2), r(2), 4);
+    b.slli(r(6), r(4), 2);
+    b.add(r(6), r(5), r(6));
+    b.lw(r(7), r(6), 0); // handler (packed address + DCS)
+    b.jr(r(7));
+    b.nop();
+
+    b.label("op_push");
+    b.lw(r(6), r(2), 0);
+    b.addi(r(2), r(2), 4);
+    b.sw(r(3), r(6), 0);
+    b.addi(r(3), r(3), 4);
+    b.j("dispatch");
+    b.nop();
+
+    for (name, is_sub, is_mul) in
+        [("op_add", false, false), ("op_sub", true, false), ("op_mul", false, true)]
+    {
+        b.label(name);
+        b.addi(r(3), r(3), -8);
+        b.lw(r(6), r(3), 0);
+        b.lw(r(7), r(3), 4);
+        if is_mul {
+            b.mul(r(6), r(6), r(7));
+        } else if is_sub {
+            b.sub(r(6), r(6), r(7));
+        } else {
+            b.add(r(6), r(6), r(7));
+        }
+        b.sw(r(3), r(6), 0);
+        b.addi(r(3), r(3), 4);
+        b.j("dispatch");
+        b.nop();
+    }
+
+    b.label("op_dup");
+    b.lw(r(6), r(3), -4);
+    b.sw(r(3), r(6), 0);
+    b.addi(r(3), r(3), 4);
+    b.j("dispatch");
+    b.nop();
+
+    b.label("op_swap");
+    b.lw(r(6), r(3), -4);
+    b.lw(r(7), r(3), -8);
+    b.sw(r(3), r(6), -8);
+    b.sw(r(3), r(7), -4);
+    b.j("dispatch");
+    b.nop();
+
+    b.label("op_store");
+    b.lw(r(6), r(2), 0); // slot
+    b.addi(r(2), r(2), 4);
+    b.addi(r(3), r(3), -4);
+    b.lw(r(7), r(3), 0);
+    b.slli(r(6), r(6), 2);
+    b.add(r(6), r(10), r(6));
+    b.sw(r(6), r(7), 0);
+    b.j("dispatch");
+    b.nop();
+
+    b.label("op_jnz");
+    b.lw(r(6), r(2), 0); // target bytecode index
+    b.addi(r(2), r(2), 4);
+    b.addi(r(3), r(3), -4);
+    b.lw(r(7), r(3), 0);
+    b.sfi(Cond::Eq, r(7), 0);
+    b.bf("dispatch");
+    b.nop();
+    b.slli(r(6), r(6), 2);
+    b.add(r(2), r(24), r(6));
+    b.j("dispatch");
+    b.nop();
+
+    b.label("op_load");
+    b.lw(r(6), r(2), 0);
+    b.addi(r(2), r(2), 4);
+    b.slli(r(6), r(6), 2);
+    b.add(r(6), r(25), r(6));
+    b.lw(r(7), r(6), 0);
+    b.sw(r(3), r(7), 0);
+    b.addi(r(3), r(3), 4);
+    b.j("dispatch");
+    b.nop();
+
+    b.label("op_setvar");
+    b.lw(r(6), r(2), 0);
+    b.addi(r(2), r(2), 4);
+    b.addi(r(3), r(3), -4);
+    b.lw(r(7), r(3), 0);
+    b.slli(r(6), r(6), 2);
+    b.add(r(6), r(25), r(6));
+    b.sw(r(6), r(7), 0);
+    b.j("dispatch");
+    b.nop();
+
+    b.label("op_haltvm");
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, &v)| (out + 4 * i as u32, v))
+        .collect();
+    Workload { name: "gs", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn reference_interpreter_computes_sum_of_squares() {
+        let out = interpret(&bytecode(10));
+        assert_eq!(out[0], (1..=10u32).map(|i| i * i).sum::<u32>());
+        assert_eq!(out[1], out[0].wrapping_mul(7).wrapping_sub(10));
+    }
+
+    #[test]
+    fn gs_runs_clean_in_both_modes() {
+        let w = gs();
+        run_workload(&w, false, 20_000_000);
+        run_workload(&w, true, 20_000_000);
+    }
+
+    #[test]
+    fn gs_uses_the_zero_register_convention() {
+        // Dispatch jumps must never touch r9 except through jr/jalr.
+        let w = gs();
+        assert!(w.unit.stmts.iter().any(|s| matches!(
+            s,
+            argus_compiler::builder::Stmt::JumpReg { link: false, rb } if rb.index() == 7
+        )));
+    }
+}

@@ -1,0 +1,286 @@
+//! JPEG-style transform-coding kernels: a separable 4×4 Walsh–Hadamard
+//! transform (the butterfly structure of an integer DCT) with quantization
+//! (`jpeg_enc`), and dequantization + inverse transform (`jpeg_dec`).
+
+use crate::common::{input_samples, Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::r;
+
+/// Number of 4×4 blocks processed.
+pub const BLOCKS: usize = 16;
+const BLOCK_WORDS: usize = 16;
+
+/// Quantizer divisors (one per coefficient position).
+const QTABLE: [i32; 16] = [8, 11, 10, 16, 12, 12, 14, 19, 14, 13, 16, 24, 18, 22, 29, 40];
+
+fn wht4(v: [i32; 4]) -> [i32; 4] {
+    let a = v[0].wrapping_add(v[3]);
+    let b = v[1].wrapping_add(v[2]);
+    let c = v[1].wrapping_sub(v[2]);
+    let d = v[0].wrapping_sub(v[3]);
+    [a.wrapping_add(b), d.wrapping_add(c), a.wrapping_sub(b), d.wrapping_sub(c)]
+}
+
+fn transform_block(block: &[i32]) -> Vec<i32> {
+    // Rows then columns.
+    let mut t = [0i32; 16];
+    for row in 0..4 {
+        let o = wht4([block[4 * row], block[4 * row + 1], block[4 * row + 2], block[4 * row + 3]]);
+        t[4 * row..4 * row + 4].copy_from_slice(&o);
+    }
+    let mut u = [0i32; 16];
+    for col in 0..4 {
+        let o = wht4([t[col], t[col + 4], t[col + 8], t[col + 12]]);
+        for (k, &x) in o.iter().enumerate() {
+            u[col + 4 * k] = x;
+        }
+    }
+    u.to_vec()
+}
+
+fn encode_reference(input: &[i32]) -> Vec<i32> {
+    let mut out = Vec::new();
+    for blk in input.chunks(BLOCK_WORDS) {
+        let t = transform_block(blk);
+        for (i, &c) in t.iter().enumerate() {
+            out.push(c / QTABLE[i]);
+        }
+    }
+    out
+}
+
+fn decode_reference(coeffs: &[i32]) -> Vec<i32> {
+    let mut out = Vec::new();
+    for blk in coeffs.chunks(BLOCK_WORDS) {
+        let deq: Vec<i32> = blk.iter().enumerate().map(|(i, &c)| c.wrapping_mul(QTABLE[i])).collect();
+        // The WHT is (up to scale) its own inverse: WHT(WHT(x)) = 16·x.
+        let t = transform_block(&deq);
+        out.extend(t.iter().map(|&x| x >> 4));
+    }
+    out
+}
+
+/// Emits a 4-point butterfly on registers `[v0,v1,v2,v3]`, leaving results
+/// in `[o0,o1,o2,o3]` (register numbers).
+fn emit_wht4(b: &mut ProgramBuilder, v: [u8; 4], o: [u8; 4], t: [u8; 4]) {
+    b.add(r(t[0]), r(v[0]), r(v[3])); // a
+    b.add(r(t[1]), r(v[1]), r(v[2])); // b
+    b.sub(r(t[2]), r(v[1]), r(v[2])); // c
+    b.sub(r(t[3]), r(v[0]), r(v[3])); // d
+    b.add(r(o[0]), r(t[0]), r(t[1]));
+    b.add(r(o[1]), r(t[3]), r(t[2]));
+    b.sub(r(o[2]), r(t[0]), r(t[1]));
+    b.sub(r(o[3]), r(t[3]), r(t[2]));
+}
+
+/// Emits a full 4×4 transform of the block at `(r2)`, result left in the
+/// scratch buffer at `(r3)`. Uses a row pass into the scratch, then a
+/// column pass in place.
+fn emit_transform(b: &mut ProgramBuilder, tag: &str) {
+    // Row pass.
+    for row in 0..4u8 {
+        let base = (row as i16) * 16;
+        for i in 0..4u8 {
+            b.lw(r(10 + i), r(2), base + (i as i16) * 4);
+        }
+        emit_wht4(b, [10, 11, 12, 13], [14, 15, 16, 17], [18, 19, 20, 21]);
+        for i in 0..4u8 {
+            b.sw(r(3), r(14 + i), base + (i as i16) * 4);
+        }
+    }
+    // Column pass.
+    for col in 0..4u8 {
+        let base = (col as i16) * 4;
+        for i in 0..4u8 {
+            b.lw(r(10 + i), r(3), base + (i as i16) * 16);
+        }
+        emit_wht4(b, [10, 11, 12, 13], [14, 15, 16, 17], [18, 19, 20, 21]);
+        for i in 0..4u8 {
+            b.sw(r(3), r(14 + i), base + (i as i16) * 16);
+        }
+    }
+    let _ = tag;
+}
+
+/// The JPEG-style encoder workload (transform + quantize).
+pub fn encode() -> Workload {
+    let pixels = input_samples(0x17E6, BLOCKS * BLOCK_WORDS, 128);
+    let expected = encode_reference(&pixels);
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &pixels {
+        b.data_word(v as u32);
+    }
+    b.data_label("qtable");
+    for &q in &QTABLE {
+        b.data_word(q as u32);
+    }
+    b.data_label("scratch");
+    b.data_zeros(BLOCK_WORDS as u32);
+    b.data_label("output");
+    b.data_zeros((BLOCKS * BLOCK_WORDS) as u32);
+    let qoff = b.data_offset("qtable").unwrap();
+    let soff = b.data_offset("scratch").unwrap();
+    let ooff = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    b.li(r(3), DATA_BASE + soff);
+    for blk in 0..BLOCKS {
+        b.li(r(2), DATA_BASE + (blk * BLOCK_WORDS * 4) as u32);
+        emit_transform(&mut b, &format!("e{blk}"));
+        // Quantize: out[i] = scratch[i] / qtable[i].
+        let lp = format!("e{blk}_q");
+        b.li(r(5), DATA_BASE + qoff);
+        b.li(r(6), DATA_BASE + ooff + (blk * BLOCK_WORDS * 4) as u32);
+        b.li(r(4), 0);
+        b.li(r(7), BLOCK_WORDS as u32);
+        b.label(&lp);
+        b.lw(r(10), r(3), 0);
+        b.lw(r(11), r(5), 0);
+        b.div(r(12), r(10), r(11));
+        b.sw(r(6), r(12), 0);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(5), r(5), 4);
+        b.addi(r(6), r(6), 4);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(7));
+        b.bf(&lp);
+        b.nop();
+        b.li(r(3), DATA_BASE + soff); // rewind scratch
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "jpeg_enc", unit: b.into_unit(), checks }
+}
+
+/// The JPEG-style decoder workload (dequantize + inverse transform).
+pub fn decode() -> Workload {
+    let pixels = input_samples(0x17E6, BLOCKS * BLOCK_WORDS, 128);
+    let coeffs = encode_reference(&pixels);
+    let expected = decode_reference(&coeffs);
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &coeffs {
+        b.data_word(v as u32);
+    }
+    b.data_label("qtable");
+    for &q in &QTABLE {
+        b.data_word(q as u32);
+    }
+    b.data_label("scratch");
+    b.data_zeros(BLOCK_WORDS as u32);
+    b.data_label("output");
+    b.data_zeros((BLOCKS * BLOCK_WORDS) as u32);
+    let qoff = b.data_offset("qtable").unwrap();
+    let soff = b.data_offset("scratch").unwrap();
+    let ooff = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    for blk in 0..BLOCKS {
+        // Dequantize into the scratch buffer.
+        let lp = format!("d{blk}_dq");
+        b.li(r(2), DATA_BASE + (blk * BLOCK_WORDS * 4) as u32);
+        b.li(r(5), DATA_BASE + qoff);
+        b.li(r(3), DATA_BASE + soff);
+        b.li(r(4), 0);
+        b.li(r(7), BLOCK_WORDS as u32);
+        b.label(&lp);
+        b.lw(r(10), r(2), 0);
+        b.lw(r(11), r(5), 0);
+        b.mul(r(12), r(10), r(11));
+        b.sw(r(3), r(12), 0);
+        b.addi(r(2), r(2), 4);
+        b.addi(r(5), r(5), 4);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(7));
+        b.bf(&lp);
+        b.nop();
+        // Inverse transform in place on the scratch buffer.
+        b.li(r(2), DATA_BASE + soff);
+        b.li(r(3), DATA_BASE + soff);
+        emit_transform(&mut b, &format!("d{blk}"));
+        // Scale down and store.
+        let sp = format!("d{blk}_s");
+        b.li(r(6), DATA_BASE + ooff + (blk * BLOCK_WORDS * 4) as u32);
+        b.li(r(4), 0);
+        b.li(r(7), BLOCK_WORDS as u32);
+        b.label(&sp);
+        b.lw(r(10), r(3), 0);
+        b.srai(r(10), r(10), 4);
+        b.sw(r(6), r(10), 0);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(6), r(6), 4);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(7));
+        b.bf(&sp);
+        b.nop();
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "jpeg_dec", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn wht_is_self_inverse_up_to_scale() {
+        let x = [3, -7, 11, 42];
+        let y = wht4(wht4(x));
+        for (a, b) in x.iter().zip(&y) {
+            assert_eq!(*b, a * 4);
+        }
+    }
+
+    #[test]
+    fn decode_reference_approximates_input() {
+        // Quantization loses information, but low-frequency content should
+        // survive: the mean error must be far below the signal amplitude.
+        let pixels = input_samples(0x17E6, BLOCKS * BLOCK_WORDS, 128);
+        let rec = decode_reference(&encode_reference(&pixels));
+        let err: i64 = pixels
+            .iter()
+            .zip(&rec)
+            .map(|(&a, &b)| (a as i64 - b as i64).abs())
+            .sum::<i64>()
+            / (pixels.len() as i64);
+        assert!(err < 64, "mean reconstruction error {err} too high");
+    }
+
+    #[test]
+    fn jpeg_enc_runs_clean() {
+        run_workload(&encode(), true, 10_000_000);
+        run_workload(&encode(), false, 10_000_000);
+    }
+
+    #[test]
+    fn jpeg_dec_runs_clean() {
+        run_workload(&decode(), true, 10_000_000);
+    }
+}

@@ -1,0 +1,82 @@
+//! # argus-workloads — MediaBench-like kernels and the stress test
+//!
+//! The paper evaluates Argus-1's performance overheads on the MediaBench
+//! suite (§4.4) and its error coverage on a "stress-test" microbenchmark
+//! (§4.1). MediaBench binaries require the original toolchain and inputs,
+//! so this crate provides synthetic equivalents written against the
+//! `argus-compiler` macro-assembler: real signal-processing kernels
+//! (ADPCM codec, G.721-style prediction, GSM autocorrelation, EPIC-style
+//! pyramid filters, JPEG-style transforms, MPEG-style reconstruction,
+//! pegwit-style hashing) that reproduce the property the figures hinge on —
+//! register-register-heavy inner loops with plenty of unused instruction
+//! bits versus load/store/immediate-heavy setup code that forces Signature
+//! instructions.
+//!
+//! Every workload is *self-checking*: it writes its results to the data
+//! section and carries host-side expected values computed by a Rust
+//! reference implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use argus_workloads::suite;
+//! let ws = suite();
+//! assert!(ws.len() >= 10);
+//! for w in &ws {
+//!     assert!(!w.checks.is_empty(), "{} is not self-checking", w.name);
+//! }
+//! ```
+
+pub mod adpcm;
+pub mod common;
+pub mod dsp;
+pub mod epic;
+pub mod gs;
+pub mod jpeg;
+pub mod mesa;
+pub mod mpeg2;
+pub mod pegwit;
+pub mod rasta;
+pub mod stress;
+
+pub use common::Workload;
+
+/// The full MediaBench-like suite used by the performance figures.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        adpcm::encode(),
+        adpcm::decode(),
+        epic::epic(),
+        epic::unepic(),
+        dsp::g721_encode(),
+        dsp::g721_decode(),
+        dsp::gsm_encode(),
+        gs::gs(),
+        jpeg::encode(),
+        jpeg::decode(),
+        mesa::mesa(),
+        mpeg2::decode(),
+        pegwit::pegwit(),
+        rasta::rasta(),
+    ]
+}
+
+/// The §4.1 stress-test microbenchmark: broad register and instruction-type
+/// coverage for fault-injection campaigns.
+pub fn stress() -> Workload {
+    stress::stress()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique() {
+        let ws = suite();
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ws.len());
+    }
+}

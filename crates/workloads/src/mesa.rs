@@ -1,0 +1,150 @@
+//! Mesa-style 3D kernel: fixed-point 4×4 matrix × vertex transform with a
+//! perspective-ish divide and viewport clamp — the geometry stage of a
+//! software rasterizer.
+
+use crate::common::{emit_max_const, emit_min_const, input_samples, Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::r;
+
+/// Number of vertices.
+pub const VERTS: usize = 40;
+/// Fixed-point fraction bits.
+const FRAC: u32 = 8;
+
+/// The (row-major) transform matrix, in Q8 fixed point.
+const MATRIX: [i32; 16] = [
+    230, -40, 12, 1024, 64, 200, -96, -512, -16, 80, 240, 2048, 0, 0, 4, 256,
+];
+
+fn reference(verts: &[i32]) -> Vec<i32> {
+    let mut out = Vec::new();
+    for v in verts.chunks(4) {
+        let mut t = [0i32; 4];
+        for (row, tr) in t.iter_mut().enumerate() {
+            let mut acc = 0i32;
+            for col in 0..4 {
+                acc = acc.wrapping_add(MATRIX[4 * row + col].wrapping_mul(v[col]));
+            }
+            *tr = acc >> FRAC;
+        }
+        // Perspective-ish divide by w (kept nonzero), then viewport clamp.
+        let w = t[3] | 1;
+        for &coord in t.iter().take(3) {
+            let p = coord.wrapping_div(w);
+            out.push(p.clamp(-1024, 1023));
+        }
+    }
+    out
+}
+
+/// The mesa-style vertex-transform workload.
+pub fn mesa() -> Workload {
+    // Homogeneous vertices: xyz random, w = 256 (1.0 in Q8).
+    let mut verts = Vec::with_capacity(VERTS * 4);
+    let xyz = input_samples(0x3E5A, VERTS * 3, 500);
+    for v in 0..VERTS {
+        verts.extend_from_slice(&[xyz[3 * v], xyz[3 * v + 1], xyz[3 * v + 2], 256]);
+    }
+    let expected = reference(&verts);
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("matrix");
+    for &m in &MATRIX {
+        b.data_word(m as u32);
+    }
+    b.data_label("verts");
+    for &v in &verts {
+        b.data_word(v as u32);
+    }
+    b.data_label("output");
+    b.data_zeros((VERTS * 3) as u32);
+    let moff = b.data_offset("matrix").unwrap();
+    let voff = b.data_offset("verts").unwrap();
+    let ooff = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    // Hoist the matrix into r10..r25 (a software renderer would).
+    b.li(r(6), DATA_BASE + moff);
+    for k in 0..16u8 {
+        b.lw(r(10 + k), r(6), (k as i16) * 4);
+    }
+    b.li(r(2), DATA_BASE + voff);
+    b.li(r(3), DATA_BASE + ooff);
+    b.li(r(4), 0);
+    b.li(r(5), VERTS as u32);
+    b.label("vloop");
+    // Load the vertex into r6..r9? r9 is the link register — use r27/r28.
+    b.lw(r(6), r(2), 0);
+    b.lw(r(7), r(2), 4);
+    b.lw(r(8), r(2), 8);
+    b.lw(r(27), r(2), 12);
+    // t[row] = (m0*x + m1*y + m2*z + m3*w) >> 8, rows 0..3 → r28 rows via
+    // temp accumulation; store t3 (w') in r30, t0..t2 written out after
+    // division.
+    for row in 0..4u8 {
+        b.mul(r(28), r(10 + 4 * row), r(6));
+        b.mul(r(29), r(11 + 4 * row), r(7));
+        b.add(r(28), r(28), r(29));
+        b.mul(r(29), r(12 + 4 * row), r(8));
+        b.add(r(28), r(28), r(29));
+        b.mul(r(29), r(13 + 4 * row), r(27));
+        b.add(r(28), r(28), r(29));
+        b.srai(r(28), r(28), FRAC as u8);
+        if row == 3 {
+            b.ori(r(30), r(28), 1); // w' | 1 (nonzero divisor)
+        } else {
+            // Park t[row] in r20+row? Those hold matrix entries. Use the
+            // stack-free trick: store transformed rows to the output area
+            // temporarily.
+            b.sw(r(3), r(28), (row as i16) * 4);
+        }
+    }
+    // Reload t0..t2, divide by w', clamp, store.
+    for row in 0..3u8 {
+        b.lw(r(28), r(3), (row as i16) * 4);
+        b.div(r(28), r(28), r(30));
+        emit_max_const(&mut b, 28, -1024, 29, 31);
+        emit_min_const(&mut b, 28, 1023, 29, 31);
+        b.sw(r(3), r(28), (row as i16) * 4);
+    }
+    b.addi(r(2), r(2), 16);
+    b.addi(r(3), r(3), 12);
+    b.addi(r(4), r(4), 1);
+    b.sf(Cond::Ltu, r(4), r(5));
+    b.bf("vloop");
+    b.nop();
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "mesa", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn reference_clamps_to_viewport() {
+        let verts = vec![30_000, 30_000, 30_000, 1];
+        let out = reference(&verts);
+        assert!(out.iter().all(|&p| (-1024..=1023).contains(&p)));
+    }
+
+    #[test]
+    fn mesa_runs_clean_in_both_modes() {
+        let w = mesa();
+        run_workload(&w, false, 20_000_000);
+        run_workload(&w, true, 20_000_000);
+    }
+}

@@ -1,0 +1,126 @@
+//! MPEG-2-style decoder kernel: residual reconstruction with motion
+//! compensation — `out[i] = clip(ref[i + mv] + resid[i], 0, 255)` — over
+//! byte-packed frames, exercising sub-word loads/stores and the
+//! alignment/sign-extension paths the RSSE checker covers.
+
+use crate::common::{input_bytes, input_samples, Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::{Cond, MemSize};
+use argus_isa::reg::r;
+
+/// Pixels per macroblock row in this kernel.
+const MB: usize = 48;
+/// Number of macroblock rows.
+const ROWS: usize = 10;
+/// Total pixels.
+pub const N: usize = MB * ROWS;
+/// Motion-vector byte offsets per row (always ≥ 0 in this kernel).
+const MVS: [i32; ROWS] = [0, 3, 1, 7, 2, 5, 0, 6, 4, 2];
+
+fn reference(reference_frame: &[u32], resid: &[i32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(N);
+    for row in 0..ROWS {
+        let mv = MVS[row];
+        for i in 0..MB {
+            let idx = row * MB + i;
+            let p = reference_frame[(idx as i32 + mv) as usize] as i32;
+            out.push((p + resid[idx]).clamp(0, 255) as u32);
+        }
+    }
+    out
+}
+
+/// The MPEG-2-style reconstruction workload.
+pub fn decode() -> Workload {
+    // Reference frame needs slack at the end for the largest MV.
+    let refframe = input_bytes(0x4762, N + 8);
+    let resid = input_samples(0x4763, N, 48);
+    let expected = reference(&refframe, &resid);
+
+    let mut b = ProgramBuilder::new();
+    // Reference frame packed as bytes.
+    b.data_label("refframe");
+    for chunk in refframe.chunks(4) {
+        let mut w = 0u32;
+        for (k, &byte) in chunk.iter().enumerate() {
+            w |= byte << (8 * k);
+        }
+        b.data_word(w);
+    }
+    b.data_label("resid");
+    for &v in &resid {
+        b.data_word(v as u32);
+    }
+    b.data_label("output");
+    b.data_zeros(N.div_ceil(4) as u32);
+    let resid_off = b.data_offset("resid").unwrap();
+    let out_off = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    for row in 0..ROWS {
+        let lp = format!("mb{row}_loop");
+        let base = (row * MB) as u32;
+        b.li(r(2), DATA_BASE + base + MVS[row] as u32); // &ref[row*MB + mv]
+        b.li(r(3), DATA_BASE + resid_off + 4 * base); // &resid[row*MB]
+        b.li(r(5), DATA_BASE + out_off + base); // &out[row*MB] (bytes)
+        b.li(r(4), 0);
+        b.li(r(10), MB as u32);
+        b.label(&lp);
+        b.load(MemSize::Byte, false, r(6), r(2), 0); // pixel (lbu)
+        b.lw(r(7), r(3), 0); // residual
+        b.add(r(8), r(6), r(7));
+        // Branchless saturation to [0, 255], as the reference decoders'
+        // CLIP macro compiles.
+        crate::common::emit_max_const(&mut b, 8, 0, 11, 12);
+        crate::common::emit_min_const(&mut b, 8, 255, 11, 12);
+        b.store(MemSize::Byte, r(5), r(8), 0); // sb
+        b.addi(r(2), r(2), 1);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(5), r(5), 1);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(10));
+        b.bf(&lp);
+        b.nop();
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    // Checks compare packed output words.
+    let mut checks = Vec::new();
+    for wi in 0..N / 4 {
+        let mut w = 0u32;
+        for k in 0..4 {
+            w |= expected[4 * wi + k] << (8 * k);
+        }
+        checks.push((out_off + 4 * wi as u32, w));
+    }
+    Workload { name: "mpeg2_dec", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn reference_clips() {
+        let frame = vec![250u32; N + 8];
+        let resid = vec![100i32; N];
+        let out = reference(&frame, &resid);
+        assert!(out.iter().all(|&p| p == 255), "saturating add must clip high");
+        let resid = vec![-300i32; N];
+        let out = reference(&frame, &resid);
+        assert!(out.iter().all(|&p| p == 0), "must clip low");
+    }
+
+    #[test]
+    fn mpeg2_runs_clean_in_both_modes() {
+        let w = decode();
+        run_workload(&w, false, 10_000_000);
+        run_workload(&w, true, 10_000_000);
+    }
+}

@@ -1,0 +1,132 @@
+//! RASTA-style speech-analysis kernel: a bank of FIR filters over a
+//! sample window — the multiply-accumulate core of spectral analysis.
+
+use crate::common::{input_samples, Workload, DATA_BASE};
+use argus_compiler::ProgramBuilder;
+use argus_isa::instr::Cond;
+use argus_isa::reg::r;
+
+/// Samples in the analysis window.
+pub const SAMPLES: usize = 96;
+/// Filter taps.
+const TAPS: usize = 8;
+/// Filter bands (each with its own coefficient set).
+const BANDS: usize = 6;
+
+fn coefficients() -> Vec<Vec<i32>> {
+    // Deterministic small coefficient sets with band-dependent emphasis.
+    (0..BANDS)
+        .map(|b| {
+            (0..TAPS)
+                .map(|t| {
+                    let phase = (b * TAPS + t) as i32;
+                    ((phase * 37 + 11) % 63) - 31
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn reference(x: &[i32]) -> Vec<i32> {
+    let coeffs = coefficients();
+    let mut out = Vec::new();
+    for c in &coeffs {
+        for i in 0..SAMPLES - TAPS {
+            let mut acc: i32 = 0;
+            for (t, &ct) in c.iter().enumerate() {
+                acc = acc.wrapping_add(ct.wrapping_mul(x[i + t]));
+            }
+            out.push(acc >> 6);
+        }
+    }
+    out
+}
+
+/// The RASTA-style filterbank workload.
+pub fn rasta() -> Workload {
+    let x = input_samples(0x4A57A, SAMPLES, 12000);
+    let expected = reference(&x);
+    let coeffs = coefficients();
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("input");
+    for &v in &x {
+        b.data_word(v as u32);
+    }
+    b.data_label("coeffs");
+    for band in &coeffs {
+        for &c in band {
+            b.data_word(c as u32);
+        }
+    }
+    b.data_label("output");
+    b.data_zeros((BANDS * (SAMPLES - TAPS)) as u32);
+    let coff = b.data_offset("coeffs").unwrap();
+    let ooff = b.data_offset("output").unwrap();
+
+    b.li(r(26), 2);
+    b.label("outer");
+    b.li(r(3), DATA_BASE + ooff); // output cursor
+    for band in 0..BANDS {
+        let lp = format!("b{band}_loop");
+        // Hoist the 8 coefficients into registers (as an optimizing
+        // compiler would) — r10..r17.
+        b.li(r(6), DATA_BASE + coff + (band * TAPS * 4) as u32);
+        for t in 0..TAPS as u8 {
+            b.lw(r(10 + t), r(6), (t as i16) * 4);
+        }
+        b.li(r(2), DATA_BASE); // input cursor
+        b.li(r(4), 0);
+        b.li(r(5), (SAMPLES - TAPS) as u32);
+        b.label(&lp);
+        // Unrolled 8-tap MAC.
+        b.lw(r(7), r(2), 0);
+        b.mul(r(8), r(10), r(7));
+        for t in 1..TAPS as u8 {
+            b.lw(r(7), r(2), (t as i16) * 4);
+            b.mul(r(20), r(10 + t), r(7));
+            b.add(r(8), r(8), r(20));
+        }
+        b.srai(r(8), r(8), 6);
+        b.sw(r(3), r(8), 0);
+        b.addi(r(2), r(2), 4);
+        b.addi(r(3), r(3), 4);
+        b.addi(r(4), r(4), 1);
+        b.sf(Cond::Ltu, r(4), r(5));
+        b.bf(&lp);
+        b.nop();
+    }
+    b.addi(r(26), r(26), -1);
+    b.sfi(Cond::Gts, r(26), 0);
+    b.bf("outer");
+    b.nop();
+    b.halt();
+
+    let checks = expected
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
+        .collect();
+    Workload { name: "rasta", unit: b.into_unit(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn coefficients_are_bounded_and_varied() {
+        let cs = coefficients();
+        assert_eq!(cs.len(), BANDS);
+        assert!(cs.iter().flatten().all(|&c| (-32..32).contains(&c)));
+        assert_ne!(cs[0], cs[1]);
+    }
+
+    #[test]
+    fn rasta_runs_clean_in_both_modes() {
+        let w = rasta();
+        run_workload(&w, false, 20_000_000);
+        run_workload(&w, true, 20_000_000);
+    }
+}

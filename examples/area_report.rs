@@ -1,0 +1,25 @@
+//! Prints the Table-2 area comparison and the Argus-1 block-by-block
+//! inventory from the analytical area model.
+//!
+//! ```sh
+//! cargo run --release -p argus-suite --example area_report
+//! ```
+
+use argus_area::core_model::{argus_additions, baseline_core, total_gates, ArgusParams};
+
+fn main() {
+    println!("{}", argus_area::table2());
+
+    println!("baseline core inventory:");
+    for c in baseline_core() {
+        println!("  {:28} {:>7.0} gates", c.name, c.gates);
+    }
+    println!("  {:28} {:>7.0} gates\n", "TOTAL", total_gates(&baseline_core()));
+
+    println!("Argus-1 additions (w=5, M=31):");
+    let adds = argus_additions(ArgusParams::default());
+    for c in &adds {
+        println!("  {:28} {:>7.0} gates", c.name, c.gates);
+    }
+    println!("  {:28} {:>7.0} gates", "TOTAL", total_gates(&adds));
+}

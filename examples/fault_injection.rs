@@ -1,0 +1,26 @@
+//! Runs a small §4.1-style error-injection campaign on the stress-test
+//! microbenchmark and prints the Table-1 quadrants, detection attribution,
+//! and detection-latency summary.
+//!
+//! ```sh
+//! cargo run --release -p argus-suite --example fault_injection -- 1000
+//! ```
+
+use argus_faults::latency::LatencyReport;
+use argus_suite::prelude::*;
+
+fn main() {
+    let injections: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    println!("running 2 × {injections} injections on the stress microbenchmark…\n");
+    for kind in [FaultKind::Transient, FaultKind::Permanent] {
+        let rep = run_campaign(
+            &stress(),
+            &CampaignConfig { injections, kind, ..Default::default() },
+        );
+        println!("{rep}");
+        println!("{}", LatencyReport::from_campaign(&rep).summary());
+    }
+}

@@ -1,0 +1,38 @@
+//! Measures the performance cost of signature embedding on the whole
+//! MediaBench-like suite (the data behind Figures 5–7) for one cache
+//! configuration.
+//!
+//! ```sh
+//! cargo run --release -p argus-suite --example overhead_analysis -- 2
+//! ```
+
+use argus_bench::{mean_of, measure_suite};
+
+fn main() {
+    let ways: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    println!("8KB {ways}-way caches; all runs self-checked in both modes\n");
+    println!(
+        "{:12} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "benchmark", "static%", "dynamic%", "runtime%", "base cyc", "argus cyc"
+    );
+    let rows = measure_suite(ways);
+    for r in &rows {
+        println!(
+            "{:12} {:>7.2}% {:>7.2}% {:>8.2}% {:>9} {:>9}",
+            r.name,
+            r.static_pct(),
+            r.dynamic_pct(),
+            r.runtime_pct(),
+            r.cycles_base,
+            r.cycles_argus
+        );
+    }
+    println!(
+        "{:12} {:>7.2}% {:>7.2}% {:>8.2}%",
+        "mean",
+        mean_of(&rows, |r| r.static_pct()),
+        mean_of(&rows, |r| r.dynamic_pct()),
+        mean_of(&rows, |r| r.runtime_pct()),
+    );
+    println!("\npaper: static ≈7%, dynamic ≈3.5%, runtime ≈3.9% (1-way) / 3.2% (2-way)");
+}

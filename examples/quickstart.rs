@@ -1,0 +1,92 @@
+//! Quickstart: write a program, compile it with signature embedding, run
+//! it under the full Argus-1 checker, then inject a fault and watch the
+//! checker catch it.
+//!
+//! ```sh
+//! cargo run --release -p argus-suite --example quickstart
+//! ```
+
+use argus_suite::prelude::*;
+
+fn main() {
+    // 1. Write a small program with the macro-assembler: sum 1..=100.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::new(3), 0); // sum
+    b.li(Reg::new(4), 1); // i
+    b.li(Reg::new(5), 100); // bound
+    b.label("loop");
+    b.add(Reg::new(3), Reg::new(3), Reg::new(4));
+    b.addi(Reg::new(4), Reg::new(4), 1);
+    b.sf(Cond::Leu, Reg::new(4), Reg::new(5));
+    b.bf("loop");
+    b.nop();
+    b.halt();
+    let unit = b.unit();
+
+    // 2. Compile twice: a plain baseline binary and an Argus-1 binary with
+    //    DCSs embedded in unused instruction bits / Signature instructions.
+    let ecfg = EmbedConfig::default();
+    let base = compile(&unit, Mode::Baseline, &ecfg).expect("baseline compiles");
+    let argus_prog = compile(&unit, Mode::Argus, &ecfg).expect("argus compiles");
+    println!(
+        "static instructions: baseline {}, argus {} (+{} signature words)",
+        base.stats.static_instrs, argus_prog.stats.static_instrs, argus_prog.stats.sig_instrs
+    );
+
+    // 3. Run the protected binary under the checker — no faults, no alarms.
+    let mut m = Machine::new(MachineConfig::default());
+    argus_prog.load(&mut m);
+    let mut checker = Argus::new(ArgusConfig::default());
+    checker.expect_entry(argus_prog.entry_dcs.unwrap());
+    let mut inj = FaultInjector::none();
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                checker.on_commit(&rec, &mut inj);
+            }
+            StepOutcome::Stalled => {
+                checker.on_stall(1, &mut inj);
+            }
+            StepOutcome::Halted => break,
+        }
+    }
+    println!(
+        "clean run: sum = {}, {} cycles, detections: {}",
+        m.reg(Reg::new(3)),
+        m.cycle(),
+        checker.events().len()
+    );
+    assert_eq!(m.reg(Reg::new(3)), 5050);
+    assert!(checker.events().is_empty());
+
+    // 4. Same program, but with a permanent fault inside the ALU adder.
+    let mut m = Machine::new(MachineConfig::default());
+    argus_prog.load(&mut m);
+    let mut checker = Argus::new(ArgusConfig::default());
+    checker.expect_entry(argus_prog.entry_dcs.unwrap());
+    let mut inj = FaultInjector::with_fault(Fault {
+        site: argus_machine::sites::ALU_ADDER_OUT,
+        bit: 4,
+        kind: FaultKind::Permanent,
+        arm_cycle: 50,
+        flavor: SiteFlavor::Single,
+        width: 32,
+        sensitization: 1.0,
+    });
+    let detection = loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                if let Some(ev) = checker.on_commit(&rec, &mut inj).into_iter().next() {
+                    break Some(ev);
+                }
+            }
+            StepOutcome::Stalled => {
+                checker.on_stall(1, &mut inj);
+            }
+            StepOutcome::Halted => break None,
+        }
+    };
+    let ev = detection.expect("the computation checker must fire");
+    println!("injected ALU fault detected: {ev}");
+    assert_eq!(ev.checker, CheckerKind::Computation);
+}

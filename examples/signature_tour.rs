@@ -1,0 +1,58 @@
+//! A guided tour of the signature machinery: how SHSs evolve, how the DCS
+//! is folded and embedded, and what the compiled code actually looks like.
+//!
+//! ```sh
+//! cargo run --release -p argus-suite --example signature_tour
+//! ```
+
+use argus_core::dcs::DcsUnit;
+use argus_core::shs::{ShsEngine, ShsFile};
+use argus_isa::decode::decode;
+use argus_isa::encode::unused_bit_positions;
+use argus_suite::prelude::*;
+
+fn main() {
+    // --- SHS evolution over one basic block ------------------------------
+    let engine = ShsEngine::new(5);
+    let dcs = DcsUnit::new(5);
+    let mut file = ShsFile::new(5);
+    let block = [
+        Instr::Alu { op: AluOp::Add, rd: Reg::new(1), ra: Reg::new(2), rb: Reg::new(3) },
+        Instr::Alu { op: AluOp::Sub, rd: Reg::new(4), ra: Reg::new(1), rb: Reg::new(2) },
+    ];
+    println!("SHS evolution (5-bit signatures, CRC5 + substitution):");
+    for i in &block {
+        engine.apply_static(&mut file, i);
+        println!(
+            "  after `{i}`: SHS(r1)={:2} SHS(r4)={:2}",
+            file.reg(Reg::new(1)),
+            file.reg(Reg::new(4))
+        );
+    }
+    println!("  block DCS = {:#04x}\n", dcs.compute(&file));
+
+    // --- the compiled image: where the bits hide -------------------------
+    let mut b = ProgramBuilder::new();
+    b.add(Reg::new(1), Reg::new(2), Reg::new(3));
+    b.sub(Reg::new(4), Reg::new(1), Reg::new(2));
+    b.label("next");
+    b.addi(Reg::new(5), Reg::new(4), 7);
+    b.halt();
+    let prog = compile(&b.unit(), Mode::Argus, &EmbedConfig::default()).unwrap();
+    println!("compiled Argus image ({} words):", prog.code.len());
+    for (k, &w) in prog.code.iter().enumerate() {
+        let i = decode(w);
+        let unused = unused_bit_positions(w);
+        let embedded: String = unused
+            .iter()
+            .map(|&p| if (w >> p) & 1 == 1 { '1' } else { '0' })
+            .collect();
+        println!(
+            "  {:#06x}: {w:#010x}  {:24} unused bits [{}]",
+            prog.code_base + 4 * k as u32,
+            i.to_string(),
+            embedded
+        );
+    }
+    println!("\nentry DCS (what the loader's indirect jump would carry): {:#04x}", prog.entry_dcs.unwrap());
+}

@@ -1,0 +1,191 @@
+//! Property-based integration tests: randomly generated programs must
+//! compile in both modes, produce identical architectural results, and
+//! never trip the checker on fault-free runs.
+
+use argus_compiler::{compile, EmbedConfig, Mode, ProgramBuilder};
+use argus_core::{Argus, ArgusConfig};
+use argus_isa::instr::{AluImmOp, AluOp, Cond, Instr, ShiftOp};
+use argus_isa::reg::{r, Reg};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_sim::fault::FaultInjector;
+use proptest::prelude::*;
+
+/// One random, always-terminating statement for the generator. Registers
+/// are confined to r3..r15 so pointers/link stay intact.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(AluOp, u8, u8, u8),
+    Imm(AluImmOp, u8, u8, u16),
+    Shift(ShiftOp, u8, u8, u8),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+    Compare(Cond, u8, u8),
+    StoreLoad(u8, u8, u8),
+    /// A bounded countdown loop of `n` ALU ops.
+    Loop(u8, Vec<(AluOp, u8, u8, u8)>),
+}
+
+fn reg_idx() -> impl Strategy<Value = u8> {
+    3u8..16
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::And),
+                Just(AluOp::Or),
+                Just(AluOp::Xor),
+                Just(AluOp::Sll),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra)
+            ],
+            reg_idx(),
+            reg_idx(),
+            reg_idx()
+        )
+            .prop_map(|(op, d, a, b)| GenOp::Alu(op, d, a, b)),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Andi),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Xori)
+            ],
+            reg_idx(),
+            reg_idx(),
+            any::<u16>()
+        )
+            .prop_map(|(op, d, a, imm)| GenOp::Imm(op, d, a, imm)),
+        (
+            prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)],
+            reg_idx(),
+            reg_idx(),
+            0u8..32
+        )
+            .prop_map(|(op, d, a, sh)| GenOp::Shift(op, d, a, sh)),
+        (reg_idx(), reg_idx(), reg_idx()).prop_map(|(d, a, b)| GenOp::Mul(d, a, b)),
+        (reg_idx(), reg_idx(), reg_idx()).prop_map(|(d, a, b)| GenOp::Div(d, a, b)),
+        (
+            prop_oneof![Just(Cond::Eq), Just(Cond::Ltu), Just(Cond::Gts), Just(Cond::Les)],
+            reg_idx(),
+            reg_idx()
+        )
+            .prop_map(|(c, a, b)| GenOp::Compare(c, a, b)),
+        (reg_idx(), reg_idx(), 0u8..32).prop_map(|(s, d, off)| GenOp::StoreLoad(s, d, off)),
+        (
+            2u8..6,
+            prop::collection::vec(
+                (
+                    prop_oneof![Just(AluOp::Add), Just(AluOp::Xor), Just(AluOp::Sub)],
+                    reg_idx(),
+                    reg_idx(),
+                    reg_idx()
+                ),
+                1..4
+            )
+        )
+            .prop_map(|(n, body)| GenOp::Loop(n, body)),
+    ]
+}
+
+fn build_program(ops: &[GenOp]) -> argus_compiler::ProgramUnit {
+    let mut b = ProgramBuilder::new();
+    // Seed the registers and a scratch data area.
+    for k in 3u8..16 {
+        b.li(r(k), 0x1111_u32.wrapping_mul(k as u32) | 1);
+    }
+    b.li(r(2), 0x8_0000); // scratch pointer
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            GenOp::Alu(op, d, a, bb) => {
+                b.push(Instr::Alu { op: *op, rd: r(*d), ra: r(*a), rb: r(*bb) });
+            }
+            GenOp::Imm(op, d, a, imm) => {
+                b.push(Instr::AluImm { op: *op, rd: r(*d), ra: r(*a), imm: *imm });
+            }
+            GenOp::Shift(op, d, a, sh) => {
+                b.push(Instr::ShiftImm { op: *op, rd: r(*d), ra: r(*a), sh: *sh });
+            }
+            GenOp::Mul(d, a, bb) => {
+                b.mul(r(*d), r(*a), r(*bb));
+            }
+            GenOp::Div(d, a, bb) => {
+                // Guarantee a nonzero divisor without branching.
+                b.ori(r(*bb), r(*bb), 1);
+                b.div(r(*d), r(*a), r(*bb));
+            }
+            GenOp::Compare(c, a, bb) => {
+                b.sf(*c, r(*a), r(*bb));
+            }
+            GenOp::StoreLoad(s, d, off) => {
+                b.sw(r(2), r(*s), *off as i16 * 4);
+                b.lw(r(*d), r(2), *off as i16 * 4);
+            }
+            GenOp::Loop(n, body) => {
+                let lp = format!("gl{i}");
+                b.li(r(16), *n as u32);
+                b.label(&lp);
+                for (op, d, a, bb) in body {
+                    b.push(Instr::Alu { op: *op, rd: r(*d), ra: r(*a), rb: r(*bb) });
+                }
+                b.addi(r(16), r(16), -1);
+                b.sfi(Cond::Gts, r(16), 0);
+                b.bf(&lp);
+                b.nop();
+            }
+        }
+    }
+    b.halt();
+    b.into_unit()
+}
+
+fn run_mode(unit: &argus_compiler::ProgramUnit, argus_mode: bool) -> ([u32; 13], bool) {
+    let mode = if argus_mode { Mode::Argus } else { Mode::Baseline };
+    let prog = compile(unit, mode, &EmbedConfig::default()).expect("compiles");
+    let mut m = Machine::new(MachineConfig { argus_mode, ..Default::default() });
+    prog.load(&mut m);
+    let mut clean = true;
+    if argus_mode {
+        let mut argus = Argus::new(ArgusConfig::default());
+        argus.expect_entry(prog.entry_dcs.unwrap());
+        let mut inj = FaultInjector::none();
+        loop {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    if !argus.on_commit(&rec, &mut inj).is_empty() {
+                        clean = false;
+                    }
+                }
+                StepOutcome::Stalled => {}
+                StepOutcome::Halted => break,
+            }
+            assert!(m.cycle() < 10_000_000, "runaway generated program");
+        }
+        if argus.scrub_memory(&m, prog.data_base, &mut inj).is_some() {
+            clean = false;
+        }
+    } else {
+        m.run_to_halt(&mut FaultInjector::none(), 10_000_000);
+    }
+    let mut regs = [0u32; 13];
+    for k in 3u8..16 {
+        regs[(k - 3) as usize] = m.reg(Reg::new(k));
+    }
+    (regs, clean)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_agree_across_modes(ops in prop::collection::vec(gen_op(), 1..24)) {
+        let unit = build_program(&ops);
+        let (base_regs, _) = run_mode(&unit, false);
+        let (argus_regs, clean) = run_mode(&unit, true);
+        prop_assert!(clean, "false positive on a fault-free generated program");
+        prop_assert_eq!(base_regs, argus_regs);
+    }
+}

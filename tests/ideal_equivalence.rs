@@ -1,0 +1,128 @@
+//! Appendix B, empirically: Argus-1 detects (nearly) everything an ideal
+//! checker detects, except for the documented exceptions — finite-signature
+//! aliasing, the modulo checker's aliasing, parity's even-bit blind spot,
+//! and the memory-ordering/stale-store class.
+//!
+//! We run a lockstep golden core (the "ideal Argus") next to the real
+//! checker under sampled faults and compare who caught what.
+
+use argus_compiler::{compile, EmbedConfig, Mode};
+use argus_core::ideal::IdealChecker;
+use argus_core::{Argus, ArgusConfig};
+use argus_faults::sites::{full_inventory, sample_points};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_sim::fault::{FaultInjector, FaultKind};
+
+#[test]
+fn argus_tracks_the_ideal_checker() {
+    let w = argus_workloads::stress();
+    let prog = compile(&w.unit, Mode::Argus, &EmbedConfig::default()).unwrap();
+    let pristine = {
+        let mut m = Machine::new(MachineConfig::default());
+        prog.load(&mut m);
+        m
+    };
+    let golden_cycles = {
+        let mut m = pristine.clone();
+        m.run_to_halt(&mut FaultInjector::none(), 100_000_000).cycles
+    };
+
+    let inventory = full_inventory();
+    let points = sample_points(&inventory, 220, 0x1DEA);
+    let mut ideal_caught = 0u32;
+    let mut both_caught = 0u32;
+    let mut argus_missed: Vec<&'static str> = Vec::new();
+
+    for (k, p) in points.iter().enumerate() {
+        let fault = p.fault(FaultKind::Permanent, 37 * k as u64 % (golden_cycles / 2));
+        let mut m = pristine.clone();
+        let mut ideal = IdealChecker::new(pristine.clone());
+        let mut argus = Argus::new(ArgusConfig::default());
+        argus.expect_entry(prog.entry_dcs.unwrap());
+        let mut inj = FaultInjector::with_fault(fault);
+        let mut ideal_hit = false;
+        let mut argus_hit = false;
+        loop {
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    if !argus_hit && !argus.on_commit(&rec, &mut inj).is_empty() {
+                        argus_hit = true;
+                    }
+                    if !ideal_hit && ideal.on_commit(&rec).is_some() {
+                        ideal_hit = true;
+                    }
+                }
+                StepOutcome::Stalled => {
+                    if argus.on_stall(1, &mut inj).is_some() {
+                        argus_hit = true;
+                    }
+                }
+                StepOutcome::Halted => break,
+            }
+            if m.cycle() > golden_cycles * 2 + 2_000 {
+                break;
+            }
+        }
+        if !argus_hit && argus.scrub_memory(&m, prog.data_base, &mut inj).is_some() {
+            argus_hit = true;
+        }
+        if ideal_hit {
+            ideal_caught += 1;
+            if argus_hit {
+                both_caught += 1;
+            } else {
+                argus_missed.push(p.site.name);
+            }
+        }
+    }
+
+    assert!(ideal_caught > 30, "sample produced too few ideal detections");
+    let ratio = both_caught as f64 / ideal_caught as f64;
+    assert!(
+        ratio > 0.90,
+        "Argus-1 caught only {both_caught}/{ideal_caught} of ideal detections; missed at {argus_missed:?}"
+    );
+}
+
+#[test]
+fn argus_only_detections_are_masked_errors() {
+    // The converse: when Argus fires but the ideal checker never sees an
+    // architectural deviation, the event must be a detected *masked* error
+    // (checker-hardware faults) — by definition harmless.
+    let w = argus_workloads::stress();
+    let prog = compile(&w.unit, Mode::Argus, &EmbedConfig::default()).unwrap();
+    let pristine = {
+        let mut m = Machine::new(MachineConfig::default());
+        prog.load(&mut m);
+        m
+    };
+    // A fault in the CC adder checker itself: false alarm, no divergence.
+    let fault = argus_sim::fault::Fault {
+        site: argus_core::sites::CC_ADDER_OUT,
+        bit: 3,
+        kind: FaultKind::Permanent,
+        arm_cycle: 0,
+        flavor: argus_sim::fault::SiteFlavor::Single,
+        width: 32,
+        sensitization: 1.0,
+    };
+    let mut m = pristine.clone();
+    let mut ideal = IdealChecker::new(pristine);
+    let mut argus = Argus::new(ArgusConfig::default());
+    argus.expect_entry(prog.entry_dcs.unwrap());
+    let mut inj = FaultInjector::with_fault(fault);
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                argus.on_commit(&rec, &mut inj);
+                assert!(ideal.on_commit(&rec).is_none(), "checker fault corrupted the core!");
+            }
+            StepOutcome::Stalled => {}
+            StepOutcome::Halted => break,
+        }
+    }
+    assert!(
+        argus.first_detection().is_some(),
+        "a permanently broken checker comparator must false-alarm"
+    );
+}

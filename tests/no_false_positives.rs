@@ -1,0 +1,101 @@
+//! §4.1.2: "To confirm that Argus-1 never incurs false positives, we also
+//! performed experiments in which we injected no errors. Argus-1 never
+//! reported an error in these experiments."
+//!
+//! Every workload, every cache configuration, several signature widths,
+//! plus the end-of-run memory scrub — all must stay silent on fault-free
+//! runs.
+
+use argus_compiler::{compile, EmbedConfig, Mode};
+use argus_core::{Argus, ArgusConfig};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_mem::MemConfig;
+use argus_sim::fault::FaultInjector;
+use argus_workloads::Workload;
+
+fn run_silent(w: &Workload, mcfg: MachineConfig, acfg: ArgusConfig, ecfg: EmbedConfig) {
+    let prog = compile(&w.unit, Mode::Argus, &ecfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let mut m = Machine::new(mcfg);
+    prog.load(&mut m);
+    let mut argus = Argus::new(acfg);
+    argus.expect_entry(prog.entry_dcs.expect("argus build has an entry DCS"));
+    let mut inj = FaultInjector::none();
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                let evs = argus.on_commit(&rec, &mut inj);
+                assert!(evs.is_empty(), "{}: false positive {evs:?}", w.name);
+            }
+            StepOutcome::Stalled => {
+                assert!(argus.on_stall(1, &mut inj).is_none());
+            }
+            StepOutcome::Halted => break,
+        }
+        assert!(m.cycle() < 200_000_000, "{}: runaway", w.name);
+    }
+    assert!(m.halted(), "{}: did not halt", w.name);
+    let scrub = argus.scrub_memory(&m, prog.data_base, &mut inj);
+    assert!(scrub.is_none(), "{}: scrub false positive {scrub:?}", w.name);
+    w.check(&m).unwrap_or_else(|e| panic!("self-check: {e}"));
+}
+
+#[test]
+fn all_workloads_default_config() {
+    let mut ws = argus_workloads::suite();
+    ws.push(argus_workloads::stress());
+    for w in &ws {
+        run_silent(w, MachineConfig::default(), ArgusConfig::default(), EmbedConfig::default());
+    }
+}
+
+#[test]
+fn all_workloads_two_way_caches() {
+    for w in argus_workloads::suite() {
+        run_silent(
+            &w,
+            MachineConfig { mem: MemConfig::default().two_way(), ..Default::default() },
+            ArgusConfig::default(),
+            EmbedConfig::default(),
+        );
+    }
+}
+
+#[test]
+fn stress_across_signature_widths() {
+    let w = argus_workloads::stress();
+    for width in [3u32, 4, 5] {
+        run_silent(
+            &w,
+            MachineConfig::default(),
+            ArgusConfig { sig_width: width, ..Default::default() },
+            EmbedConfig { sig_width: width, ..Default::default() },
+        );
+    }
+}
+
+#[test]
+fn stress_across_split_limits() {
+    let w = argus_workloads::stress();
+    for limit in [8u32, 12, 24, 48] {
+        run_silent(
+            &w,
+            MachineConfig::default(),
+            ArgusConfig::default(),
+            EmbedConfig { split_limit: limit, ..Default::default() },
+        );
+    }
+}
+
+#[test]
+fn stress_with_alternate_modulus() {
+    let w = argus_workloads::stress();
+    for m in [3u32, 7, 127] {
+        run_silent(
+            &w,
+            MachineConfig::default(),
+            ArgusConfig { modulus: m, ..Default::default() },
+            EmbedConfig::default(),
+        );
+    }
+}
