@@ -1,1 +1,3 @@
-fn main(){ println!("{}", argus_area::table2()); }
+fn main() {
+    println!("{}", argus_area::table2());
+}

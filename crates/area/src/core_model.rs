@@ -42,15 +42,9 @@ fn fa(n: f64) -> f64 {
 pub fn baseline_core() -> Vec<Component> {
     vec![
         // 32×32b flip-flop register file with 2 read ports and 1 write port.
-        Component {
-            name: "register file",
-            gates: dff(1024.0) + mux2(2.0 * 32.0 * 31.0) + 200.0,
-        },
+        Component { name: "register file", gates: dff(1024.0) + mux2(2.0 * 32.0 * 31.0) + 200.0 },
         // Carry-lookahead adder, bitwise logic, barrel shifter, flags.
-        Component {
-            name: "ALU",
-            gates: fa(32.0) + 400.0 + 300.0 + mux2(32.0 * 5.0 * 2.0) + 200.0,
-        },
+        Component { name: "ALU", gates: fa(32.0) + 400.0 + 300.0 + mux2(32.0 * 5.0 * 2.0) + 200.0 },
         // Non-pipelined 32×32 array multiplier.
         Component { name: "multiplier", gates: fa(1024.0) + 1024.0 },
         // Serial restoring divider.
@@ -89,19 +83,13 @@ pub fn argus_additions(p: ArgusParams) -> Vec<Component> {
     let k = (32 - p.modulus.leading_zeros()) as f64;
     vec![
         // One SHS per register + PC/mem/flag, one parity bit per register.
-        Component {
-            name: "SHS + parity storage",
-            gates: dff(32.0 * w + 3.0 * w + 32.0),
-        },
+        Component { name: "SHS + parity storage", gates: dff(32.0 * w + 3.0 * w + 32.0) },
         // SHS/parity bits accompanying operands and results through the
         // pipeline.
         Component { name: "SHS datapath widening", gates: dff(2.0 * (3.0 * w + 3.0)) },
         // One CRC + substitution unit per functional unit (ALU, mul/div,
         // LSU, branch/compare).
-        Component {
-            name: "SHS computation units",
-            gates: 4.0 * (30.0 * w + xor2(8.0 * w)),
-        },
+        Component { name: "SHS computation units", gates: 4.0 * (30.0 * w + xor2(8.0 * w)) },
         // Parallel SHS reset, hard-wired permutation (wiring only), XOR
         // tree, DCS comparator.
         Component {
@@ -110,20 +98,11 @@ pub fn argus_additions(p: ArgusParams) -> Vec<Component> {
         },
         // Fetch-side extraction of embedded bits, slot buffer and parser,
         // link-DCS mux.
-        Component {
-            name: "signature extraction",
-            gates: dff(16.0 * w) + 370.0 + mux2(4.0 * w),
-        },
+        Component { name: "signature extraction", gates: dff(16.0 * w) + 370.0 + mux2(4.0 * w) },
         // Ripple-carry adder checker with logic-op emulation muxes.
-        Component {
-            name: "adder sub-checker",
-            gates: fa(32.0) + mux2(64.0) + xor2(32.0) + 60.0,
-        },
+        Component { name: "adder sub-checker", gates: fa(32.0) + mux2(64.0) + xor2(32.0) + 60.0 },
         // Right-shift + sign-extend checker.
-        Component {
-            name: "RSSE sub-checker",
-            gates: mux2(32.0 * 5.0) + 50.0 + xor2(32.0) + 80.0,
-        },
+        Component { name: "RSSE sub-checker", gates: mux2(32.0 * 5.0) + 50.0 + xor2(32.0) + 80.0 },
         // Two residue-folding trees, a k×k multiplier, negate/mux, compare.
         Component {
             name: "mod-M sub-checker",
@@ -145,10 +124,7 @@ mod tests {
     #[test]
     fn baseline_is_about_40k_gates() {
         let g = total_gates(&baseline_core());
-        assert!(
-            (38_000.0..42_000.0).contains(&g),
-            "baseline {g} gates, expected ≈40k"
-        );
+        assert!((38_000.0..42_000.0).contains(&g), "baseline {g} gates, expected ≈40k");
     }
 
     #[test]
@@ -162,10 +138,7 @@ mod tests {
         let base = total_gates(&baseline_core());
         let add = total_gates(&argus_additions(ArgusParams::default()));
         let pct = 100.0 * add / base;
-        assert!(
-            (12.0..17.0).contains(&pct),
-            "Argus-1 adds {pct:.1}%, paper reports <17%"
-        );
+        assert!((12.0..17.0).contains(&pct), "Argus-1 adds {pct:.1}%, paper reports <17%");
     }
 
     #[test]

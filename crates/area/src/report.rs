@@ -28,8 +28,7 @@ impl Table2 {
 
     /// D-cache overhead in percent for 1-way (`0`) or 2-way (`1`).
     pub fn dcache_overhead_pct(&self, way_idx: usize) -> f64 {
-        100.0 * (self.dcache_argus[way_idx] - self.dcache_base[way_idx])
-            / self.dcache_base[way_idx]
+        100.0 * (self.dcache_argus[way_idx] - self.dcache_base[way_idx]) / self.dcache_base[way_idx]
     }
 
     /// Total chip area, baseline, for 1-way (`0`) or 2-way (`1`).
@@ -121,10 +120,18 @@ mod tests {
     fn overheads_match_published_shape() {
         let t = table2();
         // Paper: core +16.6%, D-cache +4.9/5.1%, total +10.9/10.6%.
-        assert!((12.0..18.0).contains(&t.core_overhead_pct()), "core {:.1}%", t.core_overhead_pct());
+        assert!(
+            (12.0..18.0).contains(&t.core_overhead_pct()),
+            "core {:.1}%",
+            t.core_overhead_pct()
+        );
         for i in 0..2 {
             assert!((3.5..6.5).contains(&t.dcache_overhead_pct(i)));
-            assert!((7.0..13.0).contains(&t.total_overhead_pct(i)), "total {:.1}%", t.total_overhead_pct(i));
+            assert!(
+                (7.0..13.0).contains(&t.total_overhead_pct(i)),
+                "total {:.1}%",
+                t.total_overhead_pct(i)
+            );
         }
     }
 

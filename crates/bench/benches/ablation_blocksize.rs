@@ -13,10 +13,7 @@ use argus_sim::fault::FaultKind;
 
 fn main() {
     println!("== Ablation: basic-block split limit ==\n");
-    println!(
-        "{:>6} | {:>9} | {:>9} | {:>13}",
-        "limit", "SDC", "coverage", "static ovh"
-    );
+    println!("{:>6} | {:>9} | {:>9} | {:>13}", "limit", "SDC", "coverage", "static ovh");
     let w = argus_workloads::stress();
     let base = compile(&w.unit, Mode::Baseline, &EmbedConfig::default()).unwrap();
     for limit in [8u32, 16, 24, 32, 48] {
@@ -31,8 +28,7 @@ fn main() {
             },
         );
         let argus = compile(&w.unit, Mode::Argus, &ecfg).unwrap();
-        let ovh = 100.0
-            * (argus.stats.static_instrs as f64 - base.stats.static_instrs as f64)
+        let ovh = 100.0 * (argus.stats.static_instrs as f64 - base.stats.static_instrs as f64)
             / base.stats.static_instrs as f64;
         println!(
             "{limit:>6} | {:>8.2}% | {:>8.1}% | {:>12.2}%",

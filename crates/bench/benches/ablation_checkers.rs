@@ -11,12 +11,7 @@ use argus_sim::fault::FaultKind;
 fn coverage(acfg: ArgusConfig, injections: usize) -> f64 {
     let rep = run_campaign(
         &argus_workloads::stress(),
-        &CampaignConfig {
-            injections,
-            kind: FaultKind::Permanent,
-            acfg,
-            ..Default::default()
-        },
+        &CampaignConfig { injections, kind: FaultKind::Permanent, acfg, ..Default::default() },
     );
     100.0 * rep.unmasked_coverage()
 }
@@ -31,7 +26,10 @@ fn main() {
         ("no parity", ArgusConfig { enable_parity: false, ..full }),
         ("no DCS", ArgusConfig { enable_dcs: false, ..full }),
         ("no watchdog", ArgusConfig { enable_watchdog: false, ..full }),
-        ("DCS only", ArgusConfig { enable_cc: false, enable_parity: false, enable_watchdog: false, ..full }),
+        (
+            "DCS only",
+            ArgusConfig { enable_cc: false, enable_parity: false, enable_watchdog: false, ..full },
+        ),
     ];
     for (name, acfg) in configs {
         println!("{name:16} coverage {:.1}%", coverage(acfg, injections));

@@ -25,10 +25,7 @@ fn main() {
     ] {
         let a1 = cache_area_protected(CacheGeometry::kb8(1), prot);
         let a2 = cache_area_protected(CacheGeometry::kb8(2), prot);
-        println!(
-            "{name:12} {a1:>10.2} {a2:>10.2} {:>9.1}%",
-            100.0 * (a1 - base1) / base1
-        );
+        println!("{name:12} {a1:>10.2} {a2:>10.2} {:>9.1}%", 100.0 * (a1 - base1) / base1);
     }
 
     // --- behaviour under memory corruption --------------------------------

@@ -13,10 +13,7 @@ use argus_sim::fault::FaultKind;
 
 fn main() {
     println!("== Ablation: SHS/DCS signature width ==\n");
-    println!(
-        "{:>5} | {:>9} | {:>9} | {:>12}",
-        "bits", "SDC", "coverage", "checker gates"
-    );
+    println!("{:>5} | {:>9} | {:>9} | {:>12}", "bits", "SDC", "coverage", "checker gates");
     for w in [3u32, 4, 5] {
         let rep = run_campaign(
             &argus_workloads::stress(),

@@ -15,10 +15,14 @@ fn main() {
     println!("{}", chart::row("mean", dyn_mean, 3.0));
     println!("\nstatic instruction overhead per benchmark (paper avg ≈7%):");
     for r in &rows {
-        println!("  {:12} {:6.2}%  ({} → {})", r.name, r.static_pct(), r.static_base, r.static_argus);
+        println!(
+            "  {:12} {:6.2}%  ({} → {})",
+            r.name,
+            r.static_pct(),
+            r.static_base,
+            r.static_argus
+        );
     }
     println!("  {:12} {:6.2}%", "mean", stat_mean);
-    println!(
-        "\nsummary: dynamic {dyn_mean:.2}% (paper 3.5%), static {stat_mean:.2}% (paper 7%)"
-    );
+    println!("\nsummary: dynamic {dyn_mean:.2}% (paper 3.5%), static {stat_mean:.2}% (paper 7%)");
 }

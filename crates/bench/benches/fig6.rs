@@ -13,5 +13,8 @@ fn main() {
     let mean = mean_of(&rows, |r| r.runtime_pct());
     println!("{}", chart::row("mean", mean, 3.0));
     println!("\nsummary: runtime overhead {mean:.2}% (paper 3.9%)");
-    println!("cycles: {:?}", rows.iter().map(|r| (r.name, r.cycles_base, r.cycles_argus)).collect::<Vec<_>>());
+    println!(
+        "cycles: {:?}",
+        rows.iter().map(|r| (r.name, r.cycles_base, r.cycles_argus)).collect::<Vec<_>>()
+    );
 }

@@ -14,11 +14,7 @@ fn main() {
     println!("== §4.2: error-detection latency ==\n");
     let rep = run_campaign(
         &argus_workloads::stress(),
-        &CampaignConfig {
-            injections: 2500,
-            kind: FaultKind::Permanent,
-            ..Default::default()
-        },
+        &CampaignConfig { injections: 2500, kind: FaultKind::Permanent, ..Default::default() },
     );
     let lat = LatencyReport::from_campaign(&rep);
     println!("{}", lat.summary());

@@ -1,0 +1,49 @@
+//! Sharded-campaign scaling check.
+//!
+//! Runs the same campaign serially and with 1/2/4/8 shards, asserts every
+//! configuration produces identical outcome tallies (the orchestrator's
+//! headline guarantee), and reports wall-clock plus speedup per shard
+//! count. Speedup tracks the host's core count — on a single-core box all
+//! configurations time roughly the same, which is expected.
+
+use argus_faults::campaign::{run_campaign, CampaignConfig};
+use argus_faults::Outcome;
+use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress};
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+fn main() {
+    let injections =
+        std::env::var("ARGUS_INJECTIONS").ok().and_then(|s| s.parse().ok()).unwrap_or(1500);
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cfg = CampaignConfig { injections, ..Default::default() };
+    let w = argus_workloads::stress();
+
+    println!("== sharded campaign scaling ({injections} injections, {cores} host cores) ==");
+    println!("(ARGUS_INJECTIONS overrides the campaign size)\n");
+
+    let t0 = Instant::now();
+    let serial = run_campaign(&w, &cfg);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let serial_counts: Vec<u64> = Outcome::ALL.iter().map(|&o| serial.count(o) as u64).collect();
+    println!("{:>7} | {:>8.2}s | {:>7} | tallies {:?}", "serial", serial_s, "1.00x", serial_counts);
+
+    for shards in [1usize, 2, 4, 8] {
+        let ocfg = OrchestratorConfig { shards, ..Default::default() };
+        let progress = Progress::new(shards);
+        let stop = AtomicBool::new(false);
+        let t = Instant::now();
+        let rep = run_sharded(&w, &cfg, &ocfg, &stop, &progress).expect("sharded run");
+        let secs = t.elapsed().as_secs_f64();
+        let counts: Vec<u64> = Outcome::ALL.iter().map(|&o| rep.count(o)).collect();
+        assert_eq!(counts, serial_counts, "shards={shards} diverged from the serial engine");
+        println!(
+            "{:>7} | {:>8.2}s | {:>6.2}x | tallies {:?} (identical)",
+            format!("{shards} shard"),
+            secs,
+            serial_s / secs,
+            counts
+        );
+    }
+    println!("\nall shard counts reproduce the serial tallies bit-for-bit");
+}

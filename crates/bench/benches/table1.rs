@@ -15,16 +15,11 @@ use argus_faults::campaign::{run_campaign, CampaignConfig};
 use argus_sim::fault::FaultKind;
 
 fn main() {
-    let injections = std::env::var("ARGUS_INJECTIONS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3000);
+    let injections =
+        std::env::var("ARGUS_INJECTIONS").ok().and_then(|s| s.parse().ok()).unwrap_or(3000);
     println!("== Table 1: error injection on the stress-test microbenchmark ==");
     println!("({injections} injections per fault type; ARGUS_INJECTIONS overrides)\n");
-    println!(
-        "{:9} | {:>9} | {:>9} | {:>9} | {:>9}",
-        "type", "SDC", "unm.det", "mask.und", "DME"
-    );
+    println!("{:9} | {:>9} | {:>9} | {:>9} | {:>9}", "type", "SDC", "unm.det", "mask.und", "DME");
     for kind in [FaultKind::Transient, FaultKind::Permanent] {
         let rep = run_campaign(
             &argus_workloads::stress(),
@@ -40,7 +35,9 @@ fn main() {
                 FaultKind::Permanent => "98.8%",
             }
         );
-        println!("\n-- §4.1.1 detection attribution (paper: cc 45% / parity 36% / dcs 16% / wd 3%) --");
+        println!(
+            "\n-- §4.1.1 detection attribution (paper: cc 45% / parity 36% / dcs 16% / wd 3%) --"
+        );
         println!("{}", rep.attribution);
     }
     println!("paper reference rows:");

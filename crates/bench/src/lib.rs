@@ -78,10 +78,10 @@ fn pct(base: u64, argus: u64) -> f64 {
 pub fn measure_workload(w: &Workload, ways: u32) -> OverheadRow {
     let mem = if ways == 2 { MemConfig::default().two_way() } else { MemConfig::default() };
     let ecfg = EmbedConfig::default();
-    let base_prog = compile(&w.unit, Mode::Baseline, &ecfg)
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    let argus_prog = compile(&w.unit, Mode::Argus, &ecfg)
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let base_prog =
+        compile(&w.unit, Mode::Baseline, &ecfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let argus_prog =
+        compile(&w.unit, Mode::Argus, &ecfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
 
     let base = argus_compiler::verify::run_baseline(
         &base_prog,

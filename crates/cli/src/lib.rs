@@ -6,9 +6,16 @@
 //! argus asm <file.s> [--argus]           disassemble the compiled image
 //! argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]
 //! argus inject <file.s> --site S --bit N [--permanent] [--arm C]
-//! argus campaign [-n N] [--permanent]    Table-1 campaign on the stress test
+//! argus campaign [-n N] [--permanent] [--shards N] [--checkpoint PATH]
+//!                [--resume] [--json] [--quiet]
 //! argus sites                            list the fault-site inventory
 //! ```
+//!
+//! `campaign` runs serially by default (the historical path); any of
+//! `--shards/--checkpoint/--resume/--json/--quiet` routes it through the
+//! sharded [`argus_orchestrator`] engine, which adds Ctrl-C-safe
+//! cancellation, checkpoint/resume, and live progress on stderr. Tallies
+//! are identical either way for a given seed.
 //!
 //! The library half exposes the command implementations so they are unit
 //! testable; `main.rs` is a thin argv shim.
@@ -16,10 +23,39 @@
 use argus_compiler::{asm, compile, EmbedConfig, Mode};
 use argus_core::{Argus, ArgusConfig};
 use argus_faults::campaign::{run_campaign, CampaignConfig};
+use argus_faults::Outcome;
 use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_mem::MemConfig;
+use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress, ShardedReport};
 use argus_sim::fault::{Fault, FaultInjector, FaultKind};
 use std::fmt::Write as _;
+
+/// Ctrl-C wiring for long campaigns: a process-wide stop flag flipped from
+/// a signal handler, installed only when the sharded engine runs so other
+/// subcommands keep the default interrupt behaviour.
+pub mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set once SIGINT arrives; polled by every campaign worker.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT to the [`STOP`] flag. No-op off Unix.
+    pub fn install() {
+        #[cfg(unix)]
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
 
 /// A CLI-level failure, printed to stderr with exit code 1.
 #[derive(Debug)]
@@ -86,8 +122,8 @@ impl Args {
 }
 
 fn load_unit(path: &str) -> Result<argus_compiler::ProgramUnit, CliError> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
     asm::assemble(&src).map_err(|e| fail(format!("{path}: {e}")))
 }
 
@@ -295,7 +331,8 @@ pub fn cmd_inject(mut args: Args) -> Result<String, CliError> {
 /// `argus sites`: the fault-site inventory.
 pub fn cmd_sites(args: Args) -> Result<String, CliError> {
     args.finish()?;
-    let mut out = format!("{:24} {:>5} {:>9} {:>7} {}\n", "site", "width", "weight", "sens", "unit");
+    let mut out =
+        format!("{:24} {:>5} {:>9} {:>7} {}\n", "site", "width", "weight", "sens", "unit");
     for s in argus_faults::sites::full_inventory() {
         let _ = writeln!(
             out,
@@ -312,18 +349,133 @@ pub fn cmd_sites(args: Args) -> Result<String, CliError> {
 }
 
 /// `argus campaign`: a Table-1 campaign on the stress microbenchmark.
+///
+/// Without orchestrator flags this is the historical single-threaded path.
+/// `--shards/--checkpoint/--resume/--json/--quiet` switch to the sharded
+/// engine: same tallies for the same seed, plus parallelism, Ctrl-C-safe
+/// checkpoints, and live progress on stderr.
 pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     let n: usize = match args.opt("-n") {
         Some(s) => s.parse().map_err(|_| fail("bad -n"))?,
         None => 1000,
     };
     let kind = if args.flag("--permanent") { FaultKind::Permanent } else { FaultKind::Transient };
+    let seed: Option<u64> = match args.opt("--seed") {
+        Some(s) => Some(s.parse().map_err(|_| fail("bad --seed"))?),
+        None => None,
+    };
+    let shards_arg = args.opt("--shards");
+    let checkpoint = args.opt("--checkpoint");
+    let resume = args.flag("--resume");
+    let json = args.flag("--json");
+    let quiet = args.flag("--quiet");
     args.finish()?;
-    let rep = run_campaign(
-        &argus_workloads::stress(),
-        &CampaignConfig { injections: n, kind, ..Default::default() },
+
+    let mut cfg = CampaignConfig { injections: n, kind, ..Default::default() };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+
+    let sharded = shards_arg.is_some() || checkpoint.is_some() || resume || json || quiet;
+    if !sharded {
+        let rep = run_campaign(&argus_workloads::stress(), &cfg);
+        return Ok(format!("{rep}"));
+    }
+
+    let shards = match shards_arg {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| fail("bad --shards (want an integer >= 1)"))?,
+        None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    };
+    if resume && checkpoint.is_none() {
+        return Err(fail("--resume needs --checkpoint PATH"));
+    }
+    let ocfg = OrchestratorConfig {
+        shards,
+        checkpoint_path: checkpoint.map(std::path::PathBuf::from),
+        resume,
+        ..Default::default()
+    };
+
+    sigint::install();
+    let progress = Progress::new(shards);
+    let report = std::thread::scope(|scope| {
+        let monitor = (!quiet).then(|| {
+            scope.spawn(|| {
+                let mut since_print = std::time::Duration::ZERO;
+                let tick = std::time::Duration::from_millis(100);
+                while !progress.finished() {
+                    std::thread::sleep(tick);
+                    since_print += tick;
+                    if since_print >= std::time::Duration::from_millis(500) {
+                        eprintln!("{}", progress.snapshot());
+                        since_print = std::time::Duration::ZERO;
+                    }
+                }
+            })
+        });
+        let report = run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &sigint::STOP, &progress);
+        if let Some(m) = monitor {
+            let _ = m.join();
+        }
+        report
+    })
+    .map_err(|e| fail(e.to_string()))?;
+
+    if !quiet {
+        eprintln!("{}", progress.snapshot());
+    }
+    if json {
+        return Ok(format!("{}\n", report.to_json().to_string_compact()));
+    }
+    Ok(render_sharded_report(&report, ocfg.checkpoint_path.as_deref()))
+}
+
+/// Human-readable rendering of a sharded campaign's merged tallies.
+fn render_sharded_report(rep: &ShardedReport, checkpoint: Option<&std::path::Path>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign: {}/{} injections ({:?}), {} shards, {:.1}s ({:.1} inj/s)",
+        rep.completed,
+        rep.total,
+        rep.kind,
+        rep.shards,
+        rep.elapsed.as_secs_f64(),
+        rep.rate(),
     );
-    Ok(format!("{rep}"))
+    for o in Outcome::ALL {
+        let _ = writeln!(
+            out,
+            "  {:20} {:>8}  {:5.1}%",
+            o.label(),
+            rep.count(o),
+            100.0 * rep.fraction(o)
+        );
+    }
+    let _ = writeln!(out, "unmasked coverage: {:.1}%", 100.0 * rep.unmasked_coverage());
+    if rep.latency.count() > 0 {
+        let _ = writeln!(
+            out,
+            "detect latency: mean {:.1} p50 {} p99 {} max {} cycles",
+            rep.latency.mean(),
+            rep.latency.percentile(0.5).unwrap_or(0),
+            rep.latency.percentile(0.99).unwrap_or(0),
+            rep.latency.max().unwrap_or(0),
+        );
+    }
+    let _ = writeln!(out, "detection attribution:");
+    let _ = write!(out, "{}", rep.attribution);
+    if rep.interrupted {
+        let hint = checkpoint
+            .map(|p| format!(" — resume with --resume --checkpoint {}", p.display()))
+            .unwrap_or_default();
+        let _ = writeln!(out, "INTERRUPTED at {}/{}{hint}", rep.completed, rep.total);
+    }
+    out
 }
 
 /// `argus verify`: compile in Argus mode and statically verify the image's
@@ -363,8 +515,12 @@ pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign> [op
   argus run <file.s> [--baseline] [--two-way] [--regs r3,r4] [--max-cycles N]
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
   argus verify <file.s>
-  argus campaign [-n N] [--permanent]
-  argus sites";
+  argus campaign [-n N] [--permanent] [--seed S]
+                 [--shards N] [--checkpoint PATH] [--resume] [--json] [--quiet]
+  argus sites
+campaign runs serially by default; --shards/--checkpoint/--resume/--json/--quiet
+use the sharded engine (same tallies for the same seed; Ctrl-C flushes a
+checkpoint, --resume continues it; progress goes to stderr, results to stdout)";
 
 #[cfg(test)]
 mod tests {
@@ -449,6 +605,71 @@ mod tests {
     #[test]
     fn dispatch_unknown_command() {
         assert!(dispatch("frobnicate", args(&[])).is_err());
+    }
+
+    /// Every subcommand advertised in `USAGE`'s `<a|b|c>` list must
+    /// actually dispatch — i.e. never fall through to "unknown command".
+    #[test]
+    fn usage_subcommands_all_dispatch() {
+        let list = USAGE
+            .split_once('<')
+            .and_then(|(_, rest)| rest.split_once('>'))
+            .map(|(inner, _)| inner)
+            .expect("USAGE lists subcommands as <a|b|...>");
+        let cmds: Vec<&str> = list.split('|').collect();
+        assert!(cmds.len() >= 6, "expected the full subcommand list, got {cmds:?}");
+        for cmd in cmds {
+            // Missing-argument errors are fine; an unknown-command error
+            // means USAGE advertises something dispatch() cannot route.
+            match dispatch(cmd, args(&[])) {
+                Ok(_) => {}
+                Err(e) => assert!(
+                    !e.to_string().contains("unknown command"),
+                    "USAGE names `{cmd}` but dispatch does not route it"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_sharded_matches_serial_and_reports_json() {
+        let serial = cmd_campaign(args(&["-n", "40", "--seed", "7"])).unwrap();
+        assert!(serial.contains("unmasked coverage"), "{serial}");
+
+        let human =
+            cmd_campaign(args(&["-n", "40", "--seed", "7", "--shards", "2", "--quiet"])).unwrap();
+        assert!(human.contains("campaign: 40/40"), "{human}");
+        assert!(human.contains("2 shards"), "{human}");
+
+        let js =
+            cmd_campaign(args(&["-n", "40", "--seed", "7", "--shards", "3", "--json", "--quiet"]))
+                .unwrap();
+        let parsed = argus_orchestrator::Json::parse(&js).unwrap();
+        assert_eq!(parsed.get("completed").and_then(|v| v.as_u64()), Some(40));
+        assert_eq!(parsed.get("interrupted").and_then(|v| v.as_bool()), Some(false));
+
+        // Shard count must not change the tallies: compare the sharded
+        // JSON outcome block against the serial engine's counts.
+        let rep = run_campaign(
+            &argus_workloads::stress(),
+            &CampaignConfig { injections: 40, seed: 7, ..Default::default() },
+        );
+        let outcomes = parsed.get("outcomes").unwrap();
+        for o in Outcome::ALL {
+            assert_eq!(
+                outcomes.get(o.label()).and_then(|v| v.as_u64()),
+                Some(rep.count(o) as u64),
+                "{o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_flag_validation() {
+        let e = cmd_campaign(args(&["--shards", "0", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --shards"), "{e}");
+        let e = cmd_campaign(args(&["--resume", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("--resume needs --checkpoint"), "{e}");
     }
 
     #[test]

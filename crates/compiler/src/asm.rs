@@ -89,10 +89,8 @@ fn parse_imm16(tok: &str, line: usize) -> Result<u16, AsmError> {
 fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
     let t = tok.trim();
     let open = t.find('(').ok_or_else(|| err(line, format!("expected off(reg), found `{t}`")))?;
-    let close = t
-        .rfind(')')
-        .filter(|&c| c > open)
-        .ok_or_else(|| err(line, "missing `)`".to_string()))?;
+    let close =
+        t.rfind(')').filter(|&c| c > open).ok_or_else(|| err(line, "missing `)`".to_string()))?;
     let off = parse_int(&t[..open], line)?;
     if !(-(1i64 << 15)..(1 << 15)).contains(&off) {
         return Err(err(line, format!("offset {off} does not fit in 16 bits")));
@@ -189,11 +187,8 @@ pub fn assemble(source: &str) -> Result<ProgramUnit, AsmError> {
             Some(i) => (&text[..i], text[i..].trim()),
             None => (text, ""),
         };
-        let ops: Vec<&str> = if operands.is_empty() {
-            vec![]
-        } else {
-            operands.split(',').map(str::trim).collect()
-        };
+        let ops: Vec<&str> =
+            if operands.is_empty() { vec![] } else { operands.split(',').map(str::trim).collect() };
         let nops = |n: usize| -> Result<(), AsmError> {
             if ops.len() == n {
                 Ok(())
@@ -370,9 +365,7 @@ pub fn assemble(source: &str) -> Result<ProgramUnit, AsmError> {
                         ra: parse_reg(ops[0], line)?,
                         rb: parse_reg(ops[1], line)?,
                     })
-                } else if let Some(cond) =
-                    rest.strip_suffix('i').and_then(cond_from_suffix)
-                {
+                } else if let Some(cond) = rest.strip_suffix('i').and_then(cond_from_suffix) {
                     Stmt::Op(Instr::SetFlagImm {
                         cond,
                         ra: parse_reg(ops[0], line)?,
@@ -455,7 +448,8 @@ loop:   add  r3, r3, r4
 
     #[test]
     fn calls_and_data_section() {
-        let unit = assemble(r"
+        let unit = assemble(
+            r"
         li   r2, 0x80000
         lw   r3, 0(r2)       ; load 42 from data
         jal  double
@@ -468,7 +462,8 @@ double: add  r3, r3, r3
 .label answer
 .word 42
 .ptr double
-")
+",
+        )
         .expect("assembles");
         let prog = compile(&unit, Mode::Argus, &EmbedConfig::default()).unwrap();
         let mut m = Machine::new(MachineConfig::default());

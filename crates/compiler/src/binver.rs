@@ -163,10 +163,7 @@ fn segment(code: &[u32], base: u32) -> Result<Vec<Block>, VerifyError> {
 }
 
 fn embedded_stream(code: &[u32], b: &Block) -> Vec<bool> {
-    code[b.start..b.embed_end]
-        .iter()
-        .flat_map(|&w| argus_isa::encode::embedded_bits(w))
-        .collect()
+    code[b.start..b.embed_end].iter().flat_map(|&w| argus_isa::encode::embedded_bits(w)).collect()
 }
 
 fn slot(bits: &[bool], k: usize) -> u32 {
@@ -213,10 +210,7 @@ pub fn verify_image(prog: &Program, cfg: &EmbedConfig) -> Result<VerifyReport, V
     }
 
     let block_at = |addr: u32, at: u32| -> Result<usize, VerifyError> {
-        by_addr
-            .get(&addr)
-            .copied()
-            .ok_or(VerifyError::TargetNotABlock { at, target: addr })
+        by_addr.get(&addr).copied().ok_or(VerifyError::TargetNotABlock { at, target: addr })
     };
 
     let mut report = VerifyReport { blocks: blocks.len(), slots_checked: 0 };
@@ -330,18 +324,11 @@ mod tests {
     fn corrupting_an_instruction_fails_verification() {
         let mut prog = sample_program();
         // Flip a semantic bit of the first add (its rd field).
-        let idx = prog
-            .code
-            .iter()
-            .position(|&w| matches!(decode(w), Instr::Alu { .. }))
-            .unwrap();
+        let idx = prog.code.iter().position(|&w| matches!(decode(w), Instr::Alu { .. })).unwrap();
         prog.code[idx] ^= 1 << 21;
         let err = verify_image(&prog, &EmbedConfig::default()).unwrap_err();
         assert!(
-            matches!(
-                err,
-                VerifyError::SlotMismatch { .. } | VerifyError::EntryDcsMismatch
-            ),
+            matches!(err, VerifyError::SlotMismatch { .. } | VerifyError::EntryDcsMismatch),
             "got {err}"
         );
     }

@@ -339,11 +339,7 @@ impl ProgramBuilder {
 
     /// Word offset of a data label, if defined.
     pub fn data_offset(&self, name: &str) -> Option<u32> {
-        self.unit
-            .data_labels
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, off)| off)
+        self.unit.data_labels.iter().find(|(n, _)| n == name).map(|&(_, off)| off)
     }
 }
 

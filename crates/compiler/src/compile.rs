@@ -146,10 +146,7 @@ fn flatten(unit: &ProgramUnit) -> Result<Vec<Item>, CompileError> {
     // falls through into nothing on the not-taken path).
     let last_ok = items.last().map(|it| it.is_halt()).unwrap_or(false)
         || items.len() >= 2
-            && matches!(
-                items[items.len() - 2].stmt,
-                Stmt::JumpTo { .. } | Stmt::JumpReg { .. }
-            );
+            && matches!(items[items.len() - 2].stmt, Stmt::JumpTo { .. } | Stmt::JumpReg { .. });
     if !last_ok {
         return Err(CompileError::NoTerminator);
     }
@@ -233,10 +230,8 @@ fn phase1_insert(items: Vec<Item>, cfg: &EmbedConfig) -> Vec<Item> {
         cap_bits += item.plain_unused_bits();
         i += 1;
         // Length cap: split long straight-line runs.
-        let next_is_boundary = items
-            .get(i)
-            .map(|n| !n.labels.is_empty() || n.is_cti() || n.is_halt())
-            .unwrap_or(true);
+        let next_is_boundary =
+            items.get(i).map(|n| !n.labels.is_empty() || n.is_cti() || n.is_halt()).unwrap_or(true);
         if blk_len >= cap_limit && !next_is_boundary {
             let nslots = u8::from(cap_bits < 5);
             out.push(marker(nslots));
@@ -286,12 +281,8 @@ fn concrete_instr(
     addr: u32,
     labels: &HashMap<String, u32>,
 ) -> Result<Instr, CompileError> {
-    let resolve = |l: &String| {
-        labels
-            .get(l)
-            .copied()
-            .ok_or_else(|| CompileError::UnknownLabel(l.clone()))
-    };
+    let resolve =
+        |l: &String| labels.get(l).copied().ok_or_else(|| CompileError::UnknownLabel(l.clone()));
     let word_off = |target: u32, label: &String| -> Result<i32, CompileError> {
         let diff = (target as i64 - addr as i64) / 4;
         if (-(1 << 25)..(1 << 25)).contains(&diff) {
@@ -384,10 +375,7 @@ pub fn compile(unit: &ProgramUnit, mode: Mode, cfg: &EmbedConfig) -> Result<Prog
         let block_of_label = |l: &String| -> Result<usize, CompileError> {
             let addr = labels.get(l).ok_or_else(|| CompileError::UnknownLabel(l.clone()))?;
             let idx = ((addr - cfg.code_base) / 4) as usize;
-            block_at_item
-                .get(&idx)
-                .copied()
-                .ok_or_else(|| CompileError::UnknownLabel(l.clone()))
+            block_at_item.get(&idx).copied().ok_or_else(|| CompileError::UnknownLabel(l.clone()))
         };
 
         // Phase 3: embed the successor DCS slots.
@@ -454,8 +442,7 @@ pub fn compile(unit: &ProgramUnit, mode: Mode, cfg: &EmbedConfig) -> Result<Prog
         match item {
             DataItem::Word(w) => data.push(*w),
             DataItem::CodePtr(l) => {
-                let addr =
-                    *labels.get(l).ok_or_else(|| CompileError::UnknownLabel(l.clone()))?;
+                let addr = *labels.get(l).ok_or_else(|| CompileError::UnknownLabel(l.clone()))?;
                 if mode == Mode::Argus {
                     if addr > INDIRECT_ADDR_MASK {
                         return Err(CompileError::AddressTooLarge(addr));
@@ -633,10 +620,7 @@ mod tests {
         let engine = ShsEngine::new(cfg.sig_width);
         let dcsu = DcsUnit::new(cfg.sig_width);
         let mut file = ShsFile::new(cfg.sig_width);
-        engine.apply_static(
-            &mut file,
-            &argus_isa::decode::decode(p.code[2]),
-        );
+        engine.apply_static(&mut file, &argus_isa::decode::decode(p.code[2]));
         engine.apply_static(&mut file, &argus_isa::decode::decode(p.code[3]));
         let expected = dcsu.compute(&file) & 31;
 
@@ -656,9 +640,8 @@ mod tests {
                 }
             }
         }
-        let slot0 = bits.iter().take(5).enumerate().fold(0u32, |acc, (i, &bit)| {
-            acc | ((bit as u32) << i)
-        });
+        let slot0 =
+            bits.iter().take(5).enumerate().fold(0u32, |acc, (i, &bit)| acc | ((bit as u32) << i));
         assert_eq!(slot0, expected);
     }
 }

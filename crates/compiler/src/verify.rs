@@ -123,11 +123,7 @@ pub fn assert_modes_agree(
     );
     assert!(base.halted, "baseline run did not halt");
     assert!(argus.halted, "argus run did not halt");
-    assert!(
-        argus.events.is_empty(),
-        "false positives in fault-free run: {:?}",
-        argus.events
-    );
+    assert!(argus.events.is_empty(), "false positives in fault-free run: {:?}", argus.events);
     for &r in result_regs {
         assert_eq!(
             base.machine.reg(r),

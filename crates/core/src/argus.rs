@@ -149,7 +149,11 @@ impl Argus {
 
     /// Runs all checkers over one committed instruction. Returns the events
     /// raised by this commit (also accumulated in [`Self::events`]).
-    pub fn on_commit(&mut self, rec: &CommitRecord, inj: &mut FaultInjector) -> Vec<DetectionEvent> {
+    pub fn on_commit(
+        &mut self,
+        rec: &CommitRecord,
+        inj: &mut FaultInjector,
+    ) -> Vec<DetectionEvent> {
         let mut evs: Vec<DetectionEvent> = Vec::new();
         let push = |checker, reason: &'static str, evs: &mut Vec<DetectionEvent>| {
             evs.push(DetectionEvent { checker, reason, cycle: rec.cycle, pc: rec.pc });
@@ -311,14 +315,20 @@ impl Argus {
                 }
             }
             Instr::SetFlag { cond, .. } => {
-                if !cc::adder::check_compare(cond, opv(0), opv(1), rec.flag_write.unwrap_or(false), inj)
-                {
+                if !cc::adder::check_compare(
+                    cond,
+                    opv(0),
+                    opv(1),
+                    rec.flag_write.unwrap_or(false),
+                    inj,
+                ) {
                     out.push("compare_mismatch");
                 }
             }
             Instr::SetFlagImm { cond, imm, .. } => {
                 let b = sign_extend(imm as u32, 16);
-                if !cc::adder::check_compare(cond, opv(0), b, rec.flag_write.unwrap_or(false), inj) {
+                if !cc::adder::check_compare(cond, opv(0), b, rec.flag_write.unwrap_or(false), inj)
+                {
                     out.push("compare_mismatch");
                 }
             }
@@ -439,10 +449,7 @@ mod tests {
     fn two_block_program() -> Vec<Instr> {
         let cfg = ArgusConfig::default();
         // BB1: add + eob-Sig carrying DCS(BB1 body? no: slot0 = DCS of BB2).
-        let bb2 = vec![
-            Instr::Alu { op: AluOp::Add, rd: r(5), ra: r(3), rb: r(3) },
-            Instr::Halt,
-        ];
+        let bb2 = vec![Instr::Alu { op: AluOp::Add, rd: r(5), ra: r(3), rb: r(3) }, Instr::Halt];
         let d2 = static_dcs(&bb2, &cfg);
         let mut prog = vec![
             Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 21 },

@@ -27,13 +27,7 @@ pub mod adder {
 
     /// Recomputes an adder/logic-unit operation and compares with the
     /// observed result. Returns `true` when the observed result is accepted.
-    pub fn check_alu(
-        op: AluOp,
-        a: u32,
-        b: u32,
-        observed: u32,
-        inj: &mut FaultInjector,
-    ) -> bool {
+    pub fn check_alu(op: AluOp, a: u32, b: u32, observed: u32, inj: &mut FaultInjector) -> bool {
         // Shifts are the RSSE's responsibility; accept here. (Logic ops
         // are emulated on the adder's full-adder cells in hardware; the
         // fault independence of this redundant computation is modeled by
@@ -46,7 +40,13 @@ pub mod adder {
     }
 
     /// Checks a flag-setting compare (a subtract on the same checker).
-    pub fn check_compare(cond: Cond, a: u32, b: u32, observed: bool, inj: &mut FaultInjector) -> bool {
+    pub fn check_compare(
+        cond: Cond,
+        a: u32,
+        b: u32,
+        observed: bool,
+        inj: &mut FaultInjector,
+    ) -> bool {
         inj.tap1(sites::CC_CMP_OUT, cond.eval(a, b)) == observed
     }
 
@@ -76,7 +76,13 @@ pub mod rsse {
     /// shifting the *result* back to the right and comparing against the
     /// input bits that were not shifted off the end, plus verifying the
     /// vacated low bits are zero.
-    pub fn check_shift(op: ShiftOp, a: u32, sh: u32, observed: u32, inj: &mut FaultInjector) -> bool {
+    pub fn check_shift(
+        op: ShiftOp,
+        a: u32,
+        sh: u32,
+        observed: u32,
+        inj: &mut FaultInjector,
+    ) -> bool {
         let sh = sh & 31;
         match op {
             ShiftOp::Srl => inj.tap32(sites::CC_RSSE_OUT, a.wrapping_shr(sh)) == observed,
@@ -162,11 +168,7 @@ pub mod modm {
         };
         let lhs = inj.tap32(sites::CC_MOD_OUT, (ra as u64 * rb as u64 % m as u64) as u32);
         let full = ((hi as u64) << 32) | lo as u64;
-        let rhs = if signed {
-            residue(full as i64 as i128, m)
-        } else {
-            residue(full as i128, m)
-        };
+        let rhs = if signed { residue(full as i64 as i128, m) } else { residue(full as i128, m) };
         lhs == inj.tap32(sites::CC_MOD_OUT, rhs)
     }
 
@@ -319,20 +321,20 @@ mod tests {
         assert!(modm::check_div(31, false, 100, 7, 14, 2, &mut inj()));
         assert!(!modm::check_div(31, false, 100, 7, 15, 2, &mut inj()));
         // signed: -100 / 7 = -14 rem -2
-        assert!(modm::check_div(31, true, -100i32 as u32, 7, -14i32 as u32, -2i32 as u32, &mut inj()));
+        assert!(modm::check_div(
+            31,
+            true,
+            -100i32 as u32,
+            7,
+            -14i32 as u32,
+            -2i32 as u32,
+            &mut inj()
+        ));
         // div-by-zero convention: q = !0, r = a  →  b·q = 0 = a − r.
         assert!(modm::check_div(31, false, 55, 0, u32::MAX, 55, &mut inj()));
         // The divider's wrapping corner: i32::MIN / −1 = i32::MIN rem 0
         // must not raise a false positive.
-        assert!(modm::check_div(
-            31,
-            true,
-            0x8000_0000,
-            u32::MAX,
-            0x8000_0000,
-            0,
-            &mut inj()
-        ));
+        assert!(modm::check_div(31, true, 0x8000_0000, u32::MAX, 0x8000_0000, 0, &mut inj()));
     }
 
     proptest! {

@@ -138,7 +138,13 @@ mod tests {
     }
 
     fn binfo(taken: bool) -> BranchInfo {
-        BranchInfo { conditional: true, taken, flag_used: Some(taken), target: None, indirect_dcs: None }
+        BranchInfo {
+            conditional: true,
+            taken,
+            flag_used: Some(taken),
+            target: None,
+            indirect_dcs: None,
+        }
     }
 
     #[test]

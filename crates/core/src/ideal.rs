@@ -26,7 +26,11 @@ pub struct Divergence {
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ideal checker: {} diverged at cycle {} (pc {:#x})", self.field, self.cycle, self.pc)
+        write!(
+            f,
+            "ideal checker: {} diverged at cycle {} (pc {:#x})",
+            self.field, self.cycle, self.pc
+        )
     }
 }
 
@@ -61,7 +65,11 @@ impl IdealChecker {
                 StepOutcome::Committed(g) => break g,
                 StepOutcome::Stalled => continue,
                 StepOutcome::Halted => {
-                    let d = Divergence { field: "extra_commit_after_golden_halt", cycle: rec.cycle, pc: rec.pc };
+                    let d = Divergence {
+                        field: "extra_commit_after_golden_halt",
+                        cycle: rec.cycle,
+                        pc: rec.pc,
+                    };
                     self.divergence = Some(d.clone());
                     return Some(d);
                 }

@@ -229,11 +229,7 @@ fn masked_checker_fault_is_detected_but_harmless() {
 fn scrub_respects_enable_parity() {
     let prog = store_heavy_program();
     let acfg = ArgusConfig { enable_parity: false, ..Default::default() };
-    let ran = run_with(
-        &prog,
-        Some(fault(argus_machine::sites::LSU_ST_BUS, 7, 32, 100)),
-        acfg,
-    );
+    let ran = run_with(&prog, Some(fault(argus_machine::sites::LSU_ST_BUS, 7, 32, 100)), acfg);
     assert!(
         ran.argus.events().iter().all(|e| e.checker != CheckerKind::Parity),
         "parity disabled but parity events raised"

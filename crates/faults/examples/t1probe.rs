@@ -3,9 +3,10 @@ use argus_sim::fault::FaultKind;
 use std::collections::BTreeMap;
 fn main() {
     for kind in [FaultKind::Transient, FaultKind::Permanent] {
-        let rep = run_campaign(&argus_workloads::stress(), &CampaignConfig {
-            injections: 2500, kind, seed: 0xA9_05, ..Default::default()
-        });
+        let rep = run_campaign(
+            &argus_workloads::stress(),
+            &CampaignConfig { injections: 2500, kind, seed: 0xA9_05, ..Default::default() },
+        );
         println!("{}", rep.table_row());
         println!("coverage {:.1}%", 100.0 * rep.unmasked_coverage());
         let mut sdc: BTreeMap<&str, u32> = BTreeMap::new();

@@ -66,6 +66,37 @@ pub enum Outcome {
     MaskedDetected,
 }
 
+impl Outcome {
+    /// All four quadrants in canonical (Table-1 column) order.
+    pub const ALL: [Outcome; 4] = [
+        Outcome::UnmaskedUndetected,
+        Outcome::UnmaskedDetected,
+        Outcome::MaskedUndetected,
+        Outcome::MaskedDetected,
+    ];
+
+    /// Position in [`Outcome::ALL`]; stable across runs, used to index
+    /// per-outcome count arrays in shard tallies and checkpoints.
+    pub fn index(self) -> usize {
+        match self {
+            Outcome::UnmaskedUndetected => 0,
+            Outcome::UnmaskedDetected => 1,
+            Outcome::MaskedUndetected => 2,
+            Outcome::MaskedDetected => 3,
+        }
+    }
+
+    /// Stable snake_case label (JSON keys, report fields).
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::UnmaskedUndetected => "unmasked_undetected",
+            Outcome::UnmaskedDetected => "unmasked_detected",
+            Outcome::MaskedUndetected => "masked_undetected",
+            Outcome::MaskedDetected => "masked_detected",
+        }
+    }
+}
+
 /// One injection's result.
 #[derive(Debug, Clone)]
 pub struct InjectionResult {
@@ -140,16 +171,8 @@ impl CampaignReport {
 
 impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{:9} | unmasked | unmasked | masked   | masked",
-            ""
-        )?;
-        writeln!(
-            f,
-            "{:9} | undet(SDC)| detected | undetect | detected(DME)",
-            "type"
-        )?;
+        writeln!(f, "{:9} | unmasked | unmasked | masked   | masked", "")?;
+        writeln!(f, "{:9} | undet(SDC)| detected | undetect | detected(DME)", "type")?;
         writeln!(f, "{}", self.table_row())?;
         writeln!(f, "unmasked coverage: {:.1}%", 100.0 * self.unmasked_coverage())?;
         writeln!(f, "detection attribution:")?;
@@ -167,6 +190,34 @@ struct GoldenRun {
     digest: u64,
     cycles: u64,
 }
+
+/// Everything a campaign computes once up front and shares across all
+/// injections: the compiled image, the golden-run reference, the hang
+/// window, and the sampled injection points. Immutable after construction,
+/// so worker threads can share one instance (`&PreparedCampaign` is `Sync`).
+pub struct PreparedCampaign {
+    prog: Program,
+    golden_digest: u64,
+    golden_cycles: u64,
+    window: u64,
+    points: Vec<SamplePoint>,
+}
+
+impl PreparedCampaign {
+    /// Number of planned injections.
+    pub fn injections(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Golden (fault-free) run length in cycles.
+    pub fn golden_cycles(&self) -> u64 {
+        self.golden_cycles
+    }
+}
+
+/// Salt separating the per-injection parameter streams (arm cycle +
+/// structural-masking roll) from the site-sampling stream.
+const INJECTION_STREAM_SALT: u64 = 0x5EED;
 
 fn golden_run(prog: &Program, mcfg: MachineConfig) -> GoldenRun {
     let mut m = Machine::new(mcfg);
@@ -221,12 +272,14 @@ fn faulty_run(
     (first, inj.first_flip_cycle(), m.halted(), m.state_digest())
 }
 
-/// Runs a full injection campaign on one workload.
+/// Compiles the workload, takes the golden run, and samples the injection
+/// points — the one-time setup shared by the serial and sharded engines.
 ///
 /// # Panics
 ///
-/// Panics if the workload fails to compile or the golden run does not halt.
-pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> CampaignReport {
+/// Panics if the configuration is inconsistent, the workload fails to
+/// compile, or the golden run does not halt.
+pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign {
     assert!(cfg.mcfg.argus_mode, "campaigns run signature-embedded binaries");
     assert_eq!(
         cfg.ecfg.sig_width, cfg.acfg.sig_width,
@@ -235,50 +288,84 @@ pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> CampaignReport {
     let prog = compile_workload(w, &cfg.ecfg);
     let golden = golden_run(&prog, cfg.mcfg);
     let window = golden.cycles * 2 + cfg.hang_slack;
-
     let inventory = full_inventory();
     let points = sample_points(&inventory, cfg.injections, cfg.seed);
-    let mut arm_rng = SplitMix64::new(cfg.seed ^ 0x5EED);
+    PreparedCampaign {
+        prog,
+        golden_digest: golden.digest,
+        golden_cycles: golden.cycles,
+        window,
+        points,
+    }
+}
 
-    let mut results = Vec::with_capacity(points.len());
+/// Runs and classifies the `index`-th injection of a prepared campaign.
+///
+/// All randomness for one injection comes from its own
+/// [`SplitMix64::stream`] keyed by `(seed, index)`, so the result depends
+/// only on the campaign configuration and the index — never on which thread
+/// runs it or in what order. This is what makes sharded campaigns
+/// bit-identical to serial ones.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn run_injection(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+) -> InjectionResult {
+    let point = prep.points[index];
+    let mut rng = SplitMix64::stream(cfg.seed ^ INJECTION_STREAM_SALT, index as u64);
+    // Arm somewhere in the first 3/4 of the golden execution so the
+    // fault has time to be exercised and detected.
+    let arm_cycle = rng.below((prep.golden_cycles * 3 / 4).max(1));
+    let mut fault = point.fault(cfg.kind, arm_cycle);
+    if rng.next_f64() < cfg.structural_mask {
+        fault.sensitization = 0.0;
+    }
+    let (detection, exercised_at, halted, digest) = faulty_run(&prep.prog, cfg, fault, prep.window);
+
+    let masked = halted && digest == prep.golden_digest;
+    let detected = detection.is_some();
+    let outcome = match (masked, detected) {
+        (false, false) => Outcome::UnmaskedUndetected,
+        (false, true) => Outcome::UnmaskedDetected,
+        (true, false) => Outcome::MaskedUndetected,
+        (true, true) => Outcome::MaskedDetected,
+    };
+    let detector = detection.as_ref().map(|d| d.checker);
+    let detect_latency = match (&detection, exercised_at) {
+        (Some(d), Some(x)) => Some(d.cycle.saturating_sub(x)),
+        _ => None,
+    };
+    InjectionResult {
+        point,
+        arm_cycle,
+        outcome,
+        detector,
+        detect_latency,
+        exercised: exercised_at.is_some(),
+    }
+}
+
+/// Runs a full injection campaign on one workload, serially.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or the golden run does not halt.
+pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> CampaignReport {
+    let prep = prepare_campaign(w, cfg);
+    let mut results = Vec::with_capacity(prep.injections());
     let mut attribution = CounterSet::new();
-    for point in points {
-        // Arm somewhere in the first 3/4 of the golden execution so the
-        // fault has time to be exercised and detected.
-        let arm_cycle = arm_rng.below((golden.cycles * 3 / 4).max(1));
-        let mut fault = point.fault(cfg.kind, arm_cycle);
-        if arm_rng.next_f64() < cfg.structural_mask {
-            fault.sensitization = 0.0;
-        }
-        let (detection, exercised_at, halted, digest) = faulty_run(&prog, cfg, fault, window);
-
-        let masked = halted && digest == golden.digest;
-        let detected = detection.is_some();
-        let outcome = match (masked, detected) {
-            (false, false) => Outcome::UnmaskedUndetected,
-            (false, true) => Outcome::UnmaskedDetected,
-            (true, false) => Outcome::MaskedUndetected,
-            (true, true) => Outcome::MaskedDetected,
-        };
-        let detector = detection.as_ref().map(|d| d.checker);
-        if let Some(k) = detector {
+    for index in 0..prep.injections() {
+        let r = run_injection(&prep, cfg, index);
+        if let Some(k) = r.detector {
             attribution.bump(&k.to_string());
         }
-        let detect_latency = match (&detection, exercised_at) {
-            (Some(d), Some(x)) => Some(d.cycle.saturating_sub(x)),
-            _ => None,
-        };
-        results.push(InjectionResult {
-            point,
-            arm_cycle,
-            outcome,
-            detector,
-            detect_latency,
-            exercised: exercised_at.is_some(),
-        });
+        results.push(r);
     }
-
-    CampaignReport { results, kind: cfg.kind, attribution, golden_cycles: golden.cycles }
+    CampaignReport { results, kind: cfg.kind, attribution, golden_cycles: prep.golden_cycles }
 }
 
 #[cfg(test)]

@@ -30,4 +30,7 @@ pub mod campaign;
 pub mod latency;
 pub mod sites;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, InjectionResult, Outcome};
+pub use campaign::{
+    prepare_campaign, run_campaign, run_injection, CampaignConfig, CampaignReport, InjectionResult,
+    Outcome, PreparedCampaign,
+};

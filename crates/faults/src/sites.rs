@@ -42,9 +42,7 @@ pub fn sample_points(inventory: &[SiteDesc], n: usize, seed: u64) -> Vec<SampleP
     let mut rng = SplitMix64::new(seed);
     (0..n)
         .map(|_| {
-            let idx = rng
-                .weighted_index(&weights)
-                .expect("inventory has positive weights");
+            let idx = rng.weighted_index(&weights).expect("inventory has positive weights");
             let site = inventory[idx];
             let bit = rng.below(site.width as u64) as u8;
             SamplePoint { site, bit }

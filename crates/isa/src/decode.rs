@@ -48,11 +48,7 @@ pub fn try_decode(word: u32) -> Result<Instr, DecodeInstrError> {
             if nslots > crate::encode::SIG_MAX_SLOTS {
                 return Err(err());
             }
-            Instr::Sig {
-                nslots,
-                eob: field(word, 23, 1) == 1,
-                payload: field(word, 0, 15) as u16,
-            }
+            Instr::Sig { nslots, eob: field(word, 23, 1) == 1, payload: field(word, 0, 15) as u16 }
         }
         opc::JR => Instr::JumpReg { link: false, rb },
         opc::JALR => Instr::JumpReg { link: true, rb },
@@ -107,11 +103,9 @@ pub fn try_decode(word: u32) -> Result<Instr, DecodeInstrError> {
             sub::EXTHZ => Instr::Ext { kind: ExtKind::Hz, rd, ra },
             _ => unreachable!("4-bit subop"),
         },
-        opc::SF => Instr::SetFlag {
-            cond: Cond::from_code(field(word, 21, 5)).ok_or_else(err)?,
-            ra,
-            rb,
-        },
+        opc::SF => {
+            Instr::SetFlag { cond: Cond::from_code(field(word, 21, 5)).ok_or_else(err)?, ra, rb }
+        }
         _ => return Err(err()),
     })
 }
@@ -146,7 +140,16 @@ mod tests {
             Instr::JumpReg { link: false, rb: r(9) },
             Instr::JumpReg { link: true, rb: r(11) },
         ];
-        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+        ] {
             v.push(Instr::Alu { op, rd: r(1), ra: r(2), rb: r(3) });
         }
         for op in [MulDivOp::Mul, MulDivOp::Mulu, MulDivOp::Div, MulDivOp::Divu] {
@@ -162,8 +165,16 @@ mod tests {
             v.push(Instr::ShiftImm { op, rd: r(11), ra: r(12), sh: 31 });
         }
         for cond in [
-            Cond::Eq, Cond::Ne, Cond::Gtu, Cond::Geu, Cond::Ltu, Cond::Leu,
-            Cond::Gts, Cond::Ges, Cond::Lts, Cond::Les,
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Gtu,
+            Cond::Geu,
+            Cond::Ltu,
+            Cond::Leu,
+            Cond::Gts,
+            Cond::Ges,
+            Cond::Lts,
+            Cond::Les,
         ] {
             v.push(Instr::SetFlag { cond, ra: r(13), rb: r(14) });
             v.push(Instr::SetFlagImm { cond, ra: r(15), imm: 0x7FFF });

@@ -106,10 +106,7 @@ pub mod sub {
 pub const SIG_MAX_SLOTS: u8 = 3;
 
 fn enc_off26(word: u32, off: i32) -> u32 {
-    assert!(
-        (-(1 << 25)..(1 << 25)).contains(&off),
-        "jump/branch offset {off} out of 26-bit range"
-    );
+    assert!((-(1 << 25)..(1 << 25)).contains(&off), "jump/branch offset {off} out of 26-bit range");
     insert(word, 0, 26, off as u32)
 }
 
@@ -184,9 +181,7 @@ pub fn encode(i: &Instr) -> u32 {
             enc_off26(op(if taken_if { opc::BF } else { opc::BNF }), off)
         }
         Instr::Jump { link, off } => enc_off26(op(if link { opc::JAL } else { opc::J }), off),
-        Instr::JumpReg { link, rb } => {
-            op(if link { opc::JALR } else { opc::JR }) | reg_at(rb, 11)
-        }
+        Instr::JumpReg { link, rb } => op(if link { opc::JALR } else { opc::JR }) | reg_at(rb, 11),
         Instr::Load { size, signed, rd, ra, off } => {
             let o = match (size, signed) {
                 (MemSize::Word, _) => opc::LW,
@@ -279,10 +274,7 @@ pub fn embedded_bits(word: u32) -> Vec<bool> {
         Instr::Sig { nslots, payload, .. } => {
             (0..nslots as u32 * 5).map(|i| (payload >> i) & 1 == 1).collect()
         }
-        _ => unused_bit_positions(word)
-            .into_iter()
-            .map(|pos| (word >> pos) & 1 == 1)
-            .collect(),
+        _ => unused_bit_positions(word).into_iter().map(|pos| (word >> pos) & 1 == 1).collect(),
     }
 }
 
@@ -303,23 +295,15 @@ pub fn op_token(i: &Instr) -> u32 {
         Instr::MulDiv { op, .. } => {
             Instr::MulDiv { op, rd: Reg::ZERO, ra: Reg::ZERO, rb: Reg::ZERO }
         }
-        Instr::AluImm { op, imm, .. } => {
-            Instr::AluImm { op, rd: Reg::ZERO, ra: Reg::ZERO, imm }
-        }
-        Instr::ShiftImm { op, sh, .. } => {
-            Instr::ShiftImm { op, rd: Reg::ZERO, ra: Reg::ZERO, sh }
-        }
+        Instr::AluImm { op, imm, .. } => Instr::AluImm { op, rd: Reg::ZERO, ra: Reg::ZERO, imm },
+        Instr::ShiftImm { op, sh, .. } => Instr::ShiftImm { op, rd: Reg::ZERO, ra: Reg::ZERO, sh },
         Instr::Movhi { imm, .. } => Instr::Movhi { rd: Reg::ZERO, imm },
         Instr::SetFlag { cond, .. } => Instr::SetFlag { cond, ra: Reg::ZERO, rb: Reg::ZERO },
-        Instr::SetFlagImm { cond, imm, .. } => {
-            Instr::SetFlagImm { cond, ra: Reg::ZERO, imm }
-        }
+        Instr::SetFlagImm { cond, imm, .. } => Instr::SetFlagImm { cond, ra: Reg::ZERO, imm },
         Instr::Load { size, signed, off, .. } => {
             Instr::Load { size, signed, rd: Reg::ZERO, ra: Reg::ZERO, off }
         }
-        Instr::Store { size, off, .. } => {
-            Instr::Store { size, ra: Reg::ZERO, rb: Reg::ZERO, off }
-        }
+        Instr::Store { size, off, .. } => Instr::Store { size, ra: Reg::ZERO, rb: Reg::ZERO, off },
         Instr::JumpReg { link, .. } => Instr::JumpReg { link, rb: Reg::ZERO },
         other => other,
     };

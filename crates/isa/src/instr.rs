@@ -335,10 +335,7 @@ pub enum Instr {
 impl Instr {
     /// True for control-transfer instructions (all have one delay slot).
     pub fn is_cti(&self) -> bool {
-        matches!(
-            self,
-            Instr::Branch { .. } | Instr::Jump { .. } | Instr::JumpReg { .. }
-        )
+        matches!(self, Instr::Branch { .. } | Instr::Jump { .. } | Instr::JumpReg { .. })
     }
 
     /// The register written by this instruction, if any. `r0` writes are
@@ -556,8 +553,9 @@ mod tests {
         assert!(!Instr::Nop.is_cti());
         assert!(Instr::Branch { taken_if: false, off: 0 }.reads_flag());
         assert!(Instr::SetFlag { cond: Cond::Eq, ra: r(1), rb: r(2) }.writes_flag());
-        assert!(Instr::Load { size: MemSize::Byte, signed: true, rd: r(1), ra: r(2), off: 0 }
-            .is_mem());
+        assert!(
+            Instr::Load { size: MemSize::Byte, signed: true, rd: r(1), ra: r(2), off: 0 }.is_mem()
+        );
         assert!(Instr::MulDiv { op: MulDivOp::Div, rd: r(1), ra: r(2), rb: r(3) }.is_muldiv());
     }
 

@@ -58,7 +58,16 @@ mod tests {
     #[test]
     fn fault_free_matches_pure_semantics() {
         let mut inj = FaultInjector::none();
-        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+        ] {
             assert_eq!(execute(op, 0xF0F0, 5, &mut inj), exec::alu(op, 0xF0F0, 5));
         }
     }
@@ -90,9 +99,6 @@ mod tests {
         });
         inj.set_cycle(0);
         assert_eq!(execute_ext(ExtKind::Bz, 0xFF, &mut inj), 0x8000_00FF);
-        assert_eq!(
-            execute_shift_imm(ShiftOp::Srl, 0x8000_0000, 1, &mut inj),
-            0xC000_0000
-        );
+        assert_eq!(execute_shift_imm(ShiftOp::Srl, 0x8000_0000, 1, &mut inj), 0xC000_0000);
     }
 }

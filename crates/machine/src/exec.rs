@@ -94,10 +94,7 @@ pub fn divide(op: MulDivOp, a: u32, b: u32) -> (u32, u32) {
                 // i32::MIN / -1 overflows; define it as wrapping.
                 (0x8000_0000, 0)
             } else {
-                (
-                    ((a as i32) / (b as i32)) as u32,
-                    ((a as i32) % (b as i32)) as u32,
-                )
+                (((a as i32) / (b as i32)) as u32, ((a as i32) % (b as i32)) as u32)
             }
         }
         MulDivOp::Divu => {
@@ -119,11 +116,19 @@ pub fn align_load(word: u32, byte_off: u32, size: MemSize, signed: bool) -> u32 
         MemSize::Word => word,
         MemSize::Half => {
             let half = (word >> (8 * (byte_off & 2))) & 0xFFFF;
-            if signed { sign_extend(half, 16) } else { half }
+            if signed {
+                sign_extend(half, 16)
+            } else {
+                half
+            }
         }
         MemSize::Byte => {
             let byte = (word >> (8 * byte_off)) & 0xFF;
-            if signed { sign_extend(byte, 8) } else { byte }
+            if signed {
+                sign_extend(byte, 8)
+            } else {
+                byte
+            }
         }
     }
 }

@@ -16,12 +16,38 @@ use argus_sim::fault::FaultInjector;
 /// Per-register fault-site names for the register file cells (one site per
 /// architectural register, so a permanent fault is pinned to one cell).
 pub const RF_CELL_SITES: [&str; 32] = [
-    "rf_cell_r0", "rf_cell_r1", "rf_cell_r2", "rf_cell_r3", "rf_cell_r4", "rf_cell_r5",
-    "rf_cell_r6", "rf_cell_r7", "rf_cell_r8", "rf_cell_r9", "rf_cell_r10", "rf_cell_r11",
-    "rf_cell_r12", "rf_cell_r13", "rf_cell_r14", "rf_cell_r15", "rf_cell_r16", "rf_cell_r17",
-    "rf_cell_r18", "rf_cell_r19", "rf_cell_r20", "rf_cell_r21", "rf_cell_r22", "rf_cell_r23",
-    "rf_cell_r24", "rf_cell_r25", "rf_cell_r26", "rf_cell_r27", "rf_cell_r28", "rf_cell_r29",
-    "rf_cell_r30", "rf_cell_r31",
+    "rf_cell_r0",
+    "rf_cell_r1",
+    "rf_cell_r2",
+    "rf_cell_r3",
+    "rf_cell_r4",
+    "rf_cell_r5",
+    "rf_cell_r6",
+    "rf_cell_r7",
+    "rf_cell_r8",
+    "rf_cell_r9",
+    "rf_cell_r10",
+    "rf_cell_r11",
+    "rf_cell_r12",
+    "rf_cell_r13",
+    "rf_cell_r14",
+    "rf_cell_r15",
+    "rf_cell_r16",
+    "rf_cell_r17",
+    "rf_cell_r18",
+    "rf_cell_r19",
+    "rf_cell_r20",
+    "rf_cell_r21",
+    "rf_cell_r22",
+    "rf_cell_r23",
+    "rf_cell_r24",
+    "rf_cell_r25",
+    "rf_cell_r26",
+    "rf_cell_r27",
+    "rf_cell_r28",
+    "rf_cell_r29",
+    "rf_cell_r30",
+    "rf_cell_r31",
 ];
 
 /// Core configuration.
@@ -373,9 +399,8 @@ impl Machine {
             Instr::Branch { taken_if, off } => {
                 let f = inj.tap1(sites::FLAG_READ, self.flag);
                 let taken = inj.tap1(sites::BR_TAKEN, f == taken_if);
-                let target = taken.then(|| {
-                    inj.tap32(sites::BR_TARGET, pc.wrapping_add((off as u32) << 2))
-                });
+                let target =
+                    taken.then(|| inj.tap32(sites::BR_TARGET, pc.wrapping_add((off as u32) << 2)));
                 new_pending = target;
                 branch = Some(BranchInfo {
                     conditional: true,
@@ -424,7 +449,8 @@ impl Machine {
                 let addr = alu::execute_addr(base, off, inj);
                 let ali = exec::align_addr(addr, size);
                 let word_addr = ali & !3;
-                let a_xor = if argus { inj.tap32(sites::LSU_ADDR_XOR, word_addr) } else { word_addr };
+                let a_xor =
+                    if argus { inj.tap32(sites::LSU_ADDR_XOR, word_addr) } else { word_addr };
                 let a_row = inj.tap32(sites::DMEM_ROW_ADDR, word_addr);
                 let fallback = self.cfg.mem.hit_cycles + self.cfg.mem.miss_penalty;
                 let (payload, tag, lat) =
@@ -457,7 +483,8 @@ impl Machine {
                 let addr = alu::execute_addr(base, off, inj);
                 let ali = exec::align_addr(addr, size);
                 let word_addr = ali & !3;
-                let a_xor = if argus { inj.tap32(sites::LSU_ADDR_XOR, word_addr) } else { word_addr };
+                let a_xor =
+                    if argus { inj.tap32(sites::LSU_ADDR_XOR, word_addr) } else { word_addr };
                 let a_row = inj.tap32(sites::DMEM_ROW_ADDR, word_addr);
                 let data1 = inj.tap32(sites::LSU_ST_BUS, data0);
                 let (payload, tag, merged_opt, raw_word) =
@@ -469,8 +496,7 @@ impl Machine {
                         // Read-modify-write: recover the old word, merge the
                         // sub-word, regenerate parity locally (the paper's
                         // residual sub-word store vulnerability).
-                        let (oldp, _oldt) =
-                            self.mem.memory().read(a_row).unwrap_or((0, false));
+                        let (oldp, _oldt) = self.mem.memory().read(a_row).unwrap_or((0, false));
                         let old_d = if argus { oldp ^ a_xor } else { oldp };
                         let merged = exec::merge_store(old_d, ali & 3, size, data1);
                         let m = inj.tap32(sites::LSU_ST_MERGE, merged);
@@ -478,10 +504,7 @@ impl Machine {
                         (payload, parity32(m), Some(m), old_d)
                     };
                 let fallback = self.cfg.mem.hit_cycles + self.cfg.mem.miss_penalty;
-                let lat = self
-                    .mem
-                    .store_word_tagged(a_row, payload, tag)
-                    .unwrap_or(fallback);
+                let lat = self.mem.store_word_tagged(a_row, payload, tag).unwrap_or(fallback);
                 mem_cycles = lat.saturating_sub(1);
                 memacc = Some(MemAccess {
                     is_store: true,
@@ -512,11 +535,7 @@ impl Machine {
 
         // Resolve the next PC: a pending branch applies after its delay slot.
         let seq = pc.wrapping_add(4);
-        let next = if in_delay_slot {
-            self.pending_branch.take().unwrap_or(seq)
-        } else {
-            seq
-        };
+        let next = if in_delay_slot { self.pending_branch.take().unwrap_or(seq) } else { seq };
         if instr.is_cti() {
             self.pending_branch = new_pending;
             self.delay_slot = true;
@@ -587,10 +606,7 @@ trait MulDivExt {
 
 impl MulDivExt for argus_isa::instr::MulDivOp {
     fn is_div(&self) -> bool {
-        matches!(
-            self,
-            argus_isa::instr::MulDivOp::Div | argus_isa::instr::MulDivOp::Divu
-        )
+        matches!(self, argus_isa::instr::MulDivOp::Div | argus_isa::instr::MulDivOp::Divu)
     }
 }
 
@@ -603,10 +619,7 @@ mod tests {
 
     fn run_program(prog: &[Instr], argus_mode: bool) -> Machine {
         let words: Vec<u32> = prog.iter().map(encode).collect();
-        let mut m = Machine::new(MachineConfig {
-            argus_mode,
-            ..MachineConfig::default()
-        });
+        let mut m = Machine::new(MachineConfig { argus_mode, ..MachineConfig::default() });
         m.load_code(0, &words);
         let mut inj = FaultInjector::none();
         let res = m.run_to_halt(&mut inj, 1_000_000);
@@ -682,7 +695,7 @@ mod tests {
         let m = run_program(
             &[
                 Instr::Jump { link: true, off: 4 }, // to word 4
-                Instr::Nop,                          // delay slot
+                Instr::Nop,                         // delay slot
                 Instr::AluImm { op: AluImmOp::Addi, rd: r(6), ra: r(5), imm: 1 },
                 Instr::Halt,
                 // fn:
@@ -724,7 +737,13 @@ mod tests {
                 &[
                     Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 0x77 },
                     Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(3), off: 0x100 },
-                    Instr::Load { size: MemSize::Word, signed: false, rd: r(4), ra: Reg::ZERO, off: 0x100 },
+                    Instr::Load {
+                        size: MemSize::Word,
+                        signed: false,
+                        rd: r(4),
+                        ra: Reg::ZERO,
+                        off: 0x100,
+                    },
                     Instr::Halt,
                 ],
                 mode,
@@ -768,17 +787,11 @@ mod tests {
     #[test]
     fn state_digest_distinguishes_states() {
         let a = run_program(
-            &[
-                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 1 },
-                Instr::Halt,
-            ],
+            &[Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 1 }, Instr::Halt],
             false,
         );
         let b = run_program(
-            &[
-                Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 2 },
-                Instr::Halt,
-            ],
+            &[Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 2 }, Instr::Halt],
             false,
         );
         assert_ne!(a.state_digest(), b.state_digest());
@@ -824,8 +837,8 @@ mod tests {
             &[
                 sig,
                 Instr::Jump { link: true, off: 3 }, // to word 4
-                Instr::Nop,                          // delay slot
-                Instr::Halt,                         // (skipped: jal target is halt below)
+                Instr::Nop,                         // delay slot
+                Instr::Halt,                        // (skipped: jal target is halt below)
                 Instr::Halt,
             ],
             true,
@@ -851,10 +864,7 @@ mod tests {
         match m.step(&mut inj) {
             StepOutcome::Committed(rec) => {
                 assert_eq!(rec.embedded_bits.len(), 7);
-                assert_eq!(
-                    rec.embedded_bits,
-                    vec![true, false, true, false, true, false, true]
-                );
+                assert_eq!(rec.embedded_bits, vec![true, false, true, false, true, false, true]);
             }
             other => panic!("expected commit, got {other:?}"),
         }

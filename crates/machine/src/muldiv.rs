@@ -21,17 +21,11 @@ pub fn execute(op: MulDivOp, a: u32, b: u32, inj: &mut FaultInjector) -> MulDivR
     match op {
         MulDivOp::Mul | MulDivOp::Mulu => {
             let (lo, hi) = exec::multiply(op, a, b);
-            MulDivResult {
-                value: inj.tap32(sites::MUL_LO, lo),
-                aux: inj.tap32(sites::MUL_HI, hi),
-            }
+            MulDivResult { value: inj.tap32(sites::MUL_LO, lo), aux: inj.tap32(sites::MUL_HI, hi) }
         }
         MulDivOp::Div | MulDivOp::Divu => {
             let (q, r) = exec::divide(op, a, b);
-            MulDivResult {
-                value: inj.tap32(sites::DIV_Q, q),
-                aux: inj.tap32(sites::DIV_R, r),
-            }
+            MulDivResult { value: inj.tap32(sites::DIV_Q, q), aux: inj.tap32(sites::DIV_R, r) }
         }
     }
 }

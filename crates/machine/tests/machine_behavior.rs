@@ -104,7 +104,13 @@ fn r0_writes_are_dropped_in_all_writeback_paths() {
             Instr::Movhi { rd: Reg::ZERO, imm: 0xFFFF },
             Instr::MulDiv { op: MulDivOp::Mul, rd: Reg::ZERO, ra: r(1), rb: r(1) },
             Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: Reg::ZERO, off: 0x100 },
-            Instr::Load { size: MemSize::Word, signed: false, rd: Reg::ZERO, ra: Reg::ZERO, off: 0x100 },
+            Instr::Load {
+                size: MemSize::Word,
+                signed: false,
+                rd: Reg::ZERO,
+                ra: Reg::ZERO,
+                off: 0x100,
+            },
             Instr::Halt,
         ],
         true,

@@ -35,10 +35,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4);
         assert!(self.ways >= 1, "cache needs at least one way");
         let lines = self.size_bytes / self.line_bytes;
-        assert!(
-            lines % self.ways == 0 && lines >= self.ways,
-            "capacity/line/ways mismatch"
-        );
+        assert!(lines % self.ways == 0 && lines >= self.ways, "capacity/line/ways mismatch");
         let sets = lines / self.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets

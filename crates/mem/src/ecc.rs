@@ -85,8 +85,7 @@ pub fn decode(word: u32, check: u8) -> EccOutcome {
     let syndrome = (hamming_bits(word) ^ stored_hamming) as u32;
     // Parity of the received codeword as a whole: even (false) when clean
     // or after a double error, odd (true) for any single error.
-    let total_odd =
-        parity32(word) ^ (check.count_ones() % 2 == 1);
+    let total_odd = parity32(word) ^ (check.count_ones() % 2 == 1);
 
     match (syndrome, total_odd) {
         (0, false) => EccOutcome::Clean,

@@ -1,0 +1,409 @@
+//! Campaign checkpoint files: periodic serialization of per-shard progress
+//! so an interrupted campaign can resume without repeating work.
+//!
+//! The file is hand-rolled JSON (see [`crate::json`]); it records a
+//! fingerprint of the campaign configuration (so a stale file is never
+//! silently applied to a different campaign) plus, per shard, the contiguous
+//! index range, how many injections of it are complete, and the tallies
+//! accumulated from them. Shards process their slice in index order, so
+//! `done` fully describes *which* injections the tallies cover.
+
+use crate::json::Json;
+use argus_sim::fault::FaultKind;
+use argus_sim::stats::{CounterSet, Histogram};
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Current file format version.
+const VERSION: u64 = 1;
+
+/// Identifies a campaign; a checkpoint only resumes a campaign with an
+/// identical fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Workload name.
+    pub workload: String,
+    /// Total planned injections.
+    pub injections: usize,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// `"transient"` or `"permanent"`.
+    pub kind: FaultKind,
+    /// Structural-masking probability.
+    pub structural_mask: f64,
+    /// Shard count (ranges depend on it).
+    pub shards: usize,
+}
+
+impl Fingerprint {
+    fn kind_str(&self) -> &'static str {
+        match self.kind {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+        }
+    }
+}
+
+/// One shard's saved progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// First injection index owned by the shard.
+    pub start: usize,
+    /// One past the last owned index.
+    pub end: usize,
+    /// Completed injections (`start..start + done` are done).
+    pub done: usize,
+    /// Per-outcome counts over the completed injections, indexed like
+    /// `Outcome::ALL`.
+    pub outcomes: [u64; 4],
+    /// How many completed injections actually corrupted a signal.
+    pub exercised: u64,
+    /// First-detector attribution over the completed injections.
+    pub attribution: CounterSet,
+    /// Detection-latency samples over the completed injections.
+    pub latency: Histogram,
+}
+
+impl ShardCheckpoint {
+    /// Fresh, empty progress for one slice.
+    pub fn empty(start: usize, end: usize) -> Self {
+        Self {
+            start,
+            end,
+            done: 0,
+            outcomes: [0; 4],
+            exercised: 0,
+            attribution: CounterSet::new(),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// A whole campaign checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Which campaign this file belongs to.
+    pub fingerprint: Fingerprint,
+    /// Per-shard progress, in shard order.
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+/// Why loading a checkpoint failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Unparseable or structurally wrong file.
+    Corrupt(String),
+    /// A valid file for a *different* campaign.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            Self::Mismatch(m) => {
+                write!(f, "checkpoint belongs to a different campaign: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(msg.into())
+}
+
+impl Checkpoint {
+    /// Total completed injections across all shards.
+    pub fn completed(&self) -> usize {
+        self.shards.iter().map(|s| s.done).sum()
+    }
+
+    /// Serializes to the JSON document format.
+    pub fn to_json(&self) -> Json {
+        let fp = &self.fingerprint;
+        Json::obj()
+            .set("version", VERSION)
+            .set(
+                "fingerprint",
+                Json::obj()
+                    .set("workload", fp.workload.as_str())
+                    .set("injections", fp.injections)
+                    .set("seed", fp.seed)
+                    .set("kind", fp.kind_str())
+                    .set("structural_mask", fp.structural_mask)
+                    .set("shards", fp.shards),
+            )
+            .set("shards", Json::Arr(self.shards.iter().map(shard_to_json).collect()))
+    }
+
+    /// Parses the JSON document format.
+    pub fn from_json(doc: &Json) -> Result<Self, CheckpointError> {
+        let version = field_u64(doc, "version")?;
+        if version != VERSION {
+            return Err(corrupt(format!("unsupported checkpoint version {version}")));
+        }
+        let fp = doc.get("fingerprint").ok_or_else(|| corrupt("missing fingerprint"))?;
+        let kind = match field_str(fp, "kind")? {
+            "transient" => FaultKind::Transient,
+            "permanent" => FaultKind::Permanent,
+            other => return Err(corrupt(format!("unknown fault kind `{other}`"))),
+        };
+        let fingerprint = Fingerprint {
+            workload: field_str(fp, "workload")?.to_owned(),
+            injections: field_u64(fp, "injections")? as usize,
+            seed: field_u64(fp, "seed")?,
+            kind,
+            structural_mask: fp
+                .get("structural_mask")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| corrupt("missing structural_mask"))?,
+            shards: field_u64(fp, "shards")? as usize,
+        };
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("missing shards array"))?
+            .iter()
+            .map(shard_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if shards.len() != fingerprint.shards {
+            return Err(corrupt("shard array length disagrees with fingerprint"));
+        }
+        for s in &shards {
+            if s.start > s.end || s.done > s.end - s.start {
+                return Err(corrupt("shard progress out of range"));
+            }
+        }
+        Ok(Self { fingerprint, shards })
+    }
+
+    /// Atomically writes the checkpoint (`path.tmp` + rename), so a crash
+    /// mid-write never destroys the previous good checkpoint.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().to_string_compact().as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads and validates a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text).map_err(|e| corrupt(e.to_string()))?;
+        Self::from_json(&doc)
+    }
+
+    /// Errors unless `other` describes the same campaign.
+    pub fn check_matches(&self, expected: &Fingerprint) -> Result<(), CheckpointError> {
+        let got = &self.fingerprint;
+        let mut diffs = Vec::new();
+        if got.workload != expected.workload {
+            diffs.push(format!("workload {} != {}", got.workload, expected.workload));
+        }
+        if got.injections != expected.injections {
+            diffs.push(format!("injections {} != {}", got.injections, expected.injections));
+        }
+        if got.seed != expected.seed {
+            diffs.push(format!("seed {:#x} != {:#x}", got.seed, expected.seed));
+        }
+        if got.kind != expected.kind {
+            diffs.push(format!("kind {:?} != {:?}", got.kind, expected.kind));
+        }
+        if got.structural_mask != expected.structural_mask {
+            diffs.push(format!(
+                "structural_mask {} != {}",
+                got.structural_mask, expected.structural_mask
+            ));
+        }
+        if got.shards != expected.shards {
+            diffs.push(format!("shards {} != {}", got.shards, expected.shards));
+        }
+        if diffs.is_empty() {
+            Ok(())
+        } else {
+            Err(CheckpointError::Mismatch(diffs.join("; ")))
+        }
+    }
+}
+
+fn shard_to_json(s: &ShardCheckpoint) -> Json {
+    Json::obj()
+        .set("start", s.start)
+        .set("end", s.end)
+        .set("done", s.done)
+        .set("outcomes", Json::Arr(s.outcomes.iter().map(|&c| c.into()).collect()))
+        .set("exercised", s.exercised)
+        .set(
+            "attribution",
+            Json::Obj(s.attribution.iter().map(|(k, v)| (k.to_owned(), v.into())).collect()),
+        )
+        .set(
+            "latency",
+            Json::obj()
+                .set("buckets", Json::Arr(s.latency.buckets().iter().map(|&c| c.into()).collect()))
+                .set("count", s.latency.count())
+                // u128 sum is stored as a decimal string to avoid f64 loss.
+                .set("sum", s.latency.sum().to_string())
+                .set("min", s.latency.min().map_or(Json::Null, Json::from))
+                .set("max", s.latency.max().map_or(Json::Null, Json::from)),
+        )
+}
+
+fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
+    let outcomes_arr =
+        doc.get("outcomes").and_then(Json::as_arr).ok_or_else(|| corrupt("missing outcomes"))?;
+    if outcomes_arr.len() != 4 {
+        return Err(corrupt("outcomes must have 4 entries"));
+    }
+    let mut outcomes = [0u64; 4];
+    for (slot, v) in outcomes.iter_mut().zip(outcomes_arr) {
+        *slot = v.as_u64().ok_or_else(|| corrupt("bad outcome count"))?;
+    }
+    let mut attribution = CounterSet::new();
+    for (k, v) in doc
+        .get("attribution")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| corrupt("missing attribution"))?
+    {
+        attribution.add(k, v.as_u64().ok_or_else(|| corrupt("bad attribution count"))?);
+    }
+    let lat = doc.get("latency").ok_or_else(|| corrupt("missing latency"))?;
+    let buckets = lat
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| corrupt("missing latency buckets"))?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| corrupt("bad latency bucket")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let sum: u128 = field_str(lat, "sum")?.parse().map_err(|_| corrupt("bad latency sum"))?;
+    let latency = Histogram::from_parts(
+        buckets,
+        field_u64(lat, "count")?,
+        sum,
+        lat.get("min").and_then(Json::as_u64),
+        lat.get("max").and_then(Json::as_u64),
+    );
+    Ok(ShardCheckpoint {
+        start: field_u64(doc, "start")? as usize,
+        end: field_u64(doc, "end")? as usize,
+        done: field_u64(doc, "done")? as usize,
+        outcomes,
+        exercised: field_u64(doc, "exercised")?,
+        attribution,
+        latency,
+    })
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, CheckpointError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(format!("missing or non-integer `{key}`")))
+}
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, CheckpointError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("missing or non-string `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut attribution = CounterSet::new();
+        attribution.add("dcs", 9);
+        attribution.add("computation: adder", 4);
+        let mut latency = Histogram::new();
+        for v in [1u64, 30, 500, 70_000] {
+            latency.record(v);
+        }
+        Checkpoint {
+            fingerprint: Fingerprint {
+                workload: "stress".into(),
+                injections: 1000,
+                seed: 0xA905,
+                kind: FaultKind::Transient,
+                structural_mask: 0.3,
+                shards: 2,
+            },
+            shards: vec![
+                ShardCheckpoint {
+                    start: 0,
+                    end: 500,
+                    done: 123,
+                    outcomes: [3, 80, 30, 10],
+                    exercised: 90,
+                    attribution,
+                    latency,
+                },
+                ShardCheckpoint::empty(500, 1000),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let cp = sample();
+        let text = cp.to_json().to_string_compact();
+        let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.completed(), 123);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("argus-orch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_roundtrip.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_detected() {
+        let cp = sample();
+        let mut other = cp.fingerprint.clone();
+        other.seed ^= 1;
+        other.shards = 4;
+        let err = cp.check_matches(&other).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("shards"), "{msg}");
+        assert!(cp.check_matches(&cp.fingerprint).is_ok());
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        assert!(matches!(
+            Checkpoint::from_json(&Json::parse("{}").unwrap()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let mut doc = sample().to_json();
+        doc = doc.set("version", 99u64);
+        assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+        // Shard progress beyond its slice length.
+        let mut cp = sample();
+        cp.shards[0].done = 501;
+        let doc = cp.to_json();
+        assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+    }
+}

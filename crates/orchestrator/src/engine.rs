@@ -1,0 +1,421 @@
+//! The sharded campaign engine.
+//!
+//! A campaign of `n` injections is split into `shards` contiguous index
+//! slices, one worker thread per shard. Every injection draws all of its
+//! randomness from a private stream keyed by `(seed, injection index)`
+//! (see `argus_faults::run_injection`), so the merged tallies are
+//! bit-identical to the serial engine for any shard count.
+//!
+//! The engine supports:
+//!
+//! * **checkpoint/resume** — per-shard progress and tallies are flushed to a
+//!   JSON state file periodically and on exit; a later run with `resume`
+//!   picks up exactly where the file left off;
+//! * **graceful cancellation** — a shared stop flag (wired to Ctrl-C by the
+//!   CLI) makes every worker break after its current injection, and a final
+//!   checkpoint is flushed before returning;
+//! * **live observability** — workers publish to a shared [`Progress`]
+//!   (atomics only on the hot path) that any thread can snapshot.
+
+use crate::checkpoint::{Checkpoint, CheckpointError, Fingerprint, ShardCheckpoint};
+use crate::json::Json;
+use crate::progress::Progress;
+use argus_faults::campaign::{prepare_campaign, run_injection, CampaignConfig, InjectionResult};
+use argus_faults::Outcome;
+use argus_sim::fault::FaultKind;
+use argus_sim::stats::{CounterSet, Histogram};
+use argus_workloads::Workload;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Orchestration knobs on top of a [`CampaignConfig`].
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Worker thread / slice count (≥ 1).
+    pub shards: usize,
+    /// Where to write checkpoints; `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Minimum time between periodic checkpoint flushes.
+    pub checkpoint_interval: Duration,
+    /// Load prior progress from `checkpoint_path` before starting.
+    pub resume: bool,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            checkpoint_path: None,
+            checkpoint_interval: Duration::from_secs(5),
+            resume: false,
+        }
+    }
+}
+
+/// Aggregated results of a sharded campaign. Unlike the serial
+/// `CampaignReport` this holds only merged tallies, not per-injection
+/// records — that is what makes checkpoints small and merging cheap.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Per-outcome counts over completed injections, indexed like
+    /// [`Outcome::ALL`].
+    pub outcomes: [u64; 4],
+    /// First-detector attribution over completed injections.
+    pub attribution: CounterSet,
+    /// Detection-latency distribution (cycles from first corruption to
+    /// detection) over completed, detected injections.
+    pub latency: Histogram,
+    /// Completed injections that actually corrupted a signal.
+    pub exercised: u64,
+    /// Completed injections (equals `total` unless cancelled).
+    pub completed: usize,
+    /// Injections completed by this run (excludes resumed work).
+    pub completed_this_run: usize,
+    /// Planned injections.
+    pub total: usize,
+    /// Fault kind injected.
+    pub kind: FaultKind,
+    /// Golden run length in cycles.
+    pub golden_cycles: u64,
+    /// Wall-clock time of this run (setup + injection loop).
+    pub elapsed: Duration,
+    /// Shard count used.
+    pub shards: usize,
+    /// True when the stop flag cut the campaign short.
+    pub interrupted: bool,
+}
+
+impl ShardedReport {
+    /// Count of one outcome.
+    pub fn count(&self, o: Outcome) -> u64 {
+        self.outcomes[o.index()]
+    }
+
+    /// Fraction of one outcome over completed injections (0.0 when empty).
+    pub fn fraction(&self, o: Outcome) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.count(o) as f64 / self.completed as f64
+        }
+    }
+
+    /// Coverage of unmasked errors: detected / (detected + undetected).
+    pub fn unmasked_coverage(&self) -> f64 {
+        let d = self.count(Outcome::UnmaskedDetected) as f64;
+        let u = self.count(Outcome::UnmaskedUndetected) as f64;
+        if d + u == 0.0 {
+            1.0
+        } else {
+            d / (d + u)
+        }
+    }
+
+    /// Injections per second achieved by this run.
+    pub fn rate(&self) -> f64 {
+        if self.elapsed.as_secs_f64() > 1e-9 {
+            self.completed_this_run as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// The final structured report rendered by `argus campaign --json`.
+    pub fn to_json(&self) -> Json {
+        let mut outcomes = Json::obj();
+        let mut fractions = Json::obj();
+        for o in Outcome::ALL {
+            outcomes = outcomes.set(o.label(), self.count(o));
+            fractions = fractions.set(o.label(), self.fraction(o));
+        }
+        Json::obj()
+            .set(
+                "kind",
+                match self.kind {
+                    FaultKind::Transient => "transient",
+                    FaultKind::Permanent => "permanent",
+                },
+            )
+            .set("total", self.total)
+            .set("completed", self.completed)
+            .set("completed_this_run", self.completed_this_run)
+            .set("interrupted", self.interrupted)
+            .set("shards", self.shards)
+            .set("elapsed_seconds", self.elapsed.as_secs_f64())
+            .set("injections_per_second", self.rate())
+            .set("golden_cycles", self.golden_cycles)
+            .set("outcomes", outcomes)
+            .set("fractions", fractions)
+            .set("unmasked_coverage", self.unmasked_coverage())
+            .set("exercised", self.exercised)
+            .set(
+                "attribution",
+                Json::Obj(self.attribution.iter().map(|(k, v)| (k.to_owned(), v.into())).collect()),
+            )
+            .set(
+                "detect_latency",
+                Json::obj()
+                    .set("count", self.latency.count())
+                    .set("mean", self.latency.mean())
+                    .set("p50", self.latency.percentile(0.5).map_or(Json::Null, Json::from))
+                    .set("p99", self.latency.percentile(0.99).map_or(Json::Null, Json::from))
+                    .set("max", self.latency.max().map_or(Json::Null, Json::from)),
+            )
+    }
+}
+
+/// Errors surfaced by the sharded engine (worker panics still propagate as
+/// panics, like the serial engine's).
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// Checkpoint loading/validation/saving failed.
+    Checkpoint(CheckpointError),
+    /// Nonsensical orchestration config.
+    Config(String),
+}
+
+impl std::fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "{e}"),
+            Self::Config(m) => write!(f, "bad orchestrator config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+impl From<CheckpointError> for OrchestratorError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// Splits `0..n` into `shards` contiguous slices whose lengths differ by at
+/// most one (the first `n % shards` slices are one longer).
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(shards > 0, "need at least one shard");
+    let base = n / shards;
+    let extra = n % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut at = 0;
+    for k in 0..shards {
+        let len = base + usize::from(k < extra);
+        ranges.push(at..at + len);
+        at += len;
+    }
+    ranges
+}
+
+/// Per-shard mutable tallies; locked briefly after each injection so the
+/// checkpointer can snapshot a consistent (done, tallies) pair.
+struct ShardState {
+    cp: ShardCheckpoint,
+}
+
+impl ShardState {
+    fn apply(&mut self, r: &InjectionResult) {
+        self.cp.done += 1;
+        self.cp.outcomes[r.outcome.index()] += 1;
+        if r.exercised {
+            self.cp.exercised += 1;
+        }
+        if let Some(k) = r.detector {
+            self.cp.attribution.bump(&k.to_string());
+        }
+        if let Some(l) = r.detect_latency {
+            self.cp.latency.record(l);
+        }
+    }
+}
+
+/// Runs a sharded, checkpointable, cancellable campaign.
+///
+/// `stop` is polled between injections on every shard; once set, workers
+/// drain and a final checkpoint is written. `progress` must have been
+/// created with the same shard count.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile, the golden run does not halt
+/// (same contract as the serial engine), or `progress` disagrees on the
+/// shard count.
+pub fn run_sharded(
+    w: &Workload,
+    cfg: &CampaignConfig,
+    ocfg: &OrchestratorConfig,
+    stop: &AtomicBool,
+    progress: &Progress,
+) -> Result<ShardedReport, OrchestratorError> {
+    if ocfg.shards == 0 {
+        return Err(OrchestratorError::Config("shards must be >= 1".into()));
+    }
+    assert_eq!(progress.shards(), ocfg.shards, "progress was created for a different shard count");
+    let started = Instant::now();
+
+    let fingerprint = Fingerprint {
+        workload: w.name.to_owned(),
+        injections: cfg.injections,
+        seed: cfg.seed,
+        kind: cfg.kind,
+        structural_mask: cfg.structural_mask,
+        shards: ocfg.shards,
+    };
+
+    // Fresh shard slices, or the ones saved by an earlier interrupted run.
+    let ranges = shard_ranges(cfg.injections, ocfg.shards);
+    let mut initial: Vec<ShardCheckpoint> =
+        ranges.iter().map(|r| ShardCheckpoint::empty(r.start, r.end)).collect();
+    if ocfg.resume {
+        let path = ocfg
+            .checkpoint_path
+            .as_deref()
+            .ok_or_else(|| OrchestratorError::Config("--resume needs a checkpoint path".into()))?;
+        if path.exists() {
+            let saved = Checkpoint::load(path)?;
+            saved.check_matches(&fingerprint)?;
+            initial = saved.shards;
+        }
+    }
+
+    let resumed: usize = initial.iter().map(|s| s.done).sum();
+    let mut resumed_outcomes = [0u64; 4];
+    for s in &initial {
+        for (acc, &c) in resumed_outcomes.iter_mut().zip(s.outcomes.iter()) {
+            *acc += c;
+        }
+    }
+    let per_shard_done: Vec<u64> = initial.iter().map(|s| s.done as u64).collect();
+    progress.begin(cfg.injections as u64, resumed as u64, resumed_outcomes, &per_shard_done);
+
+    let prep = prepare_campaign(w, cfg);
+    let states: Vec<Mutex<ShardState>> =
+        initial.into_iter().map(|cp| Mutex::new(ShardState { cp })).collect();
+    let live_workers = AtomicUsize::new(ocfg.shards);
+
+    let snapshot_all = |states: &[Mutex<ShardState>]| -> Checkpoint {
+        Checkpoint {
+            fingerprint: fingerprint.clone(),
+            shards: states.iter().map(|m| m.lock().unwrap().cp.clone()).collect(),
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for (k, state) in states.iter().enumerate() {
+            let range = ranges[k].clone();
+            let prep = &prep;
+            let live_workers = &live_workers;
+            scope.spawn(move || {
+                let first = range.start + state.lock().unwrap().cp.done;
+                for index in first..range.end {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let r = run_injection(prep, cfg, index);
+                    state.lock().unwrap().apply(&r);
+                    progress.record(k, r.outcome);
+                }
+                progress.shard_finished(k);
+                live_workers.fetch_sub(1, Ordering::Release);
+            });
+        }
+
+        // Checkpoint coordinator (runs on the caller's thread inside the
+        // scope): periodic flushes while workers make progress.
+        if let Some(path) = ocfg.checkpoint_path.as_deref() {
+            let mut last_flush = Instant::now();
+            while live_workers.load(Ordering::Acquire) > 0 {
+                std::thread::sleep(Duration::from_millis(25));
+                if last_flush.elapsed() >= ocfg.checkpoint_interval {
+                    // A failed periodic flush is not fatal mid-run; the
+                    // final flush below surfaces persistent I/O problems.
+                    let _ = snapshot_all(&states).save(path);
+                    last_flush = Instant::now();
+                }
+            }
+        }
+    });
+
+    let interrupted = stop.load(Ordering::Relaxed);
+    let final_cp = snapshot_all(&states);
+    if let Some(path) = ocfg.checkpoint_path.as_deref() {
+        final_cp.save(path).map_err(CheckpointError::from)?;
+    }
+    progress.finish();
+
+    // Deterministic merge: shard order is fixed and every accumulator is
+    // commutative/associative, so the result is independent of timing.
+    let mut outcomes = [0u64; 4];
+    let mut attribution = CounterSet::new();
+    let mut latency = Histogram::new();
+    let mut exercised = 0u64;
+    for s in &final_cp.shards {
+        for (acc, &c) in outcomes.iter_mut().zip(s.outcomes.iter()) {
+            *acc += c;
+        }
+        attribution.merge(&s.attribution);
+        latency.merge(&s.latency);
+        exercised += s.exercised;
+    }
+    let completed = final_cp.completed();
+
+    Ok(ShardedReport {
+        outcomes,
+        attribution,
+        latency,
+        exercised,
+        completed,
+        completed_this_run: completed - resumed,
+        total: cfg.injections,
+        kind: cfg.kind,
+        golden_cycles: prep.golden_cycles(),
+        elapsed: started.elapsed(),
+        shards: ocfg.shards,
+        interrupted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 100, 101, 1000] {
+            for shards in [1usize, 2, 3, 8, 17] {
+                let ranges = shard_ranges(n, shards);
+                assert_eq!(ranges.len(), shards);
+                let mut at = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, at, "contiguous");
+                    at = r.end;
+                }
+                assert_eq!(at, n, "covers 0..{n}");
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1, "balanced: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        shard_ranges(10, 0);
+    }
+
+    #[test]
+    fn zero_shard_config_is_an_error() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig { injections: 1, ..Default::default() };
+        let ocfg = OrchestratorConfig { shards: 0, ..Default::default() };
+        let progress = Progress::new(0);
+        let stop = AtomicBool::new(false);
+        assert!(matches!(
+            run_sharded(&w, &cfg, &ocfg, &stop, &progress),
+            Err(OrchestratorError::Config(_))
+        ));
+    }
+}

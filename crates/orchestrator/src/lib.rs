@@ -1,0 +1,42 @@
+//! # argus-orchestrator — parallel campaign engine
+//!
+//! Turns a `CampaignConfig` into a sharded, multi-threaded fault-injection
+//! campaign (std-only: `std::thread` + atomics, no external dependencies)
+//! with three properties the serial engine lacks:
+//!
+//! * **Determinism under parallelism** — every injection's randomness is a
+//!   private `SplitMix64` stream keyed by `(campaign seed, injection
+//!   index)`, and shards own contiguous index slices, so merged tallies are
+//!   bit-identical to the serial run for *any* shard count.
+//! * **Checkpoint/resume** — per-shard progress and tallies are flushed to
+//!   a hand-rolled JSON state file periodically and on exit; an interrupted
+//!   campaign resumes exactly where it stopped.
+//! * **Live observability** — workers publish per-injection updates through
+//!   atomics; any thread can snapshot injections/sec, per-outcome running
+//!   counts, per-shard liveness, and elapsed time while the campaign runs.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress};
+//! use argus_faults::CampaignConfig;
+//! use std::sync::atomic::AtomicBool;
+//!
+//! let cfg = CampaignConfig { injections: 10_000, ..Default::default() };
+//! let ocfg = OrchestratorConfig { shards: 8, ..Default::default() };
+//! let progress = Progress::new(ocfg.shards);
+//! let stop = AtomicBool::new(false);
+//! let report =
+//!     run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &stop, &progress).unwrap();
+//! println!("coverage {:.1}%", 100.0 * report.unmasked_coverage());
+//! ```
+
+pub mod checkpoint;
+pub mod engine;
+pub mod json;
+pub mod progress;
+
+pub use checkpoint::{Checkpoint, CheckpointError, Fingerprint, ShardCheckpoint};
+pub use engine::{run_sharded, shard_ranges, OrchestratorConfig, OrchestratorError, ShardedReport};
+pub use json::Json;
+pub use progress::{Progress, ProgressSnapshot};

@@ -1,0 +1,215 @@
+//! Live campaign observability.
+//!
+//! Worker threads publish per-injection updates through atomics only (no
+//! locks on the hot path); any other thread may take a consistent-enough
+//! [`ProgressSnapshot`] at any time to render a progress line, without
+//! perturbing the workers.
+
+use argus_faults::Outcome;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long a shard may go without completing an injection before the
+/// snapshot reports it as stalled (it may legitimately be inside one long
+/// hung-run window).
+const LIVENESS_WINDOW: Duration = Duration::from_secs(5);
+
+/// Sentinel heartbeat meaning "shard finished its slice".
+const BEAT_DONE: u64 = u64::MAX;
+
+/// Shared, atomically-updated campaign progress.
+pub struct Progress {
+    started: Mutex<Instant>,
+    total: AtomicU64,
+    /// Injections already complete when this run began (resume).
+    initial: AtomicU64,
+    done: AtomicU64,
+    outcomes: [AtomicU64; 4],
+    /// Per-shard completed counts.
+    shard_done: Vec<AtomicU64>,
+    /// Per-shard heartbeat: millis since `started` of the last completion,
+    /// or [`BEAT_DONE`] once the shard's slice is finished.
+    shard_beat: Vec<AtomicU64>,
+    finished: AtomicBool,
+}
+
+impl Progress {
+    /// Creates progress state for `shards` worker shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            started: Mutex::new(Instant::now()),
+            total: AtomicU64::new(0),
+            initial: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            outcomes: [const { AtomicU64::new(0) }; 4],
+            shard_done: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_beat: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of shards this progress state tracks.
+    pub fn shards(&self) -> usize {
+        self.shard_done.len()
+    }
+
+    /// (Re)starts the clock and seeds totals; called by the engine once it
+    /// knows the campaign size and any resumed progress.
+    pub fn begin(&self, total: u64, resumed: u64, resumed_outcomes: [u64; 4], per_shard: &[u64]) {
+        *self.started.lock().unwrap() = Instant::now();
+        self.total.store(total, Ordering::Relaxed);
+        self.initial.store(resumed, Ordering::Relaxed);
+        self.done.store(resumed, Ordering::Relaxed);
+        for (slot, &v) in self.outcomes.iter().zip(resumed_outcomes.iter()) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        for (slot, &v) in self.shard_done.iter().zip(per_shard.iter()) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        self.finished.store(false, Ordering::Relaxed);
+    }
+
+    /// Records one completed injection on `shard`.
+    pub fn record(&self, shard: usize, outcome: Outcome) {
+        let ms = self.elapsed().as_millis() as u64;
+        self.outcomes[outcome.index()].fetch_add(1, Ordering::Relaxed);
+        self.shard_done[shard].fetch_add(1, Ordering::Relaxed);
+        self.shard_beat[shard].store(ms, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks `shard` as having finished its slice.
+    pub fn shard_finished(&self, shard: usize) {
+        self.shard_beat[shard].store(BEAT_DONE, Ordering::Relaxed);
+    }
+
+    /// Marks the whole campaign as over (completed or cancelled).
+    pub fn finish(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the campaign is over.
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Injections completed so far (including resumed ones).
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.started.lock().unwrap().elapsed()
+    }
+
+    /// Takes a point-in-time view for rendering. Counters are read without
+    /// a barrier, so totals may be off by the few injections in flight —
+    /// fine for observability.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed = self.elapsed();
+        let done = self.done.load(Ordering::Relaxed);
+        let initial = self.initial.load(Ordering::Relaxed);
+        let fresh = done.saturating_sub(initial);
+        let rate =
+            if elapsed.as_secs_f64() > 1e-9 { fresh as f64 / elapsed.as_secs_f64() } else { 0.0 };
+        let now_ms = elapsed.as_millis() as u64;
+        let live_cutoff = now_ms.saturating_sub(LIVENESS_WINDOW.as_millis() as u64);
+        ProgressSnapshot {
+            total: self.total.load(Ordering::Relaxed),
+            done,
+            outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
+            elapsed,
+            rate,
+            shard_done: self.shard_done.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            shard_live: self
+                .shard_beat
+                .iter()
+                .map(|a| {
+                    let beat = a.load(Ordering::Relaxed);
+                    beat != BEAT_DONE && beat >= live_cutoff
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One observed point in time of a running campaign.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// Planned injections.
+    pub total: u64,
+    /// Completed injections (including any resumed from a checkpoint).
+    pub done: u64,
+    /// Running per-outcome counts, indexed like [`Outcome::ALL`].
+    pub outcomes: [u64; 4],
+    /// Wall-clock time since the engine started.
+    pub elapsed: Duration,
+    /// Injections per second completed by *this* run (resumed work
+    /// excluded from the numerator).
+    pub rate: f64,
+    /// Per-shard completed counts.
+    pub shard_done: Vec<u64>,
+    /// Per-shard liveness: finished shards and recently-active shards are
+    /// distinguished from ones that have gone quiet.
+    pub shard_live: Vec<bool>,
+}
+
+impl std::fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct =
+            if self.total == 0 { 100.0 } else { 100.0 * self.done as f64 / self.total as f64 };
+        let quiet = self.shard_live.iter().filter(|l| !**l).count();
+        write!(
+            f,
+            "[{:6.1}s] {:>6}/{} ({pct:5.1}%) {:7.1} inj/s | sdc {} det {} benign {} dme {} | {} shards ({} idle/done)",
+            self.elapsed.as_secs_f64(),
+            self.done,
+            self.total,
+            self.rate,
+            self.outcomes[0],
+            self.outcomes[1],
+            self.outcomes[2],
+            self.outcomes[3],
+            self.shard_done.len(),
+            quiet,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let p = Progress::new(2);
+        p.begin(10, 0, [0; 4], &[0, 0]);
+        p.record(0, Outcome::UnmaskedDetected);
+        p.record(1, Outcome::UnmaskedDetected);
+        p.record(1, Outcome::MaskedUndetected);
+        let s = p.snapshot();
+        assert_eq!(s.done, 3);
+        assert_eq!(s.outcomes[Outcome::UnmaskedDetected.index()], 2);
+        assert_eq!(s.shard_done, vec![1, 2]);
+        assert!(s.shard_live.iter().all(|&l| l), "recent completions count as live");
+        assert!(!p.finished());
+        p.shard_finished(0);
+        assert!(!p.snapshot().shard_live[0]);
+        p.finish();
+        assert!(p.finished());
+        let line = p.snapshot().to_string();
+        assert!(line.contains("3/10"), "{line}");
+    }
+
+    #[test]
+    fn resume_seeds_counters_and_rate_excludes_resumed_work() {
+        let p = Progress::new(1);
+        p.begin(100, 40, [10, 20, 5, 5], &[40]);
+        let s = p.snapshot();
+        assert_eq!(s.done, 40);
+        assert_eq!(s.outcomes, [10, 20, 5, 5]);
+        // No fresh work yet → near-zero rate regardless of resumed count.
+        assert!(s.rate < 1.0);
+    }
+}

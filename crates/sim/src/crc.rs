@@ -33,12 +33,12 @@ impl Crc {
     /// signature hardware of Argus-1's style.
     pub fn new(width: u32) -> Self {
         let poly = match width {
-            3 => 0b011,        // x^3 + x + 1
-            4 => 0b0011,       // CRC-4-ITU
-            5 => 0b0_0101,     // CRC-5/USB: x^5 + x^2 + 1 (the paper's hash)
-            6 => 0b00_0011,    // CRC-6-ITU
-            7 => 0b000_1001,   // CRC-7/MMC
-            8 => 0b0000_0111,  // CRC-8/SMBUS
+            3 => 0b011,       // x^3 + x + 1
+            4 => 0b0011,      // CRC-4-ITU
+            5 => 0b0_0101,    // CRC-5/USB: x^5 + x^2 + 1 (the paper's hash)
+            6 => 0b00_0011,   // CRC-6-ITU
+            7 => 0b000_1001,  // CRC-7/MMC
+            8 => 0b0000_0111, // CRC-8/SMBUS
             _ => panic!("unsupported CRC width {width} (expected 3..=8)"),
         };
         Self { width, poly }

@@ -269,9 +269,8 @@ impl FaultInjector {
         for b in slot.fault.site.bytes() {
             ident = (ident ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let mut h = crate::rng::SplitMix64::new(
-            cycle ^ (slot.exposures << 40) ^ ident ^ 0x5E27_1A7E,
-        );
+        let mut h =
+            crate::rng::SplitMix64::new(cycle ^ (slot.exposures << 40) ^ ident ^ 0x5E27_1A7E);
         h.next_f64() < p
     }
 
@@ -494,10 +493,8 @@ mod tests {
 
     #[test]
     fn zero_sensitization_never_fires() {
-        let mut inj = FaultInjector::with_fault(Fault {
-            sensitization: 0.0,
-            ..fault(FaultKind::Permanent)
-        });
+        let mut inj =
+            FaultInjector::with_fault(Fault { sensitization: 0.0, ..fault(FaultKind::Permanent) });
         inj.set_cycle(10);
         for _ in 0..100 {
             assert_eq!(inj.tap32("test_bus", 0), 0);

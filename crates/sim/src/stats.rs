@@ -41,6 +41,15 @@ impl CounterSet {
         self.counts.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Adds every counter of `other` into `self` (shard-reduction step of
+    /// parallel campaigns: merging per-shard tallies must equal counting the
+    /// union of events).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
     /// Fraction of the total attributed to `name` (0.0 when empty).
     pub fn share(&self, name: &str) -> f64 {
         let t = self.total();
@@ -117,6 +126,47 @@ impl Histogram {
     /// Largest sample. `None` when empty.
     pub fn max(&self) -> Option<u64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Folds `other` into `self`; equivalent to recording all of `other`'s
+    /// samples (bucket counts, extrema, and moments are all additive).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The power-of-two bucket counts (bucket `i` covers `[2^(i-1), 2^i)`;
+    /// bucket 0 covers zeros and ones). Exposed for serialization.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum over all samples. Exposed for serialization.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Rebuilds a histogram from its serialized parts ([`Histogram::buckets`],
+    /// count, sum, [`Histogram::min`], [`Histogram::max`]).
+    pub fn from_parts(
+        buckets: Vec<u64>,
+        count: u64,
+        sum: u128,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Self {
+        Self { buckets, count, sum, min: min.unwrap_or(u64::MAX), max: max.unwrap_or(0) }
     }
 
     /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
@@ -216,6 +266,29 @@ mod tests {
     }
 
     #[test]
+    fn counter_merge_equals_union_of_events() {
+        let mut a = CounterSet::new();
+        a.add("cc", 2);
+        a.add("dcs", 5);
+        let mut b = CounterSet::new();
+        b.add("dcs", 1);
+        b.add("parity", 7);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut expect = CounterSet::new();
+        for (k, v) in a.iter().chain(b.iter()) {
+            expect.add(k, v);
+        }
+        assert_eq!(merged, expect);
+        assert_eq!(merged.get("dcs"), 6);
+        assert_eq!(merged.total(), 15);
+        // Merging an empty set is a no-op.
+        let before = merged.clone();
+        merged.merge(&CounterSet::new());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
     fn counter_iteration_is_sorted() {
         let mut c = CounterSet::new();
         c.bump("zeta");
@@ -264,6 +337,45 @@ mod tests {
         h.record(0);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.percentile(1.0), Some(1));
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_all_samples() {
+        let xs = [0u64, 1, 5, 9, 300];
+        let ys = [2u64, 7, 100_000];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging an empty histogram changes nothing; merging into an empty
+        // one copies.
+        let mut empty = Histogram::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        whole.merge(&Histogram::new());
+        assert_eq!(empty, whole);
+    }
+
+    #[test]
+    fn histogram_parts_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 255, 4096] {
+            h.record(v);
+        }
+        let back =
+            Histogram::from_parts(h.buckets().to_vec(), h.count(), h.sum(), h.min(), h.max());
+        assert_eq!(back, h);
+        let empty = Histogram::from_parts(vec![], 0, 0, None, None);
+        assert_eq!(empty, Histogram::new());
     }
 
     #[test]

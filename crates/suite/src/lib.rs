@@ -17,9 +17,7 @@
 
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
-    pub use argus_compiler::{
-        compile, CompileError, EmbedConfig, Mode, Program, ProgramBuilder,
-    };
+    pub use argus_compiler::{compile, CompileError, EmbedConfig, Mode, Program, ProgramBuilder};
     pub use argus_core::{Argus, ArgusConfig, CheckerKind, DetectionEvent};
     pub use argus_faults::campaign::{run_campaign, CampaignConfig, Outcome};
     pub use argus_isa::{instr::Cond, AluOp, Instr, MemSize, Reg};

@@ -147,16 +147,9 @@ fn build(encode: bool) -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (out_off + 4 * i as u32, v as u32))
-        .collect();
-    Workload {
-        name: if encode { "adpcm_enc" } else { "adpcm_dec" },
-        unit: b.into_unit(),
-        checks,
-    }
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v as u32)).collect();
+    Workload { name: if encode { "adpcm_enc" } else { "adpcm_dec" }, unit: b.into_unit(), checks }
 }
 
 /// The ADPCM encoder workload.

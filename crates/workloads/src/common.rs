@@ -47,7 +47,11 @@ impl Workload {
 ///
 /// Panics on compile errors, failed self-checks, non-halting runs, or
 /// checker false positives — the invariants every workload must satisfy.
-pub fn run_workload(w: &Workload, argus: bool, max_cycles: u64) -> argus_compiler::verify::CheckedRun {
+pub fn run_workload(
+    w: &Workload,
+    argus: bool,
+    max_cycles: u64,
+) -> argus_compiler::verify::CheckedRun {
     use argus_compiler::{compile, EmbedConfig, Mode};
     let mode = if argus { Mode::Argus } else { Mode::Baseline };
     let prog = compile(&w.unit, mode, &EmbedConfig::default())
@@ -102,9 +106,7 @@ pub fn emit_max_const(b: &mut argus_compiler::ProgramBuilder, rx: u8, c: i16, rt
 /// identical on every call with the same tag.
 pub fn input_samples(tag: u64, n: usize, bound: i32) -> Vec<i32> {
     let mut rng = SplitMix64::new(0xBEEF_0000 ^ tag);
-    (0..n)
-        .map(|_| (rng.below(2 * bound as u64) as i32) - bound)
-        .collect()
+    (0..n).map(|_| (rng.below(2 * bound as u64) as i32) - bound).collect()
 }
 
 /// Deterministic pseudo-random unsigned bytes.

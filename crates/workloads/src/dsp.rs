@@ -78,7 +78,7 @@ fn g721_build(encode: bool) -> Workload {
         b.li(r(5), G721_CHUNK as u32); // loop bound in a register
         b.label(&lp);
         b.lw(r(6), r(2), 0); // x
-        // pred = (a1*y1 + a2*y2) >> 8
+                             // pred = (a1*y1 + a2*y2) >> 8
         b.mul(r(7), r(10), r(12));
         b.mul(r(8), r(11), r(13));
         b.add(r(7), r(7), r(8));
@@ -88,7 +88,7 @@ fn g721_build(encode: bool) -> Workload {
         b.srai(r(15), r(14), 4);
         b.slli(r(16), r(15), 4);
         b.add(r(17), r(7), r(16)); // xr
-        // adaptation
+                                   // adaptation
         emit_sign(&mut b, 18, 14); // se
         emit_sign(&mut b, 19, 12); // s1
         emit_sign(&mut b, 20, 13); // s2
@@ -120,16 +120,9 @@ fn g721_build(encode: bool) -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (out_off + 4 * i as u32, v as u32))
-        .collect();
-    Workload {
-        name: if encode { "g721_enc" } else { "g721_dec" },
-        unit: b.into_unit(),
-        checks,
-    }
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v as u32)).collect();
+    Workload { name: if encode { "g721_enc" } else { "g721_dec" }, unit: b.into_unit(), checks }
 }
 
 /// G.721-style encoder (emits quantized residuals).
@@ -213,11 +206,8 @@ pub fn gsm_encode() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (out_off + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v as u32)).collect();
     Workload { name: "gsm_enc", unit: b.into_unit(), checks }
 }
 

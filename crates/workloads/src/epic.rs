@@ -81,7 +81,14 @@ fn emit_analyze(b: &mut ProgramBuilder, tag: &str, src_off: u32, lo_off: u32, hi
 
 /// Emits one synthesis level from lo at `lo_off`, hi at `hi_off` into
 /// `dst_off` (each lo/hi has `n/2` entries).
-fn emit_synthesize(b: &mut ProgramBuilder, tag: &str, lo_off: u32, hi_off: u32, dst_off: u32, n: u32) {
+fn emit_synthesize(
+    b: &mut ProgramBuilder,
+    tag: &str,
+    lo_off: u32,
+    hi_off: u32,
+    dst_off: u32,
+    n: u32,
+) {
     let lp = format!("{tag}_loop");
     b.li(r(2), DATA_BASE + lo_off);
     b.li(r(3), DATA_BASE + hi_off);
@@ -136,11 +143,8 @@ pub fn epic() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (out + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (out + 4 * i as u32, v as u32)).collect();
     Workload { name: "epic", unit: b.into_unit(), checks }
 }
 
@@ -174,11 +178,8 @@ pub fn unepic() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (out + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (out + 4 * i as u32, v as u32)).collect();
     Workload { name: "unepic", unit: b.into_unit(), checks }
 }
 

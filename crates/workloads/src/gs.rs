@@ -170,8 +170,17 @@ pub fn gs() -> Workload {
     }
     b.data_label("table");
     for name in [
-        "op_push", "op_add", "op_sub", "op_mul", "op_dup", "op_swap", "op_store", "op_jnz",
-        "op_haltvm", "op_load", "op_setvar",
+        "op_push",
+        "op_add",
+        "op_sub",
+        "op_mul",
+        "op_dup",
+        "op_swap",
+        "op_store",
+        "op_jnz",
+        "op_haltvm",
+        "op_load",
+        "op_setvar",
     ] {
         b.data_code_ptr(name);
     }
@@ -296,12 +305,8 @@ pub fn gs() -> Workload {
     b.label("op_haltvm");
     b.halt();
 
-    let checks = expected
-        .iter()
-        .take(3)
-        .enumerate()
-        .map(|(i, &v)| (out + 4 * i as u32, v))
-        .collect();
+    let checks =
+        expected.iter().take(3).enumerate().map(|(i, &v)| (out + 4 * i as u32, v)).collect();
     Workload { name: "gs", unit: b.into_unit(), checks }
 }
 

@@ -53,7 +53,8 @@ fn encode_reference(input: &[i32]) -> Vec<i32> {
 fn decode_reference(coeffs: &[i32]) -> Vec<i32> {
     let mut out = Vec::new();
     for blk in coeffs.chunks(BLOCK_WORDS) {
-        let deq: Vec<i32> = blk.iter().enumerate().map(|(i, &c)| c.wrapping_mul(QTABLE[i])).collect();
+        let deq: Vec<i32> =
+            blk.iter().enumerate().map(|(i, &c)| c.wrapping_mul(QTABLE[i])).collect();
         // The WHT is (up to scale) its own inverse: WHT(WHT(x)) = 16·x.
         let t = transform_block(&deq);
         out.extend(t.iter().map(|&x| x >> 4));
@@ -157,11 +158,8 @@ pub fn encode() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
     Workload { name: "jpeg_enc", unit: b.into_unit(), checks }
 }
 
@@ -236,11 +234,8 @@ pub fn decode() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
     Workload { name: "jpeg_dec", unit: b.into_unit(), checks }
 }
 
@@ -264,12 +259,9 @@ mod tests {
         // survive: the mean error must be far below the signal amplitude.
         let pixels = input_samples(0x17E6, BLOCKS * BLOCK_WORDS, 128);
         let rec = decode_reference(&encode_reference(&pixels));
-        let err: i64 = pixels
-            .iter()
-            .zip(&rec)
-            .map(|(&a, &b)| (a as i64 - b as i64).abs())
-            .sum::<i64>()
-            / (pixels.len() as i64);
+        let err: i64 =
+            pixels.iter().zip(&rec).map(|(&a, &b)| (a as i64 - b as i64).abs()).sum::<i64>()
+                / (pixels.len() as i64);
         assert!(err < 64, "mean reconstruction error {err} too high");
     }
 

@@ -13,9 +13,8 @@ pub const VERTS: usize = 40;
 const FRAC: u32 = 8;
 
 /// The (row-major) transform matrix, in Q8 fixed point.
-const MATRIX: [i32; 16] = [
-    230, -40, 12, 1024, 64, 200, -96, -512, -16, 80, 240, 2048, 0, 0, 4, 256,
-];
+const MATRIX: [i32; 16] =
+    [230, -40, 12, 1024, 64, 200, -96, -512, -16, 80, 240, 2048, 0, 0, 4, 256];
 
 fn reference(verts: &[i32]) -> Vec<i32> {
     let mut out = Vec::new();
@@ -121,11 +120,8 @@ pub fn mesa() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
     Workload { name: "mesa", unit: b.into_unit(), checks }
 }
 

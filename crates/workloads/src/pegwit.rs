@@ -118,11 +118,7 @@ pub fn pegwit() -> Workload {
     b.nop();
     b.halt();
 
-    Workload {
-        name: "pegwit",
-        unit: b.into_unit(),
-        checks: vec![(out_off, crc), (out_off + 4, h)],
-    }
+    Workload { name: "pegwit", unit: b.into_unit(), checks: vec![(out_off, crc), (out_off + 4, h)] }
 }
 
 #[cfg(test)]

@@ -102,11 +102,8 @@ pub fn rasta() -> Workload {
     b.nop();
     b.halt();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (ooff + 4 * i as u32, v as u32))
-        .collect();
+    let checks =
+        expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
     Workload { name: "rasta", unit: b.into_unit(), checks }
 }
 

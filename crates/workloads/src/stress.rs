@@ -138,7 +138,7 @@ pub fn stress() -> Workload {
     b.divu(r(12), r(11), r(5)); // q
     b.mulu(r(13), r(12), r(5));
     b.sub(r(13), r(11), r(13)); // rr = m - q*a
-    // sm = acc * (-(a as i32) | 1), sq = sm / (a | 1) signed
+                                // sm = acc * (-(a as i32) | 1), sq = sm / (a | 1) signed
     b.sub(r(14), Reg::ZERO, r(5));
     b.ori(r(14), r(14), 1);
     b.mul(r(15), r(3), r(14)); // sm
@@ -209,7 +209,10 @@ pub fn stress() -> Workload {
     // corruption is caught by the operand parity check here) and park the
     // fold next to the checksums. Its value is covered by the golden-state
     // comparison rather than a host-side mirror.
-    for k in [3u8, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 29, 30, 31] {
+    for k in [
+        3u8, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 29, 30,
+        31,
+    ] {
         b.add(r(31), r(31), r(k));
     }
     b.sw(r(27), r(31), 0);
@@ -232,11 +235,7 @@ pub fn stress() -> Workload {
     b.jr(Reg::LR);
     b.nop();
 
-    let checks = expected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (out_off + 4 * i as u32, v))
-        .collect();
+    let checks = expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v)).collect();
     Workload { name: "stress", unit: b.into_unit(), checks }
 }
 

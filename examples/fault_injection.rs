@@ -10,16 +10,11 @@ use argus_faults::latency::LatencyReport;
 use argus_suite::prelude::*;
 
 fn main() {
-    let injections: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(800);
+    let injections: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(800);
     println!("running 2 × {injections} injections on the stress microbenchmark…\n");
     for kind in [FaultKind::Transient, FaultKind::Permanent] {
-        let rep = run_campaign(
-            &stress(),
-            &CampaignConfig { injections, kind, ..Default::default() },
-        );
+        let rep =
+            run_campaign(&stress(), &CampaignConfig { injections, kind, ..Default::default() });
         println!("{rep}");
         println!("{}", LatencyReport::from_campaign(&rep).summary());
     }

@@ -43,10 +43,8 @@ fn main() {
     for (k, &w) in prog.code.iter().enumerate() {
         let i = decode(w);
         let unused = unused_bit_positions(w);
-        let embedded: String = unused
-            .iter()
-            .map(|&p| if (w >> p) & 1 == 1 { '1' } else { '0' })
-            .collect();
+        let embedded: String =
+            unused.iter().map(|&p| if (w >> p) & 1 == 1 { '1' } else { '0' }).collect();
         println!(
             "  {:#06x}: {w:#010x}  {:24} unused bits [{}]",
             prog.code_base + 4 * k as u32,
@@ -54,5 +52,8 @@ fn main() {
             embedded
         );
     }
-    println!("\nentry DCS (what the loader's indirect jump would carry): {:#04x}", prog.entry_dcs.unwrap());
+    println!(
+        "\nentry DCS (what the loader's indirect jump would carry): {:#04x}",
+        prog.entry_dcs.unwrap()
+    );
 }

@@ -72,10 +72,7 @@ fn verification_is_sensitive_to_semantic_bit_flips() {
     }
     // Residual escapes are 5-bit DCS aliases (≈1/32 per corrupted block).
     let rate = caught as f64 / total as f64;
-    assert!(
-        rate > 0.85,
-        "verifier caught only {caught}/{total} semantic bit flips"
-    );
+    assert!(rate > 0.85, "verifier caught only {caught}/{total} semantic bit flips");
     let _ = matches!(decode(0), Instr::Nop); // keep Instr import used
 }
 

@@ -34,9 +34,7 @@ fn first_detection(fault: Fault) -> Option<CheckerKind> {
             break;
         }
     }
-    argus
-        .scrub_memory(&m, prog.data_base, &mut inj)
-        .map(|ev| ev.checker)
+    argus.scrub_memory(&m, prog.data_base, &mut inj).map(|ev| ev.checker)
 }
 
 fn permanent(site: &'static str, bit: u8, width: u8) -> Fault {
@@ -98,10 +96,7 @@ fn branch_direction_caught_via_dcs() {
 #[test]
 fn stuck_pipeline_caught_by_watchdog() {
     use argus_machine::sites::*;
-    assert_eq!(
-        first_detection(permanent(CTL_STALL_RELEASE, 0, 1)),
-        Some(CheckerKind::Watchdog)
-    );
+    assert_eq!(first_detection(permanent(CTL_STALL_RELEASE, 0, 1)), Some(CheckerKind::Watchdog));
 }
 
 #[test]
@@ -113,10 +108,7 @@ fn wrong_memory_row_caught_by_parity() {
 #[test]
 fn load_alignment_caught_by_computation_checker() {
     use argus_machine::sites::*;
-    assert_eq!(
-        first_detection(permanent(LSU_ALIGN_OUT, 3, 32)),
-        Some(CheckerKind::Computation)
-    );
+    assert_eq!(first_detection(permanent(LSU_ALIGN_OUT, 3, 32)), Some(CheckerKind::Computation));
 }
 
 #[test]

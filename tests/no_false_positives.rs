@@ -14,8 +14,7 @@ use argus_sim::fault::FaultInjector;
 use argus_workloads::Workload;
 
 fn run_silent(w: &Workload, mcfg: MachineConfig, acfg: ArgusConfig, ecfg: EmbedConfig) {
-    let prog = compile(&w.unit, Mode::Argus, &ecfg)
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let prog = compile(&w.unit, Mode::Argus, &ecfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let mut m = Machine::new(mcfg);
     prog.load(&mut m);
     let mut argus = Argus::new(acfg);

@@ -1,0 +1,153 @@
+//! Offline, vendored mini-criterion.
+//!
+//! The real `criterion` crate cannot be fetched in this build environment,
+//! so this crate provides the subset of its API that the workspace's
+//! Criterion benches use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark runs a short warm-up followed
+//! by `sample_size` timed batches and prints the mean time per iteration.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched setup output is sized; accepted and ignored (every batch has
+/// one setup call per iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Accumulated measured time, excluding batched setup.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up pass (also lets the closure fault in caches / lazy init).
+        let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut warm);
+        let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+        // Aim for ~20ms of measurement per sample, at least one iteration.
+        let iters = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos()).max(1) as u64;
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            total += b.elapsed;
+            n += b.iters;
+        }
+        let mean_ns = total.as_nanos() as f64 / n.max(1) as f64;
+        println!("{name:40} {:>12.1} ns/iter ({n} iters)", mean_ns);
+        self
+    }
+}
+
+/// Declares a benchmark group; mirrors criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1u32 + 1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut c = Criterion::default().sample_size(2);
+        bench_nothing(&mut c);
+    }
+
+    criterion_group!(smoke, bench_nothing);
+
+    #[test]
+    fn group_macro_expands() {
+        smoke();
+    }
+}

@@ -1,0 +1,68 @@
+//! `any::<T>()` for the primitive types the workspace tests use.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_signs_and_bools() {
+        let mut rng = TestRng::new(3);
+        let mut neg = false;
+        let mut pos = false;
+        let (mut t, mut f) = (false, false);
+        for _ in 0..500 {
+            let x: i16 = any::<i16>().sample(&mut rng);
+            neg |= x < 0;
+            pos |= x > 0;
+            if any::<bool>().sample(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(neg && pos && t && f);
+    }
+}

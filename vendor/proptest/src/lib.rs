@@ -1,0 +1,36 @@
+//! Offline, vendored mini-proptest.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `proptest` crate cannot be fetched. This crate implements the small
+//! subset of its API that the workspace's property tests use, with the same
+//! spelling, so the test code is unchanged:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`],
+//! * `any::<T>()`, integer-range strategies, tuple strategies, [`Just`],
+//!   `prop::collection::vec`, and `Strategy::prop_map`.
+//!
+//! Differences from real proptest: generation is a fixed deterministic
+//! SplitMix64 stream seeded per test (reproducible across runs and
+//! platforms), there is no shrinking, and no failure persistence file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
