@@ -12,7 +12,7 @@ use argus_sim::fault::FaultInjector;
 use argus_sim::rng::SplitMix64;
 
 fn escape_rate(m: u32, trials: u32) -> f64 {
-    let mut rng = SplitMix64::new(0xAB1A_7E ^ m as u64);
+    let mut rng = SplitMix64::new(0x00AB_1A7E ^ m as u64);
     let mut escapes = 0u32;
     let mut inj = FaultInjector::none();
     for _ in 0..trials {

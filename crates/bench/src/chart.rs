@@ -5,7 +5,7 @@
 /// do in Figure 6).
 pub fn bar(pct: f64, scale: f64) -> String {
     let units = (pct.abs() * scale).round() as usize;
-    let body: String = std::iter::repeat('#').take(units.min(60)).collect();
+    let body = "#".repeat(units.min(60));
     if pct < 0.0 {
         format!("{body:>20}|")
     } else {

@@ -6,8 +6,9 @@
 //! argus asm <file.s> [--argus]           disassemble the compiled image
 //! argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]
 //! argus inject <file.s> --site S --bit N [--permanent] [--arm C]
-//! argus campaign [-n N] [--permanent] [--shards N] [--checkpoint PATH]
-//!                [--resume] [--json] [--quiet]
+//! argus campaign [-n N] [--permanent] [--snapshot-every N] [--shards N]
+//!                [--checkpoint PATH] [--resume] [--json] [--quiet]
+//! argus snapshot save|info|restore       standalone state files
 //! argus sites                            list the fault-site inventory
 //! ```
 //!
@@ -364,6 +365,15 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         Some(s) => Some(s.parse().map_err(|_| fail("bad --seed"))?),
         None => None,
     };
+    let snapshot_every: Option<u64> = match args.opt("--snapshot-every") {
+        Some(s) => Some(
+            s.parse()
+                .ok()
+                .filter(|&v| v >= 1)
+                .ok_or_else(|| fail("bad --snapshot-every (want an integer >= 1)"))?,
+        ),
+        None => None,
+    };
     let shards_arg = args.opt("--shards");
     let checkpoint = args.opt("--checkpoint");
     let resume = args.flag("--resume");
@@ -371,7 +381,7 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     let quiet = args.flag("--quiet");
     args.finish()?;
 
-    let mut cfg = CampaignConfig { injections: n, kind, ..Default::default() };
+    let mut cfg = CampaignConfig { injections: n, kind, snapshot_every, ..Default::default() };
     if let Some(s) = seed {
         cfg.seed = s;
     }
@@ -447,6 +457,13 @@ fn render_sharded_report(rep: &ShardedReport, checkpoint: Option<&std::path::Pat
         rep.elapsed.as_secs_f64(),
         rep.rate(),
     );
+    if let Some(every) = rep.snapshot_every {
+        let _ = writeln!(
+            out,
+            "snapshots: {} golden-run checkpoints every {} cycles",
+            rep.snapshots, every
+        );
+    }
     for o in Outcome::ALL {
         let _ = writeln!(
             out,
@@ -478,6 +495,140 @@ fn render_sharded_report(rep: &ShardedReport, checkpoint: Option<&std::path::Pat
     out
 }
 
+/// Steps a machine + checker pair in lockstep until the machine halts or
+/// `stop_at` cycles elapse (fault-free).
+fn run_checked(m: &mut Machine, checker: &mut Argus, stop_at: u64) {
+    let mut inj = FaultInjector::none();
+    while !m.halted() && m.cycle() < stop_at {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                checker.on_commit(&rec, &mut inj);
+            }
+            StepOutcome::Stalled => {
+                checker.on_stall(1, &mut inj);
+            }
+            StepOutcome::Halted => break,
+        }
+    }
+}
+
+/// `argus snapshot`: standalone state files — capture a program at a
+/// cycle, inspect a file, or restore one and resume execution.
+pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
+    const SNAP_USAGE: &str = "usage: argus snapshot <save|info|restore>
+  argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
+  argus snapshot info <PATH>
+  argus snapshot restore <PATH> [--run] [--regs r3,r4]";
+    let verb = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+    match verb.as_str() {
+        "save" => {
+            let path = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+            let out_path = args.opt("--out").ok_or_else(|| fail("--out PATH is required"))?;
+            let at_cycle: u64 = match args.opt("--at-cycle") {
+                Some(s) => s.parse().map_err(|_| fail("bad --at-cycle"))?,
+                None => 0,
+            };
+            let two_way = args.flag("--two-way");
+            args.finish()?;
+
+            let unit = load_unit(&path)?;
+            let prog = compile(&unit, Mode::Argus, &EmbedConfig::default())
+                .map_err(|e| fail(e.to_string()))?;
+            let mem = if two_way { MemConfig::default().two_way() } else { MemConfig::default() };
+            let mut m = Machine::new(MachineConfig { mem, ..Default::default() });
+            prog.load(&mut m);
+            let mut checker = Argus::new(ArgusConfig::default());
+            checker.expect_entry(prog.entry_dcs.unwrap_or(0));
+            run_checked(&mut m, &mut checker, at_cycle);
+
+            let mut pool = argus_snapshot::PageStore::new();
+            let snap = argus_snapshot::Snapshot::capture(&m, &checker, &mut pool);
+            let mut f = std::fs::File::create(&out_path)
+                .map_err(|e| fail(format!("cannot create `{out_path}`: {e}")))?;
+            argus_snapshot::io::write_snapshot(&mut f, &snap)
+                .map_err(|e| fail(format!("writing `{out_path}`: {e}")))?;
+            Ok(format!(
+                "saved snapshot: cycle {} retired {} fingerprint {:#018x} -> {}\n",
+                snap.cycle(),
+                m.retired(),
+                snap.fingerprint(),
+                out_path
+            ))
+        }
+        "info" => {
+            let path = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+            args.finish()?;
+            let (m, checker) = read_snapshot_file(&path)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "snapshot {path}");
+            let _ = writeln!(
+                out,
+                "  cycle {} retired {} pc {:#06x} halted {}",
+                m.cycle(),
+                m.retired(),
+                m.pc(),
+                m.halted()
+            );
+            let _ = writeln!(
+                out,
+                "  fingerprint {:#018x}",
+                argus_snapshot::combined_fingerprint(&m, &checker)
+            );
+            let _ = writeln!(
+                out,
+                "  memory {} words, detections so far {}",
+                m.mem().memory().words().len(),
+                checker.events().len()
+            );
+            Ok(out)
+        }
+        "restore" => {
+            let path = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+            let run = args.flag("--run");
+            let regs: Vec<argus_isa::Reg> = match args.opt("--regs") {
+                Some(spec) => spec
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .strip_prefix('r')
+                            .and_then(|n| n.parse::<u8>().ok())
+                            .filter(|&n| n < 32)
+                            .map(argus_isa::Reg::new)
+                            .ok_or_else(|| fail(format!("bad register `{t}`")))
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => vec![],
+            };
+            args.finish()?;
+            let (mut m, mut checker) = read_snapshot_file(&path)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "restored at cycle {} (pc {:#06x})", m.cycle(), m.pc());
+            if run {
+                run_checked(&mut m, &mut checker, 200_000_000);
+            }
+            let _ = writeln!(
+                out,
+                "halted={} cycles={} retired={} detections={}",
+                m.halted(),
+                m.cycle(),
+                m.retired(),
+                checker.events().len()
+            );
+            for r in regs {
+                let _ = writeln!(out, "{r} = {:#010x}", m.reg(r));
+            }
+            Ok(out)
+        }
+        other => Err(fail(format!("unknown snapshot verb `{other}`\n{SNAP_USAGE}"))),
+    }
+}
+
+fn read_snapshot_file(path: &str) -> Result<(Machine, Argus), CliError> {
+    let mut f =
+        std::fs::File::open(path).map_err(|e| fail(format!("cannot open `{path}`: {e}")))?;
+    argus_snapshot::io::read_snapshot(&mut f).map_err(|e| fail(format!("{path}: {e}")))
+}
+
 /// `argus verify`: compile in Argus mode and statically verify the image's
 /// embedded signatures.
 pub fn cmd_verify(mut args: Args) -> Result<String, CliError> {
@@ -504,23 +655,30 @@ pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
         "inject" => cmd_inject(args),
         "sites" => cmd_sites(args),
         "campaign" => cmd_campaign(args),
+        "snapshot" => cmd_snapshot(args),
         "verify" => cmd_verify(args),
         other => Err(fail(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign> [options]
+pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign|snapshot> [options]
   argus asm <file.s> [--argus]
   argus run <file.s> [--baseline] [--two-way] [--regs r3,r4] [--max-cycles N]
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
   argus verify <file.s>
-  argus campaign [-n N] [--permanent] [--seed S]
+  argus campaign [-n N] [--permanent] [--seed S] [--snapshot-every N]
                  [--shards N] [--checkpoint PATH] [--resume] [--json] [--quiet]
+  argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
+  argus snapshot info <PATH>
+  argus snapshot restore <PATH> [--run] [--regs r3,r4]
   argus sites
 campaign runs serially by default; --shards/--checkpoint/--resume/--json/--quiet
 use the sharded engine (same tallies for the same seed; Ctrl-C flushes a
-checkpoint, --resume continues it; progress goes to stderr, results to stdout)";
+checkpoint, --resume continues it; progress goes to stderr, results to stdout).
+--snapshot-every N checkpoints the golden run every N cycles and forks each
+injection from the nearest checkpoint at or before its arm cycle — identical
+results, fewer replayed cycles";
 
 #[cfg(test)]
 mod tests {
@@ -677,5 +835,70 @@ mod tests {
         let p = write_temp("verify.s", PROG);
         let out = cmd_verify(args(&[p.as_str()])).unwrap();
         assert!(out.contains("image verifies"), "{out}");
+    }
+
+    #[test]
+    fn snapshot_save_info_restore_roundtrip() {
+        let p = write_temp("snap.s", PROG);
+        let snap_path = write_temp("snap.bin", "");
+
+        let out = cmd_snapshot(args(&[
+            "save",
+            p.as_str(),
+            "--out",
+            snap_path.as_str(),
+            "--at-cycle",
+            "20",
+        ]))
+        .unwrap();
+        assert!(out.contains("saved snapshot"), "{out}");
+
+        let info = cmd_snapshot(args(&["info", snap_path.as_str()])).unwrap();
+        assert!(info.contains("fingerprint"), "{info}");
+        assert!(info.contains("halted false"), "{info}");
+
+        // Resuming the snapshot must reach the same architectural result
+        // as the uninterrupted run.
+        let resumed =
+            cmd_snapshot(args(&["restore", snap_path.as_str(), "--run", "--regs", "r3"])).unwrap();
+        assert!(resumed.contains("halted=true"), "{resumed}");
+        assert!(resumed.contains("r3 = 0x00000037"), "{resumed}");
+
+        let direct = cmd_run(args(&[p.as_str(), "--regs", "r3"])).unwrap();
+        assert!(direct.contains("r3 = 0x00000037"), "{direct}");
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_input() {
+        let e = cmd_snapshot(args(&["frob"])).unwrap_err();
+        assert!(e.to_string().contains("unknown snapshot verb"), "{e}");
+        let garbage = write_temp("garbage.bin", "not a snapshot");
+        let e = cmd_snapshot(args(&["info", garbage.as_str()])).unwrap_err();
+        assert!(e.to_string().contains("bad magic"), "{e}");
+    }
+
+    #[test]
+    fn campaign_snapshot_every_matches_cold_boot() {
+        let cold = cmd_campaign(args(&["-n", "30", "--seed", "11"])).unwrap();
+        let forked =
+            cmd_campaign(args(&["-n", "30", "--seed", "11", "--snapshot-every", "800"])).unwrap();
+        assert_eq!(cold, forked, "snapshot forking changed serial campaign output");
+
+        let human = cmd_campaign(args(&[
+            "-n",
+            "30",
+            "--seed",
+            "11",
+            "--snapshot-every",
+            "800",
+            "--shards",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(human.contains("golden-run checkpoints every 800 cycles"), "{human}");
+
+        let e = cmd_campaign(args(&["--snapshot-every", "0", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --snapshot-every"), "{e}");
     }
 }

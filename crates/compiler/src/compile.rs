@@ -182,21 +182,8 @@ fn phase1_insert(items: Vec<Item>, cfg: &EmbedConfig) -> Vec<Item> {
         }
         if item.is_cti() {
             let need = match &item.stmt {
-                Stmt::BranchTo { .. } => 10,
-                Stmt::JumpTo { link, .. } => {
-                    if *link {
-                        10
-                    } else {
-                        5
-                    }
-                }
-                Stmt::JumpReg { link, .. } => {
-                    if *link {
-                        5
-                    } else {
-                        0
-                    }
-                }
+                Stmt::BranchTo { .. } | Stmt::JumpTo { link: true, .. } => 10,
+                Stmt::JumpTo { link: false, .. } | Stmt::JumpReg { link: true, .. } => 5,
                 _ => 0,
             };
             let total = cap_bits + item.plain_unused_bits();

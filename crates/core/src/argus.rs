@@ -41,6 +41,79 @@ pub struct Argus {
     events: Vec<DetectionEvent>,
 }
 
+/// The checker's mutable state, captured for snapshot/restore.
+///
+/// The SHS engine (CRC + sbox tables) and the DCS unit (permutation map)
+/// are pure functions of [`ArgusConfig`] and never change after
+/// construction, so they are not captured: restore targets an `Argus`
+/// built with the same configuration and only overwrites what evolves
+/// during a run — the signature file, the control-flow checker, the
+/// watchdog counter, and the detection log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgusState {
+    /// The live per-location signature file.
+    pub file: ShsFile,
+    /// Control-flow checker state (expected DCS, block bits, flag shadow).
+    pub cfc: Cfc,
+    /// Watchdog counter state.
+    pub watchdog: Watchdog,
+    /// Detections raised so far, in order.
+    pub events: Vec<DetectionEvent>,
+}
+
+impl argus_machine::SnapshotState for Argus {
+    type State = ArgusState;
+
+    fn capture_state(&self) -> ArgusState {
+        ArgusState {
+            file: self.file.clone(),
+            cfc: self.cfc.clone(),
+            watchdog: self.watchdog.clone(),
+            events: self.events.clone(),
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the state was captured under a different signature width
+    /// (the immutable engine/DCS tables would disagree with the restored
+    /// file).
+    fn restore_state(&mut self, state: &ArgusState) {
+        assert_eq!(
+            state.file.width(),
+            self.cfg.sig_width,
+            "checker state captured under a different signature width"
+        );
+        self.file = state.file.clone();
+        self.cfc = state.cfc.clone();
+        self.watchdog = state.watchdog.clone();
+        self.events = state.events.clone();
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = argus_machine::snapshot::Fnv64::new();
+        let mut mix = |v: u64| h.mix(v);
+        self.file.fold_state(&mut mix);
+        self.cfc.fold_state(&mut mix);
+        self.watchdog.fold_state(&mut mix);
+        mix(self.events.len() as u64);
+        for ev in &self.events {
+            mix(match ev.checker {
+                CheckerKind::Computation => 0,
+                CheckerKind::Parity => 1,
+                CheckerKind::Dcs => 2,
+                CheckerKind::Watchdog => 3,
+            });
+            for b in ev.reason.bytes() {
+                mix(b as u64);
+            }
+            mix(ev.cycle);
+            mix(ev.pc as u64);
+        }
+        h.finish()
+    }
+}
+
 impl Argus {
     /// Builds the checker.
     ///
@@ -577,6 +650,38 @@ mod tests {
         }
         let ev = detected.expect("watchdog must fire");
         assert_eq!(ev.checker, CheckerKind::Watchdog);
+    }
+
+    #[test]
+    fn checker_capture_restore_roundtrips() {
+        use argus_machine::SnapshotState;
+        let words: Vec<u32> = two_block_program().iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let mut a = Argus::new(ArgusConfig::default());
+        let mut inj = FaultInjector::none();
+        // Run two instructions so the SHS file and CFC hold mid-block state.
+        for _ in 0..2 {
+            if let StepOutcome::Committed(rec) = m.step(&mut inj) {
+                a.on_commit(&rec, &mut inj);
+            }
+        }
+        let st = a.capture_state();
+        let mut b = Argus::new(ArgusConfig::default());
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint(), "mid-run state is not initial");
+        b.restore_state(&st);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        assert_eq!(b.capture_state(), st);
+    }
+
+    #[test]
+    #[should_panic(expected = "different signature width")]
+    fn checker_restore_rejects_width_mismatch() {
+        use argus_machine::SnapshotState;
+        let a = Argus::new(ArgusConfig { sig_width: 4, ..ArgusConfig::default() });
+        let st = a.capture_state();
+        let mut b = Argus::new(ArgusConfig::default());
+        b.restore_state(&st);
     }
 
     #[test]

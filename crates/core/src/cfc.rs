@@ -54,6 +54,56 @@ impl Cfc {
         self.expected
     }
 
+    /// Flattens the checker into state words (external serialization; the
+    /// inverse of [`Cfc::from_state_words`]).
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut v = vec![self.max_block_len as u64, self.block_bits.len() as u64];
+        v.extend(self.block_bits.iter().map(|&b| b as u64));
+        v.push(self.block_len as u64);
+        v.push(self.expected.map_or(u64::MAX, u64::from));
+        v.push(self.pending_next.map_or(u64::MAX, u64::from));
+        v.push(self.flag_shadow as u64);
+        v
+    }
+
+    /// Rebuilds a checker from [`Cfc::state_words`] output; `None` when the
+    /// words are malformed.
+    pub fn from_state_words(ws: &[u64]) -> Option<Self> {
+        let [max_block_len, nbits, rest @ ..] = ws else { return None };
+        let nbits = usize::try_from(*nbits).ok()?;
+        if rest.len() != nbits + 4 {
+            return None;
+        }
+        let decode_opt = |w: u64| -> Option<Option<u32>> {
+            if w == u64::MAX {
+                Some(None)
+            } else {
+                Some(Some(u32::try_from(w).ok()?))
+            }
+        };
+        Some(Self {
+            max_block_len: u32::try_from(*max_block_len).ok()?,
+            block_bits: rest[..nbits].iter().map(|&b| b != 0).collect(),
+            block_len: u32::try_from(rest[nbits]).ok()?,
+            expected: decode_opt(rest[nbits + 1])?,
+            pending_next: decode_opt(rest[nbits + 2])?,
+            flag_shadow: rest[nbits + 3] != 0,
+        })
+    }
+
+    /// Folds the full checker state into `mix` (state fingerprints).
+    pub fn fold_state(&self, mix: &mut dyn FnMut(u64)) {
+        mix(self.max_block_len as u64);
+        mix(self.block_bits.len() as u64);
+        for &b in &self.block_bits {
+            mix(b as u64);
+        }
+        mix(self.block_len as u64);
+        mix(self.expected.map_or(u64::MAX, u64::from));
+        mix(self.pending_next.map_or(u64::MAX, u64::from));
+        mix(self.flag_shadow as u64);
+    }
+
     /// Arms the expectation for the entry block (supplied by the loader's
     /// indirect jump into the binary).
     pub fn expect_entry(&mut self, dcs: u32) {

@@ -53,5 +53,5 @@ pub mod shs;
 pub mod sites;
 pub mod watchdog;
 
-pub use argus::Argus;
+pub use argus::{Argus, ArgusState};
 pub use config::{ArgusConfig, CheckerKind, DetectionEvent};

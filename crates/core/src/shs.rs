@@ -58,6 +58,51 @@ impl ShsFile {
         self.width
     }
 
+    /// Flattens the file into state words (external serialization; the
+    /// inverse of [`ShsFile::from_state_words`]).
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut v = vec![self.width as u64];
+        v.extend(self.regs.iter().map(|&r| r as u64));
+        v.push(self.pc as u64);
+        v.push(self.mem as u64);
+        v.push(self.flag as u64);
+        v
+    }
+
+    /// Rebuilds a file from [`ShsFile::state_words`] output; `None` when
+    /// the words are malformed.
+    pub fn from_state_words(ws: &[u64]) -> Option<Self> {
+        if ws.len() != 36 {
+            return None;
+        }
+        let width = u32::try_from(ws[0]).ok()?;
+        if !(3..=8).contains(&width) {
+            return None;
+        }
+        let mut regs = [0u32; 32];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = u32::try_from(ws[1 + i]).ok()?;
+        }
+        Some(Self {
+            width,
+            regs,
+            pc: u32::try_from(ws[33]).ok()?,
+            mem: u32::try_from(ws[34]).ok()?,
+            flag: u32::try_from(ws[35]).ok()?,
+        })
+    }
+
+    /// Folds every signature into `mix` (checker state fingerprints).
+    pub fn fold_state(&self, mix: &mut dyn FnMut(u64)) {
+        mix(self.width as u64);
+        for &r in &self.regs {
+            mix(r as u64);
+        }
+        mix(self.pc as u64);
+        mix(self.mem as u64);
+        mix(self.flag as u64);
+    }
+
     fn mask(&self) -> u32 {
         (1 << self.width) - 1
     }

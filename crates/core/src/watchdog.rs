@@ -33,6 +33,30 @@ impl Watchdog {
         (1 << self.bits) - 1
     }
 
+    /// Flattens the watchdog into state words (external serialization; the
+    /// inverse of [`Watchdog::from_state_words`]).
+    pub fn state_words(&self) -> Vec<u64> {
+        vec![self.bits as u64, self.count as u64, self.tripped as u64]
+    }
+
+    /// Rebuilds a watchdog from [`Watchdog::state_words`] output; `None`
+    /// when the words are malformed.
+    pub fn from_state_words(ws: &[u64]) -> Option<Self> {
+        let [bits, count, tripped] = ws else { return None };
+        let bits = u32::try_from(*bits).ok()?;
+        if !(2..=16).contains(&bits) {
+            return None;
+        }
+        Some(Self { bits, count: u32::try_from(*count).ok()?, tripped: *tripped != 0 })
+    }
+
+    /// Folds the counter state into `mix` (state fingerprints).
+    pub fn fold_state(&self, mix: &mut dyn FnMut(u64)) {
+        mix(self.bits as u64);
+        mix(self.count as u64);
+        mix(self.tripped as u64);
+    }
+
     /// Feeds `n` consecutive stall cycles. Returns `true` if the counter
     /// saturates (liveness violation).
     pub fn stall(&mut self, n: u32, inj: &mut FaultInjector) -> bool {

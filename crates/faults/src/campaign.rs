@@ -7,8 +7,10 @@ use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_sim::fault::{FaultInjector, FaultKind};
 use argus_sim::rng::SplitMix64;
 use argus_sim::stats::CounterSet;
+use argus_snapshot::{Snapshot, SnapshotBuilder, SnapshotStore};
 use argus_workloads::Workload;
 use std::fmt;
+use std::sync::Arc;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -36,6 +38,13 @@ pub struct CampaignConfig {
     /// signature width and block-length bound; ablations sweep both
     /// together).
     pub ecfg: EmbedConfig,
+    /// Checkpoint the golden run every this many cycles and fork each
+    /// injection from the nearest snapshot at or before its arm cycle,
+    /// instead of cold-booting and replaying the whole deterministic
+    /// prefix. `None` (the default) keeps the cold-boot path. Results are
+    /// bit-identical either way — this only trades golden-run memory for
+    /// injection throughput.
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +58,7 @@ impl Default for CampaignConfig {
             hang_slack: 2_000,
             structural_mask: 0.30,
             ecfg: EmbedConfig::default(),
+            snapshot_every: None,
         }
     }
 }
@@ -201,6 +211,9 @@ pub struct PreparedCampaign {
     golden_cycles: u64,
     window: u64,
     points: Vec<SamplePoint>,
+    /// Golden-run checkpoints when `snapshot_every` is set; shards clone
+    /// the `Arc` and fork injections from the read-only store.
+    snapshots: Option<Arc<SnapshotStore>>,
 }
 
 impl PreparedCampaign {
@@ -212,6 +225,12 @@ impl PreparedCampaign {
     /// Golden (fault-free) run length in cycles.
     pub fn golden_cycles(&self) -> u64 {
         self.golden_cycles
+    }
+
+    /// The golden-run snapshot store, when the campaign was prepared with
+    /// `snapshot_every`.
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.snapshots.as_ref()
     }
 }
 
@@ -228,20 +247,56 @@ fn golden_run(prog: &Program, mcfg: MachineConfig) -> GoldenRun {
     GoldenRun { digest: m.state_digest(), cycles: res.cycles }
 }
 
-/// One faulty run. Returns (first detection, exercised-at, halted, digest).
-fn faulty_run(
+/// The golden run again, but stepping the checker in lockstep and
+/// checkpointing every `every` cycles. The checker runs because its state
+/// (signature file, CFC expectation, watchdog) evolves over the fault-free
+/// prefix and a forked injection must resume it mid-flight; it never
+/// mutates the machine, so the trajectory — and the golden digest — are
+/// identical to [`golden_run`].
+///
+/// Cycle 0 (image loaded, entry DCS armed, nothing executed) is always
+/// captured, so every arm cycle has a snapshot at or before it.
+fn golden_run_with_snapshots(
     prog: &Program,
-    cfg: &CampaignConfig,
-    fault: argus_sim::fault::Fault,
-    window: u64,
-) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
-    let mut m = Machine::new(cfg.mcfg);
+    mcfg: MachineConfig,
+    acfg: ArgusConfig,
+    every: u64,
+) -> (GoldenRun, SnapshotStore) {
+    let mut m = Machine::new(mcfg);
     prog.load(&mut m);
-    let mut argus = Argus::new(cfg.acfg);
+    let mut argus = Argus::new(acfg);
     if let Some(d) = prog.entry_dcs {
         argus.expect_entry(d);
     }
-    let mut inj = FaultInjector::with_fault(fault);
+    let mut builder = SnapshotBuilder::new(every);
+    builder.capture_now(&m, &argus);
+    let mut inj = FaultInjector::none();
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                argus.on_commit(&rec, &mut inj);
+            }
+            StepOutcome::Stalled => {
+                argus.on_stall(1, &mut inj);
+            }
+            StepOutcome::Halted => break,
+        }
+        builder.maybe_capture(&m, &argus);
+        assert!(m.cycle() < 500_000_000, "golden run must halt");
+    }
+    debug_assert!(argus.events().is_empty(), "golden run raised a false positive");
+    (GoldenRun { digest: m.state_digest(), cycles: m.cycle() }, builder.finish())
+}
+
+/// The faulty-run step loop, shared by the cold-boot and forked paths.
+/// Returns (first detection, exercised-at, halted, digest).
+fn faulty_loop(
+    mut m: Machine,
+    mut argus: Argus,
+    mut inj: FaultInjector,
+    window: u64,
+    data_base: u32,
+) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
     let mut first: Option<DetectionEvent> = None;
     loop {
         match m.step(&mut inj) {
@@ -267,9 +322,46 @@ fn faulty_run(
     // End-of-run scrub bounds the EDC detection latency for errors parked
     // in memory (§4.2).
     if first.is_none() {
-        first = argus.scrub_memory(&m, prog.data_base, &mut inj);
+        first = argus.scrub_memory(&m, data_base, &mut inj);
     }
     (first, inj.first_flip_cycle(), m.halted(), m.state_digest())
+}
+
+/// One faulty run from cold boot.
+fn faulty_run(
+    prog: &Program,
+    cfg: &CampaignConfig,
+    fault: argus_sim::fault::Fault,
+    window: u64,
+) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
+    let mut m = Machine::new(cfg.mcfg);
+    prog.load(&mut m);
+    let mut argus = Argus::new(cfg.acfg);
+    if let Some(d) = prog.entry_dcs {
+        argus.expect_entry(d);
+    }
+    let inj = FaultInjector::with_fault(fault);
+    faulty_loop(m, argus, inj, window, prog.data_base)
+}
+
+/// One faulty run forked from a golden-run snapshot instead of cold boot.
+///
+/// Bit-identical to [`faulty_run`] because the fault is inert before its
+/// arm cycle: `FaultInjector` passes every tap through unchanged (and
+/// keeps no internal state) until `cycle >= arm_cycle`, snapshots are
+/// taken at step boundaries, and the snapshot's cycle stamp is at or
+/// before the arm cycle — so everything skipped was identical anyway and
+/// a fresh injector is indistinguishable from one that sat through it.
+fn faulty_run_forked(
+    snap: &Snapshot,
+    fault: argus_sim::fault::Fault,
+    window: u64,
+    data_base: u32,
+) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
+    debug_assert!(snap.cycle() <= fault.arm_cycle, "forked past the arm cycle");
+    let (m, argus) = snap.restore_fresh();
+    let inj = FaultInjector::with_fault(fault);
+    faulty_loop(m, argus, inj, window, data_base)
 }
 
 /// Compiles the workload, takes the golden run, and samples the injection
@@ -286,7 +378,13 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         "embedding and checker signature widths must agree"
     );
     let prog = compile_workload(w, &cfg.ecfg);
-    let golden = golden_run(&prog, cfg.mcfg);
+    let (golden, snapshots) = match cfg.snapshot_every {
+        Some(every) => {
+            let (golden, store) = golden_run_with_snapshots(&prog, cfg.mcfg, cfg.acfg, every);
+            (golden, Some(Arc::new(store)))
+        }
+        None => (golden_run(&prog, cfg.mcfg), None),
+    };
     let window = golden.cycles * 2 + cfg.hang_slack;
     let inventory = full_inventory();
     let points = sample_points(&inventory, cfg.injections, cfg.seed);
@@ -296,6 +394,7 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         golden_cycles: golden.cycles,
         window,
         points,
+        snapshots,
     }
 }
 
@@ -324,7 +423,11 @@ pub fn run_injection(
     if rng.next_f64() < cfg.structural_mask {
         fault.sensitization = 0.0;
     }
-    let (detection, exercised_at, halted, digest) = faulty_run(&prep.prog, cfg, fault, prep.window);
+    let fork = prep.snapshots.as_deref().and_then(|s| s.nearest_at_or_before(arm_cycle));
+    let (detection, exercised_at, halted, digest) = match fork {
+        Some(snap) => faulty_run_forked(snap, fault, prep.window, prep.prog.data_base),
+        None => faulty_run(&prep.prog, cfg, fault, prep.window),
+    };
 
     let masked = halted && digest == prep.golden_digest;
     let detected = detection.is_some();
@@ -422,6 +525,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_forking_is_bit_identical_to_cold_boot() {
+        let w = argus_workloads::stress();
+        let cold_cfg = CampaignConfig { injections: 40, seed: 0xF0_0D, ..Default::default() };
+        let snap_cfg = CampaignConfig { snapshot_every: Some(500), ..cold_cfg.clone() };
+
+        let cold = prepare_campaign(&w, &cold_cfg);
+        let snap = prepare_campaign(&w, &snap_cfg);
+        assert_eq!(cold.golden_cycles(), snap.golden_cycles());
+        let store = snap.snapshot_store().expect("snapshots were requested");
+        assert!(store.len() > 2, "interval 500 over {} cycles", snap.golden_cycles());
+
+        for index in 0..cold.injections() {
+            let a = run_injection(&cold, &cold_cfg, index);
+            let b = run_injection(&snap, &snap_cfg, index);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "injection {index} diverged between cold-boot and forked paths"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_store_shares_untouched_pages() {
+        let w = argus_workloads::stress();
+        let cfg =
+            CampaignConfig { injections: 1, snapshot_every: Some(1_000), ..Default::default() };
+        let prep = prepare_campaign(&w, &cfg);
+        let store = prep.snapshot_store().unwrap();
+        let stats = store.stats();
+        assert!(
+            stats.dedup_hits > 0,
+            "consecutive snapshots should share unchanged pages (stats: {stats:?})"
+        );
+        assert!(4 * 1024 * (stats.unique_pages as u64) >= stats.unique_bytes);
+        assert!(store.materialized_bytes() > stats.unique_bytes, "dedup saved nothing");
     }
 
     #[test]

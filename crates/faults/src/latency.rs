@@ -30,7 +30,7 @@ impl LatencyReport {
                 continue;
             }
             if let (Some(k), Some(lat)) = (r.detector, r.detect_latency) {
-                per_checker.entry(k.to_string()).or_insert_with(Histogram::new).record(lat);
+                per_checker.entry(k.to_string()).or_default().record(lat);
             }
         }
         Self { per_checker }

@@ -97,13 +97,10 @@ pub fn divide(op: MulDivOp, a: u32, b: u32) -> (u32, u32) {
                 (((a as i32) / (b as i32)) as u32, ((a as i32) % (b as i32)) as u32)
             }
         }
-        MulDivOp::Divu => {
-            if b == 0 {
-                (u32::MAX, a)
-            } else {
-                (a / b, a % b)
-            }
-        }
+        MulDivOp::Divu => match (a.checked_div(b), a.checked_rem(b)) {
+            (Some(q), Some(r)) => (q, r),
+            _ => (u32::MAX, a),
+        },
         _ => panic!("divide called with a multiply op"),
     }
 }

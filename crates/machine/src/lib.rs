@@ -41,6 +41,8 @@ pub mod exec;
 pub mod machine;
 pub mod muldiv;
 pub mod sites;
+pub mod snapshot;
 
 pub use commit::{BranchInfo, CommitRecord, MemAccess, Operand};
 pub use machine::{Machine, MachineConfig, RunResult, StepOutcome};
+pub use snapshot::{CoreState, MachineState, SnapshotState};

@@ -237,23 +237,69 @@ impl Machine {
             .unwrap_or_else(|e| panic!("data write out of range: {e}"));
     }
 
-    /// A digest of the architectural state (registers, flag, memory, PC),
-    /// used for masked/unmasked classification against a golden run.
+    /// A digest of the architectural state (registers, flag, memory, PC).
+    ///
+    /// This is the workspace's one definition of "architecturally
+    /// identical": the campaign engine compares it against the golden run
+    /// for masked/unmasked classification, and the snapshot engine folds it
+    /// into [`SnapshotState::state_fingerprint`]. It deliberately excludes
+    /// microarchitectural state (cycle counts, cache arrays, parity tags) —
+    /// two runs that differ only there are architecturally the same.
     pub fn state_digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
+        let mut h = crate::snapshot::Fnv64::new();
         for &r in &self.regs {
-            mix(r as u64);
+            h.mix(r as u64);
         }
-        mix(self.flag as u64);
-        mix(self.pc as u64);
+        h.mix(self.flag as u64);
+        h.mix(self.pc as u64);
         for &w in self.mem.memory().words() {
-            mix(w as u64);
+            h.mix(w as u64);
         }
-        h
+        h.finish()
+    }
+
+    /// Captures everything except main memory (the snapshot engine pages
+    /// memory separately; see [`crate::snapshot::CoreState`]).
+    pub fn capture_core(&self) -> crate::snapshot::CoreState {
+        crate::snapshot::CoreState {
+            cfg: self.cfg,
+            regs: self.regs,
+            parity: self.parity,
+            flag: self.flag,
+            pc: self.pc,
+            cycle: self.cycle,
+            retired: self.retired,
+            pending_branch: self.pending_branch,
+            delay_slot: self.delay_slot,
+            block_bits: self.block_bits.clone(),
+            halted: self.halted,
+            caches: self.mem.capture_caches(),
+        }
+    }
+
+    /// Restores state captured by [`Machine::capture_core`]. Main memory is
+    /// untouched; the caller restores it through
+    /// [`Machine::mem_mut`] (page-wise) or [`SnapshotState::restore_state`]
+    /// (materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state was captured from a machine with a different
+    /// configuration.
+    pub fn restore_core(&mut self, st: &crate::snapshot::CoreState) {
+        assert_eq!(st.cfg, self.cfg, "snapshot captured under a different machine config");
+        self.regs = st.regs;
+        self.parity = st.parity;
+        self.flag = st.flag;
+        self.pc = st.pc;
+        self.cycle = st.cycle;
+        self.retired = st.retired;
+        self.pending_branch = st.pending_branch;
+        self.delay_slot = st.delay_slot;
+        self.block_bits.clear();
+        self.block_bits.extend_from_slice(&st.block_bits);
+        self.halted = st.halted;
+        self.mem.restore_caches(&st.caches);
     }
 
     fn parse_block_slot(&self, k: usize) -> u32 {
@@ -599,6 +645,51 @@ impl Machine {
     }
 }
 
+impl crate::snapshot::SnapshotState for Machine {
+    type State = crate::snapshot::MachineState;
+
+    fn capture_state(&self) -> Self::State {
+        crate::snapshot::MachineState {
+            core: self.capture_core(),
+            mem_words: self.mem.memory().words().to_vec(),
+            mem_tags: self.mem.memory().tags().to_vec(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &Self::State) {
+        self.restore_core(&state.core);
+        self.mem.memory_mut().restore_words(0, &state.mem_words, &state.mem_tags);
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        // Architectural digest first (the campaign's masking definition),
+        // then every microarchitectural bit a fork must reproduce.
+        let mut h = crate::snapshot::Fnv64::new();
+        h.mix(self.state_digest());
+        for &p in &self.parity {
+            h.mix(p as u64);
+        }
+        h.mix(self.cycle);
+        h.mix(self.retired);
+        h.mix(match self.pending_branch {
+            Some(t) => 0x100_0000_0000 | t as u64,
+            None => 0,
+        });
+        h.mix(self.delay_slot as u64);
+        h.mix(self.block_bits.len() as u64);
+        for &b in &self.block_bits {
+            h.mix(b as u64);
+        }
+        h.mix(self.halted as u64);
+        for &t in self.mem.memory().tags() {
+            h.mix(t as u64);
+        }
+        let mut mix = |v: u64| h.mix(v);
+        self.mem.fold_cache_state(&mut mix);
+        h.finish()
+    }
+}
+
 /// Extension trait used internally to classify mul/div ops.
 trait MulDivExt {
     fn is_div(&self) -> bool;
@@ -795,6 +886,56 @@ mod tests {
             false,
         );
         assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_identically() {
+        use crate::snapshot::SnapshotState;
+        let words: Vec<u32> = [
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 40 },
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(4), ra: Reg::ZERO, imm: 7 },
+            Instr::MulDiv { op: MulDivOp::Div, rd: r(5), ra: r(3), rb: r(4) },
+            Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(5), off: 0x200 },
+            Instr::Load { size: MemSize::Word, signed: false, rd: r(6), ra: Reg::ZERO, off: 0x200 },
+            Instr::Halt,
+        ]
+        .iter()
+        .map(encode)
+        .collect();
+
+        let mut a = Machine::new(MachineConfig::default());
+        a.load_code(0, &words);
+        let mut inj = FaultInjector::none();
+        for _ in 0..2 {
+            a.step(&mut inj);
+        }
+        let st = a.capture_state();
+
+        let mut b = Machine::new(MachineConfig::default());
+        b.restore_state(&st);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint(), "restore reproduces the state");
+
+        // Step both to completion; they must stay in lockstep.
+        loop {
+            let ra = a.step(&mut FaultInjector::none());
+            let rb = b.step(&mut FaultInjector::none());
+            assert_eq!(ra, rb, "forked run diverged");
+            assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+            if ra == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(a.cycle(), b.cycle());
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine config")]
+    fn restore_rejects_config_mismatch() {
+        let a = Machine::new(MachineConfig::default());
+        let st = a.capture_core();
+        let mut b = Machine::new(MachineConfig { argus_mode: false, ..MachineConfig::default() });
+        b.restore_core(&st);
     }
 
     #[test]

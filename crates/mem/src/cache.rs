@@ -35,7 +35,10 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4);
         assert!(self.ways >= 1, "cache needs at least one way");
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines % self.ways == 0 && lines >= self.ways, "capacity/line/ways mismatch");
+        assert!(
+            lines.is_multiple_of(self.ways) && lines >= self.ways,
+            "capacity/line/ways mismatch"
+        );
         let sets = lines / self.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -79,6 +82,33 @@ struct Line {
     tag: u32,
     /// Higher = more recently used.
     lru: u64,
+}
+
+/// One cache line's externally visible state (snapshot/restore).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineState {
+    /// Line holds a valid tag.
+    pub valid: bool,
+    /// Line is dirty (write-back pending on eviction).
+    pub dirty: bool,
+    /// Stored tag.
+    pub tag: u32,
+    /// LRU stamp (higher = more recently used).
+    pub lru: u64,
+}
+
+/// Full state of one cache: every line (row-major `set * ways + way`),
+/// the LRU clock, and the event counters. Captured and restored as a unit
+/// so a restored cache replays future accesses — hits, victims, write-backs
+/// — exactly as the original would have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// All lines, `sets * ways` long.
+    pub lines: Vec<LineState>,
+    /// The LRU clock the next access will advance from.
+    pub tick: u64,
+    /// Event counters at capture time.
+    pub stats: CacheStats,
 }
 
 /// The outcome of one cache access.
@@ -157,6 +187,53 @@ impl Cache {
         }
         *victim = Line { valid: true, dirty: is_write, tag, lru: self.tick };
         Access { hit: false, writeback }
+    }
+
+    /// Captures the full cache state (tags, valid/dirty bits, LRU stamps,
+    /// LRU clock, counters) for snapshot/restore.
+    pub fn capture_state(&self) -> CacheState {
+        let mut lines = Vec::with_capacity(self.sets.len() * self.cfg.ways as usize);
+        for set in &self.sets {
+            for l in set {
+                lines.push(LineState { valid: l.valid, dirty: l.dirty, tag: l.tag, lru: l.lru });
+            }
+        }
+        CacheState { lines, tick: self.tick, stats: self.stats }
+    }
+
+    /// Restores state captured by [`Cache::capture_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state was captured from a cache with a different
+    /// geometry (line count mismatch).
+    pub fn restore_state(&mut self, st: &CacheState) {
+        let ways = self.cfg.ways as usize;
+        assert_eq!(
+            st.lines.len(),
+            self.sets.len() * ways,
+            "cache state captured from a different geometry"
+        );
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            for (w, l) in set.iter_mut().enumerate() {
+                let s = st.lines[i * ways + w];
+                *l = Line { valid: s.valid, dirty: s.dirty, tag: s.tag, lru: s.lru };
+            }
+        }
+        self.tick = st.tick;
+        self.stats = st.stats;
+    }
+
+    /// Folds every state bit that affects future behaviour into `mix`
+    /// (state fingerprints).
+    pub fn fold_state(&self, mix: &mut dyn FnMut(u64)) {
+        mix(self.tick);
+        for set in &self.sets {
+            for l in set {
+                mix(u64::from(l.valid) | u64::from(l.dirty) << 1 | (l.tag as u64) << 2);
+                mix(l.lru);
+            }
+        }
     }
 
     /// Invalidates everything (used between experiment runs).
@@ -252,6 +329,32 @@ mod tests {
         c.access(0x0, false);
         c.flush();
         assert!(!c.access(0x0, false).hit);
+    }
+
+    #[test]
+    fn capture_restore_replays_identically() {
+        let mut a = Cache::new(CacheConfig::kb8(2));
+        a.access(0x0, true);
+        a.access(0x2000, false);
+        a.access(0x0, false);
+        let st = a.capture_state();
+
+        let mut b = Cache::new(CacheConfig::kb8(2));
+        b.restore_state(&st);
+        // Same future: the next conflicting access must pick the same
+        // victim and report the same write-back on both caches.
+        let ra = a.access(0x4000, false);
+        let rb = b.access(0x4000, false);
+        assert_eq!(ra, rb);
+        assert_eq!(a.capture_state(), b.capture_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn restore_rejects_wrong_geometry() {
+        let small = CacheConfig { size_bytes: 4 * 1024, line_bytes: 16, ways: 1 };
+        let st = Cache::new(small).capture_state();
+        Cache::new(CacheConfig::kb8(1)).restore_state(&st);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod main_memory;
 pub mod protect;
 pub mod system;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheState, CacheStats, LineState};
 pub use main_memory::MainMemory;
-pub use system::{MemConfig, MemorySystem};
+pub use system::{CachesState, MemConfig, MemorySystem};

@@ -97,6 +97,27 @@ impl MainMemory {
         &self.words
     }
 
+    /// Snapshot of all parity tags (parallel to [`MainMemory::words`]).
+    pub fn tags(&self) -> &[bool] {
+        &self.tags
+    }
+
+    /// Overwrites a contiguous run of words and tags starting at word index
+    /// `word_base` (page-wise snapshot restore; `words` and `tags` must be
+    /// the same length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not fit in memory or the slices disagree on
+    /// length.
+    pub fn restore_words(&mut self, word_base: usize, words: &[u32], tags: &[bool]) {
+        assert_eq!(words.len(), tags.len(), "payload/tag runs must be parallel");
+        let end = word_base + words.len();
+        assert!(end <= self.words.len(), "restore run {word_base}..{end} outside memory");
+        self.words[word_base..end].copy_from_slice(words);
+        self.tags[word_base..end].copy_from_slice(tags);
+    }
+
     /// Initializes every word with the address-embedded encoding of zero
     /// (`payload = 0 ⊕ A = A`, tag = parity(0) = false) — factory-valid
     /// EDC contents for an Argus-mode memory.
@@ -157,5 +178,24 @@ mod tests {
     fn size_rounds_up_to_word() {
         let m = MainMemory::new(5);
         assert_eq!(m.words().len(), 2);
+    }
+
+    #[test]
+    fn restore_words_roundtrip() {
+        let mut a = MainMemory::new(64);
+        a.write(0x10, 0xDEAD, true).unwrap();
+        a.write(0x14, 0xBEEF, false).unwrap();
+        let mut b = MainMemory::new(64);
+        b.restore_words(0, a.words(), a.tags());
+        assert_eq!(b.read(0x10).unwrap(), (0xDEAD, true));
+        assert_eq!(b.read(0x14).unwrap(), (0xBEEF, false));
+        assert_eq!(a.words(), b.words());
+        assert_eq!(a.tags(), b.tags());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside memory")]
+    fn restore_words_rejects_overflow() {
+        MainMemory::new(8).restore_words(1, &[1, 2], &[false, false]);
     }
 }

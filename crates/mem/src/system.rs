@@ -1,7 +1,17 @@
 //! The assembled memory system: I-cache + D-cache + main memory.
 
-use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheState, CacheStats};
 use crate::main_memory::{MainMemory, OutOfRangeError};
+
+/// Snapshot of both cache arrays (main memory is captured separately, as
+/// content-addressed pages, by `argus-snapshot`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachesState {
+    /// Instruction-cache state.
+    pub icache: CacheState,
+    /// Data-cache state.
+    pub dcache: CacheState,
+}
 
 /// Memory system configuration (defaults match the paper's §4.4 setup:
 /// 8KB caches, 1-cycle hits, 20-cycle misses).
@@ -156,6 +166,27 @@ impl MemorySystem {
     pub fn store_word(&mut self, addr: u32, value: u32, _protected: bool) -> u32 {
         let (p, t) = crate::protect::encode_plain(value);
         self.store_word_tagged(addr, p, t).expect("address in range")
+    }
+
+    /// Captures both cache arrays for snapshot/restore.
+    pub fn capture_caches(&self) -> CachesState {
+        CachesState { icache: self.icache.capture_state(), dcache: self.dcache.capture_state() }
+    }
+
+    /// Restores cache state captured by [`MemorySystem::capture_caches`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cache's geometry differs from the captured one.
+    pub fn restore_caches(&mut self, st: &CachesState) {
+        self.icache.restore_state(&st.icache);
+        self.dcache.restore_state(&st.dcache);
+    }
+
+    /// Folds the timing-relevant state of both caches into `mix`.
+    pub fn fold_cache_state(&self, mix: &mut dyn FnMut(u64)) {
+        self.icache.fold_state(mix);
+        self.dcache.fold_state(mix);
     }
 
     /// Invalidates both caches and resets nothing else (between runs on the

@@ -15,7 +15,12 @@
 //!   CLI) makes every worker break after its current injection, and a final
 //!   checkpoint is flushed before returning;
 //! * **live observability** — workers publish to a shared [`Progress`]
-//!   (atomics only on the hot path) that any thread can snapshot.
+//!   (atomics only on the hot path) that any thread can snapshot;
+//! * **golden-run forking** — when `CampaignConfig::snapshot_every` is
+//!   set, `prepare_campaign` checkpoints the golden run and every worker
+//!   forks injections from the read-only snapshot store the prepared
+//!   campaign shares (one `Arc<SnapshotStore>` behind `&prep`), instead
+//!   of cold-booting each one. Tallies are bit-identical either way.
 
 use crate::checkpoint::{Checkpoint, CheckpointError, Fingerprint, ShardCheckpoint};
 use crate::json::Json;
@@ -85,6 +90,14 @@ pub struct ShardedReport {
     pub shards: usize,
     /// True when the stop flag cut the campaign short.
     pub interrupted: bool,
+    /// Snapshot interval the campaign ran with (`None`: cold-boot path).
+    ///
+    /// Deliberately absent from [`ShardedReport::to_json`]: snapshots only
+    /// change throughput, never results, and the JSON report is specified
+    /// to be byte-identical with snapshots on or off.
+    pub snapshot_every: Option<u64>,
+    /// Golden-run checkpoints captured (0 on the cold-boot path).
+    pub snapshots: usize,
 }
 
 impl ShardedReport {
@@ -374,6 +387,8 @@ pub fn run_sharded(
         elapsed: started.elapsed(),
         shards: ocfg.shards,
         interrupted,
+        snapshot_every: cfg.snapshot_every,
+        snapshots: prep.snapshot_store().map_or(0, |s| s.len()),
     })
 }
 

@@ -1,0 +1,45 @@
+//! Snapshot-enabled campaigns must be bit-identical to cold-boot ones:
+//! same seed, same injections, same JSON report, for every shard count —
+//! snapshots buy throughput, never different results.
+
+use argus_faults::campaign::CampaignConfig;
+use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress, ShardedReport};
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+fn run(cfg: &CampaignConfig, shards: usize) -> ShardedReport {
+    let ocfg = OrchestratorConfig { shards, ..Default::default() };
+    let stop = AtomicBool::new(false);
+    let progress = Progress::new(shards);
+    run_sharded(&argus_workloads::stress(), cfg, &ocfg, &stop, &progress).expect("campaign runs")
+}
+
+/// The comparable form: timing zeroed (elapsed/rate are the only
+/// non-deterministic fields in the JSON report).
+fn canonical_json(mut rep: ShardedReport) -> String {
+    rep.elapsed = Duration::ZERO;
+    rep.to_json().to_string_compact()
+}
+
+#[test]
+fn snapshot_campaigns_match_cold_boot_across_shard_counts() {
+    let cold_cfg = CampaignConfig { injections: 48, seed: 0xD15C, ..Default::default() };
+    let snap_cfg = CampaignConfig { snapshot_every: Some(500), ..cold_cfg.clone() };
+
+    let reference = run(&cold_cfg, 1);
+    for shards in [1usize, 2, 8] {
+        let cold = run(&cold_cfg, shards);
+        let snap = run(&snap_cfg, shards);
+        assert!(snap.snapshots > 1, "expected golden-run checkpoints, got {}", snap.snapshots);
+        assert_eq!(snap.snapshot_every, Some(500));
+        assert_eq!(
+            cold.outcomes, reference.outcomes,
+            "cold-boot tallies diverged at {shards} shards"
+        );
+        assert_eq!(
+            canonical_json(snap),
+            canonical_json(cold),
+            "snapshot-enabled JSON diverged from cold-boot at {shards} shards"
+        );
+    }
+}

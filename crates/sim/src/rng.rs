@@ -96,7 +96,7 @@ impl SplitMix64 {
     /// slice is empty.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().sum();
-        if !(total > 0.0) {
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let mut x = self.next_f64() * total;

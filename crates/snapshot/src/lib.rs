@@ -1,0 +1,37 @@
+//! # argus-snapshot — checkpointed golden-run forking
+//!
+//! Fault campaigns (§5) re-execute the same workload thousands of times,
+//! and each injection is bit-identical to the golden run until its fault
+//! arms: `FaultInjector` is a pure pass-through before the arm cycle, so
+//! everything before it is shared, deterministic work. This crate makes
+//! that sharing explicit:
+//!
+//! * [`store::Snapshot`] — a forkable checkpoint: core state
+//!   ([`argus_machine::snapshot::CoreState`]: registers, parity tags,
+//!   pipeline latches, cycle/retired counters, both cache arrays), the
+//!   checker state ([`argus_core::ArgusState`]), and main memory as
+//!   content-addressed [`page::Page`]s, stamped with its cycle and a
+//!   combined state fingerprint.
+//! * [`page::PageStore`] — the content-addressed page pool; consecutive
+//!   snapshots share every page the run didn't touch in between.
+//! * [`store::SnapshotBuilder`] — the interval policy the golden run
+//!   drives (`--snapshot-every N`).
+//! * [`store::SnapshotStore`] — the finished, read-only store campaign
+//!   shards share behind an `Arc`; `nearest_at_or_before(arm_cycle)`
+//!   seeks the fork point for an injection.
+//! * [`io`] — standalone snapshot files for `argus snapshot save /
+//!   restore / info`.
+//!
+//! The load-bearing guarantee — forking from a snapshot is
+//! **bit-identical** to cold-booting and re-executing — rests on two
+//! facts the property tests in `tests/snapshot_props.rs` pin down:
+//! snapshots are taken at step boundaries only, and every piece of state
+//! that influences future behaviour (architectural, microarchitectural,
+//! checker) round-trips through capture/restore.
+
+pub mod io;
+pub mod page;
+pub mod store;
+
+pub use page::{Page, PageStore, PAGE_WORDS};
+pub use store::{combined_fingerprint, Snapshot, SnapshotBuilder, SnapshotStore, StoreStats};

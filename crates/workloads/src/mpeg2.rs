@@ -19,8 +19,7 @@ const MVS: [i32; ROWS] = [0, 3, 1, 7, 2, 5, 0, 6, 4, 2];
 
 fn reference(reference_frame: &[u32], resid: &[i32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(N);
-    for row in 0..ROWS {
-        let mv = MVS[row];
+    for (row, &mv) in MVS.iter().enumerate() {
         for i in 0..MB {
             let idx = row * MB + i;
             let p = reference_frame[(idx as i32 + mv) as usize] as i32;
@@ -58,10 +57,10 @@ pub fn decode() -> Workload {
 
     b.li(r(26), 2);
     b.label("outer");
-    for row in 0..ROWS {
+    for (row, &mv) in MVS.iter().enumerate() {
         let lp = format!("mb{row}_loop");
         let base = (row * MB) as u32;
-        b.li(r(2), DATA_BASE + base + MVS[row] as u32); // &ref[row*MB + mv]
+        b.li(r(2), DATA_BASE + base + mv as u32); // &ref[row*MB + mv]
         b.li(r(3), DATA_BASE + resid_off + 4 * base); // &resid[row*MB]
         b.li(r(5), DATA_BASE + out_off + base); // &out[row*MB] (bytes)
         b.li(r(4), 0);
