@@ -1,0 +1,233 @@
+//! Interpreter throughput gate (steps/sec through `Machine::step`).
+//!
+//! Every experiment in the reproduction — coverage campaigns, latency
+//! sweeps, sharded injections, snapshot forks — bottoms out in the
+//! simulator step loop, so steps/sec is the single multiplier on campaign
+//! scale. This bench pins a number on it across the axes that matter:
+//!
+//! * workload: `stress` (short, branchy) and `pegwit` (long, compute-heavy);
+//! * argus mode on (signature-embedded binary) vs. off (baseline binary);
+//! * injector quiescent (no fault, the golden-run configuration) vs. armed
+//!   (a fault resident in the injector from cycle 0 — here with
+//!   sensitization 0 so execution is architecturally identical and only
+//!   the injector-path overhead is measured);
+//! * plus a `checked` row stepping the full Argus checker in lockstep
+//!   (the per-injection campaign loop).
+//!
+//! Results land in `BENCH_throughput.json`. The gate: the argus-on,
+//! quiescent-injector golden-run configuration must clear 1.5x the pre-PR
+//! baseline recorded in [`PRE_PR_GOLDEN_STEPS_PER_SEC`].
+//!
+//! `ARGUS_BENCH_SMOKE=1` runs one iteration per row and skips the speedup
+//! gate (CI smoke mode: proves the bench runs and emits valid JSON).
+//! `ARGUS_BENCH_SECS` overrides the per-row measuring window.
+
+use argus_compiler::{compile, EmbedConfig, Mode, Program};
+use argus_core::{Argus, ArgusConfig};
+use argus_machine::{sites, Machine, MachineConfig, StepOutcome};
+use argus_orchestrator::Json;
+use argus_sim::fault::{Fault, FaultInjector, FaultKind, SiteFlavor};
+use argus_workloads::Workload;
+use std::time::Instant;
+
+/// Golden-run (argus-on, quiescent-injector, machine-only) steps/sec of the
+/// pre-PR tree, measured at commit f54c319 on the build machine with the
+/// same release profile. The hot-loop overhaul is gated against these.
+const PRE_PR_GOLDEN_STEPS_PER_SEC: &[(&str, f64)] = &[("stress", 4.93e6), ("pegwit", 5.94e6)];
+
+/// Speedup the optimized step path must reach on every workload's
+/// golden-run configuration.
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
+fn smoke() -> bool {
+    std::env::var_os("ARGUS_BENCH_SMOKE").is_some()
+}
+
+/// A fault resident in the injector from cycle 0 whose sensitization is
+/// zero: it never corrupts a signal (execution stays bit-identical to the
+/// golden run) but forces every tap through the armed slow path — the
+/// structurally-masked population of a real campaign.
+fn armed_inert_fault() -> Fault {
+    Fault {
+        site: sites::EX_RESULT_BUS,
+        bit: 0,
+        kind: FaultKind::Permanent,
+        arm_cycle: 0,
+        flavor: SiteFlavor::Single,
+        width: 32,
+        sensitization: 0.0,
+    }
+}
+
+struct Scenario {
+    config: &'static str,
+    argus_mode: bool,
+    armed: bool,
+    checked: bool,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario { config: "argus_on/quiescent", argus_mode: true, armed: false, checked: false },
+    Scenario { config: "argus_on/armed", argus_mode: true, armed: true, checked: false },
+    Scenario { config: "argus_off/quiescent", argus_mode: false, armed: false, checked: false },
+    Scenario { config: "argus_off/armed", argus_mode: false, armed: true, checked: false },
+    Scenario {
+        config: "argus_on_checked/quiescent",
+        argus_mode: true,
+        armed: false,
+        checked: true,
+    },
+];
+
+/// One full program execution; returns steps taken (commits + stalls).
+fn run_once(prog: &Program, mcfg: MachineConfig, sc: &Scenario, bound: u64) -> u64 {
+    let mut m = Machine::new(mcfg);
+    prog.load(&mut m);
+    let mut inj = if sc.armed {
+        FaultInjector::with_fault(armed_inert_fault())
+    } else {
+        FaultInjector::none()
+    };
+    let mut checker = sc.checked.then(|| {
+        let mut a = Argus::new(ArgusConfig::default());
+        if let Some(d) = prog.entry_dcs {
+            a.expect_entry(d);
+        }
+        a
+    });
+    let mut steps = 0u64;
+    loop {
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                steps += 1;
+                if let Some(a) = checker.as_mut() {
+                    a.on_commit(&rec, &mut inj);
+                }
+            }
+            StepOutcome::Stalled => steps += 1,
+            StepOutcome::Halted => break,
+        }
+        assert!(m.cycle() < bound, "workload must halt");
+    }
+    assert!(m.halted(), "workload must halt");
+    steps
+}
+
+struct Row {
+    workload: &'static str,
+    config: &'static str,
+    runs: u64,
+    steps: u64,
+    secs: f64,
+    rate: f64,
+}
+
+fn bench_workload(w: &Workload, rows: &mut Vec<Row>, window_secs: f64) {
+    let argus_prog = compile(&w.unit, Mode::Argus, &EmbedConfig::default())
+        .unwrap_or_else(|e| panic!("{}: argus compile failed: {e}", w.name));
+    let baseline_prog = compile(&w.unit, Mode::Baseline, &EmbedConfig::default())
+        .unwrap_or_else(|e| panic!("{}: baseline compile failed: {e}", w.name));
+    let bound = 500_000_000;
+
+    for sc in SCENARIOS {
+        let (prog, mcfg) = if sc.argus_mode {
+            (&argus_prog, MachineConfig::default())
+        } else {
+            (&baseline_prog, MachineConfig { argus_mode: false, ..MachineConfig::default() })
+        };
+        // Warm-up run (page faults, cache warming) outside the window.
+        run_once(prog, mcfg, sc, bound);
+        let (mut steps, mut runs) = (0u64, 0u64);
+        let t = Instant::now();
+        loop {
+            steps += run_once(prog, mcfg, sc, bound);
+            runs += 1;
+            if smoke() || t.elapsed().as_secs_f64() >= window_secs {
+                break;
+            }
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let rate = steps as f64 / secs;
+        println!(
+            "{:>8} | {:<26} | {:>4} runs | {:>9} steps | {:>6.3}s | {:>10.0} steps/s",
+            w.name, sc.config, runs, steps, secs, rate
+        );
+        rows.push(Row { workload: w.name, config: sc.config, runs, steps, secs, rate });
+    }
+}
+
+fn main() {
+    let window_secs: f64 =
+        std::env::var("ARGUS_BENCH_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(0.6);
+    println!("== interpreter throughput (Machine::step) ==");
+    if smoke() {
+        println!("(smoke mode: one run per row, no speedup gate)");
+    }
+    let header = ["workload", "config", "runs", "steps", "time", "throughput"];
+    println!(
+        "{:>8} | {:<26} | {:>9} | {:>15} | {:>7} | {}",
+        header[0], header[1], header[2], header[3], header[4], header[5]
+    );
+
+    let mut rows = Vec::new();
+    bench_workload(&argus_workloads::stress(), &mut rows, window_secs);
+    bench_workload(&argus_workloads::pegwit::pegwit(), &mut rows, window_secs);
+
+    // Speedup of the headline configuration over the pre-PR baseline.
+    let mut speedups = Vec::new();
+    for &(name, base) in PRE_PR_GOLDEN_STEPS_PER_SEC {
+        let row = rows
+            .iter()
+            .find(|r| r.workload == name && r.config == "argus_on/quiescent")
+            .expect("headline row present");
+        speedups.push((name, row.rate / base));
+    }
+    let min_speedup = speedups.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+    println!();
+    for &(name, s) in &speedups {
+        println!("{name}: {s:.2}x vs pre-PR golden-run baseline");
+    }
+
+    let json = Json::obj()
+        .set("bench", "throughput")
+        .set("smoke", smoke())
+        .set(
+            "pre_pr_baseline_steps_per_sec",
+            PRE_PR_GOLDEN_STEPS_PER_SEC
+                .iter()
+                .fold(Json::obj(), |j, &(name, rate)| j.set(name, rate)),
+        )
+        .set(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("workload", r.workload)
+                            .set("config", r.config)
+                            .set("runs", r.runs)
+                            .set("steps", r.steps)
+                            .set("seconds", r.secs)
+                            .set("steps_per_sec", r.rate)
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "golden_speedup_vs_pre_pr",
+            speedups.iter().fold(Json::obj(), |j, &(name, s)| j.set(name, s)),
+        )
+        .set("min_golden_speedup", min_speedup);
+    let text = json.to_string_compact();
+    Json::parse(&text).expect("bench emitted invalid JSON");
+    std::fs::write("BENCH_throughput.json", &text).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+
+    if !smoke() {
+        assert!(
+            min_speedup >= REQUIRED_SPEEDUP,
+            "hot-loop gate: golden-run steps/sec must clear {REQUIRED_SPEEDUP}x the pre-PR \
+             baseline on every workload, got {min_speedup:.2}x"
+        );
+    }
+}

@@ -274,11 +274,14 @@ impl Argus {
         // destination's SHS at odds with the static DCS, which is exactly
         // how the checker sees it.
         if self.cfg.enable_dcs {
-            let srcs: Vec<_> = rec.operands.iter().map(|o| o.reg).collect();
+            let mut srcs = [None; 2];
+            for (s, o) in srcs.iter_mut().zip(rec.operands.iter()) {
+                *s = o.reg;
+            }
             let dest = rec.wb.map(|(r, _, _)| r);
-            self.engine.apply(&mut self.file, &rec.op_shs, &srcs, dest, inj);
+            self.engine.apply(&mut self.file, &rec.op_shs, &srcs[..rec.operands.len()], dest, inj);
 
-            if let Some(reason) = self.cfc.note_instr(&rec.embedded_bits) {
+            if let Some(reason) = self.cfc.note_instr(rec.embedded_bits) {
                 push(CheckerKind::Dcs, reason, &mut evs);
             }
             if let Some(v) = rec.flag_write {

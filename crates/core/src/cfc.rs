@@ -19,13 +19,14 @@
 use crate::sites;
 use argus_isa::instr::Instr;
 use argus_machine::commit::BranchInfo;
+use argus_sim::bitstream::{BitStream, PackedBits};
 use argus_sim::fault::FaultInjector;
 
 /// Control-flow checker state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfc {
     max_block_len: u32,
-    block_bits: Vec<bool>,
+    block_bits: BitStream,
     block_len: u32,
     /// DCS the current block must produce (selected when the previous
     /// block ended). `None` before the first boundary.
@@ -41,7 +42,7 @@ impl Cfc {
     pub fn new(max_block_len: u32) -> Self {
         Self {
             max_block_len,
-            block_bits: Vec::new(),
+            block_bits: BitStream::new(),
             block_len: 0,
             expected: None,
             pending_next: None,
@@ -58,7 +59,7 @@ impl Cfc {
     /// inverse of [`Cfc::from_state_words`]).
     pub fn state_words(&self) -> Vec<u64> {
         let mut v = vec![self.max_block_len as u64, self.block_bits.len() as u64];
-        v.extend(self.block_bits.iter().map(|&b| b as u64));
+        v.extend_from_slice(self.block_bits.words());
         v.push(self.block_len as u64);
         v.push(self.expected.map_or(u64::MAX, u64::from));
         v.push(self.pending_next.map_or(u64::MAX, u64::from));
@@ -71,8 +72,14 @@ impl Cfc {
     pub fn from_state_words(ws: &[u64]) -> Option<Self> {
         let [max_block_len, nbits, rest @ ..] = ws else { return None };
         let nbits = usize::try_from(*nbits).ok()?;
-        if rest.len() != nbits + 4 {
+        let nwords = nbits.div_ceil(64);
+        if rest.len() != nwords + 4 {
             return None;
+        }
+        if !nbits.is_multiple_of(64)
+            && rest.get(nwords.wrapping_sub(1)).is_some_and(|&w| w >> (nbits % 64) != 0)
+        {
+            return None; // set bits past the stream length
         }
         let decode_opt = |w: u64| -> Option<Option<u32>> {
             if w == u64::MAX {
@@ -83,11 +90,11 @@ impl Cfc {
         };
         Some(Self {
             max_block_len: u32::try_from(*max_block_len).ok()?,
-            block_bits: rest[..nbits].iter().map(|&b| b != 0).collect(),
-            block_len: u32::try_from(rest[nbits]).ok()?,
-            expected: decode_opt(rest[nbits + 1])?,
-            pending_next: decode_opt(rest[nbits + 2])?,
-            flag_shadow: rest[nbits + 3] != 0,
+            block_bits: BitStream::from_words(rest[..nwords].to_vec(), nbits),
+            block_len: u32::try_from(rest[nwords]).ok()?,
+            expected: decode_opt(rest[nwords + 1])?,
+            pending_next: decode_opt(rest[nwords + 2])?,
+            flag_shadow: rest[nwords + 3] != 0,
         })
     }
 
@@ -95,8 +102,8 @@ impl Cfc {
     pub fn fold_state(&self, mix: &mut dyn FnMut(u64)) {
         mix(self.max_block_len as u64);
         mix(self.block_bits.len() as u64);
-        for &b in &self.block_bits {
-            mix(b as u64);
+        for &w in self.block_bits.words() {
+            mix(w);
         }
         mix(self.block_len as u64);
         mix(self.expected.map_or(u64::MAX, u64::from));
@@ -113,8 +120,8 @@ impl Cfc {
     /// Accounts one committed instruction: collects its embedded bits and
     /// enforces the block-length bound. Returns a violation reason when the
     /// block is illegally long.
-    pub fn note_instr(&mut self, embedded_bits: &[bool]) -> Option<&'static str> {
-        self.block_bits.extend_from_slice(embedded_bits);
+    pub fn note_instr(&mut self, embedded_bits: PackedBits) -> Option<&'static str> {
+        self.block_bits.push_packed(embedded_bits);
         self.block_len += 1;
         (self.block_len > self.max_block_len).then_some("block_length_exceeded")
     }
@@ -127,13 +134,7 @@ impl Cfc {
 
     /// Parses the k-th embedded 5-bit slot of the current block.
     pub fn slot(&self, k: usize, inj: &mut FaultInjector) -> u32 {
-        let mut v = 0u32;
-        for i in 0..5 {
-            if self.block_bits.get(5 * k + i).copied().unwrap_or(false) {
-                v |= 1 << i;
-            }
-        }
-        inj.tap32(sites::CFC_SLOT_PARSE, v) & 31
+        inj.tap32(sites::CFC_SLOT_PARSE, self.block_bits.extract(5 * k, 5)) & 31
     }
 
     /// Handles the block's control-transfer instruction: selects the
@@ -179,8 +180,8 @@ mod tests {
     use super::*;
     use argus_isa::reg::Reg;
 
-    fn bits_of(v: u32, n: usize) -> Vec<bool> {
-        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    fn bits_of(v: u32, n: usize) -> PackedBits {
+        PackedBits::new(v, n as u8)
     }
 
     fn cond_branch() -> Instr {
@@ -202,7 +203,7 @@ mod tests {
         let mut cfc = Cfc::new(64);
         let mut inj = FaultInjector::none();
         // slots: 0b10101, 0b00111
-        cfc.note_instr(&bits_of(0b00111_10101, 10));
+        cfc.note_instr(bits_of(0b00111_10101, 10));
         assert_eq!(cfc.slot(0, &mut inj), 0b10101);
         assert_eq!(cfc.slot(1, &mut inj), 0b00111);
         assert_eq!(cfc.slot(2, &mut inj), 0, "missing slots read as zero");
@@ -213,7 +214,7 @@ mod tests {
         let mut inj = FaultInjector::none();
         for (flag, expect) in [(true, 0b10101u32), (false, 0b00111)] {
             let mut cfc = Cfc::new(64);
-            cfc.note_instr(&bits_of(0b00111_10101, 10));
+            cfc.note_instr(bits_of(0b00111_10101, 10));
             cfc.on_flag_write(flag);
             cfc.on_cti(&cond_branch(), &binfo(flag), &mut inj);
             assert_eq!(cfc.finish_block(true, &mut inj), None, "first block unchecked");
@@ -227,7 +228,7 @@ mod tests {
         // by its verified flag copy, so the next block will mismatch.
         let mut inj = FaultInjector::none();
         let mut cfc = Cfc::new(64);
-        cfc.note_instr(&bits_of(0b00111_10101, 10));
+        cfc.note_instr(bits_of(0b00111_10101, 10));
         cfc.on_flag_write(true);
         cfc.on_cti(&cond_branch(), &binfo(false), &mut inj);
         cfc.finish_block(true, &mut inj);
@@ -254,7 +255,7 @@ mod tests {
     fn fallthrough_uses_slot0() {
         let mut inj = FaultInjector::none();
         let mut cfc = Cfc::new(64);
-        cfc.note_instr(&bits_of(0b11011, 5));
+        cfc.note_instr(bits_of(0b11011, 5));
         cfc.finish_block(false, &mut inj);
         assert_eq!(cfc.expected(), Some(0b11011));
     }
@@ -263,20 +264,41 @@ mod tests {
     fn finish_returns_previous_expectation_and_resets_bits() {
         let mut inj = FaultInjector::none();
         let mut cfc = Cfc::new(64);
-        cfc.note_instr(&bits_of(0b00001, 5));
+        cfc.note_instr(bits_of(0b00001, 5));
         cfc.finish_block(false, &mut inj);
-        cfc.note_instr(&bits_of(0b00010, 5));
+        cfc.note_instr(bits_of(0b00010, 5));
         let checked = cfc.finish_block(false, &mut inj);
         assert_eq!(checked, Some(0b00001));
         assert_eq!(cfc.expected(), Some(0b00010));
     }
 
     #[test]
+    fn state_words_roundtrip_packed_bits() {
+        let mut inj = FaultInjector::none();
+        let mut cfc = Cfc::new(64);
+        // 70 bits: the packed stream spans two words.
+        for _ in 0..7 {
+            cfc.note_instr(bits_of(0b11010_01101, 10));
+        }
+        cfc.on_flag_write(true);
+        cfc.on_cti(&cond_branch(), &binfo(true), &mut inj);
+        let ws = cfc.state_words();
+        let back = Cfc::from_state_words(&ws).expect("well-formed words");
+        assert_eq!(back, cfc);
+        assert_eq!(back.state_words(), ws);
+        // Malformed: truncated, and dirty bits past the stream length.
+        assert!(Cfc::from_state_words(&ws[..ws.len() - 1]).is_none());
+        let mut dirty = ws.clone();
+        dirty[3] |= 1 << 63; // second bit word; stream is 70 bits long
+        assert!(Cfc::from_state_words(&dirty).is_none());
+    }
+
+    #[test]
     fn block_length_bound() {
         let mut cfc = Cfc::new(4);
         for _ in 0..4 {
-            assert_eq!(cfc.note_instr(&[]), None);
+            assert_eq!(cfc.note_instr(PackedBits::EMPTY), None);
         }
-        assert_eq!(cfc.note_instr(&[]), Some("block_length_exceeded"));
+        assert_eq!(cfc.note_instr(PackedBits::EMPTY), Some("block_length_exceeded"));
     }
 }

@@ -232,16 +232,16 @@ impl ShsEngine {
         let op = self.op_sym(instr);
         let mask = file.mask();
         let nsrc = instr.sources().len();
-        let mut inputs = Vec::with_capacity(2);
-        for k in 0..nsrc {
-            let sig = srcs
+        let mut input_buf = [0u32; 2];
+        for (k, sig) in input_buf.iter_mut().enumerate().take(nsrc) {
+            *sig = srcs
                 .get(k)
                 .copied()
                 .flatten()
                 .map(|r| inj.tap32(sites::SHS_FILE_CELL, file.reg(r)) & mask)
                 .unwrap_or(0);
-            inputs.push(sig);
         }
+        let inputs = &input_buf[..nsrc.min(2)];
 
         match instr {
             Instr::Alu { .. }
@@ -251,7 +251,7 @@ impl ShsEngine {
             | Instr::ShiftImm { .. }
             | Instr::Movhi { .. }
             | Instr::Load { .. } => {
-                let out = self.update(op, &inputs, inj);
+                let out = self.update(op, inputs, inj);
                 if let Some(d) = dest {
                     if d != Reg::ZERO {
                         file.regs[usize::from(d)] = out;
@@ -261,12 +261,12 @@ impl ShsEngine {
             Instr::Store { .. } => {
                 // SHS_mem ← hash(prior SHS_mem, store output SHS): preserves
                 // the history of every prior store in the block.
-                let out = self.update(op, &inputs, inj);
+                let out = self.update(op, inputs, inj);
                 let prior = file.mem;
                 file.mem = self.update(out, &[prior], inj);
             }
             Instr::SetFlag { .. } | Instr::SetFlagImm { .. } => {
-                file.flag = self.update(op, &inputs, inj);
+                file.flag = self.update(op, inputs, inj);
             }
             Instr::Branch { .. } => {
                 let f = file.flag;

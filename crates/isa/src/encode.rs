@@ -9,6 +9,7 @@
 use crate::instr::{AluImmOp, AluOp, ExtKind, Instr, MemSize, MulDivOp, ShiftOp};
 use crate::reg::Reg;
 use argus_sim::bits::{field, insert};
+use argus_sim::bitstream::PackedBits;
 
 /// Primary opcodes.
 pub mod opc {
@@ -219,48 +220,57 @@ fn reg_at(r: Reg, lo: u32) -> u32 {
     (r.index() as u32) << lo
 }
 
-/// Bit positions within an encoded word that the decoder ignores — the
-/// storage the DCS embedder uses. Positions are returned low-to-high; the
-/// embedder fills them in that order across the block's instructions.
+/// Mask of the bit positions within an encoded word that the decoder
+/// ignores — the storage the DCS embedder uses. This is the hot-path form:
+/// one match and a couple of constant ORs, no allocation.
 ///
 /// Invalid encodings have no usable bits.
-pub fn unused_bit_positions(word: u32) -> Vec<u32> {
+pub fn unused_bit_mask(word: u32) -> u32 {
+    /// Mask of bits `[lo, hi)`.
+    const fn span(lo: u32, hi: u32) -> u32 {
+        (((1u64 << hi) - 1) & !((1u64 << lo) - 1)) as u32
+    }
     let o = field(word, 26, 6);
     match o {
         opc::RTYPE => {
             let subop = field(word, 0, 4);
             if (sub::EXTBS..=sub::EXTHZ).contains(&subop) {
                 // rb field is also free for unary extension ops.
-                (4..16).collect()
+                span(4, 16)
             } else if subop <= sub::DIVU {
-                (4..11).collect()
+                span(4, 11)
             } else {
-                vec![]
+                0
             }
         }
-        opc::SF => (0..11).collect(),
-        opc::SHIFTI => {
-            let mut v: Vec<u32> = vec![5];
-            v.extend(8..16);
-            v
-        }
-        opc::MOVHI => (16..21).collect(),
-        opc::JR | opc::JALR => {
-            let mut v: Vec<u32> = (0..11).collect();
-            v.extend(16..26);
-            v
-        }
-        opc::NOP => (0..16).collect(),
+        opc::SF => span(0, 11),
+        opc::SHIFTI => (1 << 5) | span(8, 16),
+        opc::MOVHI => span(16, 21),
+        opc::JR | opc::JALR => span(0, 11) | span(16, 26),
+        opc::NOP => span(0, 16),
         // Sig payload bits are the DCS slots themselves, not general-purpose
         // unused storage; bits [22:15] are reserved.
-        opc::SIG => vec![],
-        _ => vec![],
+        opc::SIG => 0,
+        _ => 0,
     }
+}
+
+/// Bit positions within an encoded word that the decoder ignores, returned
+/// low-to-high; the embedder fills them in that order across the block's
+/// instructions. Cold-path (allocating) form of [`unused_bit_mask`].
+pub fn unused_bit_positions(word: u32) -> Vec<u32> {
+    let mut m = unused_bit_mask(word);
+    let mut v = Vec::with_capacity(m.count_ones() as usize);
+    while m != 0 {
+        v.push(m.trailing_zeros());
+        m &= m - 1;
+    }
+    v
 }
 
 /// Total unused-bit capacity of one encoded instruction.
 pub fn unused_bit_count(word: u32) -> u32 {
-    unused_bit_positions(word).len() as u32
+    unused_bit_mask(word).count_ones()
 }
 
 /// The DCS-carrying bits one instruction word contributes to its basic
@@ -270,11 +280,30 @@ pub fn unused_bit_count(word: u32) -> u32 {
 /// hardware model, the compiler's phase-3 embedder, and the static binary
 /// verifier.
 pub fn embedded_bits(word: u32) -> Vec<bool> {
-    match crate::decode::decode(word) {
-        Instr::Sig { nslots, payload, .. } => {
-            (0..nslots as u32 * 5).map(|i| (payload >> i) & 1 == 1).collect()
+    embedded_bits_packed(word).to_vec()
+}
+
+/// [`embedded_bits`] in packed form (the hot-loop representation).
+pub fn embedded_bits_packed(word: u32) -> PackedBits {
+    embedded_bits_of(&crate::decode::decode(word), word)
+}
+
+/// [`embedded_bits_packed`] when the caller already decoded `word` — the
+/// step loop reuses its decode instead of paying a fourth one.
+pub fn embedded_bits_of(i: &Instr, word: u32) -> PackedBits {
+    match *i {
+        Instr::Sig { nslots, payload, .. } => PackedBits::new(payload as u32, nslots * 5),
+        _ => {
+            let mut m = unused_bit_mask(word);
+            let mut bits = 0u32;
+            let mut k = 0u8;
+            while m != 0 {
+                bits |= ((word >> m.trailing_zeros()) & 1) << k;
+                k += 1;
+                m &= m - 1;
+            }
+            PackedBits::new(bits, k)
         }
-        _ => unused_bit_positions(word).into_iter().map(|pos| (word >> pos) & 1 == 1).collect(),
     }
 }
 

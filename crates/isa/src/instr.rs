@@ -332,6 +332,60 @@ pub enum Instr {
     Halt,
 }
 
+/// The source-register list of one instruction: at most two registers,
+/// stored inline (no allocation). Dereferences to `[Reg]`, so slice
+/// methods (`len`, `iter`, indexing) apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrcRegs {
+    regs: [Reg; 2],
+    len: u8,
+}
+
+impl SrcRegs {
+    /// No source registers.
+    pub fn none() -> Self {
+        Self { regs: [Reg::ZERO; 2], len: 0 }
+    }
+
+    /// One source register.
+    pub fn one(ra: Reg) -> Self {
+        Self { regs: [ra, Reg::ZERO], len: 1 }
+    }
+
+    /// Two source registers, in operand order.
+    pub fn two(ra: Reg, rb: Reg) -> Self {
+        Self { regs: [ra, rb], len: 2 }
+    }
+
+    /// The registers as a slice, in operand order.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SrcRegs {
+    type Target = [Reg];
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for SrcRegs {
+    type Item = Reg;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Reg, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcRegs {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 impl Instr {
     /// True for control-transfer instructions (all have one delay slot).
     pub fn is_cti(&self) -> bool {
@@ -354,20 +408,22 @@ impl Instr {
         }
     }
 
-    /// The registers read by this instruction, in operand order.
-    pub fn sources(&self) -> Vec<Reg> {
+    /// The registers read by this instruction, in operand order. No
+    /// instruction reads more than two, so the list is returned inline
+    /// (the step loop calls this per retired instruction).
+    pub fn sources(&self) -> SrcRegs {
         match *self {
             Instr::Alu { ra, rb, .. }
             | Instr::MulDiv { ra, rb, .. }
-            | Instr::SetFlag { ra, rb, .. } => vec![ra, rb],
+            | Instr::SetFlag { ra, rb, .. } => SrcRegs::two(ra, rb),
             Instr::Ext { ra, .. }
             | Instr::AluImm { ra, .. }
             | Instr::ShiftImm { ra, .. }
             | Instr::SetFlagImm { ra, .. }
-            | Instr::Load { ra, .. } => vec![ra],
-            Instr::Store { ra, rb, .. } => vec![ra, rb],
-            Instr::JumpReg { rb, .. } => vec![rb],
-            _ => vec![],
+            | Instr::Load { ra, .. } => SrcRegs::one(ra),
+            Instr::Store { ra, rb, .. } => SrcRegs::two(ra, rb),
+            Instr::JumpReg { rb, .. } => SrcRegs::one(rb),
+            _ => SrcRegs::none(),
         }
     }
 
@@ -535,11 +591,12 @@ mod tests {
     fn dest_and_sources() {
         let i = Instr::Alu { op: AluOp::Add, rd: r(1), ra: r(2), rb: r(3) };
         assert_eq!(i.dest(), Some(r(1)));
-        assert_eq!(i.sources(), vec![r(2), r(3)]);
+        assert_eq!(i.sources().as_slice(), [r(2), r(3)]);
 
         let s = Instr::Store { size: MemSize::Word, ra: r(4), rb: r(5), off: -8 };
         assert_eq!(s.dest(), None);
-        assert_eq!(s.sources(), vec![r(4), r(5)]);
+        assert_eq!(s.sources().as_slice(), [r(4), r(5)]);
+        assert_eq!(s.sources().into_iter().collect::<Vec<_>>(), vec![r(4), r(5)]);
 
         let jal = Instr::Jump { link: true, off: 4 };
         assert_eq!(jal.dest(), Some(Reg::LR));

@@ -7,9 +7,10 @@
 
 use argus_isa::instr::{Instr, MemSize};
 use argus_isa::reg::Reg;
+use argus_sim::bitstream::PackedBits;
 
 /// One source operand as delivered to the execute stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Operand {
     /// Effective source register (after any read-address fault), or `None`
     /// for non-register operands.
@@ -18,6 +19,54 @@ pub struct Operand {
     pub value: u32,
     /// The parity tag that travelled with the value from the register file.
     pub parity: bool,
+}
+
+/// The source operands of one committed instruction: at most two, stored
+/// inline so building a [`CommitRecord`] never allocates. Dereferences to
+/// `[Operand]`, so slice methods (`len`, `get`, `iter`, indexing) apply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Operands {
+    ops: [Operand; 2],
+    len: u8,
+}
+
+impl Operands {
+    /// An empty operand list.
+    pub const fn none() -> Self {
+        Self { ops: [Operand { reg: None, value: 0, parity: false }; 2], len: 0 }
+    }
+
+    /// Appends an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics when already holding two operands (no instruction reads
+    /// more).
+    pub fn push(&mut self, op: Operand) {
+        assert!(self.len < 2, "an instruction reads at most two operands");
+        self.ops[self.len as usize] = op;
+        self.len += 1;
+    }
+
+    /// The operands as a slice, in operand order.
+    pub fn as_slice(&self) -> &[Operand] {
+        &self.ops[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Operands {
+    type Target = [Operand];
+    fn deref(&self) -> &[Operand] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Operands {
+    type Item = &'a Operand;
+    type IntoIter = std::slice::Iter<'a, Operand>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 /// Control-transfer outcome of a committed CTI.
@@ -82,7 +131,7 @@ pub struct CommitRecord {
     /// Decoded view delivered to the SHS computation unit.
     pub op_shs: Instr,
     /// Source operands in operand order.
-    pub operands: Vec<Operand>,
+    pub operands: Operands,
     /// Functional-unit output (post internal fault, before the result bus).
     pub result: Option<u32>,
     /// Auxiliary FU output: product high word or division remainder.
@@ -104,7 +153,7 @@ pub struct CommitRecord {
     pub block_end: bool,
     /// The DCS-carrying bits this instruction contributed to the block's
     /// embedded signature stream (unused-field bits or Sig payload).
-    pub embedded_bits: Vec<bool>,
+    pub embedded_bits: PackedBits,
     /// Cycles this instruction occupied the pipeline (1 = no stall).
     pub cycles: u32,
     /// Global cycle count at commit.
@@ -130,7 +179,7 @@ mod tests {
             instr: Instr::Nop,
             op_subchk: Instr::Nop,
             op_shs: Instr::Nop,
-            operands: vec![],
+            operands: Operands::none(),
             result: None,
             aux_result: None,
             wb: None,
@@ -140,7 +189,7 @@ mod tests {
             next_pc: 4,
             in_delay_slot: false,
             block_end: false,
-            embedded_bits: vec![],
+            embedded_bits: PackedBits::EMPTY,
             cycles: 21,
             cycle: 21,
         };

@@ -40,9 +40,10 @@ pub mod commit;
 pub mod exec;
 pub mod machine;
 pub mod muldiv;
+pub mod predecode;
 pub mod sites;
 pub mod snapshot;
 
-pub use commit::{BranchInfo, CommitRecord, MemAccess, Operand};
+pub use commit::{BranchInfo, CommitRecord, MemAccess, Operand, Operands};
 pub use machine::{Machine, MachineConfig, RunResult, StepOutcome};
 pub use snapshot::{CoreState, MachineState, SnapshotState};

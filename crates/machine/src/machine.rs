@@ -11,7 +11,11 @@ use argus_isa::reg::Reg;
 use argus_isa::{pack_indirect_target, split_indirect_target, INDIRECT_ADDR_MASK};
 use argus_mem::{MemConfig, MemorySystem};
 use argus_sim::bits::parity32;
+use argus_sim::bitstream::BitStream;
 use argus_sim::fault::FaultInjector;
+
+use crate::commit::Operands;
+use crate::predecode::Predecode;
 
 /// Per-register fault-site names for the register file cells (one site per
 /// architectural register, so a permanent fault is pinned to one cell).
@@ -63,19 +67,33 @@ pub struct MachineConfig {
     pub mul_cycles: u32,
     /// Total cycles of a divide (serial divider, 32).
     pub div_cycles: u32,
+    /// Use the predecode memo on the quiescent fast path. Semantically
+    /// inert (the memo always equals direct decode); exposed so identity
+    /// tests can compare campaigns with it on and off.
+    pub predecode: bool,
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        Self { mem: MemConfig::default(), argus_mode: true, mul_cycles: 3, div_cycles: 32 }
+        Self {
+            mem: MemConfig::default(),
+            argus_mode: true,
+            mul_cycles: 3,
+            div_cycles: 32,
+            predecode: true,
+        }
     }
 }
 
 /// Result of one [`Machine::step`].
+// The commit record rides inline: it is all-POD since the operand/signature
+// lists moved into fixed-size fields, and boxing it would put a heap
+// allocation back on every step of the hot loop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepOutcome {
     /// An instruction retired.
-    Committed(Box<CommitRecord>),
+    Committed(CommitRecord),
     /// The pipeline spent a cycle stalled without retiring (only happens
     /// under an injected stall-control fault).
     Stalled,
@@ -107,8 +125,11 @@ pub struct Machine {
     retired: u64,
     pending_branch: Option<u32>,
     delay_slot: bool,
-    block_bits: Vec<bool>,
+    block_bits: BitStream,
     halted: bool,
+    /// Pure decode memo — deliberately excluded from snapshots and
+    /// fingerprints (a stale entry is re-derived, never wrong).
+    predecode: Predecode,
 }
 
 impl Machine {
@@ -134,8 +155,9 @@ impl Machine {
             retired: 0,
             pending_branch: None,
             delay_slot: false,
-            block_bits: Vec::new(),
+            block_bits: BitStream::new(),
             halted: false,
+            predecode: Predecode::new(),
         }
     }
 
@@ -296,20 +318,13 @@ impl Machine {
         self.retired = st.retired;
         self.pending_branch = st.pending_branch;
         self.delay_slot = st.delay_slot;
-        self.block_bits.clear();
-        self.block_bits.extend_from_slice(&st.block_bits);
+        self.block_bits.clone_from(&st.block_bits);
         self.halted = st.halted;
         self.mem.restore_caches(&st.caches);
     }
 
     fn parse_block_slot(&self, k: usize) -> u32 {
-        let mut v = 0u32;
-        for i in 0..5 {
-            if self.block_bits.get(5 * k + i).copied().unwrap_or(false) {
-                v |= 1 << i;
-            }
-        }
-        v
+        self.block_bits.extract(5 * k, 5)
     }
 
     fn wb_store(
@@ -361,21 +376,31 @@ impl Machine {
         let pc = self.pc;
         let (raw0, fetch_cycles) = self.mem.fetch(pc);
         let raw = inj.tap32(sites::IF_IBUS, raw0);
-        let trunk = inj.tap32(sites::ID_OPC_TRUNK, raw);
-        let instr = decode(inj.tap32(sites::ID_OPC_FU, trunk));
-        let op_subchk = decode(inj.tap32(sites::ID_OPC_SUBCHK, trunk));
-        let op_shs = decode(inj.tap32(sites::ID_OPC_SHS, trunk));
-
-        // Signature extraction (Argus assist logic on the fetch path).
-        let embedded_bits = argus_isa::encode::embedded_bits(raw);
-        self.block_bits.extend(embedded_bits.iter().copied());
+        // Quiescent fast path: with no armed fault every ID_OPC_* tap is an
+        // identity function, so the three decode taps (FU, sub-checker,
+        // SHS) and the embedded-bit extraction collapse to one memoized
+        // lookup. Any armed fault takes the exact original tap sequence.
+        let (instr, op_subchk, op_shs, embedded_bits);
+        if self.cfg.predecode && inj.is_quiescent() {
+            let (i, e) = self.predecode.lookup(raw);
+            (instr, op_subchk, op_shs, embedded_bits) = (i, i, i, e);
+        } else {
+            let trunk = inj.tap32(sites::ID_OPC_TRUNK, raw);
+            instr = decode(inj.tap32(sites::ID_OPC_FU, trunk));
+            op_subchk = decode(inj.tap32(sites::ID_OPC_SUBCHK, trunk));
+            op_shs = decode(inj.tap32(sites::ID_OPC_SHS, trunk));
+            // Signature extraction (Argus assist logic on the fetch path)
+            // works from the raw fetched word, not the faulted decode trunk.
+            embedded_bits = argus_isa::encode::embedded_bits_packed(raw);
+        }
+        self.block_bits.push_packed(embedded_bits);
 
         let in_delay_slot = self.delay_slot;
         self.delay_slot = false;
         let mut block_end = in_delay_slot;
 
         let srcs = instr.sources();
-        let mut operands = Vec::with_capacity(srcs.len());
+        let mut operands = Operands::none();
         for (k, &r) in srcs.iter().enumerate() {
             let op = self.read_operand(k.min(1), r, inj);
             operands.push(op);
@@ -618,7 +643,7 @@ impl Machine {
         if block_end {
             self.block_bits.clear();
         }
-        StepOutcome::Committed(Box::new(rec))
+        StepOutcome::Committed(rec)
     }
 
     fn link_value(&mut self, pc: u32, slot: usize, inj: &mut FaultInjector) -> u32 {
@@ -676,9 +701,11 @@ impl crate::snapshot::SnapshotState for Machine {
             None => 0,
         });
         h.mix(self.delay_slot as u64);
+        // Signature buffer: length plus packed 64-bit words (tail bits are
+        // zero by construction, so equal streams mix equal values).
         h.mix(self.block_bits.len() as u64);
-        for &b in &self.block_bits {
-            h.mix(b as u64);
+        for &w in self.block_bits.words() {
+            h.mix(w);
         }
         h.mix(self.halted as u64);
         for &t in self.mem.memory().tags() {
@@ -914,6 +941,7 @@ mod tests {
         let mut b = Machine::new(MachineConfig::default());
         b.restore_state(&st);
         assert_eq!(a.state_fingerprint(), b.state_fingerprint(), "restore reproduces the state");
+        assert_eq!(a.state_digest(), b.state_digest(), "digest stable across save/restore");
 
         // Step both to completion; they must stay in lockstep.
         loop {
@@ -1005,9 +1033,75 @@ mod tests {
         match m.step(&mut inj) {
             StepOutcome::Committed(rec) => {
                 assert_eq!(rec.embedded_bits.len(), 7);
-                assert_eq!(rec.embedded_bits, vec![true, false, true, false, true, false, true]);
+                assert_eq!(
+                    rec.embedded_bits.to_vec(),
+                    vec![true, false, true, false, true, false, true]
+                );
             }
             other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    /// The predecode memo must be invisible under decode-unit injection:
+    /// with a fault armed on any `ID_OPC_*` site, every commit record and
+    /// the final architectural digest must match between a machine running
+    /// with the memo enabled and one with it disabled, because both must
+    /// take the exact tapped triple-decode path once the fault arms (and
+    /// the identical fast path before it arms).
+    #[test]
+    fn predecode_is_identical_under_id_opc_injection() {
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let words: Vec<u32> = [
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 7 },
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(4), ra: Reg::ZERO, imm: 5 },
+            Instr::Alu { op: AluOp::Add, rd: r(5), ra: r(3), rb: r(4) },
+            Instr::SetFlag { cond: Cond::Eq, ra: r(5), rb: r(5) },
+            Instr::Branch { taken_if: true, off: 2 },
+            Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(5), off: 0x100 },
+            Instr::Halt,
+        ]
+        .iter()
+        .map(encode)
+        .collect();
+
+        for site in [sites::ID_OPC_TRUNK, sites::ID_OPC_FU, sites::ID_OPC_SUBCHK, sites::ID_OPC_SHS]
+        {
+            for kind in [FaultKind::Transient, FaultKind::Permanent] {
+                for arm_cycle in [0, 2, 4] {
+                    let fault = Fault {
+                        site,
+                        bit: 3,
+                        kind,
+                        arm_cycle,
+                        flavor: SiteFlavor::Single,
+                        width: 32,
+                        sensitization: 1.0,
+                    };
+                    let mut on = Machine::new(MachineConfig::default());
+                    let mut off = Machine::new(MachineConfig {
+                        predecode: false,
+                        ..MachineConfig::default()
+                    });
+                    on.load_code(0, &words);
+                    off.load_code(0, &words);
+                    let mut inj_on = FaultInjector::with_fault(fault.clone());
+                    let mut inj_off = FaultInjector::with_fault(fault);
+                    for _ in 0..64 {
+                        let a = on.step(&mut inj_on);
+                        let b = off.step(&mut inj_off);
+                        assert_eq!(a, b, "{site} {kind:?} arm={arm_cycle}: records diverged");
+                        if a == StepOutcome::Halted {
+                            break;
+                        }
+                    }
+                    assert_eq!(
+                        on.state_digest(),
+                        off.state_digest(),
+                        "{site} {kind:?} arm={arm_cycle}: digests diverged"
+                    );
+                    assert_eq!(inj_on.flip_count(), inj_off.flip_count());
+                }
+            }
         }
     }
 

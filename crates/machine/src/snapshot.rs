@@ -27,6 +27,7 @@
 
 use crate::machine::MachineConfig;
 use argus_mem::CachesState;
+use argus_sim::bitstream::BitStream;
 
 /// State capture/restore with identity fingerprints.
 ///
@@ -73,7 +74,7 @@ pub struct CoreState {
     /// Next instruction is a delay slot.
     pub delay_slot: bool,
     /// Signature bits accumulated for the current basic block.
-    pub block_bits: Vec<bool>,
+    pub block_bits: BitStream,
     /// Machine has executed `halt`.
     pub halted: bool,
     /// Both cache arrays (tags, valid/dirty, LRU).

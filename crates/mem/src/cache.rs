@@ -121,10 +121,15 @@ pub struct Access {
 }
 
 /// A blocking, write-back, write-allocate cache (tag array only).
+///
+/// Lines live in one flat row-major array (`set * ways + way`) — one
+/// allocation, one cache-friendly contiguous scan per access — instead of
+/// a `Vec<Vec<Line>>` with a pointer chase per set.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    num_sets: u32,
+    lines: Box<[Line]>,
     stats: CacheStats,
     tick: u64,
 }
@@ -136,10 +141,11 @@ impl Cache {
     ///
     /// Panics if the geometry is invalid (see [`CacheConfig::num_sets`]).
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = cfg.num_sets();
+        let num_sets = cfg.num_sets();
         Self {
             cfg,
-            sets: vec![vec![Line::default(); cfg.ways as usize]; sets as usize],
+            num_sets,
+            lines: vec![Line::default(); (num_sets * cfg.ways) as usize].into_boxed_slice(),
             stats: CacheStats::default(),
             tick: 0,
         }
@@ -156,7 +162,7 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
-        let sets = self.sets.len() as u32;
+        let sets = self.num_sets;
         let line = addr / self.cfg.line_bytes;
         ((line % sets) as usize, line / sets)
     }
@@ -167,8 +173,12 @@ impl Cache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
+        let ways = self.cfg.ways as usize;
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
 
+        // Direct-mapped (the paper's configuration) needs no way scan at
+        // all; for associative sets the single-slice loops below stay
+        // branch-predictable and unroll for small fixed way counts.
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = self.tick;
             line.dirty |= is_write;
@@ -177,11 +187,26 @@ impl Cache {
         }
 
         self.stats.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
-            .expect("cache set has at least one way");
-        let writeback = victim.valid && victim.dirty;
+        // Victim: first invalid way, else the valid way with the smallest
+        // LRU stamp (first on ties, matching `min_by_key`). The explicit
+        // split avoids the old `l.lru + 1` ranking trick, which overflowed
+        // if a stamp ever reached `u64::MAX`.
+        let mut victim = 0usize;
+        let mut best_lru = u64::MAX;
+        let mut found_invalid = false;
+        for (w, l) in set.iter().enumerate() {
+            if !l.valid {
+                victim = w;
+                found_invalid = true;
+                break;
+            }
+            if l.lru < best_lru {
+                best_lru = l.lru;
+                victim = w;
+            }
+        }
+        let victim = &mut set[victim];
+        let writeback = !found_invalid && victim.dirty;
         if writeback {
             self.stats.writebacks += 1;
         }
@@ -192,12 +217,11 @@ impl Cache {
     /// Captures the full cache state (tags, valid/dirty bits, LRU stamps,
     /// LRU clock, counters) for snapshot/restore.
     pub fn capture_state(&self) -> CacheState {
-        let mut lines = Vec::with_capacity(self.sets.len() * self.cfg.ways as usize);
-        for set in &self.sets {
-            for l in set {
-                lines.push(LineState { valid: l.valid, dirty: l.dirty, tag: l.tag, lru: l.lru });
-            }
-        }
+        let lines = self
+            .lines
+            .iter()
+            .map(|l| LineState { valid: l.valid, dirty: l.dirty, tag: l.tag, lru: l.lru })
+            .collect();
         CacheState { lines, tick: self.tick, stats: self.stats }
     }
 
@@ -208,17 +232,13 @@ impl Cache {
     /// Panics if the state was captured from a cache with a different
     /// geometry (line count mismatch).
     pub fn restore_state(&mut self, st: &CacheState) {
-        let ways = self.cfg.ways as usize;
         assert_eq!(
             st.lines.len(),
-            self.sets.len() * ways,
+            self.lines.len(),
             "cache state captured from a different geometry"
         );
-        for (i, set) in self.sets.iter_mut().enumerate() {
-            for (w, l) in set.iter_mut().enumerate() {
-                let s = st.lines[i * ways + w];
-                *l = Line { valid: s.valid, dirty: s.dirty, tag: s.tag, lru: s.lru };
-            }
+        for (l, s) in self.lines.iter_mut().zip(&st.lines) {
+            *l = Line { valid: s.valid, dirty: s.dirty, tag: s.tag, lru: s.lru };
         }
         self.tick = st.tick;
         self.stats = st.stats;
@@ -228,21 +248,15 @@ impl Cache {
     /// (state fingerprints).
     pub fn fold_state(&self, mix: &mut dyn FnMut(u64)) {
         mix(self.tick);
-        for set in &self.sets {
-            for l in set {
-                mix(u64::from(l.valid) | u64::from(l.dirty) << 1 | (l.tag as u64) << 2);
-                mix(l.lru);
-            }
+        for l in &self.lines {
+            mix(u64::from(l.valid) | u64::from(l.dirty) << 1 | (l.tag as u64) << 2);
+            mix(l.lru);
         }
     }
 
     /// Invalidates everything (used between experiment runs).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::default();
-            }
-        }
+        self.lines.fill(Line::default());
     }
 }
 
@@ -355,6 +369,38 @@ mod tests {
         let small = CacheConfig { size_bytes: 4 * 1024, line_bytes: 16, ways: 1 };
         let st = Cache::new(small).capture_state();
         Cache::new(CacheConfig::kb8(1)).restore_state(&st);
+    }
+
+    /// Satellite regression: the old victim ranking computed `l.lru + 1`,
+    /// which overflows once a stamp reaches `u64::MAX` (tick wraparound).
+    /// The explicit valid/invalid split must survive saturated stamps and
+    /// still evict the least-recently-used valid line.
+    #[test]
+    fn eviction_order_survives_tick_wraparound() {
+        let mut c = Cache::new(CacheConfig::kb8(2));
+        c.access(0x0, false); // way A
+        c.access(0x2000, true); // way B (dirty)
+                                // Force the LRU clock to the end of its range: way A re-touched at
+                                // a saturated stamp, so way B is now strictly least recent.
+        let mut st = c.capture_state();
+        st.tick = u64::MAX - 10;
+        st.lines.iter_mut().filter(|l| l.valid && l.tag == 0).for_each(|l| l.lru = u64::MAX);
+        c.restore_state(&st);
+        let a = c.access(0x4000, false);
+        assert!(!a.hit);
+        assert!(a.writeback, "dirty way B must be the victim, not saturated way A");
+        assert!(c.access(0x0, false).hit, "way A (lru = u64::MAX) survived");
+        assert!(!c.access(0x2000, false).hit, "way B was evicted");
+    }
+
+    #[test]
+    fn invalid_way_claimed_before_any_eviction() {
+        let mut c = Cache::new(CacheConfig::kb8(2));
+        c.access(0x0, true); // one valid dirty line; second way still invalid
+        let a = c.access(0x2000, false);
+        assert!(!a.hit);
+        assert!(!a.writeback, "invalid way must be filled before evicting the dirty line");
+        assert!(c.access(0x0, false).hit);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //!    resumed finishes with tallies identical to an uninterrupted run.
 
 use argus_faults::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use argus_faults::sites::{full_inventory, sample_points};
 use argus_faults::Outcome;
-use argus_orchestrator::{run_sharded, Checkpoint, OrchestratorConfig, Progress, ShardedReport};
+use argus_orchestrator::{
+    run_sharded, Checkpoint, Json, OrchestratorConfig, Progress, ShardedReport,
+};
 use argus_sim::fault::FaultKind;
 use argus_sim::stats::{CounterSet, Histogram};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,6 +65,48 @@ fn sharded_tallies_match_legacy_serial_for_any_shard_count() {
         for o in Outcome::ALL {
             assert_eq!(rep.count(o) as usize, serial.count(o), "count({o:?}), shards={shards}");
         }
+    }
+}
+
+/// The campaign JSON with its wall-clock and run-shape fields removed —
+/// everything left is a deterministic tally.
+fn canonical_json(rep: &ShardedReport) -> String {
+    let Json::Obj(fields) = rep.to_json() else { panic!("report JSON is an object") };
+    let volatile = ["elapsed_seconds", "injections_per_second", "shards"];
+    Json::Obj(fields.into_iter().filter(|(k, _)| !volatile.contains(&k.as_str())).collect())
+        .to_string_compact()
+}
+
+#[test]
+fn predecode_memo_and_shard_count_leave_json_tallies_identical() {
+    // The predecode memo only matters if the campaign actually arms decode
+    // faults: confirm the sampled plan hits at least one ID_OPC_* site, so
+    // the memo's armed slow path (full tapped decode) is exercised.
+    let plan = sample_points(&full_inventory(), INJECTIONS, config().seed);
+    assert!(
+        plan.iter().any(|p| p.site.name.starts_with("id_opc_")),
+        "sample plan never targets a decode site; pick a different seed"
+    );
+
+    let mut tallies: Vec<(bool, usize, String)> = Vec::new();
+    for predecode in [true, false] {
+        for shards in [1usize, 2, 8] {
+            let mut ccfg = config();
+            ccfg.mcfg.predecode = predecode;
+            let progress = Progress::new(shards);
+            let stop = AtomicBool::new(false);
+            let ocfg = OrchestratorConfig { shards, ..Default::default() };
+            let rep =
+                run_sharded(&argus_workloads::stress(), &ccfg, &ocfg, &stop, &progress).unwrap();
+            assert_eq!(rep.completed, INJECTIONS, "predecode={predecode} shards={shards}");
+            tallies.push((predecode, shards, canonical_json(&rep)));
+        }
+    }
+    for (predecode, shards, t) in &tallies[1..] {
+        assert_eq!(
+            *t, tallies[0].2,
+            "campaign JSON diverged: predecode={predecode} shards={shards} vs baseline"
+        );
     }
 }
 

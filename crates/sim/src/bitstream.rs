@@ -1,0 +1,365 @@
+//! Packed bit containers for the Dataflow/Control-Signature stream.
+//!
+//! Argus-1 embeds signature bits into unused instruction-encoding bits and
+//! the CFC checker reassembles them into per-block signature words. The
+//! simulator's hot loop pushes a handful of bits per committed instruction
+//! and the checker extracts 5-bit slots at block ends, so both sides want a
+//! packed representation: [`PackedBits`] is the per-instruction carrier (at
+//! most 21 embedded bits in any OR1200-style encoding) and [`BitStream`] is
+//! the growing per-block buffer, stored LSB-first in `u64` words so pushes,
+//! extracts, clears and fingerprint mixes touch whole words instead of one
+//! `bool` at a time.
+
+/// Up to 32 bits embedded in one instruction word, packed LSB-first.
+///
+/// The all-inline replacement for the `Vec<bool>` that
+/// `embedded_bits` used to allocate per decoded instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PackedBits {
+    bits: u32,
+    len: u8,
+}
+
+impl PackedBits {
+    /// An empty carrier.
+    pub const EMPTY: Self = Self { bits: 0, len: 0 };
+
+    /// Packs `len` bits (LSB-first in `bits`); bits at or above `len` are
+    /// cleared so equality is structural.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(bits: u32, len: u8) -> Self {
+        assert!(len <= 32, "PackedBits holds at most 32 bits");
+        let masked = if len == 32 { bits } else { bits & ((1u32 << len) - 1) };
+        Self { bits: masked, len }
+    }
+
+    /// Number of bits carried.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no bits are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed bits, LSB-first; bits at or above `len()` are zero.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Bit `i` (LSB-first order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of range (len {})", self.len);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Appends one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already full (32 bits).
+    pub fn push(&mut self, bit: bool) {
+        assert!(self.len < 32, "PackedBits holds at most 32 bits");
+        self.bits |= (bit as u32) << self.len;
+        self.len += 1;
+    }
+
+    /// Iterates the bits LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len()).map(|i| (self.bits >> i) & 1 == 1)
+    }
+
+    /// Expands into a `Vec<bool>` (cold paths and tests).
+    pub fn to_vec(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Builds from a bool slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() > 32`.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        assert!(bits.len() <= 32, "PackedBits holds at most 32 bits");
+        let mut packed = 0u32;
+        for (i, &b) in bits.iter().enumerate() {
+            packed |= (b as u32) << i;
+        }
+        Self { bits: packed, len: bits.len() as u8 }
+    }
+}
+
+/// A growable bit vector packed LSB-first into `u64` words.
+///
+/// Replaces the `Vec<bool>` signature buffer: pushing a [`PackedBits`]
+/// carrier is one or two word-level shifts, extraction of an n-bit slot is
+/// a word read (plus a neighbour when the slot straddles a boundary), and
+/// fingerprinting mixes whole words. Bits at or above `len()` in the last
+/// word are kept zero, so the derived equality is structural.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitStream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the stream holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the stream, keeping the allocated words (so steady-state
+    /// block turnover never reallocates).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let (word, off) = (self.len / 64, self.len % 64);
+        if off == 0 {
+            self.words.push(0);
+        }
+        self.words[word] |= (bit as u64) << off;
+        self.len += 1;
+    }
+
+    /// Appends a packed carrier in LSB-first order — the hot-loop append.
+    pub fn push_packed(&mut self, bits: PackedBits) {
+        let n = bits.len();
+        if n == 0 {
+            return;
+        }
+        let v = bits.bits() as u64;
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(v);
+        } else {
+            let word = self.len / 64;
+            self.words[word] |= v << off;
+            if off + n > 64 {
+                self.words.push(v >> (64 - off));
+            }
+        }
+        self.len += n;
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Extracts bits `[lo, lo + n)` as a LSB-first integer; positions past
+    /// `len()` read as zero (matching the checker's zero-padded slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn extract(&self, lo: usize, n: usize) -> u32 {
+        assert!(n <= 32, "extract width {n} exceeds 32");
+        if n == 0 || lo >= self.len {
+            return 0;
+        }
+        let (word, off) = (lo / 64, lo % 64);
+        let mut v = self.words[word] >> off;
+        if off + n > 64 {
+            if let Some(&hi) = self.words.get(word + 1) {
+                v |= hi << (64 - off);
+            }
+        }
+        let avail = self.len - lo;
+        let take = n.min(avail);
+        let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+        (v & mask) as u32
+    }
+
+    /// The backing words, LSB-first; tail bits above `len()` are zero.
+    /// Fingerprints mix these directly instead of walking bools.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the bits LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Expands into a `Vec<bool>` (cold paths and tests).
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Builds from a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut s = Self::new();
+        for &b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Rebuilds from backing words + length (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly the right length for `len` bits or
+    /// carries set bits at or above `len`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch for {len} bits");
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last >> (len % 64), 0, "set bits past the stream length");
+            }
+        }
+        Self { words, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_roundtrip() {
+        let v = [true, false, true, true, false];
+        let p = PackedBits::from_bools(&v);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.bits(), 0b01101);
+        assert_eq!(p.to_vec(), v);
+        assert!(p.get(0) && !p.get(1) && p.get(3));
+        assert_eq!(p, PackedBits::new(0b01101, 5));
+    }
+
+    #[test]
+    fn packed_new_masks_high_bits() {
+        assert_eq!(PackedBits::new(0xFFFF_FFFF, 3), PackedBits::new(0b111, 3));
+        assert_eq!(PackedBits::new(0xFFFF_FFFF, 32).bits(), 0xFFFF_FFFF);
+        assert!(PackedBits::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn packed_push_appends_lsb_first() {
+        let mut p = PackedBits::EMPTY;
+        p.push(true);
+        p.push(false);
+        p.push(true);
+        assert_eq!(p, PackedBits::new(0b101, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn packed_overflow_panics() {
+        let mut p = PackedBits::new(0, 32);
+        p.push(true);
+    }
+
+    #[test]
+    fn stream_push_and_get() {
+        let mut s = BitStream::new();
+        assert!(s.is_empty());
+        s.push(true);
+        s.push(false);
+        s.push(true);
+        assert_eq!(s.len(), 3);
+        assert!(s.get(0) && !s.get(1) && s.get(2));
+        assert_eq!(s.to_bools(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn stream_matches_bool_reference_across_word_boundaries() {
+        // Deterministic pseudo-random bit pattern long enough to straddle
+        // several 64-bit words with odd-size packed pushes.
+        let mut reference = Vec::new();
+        let mut s = BitStream::new();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n = (i % 22) as u8; // 0..=21 bits, the embedded-bits range
+            let p = PackedBits::new(x as u32, n);
+            s.push_packed(p);
+            reference.extend(p.iter());
+        }
+        assert_eq!(s.len(), reference.len());
+        assert_eq!(s.to_bools(), reference);
+        assert_eq!(s, BitStream::from_bools(&reference), "from_bools agrees");
+        // Extraction at every offset/width agrees with the bool reference.
+        for lo in (0..reference.len()).step_by(7) {
+            for n in [1usize, 5, 13, 31, 32] {
+                let mut want = 0u32;
+                for k in 0..n {
+                    if reference.get(lo + k).copied().unwrap_or(false) {
+                        want |= 1 << k;
+                    }
+                }
+                assert_eq!(s.extract(lo, n), want, "extract({lo}, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_extract_zero_pads_past_end() {
+        let s = BitStream::from_bools(&[true, true]);
+        assert_eq!(s.extract(0, 5), 0b11);
+        assert_eq!(s.extract(1, 5), 0b1);
+        assert_eq!(s.extract(2, 5), 0);
+        assert_eq!(s.extract(100, 5), 0);
+        assert_eq!(s.extract(0, 0), 0);
+    }
+
+    #[test]
+    fn stream_clear_keeps_structural_equality() {
+        let mut a = BitStream::new();
+        a.push_packed(PackedBits::new(0x1FFF, 13));
+        a.clear();
+        assert_eq!(a, BitStream::new(), "cleared stream equals fresh stream");
+        a.push(true);
+        assert_eq!(a.to_bools(), vec![true]);
+        assert_eq!(a.words()[0], 1, "no stale bits survive a clear");
+    }
+
+    #[test]
+    fn stream_words_tail_is_zero() {
+        let mut s = BitStream::new();
+        s.push_packed(PackedBits::new(0b101, 3));
+        assert_eq!(s.words(), &[0b101]);
+        let r = BitStream::from_words(s.words().to_vec(), s.len());
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_bad_count() {
+        BitStream::from_words(vec![0, 0], 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the stream length")]
+    fn from_words_rejects_dirty_tail() {
+        BitStream::from_words(vec![0b1000], 3);
+    }
+}

@@ -200,6 +200,16 @@ pub struct FaultInjector {
     first_flip: Option<u64>,
     /// Total number of corrupted taps.
     flips: u64,
+    /// Number of non-expired slots (a transient decrements this when it
+    /// fires and expires).
+    live: usize,
+    /// Earliest arm cycle over all slots; conservative (not recomputed on
+    /// expiry), so it can only err toward taking the exact slow path.
+    min_arm: u64,
+    /// Cached "some slot could fire at the current cycle" flag. When false
+    /// — golden runs, pre-arm execution, after every transient expired —
+    /// `tap32`/`tap1`/`has_transient_on` are a single predictable branch.
+    active: bool,
 }
 
 impl FaultInjector {
@@ -215,19 +225,36 @@ impl FaultInjector {
 
     /// An injector carrying several independent faults.
     pub fn with_faults(faults: Vec<Fault>) -> Self {
-        Self {
-            slots: faults
-                .into_iter()
-                .map(|fault| Slot { fault, expired: false, exposures: 0 })
-                .collect(),
-            ..Self::default()
-        }
+        let slots: Vec<Slot> =
+            faults.into_iter().map(|fault| Slot { fault, expired: false, exposures: 0 }).collect();
+        let live = slots.len();
+        let min_arm = slots.iter().map(|s| s.fault.arm_cycle).min().unwrap_or(u64::MAX);
+        let mut inj = Self { slots, live, min_arm, ..Self::default() };
+        inj.recompute_active();
+        inj
+    }
+
+    #[inline]
+    fn recompute_active(&mut self) {
+        self.active = self.live > 0 && self.cycle >= self.min_arm;
     }
 
     /// Advances the injector's notion of the current cycle. The machine
     /// calls this once per simulated cycle.
     pub fn set_cycle(&mut self, cycle: u64) {
         self.cycle = cycle;
+        self.recompute_active();
+    }
+
+    /// True when no fault can fire at the current cycle: the injector has
+    /// no slots, every slot has expired, or every slot is still waiting for
+    /// its arm cycle. Quiescence is exactly the golden-run condition — taps
+    /// are guaranteed identity functions — so callers (e.g. the machine's
+    /// predecode memo) may skip work that only exists to expose signals to
+    /// fault taps.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        !self.active
     }
 
     /// Current cycle as last set by [`Self::set_cycle`].
@@ -278,6 +305,11 @@ impl FaultInjector {
     /// machine uses this to decide whether a flipped storage-cell read
     /// should persist as a cell upset).
     pub fn has_transient_on(&self, site: &'static str) -> bool {
+        // Quiescent injectors (no slots, all expired, or pre-arm) can be
+        // answered without scanning — this runs on every register read.
+        if !self.active {
+            return false;
+        }
         self.slots.iter().any(|s| {
             !s.expired
                 && s.fault.site == site
@@ -290,7 +322,7 @@ impl FaultInjector {
     /// tap, handling expiry and masking. Returns 0 when nothing fires.
     #[inline]
     fn fire_mask(&mut self, site: &'static str) -> u32 {
-        if self.slots.is_empty() {
+        if !self.active {
             return 0;
         }
         let cycle = self.cycle;
@@ -307,7 +339,11 @@ impl FaultInjector {
             fired += 1;
             if matches!(slot.fault.kind, FaultKind::Transient) {
                 slot.expired = true;
+                self.live -= 1;
             }
+        }
+        if self.live == 0 {
+            self.active = false;
         }
         // Co-resident faults whose masks cancel exactly leave the signal
         // untouched — no corruption happened, so don't count one.
@@ -501,6 +537,41 @@ mod tests {
         }
         assert_eq!(inj.flip_count(), 0);
         assert_eq!(inj.first_flip_cycle(), None);
+    }
+
+    #[test]
+    fn quiescent_tracks_arming_and_expiry() {
+        let mut inj = FaultInjector::none();
+        assert!(inj.is_quiescent());
+        inj.set_cycle(1_000);
+        assert!(inj.is_quiescent());
+
+        let mut inj = FaultInjector::with_fault(fault(FaultKind::Transient));
+        assert!(inj.is_quiescent(), "pre-arm counts as quiescent");
+        inj.set_cycle(9);
+        assert!(inj.is_quiescent());
+        inj.set_cycle(10);
+        assert!(!inj.is_quiescent(), "armed fault is live");
+        assert_eq!(inj.tap32("test_bus", 0), 1 << 3);
+        assert!(inj.is_quiescent(), "expired transient goes quiescent again");
+        assert!(!inj.has_transient_on("test_bus"));
+        // Quiescence must survive further cycle advances.
+        inj.set_cycle(11);
+        assert!(inj.is_quiescent());
+        assert_eq!(inj.tap32("test_bus", 0), 0);
+    }
+
+    #[test]
+    fn quiescent_false_while_any_slot_live() {
+        let mut inj = FaultInjector::with_faults(vec![
+            Fault { bit: 0, ..fault(FaultKind::Transient) },
+            Fault { bit: 4, arm_cycle: 20, ..fault(FaultKind::Permanent) },
+        ]);
+        inj.set_cycle(10);
+        inj.tap32("test_bus", 0); // transient fires and expires
+        assert!(!inj.is_quiescent(), "permanent slot still live");
+        inj.set_cycle(20);
+        assert_eq!(inj.tap32("test_bus", 0), 1 << 4);
     }
 
     #[test]

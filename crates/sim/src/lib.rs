@@ -23,6 +23,7 @@
 //! ```
 
 pub mod bits;
+pub mod bitstream;
 pub mod crc;
 pub mod fault;
 pub mod rng;

@@ -16,8 +16,11 @@ use argus_machine::{Machine, SnapshotState};
 use argus_mem::{CacheConfig, CacheState, CachesState, LineState, MemConfig};
 use std::io::{self, Read, Write};
 
-/// File magic: "ARGSNAP" + format version 1.
-const MAGIC: [u8; 8] = *b"ARGSNAP\x01";
+/// File magic: "ARGSNAP" + format version 2.
+///
+/// Version 2 packs the CFC block-bit stream as u64 words (was one byte
+/// per bit) and records the machine's predecode flag.
+const MAGIC: [u8; 8] = *b"ARGSNAP\x02";
 
 /// Writes `snap` as a standalone snapshot file.
 pub fn write_snapshot(w: &mut dyn Write, snap: &Snapshot) -> io::Result<()> {
@@ -156,6 +159,7 @@ fn put_machine_config(w: &mut dyn Write, c: &MachineConfig) -> io::Result<()> {
     put_u32(w, c.mem.miss_penalty)?;
     put_u32(w, c.mem.writeback_penalty)?;
     put_u8(w, c.argus_mode as u8)?;
+    put_u8(w, c.predecode as u8)?;
     put_u32(w, c.mul_cycles)?;
     put_u32(w, c.div_cycles)
 }
@@ -171,6 +175,7 @@ fn get_machine_config(r: &mut dyn Read) -> io::Result<MachineConfig> {
             writeback_penalty: get_u32(r)?,
         },
         argus_mode: get_bool(r)?,
+        predecode: get_bool(r)?,
         mul_cycles: get_u32(r)?,
         div_cycles: get_u32(r)?,
     })
@@ -222,7 +227,9 @@ fn put_core(w: &mut dyn Write, c: &CoreState) -> io::Result<()> {
     }
     put_u8(w, c.delay_slot as u8)?;
     put_u64(w, c.block_bits.len() as u64)?;
-    put_bools(w, &c.block_bits)?;
+    for &word in c.block_bits.words() {
+        put_u64(w, word)?;
+    }
     put_u8(w, c.halted as u8)?;
     put_cache(w, &c.caches.icache)?;
     put_cache(w, &c.caches.dcache)
@@ -243,7 +250,17 @@ fn get_core(r: &mut dyn Read, cfg: MachineConfig) -> io::Result<CoreState> {
     let pending_branch = if get_bool(r)? { Some(get_u32(r)?) } else { None };
     let delay_slot = get_bool(r)?;
     let nbits = get_u64(r)? as usize;
-    let block_bits = get_bools(r, nbits)?;
+    if nbits > 1 << 24 {
+        return Err(bad("block bit stream implausibly long"));
+    }
+    let mut bit_words = vec![0u64; nbits.div_ceil(64)];
+    for word in &mut bit_words {
+        *word = get_u64(r)?;
+    }
+    if !nbits.is_multiple_of(64) && bit_words.last().is_some_and(|&w| w >> (nbits % 64) != 0) {
+        return Err(bad("set bits past the block stream length"));
+    }
+    let block_bits = argus_sim::bitstream::BitStream::from_words(bit_words, nbits);
     let halted = get_bool(r)?;
     let caches = CachesState { icache: get_cache(r)?, dcache: get_cache(r)? };
     Ok(CoreState {
