@@ -7,16 +7,21 @@
 //! argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]
 //! argus inject <file.s> --site S --bit N [--permanent] [--arm C]
 //! argus campaign [-n N] [--permanent] [--snapshot-every N] [--shards N]
-//!                [--checkpoint PATH] [--resume] [--json] [--quiet]
+//!                [--checkpoint PATH] [--checkpoint-interval-ms MS] [--resume]
+//!                [--inj-cycle-factor F] [--quarantine-limit N] [--strict]
+//!                [--json] [--quiet]
 //! argus snapshot save|info|restore       standalone state files
 //! argus sites                            list the fault-site inventory
 //! ```
 //!
-//! `campaign` runs serially by default (the historical path); any of
-//! `--shards/--checkpoint/--resume/--json/--quiet` routes it through the
-//! sharded [`argus_orchestrator`] engine, which adds Ctrl-C-safe
-//! cancellation, checkpoint/resume, and live progress on stderr. Tallies
-//! are identical either way for a given seed.
+//! `campaign` runs serially by default (the historical path); any of the
+//! sharded-engine flags (`--shards/--checkpoint/--resume/--json/--quiet/
+//! --strict/--quarantine-limit/--checkpoint-interval-ms`) routes it through
+//! the sharded [`argus_orchestrator`] engine, which adds Ctrl-C-safe
+//! cancellation, checkpoint/resume, live progress on stderr, and the
+//! supervision layer (panic quarantine, injection watchdogs,
+//! corrupt-artifact recovery). Tallies are identical either way for a
+//! given seed.
 //!
 //! The library half exposes the command implementations so they are unit
 //! testable; `main.rs` is a thin argv shim.
@@ -192,7 +197,9 @@ pub fn cmd_run(mut args: Args) -> Result<String, CliError> {
         c
     });
     let mut inj = FaultInjector::none();
-    loop {
+    // Same loop shape and timeout classification as `Machine::run_to_halt`:
+    // `halted` distinguishes a clean `halt` from a cycle-budget timeout.
+    while !m.halted() && m.cycle() < max_cycles {
         match m.step(&mut inj) {
             StepOutcome::Committed(rec) => {
                 if m.retired() <= trace {
@@ -218,16 +225,14 @@ pub fn cmd_run(mut args: Args) -> Result<String, CliError> {
             }
             StepOutcome::Halted => break,
         }
-        if m.cycle() > max_cycles {
-            break;
-        }
     }
+    let res = m.run_result();
     let _ = writeln!(
         out,
         "halted={} cycles={} retired={} detections={}",
-        m.halted(),
-        m.cycle(),
-        m.retired(),
+        res.halted,
+        res.cycles,
+        res.retired,
         checker.as_ref().map(|c| c.events().len()).unwrap_or(0)
     );
     for r in regs {
@@ -374,6 +379,29 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         ),
         None => None,
     };
+    let inj_cycle_factor: Option<f64> = match args.opt("--inj-cycle-factor") {
+        Some(s) => Some(
+            s.parse()
+                .ok()
+                .filter(|v: &f64| v.is_finite() && *v >= 1.0)
+                .ok_or_else(|| fail("bad --inj-cycle-factor (want a number >= 1)"))?,
+        ),
+        None => None,
+    };
+    let quarantine_limit: Option<usize> = match args.opt("--quarantine-limit") {
+        Some(s) => Some(s.parse().map_err(|_| fail("bad --quarantine-limit (want an integer)"))?),
+        None => None,
+    };
+    let checkpoint_interval_ms: Option<u64> = match args.opt("--checkpoint-interval-ms") {
+        Some(s) => Some(
+            s.parse()
+                .ok()
+                .filter(|&v| v >= 1)
+                .ok_or_else(|| fail("bad --checkpoint-interval-ms (want an integer >= 1)"))?,
+        ),
+        None => None,
+    };
+    let strict = args.flag("--strict");
     let shards_arg = args.opt("--shards");
     let checkpoint = args.opt("--checkpoint");
     let resume = args.flag("--resume");
@@ -385,8 +413,18 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    if let Some(f) = inj_cycle_factor {
+        cfg.inj_cycle_factor = f;
+    }
 
-    let sharded = shards_arg.is_some() || checkpoint.is_some() || resume || json || quiet;
+    let sharded = shards_arg.is_some()
+        || checkpoint.is_some()
+        || resume
+        || json
+        || quiet
+        || strict
+        || quarantine_limit.is_some()
+        || checkpoint_interval_ms.is_some();
     if !sharded {
         let rep = run_campaign(&argus_workloads::stress(), &cfg);
         return Ok(format!("{rep}"));
@@ -403,12 +441,19 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     if resume && checkpoint.is_none() {
         return Err(fail("--resume needs --checkpoint PATH"));
     }
-    let ocfg = OrchestratorConfig {
+    let mut ocfg = OrchestratorConfig {
         shards,
         checkpoint_path: checkpoint.map(std::path::PathBuf::from),
         resume,
+        strict,
         ..Default::default()
     };
+    if let Some(limit) = quarantine_limit {
+        ocfg.quarantine_limit = limit;
+    }
+    if let Some(ms) = checkpoint_interval_ms {
+        ocfg.checkpoint_interval = std::time::Duration::from_millis(ms);
+    }
 
     sigint::install();
     let progress = Progress::new(shards);
@@ -437,6 +482,11 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
 
     if !quiet {
         eprintln!("{}", progress.snapshot());
+    }
+    // Recovery/supervision warnings always go to stderr so they reach the
+    // operator even when stdout carries the JSON report.
+    for w in &report.recovery_warnings {
+        eprintln!("warning: {w}");
     }
     if json {
         return Ok(format!("{}\n", report.to_json().to_string_compact()));
@@ -474,6 +524,38 @@ fn render_sharded_report(rep: &ShardedReport, checkpoint: Option<&std::path::Pat
         );
     }
     let _ = writeln!(out, "unmasked coverage: {:.1}%", 100.0 * rep.unmasked_coverage());
+    let quarantined = rep.quarantine.len() as u64;
+    if quarantined > 0 || rep.hung > 0 {
+        let _ = writeln!(
+            out,
+            "anomalies: {quarantined} quarantined (panicked), {} hung (watchdog) — excluded from tallies",
+            rep.hung
+        );
+        for q in &rep.quarantine {
+            let _ = writeln!(
+                out,
+                "  quarantined injection {} (seed {:#x}): {}",
+                q.index, q.seed, q.panic_msg
+            );
+        }
+    }
+    if rep.snapshot_fallbacks > 0 {
+        let _ = writeln!(
+            out,
+            "snapshot integrity: {} injections cold-booted past corrupt snapshots",
+            rep.snapshot_fallbacks
+        );
+    }
+    if rep.degraded {
+        let _ = writeln!(
+            out,
+            "DEGRADED: checkpoint flushing needed retries ({} failed attempts)",
+            rep.flush_failures
+        );
+    }
+    if rep.used_backup_checkpoint {
+        let _ = writeln!(out, "recovered from backup (.bak) checkpoint");
+    }
     if rep.latency.count() > 0 {
         let _ = writeln!(
             out,
@@ -668,17 +750,27 @@ pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign|snap
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
   argus verify <file.s>
   argus campaign [-n N] [--permanent] [--seed S] [--snapshot-every N]
-                 [--shards N] [--checkpoint PATH] [--resume] [--json] [--quiet]
+                 [--shards N] [--checkpoint PATH] [--checkpoint-interval-ms MS]
+                 [--resume] [--inj-cycle-factor F] [--quarantine-limit N]
+                 [--strict] [--json] [--quiet]
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]
   argus sites
-campaign runs serially by default; --shards/--checkpoint/--resume/--json/--quiet
-use the sharded engine (same tallies for the same seed; Ctrl-C flushes a
-checkpoint, --resume continues it; progress goes to stderr, results to stdout).
+campaign runs serially by default; any sharded-engine flag (--shards,
+--checkpoint, --resume, --json, --quiet, --strict, --quarantine-limit,
+--checkpoint-interval-ms) uses the sharded engine (same tallies for the same
+seed; Ctrl-C flushes a checkpoint, --resume continues it; progress goes to
+stderr, results to stdout).
 --snapshot-every N checkpoints the golden run every N cycles and forks each
 injection from the nearest checkpoint at or before its arm cycle — identical
-results, fewer replayed cycles";
+results, fewer replayed cycles.
+Supervision: each injection runs behind a panic net and a watchdog whose
+cycle budget is golden-run length x --inj-cycle-factor (default 4); panicked
+injections are quarantined (campaign aborts past --quarantine-limit, default
+64); --strict disables the net so the first panic crashes and a hang is
+fatal. Corrupt checkpoints fall back to their .bak generation, then restart
+affected shards from scratch (strict mode refuses instead)";
 
 #[cfg(test)]
 mod tests {
@@ -828,6 +920,58 @@ mod tests {
         assert!(e.to_string().contains("bad --shards"), "{e}");
         let e = cmd_campaign(args(&["--resume", "--quiet"])).unwrap_err();
         assert!(e.to_string().contains("--resume needs --checkpoint"), "{e}");
+        let e = cmd_campaign(args(&["--inj-cycle-factor", "0.5", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --inj-cycle-factor"), "{e}");
+        let e = cmd_campaign(args(&["--inj-cycle-factor", "nan", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --inj-cycle-factor"), "{e}");
+        let e = cmd_campaign(args(&["--quarantine-limit", "many", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --quarantine-limit"), "{e}");
+        let e = cmd_campaign(args(&["--checkpoint-interval-ms", "0", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --checkpoint-interval-ms"), "{e}");
+    }
+
+    #[test]
+    fn campaign_supervision_flags_leave_clean_tallies_unchanged() {
+        // A clean campaign classifies identically with or without strict
+        // mode, a custom watchdog factor, and a quarantine limit — the
+        // supervision layer must be invisible when nothing goes wrong.
+        let base =
+            cmd_campaign(args(&["-n", "30", "--seed", "7", "--shards", "2", "--quiet"])).unwrap();
+        let supervised = cmd_campaign(args(&[
+            "-n",
+            "30",
+            "--seed",
+            "7",
+            "--shards",
+            "2",
+            "--quiet",
+            "--strict",
+            "--inj-cycle-factor",
+            "8",
+            "--quarantine-limit",
+            "1",
+        ]))
+        .unwrap();
+        // The first line carries wall-clock rate/elapsed; everything after
+        // it is deterministic tallies.
+        let tallies = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_string()).unwrap();
+        assert_eq!(
+            tallies(&base),
+            tallies(&supervised),
+            "supervision flags perturbed a clean campaign"
+        );
+        assert!(!base.contains("anomalies:"), "{base}");
+        assert!(!base.contains("DEGRADED"), "{base}");
+
+        // The JSON schema carries the supervision fields, zeroed on a
+        // clean run.
+        let js = cmd_campaign(args(&["-n", "30", "--seed", "7", "--json", "--quiet"])).unwrap();
+        let parsed = argus_orchestrator::Json::parse(&js).unwrap();
+        assert_eq!(parsed.get("hung").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(parsed.get("quarantined").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(parsed.get("degraded").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(parsed.get("flush_failures").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(parsed.get("snapshot_fallbacks").and_then(|v| v.as_u64()), Some(0));
     }
 
     #[test]

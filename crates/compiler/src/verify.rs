@@ -52,7 +52,9 @@ pub fn run_checked(
     if let Some(d) = prog.entry_dcs {
         argus.expect_entry(d);
     }
-    loop {
+    // Same loop shape and timeout classification as `Machine::run_to_halt`:
+    // `halted` distinguishes a clean `halt` from a cycle-budget timeout.
+    while !m.halted() && m.cycle() < max_cycles {
         match m.step(inj) {
             StepOutcome::Committed(rec) => {
                 argus.on_commit(&rec, inj);
@@ -62,14 +64,12 @@ pub fn run_checked(
             }
             StepOutcome::Halted => break,
         }
-        if m.cycle() > max_cycles {
-            break;
-        }
     }
+    let res = m.run_result();
     CheckedRun {
-        halted: m.halted(),
-        retired: m.retired(),
-        cycles: m.cycle(),
+        halted: res.halted,
+        retired: res.retired,
+        cycles: res.cycles,
         events: argus.events().to_vec(),
         machine: m,
     }

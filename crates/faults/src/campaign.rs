@@ -7,10 +7,13 @@ use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_sim::fault::{FaultInjector, FaultKind};
 use argus_sim::rng::SplitMix64;
 use argus_sim::stats::CounterSet;
-use argus_snapshot::{Snapshot, SnapshotBuilder, SnapshotStore};
+use argus_sim::supervise::{catch_supervised, HangCause, InjectionWatchdog, WatchdogConfig};
+use argus_snapshot::{SnapshotBuilder, SnapshotStore};
 use argus_workloads::Workload;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -45,6 +48,34 @@ pub struct CampaignConfig {
     /// bit-identical either way — this only trades golden-run memory for
     /// injection throughput.
     pub snapshot_every: Option<u64>,
+    /// Watchdog cycle budget for one injection, as a multiple of the
+    /// golden run length (plus `hang_slack`). The budget counts step-loop
+    /// *iterations*, so it keeps firing even when the fault corrupts the
+    /// simulated cycle counter that the ordinary hang window reads. The
+    /// default (4.0) sits well above the hang window's factor of 2, so it
+    /// never fires on a run the window would have classified — default
+    /// results are bit-identical with or without the watchdog.
+    pub inj_cycle_factor: f64,
+    /// Wall-clock ceiling per injection — the backstop for true livelocks
+    /// where even the iteration count stops being meaningful. `None`
+    /// disables it.
+    pub inj_wall_limit: Option<Duration>,
+    /// Test-only fault injection into the *campaign machinery itself*:
+    /// selected injection indices panic or livelock instead of running.
+    /// `None` (always, outside resilience tests) leaves every injection
+    /// untouched.
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// Deliberate campaign-machinery faults for resilience testing: the listed
+/// injection indices misbehave instead of running, exercising the panic
+/// quarantine and the watchdog exactly the way an organic bug would.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Injection indices that panic mid-run.
+    pub panic_at: Vec<usize>,
+    /// Injection indices that livelock until the watchdog fires.
+    pub livelock_at: Vec<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -59,7 +90,19 @@ impl Default for CampaignConfig {
             structural_mask: 0.30,
             ecfg: EmbedConfig::default(),
             snapshot_every: None,
+            inj_cycle_factor: 4.0,
+            inj_wall_limit: Some(Duration::from_secs(60)),
+            chaos: None,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Watchdog limits for one injection of a campaign whose golden run
+    /// took `golden_cycles`.
+    pub fn watchdog_config(&self, golden_cycles: u64) -> WatchdogConfig {
+        let budget = (golden_cycles as f64 * self.inj_cycle_factor) as u64 + self.hang_slack;
+        WatchdogConfig { cycle_budget: budget.max(1), wall_limit: self.inj_wall_limit }
     }
 }
 
@@ -122,6 +165,39 @@ pub struct InjectionResult {
     pub detect_latency: Option<u64>,
     /// Whether the fault ever corrupted a signal.
     pub exercised: bool,
+}
+
+/// One quarantined (panicked) injection, as recorded in shard checkpoints
+/// and the final report: everything needed to replay it under a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Campaign-wide injection index.
+    pub index: u64,
+    /// Campaign seed (with the index, fully determines the injection).
+    pub seed: u64,
+    /// The captured panic message.
+    pub panic_msg: String,
+}
+
+/// What a *supervised* injection produced: a normal Table-1 classification,
+/// or one of the two anomalies the supervision layer absorbs instead of
+/// crashing the shard. Anomalies are deliberately **not** [`Outcome`]
+/// variants — the four-quadrant tallies (and their bit-identity across
+/// shard counts) stay exactly as they were; anomalies are counted beside
+/// them.
+#[derive(Debug, Clone)]
+pub enum SupervisedOutcome {
+    /// The injection ran to classification.
+    Classified(InjectionResult),
+    /// The watchdog declared the run hung; no classification exists.
+    Hung {
+        /// Campaign-wide injection index.
+        index: u64,
+        /// Which watchdog limit fired.
+        cause: HangCause,
+    },
+    /// The injection panicked and was isolated.
+    Quarantined(QuarantineRecord),
 }
 
 /// Aggregated campaign results.
@@ -214,6 +290,20 @@ pub struct PreparedCampaign {
     /// Golden-run checkpoints when `snapshot_every` is set; shards clone
     /// the `Arc` and fork injections from the read-only store.
     snapshots: Option<Arc<SnapshotStore>>,
+    /// Per-snapshot "restored once and matched its fingerprint" flags.
+    /// Full-state verification is too expensive per fork, so each snapshot
+    /// is verified the first time any worker forks from it and trusted
+    /// afterwards.
+    snapshot_verified: Vec<AtomicBool>,
+    /// Per-snapshot "failed verification" flags; a poisoned snapshot is
+    /// never forked from again — affected injections cold-boot instead,
+    /// which is bit-identical, just slower.
+    snapshot_poisoned: Vec<AtomicBool>,
+    /// How many injections fell back to cold boot because their nearest
+    /// snapshot was poisoned.
+    snapshot_fallbacks: AtomicU64,
+    /// Human-readable warnings from snapshot verification failures.
+    snapshot_warnings: Mutex<Vec<String>>,
 }
 
 impl PreparedCampaign {
@@ -231,6 +321,63 @@ impl PreparedCampaign {
     /// `snapshot_every`.
     pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
         self.snapshots.as_ref()
+    }
+
+    /// How many injections cold-booted because their snapshot failed
+    /// verification.
+    pub fn snapshot_fallbacks(&self) -> u64 {
+        self.snapshot_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Drains accumulated snapshot-corruption warnings.
+    pub fn take_snapshot_warnings(&self) -> Vec<String> {
+        let mut guard =
+            self.snapshot_warnings.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        std::mem::take(&mut *guard)
+    }
+
+    /// Forks a machine/checker pair from the nearest snapshot at or before
+    /// `arm_cycle`, verifying the snapshot's fingerprint on first use.
+    /// Returns `None` when no snapshot applies or the applicable one is
+    /// corrupt — the caller cold-boots, which yields bit-identical results.
+    fn fork_at(&self, arm_cycle: u64) -> Option<(Machine, Argus)> {
+        let store = self.snapshots.as_deref()?;
+        let i = store.nearest_index_at_or_before(arm_cycle)?;
+        if self.snapshot_poisoned[i].load(Ordering::Relaxed) {
+            self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let snap = store.get(i)?;
+        if self.snapshot_verified[i].load(Ordering::Relaxed) {
+            return Some(snap.restore_fresh());
+        }
+        match snap.try_restore_fresh() {
+            Ok(pair) => {
+                self.snapshot_verified[i].store(true, Ordering::Relaxed);
+                Some(pair)
+            }
+            Err(why) => {
+                self.snapshot_poisoned[i].store(true, Ordering::Relaxed);
+                self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.snapshot_warnings
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push(format!("snapshot {i} failed verification, cold-booting: {why}"));
+                None
+            }
+        }
+    }
+
+    /// Test-only: flips one bit in the `index`-th snapshot's memory image
+    /// so resilience tests can exercise the verification fallback. Returns
+    /// `false` when the campaign has no snapshots, the index is out of
+    /// range, or the store is already shared.
+    #[doc(hidden)]
+    pub fn corrupt_snapshot_for_test(&mut self, index: usize) -> bool {
+        match self.snapshots.as_mut().and_then(Arc::get_mut) {
+            Some(store) => store.corrupt_page_for_test(index),
+            None => false,
+        }
     }
 }
 
@@ -288,17 +435,41 @@ fn golden_run_with_snapshots(
     (GoldenRun { digest: m.state_digest(), cycles: m.cycle() }, builder.finish())
 }
 
+/// What one faulty run produced, before classification.
+struct FaultyOutcome {
+    detection: Option<DetectionEvent>,
+    exercised_at: Option<u64>,
+    halted: bool,
+    digest: u64,
+    /// `Some` when the watchdog abandoned the run; the other fields are
+    /// then meaningless and the run is unclassifiable.
+    hung: Option<HangCause>,
+}
+
 /// The faulty-run step loop, shared by the cold-boot and forked paths.
-/// Returns (first detection, exercised-at, halted, digest).
+///
+/// The watchdog is ticked once per iteration *before* stepping, so it
+/// bounds the loop even when a fault corrupts the cycle counter that the
+/// `window` check reads.
 fn faulty_loop(
     mut m: Machine,
     mut argus: Argus,
     mut inj: FaultInjector,
     window: u64,
     data_base: u32,
-) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
+    wd: &mut InjectionWatchdog,
+) -> FaultyOutcome {
     let mut first: Option<DetectionEvent> = None;
     loop {
+        if let Some(cause) = wd.tick() {
+            return FaultyOutcome {
+                detection: None,
+                exercised_at: inj.first_flip_cycle(),
+                halted: false,
+                digest: 0,
+                hung: Some(cause),
+            };
+        }
         match m.step(&mut inj) {
             StepOutcome::Committed(rec) => {
                 let evs = argus.on_commit(&rec, &mut inj);
@@ -324,7 +495,13 @@ fn faulty_loop(
     if first.is_none() {
         first = argus.scrub_memory(&m, data_base, &mut inj);
     }
-    (first, inj.first_flip_cycle(), m.halted(), m.state_digest())
+    FaultyOutcome {
+        detection: first,
+        exercised_at: inj.first_flip_cycle(),
+        halted: m.halted(),
+        digest: m.state_digest(),
+        hung: None,
+    }
 }
 
 /// One faulty run from cold boot.
@@ -333,7 +510,8 @@ fn faulty_run(
     cfg: &CampaignConfig,
     fault: argus_sim::fault::Fault,
     window: u64,
-) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
+    wd: &mut InjectionWatchdog,
+) -> FaultyOutcome {
     let mut m = Machine::new(cfg.mcfg);
     prog.load(&mut m);
     let mut argus = Argus::new(cfg.acfg);
@@ -341,7 +519,7 @@ fn faulty_run(
         argus.expect_entry(d);
     }
     let inj = FaultInjector::with_fault(fault);
-    faulty_loop(m, argus, inj, window, prog.data_base)
+    faulty_loop(m, argus, inj, window, prog.data_base, wd)
 }
 
 /// One faulty run forked from a golden-run snapshot instead of cold boot.
@@ -353,15 +531,16 @@ fn faulty_run(
 /// before the arm cycle — so everything skipped was identical anyway and
 /// a fresh injector is indistinguishable from one that sat through it.
 fn faulty_run_forked(
-    snap: &Snapshot,
+    pair: (Machine, Argus),
     fault: argus_sim::fault::Fault,
     window: u64,
     data_base: u32,
-) -> (Option<DetectionEvent>, Option<u64>, bool, u64) {
-    debug_assert!(snap.cycle() <= fault.arm_cycle, "forked past the arm cycle");
-    let (m, argus) = snap.restore_fresh();
+    wd: &mut InjectionWatchdog,
+) -> FaultyOutcome {
+    let (m, argus) = pair;
+    debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
     let inj = FaultInjector::with_fault(fault);
-    faulty_loop(m, argus, inj, window, data_base)
+    faulty_loop(m, argus, inj, window, data_base, wd)
 }
 
 /// Compiles the workload, takes the golden run, and samples the injection
@@ -388,6 +567,7 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
     let window = golden.cycles * 2 + cfg.hang_slack;
     let inventory = full_inventory();
     let points = sample_points(&inventory, cfg.injections, cfg.seed);
+    let nsnaps = snapshots.as_deref().map_or(0, SnapshotStore::len);
     PreparedCampaign {
         prog,
         golden_digest: golden.digest,
@@ -395,6 +575,10 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         window,
         points,
         snapshots,
+        snapshot_verified: (0..nsnaps).map(|_| AtomicBool::new(false)).collect(),
+        snapshot_poisoned: (0..nsnaps).map(|_| AtomicBool::new(false)).collect(),
+        snapshot_fallbacks: AtomicU64::new(0),
+        snapshot_warnings: Mutex::new(Vec::new()),
     }
 }
 
@@ -414,6 +598,20 @@ pub fn run_injection(
     cfg: &CampaignConfig,
     index: usize,
 ) -> InjectionResult {
+    match run_injection_watched(prep, cfg, index) {
+        Ok(r) => r,
+        Err(cause) => panic!("injection {index} hung ({})", cause.label()),
+    }
+}
+
+/// [`run_injection`] with the watchdog verdict surfaced instead of
+/// panicking: `Err` means the run blew its budget and has no
+/// classification.
+fn run_injection_watched(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+) -> Result<InjectionResult, HangCause> {
     let point = prep.points[index];
     let mut rng = SplitMix64::stream(cfg.seed ^ INJECTION_STREAM_SALT, index as u64);
     // Arm somewhere in the first 3/4 of the golden execution so the
@@ -423,32 +621,86 @@ pub fn run_injection(
     if rng.next_f64() < cfg.structural_mask {
         fault.sensitization = 0.0;
     }
-    let fork = prep.snapshots.as_deref().and_then(|s| s.nearest_at_or_before(arm_cycle));
-    let (detection, exercised_at, halted, digest) = match fork {
-        Some(snap) => faulty_run_forked(snap, fault, prep.window, prep.prog.data_base),
-        None => faulty_run(&prep.prog, cfg, fault, prep.window),
+    let mut wd = InjectionWatchdog::new(&cfg.watchdog_config(prep.golden_cycles));
+    let out = match prep.fork_at(arm_cycle) {
+        Some(pair) => faulty_run_forked(pair, fault, prep.window, prep.prog.data_base, &mut wd),
+        None => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd),
     };
+    if let Some(cause) = out.hung {
+        return Err(cause);
+    }
 
-    let masked = halted && digest == prep.golden_digest;
-    let detected = detection.is_some();
+    let masked = out.halted && out.digest == prep.golden_digest;
+    let detected = out.detection.is_some();
     let outcome = match (masked, detected) {
         (false, false) => Outcome::UnmaskedUndetected,
         (false, true) => Outcome::UnmaskedDetected,
         (true, false) => Outcome::MaskedUndetected,
         (true, true) => Outcome::MaskedDetected,
     };
-    let detector = detection.as_ref().map(|d| d.checker);
-    let detect_latency = match (&detection, exercised_at) {
+    let detector = out.detection.as_ref().map(|d| d.checker);
+    let detect_latency = match (&out.detection, out.exercised_at) {
         (Some(d), Some(x)) => Some(d.cycle.saturating_sub(x)),
         _ => None,
     };
-    InjectionResult {
+    Ok(InjectionResult {
         point,
         arm_cycle,
         outcome,
         detector,
         detect_latency,
-        exercised: exercised_at.is_some(),
+        exercised: out.exercised_at.is_some(),
+    })
+}
+
+/// One supervised injection, *without* panic isolation: chaos hooks and
+/// the watchdog apply, but a panic propagates to the caller. This is the
+/// strict-mode path — and the body that [`run_injection_supervised`] wraps
+/// in its panic guard.
+pub fn run_injection_guarded(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+) -> SupervisedOutcome {
+    if let Some(chaos) = &cfg.chaos {
+        if chaos.panic_at.contains(&index) {
+            panic!("chaos: injected panic at injection {index}");
+        }
+        if chaos.livelock_at.contains(&index) {
+            // A real livelock, supervised by a real watchdog: spin until
+            // it fires, exactly as the step loop would.
+            let mut wd = InjectionWatchdog::new(&cfg.watchdog_config(prep.golden_cycles));
+            loop {
+                if let Some(cause) = wd.tick() {
+                    return SupervisedOutcome::Hung { index: index as u64, cause };
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+    match run_injection_watched(prep, cfg, index) {
+        Ok(r) => SupervisedOutcome::Classified(r),
+        Err(cause) => SupervisedOutcome::Hung { index: index as u64, cause },
+    }
+}
+
+/// One fully supervised injection: chaos hooks, watchdog, and panic
+/// isolation. A panic anywhere inside the injection becomes a
+/// [`SupervisedOutcome::Quarantined`] record instead of unwinding the
+/// worker; all mutable run state is rebuilt from scratch (or from an
+/// immutable snapshot) on the next call, so nothing leaks across runs.
+pub fn run_injection_supervised(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+) -> SupervisedOutcome {
+    match catch_supervised(|| run_injection_guarded(prep, cfg, index)) {
+        Ok(out) => out,
+        Err(panic_msg) => SupervisedOutcome::Quarantined(QuarantineRecord {
+            index: index as u64,
+            seed: cfg.seed,
+            panic_msg,
+        }),
     }
 }
 
@@ -572,5 +824,112 @@ mod tests {
         let s = rep.to_string();
         assert!(s.contains("transient"));
         assert!(s.contains("coverage"));
+    }
+
+    #[test]
+    fn supervised_matches_unsupervised_on_clean_runs() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig { injections: 12, seed: 0xBEEF, ..Default::default() };
+        let prep = prepare_campaign(&w, &cfg);
+        for index in 0..prep.injections() {
+            let plain = run_injection(&prep, &cfg, index);
+            match run_injection_supervised(&prep, &cfg, index) {
+                SupervisedOutcome::Classified(r) => {
+                    assert_eq!(format!("{plain:?}"), format!("{r:?}"), "injection {index}");
+                }
+                other => panic!("clean injection {index} became {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_panic_is_quarantined_with_message() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig {
+            injections: 4,
+            chaos: Some(ChaosConfig { panic_at: vec![2], livelock_at: vec![] }),
+            ..Default::default()
+        };
+        let prep = prepare_campaign(&w, &cfg);
+        match run_injection_supervised(&prep, &cfg, 2) {
+            SupervisedOutcome::Quarantined(q) => {
+                assert_eq!(q.index, 2);
+                assert_eq!(q.seed, cfg.seed);
+                assert!(q.panic_msg.contains("chaos: injected panic at injection 2"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // Neighbours are untouched.
+        assert!(matches!(
+            run_injection_supervised(&prep, &cfg, 1),
+            SupervisedOutcome::Classified(_)
+        ));
+    }
+
+    #[test]
+    fn chaos_livelock_is_classified_hung() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig {
+            injections: 4,
+            chaos: Some(ChaosConfig { panic_at: vec![], livelock_at: vec![0] }),
+            ..Default::default()
+        };
+        let prep = prepare_campaign(&w, &cfg);
+        match run_injection_supervised(&prep, &cfg, 0) {
+            SupervisedOutcome::Hung { index, cause } => {
+                assert_eq!(index, 0);
+                assert_eq!(cause, HangCause::CycleBudget);
+            }
+            other => panic!("expected hung, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_panic_propagates_in_guarded_mode() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig {
+            injections: 2,
+            chaos: Some(ChaosConfig { panic_at: vec![1], livelock_at: vec![] }),
+            ..Default::default()
+        };
+        let prep = prepare_campaign(&w, &cfg);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_injection_guarded(&prep, &cfg, 1)
+        }));
+        assert!(caught.is_err(), "guarded (strict) mode must propagate panics");
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_cold_boot() {
+        let w = argus_workloads::stress();
+        let cold_cfg = CampaignConfig { injections: 20, seed: 0xD00D, ..Default::default() };
+        let snap_cfg = CampaignConfig { snapshot_every: Some(500), ..cold_cfg.clone() };
+
+        let cold = prepare_campaign(&w, &cold_cfg);
+        let mut snap = prepare_campaign(&w, &snap_cfg);
+        let nsnaps = snap.snapshot_store().unwrap().len();
+        assert!(nsnaps > 1);
+        // Corrupt every snapshot: all forks must now fall back.
+        for i in 0..nsnaps {
+            assert!(snap.corrupt_snapshot_for_test(i), "snapshot {i} not corruptible");
+        }
+        for index in 0..cold.injections() {
+            let a = run_injection(&cold, &cold_cfg, index);
+            let b = run_injection(&snap, &snap_cfg, index);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "injection {index} diverged");
+        }
+        assert!(snap.snapshot_fallbacks() > 0, "no injection hit the poisoned store");
+        let warnings = snap.take_snapshot_warnings();
+        assert!(!warnings.is_empty());
+        assert!(warnings[0].contains("failed verification"));
+        assert!(snap.take_snapshot_warnings().is_empty(), "warnings drain once");
+    }
+
+    #[test]
+    fn watchdog_budget_scales_with_factor() {
+        let cfg = CampaignConfig { inj_cycle_factor: 1.5, hang_slack: 100, ..Default::default() };
+        let wd = cfg.watchdog_config(1000);
+        assert_eq!(wd.cycle_budget, 1600);
+        assert_eq!(wd.wall_limit, cfg.inj_wall_limit);
     }
 }

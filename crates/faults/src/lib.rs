@@ -31,6 +31,7 @@ pub mod latency;
 pub mod sites;
 
 pub use campaign::{
-    prepare_campaign, run_campaign, run_injection, CampaignConfig, CampaignReport, InjectionResult,
-    Outcome, PreparedCampaign,
+    prepare_campaign, run_campaign, run_injection, run_injection_guarded, run_injection_supervised,
+    CampaignConfig, CampaignReport, ChaosConfig, InjectionResult, Outcome, PreparedCampaign,
+    QuarantineRecord, SupervisedOutcome,
 };

@@ -668,6 +668,16 @@ impl Machine {
         }
         RunResult { cycles: self.cycle, retired: self.retired, halted: self.halted }
     }
+
+    /// Summarizes the machine's current run state without stepping it.
+    ///
+    /// Callers that drive [`Machine::step`] themselves use this to classify
+    /// how the run ended (`halted` distinguishes a clean `halt` from a
+    /// cycle-budget timeout) with the same semantics as
+    /// [`Machine::run_to_halt`].
+    pub fn run_result(&self) -> RunResult {
+        RunResult { cycles: self.cycle, retired: self.retired, halted: self.halted }
+    }
 }
 
 impl crate::snapshot::SnapshotState for Machine {

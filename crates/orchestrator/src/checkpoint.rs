@@ -9,14 +9,25 @@
 //! `done` fully describes *which* injections the tallies cover.
 
 use crate::json::Json;
+use argus_faults::QuarantineRecord;
+use argus_sim::crc::crc32;
 use argus_sim::fault::FaultKind;
 use argus_sim::stats::{CounterSet, Histogram};
 use std::fmt;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Current file format version.
-const VERSION: u64 = 1;
+///
+/// Version 2 adds the supervision tallies (`hung` count and quarantine
+/// ledger per shard) and wraps the document in a `{crc32, body}` envelope
+/// so corruption is detected on load. Version-1 files (no envelope, no
+/// supervision fields) are still accepted.
+const VERSION: u64 = 2;
+
+/// Oldest file format version `from_json` still accepts.
+const MIN_VERSION: u64 = 1;
 
 /// Identifies a campaign; a checkpoint only resumes a campaign with an
 /// identical fingerprint.
@@ -63,6 +74,12 @@ pub struct ShardCheckpoint {
     pub attribution: CounterSet,
     /// Detection-latency samples over the completed injections.
     pub latency: Histogram,
+    /// Completed injections the watchdog declared hung (counted in `done`,
+    /// absent from `outcomes`).
+    pub hung: u64,
+    /// Quarantined (panicked) injections, in index order (counted in
+    /// `done`, absent from `outcomes`).
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 impl ShardCheckpoint {
@@ -76,6 +93,8 @@ impl ShardCheckpoint {
             exercised: 0,
             attribution: CounterSet::new(),
             latency: Histogram::new(),
+            hung: 0,
+            quarantine: Vec::new(),
         }
     }
 }
@@ -96,6 +115,14 @@ pub enum CheckpointError {
     Io(std::io::Error),
     /// Unparseable or structurally wrong file.
     Corrupt(String),
+    /// The file parsed but its CRC envelope disagrees with its body —
+    /// a torn write or on-disk corruption.
+    Checksum {
+        /// CRC recorded in the envelope.
+        expected: u32,
+        /// CRC computed over the body as loaded.
+        got: u32,
+    },
     /// A valid file for a *different* campaign.
     Mismatch(String),
 }
@@ -105,6 +132,10 @@ impl fmt::Display for CheckpointError {
         match self {
             Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             Self::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            Self::Checksum { expected, got } => write!(
+                f,
+                "checkpoint checksum mismatch (recorded {expected:#010x}, computed {got:#010x})"
+            ),
             Self::Mismatch(m) => {
                 write!(f, "checkpoint belongs to a different campaign: {m}")
             }
@@ -148,10 +179,11 @@ impl Checkpoint {
             .set("shards", Json::Arr(self.shards.iter().map(shard_to_json).collect()))
     }
 
-    /// Parses the JSON document format.
+    /// Parses the JSON document format (the *body*, without the CRC
+    /// envelope).
     pub fn from_json(doc: &Json) -> Result<Self, CheckpointError> {
         let version = field_u64(doc, "version")?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(corrupt(format!("unsupported checkpoint version {version}")));
         }
         let fp = doc.get("fingerprint").ok_or_else(|| corrupt("missing fingerprint"))?;
@@ -185,28 +217,126 @@ impl Checkpoint {
             if s.start > s.end || s.done > s.end - s.start {
                 return Err(corrupt("shard progress out of range"));
             }
+            let accounted = s.outcomes.iter().sum::<u64>() + s.hung + s.quarantine.len() as u64;
+            if accounted != s.done as u64 {
+                return Err(corrupt(format!(
+                    "shard tallies account for {accounted} injections but done = {}",
+                    s.done
+                )));
+            }
         }
         Ok(Self { fingerprint, shards })
     }
 
-    /// Atomically writes the checkpoint (`path.tmp` + rename), so a crash
-    /// mid-write never destroys the previous good checkpoint.
+    /// Atomically writes the checkpoint: the CRC-enveloped document goes to
+    /// `path.tmp`, is fsynced, the previous checkpoint (if any) is rotated
+    /// to the `.bak` generation, the temp file is renamed into place, and
+    /// the parent directory is fsynced so both renames are durable. A crash
+    /// at any point leaves either the old file, the new file, or the old
+    /// file under `.bak` — never nothing.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let body = self.to_json();
+        let crc = crc32(body.to_string_compact().as_bytes());
+        let doc = Json::obj().set("crc32", u64::from(crc)).set("body", body);
         let tmp = path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(self.to_json().to_string_compact().as_bytes())?;
+            f.write_all(doc.to_string_compact().as_bytes())?;
             f.write_all(b"\n")?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, path)
+        if path.exists() {
+            // Best-effort rotation: losing the backup generation must not
+            // block the fresher checkpoint from landing.
+            let _ = std::fs::rename(path, backup_path(path));
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
     }
 
-    /// Loads and validates a checkpoint file.
+    /// [`Checkpoint::save`] with bounded retry for transient I/O errors
+    /// (backoff grows linearly per attempt). Returns how many attempts
+    /// failed before one succeeded; `Err` is the final error after all
+    /// `retries` extra attempts were exhausted.
+    pub fn save_with_retry(
+        &self,
+        path: &Path,
+        retries: u32,
+        backoff: Duration,
+    ) -> Result<u32, std::io::Error> {
+        let mut failures = 0u32;
+        loop {
+            match self.save(path) {
+                Ok(()) => return Ok(failures),
+                Err(e) => {
+                    failures += 1;
+                    if failures > retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff * failures);
+                }
+            }
+        }
+    }
+
+    /// Loads and validates a checkpoint file, verifying its CRC envelope.
+    /// Version-1 files (which predate the envelope) are accepted as-is.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let text = std::fs::read_to_string(path)?;
         let doc = Json::parse(&text).map_err(|e| corrupt(e.to_string()))?;
-        Self::from_json(&doc)
+        match doc.get("body") {
+            Some(body) => {
+                let expected = field_u64(&doc, "crc32")? as u32;
+                let got = crc32(body.to_string_compact().as_bytes());
+                if expected != got {
+                    return Err(CheckpointError::Checksum { expected, got });
+                }
+                Self::from_json(body)
+            }
+            // Legacy v1 layout: the whole document is the body.
+            None => Self::from_json(&doc),
+        }
+    }
+
+    /// Self-healing load: on a corrupt (or checksum-failing, or unreadable)
+    /// primary file, falls back to the `.bak` generation kept by
+    /// [`Checkpoint::save`]; when both are unusable, reports that the
+    /// affected work must restart from scratch. Never returns an error —
+    /// every failure mode degrades to "less resumed work" plus warnings.
+    pub fn load_resilient(path: &Path) -> Recovery {
+        match Self::load(path) {
+            Ok(cp) => Recovery { checkpoint: Some(cp), warnings: Vec::new(), used_backup: false },
+            Err(primary) => {
+                let mut warnings =
+                    vec![format!("checkpoint {} unusable: {primary}", path.display())];
+                let bak = backup_path(path);
+                if bak.exists() {
+                    match Self::load(&bak) {
+                        Ok(cp) => {
+                            warnings.push(format!(
+                                "recovered from backup checkpoint {}",
+                                bak.display()
+                            ));
+                            Recovery { checkpoint: Some(cp), warnings, used_backup: true }
+                        }
+                        Err(backup) => {
+                            warnings.push(format!(
+                                "backup checkpoint {} also unusable: {backup}; restarting \
+                                 affected injections from scratch",
+                                bak.display()
+                            ));
+                            Recovery { checkpoint: None, warnings, used_backup: false }
+                        }
+                    }
+                } else {
+                    warnings.push(
+                        "no backup checkpoint; restarting affected injections from scratch"
+                            .to_owned(),
+                    );
+                    Recovery { checkpoint: None, warnings, used_backup: false }
+                }
+            }
+        }
     }
 
     /// Errors unless `other` describes the same campaign.
@@ -242,6 +372,32 @@ impl Checkpoint {
     }
 }
 
+/// Outcome of [`Checkpoint::load_resilient`]: whatever progress could be
+/// salvaged, plus a human-readable account of anything that was lost.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The salvaged checkpoint; `None` when both generations were unusable.
+    pub checkpoint: Option<Checkpoint>,
+    /// Warnings describing what was corrupt and what was done about it.
+    pub warnings: Vec<String>,
+    /// True when the `.bak` generation supplied the checkpoint.
+    pub used_backup: bool,
+}
+
+/// The `.bak` sibling of a checkpoint path.
+pub fn backup_path(path: &Path) -> PathBuf {
+    path.with_extension("bak")
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// durable.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
 fn shard_to_json(s: &ShardCheckpoint) -> Json {
     Json::obj()
         .set("start", s.start)
@@ -263,6 +419,20 @@ fn shard_to_json(s: &ShardCheckpoint) -> Json {
                 .set("min", s.latency.min().map_or(Json::Null, Json::from))
                 .set("max", s.latency.max().map_or(Json::Null, Json::from)),
         )
+        .set("hung", s.hung)
+        .set("quarantine", Json::Arr(s.quarantine.iter().map(quarantine_to_json).collect()))
+}
+
+fn quarantine_to_json(q: &QuarantineRecord) -> Json {
+    Json::obj().set("index", q.index).set("seed", q.seed).set("panic_msg", q.panic_msg.as_str())
+}
+
+fn quarantine_from_json(doc: &Json) -> Result<QuarantineRecord, CheckpointError> {
+    Ok(QuarantineRecord {
+        index: field_u64(doc, "index")?,
+        seed: field_u64(doc, "seed")?,
+        panic_msg: field_str(doc, "panic_msg")?.to_owned(),
+    })
 }
 
 fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
@@ -299,6 +469,20 @@ fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
         lat.get("min").and_then(Json::as_u64),
         lat.get("max").and_then(Json::as_u64),
     );
+    // Supervision fields are absent from v1 files; default them.
+    let hung = match doc.get("hung") {
+        Some(v) => v.as_u64().ok_or_else(|| corrupt("bad hung count"))?,
+        None => 0,
+    };
+    let quarantine = match doc.get("quarantine") {
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| corrupt("quarantine must be an array"))?
+            .iter()
+            .map(quarantine_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
     Ok(ShardCheckpoint {
         start: field_u64(doc, "start")? as usize,
         end: field_u64(doc, "end")? as usize,
@@ -307,6 +491,8 @@ fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
         exercised: field_u64(doc, "exercised")?,
         attribution,
         latency,
+        hung,
+        quarantine,
     })
 }
 
@@ -347,11 +533,17 @@ mod tests {
                 ShardCheckpoint {
                     start: 0,
                     end: 500,
-                    done: 123,
+                    done: 126,
                     outcomes: [3, 80, 30, 10],
                     exercised: 90,
                     attribution,
                     latency,
+                    hung: 2,
+                    quarantine: vec![QuarantineRecord {
+                        index: 17,
+                        seed: 0xA905,
+                        panic_msg: "boom \"quoted\"".into(),
+                    }],
                 },
                 ShardCheckpoint::empty(500, 1000),
             ],
@@ -364,7 +556,9 @@ mod tests {
         let text = cp.to_json().to_string_compact();
         let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, cp);
-        assert_eq!(back.completed(), 123);
+        assert_eq!(back.completed(), 126);
+        assert_eq!(back.shards[0].hung, 2);
+        assert_eq!(back.shards[0].quarantine[0].panic_msg, "boom \"quoted\"");
     }
 
     #[test]
@@ -405,5 +599,128 @@ mod tests {
         cp.shards[0].done = 501;
         let doc = cp.to_json();
         assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+        // Tallies that do not account for every done injection.
+        let mut cp = sample();
+        cp.shards[0].hung += 1;
+        let doc = cp.to_json();
+        assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let dir = std::env::temp_dir().join("argus-orch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_crc.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        // Corrupt one digit inside the body (not the crc field itself).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let at = text.find("\"done\":126").expect("body contains the done field");
+        let mut bytes = text.into_bytes();
+        bytes[at + 8] = b'7'; // 126 -> 176: still valid JSON, wrong content
+        std::fs::write(&path, &bytes).unwrap();
+        match Checkpoint::load(&path) {
+            Err(CheckpointError::Checksum { expected, got }) => assert_ne!(expected, got),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_files_without_envelope_load() {
+        let dir = std::env::temp_dir().join("argus-orch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_v1.json");
+        // A v1 file: bare body, version 1, no supervision fields.
+        let mut cp = sample();
+        cp.shards[0].done = 123;
+        cp.shards[0].hung = 0;
+        cp.shards[0].quarantine.clear();
+        let mut body = cp.to_json().set("version", 1u64);
+        if let Json::Obj(ref mut fields) = body {
+            for (_, shard) in fields.iter_mut().filter(|(k, _)| k == "shards") {
+                if let Json::Arr(ref mut arr) = shard {
+                    for s in arr.iter_mut() {
+                        if let Json::Obj(ref mut sf) = s {
+                            sf.retain(|(k, _)| k != "hung" && k != "quarantine");
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::write(&path, body.to_string_compact()).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.shards[0].hung, 0);
+        assert!(back.shards[0].quarantine.is_empty());
+        assert_eq!(back.completed(), 123);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_rotates_previous_generation_to_bak() {
+        let dir = std::env::temp_dir().join("argus-orch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_rotate.json");
+        let bak = backup_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&bak);
+
+        let mut cp = sample();
+        cp.save(&path).unwrap();
+        assert!(!bak.exists(), "first save has nothing to rotate");
+        cp.shards[1].done = 1;
+        cp.shards[1].outcomes[2] = 1;
+        cp.save(&path).unwrap();
+        assert!(bak.exists(), "second save rotates the first generation");
+        assert_eq!(Checkpoint::load(&bak).unwrap().completed(), 126);
+        assert_eq!(Checkpoint::load(&path).unwrap().completed(), 127);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&bak).unwrap();
+    }
+
+    #[test]
+    fn load_resilient_falls_back_to_bak_then_scratch() {
+        let dir = std::env::temp_dir().join("argus-orch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_resilient.json");
+        let bak = backup_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&bak);
+
+        let mut cp = sample();
+        cp.save(&path).unwrap();
+        cp.shards[1].done = 1;
+        cp.shards[1].outcomes[0] = 1;
+        cp.save(&path).unwrap(); // first generation now in .bak
+
+        // Truncate the primary: resilient load recovers the backup.
+        std::fs::write(&path, b"{\"crc32\":12,\"bo").unwrap();
+        let rec = Checkpoint::load_resilient(&path);
+        assert!(rec.used_backup);
+        assert_eq!(rec.checkpoint.as_ref().unwrap().completed(), 126);
+        assert!(rec.warnings.iter().any(|w| w.contains("unusable")), "{:?}", rec.warnings);
+
+        // Destroy both generations: recovery degrades to scratch.
+        std::fs::write(&bak, b"garbage").unwrap();
+        let rec = Checkpoint::load_resilient(&path);
+        assert!(rec.checkpoint.is_none());
+        assert!(!rec.used_backup);
+        assert!(rec.warnings.iter().any(|w| w.contains("from scratch")), "{:?}", rec.warnings);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&bak).unwrap();
+    }
+
+    #[test]
+    fn save_with_retry_reports_zero_failures_on_success() {
+        let dir = std::env::temp_dir().join("argus-orch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_retry.json");
+        let failures = sample().save_with_retry(&path, 3, Duration::from_millis(1)).unwrap();
+        assert_eq!(failures, 0);
+        // An unwritable path exhausts its retries and surfaces the error.
+        let bad = dir.join("no-such-dir").join("ckpt.json");
+        assert!(sample().save_with_retry(&bad, 1, Duration::from_millis(1)).is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(backup_path(&path));
     }
 }

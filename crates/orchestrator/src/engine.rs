@@ -20,18 +20,28 @@
 //!   set, `prepare_campaign` checkpoints the golden run and every worker
 //!   forks injections from the read-only snapshot store the prepared
 //!   campaign shares (one `Arc<SnapshotStore>` behind `&prep`), instead
-//!   of cold-booting each one. Tallies are bit-identical either way.
+//!   of cold-booting each one. Tallies are bit-identical either way;
+//! * **supervision** — each injection runs inside a panic quarantine and
+//!   under a watchdog (see `argus_sim::supervise`), so one buggy or
+//!   livelocked injection costs one ledger entry, not the campaign.
+//!   Checkpoint files carry a CRC and a `.bak` generation; resume heals
+//!   around torn or corrupted artifacts instead of crashing. `strict`
+//!   turns all of this off for debugging.
 
 use crate::checkpoint::{Checkpoint, CheckpointError, Fingerprint, ShardCheckpoint};
 use crate::json::Json;
 use crate::progress::Progress;
-use argus_faults::campaign::{prepare_campaign, run_injection, CampaignConfig, InjectionResult};
+use argus_faults::campaign::{
+    prepare_campaign, run_injection_guarded, run_injection_supervised, CampaignConfig,
+    InjectionResult, QuarantineRecord, SupervisedOutcome,
+};
 use argus_faults::Outcome;
 use argus_sim::fault::FaultKind;
 use argus_sim::stats::{CounterSet, Histogram};
+use argus_sim::supervise::{panic_message, Anomaly};
 use argus_workloads::Workload;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -46,6 +56,19 @@ pub struct OrchestratorConfig {
     pub checkpoint_interval: Duration,
     /// Load prior progress from `checkpoint_path` before starting.
     pub resume: bool,
+    /// Strict mode: disable the supervision safety nets. Injection panics
+    /// propagate and kill the run, a hung injection is a panic, and a
+    /// corrupt checkpoint is a hard error instead of a recovery.
+    pub strict: bool,
+    /// Abort the campaign once more than this many injections have been
+    /// quarantined — past that point the campaign machinery itself is
+    /// suspect and tallies would be misleading.
+    pub quarantine_limit: usize,
+    /// Extra attempts for a failed checkpoint flush before giving up on
+    /// that flush (periodic) or erroring out (final).
+    pub flush_retries: u32,
+    /// Base backoff between flush retries (grows linearly per attempt).
+    pub flush_backoff: Duration,
 }
 
 impl Default for OrchestratorConfig {
@@ -55,6 +78,10 @@ impl Default for OrchestratorConfig {
             checkpoint_path: None,
             checkpoint_interval: Duration::from_secs(5),
             resume: false,
+            strict: false,
+            quarantine_limit: 64,
+            flush_retries: 3,
+            flush_backoff: Duration::from_millis(25),
         }
     }
 }
@@ -98,6 +125,27 @@ pub struct ShardedReport {
     pub snapshot_every: Option<u64>,
     /// Golden-run checkpoints captured (0 on the cold-boot path).
     pub snapshots: usize,
+    /// Injections the watchdog declared hung (counted in `completed`,
+    /// absent from `outcomes`).
+    pub hung: u64,
+    /// Quarantined (panicked) injections, merged across shards and sorted
+    /// by injection index. `quarantine.len()` is the quarantined count.
+    pub quarantine: Vec<QuarantineRecord>,
+    /// True when checkpoint flushing needed retries or failed — tallies
+    /// are still exact, but the on-disk checkpoint may lag.
+    pub degraded: bool,
+    /// Individual checkpoint-flush attempts that failed (retries that
+    /// later succeeded still count).
+    pub flush_failures: u64,
+    /// Injections that cold-booted because their golden-run snapshot
+    /// failed verification (0 unless a snapshot was corrupted in memory).
+    pub snapshot_fallbacks: u64,
+    /// Human-readable warnings from artifact recovery (corrupt checkpoint
+    /// or snapshot handling). Empty on undisturbed runs.
+    pub recovery_warnings: Vec<String>,
+    /// True when resume had to fall back to the `.bak` checkpoint
+    /// generation.
+    pub used_backup_checkpoint: bool,
 }
 
 impl ShardedReport {
@@ -176,17 +224,46 @@ impl ShardedReport {
                     .set("p99", self.latency.percentile(0.99).map_or(Json::Null, Json::from))
                     .set("max", self.latency.max().map_or(Json::Null, Json::from)),
             )
+            .set("hung", self.hung)
+            .set("quarantined", self.quarantine.len())
+            .set(
+                "quarantine",
+                Json::Arr(
+                    self.quarantine
+                        .iter()
+                        .map(|q| {
+                            Json::obj()
+                                .set("index", q.index)
+                                .set("seed", q.seed)
+                                .set("panic_msg", q.panic_msg.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+            .set("degraded", self.degraded)
+            .set("flush_failures", self.flush_failures)
+            .set("snapshot_fallbacks", self.snapshot_fallbacks)
+            .set(
+                "recovery_warnings",
+                Json::Arr(self.recovery_warnings.iter().map(|w| w.as_str().into()).collect()),
+            )
+            .set("used_backup_checkpoint", self.used_backup_checkpoint)
     }
 }
 
-/// Errors surfaced by the sharded engine (worker panics still propagate as
-/// panics, like the serial engine's).
+/// Errors surfaced by the sharded engine. With supervision on (the
+/// default), injection panics become quarantine records instead of
+/// propagating; in strict mode they propagate as panics, like the serial
+/// engine's.
 #[derive(Debug)]
 pub enum OrchestratorError {
     /// Checkpoint loading/validation/saving failed.
     Checkpoint(CheckpointError),
     /// Nonsensical orchestration config.
     Config(String),
+    /// The supervision layer aborted the campaign (quarantine limit
+    /// exceeded — the campaign machinery itself is suspect).
+    Supervision(String),
 }
 
 impl std::fmt::Display for OrchestratorError {
@@ -194,6 +271,7 @@ impl std::fmt::Display for OrchestratorError {
         match self {
             Self::Checkpoint(e) => write!(f, "{e}"),
             Self::Config(m) => write!(f, "bad orchestrator config: {m}"),
+            Self::Supervision(m) => write!(f, "campaign aborted by supervision: {m}"),
         }
     }
 }
@@ -242,6 +320,33 @@ impl ShardState {
             self.cp.latency.record(l);
         }
     }
+
+    fn apply_hung(&mut self) {
+        self.cp.done += 1;
+        self.cp.hung += 1;
+    }
+
+    fn apply_quarantined(&mut self, q: QuarantineRecord) {
+        self.cp.done += 1;
+        self.cp.quarantine.push(q);
+    }
+}
+
+/// Poison-tolerant lock: a worker that panicked (strict mode) must not
+/// wedge the checkpoint coordinator out of saving everyone else's work.
+fn lock_state(m: &Mutex<ShardState>) -> std::sync::MutexGuard<'_, ShardState> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Decrements the live-worker count when the worker exits — including by
+/// unwinding in strict mode, so the checkpoint coordinator's wait loop
+/// always terminates.
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 /// Runs a sharded, checkpointable, cancellable campaign.
@@ -281,37 +386,79 @@ pub fn run_sharded(
     let ranges = shard_ranges(cfg.injections, ocfg.shards);
     let mut initial: Vec<ShardCheckpoint> =
         ranges.iter().map(|r| ShardCheckpoint::empty(r.start, r.end)).collect();
+    let mut recovery_warnings: Vec<String> = Vec::new();
+    let mut used_backup_checkpoint = false;
     if ocfg.resume {
         let path = ocfg
             .checkpoint_path
             .as_deref()
             .ok_or_else(|| OrchestratorError::Config("--resume needs a checkpoint path".into()))?;
         if path.exists() {
-            let saved = Checkpoint::load(path)?;
-            saved.check_matches(&fingerprint)?;
-            initial = saved.shards;
+            let saved = if ocfg.strict {
+                // Strict mode: a damaged checkpoint is a hard error.
+                Some(Checkpoint::load(path)?)
+            } else {
+                let rec = Checkpoint::load_resilient(path);
+                recovery_warnings = rec.warnings;
+                used_backup_checkpoint = rec.used_backup;
+                rec.checkpoint
+            };
+            if let Some(saved) = saved {
+                saved.check_matches(&fingerprint)?;
+                for (s, r) in saved.shards.iter().zip(ranges.iter()) {
+                    if s.start != r.start || s.end != r.end {
+                        return Err(CheckpointError::Mismatch(format!(
+                            "saved shard slice {}..{} disagrees with computed {}..{}",
+                            s.start, s.end, r.start, r.end
+                        ))
+                        .into());
+                    }
+                }
+                initial = saved.shards;
+            }
+            // rec.checkpoint == None: both generations were unusable; the
+            // warnings say so and the whole slice restarts from scratch.
         }
     }
 
     let resumed: usize = initial.iter().map(|s| s.done).sum();
     let mut resumed_outcomes = [0u64; 4];
+    let mut resumed_anomalies = [0u64; 2];
     for s in &initial {
         for (acc, &c) in resumed_outcomes.iter_mut().zip(s.outcomes.iter()) {
             *acc += c;
         }
+        resumed_anomalies[0] += s.quarantine.len() as u64;
+        resumed_anomalies[1] += s.hung;
     }
     let per_shard_done: Vec<u64> = initial.iter().map(|s| s.done as u64).collect();
-    progress.begin(cfg.injections as u64, resumed as u64, resumed_outcomes, &per_shard_done);
+    progress.begin(
+        cfg.injections as u64,
+        resumed as u64,
+        resumed_outcomes,
+        resumed_anomalies,
+        &per_shard_done,
+    );
+    let resumed_quarantined = resumed_anomalies[0] as usize;
 
     let prep = prepare_campaign(w, cfg);
     let states: Vec<Mutex<ShardState>> =
         initial.into_iter().map(|cp| Mutex::new(ShardState { cp })).collect();
     let live_workers = AtomicUsize::new(ocfg.shards);
+    let quarantined_total = AtomicUsize::new(resumed_quarantined);
+    let quarantine_abort = AtomicBool::new(false);
+    let flush_failures = AtomicU64::new(0);
+    let flush_degraded = AtomicBool::new(false);
+    // First panic payload seen by a strict-mode worker: re-raised from the
+    // caller's thread after the final checkpoint flush, so the original
+    // message survives `thread::scope`'s generic join panic and the
+    // progress made so far is still persisted.
+    let strict_panic: Mutex<Option<String>> = Mutex::new(None);
 
     let snapshot_all = |states: &[Mutex<ShardState>]| -> Checkpoint {
         Checkpoint {
             fingerprint: fingerprint.clone(),
-            shards: states.iter().map(|m| m.lock().unwrap().cp.clone()).collect(),
+            shards: states.iter().map(|m| lock_state(m).cp.clone()).collect(),
         }
     };
 
@@ -320,18 +467,72 @@ pub fn run_sharded(
             let range = ranges[k].clone();
             let prep = &prep;
             let live_workers = &live_workers;
+            let quarantined_total = &quarantined_total;
+            let quarantine_abort = &quarantine_abort;
+            let strict_panic = &strict_panic;
             scope.spawn(move || {
-                let first = range.start + state.lock().unwrap().cp.done;
+                let _live = LiveGuard(live_workers);
+                let first = range.start + lock_state(state).cp.done;
                 for index in first..range.end {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let r = run_injection(prep, cfg, index);
-                    state.lock().unwrap().apply(&r);
-                    progress.record(k, r.outcome);
+                    // Strict mode runs without the panic net: a panicking
+                    // (or hung) injection aborts the whole campaign. The
+                    // payload is captured so it can be re-raised from the
+                    // caller's thread with its message intact —
+                    // `thread::scope` would replace it with a generic
+                    // "a scoped thread panicked".
+                    let sup = if ocfg.strict {
+                        let guarded =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_injection_guarded(prep, cfg, index)
+                            }));
+                        match guarded {
+                            Ok(SupervisedOutcome::Hung { index, cause }) => {
+                                strict_panic
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .get_or_insert_with(|| {
+                                        format!("injection {index} hung ({})", cause.label())
+                                    });
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                            Ok(other) => other,
+                            Err(payload) => {
+                                strict_panic
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .get_or_insert_with(|| panic_message(payload.as_ref()));
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    } else {
+                        run_injection_supervised(prep, cfg, index)
+                    };
+                    match sup {
+                        SupervisedOutcome::Classified(r) => {
+                            lock_state(state).apply(&r);
+                            progress.record(k, r.outcome);
+                        }
+                        SupervisedOutcome::Hung { .. } => {
+                            lock_state(state).apply_hung();
+                            progress.record_anomaly(k, Anomaly::Hung);
+                        }
+                        SupervisedOutcome::Quarantined(q) => {
+                            lock_state(state).apply_quarantined(q);
+                            progress.record_anomaly(k, Anomaly::Quarantined);
+                            let seen = quarantined_total.fetch_add(1, Ordering::AcqRel) + 1;
+                            if seen > ocfg.quarantine_limit {
+                                quarantine_abort.store(true, Ordering::Release);
+                                stop.store(true, Ordering::Release);
+                            }
+                        }
+                    }
                 }
                 progress.shard_finished(k);
-                live_workers.fetch_sub(1, Ordering::Release);
             });
         }
 
@@ -342,9 +543,27 @@ pub fn run_sharded(
             while live_workers.load(Ordering::Acquire) > 0 {
                 std::thread::sleep(Duration::from_millis(25));
                 if last_flush.elapsed() >= ocfg.checkpoint_interval {
-                    // A failed periodic flush is not fatal mid-run; the
+                    // A failing periodic flush is not fatal mid-run — it
+                    // retries with backoff, flags degraded mode, and the
                     // final flush below surfaces persistent I/O problems.
-                    let _ = snapshot_all(&states).save(path);
+                    match snapshot_all(&states).save_with_retry(
+                        path,
+                        ocfg.flush_retries,
+                        ocfg.flush_backoff,
+                    ) {
+                        Ok(0) => {}
+                        Ok(failed_attempts) => {
+                            flush_failures.fetch_add(u64::from(failed_attempts), Ordering::Relaxed);
+                            flush_degraded.store(true, Ordering::Relaxed);
+                            progress.set_degraded(true);
+                        }
+                        Err(_) => {
+                            flush_failures
+                                .fetch_add(u64::from(ocfg.flush_retries) + 1, Ordering::Relaxed);
+                            flush_degraded.store(true, Ordering::Relaxed);
+                            progress.set_degraded(true);
+                        }
+                    }
                     last_flush = Instant::now();
                 }
             }
@@ -354,9 +573,32 @@ pub fn run_sharded(
     let interrupted = stop.load(Ordering::Relaxed);
     let final_cp = snapshot_all(&states);
     if let Some(path) = ocfg.checkpoint_path.as_deref() {
-        final_cp.save(path).map_err(CheckpointError::from)?;
+        match final_cp.save_with_retry(path, ocfg.flush_retries, ocfg.flush_backoff) {
+            Ok(0) => {}
+            Ok(failed_attempts) => {
+                flush_failures.fetch_add(u64::from(failed_attempts), Ordering::Relaxed);
+                flush_degraded.store(true, Ordering::Relaxed);
+                progress.set_degraded(true);
+            }
+            Err(e) => return Err(CheckpointError::from(e).into()),
+        }
     }
     progress.finish();
+
+    // Strict mode: re-raise the worker's panic with its original message,
+    // now that progress has been flushed.
+    if let Some(msg) = strict_panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        panic!("{msg}");
+    }
+
+    if quarantine_abort.load(Ordering::Acquire) {
+        return Err(OrchestratorError::Supervision(format!(
+            "{} injections quarantined (limit {}); progress checkpointed, tallies would be \
+             misleading",
+            quarantined_total.load(Ordering::Acquire),
+            ocfg.quarantine_limit
+        )));
+    }
 
     // Deterministic merge: shard order is fixed and every accumulator is
     // commutative/associative, so the result is independent of timing.
@@ -364,6 +606,8 @@ pub fn run_sharded(
     let mut attribution = CounterSet::new();
     let mut latency = Histogram::new();
     let mut exercised = 0u64;
+    let mut hung = 0u64;
+    let mut quarantine: Vec<QuarantineRecord> = Vec::new();
     for s in &final_cp.shards {
         for (acc, &c) in outcomes.iter_mut().zip(s.outcomes.iter()) {
             *acc += c;
@@ -371,8 +615,13 @@ pub fn run_sharded(
         attribution.merge(&s.attribution);
         latency.merge(&s.latency);
         exercised += s.exercised;
+        hung += s.hung;
+        quarantine.extend(s.quarantine.iter().cloned());
     }
+    quarantine.sort_by_key(|q| q.index);
     let completed = final_cp.completed();
+
+    recovery_warnings.extend(prep.take_snapshot_warnings());
 
     Ok(ShardedReport {
         outcomes,
@@ -389,6 +638,13 @@ pub fn run_sharded(
         interrupted,
         snapshot_every: cfg.snapshot_every,
         snapshots: prep.snapshot_store().map_or(0, |s| s.len()),
+        hung,
+        quarantine,
+        degraded: flush_degraded.load(Ordering::Relaxed),
+        flush_failures: flush_failures.load(Ordering::Relaxed),
+        snapshot_fallbacks: prep.snapshot_fallbacks(),
+        recovery_warnings,
+        used_backup_checkpoint,
     })
 }
 

@@ -145,8 +145,11 @@ impl Json {
     }
 
     /// Parses a JSON document (must consume all non-whitespace input).
+    /// Nesting is capped at [`MAX_DEPTH`] levels so adversarial input
+    /// (e.g. a corrupted resume file full of `[`) errors out instead of
+    /// overflowing the stack.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -232,9 +235,14 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. Our own files nest a
+/// handful of levels; anything deeper is corrupt or adversarial.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -253,11 +261,27 @@ impl<'a> Parser<'a> {
     }
 
     fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
+        match self.peek() {
+            Some(found) if found == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(self.err(&format!(
+                "expected `{}`, found `{}`",
+                b as char,
+                found.escape_ascii()
+            ))),
+            None => Err(self.err(&format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    /// Tracks descent into an array/object; errors past [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")))
         } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
+            Ok(())
         }
     }
 
@@ -276,10 +300,23 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a value")),
+            Some(found) => {
+                Err(self.err(&format!("expected a value, found `{}`", found.escape_ascii())))
+            }
+            None => Err(self.err("expected a value, found end of input")),
         }
     }
 
@@ -347,7 +384,10 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The consumed bytes are all ASCII digits/signs/dots by
+        // construction, but a typed error beats relying on that here.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError { message: "non-UTF-8 in number".to_owned(), offset: start })?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| JsonError { message: format!("bad number `{text}`"), offset: start })
@@ -468,5 +508,32 @@ mod tests {
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Str("1".into()).as_u64(), None);
         assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // A corrupt resume file could be 100k open brackets; that must be
+        // a parse error, not a stack overflow (which aborts the process).
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&obj_bomb).is_err());
+        // Nesting at the cap parses fine.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_byte() {
+        let err = Json::parse("{\"a\" 1}").unwrap_err();
+        assert!(err.message.contains("expected `:`"), "{err}");
+        assert!(err.message.contains("found `1`"), "{err}");
+        let err = Json::parse("[@]").unwrap_err();
+        assert!(err.message.contains("found `@`"), "{err}");
+        let err = Json::parse("[1,").unwrap_err();
+        assert!(err.message.contains("end of input"), "{err}");
     }
 }

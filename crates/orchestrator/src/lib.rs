@@ -14,6 +14,10 @@
 //! * **Live observability** — workers publish per-injection updates through
 //!   atomics; any thread can snapshot injections/sec, per-outcome running
 //!   counts, per-shard liveness, and elapsed time while the campaign runs.
+//! * **Supervision** — each injection runs behind a panic net and a
+//!   watchdog; panics become quarantine records, runaways are classified
+//!   hung, corrupt checkpoints fall back to their `.bak` generation, and
+//!   transient flush failures retry with backoff under a degraded flag.
 //!
 //! # Examples
 //!
@@ -36,7 +40,9 @@ pub mod engine;
 pub mod json;
 pub mod progress;
 
-pub use checkpoint::{Checkpoint, CheckpointError, Fingerprint, ShardCheckpoint};
+pub use checkpoint::{
+    backup_path, Checkpoint, CheckpointError, Fingerprint, Recovery, ShardCheckpoint,
+};
 pub use engine::{run_sharded, shard_ranges, OrchestratorConfig, OrchestratorError, ShardedReport};
 pub use json::Json;
 pub use progress::{Progress, ProgressSnapshot};

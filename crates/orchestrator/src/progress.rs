@@ -6,6 +6,7 @@
 //! perturbing the workers.
 
 use argus_faults::Outcome;
+use argus_sim::supervise::Anomaly;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -26,12 +27,26 @@ pub struct Progress {
     initial: AtomicU64,
     done: AtomicU64,
     outcomes: [AtomicU64; 4],
+    /// Supervision anomalies: `[quarantined, hung]`, indexed by
+    /// [`Anomaly`] order. Counted in `done` but not in `outcomes`.
+    anomalies: [AtomicU64; 2],
+    /// Set when checkpoint flushing is limping (retries were needed or a
+    /// periodic flush failed outright).
+    degraded: AtomicBool,
     /// Per-shard completed counts.
     shard_done: Vec<AtomicU64>,
     /// Per-shard heartbeat: millis since `started` of the last completion,
     /// or [`BEAT_DONE`] once the shard's slice is finished.
     shard_beat: Vec<AtomicU64>,
     finished: AtomicBool,
+}
+
+/// Position of an [`Anomaly`] in the `anomalies` arrays.
+fn anomaly_index(a: Anomaly) -> usize {
+    match a {
+        Anomaly::Quarantined => 0,
+        Anomaly::Hung => 1,
+    }
 }
 
 impl Progress {
@@ -43,6 +58,8 @@ impl Progress {
             initial: AtomicU64::new(0),
             done: AtomicU64::new(0),
             outcomes: [const { AtomicU64::new(0) }; 4],
+            anomalies: [const { AtomicU64::new(0) }; 2],
+            degraded: AtomicBool::new(false),
             shard_done: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_beat: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             finished: AtomicBool::new(false),
@@ -56,17 +73,28 @@ impl Progress {
 
     /// (Re)starts the clock and seeds totals; called by the engine once it
     /// knows the campaign size and any resumed progress.
-    pub fn begin(&self, total: u64, resumed: u64, resumed_outcomes: [u64; 4], per_shard: &[u64]) {
-        *self.started.lock().unwrap() = Instant::now();
+    pub fn begin(
+        &self,
+        total: u64,
+        resumed: u64,
+        resumed_outcomes: [u64; 4],
+        resumed_anomalies: [u64; 2],
+        per_shard: &[u64],
+    ) {
+        *self.started.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
         self.total.store(total, Ordering::Relaxed);
         self.initial.store(resumed, Ordering::Relaxed);
         self.done.store(resumed, Ordering::Relaxed);
         for (slot, &v) in self.outcomes.iter().zip(resumed_outcomes.iter()) {
             slot.store(v, Ordering::Relaxed);
         }
+        for (slot, &v) in self.anomalies.iter().zip(resumed_anomalies.iter()) {
+            slot.store(v, Ordering::Relaxed);
+        }
         for (slot, &v) in self.shard_done.iter().zip(per_shard.iter()) {
             slot.store(v, Ordering::Relaxed);
         }
+        self.degraded.store(false, Ordering::Relaxed);
         self.finished.store(false, Ordering::Relaxed);
     }
 
@@ -77,6 +105,26 @@ impl Progress {
         self.shard_done[shard].fetch_add(1, Ordering::Relaxed);
         self.shard_beat[shard].store(ms, Ordering::Relaxed);
         self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one injection on `shard` that ended in a supervision anomaly
+    /// (quarantined panic or watchdog hang) instead of a classification.
+    pub fn record_anomaly(&self, shard: usize, anomaly: Anomaly) {
+        let ms = self.elapsed().as_millis() as u64;
+        self.anomalies[anomaly_index(anomaly)].fetch_add(1, Ordering::Relaxed);
+        self.shard_done[shard].fetch_add(1, Ordering::Relaxed);
+        self.shard_beat[shard].store(ms, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flags (or clears) degraded checkpoint-flush mode.
+    pub fn set_degraded(&self, on: bool) {
+        self.degraded.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether checkpoint flushing has been limping.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Marks `shard` as having finished its slice.
@@ -100,7 +148,7 @@ impl Progress {
     }
 
     fn elapsed(&self) -> Duration {
-        self.started.lock().unwrap().elapsed()
+        self.started.lock().unwrap_or_else(|e| e.into_inner()).elapsed()
     }
 
     /// Takes a point-in-time view for rendering. Counters are read without
@@ -119,6 +167,8 @@ impl Progress {
             total: self.total.load(Ordering::Relaxed),
             done,
             outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
+            anomalies: std::array::from_fn(|i| self.anomalies[i].load(Ordering::Relaxed)),
+            degraded: self.degraded.load(Ordering::Relaxed),
             elapsed,
             rate,
             shard_done: self.shard_done.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
@@ -143,6 +193,10 @@ pub struct ProgressSnapshot {
     pub done: u64,
     /// Running per-outcome counts, indexed like [`Outcome::ALL`].
     pub outcomes: [u64; 4],
+    /// Supervision anomaly counts: `[quarantined, hung]`.
+    pub anomalies: [u64; 2],
+    /// True when checkpoint flushing has needed retries or failed.
+    pub degraded: bool,
     /// Wall-clock time since the engine started.
     pub elapsed: Duration,
     /// Injections per second completed by *this* run (resumed work
@@ -173,7 +227,14 @@ impl std::fmt::Display for ProgressSnapshot {
             self.outcomes[3],
             self.shard_done.len(),
             quiet,
-        )
+        )?;
+        if self.anomalies.iter().any(|&a| a > 0) {
+            write!(f, " | quar {} hung {}", self.anomalies[0], self.anomalies[1])?;
+        }
+        if self.degraded {
+            write!(f, " [degraded: checkpoint I/O]")?;
+        }
+        Ok(())
     }
 }
 
@@ -184,7 +245,7 @@ mod tests {
     #[test]
     fn records_and_snapshots() {
         let p = Progress::new(2);
-        p.begin(10, 0, [0; 4], &[0, 0]);
+        p.begin(10, 0, [0; 4], [0; 2], &[0, 0]);
         p.record(0, Outcome::UnmaskedDetected);
         p.record(1, Outcome::UnmaskedDetected);
         p.record(1, Outcome::MaskedUndetected);
@@ -200,16 +261,46 @@ mod tests {
         assert!(p.finished());
         let line = p.snapshot().to_string();
         assert!(line.contains("3/10"), "{line}");
+        assert!(!line.contains("quar"), "anomaly tail only renders when non-zero: {line}");
     }
 
     #[test]
     fn resume_seeds_counters_and_rate_excludes_resumed_work() {
         let p = Progress::new(1);
-        p.begin(100, 40, [10, 20, 5, 5], &[40]);
+        p.begin(100, 40, [10, 20, 5, 5], [0; 2], &[40]);
         let s = p.snapshot();
         assert_eq!(s.done, 40);
         assert_eq!(s.outcomes, [10, 20, 5, 5]);
         // No fresh work yet → near-zero rate regardless of resumed count.
         assert!(s.rate < 1.0);
+    }
+
+    #[test]
+    fn anomalies_count_as_done_and_render() {
+        let p = Progress::new(1);
+        p.begin(10, 0, [0; 4], [0; 2], &[0]);
+        p.record(0, Outcome::MaskedUndetected);
+        p.record_anomaly(0, Anomaly::Quarantined);
+        p.record_anomaly(0, Anomaly::Hung);
+        p.record_anomaly(0, Anomaly::Hung);
+        let s = p.snapshot();
+        assert_eq!(s.done, 4, "anomalies count toward done");
+        assert_eq!(s.anomalies, [1, 2]);
+        assert_eq!(s.outcomes.iter().sum::<u64>(), 1, "anomalies stay out of the quadrants");
+        let line = s.to_string();
+        assert!(line.contains("quar 1 hung 2"), "{line}");
+        assert!(!s.degraded);
+        p.set_degraded(true);
+        assert!(p.degraded());
+        assert!(p.snapshot().to_string().contains("degraded"), "degraded marker renders");
+    }
+
+    #[test]
+    fn resume_seeds_anomaly_counters() {
+        let p = Progress::new(1);
+        p.begin(100, 40, [10, 20, 5, 2], [2, 1], &[40]);
+        let s = p.snapshot();
+        assert_eq!(s.done, 40);
+        assert_eq!(s.anomalies, [2, 1]);
     }
 }

@@ -123,6 +123,7 @@ fn checkpoint_resume_after_stop_matches_uninterrupted_run() {
         checkpoint_path: Some(path.clone()),
         checkpoint_interval: std::time::Duration::from_millis(10),
         resume: false,
+        ..Default::default()
     };
 
     // Phase 1: stop the campaign once ~a third of it has completed. The

@@ -91,6 +91,53 @@ impl Crc {
     }
 }
 
+/// Streaming CRC-32 (IEEE 802.3, reflected, `0xEDB88320`) over bytes —
+/// the integrity check on campaign artifacts (checkpoint and snapshot
+/// files), where a torn write or flipped bit must be *detected* on load
+/// rather than silently parsed. Unrelated to the signature-width [`Crc`]
+/// above, which models checker hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+            }
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +210,20 @@ mod tests {
         let b = c.fold_word(0, 0x1234_5679);
         assert_ne!(a, b);
         assert!(a < 32 && b < 32);
+    }
+
+    #[test]
+    fn crc32_known_answers() {
+        // The IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming in pieces matches one-shot.
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+        // Single-bit sensitivity.
+        assert_ne!(crc32(b"123456789"), crc32(b"123456788"));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   components tap every time they drive a value, and a [`fault::FaultInjector`]
 //!   that flips bits at a chosen site (transient or permanent), mirroring the
 //!   paper's gate-output bit-inversion methodology.
+//! * [`supervise`] — supervision primitives for the campaign machinery
+//!   itself: panic capture with a quiet hook, and the per-injection
+//!   watchdog that turns livelocked runs into `Hung` tallies.
 //!
 //! # Examples
 //!
@@ -28,3 +31,4 @@ pub mod crc;
 pub mod fault;
 pub mod rng;
 pub mod stats;
+pub mod supervise;

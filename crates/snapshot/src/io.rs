@@ -16,40 +16,71 @@ use argus_machine::{Machine, SnapshotState};
 use argus_mem::{CacheConfig, CacheState, CachesState, LineState, MemConfig};
 use std::io::{self, Read, Write};
 
-/// File magic: "ARGSNAP" + format version 2.
+/// File magic: "ARGSNAP" + format version 3.
 ///
-/// Version 2 packs the CFC block-bit stream as u64 words (was one byte
-/// per bit) and records the machine's predecode flag.
-const MAGIC: [u8; 8] = *b"ARGSNAP\x02";
+/// Version 2 packed the CFC block-bit stream as u64 words (was one byte
+/// per bit) and recorded the machine's predecode flag. Version 3 appends
+/// a little-endian CRC-32 (IEEE) trailer over everything before it —
+/// including the magic — so torn writes and flipped bits are rejected on
+/// load *before* any state is parsed or allocated.
+const MAGIC: [u8; 8] = *b"ARGSNAP\x03";
 
-/// Writes `snap` as a standalone snapshot file.
+/// Largest memory image (in words) a snapshot file may describe: 1 GiB of
+/// payload. Guards allocation against crafted headers.
+const MAX_MEM_WORDS: usize = 1 << 28;
+
+/// Writes `snap` as a standalone snapshot file (payload + CRC32 trailer).
 pub fn write_snapshot(w: &mut dyn Write, snap: &Snapshot) -> io::Result<()> {
-    w.write_all(&MAGIC)?;
-    put_u64(w, snap.cycle())?;
-    put_u64(w, snap.fingerprint())?;
-    put_machine_config(w, &snap.core().cfg)?;
-    put_argus_config(w, &snap.argus_config())?;
-    put_core(w, snap.core())?;
-    put_checker(w, snap.checker())?;
-    let (words, tags) = snap.materialize_memory();
-    put_u64(w, words.len() as u64)?;
-    for &word in &words {
-        put_u32(w, word)?;
+    let mut buf: Vec<u8> = Vec::new();
+    {
+        let b: &mut dyn Write = &mut buf;
+        b.write_all(&MAGIC)?;
+        put_u64(b, snap.cycle())?;
+        put_u64(b, snap.fingerprint())?;
+        put_machine_config(b, &snap.core().cfg)?;
+        put_argus_config(b, &snap.argus_config())?;
+        put_core(b, snap.core())?;
+        put_checker(b, snap.checker())?;
+        let (words, tags) = snap.materialize_memory();
+        put_u64(b, words.len() as u64)?;
+        for &word in &words {
+            put_u32(b, word)?;
+        }
+        put_bools(b, &tags)?;
     }
-    put_bools(w, &tags)?;
-    Ok(())
+    let crc = argus_sim::crc::crc32(&buf);
+    w.write_all(&buf)?;
+    w.write_all(&crc.to_le_bytes())
 }
 
 /// Reads a snapshot file back into a live machine + checker pair.
 ///
 /// The pair is rebuilt from the stored configurations, so the result forks
-/// exactly like the in-memory snapshot the file came from.
+/// exactly like the in-memory snapshot the file came from. The whole file
+/// is checksummed before any of it is interpreted: truncation, torn
+/// writes, and bit flips all surface as `Err(InvalidData)` — never as a
+/// panic, an over-allocation, or a silently wrong machine.
 pub fn read_snapshot(r: &mut dyn Read) -> io::Result<(Machine, Argus)> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(bad("not an argus snapshot file (bad magic)"));
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < MAGIC.len() + 4 {
+        return Err(bad("not an argus snapshot file (too short)"));
     }
+    if buf[..MAGIC.len()] != MAGIC {
+        return Err(if buf.starts_with(b"ARGSNAP") {
+            bad("unsupported snapshot format version (bad magic)")
+        } else {
+            bad("not an argus snapshot file (bad magic)")
+        });
+    }
+    let (payload, trailer) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("split_at(len - 4)"));
+    if argus_sim::crc::crc32(payload) != stored {
+        return Err(bad("snapshot checksum mismatch (file is truncated or corrupted)"));
+    }
+
+    let mut body = &payload[MAGIC.len()..];
+    let r: &mut dyn Read = &mut body;
     let cycle = get_u64(r)?;
     let fingerprint = get_u64(r)?;
     let mcfg = get_machine_config(r)?;
@@ -61,11 +92,17 @@ pub fn read_snapshot(r: &mut dyn Read) -> io::Result<(Machine, Argus)> {
     let checker = get_checker(r)?;
 
     let n = get_u64(r)? as usize;
-    let mut words = vec![0u32; n];
-    for word in &mut words {
-        *word = get_u32(r)?;
+    if n > MAX_MEM_WORDS {
+        return Err(bad("memory image implausibly large"));
+    }
+    let mut words = Vec::new();
+    for _ in 0..n {
+        words.push(get_u32(r)?);
     }
     let tags = get_bools(r, n)?;
+    if !body.is_empty() {
+        return Err(bad("trailing bytes after snapshot payload"));
+    }
 
     let mut m = Machine::new(mcfg);
     if m.mem().memory().words().len() != n {

@@ -107,6 +107,15 @@ impl Snapshot {
     /// Panics if `m` or `argus` were built with a different configuration
     /// than the captured pair.
     pub fn restore(&self, m: &mut Machine, argus: &mut Argus) {
+        self.restore_unverified(m, argus);
+        debug_assert_eq!(
+            combined_fingerprint(m, argus),
+            self.fingerprint,
+            "restored state does not match capture fingerprint"
+        );
+    }
+
+    fn restore_unverified(&self, m: &mut Machine, argus: &mut Argus) {
         m.restore_core(&self.core);
         let mut base = 0usize;
         for p in &self.pages {
@@ -115,11 +124,6 @@ impl Snapshot {
         }
         assert_eq!(base, self.mem_words, "page list does not cover memory");
         argus.restore_state(&self.checker);
-        debug_assert_eq!(
-            combined_fingerprint(m, argus),
-            self.fingerprint,
-            "restored state does not match capture fingerprint"
-        );
     }
 
     /// Builds a fresh machine + checker pair and restores into it — the
@@ -129,6 +133,31 @@ impl Snapshot {
         let mut argus = Argus::new(self.acfg);
         self.restore(&mut m, &mut argus);
         (m, argus)
+    }
+
+    /// Like [`Snapshot::restore_fresh`], but *verifies* the restored pair
+    /// against the capture-time fingerprint instead of trusting the page
+    /// list: a snapshot whose backing page was corrupted in memory (or a
+    /// file whose contents were tampered past its own checks) comes back
+    /// as `Err` rather than as a silently wrong machine.
+    ///
+    /// Full-state hashing is O(memory), so callers that fork the same
+    /// snapshot many times should verify once and use
+    /// [`Snapshot::restore_fresh`] afterwards (what the campaign engine
+    /// does via its per-snapshot verified bitmap).
+    pub fn try_restore_fresh(&self) -> Result<(Machine, Argus), String> {
+        let mut m = Machine::new(self.core.cfg);
+        let mut argus = Argus::new(self.acfg);
+        self.restore_unverified(&mut m, &mut argus);
+        let got = combined_fingerprint(&m, &argus);
+        if got == self.fingerprint {
+            Ok((m, argus))
+        } else {
+            Err(format!(
+                "snapshot at cycle {} is corrupt: restored fingerprint {:#018x} != captured {:#018x}",
+                self.cycle, got, self.fingerprint
+            ))
+        }
     }
 }
 
@@ -214,8 +243,37 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// The latest snapshot whose cycle stamp is `<= cycle`, if any.
     pub fn nearest_at_or_before(&self, cycle: u64) -> Option<&Snapshot> {
-        let i = self.snaps.partition_point(|s| s.cycle() <= cycle);
-        i.checked_sub(1).map(|i| &self.snaps[i])
+        self.nearest_index_at_or_before(cycle).map(|i| &self.snaps[i])
+    }
+
+    /// Index form of [`SnapshotStore::nearest_at_or_before`], for callers
+    /// that keep per-snapshot side tables (e.g. the campaign's
+    /// verified/poisoned bitmaps).
+    pub fn nearest_index_at_or_before(&self, cycle: u64) -> Option<usize> {
+        self.snaps.partition_point(|s| s.cycle() <= cycle).checked_sub(1)
+    }
+
+    /// The `i`-th snapshot in cycle order.
+    pub fn get(&self, i: usize) -> Option<&Snapshot> {
+        self.snaps.get(i)
+    }
+
+    /// Test-only chaos hook: flips one bit in a *copy* of one page of
+    /// snapshot `snap` (the shared pool page is untouched), so integrity
+    /// checking and fallback paths can be exercised. Returns `false` when
+    /// the snapshot has no page with payload.
+    #[doc(hidden)]
+    pub fn corrupt_page_for_test(&mut self, snap: usize) -> bool {
+        let s = &mut self.snaps[snap];
+        for slot in &mut s.pages {
+            if !slot.words.is_empty() {
+                let mut flipped = (**slot).clone();
+                flipped.words[0] ^= 1;
+                *slot = Arc::new(flipped);
+                return true;
+            }
+        }
+        false
     }
 
     /// All snapshots, in increasing cycle order.

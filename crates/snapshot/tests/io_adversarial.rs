@@ -1,0 +1,144 @@
+//! Adversarial decode tests for the standalone snapshot file format.
+//!
+//! The contract under attack: [`argus_snapshot::io::read_snapshot`] must
+//! return `Err` on *any* damaged input — truncation, wrong magic, crafted
+//! over-long counts, flipped bits — and must never panic or allocate
+//! proportionally to a lying header. The whole-file CRC-32 trailer is
+//! verified before a single payload byte is interpreted, which is what
+//! makes the single-bit-flip property below deterministic: CRC-32 detects
+//! every 1-bit error and every burst shorter than its width.
+
+use argus_core::{Argus, ArgusConfig};
+use argus_machine::{Machine, MachineConfig};
+use argus_mem::MemConfig;
+use argus_sim::fault::FaultInjector;
+use argus_snapshot::io::{read_snapshot, write_snapshot};
+use argus_snapshot::{PageStore, Snapshot};
+use proptest::prelude::*;
+
+/// A small but real snapshot file: 16 KiB of memory keeps the per-case
+/// CRC work cheap without changing any code path.
+fn small_config() -> MachineConfig {
+    MachineConfig {
+        mem: MemConfig { mem_bytes: 1 << 14, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn valid_file() -> Vec<u8> {
+    let mut m = Machine::new(small_config());
+    // A few steps so the core state is not all-zero.
+    let mut inj = FaultInjector::none();
+    for _ in 0..5 {
+        let _ = m.step(&mut inj);
+    }
+    let argus = Argus::new(ArgusConfig::default());
+    let mut pool = PageStore::new();
+    let snap = Snapshot::capture(&m, &argus, &mut pool);
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, &snap).unwrap();
+    buf
+}
+
+#[test]
+fn the_valid_file_itself_loads() {
+    let buf = valid_file();
+    read_snapshot(&mut buf.as_slice()).expect("pristine file must load");
+}
+
+#[test]
+fn every_short_prefix_is_rejected() {
+    let buf = valid_file();
+    // Exhaustive over the header region, sampled beyond it.
+    for len in (0..256.min(buf.len())).chain((256..buf.len()).step_by(257)) {
+        let err = read_snapshot(&mut &buf[..len]);
+        assert!(err.is_err(), "prefix of {len} bytes must not load");
+    }
+    let err = read_snapshot(&mut &buf[..buf.len() - 1]).unwrap_err();
+    assert!(err.to_string().contains("checksum") || err.to_string().contains("too short"), "{err}");
+}
+
+#[test]
+fn wrong_magic_and_wrong_version_are_distinguished() {
+    let buf = valid_file();
+
+    let mut other = buf.clone();
+    other[0] = b'X';
+    let err = read_snapshot(&mut other.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("not an argus snapshot file"), "{err}");
+
+    // Same "ARGSNAP" family, different version byte: a *version* error,
+    // not a generic one (and the CRC never gets a say).
+    let mut future = buf.clone();
+    future[7] = 0x7F;
+    let err = read_snapshot(&mut future.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("unsupported snapshot format version"), "{err}");
+}
+
+#[test]
+fn crafted_overlong_memory_count_is_rejected_without_allocating() {
+    let buf = valid_file();
+    let n = Machine::new(small_config()).mem().memory().words().len();
+    // Payload tail layout: [mem count: u64][words: 4n][tags: n][crc: 4].
+    let count_at = buf.len() - 4 - n - 4 * n - 8;
+    assert_eq!(
+        u64::from_le_bytes(buf[count_at..count_at + 8].try_into().unwrap()),
+        n as u64,
+        "located the memory word count field"
+    );
+
+    // Lie about the count but keep the checksum honest, so the parser —
+    // not the CRC — must hold the line against the 2^64-word allocation.
+    let mut crafted = buf.clone();
+    crafted[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let end = crafted.len() - 4;
+    let crc = argus_sim::crc::crc32(&crafted[..end]);
+    crafted[end..].copy_from_slice(&crc.to_le_bytes());
+
+    let err = read_snapshot(&mut crafted.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("implausibly large"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single flipped bit anywhere in the file — header, payload, or
+    /// CRC trailer — must be rejected. Guaranteed, not probabilistic:
+    /// CRC-32 detects all single-bit errors, and a flip inside the magic
+    /// is caught even earlier.
+    #[test]
+    fn any_single_bit_flip_is_rejected(pos in 0usize..usize::MAX, bit in 0u8..8) {
+        let mut buf = valid_file();
+        let pos = pos % buf.len();
+        buf[pos] ^= 1 << bit;
+        prop_assert!(
+            read_snapshot(&mut buf.as_slice()).is_err(),
+            "flipping bit {bit} of byte {pos} went unnoticed"
+        );
+    }
+
+    /// Short bursts of adjacent corruption (up to 4 bytes = the CRC
+    /// width) are likewise always detected.
+    #[test]
+    fn short_corruption_bursts_are_rejected(
+        pos in 0usize..usize::MAX,
+        burst in prop::collection::vec(1u8..=255, 1..=4),
+    ) {
+        let mut buf = valid_file();
+        let pos = pos % buf.len();
+        for (k, &b) in burst.iter().enumerate() {
+            if let Some(byte) = buf.get_mut(pos + k) {
+                *byte ^= b;
+            }
+        }
+        prop_assert!(read_snapshot(&mut buf.as_slice()).is_err());
+    }
+
+    /// Random truncation points never load.
+    #[test]
+    fn random_truncations_are_rejected(cut in 0usize..usize::MAX) {
+        let buf = valid_file();
+        let cut = cut % buf.len();
+        prop_assert!(read_snapshot(&mut &buf[..cut]).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash-equivalence gate: SIGKILL a sharded campaign mid-run, resume it
+# from its checkpoint, and require the stitched final JSON report to be
+# identical (modulo wall-clock and recovery metadata) to a clean
+# single-pass run of the same campaign.
+#
+# Usage: scripts/crash_resume.sh [path-to-argus-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/argus}"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found or not executable (cargo build --release first)" >&2
+    exit 1
+fi
+
+N=20000
+SEED=1337
+SHARDS=4
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+CKPT="$WORK/campaign.ckpt.json"
+
+echo "== clean single-pass run =="
+"$BIN" campaign -n "$N" --seed "$SEED" --shards "$SHARDS" --json --quiet \
+    > "$WORK/clean.json"
+
+echo "== crashy run (SIGKILL once the first checkpoint lands) =="
+"$BIN" campaign -n "$N" --seed "$SEED" --shards "$SHARDS" \
+    --checkpoint "$CKPT" --checkpoint-interval-ms 100 --json --quiet \
+    > "$WORK/crashed.json" 2>/dev/null &
+PID=$!
+
+# Wait for the first periodic flush, give it a little more headway, then
+# kill -9 — no signal handler runs, exactly like a crash or power cut.
+for _ in $(seq 1 300); do
+    [[ -s "$CKPT" ]] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "error: campaign finished before a checkpoint was flushed; raise N" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -s "$CKPT" ]] || { echo "error: no checkpoint appeared within 30s" >&2; exit 1; }
+sleep 0.2
+if ! kill -9 "$PID" 2>/dev/null; then
+    echo "error: campaign finished before it could be killed; raise N" >&2
+    exit 1
+fi
+wait "$PID" 2>/dev/null || true
+echo "killed pid $PID with checkpoint at $CKPT"
+
+echo "== resume to completion =="
+"$BIN" campaign -n "$N" --seed "$SEED" --shards "$SHARDS" \
+    --checkpoint "$CKPT" --resume --json --quiet \
+    > "$WORK/resumed.json"
+
+echo "== compare reports =="
+python3 - "$WORK/clean.json" "$WORK/resumed.json" "$N" <<'EOF'
+import json, sys
+
+clean_path, resumed_path, n = sys.argv[1], sys.argv[2], int(sys.argv[3])
+clean = json.load(open(clean_path))
+resumed = json.load(open(resumed_path))
+
+# The resumed run must actually have been interrupted: some injections
+# were recovered from the checkpoint rather than re-run.
+this_run = resumed["completed_this_run"]
+assert 0 < this_run < n, f"resume did no stitching (completed_this_run={this_run})"
+print(f"resume re-ran {this_run}/{n} injections; {n - this_run} came from the checkpoint")
+
+# Wall-clock and run-shape fields legitimately differ between a clean
+# pass and a crash+resume; every tally must not.
+VOLATILE = {
+    "elapsed_seconds", "injections_per_second", "completed_this_run",
+    "recovery_warnings", "used_backup_checkpoint", "degraded",
+    "flush_failures",
+}
+a = {k: v for k, v in clean.items() if k not in VOLATILE}
+b = {k: v for k, v in resumed.items() if k not in VOLATILE}
+for key in sorted(set(a) | set(b)):
+    if a.get(key) != b.get(key):
+        print(f"MISMATCH {key}: clean={a.get(key)!r} resumed={b.get(key)!r}")
+        sys.exit(1)
+print("crash+resume report is identical to the clean run")
+EOF
+
+echo "crash_resume: OK"
