@@ -3,7 +3,8 @@
 //! Runs the same serial campaign with snapshots off and at 1k/10k-cycle
 //! intervals, asserts every configuration produces identical outcome
 //! tallies (forking never changes results), and reports injections/sec
-//! plus the speedup over cold boot. Results land in `BENCH_snapshot.json`.
+//! plus the speedup over cold boot. Results land in `BENCH_snapshot.json`
+//! at the repo root.
 //!
 //! The expected win scales with golden-run length: each cold-boot
 //! injection replays ~3/8 of the golden run on average (arm cycles are
@@ -104,7 +105,9 @@ fn main() {
             ),
         )
         .set("best_10k_speedup", best);
-    std::fs::write("BENCH_snapshot.json", json.to_string_compact())
-        .expect("write BENCH_snapshot.json");
+    let text = json.to_string_compact();
+    Json::parse(&text).expect("bench emitted invalid JSON");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    std::fs::write(out, &text).expect("write BENCH_snapshot.json");
     println!("wrote BENCH_snapshot.json");
 }

@@ -14,7 +14,7 @@
 //! * plus a `checked` row stepping the full Argus checker in lockstep
 //!   (the per-injection campaign loop).
 //!
-//! Results land in `BENCH_throughput.json`. The gate: the argus-on,
+//! Results land in `BENCH_throughput.json` at the repo root. The gate: the argus-on,
 //! quiescent-injector golden-run configuration must clear 1.5x the pre-PR
 //! baseline recorded in [`PRE_PR_GOLDEN_STEPS_PER_SEC`].
 //!
@@ -220,7 +220,8 @@ fn main() {
         .set("min_golden_speedup", min_speedup);
     let text = json.to_string_compact();
     Json::parse(&text).expect("bench emitted invalid JSON");
-    std::fs::write("BENCH_throughput.json", &text).expect("write BENCH_throughput.json");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(out, &text).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");
 
     if !smoke() {

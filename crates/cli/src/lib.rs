@@ -403,6 +403,15 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     };
     let strict = args.flag("--strict");
     let shards_arg = args.opt("--shards");
+    let chunk: Option<usize> = match args.opt("--chunk") {
+        Some(s) => Some(
+            s.parse()
+                .ok()
+                .filter(|&v| v >= 1)
+                .ok_or_else(|| fail("bad --chunk (want an integer >= 1)"))?,
+        ),
+        None => None,
+    };
     let checkpoint = args.opt("--checkpoint");
     let resume = args.flag("--resume");
     let json = args.flag("--json");
@@ -418,6 +427,7 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     }
 
     let sharded = shards_arg.is_some()
+        || chunk.is_some()
         || checkpoint.is_some()
         || resume
         || json
@@ -448,6 +458,9 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         strict,
         ..Default::default()
     };
+    if let Some(c) = chunk {
+        ocfg.chunk = c;
+    }
     if let Some(limit) = quarantine_limit {
         ocfg.quarantine_limit = limit;
     }
@@ -495,15 +508,24 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
 }
 
 /// Human-readable rendering of a sharded campaign's merged tallies.
+///
+/// Everything run-shaped (wall clock, rate, scheduler utilization) stays
+/// on the first line; every later line is deterministic for the campaign,
+/// so output diffs after dropping one line.
 fn render_sharded_report(rep: &ShardedReport, checkpoint: Option<&std::path::Path>) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "campaign: {}/{} injections ({:?}), {} shards, {:.1}s ({:.1} inj/s)",
+        "campaign: {}/{} injections ({:?}), {} shards, chunk {}, {} leases ({} stolen), busy {:.0}%, tail {:.2}s, {:.1}s ({:.1} inj/s)",
         rep.completed,
         rep.total,
         rep.kind,
         rep.shards,
+        rep.chunk,
+        rep.leases,
+        rep.steals,
+        rep.busy_pct(),
+        rep.tail_imbalance.as_secs_f64(),
         rep.elapsed.as_secs_f64(),
         rep.rate(),
     );
@@ -750,18 +772,21 @@ pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign|snap
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
   argus verify <file.s>
   argus campaign [-n N] [--permanent] [--seed S] [--snapshot-every N]
-                 [--shards N] [--checkpoint PATH] [--checkpoint-interval-ms MS]
-                 [--resume] [--inj-cycle-factor F] [--quarantine-limit N]
+                 [--shards N] [--chunk N] [--checkpoint PATH]
+                 [--checkpoint-interval-ms MS] [--resume]
+                 [--inj-cycle-factor F] [--quarantine-limit N]
                  [--strict] [--json] [--quiet]
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]
   argus sites
 campaign runs serially by default; any sharded-engine flag (--shards,
---checkpoint, --resume, --json, --quiet, --strict, --quarantine-limit,
---checkpoint-interval-ms) uses the sharded engine (same tallies for the same
-seed; Ctrl-C flushes a checkpoint, --resume continues it; progress goes to
-stderr, results to stdout).
+--chunk, --checkpoint, --resume, --json, --quiet, --strict,
+--quarantine-limit, --checkpoint-interval-ms) uses the work-stealing engine
+(same tallies and same JSON for the same seed under ANY worker count;
+Ctrl-C flushes a checkpoint, --resume continues it — even under a different
+--shards; progress goes to stderr, results to stdout). --chunk caps the
+scheduler lease size (default 32); leases shrink toward 1 at the tail.
 --snapshot-every N checkpoints the golden run every N cycles and forks each
 injection from the nearest checkpoint at or before its arm cycle — identical
 results, fewer replayed cycles.
@@ -928,6 +953,23 @@ mod tests {
         assert!(e.to_string().contains("bad --quarantine-limit"), "{e}");
         let e = cmd_campaign(args(&["--checkpoint-interval-ms", "0", "--quiet"])).unwrap_err();
         assert!(e.to_string().contains("bad --checkpoint-interval-ms"), "{e}");
+        let e = cmd_campaign(args(&["--chunk", "0", "--quiet"])).unwrap_err();
+        assert!(e.to_string().contains("bad --chunk"), "{e}");
+    }
+
+    #[test]
+    fn campaign_chunk_size_leaves_output_unchanged() {
+        // --chunk is a scheduler knob: tallies and every line after the
+        // first (wall-clock) line must be identical for any lease size.
+        let tallies = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_string()).unwrap();
+        let wide =
+            cmd_campaign(args(&["-n", "30", "--seed", "7", "--shards", "2", "--quiet"])).unwrap();
+        let narrow = cmd_campaign(args(&[
+            "-n", "30", "--seed", "7", "--shards", "2", "--chunk", "1", "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(tallies(&wide), tallies(&narrow), "--chunk changed the tallies");
+        assert!(narrow.contains("chunk 1"), "{narrow}");
     }
 
     #[test]
@@ -964,14 +1006,18 @@ mod tests {
         assert!(!base.contains("DEGRADED"), "{base}");
 
         // The JSON schema carries the supervision fields, zeroed on a
-        // clean run.
+        // clean run; run-shaped health fields live under the volatile
+        // "run" sub-object.
         let js = cmd_campaign(args(&["-n", "30", "--seed", "7", "--json", "--quiet"])).unwrap();
         let parsed = argus_orchestrator::Json::parse(&js).unwrap();
         assert_eq!(parsed.get("hung").and_then(|v| v.as_u64()), Some(0));
         assert_eq!(parsed.get("quarantined").and_then(|v| v.as_u64()), Some(0));
-        assert_eq!(parsed.get("degraded").and_then(|v| v.as_bool()), Some(false));
-        assert_eq!(parsed.get("flush_failures").and_then(|v| v.as_u64()), Some(0));
-        assert_eq!(parsed.get("snapshot_fallbacks").and_then(|v| v.as_u64()), Some(0));
+        let run = parsed.get("run").expect("volatile run sub-object");
+        assert_eq!(run.get("degraded").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(run.get("flush_failures").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(run.get("snapshot_fallbacks").and_then(|v| v.as_u64()), Some(0));
+        assert!(run.get("leases").and_then(|v| v.as_u64()).unwrap() > 0, "{js}");
+        assert!(run.get("workers").is_some() && run.get("chunk").is_some(), "{js}");
     }
 
     #[test]

@@ -39,7 +39,26 @@ pub struct Argus {
     cfc: Cfc,
     watchdog: Watchdog,
     events: Vec<DetectionEvent>,
+    /// Direct-mapped memo for [`ShsEngine::op_sym`], keyed by pc and
+    /// validated against the exact committed instruction. `op_sym` folds
+    /// the instruction's re-encoded semantic token through the CRC —
+    /// too expensive to redo on every trip around a hot loop, and a pure
+    /// function of the instruction, so a hit validated by `Instr` equality
+    /// is bit-exact even when a fault corrupts decode. Not part of
+    /// [`ArgusState`]: a stale entry can only miss, never lie.
+    op_memo: Vec<OpMemoEntry>,
 }
+
+#[derive(Debug, Clone, Copy)]
+struct OpMemoEntry {
+    pc: u32,
+    instr: Instr,
+    sym: u32,
+}
+
+/// Size of the direct-mapped `op_sym` memo (slots; must be a power of two).
+/// 512 four-byte-aligned pcs cover the hot loops of every bundled workload.
+const OP_MEMO_SLOTS: usize = 512;
 
 /// The checker's mutable state, captured for snapshot/restore.
 ///
@@ -123,14 +142,22 @@ impl Argus {
     /// [`ArgusConfig::validate`]).
     pub fn new(cfg: ArgusConfig) -> Self {
         cfg.validate();
+        let engine = ShsEngine::new(cfg.sig_width);
+        // Seed slots satisfy the memo invariant (`sym == op_sym(instr)`)
+        // from the start, so a lookup never needs a validity flag: the pc
+        // sentinel is unmatchable (instruction fetch is word-aligned) and
+        // even a pathological match would return the correct symbol.
+        let seed = Instr::Movhi { rd: argus_isa::reg::Reg::ZERO, imm: 0 };
+        let seed = OpMemoEntry { pc: u32::MAX, instr: seed, sym: engine.op_sym(&seed) };
         Self {
             cfg,
-            engine: ShsEngine::new(cfg.sig_width),
+            engine,
             file: ShsFile::new(cfg.sig_width),
             dcs: DcsUnit::new(cfg.sig_width),
             cfc: Cfc::new(cfg.max_block_len),
             watchdog: Watchdog::new(cfg.watchdog_bits),
             events: Vec::new(),
+            op_memo: vec![seed; OP_MEMO_SLOTS],
         }
     }
 
@@ -279,7 +306,23 @@ impl Argus {
                 *s = o.reg;
             }
             let dest = rec.wb.map(|(r, _, _)| r);
-            self.engine.apply(&mut self.file, &rec.op_shs, &srcs[..rec.operands.len()], dest, inj);
+            let slot = ((rec.pc >> 2) as usize) & (OP_MEMO_SLOTS - 1);
+            let hit = self.op_memo[slot];
+            let sym = if hit.pc == rec.pc && hit.instr == rec.op_shs {
+                hit.sym
+            } else {
+                let s = self.engine.op_sym(&rec.op_shs);
+                self.op_memo[slot] = OpMemoEntry { pc: rec.pc, instr: rec.op_shs, sym: s };
+                s
+            };
+            self.engine.apply_with_sym(
+                &mut self.file,
+                sym,
+                &rec.op_shs,
+                &srcs[..rec.operands.len()],
+                dest,
+                inj,
+            );
 
             if let Some(reason) = self.cfc.note_instr(rec.embedded_bits) {
                 push(CheckerKind::Dcs, reason, &mut evs);

@@ -29,6 +29,13 @@ pub struct DcsUnit {
     /// `map[loc][bit]` = XOR-tree output bit for signature bit `bit` of
     /// location `loc`.
     map: Vec<Vec<u8>>,
+    /// `tab[(loc << width) | sig]` = the permuted XOR-tree contribution of
+    /// location `loc` holding signature `sig`. The bitwise permutation
+    /// costs `width` branchy iterations per location and runs at every
+    /// block end; a signature is at most 8 bits, so each location's whole
+    /// bijection fits in a 2^width-entry table and the fold becomes 35
+    /// loads XORed together.
+    tab: Vec<u32>,
 }
 
 impl DcsUnit {
@@ -40,14 +47,27 @@ impl DcsUnit {
     pub fn new(width: u32) -> Self {
         assert!((3..=8).contains(&width), "DCS width {width} outside 3..=8");
         let mut rng = SplitMix64::new(PERMUTATION_SEED ^ width as u64);
-        let map = (0..35)
+        let map: Vec<Vec<u8>> = (0..35)
             .map(|_| {
                 let mut bits: Vec<u8> = (0..width as u8).collect();
                 rng.shuffle(&mut bits);
                 bits
             })
             .collect();
-        Self { width, map }
+        let n = 1usize << width;
+        let mut tab = vec![0u32; 35 * n];
+        for (loc, bits) in map.iter().enumerate() {
+            for sig in 0..n {
+                let mut out = 0u32;
+                for (bit, &obit) in bits.iter().enumerate() {
+                    if (sig >> bit) & 1 == 1 {
+                        out ^= 1 << obit;
+                    }
+                }
+                tab[(loc << width) | sig] = out;
+            }
+        }
+        Self { width, map, tab }
     }
 
     /// Signature width in bits.
@@ -62,14 +82,12 @@ impl DcsUnit {
     /// Panics if the file's width differs from the unit's.
     pub fn compute(&self, file: &ShsFile) -> u32 {
         assert_eq!(file.width(), self.width, "SHS/DCS width mismatch");
+        let width = self.width;
+        let mask = (1u32 << width) - 1;
         let sigs = file.all();
         let mut out = 0u32;
         for (loc, &sig) in sigs.iter().enumerate() {
-            for (bit, &obit) in self.map[loc].iter().enumerate() {
-                if (sig >> bit) & 1 == 1 {
-                    out ^= 1 << obit;
-                }
-            }
+            out ^= self.tab[(loc << width) | (sig & mask) as usize];
         }
         out
     }

@@ -176,7 +176,16 @@ const SBOX_SEED: u64 = 0x5B0C_5EED;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShsEngine {
     crc: Crc,
-    sbox: Vec<u32>,
+    /// `crc_tab[(state << width) | symbol]` = `crc.update(state, symbol)`.
+    /// The bit-serial CRC costs `width` dependent-branch iterations per
+    /// symbol and runs on every commit; the state space is only
+    /// `2^width ≤ 256`, so the whole transition function fits in one small
+    /// table and an update becomes a single load.
+    crc_tab: Vec<u32>,
+    /// `step_tab[(state << width) | symbol]` = `sbox[crc.update(state,
+    /// symbol)]` — the CRC transition fused with the substitution layer,
+    /// the exact step [`ShsEngine::update`] performs per input.
+    step_tab: Vec<u32>,
 }
 
 impl ShsEngine {
@@ -187,11 +196,22 @@ impl ShsEngine {
     /// Panics if `width` is outside 3–8.
     pub fn new(width: u32) -> Self {
         let crc = Crc::new(width);
-        let sbox = argus_sim::rng::seeded_permutation(SBOX_SEED ^ width as u64, 1 << width)
-            .into_iter()
-            .map(|v| v as u32)
-            .collect();
-        Self { crc, sbox }
+        let sbox: Vec<u32> =
+            argus_sim::rng::seeded_permutation(SBOX_SEED ^ width as u64, 1 << width)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+        let n = 1usize << width;
+        let mut crc_tab = vec![0u32; n * n];
+        let mut step_tab = vec![0u32; n * n];
+        for state in 0..n {
+            for symbol in 0..n {
+                let next = crc.update(state as u32, symbol as u32);
+                crc_tab[(state << width) | symbol] = next;
+                step_tab[(state << width) | symbol] = sbox[next as usize];
+            }
+        }
+        Self { crc, crc_tab, step_tab }
     }
 
     /// Signature width in bits.
@@ -201,17 +221,30 @@ impl ShsEngine {
 
     /// The operation identifier fed into every update: a hash of the
     /// instruction's semantic bits (opcode, sub-opcode, condition,
-    /// immediates — register numbers excluded).
+    /// immediates — register numbers excluded). Table-driven equivalent of
+    /// `crc.fold_word(0, op_token(instr))`.
     pub fn op_sym(&self, instr: &Instr) -> u32 {
-        self.crc.fold_word(0, op_token(instr))
+        let width = self.crc.width();
+        let mask = self.crc.mask();
+        let mut s = 0u32;
+        let mut w = op_token(instr);
+        let mut bits = 32u32;
+        while bits > 0 {
+            s = self.crc_tab[((s as usize) << width) | (w & mask) as usize];
+            w >>= width;
+            bits = bits.saturating_sub(width);
+        }
+        s
     }
 
     fn update(&self, op_sym: u32, inputs: &[u32], inj: &mut FaultInjector) -> u32 {
-        let mut s = self.sbox[self.crc.update(0, op_sym) as usize];
+        let width = self.crc.width();
+        let mask = self.crc.mask();
+        let mut s = self.step_tab[(op_sym & mask) as usize];
         for &i in inputs {
-            s = self.sbox[self.crc.update(s, i) as usize];
+            s = self.step_tab[((s as usize) << width) | (i & mask) as usize];
         }
-        inj.tap32(sites::SHS_CRC_OUT, s) & self.crc.mask()
+        inj.tap32(sites::SHS_CRC_OUT, s) & mask
     }
 
     /// Applies one committed instruction to the signature file.
@@ -229,7 +262,24 @@ impl ShsEngine {
         dest: Option<Reg>,
         inj: &mut FaultInjector,
     ) {
-        let op = self.op_sym(instr);
+        self.apply_with_sym(file, self.op_sym(instr), instr, srcs, dest, inj);
+    }
+
+    /// [`Self::apply`] with the operation symbol already computed.
+    ///
+    /// `op_sym` is a pure function of the instruction, so callers that see
+    /// the same instruction repeatedly (the checker replays loops millions
+    /// of times) can memoize it; `sym` must equal `self.op_sym(instr)`.
+    pub fn apply_with_sym(
+        &self,
+        file: &mut ShsFile,
+        sym: u32,
+        instr: &Instr,
+        srcs: &[Option<Reg>],
+        dest: Option<Reg>,
+        inj: &mut FaultInjector,
+    ) {
+        let op = sym;
         let mask = file.mask();
         let nsrc = instr.sources().len();
         let mut input_buf = [0u32; 2];

@@ -8,11 +8,11 @@ use argus_sim::fault::{FaultInjector, FaultKind};
 use argus_sim::rng::SplitMix64;
 use argus_sim::stats::CounterSet;
 use argus_sim::supervise::{catch_supervised, HangCause, InjectionWatchdog, WatchdogConfig};
-use argus_snapshot::{SnapshotBuilder, SnapshotStore};
+use argus_snapshot::{SnapshotBuilder, SnapshotStore, Workspace, WorkspaceStats};
 use argus_workloads::Workload;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Campaign parameters.
@@ -65,6 +65,47 @@ pub struct CampaignConfig {
     /// `None` (always, outside resilience tests) leaves every injection
     /// untouched.
     pub chaos: Option<ChaosConfig>,
+    /// How a snapshot-enabled injection obtains its machine/checker pair.
+    /// Purely a performance knob: results are bit-identical across
+    /// strategies (the equivalence suite pins this), so it is excluded
+    /// from checkpoint fingerprints and resume stays legal across it.
+    pub fork: ForkStrategy,
+    /// Short-circuit structurally masked injections (`sensitization == 0`):
+    /// such a fault provably never fires (`FaultInjector::fire_mask`
+    /// draws against a zero sensitization), and an armed-but-never-firing
+    /// fault is observably identical to no fault at all, so the run's
+    /// classification is read off a once-per-campaign no-fault template
+    /// instead of re-stepping the whole workload. Bit-identical by
+    /// construction (the equivalence suite pins this too); the toggle
+    /// exists for those tests and for A/B measurements.
+    pub shortcut_inert: bool,
+}
+
+/// How an injection whose campaign has snapshots forks its run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForkStrategy {
+    /// Delta-restore into the worker's reusable [`CampaignWorkspace`]:
+    /// one allocation and one warm predecode memo per worker, only
+    /// touched pages rewritten. The default.
+    #[default]
+    Delta,
+    /// Build a fresh machine + checker pair per injection and copy every
+    /// page (the pre-workspace behaviour; kept for A/B measurement).
+    Full,
+    /// Ignore snapshots entirely and replay from cold boot (what a
+    /// campaign without `snapshot_every` always does).
+    Cold,
+}
+
+impl ForkStrategy {
+    /// Stable label (JSON reports, bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ForkStrategy::Delta => "delta",
+            ForkStrategy::Full => "full",
+            ForkStrategy::Cold => "cold",
+        }
+    }
 }
 
 /// Deliberate campaign-machinery faults for resilience testing: the listed
@@ -93,6 +134,8 @@ impl Default for CampaignConfig {
             inj_cycle_factor: 4.0,
             inj_wall_limit: Some(Duration::from_secs(60)),
             chaos: None,
+            fork: ForkStrategy::default(),
+            shortcut_inert: true,
         }
     }
 }
@@ -304,6 +347,44 @@ pub struct PreparedCampaign {
     snapshot_fallbacks: AtomicU64,
     /// Human-readable warnings from snapshot verification failures.
     snapshot_warnings: Mutex<Vec<String>>,
+    /// Lazily computed no-fault reference outcome backing the
+    /// structurally-masked short-circuit (see
+    /// [`CampaignConfig::shortcut_inert`]). One cold-boot replay of the
+    /// workload, shared by every worker.
+    inert_template: OnceLock<InertTemplate>,
+}
+
+/// What a no-fault run of the campaign's faulty loop produces. A
+/// structurally masked fault (`sensitization == 0.0`) never corrupts any
+/// tapped value, so its run is observably identical to this template —
+/// including the end-of-run scrub and the watchdog verdict, both of which
+/// the template run exercises for real.
+#[derive(Debug, Clone)]
+struct InertTemplate {
+    detection: Option<DetectionEvent>,
+    halted: bool,
+    digest: u64,
+    hung: Option<HangCause>,
+}
+
+/// A worker's reusable injection state: the delta-restore [`Workspace`]
+/// consecutive forked injections rewrite in place. One per worker thread;
+/// dropping it just frees the resident machine.
+#[derive(Debug, Default)]
+pub struct CampaignWorkspace {
+    ws: Workspace,
+}
+
+impl CampaignWorkspace {
+    /// An empty workspace; the first forked injection populates it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative delta-restore statistics (bench/test observability).
+    pub fn stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
 }
 
 impl PreparedCampaign {
@@ -366,6 +447,71 @@ impl PreparedCampaign {
                 None
             }
         }
+    }
+
+    /// Delta-forks into `ws` from the nearest snapshot at or before
+    /// `arm_cycle`, verifying the snapshot's fingerprint on first use
+    /// (with [`argus_snapshot::Snapshot::try_restore_into`]'s full-restore
+    /// fallback). Returns whether `ws` now holds the forked pair; `false`
+    /// means no snapshot applies or the applicable one is corrupt, and the
+    /// caller cold-boots — bit-identical, just slower.
+    fn fork_into(&self, arm_cycle: u64, ws: &mut Workspace) -> bool {
+        let Some(store) = self.snapshots.as_deref() else { return false };
+        let Some(i) = store.nearest_index_at_or_before(arm_cycle) else { return false };
+        if self.snapshot_poisoned[i].load(Ordering::Relaxed) {
+            self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let Some(snap) = store.get(i) else { return false };
+        if self.snapshot_verified[i].load(Ordering::Relaxed) {
+            snap.restore_into(ws);
+            return true;
+        }
+        match snap.try_restore_into(ws) {
+            Ok(_) => {
+                self.snapshot_verified[i].store(true, Ordering::Relaxed);
+                true
+            }
+            Err(why) => {
+                self.snapshot_poisoned[i].store(true, Ordering::Relaxed);
+                self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.snapshot_warnings
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push(format!("snapshot {i} failed verification, cold-booting: {why}"));
+                false
+            }
+        }
+    }
+
+    /// The no-fault reference outcome, computed on first use by replaying
+    /// the workload once from cold boot through the real faulty loop
+    /// (watchdog, scrub and all) with a pass-through injector.
+    fn inert_template(&self, cfg: &CampaignConfig) -> &InertTemplate {
+        self.inert_template.get_or_init(|| {
+            let mut wd = InjectionWatchdog::new(&cfg.watchdog_config(self.golden_cycles));
+            let mut m = Machine::new(cfg.mcfg);
+            self.prog.load(&mut m);
+            let mut argus = Argus::new(cfg.acfg);
+            if let Some(d) = self.prog.entry_dcs {
+                argus.expect_entry(d);
+            }
+            let mut inj = FaultInjector::none();
+            let out = faulty_loop(
+                &mut m,
+                &mut argus,
+                &mut inj,
+                self.window,
+                self.prog.data_base,
+                &mut wd,
+            );
+            InertTemplate {
+                detection: out.detection,
+                halted: out.halted,
+                digest: out.digest,
+                hung: out.hung,
+            }
+        })
     }
 
     /// Test-only: flips one bit in the `index`-th snapshot's memory image
@@ -452,9 +598,9 @@ struct FaultyOutcome {
 /// bounds the loop even when a fault corrupts the cycle counter that the
 /// `window` check reads.
 fn faulty_loop(
-    mut m: Machine,
-    mut argus: Argus,
-    mut inj: FaultInjector,
+    m: &mut Machine,
+    argus: &mut Argus,
+    inj: &mut FaultInjector,
     window: u64,
     data_base: u32,
     wd: &mut InjectionWatchdog,
@@ -470,18 +616,23 @@ fn faulty_loop(
                 hung: Some(cause),
             };
         }
-        match m.step(&mut inj) {
+        // Once the first detection is recorded the checker is done: only
+        // `first` is ever reported, the fault has provably already fired
+        // (a pre-flip run is bit-identical to the golden run, which raises
+        // no false positives, so a detection implies a prior flip — and
+        // `first_flip_cycle` keeps the first), and checker taps never feed
+        // back into architectural state. Skipping `on_commit` from here on
+        // changes no reported field and lets the run finish at bare-machine
+        // speed — the bulk of a detected run's cycles come after detection.
+        match m.step(inj) {
             StepOutcome::Committed(rec) => {
-                let evs = argus.on_commit(&rec, &mut inj);
                 if first.is_none() {
-                    first = evs.into_iter().next();
+                    first = argus.on_commit(&rec, inj).into_iter().next();
                 }
             }
             StepOutcome::Stalled => {
-                if let Some(ev) = argus.on_stall(1, &mut inj) {
-                    if first.is_none() {
-                        first = Some(ev);
-                    }
+                if first.is_none() {
+                    first = argus.on_stall(1, inj);
                 }
             }
             StepOutcome::Halted => break,
@@ -493,7 +644,7 @@ fn faulty_loop(
     // End-of-run scrub bounds the EDC detection latency for errors parked
     // in memory (§4.2).
     if first.is_none() {
-        first = argus.scrub_memory(&m, data_base, &mut inj);
+        first = argus.scrub_memory(m, data_base, inj);
     }
     FaultyOutcome {
         detection: first,
@@ -518,8 +669,8 @@ fn faulty_run(
     if let Some(d) = prog.entry_dcs {
         argus.expect_entry(d);
     }
-    let inj = FaultInjector::with_fault(fault);
-    faulty_loop(m, argus, inj, window, prog.data_base, wd)
+    let mut inj = FaultInjector::with_fault(fault);
+    faulty_loop(&mut m, &mut argus, &mut inj, window, prog.data_base, wd)
 }
 
 /// One faulty run forked from a golden-run snapshot instead of cold boot.
@@ -537,10 +688,10 @@ fn faulty_run_forked(
     data_base: u32,
     wd: &mut InjectionWatchdog,
 ) -> FaultyOutcome {
-    let (m, argus) = pair;
+    let (mut m, mut argus) = pair;
     debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
-    let inj = FaultInjector::with_fault(fault);
-    faulty_loop(m, argus, inj, window, data_base, wd)
+    let mut inj = FaultInjector::with_fault(fault);
+    faulty_loop(&mut m, &mut argus, &mut inj, window, data_base, wd)
 }
 
 /// Compiles the workload, takes the golden run, and samples the injection
@@ -579,6 +730,7 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         snapshot_poisoned: (0..nsnaps).map(|_| AtomicBool::new(false)).collect(),
         snapshot_fallbacks: AtomicU64::new(0),
         snapshot_warnings: Mutex::new(Vec::new()),
+        inert_template: OnceLock::new(),
     }
 }
 
@@ -598,19 +750,34 @@ pub fn run_injection(
     cfg: &CampaignConfig,
     index: usize,
 ) -> InjectionResult {
-    match run_injection_watched(prep, cfg, index) {
+    run_injection_in(prep, cfg, index, &mut CampaignWorkspace::new())
+}
+
+/// [`run_injection`] routed through a worker's reusable
+/// [`CampaignWorkspace`]: under [`ForkStrategy::Delta`] consecutive calls
+/// on one workspace share a single machine allocation (and its warm
+/// predecode memo) and rewrite only touched pages. Results are identical
+/// to [`run_injection`] — the workspace is a pure performance carrier.
+pub fn run_injection_in(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+    ws: &mut CampaignWorkspace,
+) -> InjectionResult {
+    match run_injection_watched(prep, cfg, index, ws) {
         Ok(r) => r,
         Err(cause) => panic!("injection {index} hung ({})", cause.label()),
     }
 }
 
-/// [`run_injection`] with the watchdog verdict surfaced instead of
+/// [`run_injection_in`] with the watchdog verdict surfaced instead of
 /// panicking: `Err` means the run blew its budget and has no
 /// classification.
 fn run_injection_watched(
     prep: &PreparedCampaign,
     cfg: &CampaignConfig,
     index: usize,
+    ws: &mut CampaignWorkspace,
 ) -> Result<InjectionResult, HangCause> {
     let point = prep.points[index];
     let mut rng = SplitMix64::stream(cfg.seed ^ INJECTION_STREAM_SALT, index as u64);
@@ -621,36 +788,73 @@ fn run_injection_watched(
     if rng.next_f64() < cfg.structural_mask {
         fault.sensitization = 0.0;
     }
+    if cfg.shortcut_inert && fault.sensitization == 0.0 {
+        let t = prep.inert_template(cfg);
+        if let Some(cause) = t.hung {
+            return Err(cause);
+        }
+        return Ok(classify(
+            point,
+            arm_cycle,
+            t.halted && t.digest == prep.golden_digest,
+            t.detection.clone(),
+            None,
+        ));
+    }
     let mut wd = InjectionWatchdog::new(&cfg.watchdog_config(prep.golden_cycles));
-    let out = match prep.fork_at(arm_cycle) {
-        Some(pair) => faulty_run_forked(pair, fault, prep.window, prep.prog.data_base, &mut wd),
-        None => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd),
+    let out = match cfg.fork {
+        ForkStrategy::Cold => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd),
+        ForkStrategy::Full => match prep.fork_at(arm_cycle) {
+            Some(pair) => faulty_run_forked(pair, fault, prep.window, prep.prog.data_base, &mut wd),
+            None => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd),
+        },
+        ForkStrategy::Delta => {
+            if prep.fork_into(arm_cycle, &mut ws.ws) {
+                let (m, argus) = ws.ws.pair_mut().expect("fork_into populated the workspace");
+                debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
+                let mut inj = FaultInjector::with_fault(fault);
+                faulty_loop(m, argus, &mut inj, prep.window, prep.prog.data_base, &mut wd)
+            } else {
+                faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd)
+            }
+        }
     };
     if let Some(cause) = out.hung {
         return Err(cause);
     }
 
     let masked = out.halted && out.digest == prep.golden_digest;
-    let detected = out.detection.is_some();
+    Ok(classify(point, arm_cycle, masked, out.detection, out.exercised_at))
+}
+
+/// Table-1 classification from a run's observables.
+fn classify(
+    point: SamplePoint,
+    arm_cycle: u64,
+    masked: bool,
+    detection: Option<DetectionEvent>,
+    exercised_at: Option<u64>,
+) -> InjectionResult {
+    let detected = detection.is_some();
     let outcome = match (masked, detected) {
         (false, false) => Outcome::UnmaskedUndetected,
         (false, true) => Outcome::UnmaskedDetected,
         (true, false) => Outcome::MaskedUndetected,
         (true, true) => Outcome::MaskedDetected,
     };
-    let detector = out.detection.as_ref().map(|d| d.checker);
-    let detect_latency = match (&out.detection, out.exercised_at) {
+    let detector = detection.as_ref().map(|d| d.checker);
+    let detect_latency = match (&detection, exercised_at) {
         (Some(d), Some(x)) => Some(d.cycle.saturating_sub(x)),
         _ => None,
     };
-    Ok(InjectionResult {
+    InjectionResult {
         point,
         arm_cycle,
         outcome,
         detector,
         detect_latency,
-        exercised: out.exercised_at.is_some(),
-    })
+        exercised: exercised_at.is_some(),
+    }
 }
 
 /// One supervised injection, *without* panic isolation: chaos hooks and
@@ -661,6 +865,17 @@ pub fn run_injection_guarded(
     prep: &PreparedCampaign,
     cfg: &CampaignConfig,
     index: usize,
+) -> SupervisedOutcome {
+    run_injection_guarded_in(prep, cfg, index, &mut CampaignWorkspace::new())
+}
+
+/// [`run_injection_guarded`] routed through a worker's reusable
+/// [`CampaignWorkspace`] (see [`run_injection_in`]).
+pub fn run_injection_guarded_in(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+    ws: &mut CampaignWorkspace,
 ) -> SupervisedOutcome {
     if let Some(chaos) = &cfg.chaos {
         if chaos.panic_at.contains(&index) {
@@ -678,7 +893,7 @@ pub fn run_injection_guarded(
             }
         }
     }
-    match run_injection_watched(prep, cfg, index) {
+    match run_injection_watched(prep, cfg, index, ws) {
         Ok(r) => SupervisedOutcome::Classified(r),
         Err(cause) => SupervisedOutcome::Hung { index: index as u64, cause },
     }
@@ -694,7 +909,22 @@ pub fn run_injection_supervised(
     cfg: &CampaignConfig,
     index: usize,
 ) -> SupervisedOutcome {
-    match catch_supervised(|| run_injection_guarded(prep, cfg, index)) {
+    run_injection_supervised_in(prep, cfg, index, &mut CampaignWorkspace::new())
+}
+
+/// [`run_injection_supervised`] routed through a worker's reusable
+/// [`CampaignWorkspace`]. Unwind-safe: every memory mutation is
+/// generation-stamped at write time, so a run that panics (or is
+/// abandoned) mid-flight leaves only pages the next delta restore already
+/// knows to rewrite, and core/checker state is rewritten in full on every
+/// restore anyway.
+pub fn run_injection_supervised_in(
+    prep: &PreparedCampaign,
+    cfg: &CampaignConfig,
+    index: usize,
+    ws: &mut CampaignWorkspace,
+) -> SupervisedOutcome {
+    match catch_supervised(|| run_injection_guarded_in(prep, cfg, index, ws)) {
         Ok(out) => out,
         Err(panic_msg) => SupervisedOutcome::Quarantined(QuarantineRecord {
             index: index as u64,
@@ -713,8 +943,9 @@ pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> CampaignReport {
     let prep = prepare_campaign(w, cfg);
     let mut results = Vec::with_capacity(prep.injections());
     let mut attribution = CounterSet::new();
+    let mut ws = CampaignWorkspace::new();
     for index in 0..prep.injections() {
-        let r = run_injection(&prep, cfg, index);
+        let r = run_injection_in(&prep, cfg, index, &mut ws);
         if let Some(k) = r.detector {
             attribution.bump(&k.to_string());
         }
@@ -923,6 +1154,67 @@ mod tests {
         assert!(!warnings.is_empty());
         assert!(warnings[0].contains("failed verification"));
         assert!(snap.take_snapshot_warnings().is_empty(), "warnings drain once");
+    }
+
+    #[test]
+    fn fork_strategies_are_bit_identical() {
+        let w = argus_workloads::stress();
+        let base = CampaignConfig {
+            injections: 40,
+            seed: 0xF0_0D,
+            snapshot_every: Some(500),
+            shortcut_inert: false,
+            ..Default::default()
+        };
+        let delta = run_campaign(&w, &CampaignConfig { fork: ForkStrategy::Delta, ..base.clone() });
+        let full = run_campaign(&w, &CampaignConfig { fork: ForkStrategy::Full, ..base.clone() });
+        let cold = run_campaign(&w, &CampaignConfig { fork: ForkStrategy::Cold, ..base.clone() });
+        assert_eq!(format!("{:?}", delta.results), format!("{:?}", full.results));
+        assert_eq!(format!("{:?}", delta.results), format!("{:?}", cold.results));
+    }
+
+    #[test]
+    fn inert_shortcut_is_bit_identical() {
+        let w = argus_workloads::stress();
+        // structural_mask 1.0 exercises the shortcut on every injection;
+        // the default 0.30 exercises the mixed case.
+        for mask in [0.30, 1.0] {
+            let base = CampaignConfig {
+                injections: 30,
+                seed: 0xAB_BA,
+                snapshot_every: Some(500),
+                structural_mask: mask,
+                ..Default::default()
+            };
+            let fast = run_campaign(&w, &CampaignConfig { shortcut_inert: true, ..base.clone() });
+            let slow = run_campaign(&w, &CampaignConfig { shortcut_inert: false, ..base.clone() });
+            assert_eq!(
+                format!("{:?}", fast.results),
+                format!("{:?}", slow.results),
+                "shortcut diverged at mask {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspaces() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig {
+            injections: 25,
+            seed: 0x1CE,
+            snapshot_every: Some(500),
+            ..Default::default()
+        };
+        let prep = prepare_campaign(&w, &cfg);
+        let mut shared = CampaignWorkspace::new();
+        for index in 0..prep.injections() {
+            let reused = run_injection_in(&prep, &cfg, index, &mut shared);
+            let fresh = run_injection(&prep, &cfg, index);
+            assert_eq!(format!("{reused:?}"), format!("{fresh:?}"), "injection {index}");
+        }
+        let stats = shared.stats();
+        assert!(stats.restores > 0, "snapshot campaign never used the workspace: {stats:?}");
+        assert!(stats.pages_skipped > 0, "delta restores never skipped a clean page: {stats:?}");
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod protect;
 pub mod system;
 
 pub use cache::{Cache, CacheConfig, CacheState, CacheStats, LineState};
-pub use main_memory::MainMemory;
+pub use main_memory::{MainMemory, DIRTY_PAGE_WORDS};
 pub use system::{CachesState, MemConfig, MemorySystem};

@@ -1,16 +1,33 @@
 //! Flat word-addressed main memory with one parity tag per word.
 
+/// Words per dirty-tracking page. Must match the snapshot crate's page size
+/// (`argus_snapshot::PAGE_WORDS`, const-asserted there) so a dirty page maps
+/// 1:1 onto a snapshot page.
+pub const DIRTY_PAGE_WORDS: usize = 1024;
+
 /// Main memory: a flat array of 32-bit payload words, each with a parity
 /// tag bit (the "assuming ECC is not already present" EDC of §3.4).
 ///
 /// Addresses are byte addresses; accesses are word-granular (the load/store
 /// unit performs sub-word merging). Out-of-range accesses are reported as
 /// errors so wild addresses from fault injection never abort a campaign.
+///
+/// Every mutation stamps the containing [`DIRTY_PAGE_WORDS`]-word page with a
+/// monotonically increasing generation so a snapshot restore can rewrite only
+/// pages touched since the last restore. The stamps are instrumentation
+/// metadata — like the predecode memo, they are excluded from architectural
+/// identity (`state_digest`/`state_fingerprint` never read them).
 #[derive(Debug, Clone)]
 pub struct MainMemory {
     words: Vec<u32>,
     tags: Vec<bool>,
     size_bytes: u32,
+    /// Current write generation; stamps start at 1 so generation 0 means
+    /// "never written since allocation".
+    generation: u64,
+    /// Per-page generation of the most recent write (one entry per
+    /// `DIRTY_PAGE_WORDS` words, last page possibly partial).
+    page_gen: Vec<u64>,
 }
 
 /// Error for accesses beyond the configured memory size.
@@ -39,7 +56,14 @@ impl MainMemory {
     pub fn new(size_bytes: u32) -> Self {
         assert!(size_bytes > 0, "memory size must be positive");
         let words = size_bytes.div_ceil(4) as usize;
-        Self { words: vec![0; words], tags: vec![false; words], size_bytes }
+        let pages = words.div_ceil(DIRTY_PAGE_WORDS);
+        Self {
+            words: vec![0; words],
+            tags: vec![false; words],
+            size_bytes,
+            generation: 1,
+            page_gen: vec![0; pages],
+        }
     }
 
     /// Memory size in bytes.
@@ -74,6 +98,7 @@ impl MainMemory {
         let i = self.index(addr)?;
         self.words[i] = payload;
         self.tags[i] = tag;
+        self.page_gen[i / DIRTY_PAGE_WORDS] = self.generation;
         Ok(())
     }
 
@@ -116,6 +141,33 @@ impl MainMemory {
         assert!(end <= self.words.len(), "restore run {word_base}..{end} outside memory");
         self.words[word_base..end].copy_from_slice(words);
         self.tags[word_base..end].copy_from_slice(tags);
+        if !words.is_empty() {
+            for p in word_base / DIRTY_PAGE_WORDS..=(end - 1) / DIRTY_PAGE_WORDS {
+                self.page_gen[p] = self.generation;
+            }
+        }
+    }
+
+    /// Advances the write generation and returns the new value. Pages written
+    /// at or after the returned generation satisfy
+    /// [`MainMemory::page_dirty_since`]; pages untouched since the call do
+    /// not. Typically called right after a snapshot restore so the next
+    /// restore knows which pages diverged.
+    pub fn advance_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Whether page `page` has been written at or after generation `since`.
+    /// Out-of-range pages conservatively report dirty.
+    pub fn page_dirty_since(&self, page: usize, since: u64) -> bool {
+        self.page_gen.get(page).is_none_or(|&g| g >= since)
+    }
+
+    /// Number of dirty-tracking pages ([`DIRTY_PAGE_WORDS`] words each, last
+    /// page possibly partial).
+    pub fn page_count(&self) -> usize {
+        self.page_gen.len()
     }
 
     /// Initializes every word with the address-embedded encoding of zero
@@ -126,6 +178,8 @@ impl MainMemory {
             *w = 4 * i as u32;
         }
         self.tags.fill(false);
+        let generation = self.generation;
+        self.page_gen.fill(generation);
     }
 }
 
@@ -197,5 +251,66 @@ mod tests {
     #[should_panic(expected = "outside memory")]
     fn restore_words_rejects_overflow() {
         MainMemory::new(8).restore_words(1, &[1, 2], &[false, false]);
+    }
+
+    #[test]
+    fn fresh_memory_has_no_dirty_pages_after_advance() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 3);
+        assert_eq!(m.page_count(), 3);
+        let g = m.advance_generation();
+        for p in 0..m.page_count() {
+            assert!(!m.page_dirty_since(p, g));
+        }
+    }
+
+    #[test]
+    fn write_dirties_only_containing_page() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 3);
+        let g = m.advance_generation();
+        m.write(4 * DIRTY_PAGE_WORDS as u32, 7, false).unwrap(); // first word of page 1
+        assert!(!m.page_dirty_since(0, g));
+        assert!(m.page_dirty_since(1, g));
+        assert!(!m.page_dirty_since(2, g));
+    }
+
+    #[test]
+    fn restore_words_dirties_spanned_pages() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 4);
+        let g = m.advance_generation();
+        // Run straddling the page 1 / page 2 boundary.
+        let run = vec![1u32; DIRTY_PAGE_WORDS];
+        let tags = vec![false; DIRTY_PAGE_WORDS];
+        m.restore_words(DIRTY_PAGE_WORDS + DIRTY_PAGE_WORDS / 2, &run, &tags);
+        assert!(!m.page_dirty_since(0, g));
+        assert!(m.page_dirty_since(1, g));
+        assert!(m.page_dirty_since(2, g));
+        assert!(!m.page_dirty_since(3, g));
+    }
+
+    #[test]
+    fn generation_separates_restore_rounds() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 2);
+        let g1 = m.advance_generation();
+        m.write(0, 1, false).unwrap();
+        // Page 0 dirty relative to g1 but clean relative to a later round.
+        assert!(m.page_dirty_since(0, g1));
+        let g2 = m.advance_generation();
+        assert!(!m.page_dirty_since(0, g2));
+        assert!(m.page_dirty_since(0, g1));
+    }
+
+    #[test]
+    fn out_of_range_page_reports_dirty() {
+        let m = MainMemory::new(64);
+        assert!(m.page_dirty_since(usize::MAX, 1));
+    }
+
+    #[test]
+    fn fill_protected_zero_dirties_everything() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 2);
+        let g = m.advance_generation();
+        m.fill_protected_zero();
+        assert!(m.page_dirty_since(0, g));
+        assert!(m.page_dirty_since(1, g));
     }
 }

@@ -1,36 +1,46 @@
-//! Campaign checkpoint files: periodic serialization of per-shard progress
+//! Campaign checkpoint files: periodic serialization of campaign progress
 //! so an interrupted campaign can resume without repeating work.
 //!
 //! The file is hand-rolled JSON (see [`crate::json`]); it records a
 //! fingerprint of the campaign configuration (so a stale file is never
-//! silently applied to a different campaign) plus, per shard, the contiguous
-//! index range, how many injections of it are complete, and the tallies
-//! accumulated from them. Shards process their slice in index order, so
-//! `done` fully describes *which* injections the tallies cover.
+//! silently applied to a different campaign), the set of completed
+//! injection indices as sorted, disjoint, coalesced ranges, and one global
+//! [`CampaignTally`] accumulated over exactly those injections. Because
+//! every injection draws its randomness from a private stream keyed by
+//! `(seed, index)`, the tally depends only on *which* indices are done —
+//! not on worker count, lease order, or scheduling — so a checkpoint
+//! written by an 8-worker run resumes cleanly under 1 worker and vice
+//! versa.
 
 use crate::json::Json;
-use argus_faults::QuarantineRecord;
+use argus_faults::{InjectionResult, QuarantineRecord};
 use argus_sim::crc::crc32;
 use argus_sim::fault::FaultKind;
 use argus_sim::stats::{CounterSet, Histogram};
 use std::fmt;
 use std::io::Write as _;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Current file format version.
 ///
-/// Version 2 adds the supervision tallies (`hung` count and quarantine
-/// ledger per shard) and wraps the document in a `{crc32, body}` envelope
-/// so corruption is detected on load. Version-1 files (no envelope, no
-/// supervision fields) are still accepted.
-const VERSION: u64 = 2;
+/// Version 3 replaces the per-shard progress prefixes of v1/v2 with a
+/// single global tally plus a coalesced done-range set, dropping the
+/// worker count from the campaign fingerprint: resume no longer requires
+/// the same `--shards` value that wrote the file. Version 2 added the
+/// supervision tallies and the `{crc32, body}` envelope; version-1 files
+/// (no envelope, no supervision fields) are still accepted. Legacy files
+/// are converted on load: each shard's `start..start+done` prefix becomes
+/// a done-range and the shard tallies merge into the global one.
+const VERSION: u64 = 3;
 
 /// Oldest file format version `from_json` still accepts.
 const MIN_VERSION: u64 = 1;
 
 /// Identifies a campaign; a checkpoint only resumes a campaign with an
-/// identical fingerprint.
+/// identical fingerprint. Deliberately excludes the worker count and every
+/// other knob that changes throughput but not results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fingerprint {
     /// Workload name.
@@ -43,8 +53,6 @@ pub struct Fingerprint {
     pub kind: FaultKind,
     /// Structural-masking probability.
     pub structural_mask: f64,
-    /// Shard count (ranges depend on it).
-    pub shards: usize,
 }
 
 impl Fingerprint {
@@ -56,45 +64,91 @@ impl Fingerprint {
     }
 }
 
-/// One shard's saved progress.
+/// Merged tallies over a set of completed injections. Every field is a
+/// commutative accumulator, so applying injections in any order — or
+/// merging partial tallies — yields the same value as long as the same
+/// index set is covered.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ShardCheckpoint {
-    /// First injection index owned by the shard.
-    pub start: usize,
-    /// One past the last owned index.
-    pub end: usize,
-    /// Completed injections (`start..start + done` are done).
-    pub done: usize,
-    /// Per-outcome counts over the completed injections, indexed like
-    /// `Outcome::ALL`.
+pub struct CampaignTally {
+    /// Per-outcome counts, indexed like `Outcome::ALL`.
     pub outcomes: [u64; 4],
-    /// How many completed injections actually corrupted a signal.
+    /// Injections that actually corrupted a signal.
     pub exercised: u64,
-    /// First-detector attribution over the completed injections.
+    /// First-detector attribution.
     pub attribution: CounterSet,
-    /// Detection-latency samples over the completed injections.
+    /// Detection-latency samples.
     pub latency: Histogram,
-    /// Completed injections the watchdog declared hung (counted in `done`,
-    /// absent from `outcomes`).
+    /// Injections the watchdog declared hung (absent from `outcomes`).
     pub hung: u64,
-    /// Quarantined (panicked) injections, in index order (counted in
-    /// `done`, absent from `outcomes`).
+    /// Quarantined (panicked) injections, kept sorted by injection index
+    /// (absent from `outcomes`).
     pub quarantine: Vec<QuarantineRecord>,
 }
 
-impl ShardCheckpoint {
-    /// Fresh, empty progress for one slice.
-    pub fn empty(start: usize, end: usize) -> Self {
+impl Default for CampaignTally {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl CampaignTally {
+    /// A tally covering no injections.
+    pub fn empty() -> Self {
         Self {
-            start,
-            end,
-            done: 0,
             outcomes: [0; 4],
             exercised: 0,
             attribution: CounterSet::new(),
             latency: Histogram::new(),
             hung: 0,
             quarantine: Vec::new(),
+        }
+    }
+
+    /// Injections this tally accounts for (classified + hung +
+    /// quarantined).
+    pub fn accounted(&self) -> u64 {
+        self.outcomes.iter().sum::<u64>() + self.hung + self.quarantine.len() as u64
+    }
+
+    /// Folds one classified injection in.
+    pub fn apply(&mut self, r: &InjectionResult) {
+        self.outcomes[r.outcome.index()] += 1;
+        if r.exercised {
+            self.exercised += 1;
+        }
+        if let Some(k) = r.detector {
+            self.attribution.bump(&k.to_string());
+        }
+        if let Some(l) = r.detect_latency {
+            self.latency.record(l);
+        }
+    }
+
+    /// Folds one watchdog-hung injection in.
+    pub fn apply_hung(&mut self) {
+        self.hung += 1;
+    }
+
+    /// Folds one quarantined injection in, keeping the ledger sorted by
+    /// injection index so serialized tallies are independent of completion
+    /// order.
+    pub fn apply_quarantined(&mut self, q: QuarantineRecord) {
+        let at = self.quarantine.partition_point(|p| p.index < q.index);
+        self.quarantine.insert(at, q);
+    }
+
+    /// Adds every accumulator of `other` into `self` (legacy per-shard
+    /// checkpoints merge into one global tally on load).
+    fn merge(&mut self, other: &CampaignTally) {
+        for (acc, &c) in self.outcomes.iter_mut().zip(other.outcomes.iter()) {
+            *acc += c;
+        }
+        self.exercised += other.exercised;
+        self.attribution.merge(&other.attribution);
+        self.latency.merge(&other.latency);
+        self.hung += other.hung;
+        for q in &other.quarantine {
+            self.apply_quarantined(q.clone());
         }
     }
 }
@@ -104,8 +158,11 @@ impl ShardCheckpoint {
 pub struct Checkpoint {
     /// Which campaign this file belongs to.
     pub fingerprint: Fingerprint,
-    /// Per-shard progress, in shard order.
-    pub shards: Vec<ShardCheckpoint>,
+    /// Completed injection indices as sorted, disjoint, coalesced,
+    /// non-empty ranges.
+    pub done: Vec<Range<usize>>,
+    /// Tallies over exactly the injections in `done`.
+    pub tally: CampaignTally,
 }
 
 /// Why loading a checkpoint failed.
@@ -156,9 +213,14 @@ fn corrupt(msg: impl Into<String>) -> CheckpointError {
 }
 
 impl Checkpoint {
-    /// Total completed injections across all shards.
+    /// A fresh checkpoint with no completed work.
+    pub fn empty(fingerprint: Fingerprint) -> Self {
+        Self { fingerprint, done: Vec::new(), tally: CampaignTally::empty() }
+    }
+
+    /// Total completed injections.
     pub fn completed(&self) -> usize {
-        self.shards.iter().map(|s| s.done).sum()
+        self.done.iter().map(Range::len).sum()
     }
 
     /// Serializes to the JSON document format.
@@ -173,14 +235,23 @@ impl Checkpoint {
                     .set("injections", fp.injections)
                     .set("seed", fp.seed)
                     .set("kind", fp.kind_str())
-                    .set("structural_mask", fp.structural_mask)
-                    .set("shards", fp.shards),
+                    .set("structural_mask", fp.structural_mask),
             )
-            .set("shards", Json::Arr(self.shards.iter().map(shard_to_json).collect()))
+            .set(
+                "done",
+                Json::Arr(
+                    self.done
+                        .iter()
+                        .map(|r| Json::Arr(vec![r.start.into(), r.end.into()]))
+                        .collect(),
+                ),
+            )
+            .set("tally", tally_to_json(&self.tally))
     }
 
     /// Parses the JSON document format (the *body*, without the CRC
-    /// envelope).
+    /// envelope). Legacy v1/v2 per-shard layouts are converted to the
+    /// global-tally form.
     pub fn from_json(doc: &Json) -> Result<Self, CheckpointError> {
         let version = field_u64(doc, "version")?;
         if !(MIN_VERSION..=VERSION).contains(&version) {
@@ -201,31 +272,54 @@ impl Checkpoint {
                 .get("structural_mask")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| corrupt("missing structural_mask"))?,
-            shards: field_u64(fp, "shards")? as usize,
         };
-        let shards = doc
-            .get("shards")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| corrupt("missing shards array"))?
-            .iter()
-            .map(shard_from_json)
-            .collect::<Result<Vec<_>, _>>()?;
-        if shards.len() != fingerprint.shards {
-            return Err(corrupt("shard array length disagrees with fingerprint"));
-        }
-        for s in &shards {
-            if s.start > s.end || s.done > s.end - s.start {
-                return Err(corrupt("shard progress out of range"));
-            }
-            let accounted = s.outcomes.iter().sum::<u64>() + s.hung + s.quarantine.len() as u64;
-            if accounted != s.done as u64 {
+        let (done, tally) = if version < 3 {
+            legacy_shards_to_global(doc, fp)?
+        } else {
+            let done = doc
+                .get("done")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| corrupt("missing done ranges"))?
+                .iter()
+                .map(range_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let tally = tally_from_json(doc.get("tally").ok_or_else(|| corrupt("missing tally"))?)?;
+            (done, tally)
+        };
+        let cp = Self { fingerprint, done, tally };
+        cp.validate()?;
+        Ok(cp)
+    }
+
+    /// Structural invariants every loaded checkpoint must satisfy.
+    fn validate(&self) -> Result<(), CheckpointError> {
+        let mut at = 0usize;
+        for r in &self.done {
+            if r.start >= r.end {
                 return Err(corrupt(format!(
-                    "shard tallies account for {accounted} injections but done = {}",
-                    s.done
+                    "empty or inverted done range {}..{}",
+                    r.start, r.end
                 )));
             }
+            if r.start < at {
+                return Err(corrupt("done ranges overlap or are unsorted"));
+            }
+            at = r.end;
         }
-        Ok(Self { fingerprint, shards })
+        if at > self.fingerprint.injections {
+            return Err(corrupt(format!(
+                "done ranges reach {at} but the campaign plans only {} injections",
+                self.fingerprint.injections
+            )));
+        }
+        let accounted = self.tally.accounted();
+        if accounted != self.completed() as u64 {
+            return Err(corrupt(format!(
+                "tallies account for {accounted} injections but done ranges cover {}",
+                self.completed()
+            )));
+        }
+        Ok(())
     }
 
     /// Atomically writes the checkpoint: the CRC-enveloped document goes to
@@ -339,7 +433,9 @@ impl Checkpoint {
         }
     }
 
-    /// Errors unless `other` describes the same campaign.
+    /// Errors unless `other` describes the same campaign. The worker count
+    /// is deliberately not part of campaign identity: a checkpoint written
+    /// under any `--shards` value resumes under any other.
     pub fn check_matches(&self, expected: &Fingerprint) -> Result<(), CheckpointError> {
         let got = &self.fingerprint;
         let mut diffs = Vec::new();
@@ -360,9 +456,6 @@ impl Checkpoint {
                 "structural_mask {} != {}",
                 got.structural_mask, expected.structural_mask
             ));
-        }
-        if got.shards != expected.shards {
-            diffs.push(format!("shards {} != {}", got.shards, expected.shards));
         }
         if diffs.is_empty() {
             Ok(())
@@ -398,44 +491,29 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
-fn shard_to_json(s: &ShardCheckpoint) -> Json {
+fn tally_to_json(t: &CampaignTally) -> Json {
     Json::obj()
-        .set("start", s.start)
-        .set("end", s.end)
-        .set("done", s.done)
-        .set("outcomes", Json::Arr(s.outcomes.iter().map(|&c| c.into()).collect()))
-        .set("exercised", s.exercised)
+        .set("outcomes", Json::Arr(t.outcomes.iter().map(|&c| c.into()).collect()))
+        .set("exercised", t.exercised)
         .set(
             "attribution",
-            Json::Obj(s.attribution.iter().map(|(k, v)| (k.to_owned(), v.into())).collect()),
+            Json::Obj(t.attribution.iter().map(|(k, v)| (k.to_owned(), v.into())).collect()),
         )
         .set(
             "latency",
             Json::obj()
-                .set("buckets", Json::Arr(s.latency.buckets().iter().map(|&c| c.into()).collect()))
-                .set("count", s.latency.count())
+                .set("buckets", Json::Arr(t.latency.buckets().iter().map(|&c| c.into()).collect()))
+                .set("count", t.latency.count())
                 // u128 sum is stored as a decimal string to avoid f64 loss.
-                .set("sum", s.latency.sum().to_string())
-                .set("min", s.latency.min().map_or(Json::Null, Json::from))
-                .set("max", s.latency.max().map_or(Json::Null, Json::from)),
+                .set("sum", t.latency.sum().to_string())
+                .set("min", t.latency.min().map_or(Json::Null, Json::from))
+                .set("max", t.latency.max().map_or(Json::Null, Json::from)),
         )
-        .set("hung", s.hung)
-        .set("quarantine", Json::Arr(s.quarantine.iter().map(quarantine_to_json).collect()))
+        .set("hung", t.hung)
+        .set("quarantine", Json::Arr(t.quarantine.iter().map(quarantine_to_json).collect()))
 }
 
-fn quarantine_to_json(q: &QuarantineRecord) -> Json {
-    Json::obj().set("index", q.index).set("seed", q.seed).set("panic_msg", q.panic_msg.as_str())
-}
-
-fn quarantine_from_json(doc: &Json) -> Result<QuarantineRecord, CheckpointError> {
-    Ok(QuarantineRecord {
-        index: field_u64(doc, "index")?,
-        seed: field_u64(doc, "seed")?,
-        panic_msg: field_str(doc, "panic_msg")?.to_owned(),
-    })
-}
-
-fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
+fn tally_from_json(doc: &Json) -> Result<CampaignTally, CheckpointError> {
     let outcomes_arr =
         doc.get("outcomes").and_then(Json::as_arr).ok_or_else(|| corrupt("missing outcomes"))?;
     if outcomes_arr.len() != 4 {
@@ -483,10 +561,7 @@ fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
             .collect::<Result<Vec<_>, _>>()?,
         None => Vec::new(),
     };
-    Ok(ShardCheckpoint {
-        start: field_u64(doc, "start")? as usize,
-        end: field_u64(doc, "end")? as usize,
-        done: field_u64(doc, "done")? as usize,
+    Ok(CampaignTally {
         outcomes,
         exercised: field_u64(doc, "exercised")?,
         attribution,
@@ -494,6 +569,79 @@ fn shard_from_json(doc: &Json) -> Result<ShardCheckpoint, CheckpointError> {
         hung,
         quarantine,
     })
+}
+
+fn range_from_json(doc: &Json) -> Result<Range<usize>, CheckpointError> {
+    let pair = doc.as_arr().ok_or_else(|| corrupt("done range must be a [start, end] pair"))?;
+    if pair.len() != 2 {
+        return Err(corrupt("done range must have exactly 2 entries"));
+    }
+    let start = pair[0].as_u64().ok_or_else(|| corrupt("bad done range start"))? as usize;
+    let end = pair[1].as_u64().ok_or_else(|| corrupt("bad done range end"))? as usize;
+    Ok(start..end)
+}
+
+fn quarantine_to_json(q: &QuarantineRecord) -> Json {
+    Json::obj().set("index", q.index).set("seed", q.seed).set("panic_msg", q.panic_msg.as_str())
+}
+
+fn quarantine_from_json(doc: &Json) -> Result<QuarantineRecord, CheckpointError> {
+    Ok(QuarantineRecord {
+        index: field_u64(doc, "index")?,
+        seed: field_u64(doc, "seed")?,
+        panic_msg: field_str(doc, "panic_msg")?.to_owned(),
+    })
+}
+
+/// Converts a legacy v1/v2 per-shard document into the global form: each
+/// shard's completed prefix `start..start+done` becomes a done-range and
+/// the shard tallies merge into one. Shards processed their slice in index
+/// order, so the prefix fully describes which injections the tallies
+/// cover.
+fn legacy_shards_to_global(
+    doc: &Json,
+    fp: &Json,
+) -> Result<(Vec<Range<usize>>, CampaignTally), CheckpointError> {
+    // v1/v2 fingerprints carried the shard count; only the array-length
+    // cross-check still uses it.
+    let declared_shards = field_u64(fp, "shards")? as usize;
+    let shards =
+        doc.get("shards").and_then(Json::as_arr).ok_or_else(|| corrupt("missing shards array"))?;
+    if shards.len() != declared_shards {
+        return Err(corrupt("shard array length disagrees with fingerprint"));
+    }
+    let mut done = Vec::new();
+    let mut tally = CampaignTally::empty();
+    for s in shards {
+        let start = field_u64(s, "start")? as usize;
+        let end = field_u64(s, "end")? as usize;
+        let shard_done = field_u64(s, "done")? as usize;
+        if start > end || shard_done > end - start {
+            return Err(corrupt("shard progress out of range"));
+        }
+        let t = tally_from_json(s)?;
+        if t.accounted() != shard_done as u64 {
+            return Err(corrupt(format!(
+                "shard tallies account for {} injections but done = {shard_done}",
+                t.accounted()
+            )));
+        }
+        if shard_done > 0 {
+            done.push(start..start + shard_done);
+        }
+        tally.merge(&t);
+    }
+    done.sort_by_key(|r| r.start);
+    // Coalesce ranges that happen to abut (a fully-finished shard followed
+    // by its successor's prefix).
+    let mut coalesced: Vec<Range<usize>> = Vec::with_capacity(done.len());
+    for r in done {
+        match coalesced.last_mut() {
+            Some(last) if last.end == r.start => last.end = r.end,
+            _ => coalesced.push(r),
+        }
+    }
+    Ok((coalesced, tally))
 }
 
 fn field_u64(doc: &Json, key: &str) -> Result<u64, CheckpointError> {
@@ -509,10 +657,13 @@ fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, CheckpointError> {
 }
 
 #[cfg(test)]
+// Done-sets really are `Vec<Range<usize>>`; single-range literals are the
+// point of these fixtures, not a mistyped `collect()`.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 
-    fn sample() -> Checkpoint {
+    fn sample_tally() -> CampaignTally {
         let mut attribution = CounterSet::new();
         attribution.add("dcs", 9);
         attribution.add("computation: adder", 4);
@@ -520,6 +671,22 @@ mod tests {
         for v in [1u64, 30, 500, 70_000] {
             latency.record(v);
         }
+        CampaignTally {
+            // 123 classified + 2 hung + 1 quarantined = 126 accounted.
+            outcomes: [3, 80, 30, 10],
+            exercised: 90,
+            attribution,
+            latency,
+            hung: 2,
+            quarantine: vec![QuarantineRecord {
+                index: 17,
+                seed: 0xA905,
+                panic_msg: "boom \"quoted\"".into(),
+            }],
+        }
+    }
+
+    fn sample() -> Checkpoint {
         Checkpoint {
             fingerprint: Fingerprint {
                 workload: "stress".into(),
@@ -527,27 +694,46 @@ mod tests {
                 seed: 0xA905,
                 kind: FaultKind::Transient,
                 structural_mask: 0.3,
-                shards: 2,
             },
-            shards: vec![
-                ShardCheckpoint {
-                    start: 0,
-                    end: 500,
-                    done: 126,
-                    outcomes: [3, 80, 30, 10],
-                    exercised: 90,
-                    attribution,
-                    latency,
-                    hung: 2,
-                    quarantine: vec![QuarantineRecord {
-                        index: 17,
-                        seed: 0xA905,
-                        panic_msg: "boom \"quoted\"".into(),
-                    }],
-                },
-                ShardCheckpoint::empty(500, 1000),
-            ],
+            done: vec![0..126],
+            tally: sample_tally(),
         }
+    }
+
+    /// Builds a legacy (v1/v2) per-shard JSON body for conversion tests.
+    fn legacy_doc(version: u64, shards: &[(usize, usize, usize, &CampaignTally)]) -> Json {
+        let cp = sample();
+        let fp = &cp.fingerprint;
+        Json::obj()
+            .set("version", version)
+            .set(
+                "fingerprint",
+                Json::obj()
+                    .set("workload", fp.workload.as_str())
+                    .set("injections", fp.injections)
+                    .set("seed", fp.seed)
+                    .set("kind", "transient")
+                    .set("structural_mask", fp.structural_mask)
+                    .set("shards", shards.len()),
+            )
+            .set(
+                "shards",
+                Json::Arr(
+                    shards
+                        .iter()
+                        .map(|&(start, end, done, t)| {
+                            let Json::Obj(fields) = tally_to_json(t) else { unreachable!() };
+                            let mut all = vec![
+                                ("start".to_owned(), Json::from(start)),
+                                ("end".to_owned(), Json::from(end)),
+                                ("done".to_owned(), Json::from(done)),
+                            ];
+                            all.extend(fields);
+                            Json::Obj(all)
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     #[test]
@@ -557,8 +743,18 @@ mod tests {
         let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, cp);
         assert_eq!(back.completed(), 126);
-        assert_eq!(back.shards[0].hung, 2);
-        assert_eq!(back.shards[0].quarantine[0].panic_msg, "boom \"quoted\"");
+        assert_eq!(back.tally.hung, 2);
+        assert_eq!(back.tally.quarantine[0].panic_msg, "boom \"quoted\"");
+    }
+
+    #[test]
+    fn fragmented_done_ranges_roundtrip() {
+        let mut cp = sample();
+        cp.done = vec![0..100, 120..140, 500..506];
+        let text = cp.to_json().to_string_compact();
+        let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.done, cp.done);
+        assert_eq!(back.completed(), 126);
     }
 
     #[test]
@@ -577,11 +773,11 @@ mod tests {
         let cp = sample();
         let mut other = cp.fingerprint.clone();
         other.seed ^= 1;
-        other.shards = 4;
+        other.injections = 2000;
         let err = cp.check_matches(&other).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("seed"), "{msg}");
-        assert!(msg.contains("shards"), "{msg}");
+        assert!(msg.contains("injections"), "{msg}");
         assert!(cp.check_matches(&cp.fingerprint).is_ok());
     }
 
@@ -594,16 +790,18 @@ mod tests {
         let mut doc = sample().to_json();
         doc = doc.set("version", 99u64);
         assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
-        // Shard progress beyond its slice length.
+        // Done ranges past the planned injection count.
         let mut cp = sample();
-        cp.shards[0].done = 501;
-        let doc = cp.to_json();
-        assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+        cp.done = vec![0..1001];
+        assert!(matches!(Checkpoint::from_json(&cp.to_json()), Err(CheckpointError::Corrupt(_))));
+        // Overlapping ranges.
+        let mut cp = sample();
+        cp.done = vec![0..100, 50..76];
+        assert!(matches!(Checkpoint::from_json(&cp.to_json()), Err(CheckpointError::Corrupt(_))));
         // Tallies that do not account for every done injection.
         let mut cp = sample();
-        cp.shards[0].hung += 1;
-        let doc = cp.to_json();
-        assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+        cp.tally.hung += 1;
+        assert!(matches!(Checkpoint::from_json(&cp.to_json()), Err(CheckpointError::Corrupt(_))));
     }
 
     #[test]
@@ -615,9 +813,9 @@ mod tests {
         cp.save(&path).unwrap();
         // Corrupt one digit inside the body (not the crc field itself).
         let text = std::fs::read_to_string(&path).unwrap();
-        let at = text.find("\"done\":126").expect("body contains the done field");
+        let at = text.find("\"exercised\":90").expect("body contains the exercised field");
         let mut bytes = text.into_bytes();
-        bytes[at + 8] = b'7'; // 126 -> 176: still valid JSON, wrong content
+        bytes[at + 13] = b'7'; // 90 -> 97: still valid JSON, wrong content
         std::fs::write(&path, &bytes).unwrap();
         match Checkpoint::load(&path) {
             Err(CheckpointError::Checksum { expected, got }) => assert_ne!(expected, got),
@@ -627,16 +825,41 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_per_shard_files_convert_to_global_tally() {
+        // Two shards: 0..500 with 126 done, 500..1000 with 1 done.
+        let t0 = sample_tally();
+        let mut t1 = CampaignTally::empty();
+        t1.outcomes[2] = 1;
+        let doc = legacy_doc(2, &[(0, 500, 126, &t0), (500, 1000, 1, &t1)]);
+        let cp = Checkpoint::from_json(&doc).unwrap();
+        assert_eq!(cp.done, vec![0..126, 500..501]);
+        assert_eq!(cp.completed(), 127);
+        assert_eq!(cp.tally.outcomes, [3, 80, 31, 10]);
+        assert_eq!(cp.tally.hung, 2);
+        assert_eq!(cp.tally.quarantine.len(), 1);
+
+        // A fully-finished shard abutting its successor's prefix coalesces.
+        let mut full = CampaignTally::empty();
+        full.outcomes[1] = 500;
+        let doc = legacy_doc(2, &[(0, 500, 500, &full), (500, 1000, 1, &t1)]);
+        let cp = Checkpoint::from_json(&doc).unwrap();
+        assert_eq!(cp.done, vec![0..501]);
+
+        // Legacy validation still applies: done beyond the slice length.
+        let doc = legacy_doc(2, &[(0, 100, 126, &t0), (500, 1000, 1, &t1)]);
+        assert!(matches!(Checkpoint::from_json(&doc), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
     fn legacy_v1_files_without_envelope_load() {
         let dir = std::env::temp_dir().join("argus-orch-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ckpt_v1.json");
         // A v1 file: bare body, version 1, no supervision fields.
-        let mut cp = sample();
-        cp.shards[0].done = 123;
-        cp.shards[0].hung = 0;
-        cp.shards[0].quarantine.clear();
-        let mut body = cp.to_json().set("version", 1u64);
+        let mut t = sample_tally();
+        t.hung = 0;
+        t.quarantine.clear(); // 123 classified only
+        let mut body = legacy_doc(1, &[(0, 1000, 123, &t)]);
         if let Json::Obj(ref mut fields) = body {
             for (_, shard) in fields.iter_mut().filter(|(k, _)| k == "shards") {
                 if let Json::Arr(ref mut arr) = shard {
@@ -650,9 +873,10 @@ mod tests {
         }
         std::fs::write(&path, body.to_string_compact()).unwrap();
         let back = Checkpoint::load(&path).unwrap();
-        assert_eq!(back.shards[0].hung, 0);
-        assert!(back.shards[0].quarantine.is_empty());
+        assert_eq!(back.tally.hung, 0);
+        assert!(back.tally.quarantine.is_empty());
         assert_eq!(back.completed(), 123);
+        assert_eq!(back.done, vec![0..123]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -668,8 +892,8 @@ mod tests {
         let mut cp = sample();
         cp.save(&path).unwrap();
         assert!(!bak.exists(), "first save has nothing to rotate");
-        cp.shards[1].done = 1;
-        cp.shards[1].outcomes[2] = 1;
+        cp.done = vec![0..126, 500..501];
+        cp.tally.outcomes[2] += 1;
         cp.save(&path).unwrap();
         assert!(bak.exists(), "second save rotates the first generation");
         assert_eq!(Checkpoint::load(&bak).unwrap().completed(), 126);
@@ -689,8 +913,8 @@ mod tests {
 
         let mut cp = sample();
         cp.save(&path).unwrap();
-        cp.shards[1].done = 1;
-        cp.shards[1].outcomes[0] = 1;
+        cp.done = vec![0..126, 500..501];
+        cp.tally.outcomes[0] += 1;
         cp.save(&path).unwrap(); // first generation now in .bak
 
         // Truncate the primary: resilient load recovers the backup.

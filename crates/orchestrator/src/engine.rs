@@ -1,26 +1,41 @@
-//! The sharded campaign engine.
+//! The work-stealing campaign engine.
 //!
-//! A campaign of `n` injections is split into `shards` contiguous index
-//! slices, one worker thread per shard. Every injection draws all of its
-//! randomness from a private stream keyed by `(seed, injection index)`
-//! (see `argus_faults::run_injection`), so the merged tallies are
-//! bit-identical to the serial engine for any shard count.
+//! A campaign of `n` injections is a single shared pool of indices.
+//! Workers *lease* chunks of contiguous indices from a scheduler instead
+//! of owning fixed slices: each worker prefers work inside its "home"
+//! region (the static slice [`shard_ranges`] would have given it, for
+//! locality of the warm per-worker fork workspace) and steals from the
+//! front of the remaining pool once its home is drained. Lease size decays
+//! toward 1 as the pool empties, so the tail of the campaign never leaves
+//! a worker idle behind one long-running slice.
+//!
+//! Determinism under this dynamic schedule rests on two facts:
+//!
+//! * every injection draws all of its randomness from a private stream
+//!   keyed by `(seed, injection index)` (see `argus_faults::run_injection`)
+//!   — results depend only on *which* indices run, never on where or when;
+//! * every accumulator in the global [`CampaignTally`] is commutative
+//!   (counts, BTreeMap counters, histogram merges, an index-sorted
+//!   quarantine ledger), so the merged tallies — and the JSON report built
+//!   from them — are bit-identical for any worker count, chunk size, or
+//!   interleaving, including runs stitched together through a checkpoint.
 //!
 //! The engine supports:
 //!
-//! * **checkpoint/resume** — per-shard progress and tallies are flushed to a
-//!   JSON state file periodically and on exit; a later run with `resume`
-//!   picks up exactly where the file left off;
+//! * **checkpoint/resume** — the completed-index set (coalesced ranges)
+//!   and the global tally are flushed to a JSON state file periodically
+//!   and on exit; a later run with `resume` leases out exactly the
+//!   complement, under *any* worker count;
 //! * **graceful cancellation** — a shared stop flag (wired to Ctrl-C by the
 //!   CLI) makes every worker break after its current injection, and a final
 //!   checkpoint is flushed before returning;
 //! * **live observability** — workers publish to a shared [`Progress`]
-//!   (atomics only on the hot path) that any thread can snapshot;
+//!   (atomics only on the hot path) including scheduler utilization
+//!   (leases, steals, busy time) that any thread can snapshot;
 //! * **golden-run forking** — when `CampaignConfig::snapshot_every` is
-//!   set, `prepare_campaign` checkpoints the golden run and every worker
-//!   forks injections from the read-only snapshot store the prepared
-//!   campaign shares (one `Arc<SnapshotStore>` behind `&prep`), instead
-//!   of cold-booting each one. Tallies are bit-identical either way;
+//!   set, each worker forks injections from the shared read-only snapshot
+//!   store into its private reusable workspace (delta restore: only pages
+//!   dirtied since the last fork are rewritten), instead of cold-booting;
 //! * **supervision** — each injection runs inside a panic quarantine and
 //!   under a watchdog (see `argus_sim::supervise`), so one buggy or
 //!   livelocked injection costs one ledger entry, not the campaign.
@@ -28,18 +43,19 @@
 //!   around torn or corrupted artifacts instead of crashing. `strict`
 //!   turns all of this off for debugging.
 
-use crate::checkpoint::{Checkpoint, CheckpointError, Fingerprint, ShardCheckpoint};
+use crate::checkpoint::{CampaignTally, Checkpoint, CheckpointError, Fingerprint};
 use crate::json::Json;
 use crate::progress::Progress;
 use argus_faults::campaign::{
-    prepare_campaign, run_injection_guarded, run_injection_supervised, CampaignConfig,
-    InjectionResult, QuarantineRecord, SupervisedOutcome,
+    prepare_campaign, run_injection_guarded_in, run_injection_supervised_in, CampaignConfig,
+    CampaignWorkspace, InjectionResult, QuarantineRecord, SupervisedOutcome,
 };
 use argus_faults::Outcome;
 use argus_sim::fault::FaultKind;
 use argus_sim::stats::{CounterSet, Histogram};
 use argus_sim::supervise::{panic_message, Anomaly};
 use argus_workloads::Workload;
+use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -48,8 +64,12 @@ use std::time::{Duration, Instant};
 /// Orchestration knobs on top of a [`CampaignConfig`].
 #[derive(Debug, Clone)]
 pub struct OrchestratorConfig {
-    /// Worker thread / slice count (≥ 1).
+    /// Worker thread count (≥ 1).
     pub shards: usize,
+    /// Maximum injections per scheduler lease (≥ 1). Larger chunks
+    /// amortize scheduler locking; the scheduler shrinks leases toward 1
+    /// at the tail regardless, so this only caps the *early* lease size.
+    pub chunk: usize,
     /// Where to write checkpoints; `None` disables checkpointing.
     pub checkpoint_path: Option<PathBuf>,
     /// Minimum time between periodic checkpoint flushes.
@@ -75,6 +95,7 @@ impl Default for OrchestratorConfig {
     fn default() -> Self {
         Self {
             shards: 1,
+            chunk: 32,
             checkpoint_path: None,
             checkpoint_interval: Duration::from_secs(5),
             resume: false,
@@ -86,9 +107,9 @@ impl Default for OrchestratorConfig {
     }
 }
 
-/// Aggregated results of a sharded campaign. Unlike the serial
-/// `CampaignReport` this holds only merged tallies, not per-injection
-/// records — that is what makes checkpoints small and merging cheap.
+/// Aggregated results of a campaign. Unlike the serial `CampaignReport`
+/// this holds only merged tallies, not per-injection records — that is
+/// what makes checkpoints small and merging cheap.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
     /// Per-outcome counts over completed injections, indexed like
@@ -113,8 +134,21 @@ pub struct ShardedReport {
     pub golden_cycles: u64,
     /// Wall-clock time of this run (setup + injection loop).
     pub elapsed: Duration,
-    /// Shard count used.
+    /// Worker thread count used.
     pub shards: usize,
+    /// Maximum scheduler lease size used.
+    pub chunk: usize,
+    /// Chunks leased out by the scheduler this run.
+    pub leases: u64,
+    /// Leases taken outside the leasing worker's home region (its static
+    /// `shard_ranges` slice) — work-stealing events.
+    pub steals: u64,
+    /// Total time workers spent inside injections this run (summed across
+    /// workers; compare against `elapsed * shards` for utilization).
+    pub busy: Duration,
+    /// Spread between the first and the last worker to run out of work —
+    /// the wall-clock cost of load imbalance at the tail.
+    pub tail_imbalance: Duration,
     /// True when the stop flag cut the campaign short.
     pub interrupted: bool,
     /// Snapshot interval the campaign ran with (`None`: cold-boot path).
@@ -128,8 +162,8 @@ pub struct ShardedReport {
     /// Injections the watchdog declared hung (counted in `completed`,
     /// absent from `outcomes`).
     pub hung: u64,
-    /// Quarantined (panicked) injections, merged across shards and sorted
-    /// by injection index. `quarantine.len()` is the quarantined count.
+    /// Quarantined (panicked) injections, sorted by injection index.
+    /// `quarantine.len()` is the quarantined count.
     pub quarantine: Vec<QuarantineRecord>,
     /// True when checkpoint flushing needed retries or failed — tallies
     /// are still exact, but the on-disk checkpoint may lag.
@@ -183,7 +217,24 @@ impl ShardedReport {
         }
     }
 
+    /// Worker utilization: busy time over total worker-time, in percent.
+    pub fn busy_pct(&self) -> f64 {
+        let denom = self.elapsed.as_secs_f64() * self.shards as f64;
+        if denom > 1e-9 {
+            100.0 * self.busy.as_secs_f64() / denom
+        } else {
+            0.0
+        }
+    }
+
     /// The final structured report rendered by `argus campaign --json`.
+    ///
+    /// The top-level keys are the *deterministic* payload: byte-identical
+    /// for any worker count, chunk size, fork strategy, or clean-vs-resumed
+    /// run of the same campaign. Everything run-shaped (wall clock,
+    /// scheduler utilization, recovery metadata) lives under the single
+    /// volatile `"run"` key, so consumers can diff reports by dropping one
+    /// field.
     pub fn to_json(&self) -> Json {
         let mut outcomes = Json::obj();
         let mut fractions = Json::obj();
@@ -191,6 +242,24 @@ impl ShardedReport {
             outcomes = outcomes.set(o.label(), self.count(o));
             fractions = fractions.set(o.label(), self.fraction(o));
         }
+        let run = Json::obj()
+            .set("elapsed_seconds", self.elapsed.as_secs_f64())
+            .set("injections_per_second", self.rate())
+            .set("completed_this_run", self.completed_this_run)
+            .set("workers", self.shards)
+            .set("chunk", self.chunk)
+            .set("leases", self.leases)
+            .set("steals", self.steals)
+            .set("busy_pct", self.busy_pct())
+            .set("tail_imbalance_seconds", self.tail_imbalance.as_secs_f64())
+            .set("degraded", self.degraded)
+            .set("flush_failures", self.flush_failures)
+            .set("snapshot_fallbacks", self.snapshot_fallbacks)
+            .set(
+                "recovery_warnings",
+                Json::Arr(self.recovery_warnings.iter().map(|w| w.as_str().into()).collect()),
+            )
+            .set("used_backup_checkpoint", self.used_backup_checkpoint);
         Json::obj()
             .set(
                 "kind",
@@ -201,11 +270,7 @@ impl ShardedReport {
             )
             .set("total", self.total)
             .set("completed", self.completed)
-            .set("completed_this_run", self.completed_this_run)
             .set("interrupted", self.interrupted)
-            .set("shards", self.shards)
-            .set("elapsed_seconds", self.elapsed.as_secs_f64())
-            .set("injections_per_second", self.rate())
             .set("golden_cycles", self.golden_cycles)
             .set("outcomes", outcomes)
             .set("fractions", fractions)
@@ -240,21 +305,13 @@ impl ShardedReport {
                         .collect(),
                 ),
             )
-            .set("degraded", self.degraded)
-            .set("flush_failures", self.flush_failures)
-            .set("snapshot_fallbacks", self.snapshot_fallbacks)
-            .set(
-                "recovery_warnings",
-                Json::Arr(self.recovery_warnings.iter().map(|w| w.as_str().into()).collect()),
-            )
-            .set("used_backup_checkpoint", self.used_backup_checkpoint)
+            .set("run", run)
     }
 }
 
-/// Errors surfaced by the sharded engine. With supervision on (the
-/// default), injection panics become quarantine records instead of
-/// propagating; in strict mode they propagate as panics, like the serial
-/// engine's.
+/// Errors surfaced by the engine. With supervision on (the default),
+/// injection panics become quarantine records instead of propagating; in
+/// strict mode they propagate as panics, like the serial engine's.
 #[derive(Debug)]
 pub enum OrchestratorError {
     /// Checkpoint loading/validation/saving failed.
@@ -285,8 +342,10 @@ impl From<CheckpointError> for OrchestratorError {
 }
 
 /// Splits `0..n` into `shards` contiguous slices whose lengths differ by at
-/// most one (the first `n % shards` slices are one longer).
-pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+/// most one (the first `n % shards` slices are one longer). The scheduler
+/// uses these as advisory *home regions* for locality and steal
+/// accounting; correctness never depends on them.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
     assert!(shards > 0, "need at least one shard");
     let base = n / shards;
     let extra = n % shards;
@@ -300,41 +359,135 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
-/// Per-shard mutable tallies; locked briefly after each injection so the
-/// checkpointer can snapshot a consistent (done, tallies) pair.
-struct ShardState {
-    cp: ShardCheckpoint,
+/// One chunk of injection indices handed to a worker.
+struct Lease {
+    range: Range<usize>,
+    /// True when the chunk lies outside the worker's home region.
+    stolen: bool,
 }
 
-impl ShardState {
-    fn apply(&mut self, r: &InjectionResult) {
-        self.cp.done += 1;
-        self.cp.outcomes[r.outcome.index()] += 1;
-        if r.exercised {
-            self.cp.exercised += 1;
-        }
-        if let Some(k) = r.detector {
-            self.cp.attribution.bump(&k.to_string());
-        }
-        if let Some(l) = r.detect_latency {
-            self.cp.latency.record(l);
-        }
+/// The work-stealing chunk scheduler: unleased indices as sorted disjoint
+/// ranges. Workers lease from their home region while it lasts, then steal
+/// from the front of whatever remains. Lease size is
+/// `clamp(remaining / (workers * 2), 1, chunk_max)` — large while the pool
+/// is deep (amortizing the lock), decaying to single injections at the
+/// tail so no worker idles behind one long lease.
+struct Scheduler {
+    /// Unleased work, ascending and disjoint.
+    remaining: Vec<Range<usize>>,
+    remaining_len: usize,
+    workers: usize,
+    chunk_max: usize,
+    leases: u64,
+    steals: u64,
+}
+
+impl Scheduler {
+    fn new(remaining: Vec<Range<usize>>, workers: usize, chunk_max: usize) -> Self {
+        let remaining_len = remaining.iter().map(Range::len).sum();
+        Self { remaining, remaining_len, workers, chunk_max, leases: 0, steals: 0 }
     }
 
-    fn apply_hung(&mut self) {
-        self.cp.done += 1;
-        self.cp.hung += 1;
+    fn lease(&mut self, home: &Range<usize>) -> Option<Lease> {
+        if self.remaining_len == 0 {
+            return None;
+        }
+        let chunk = (self.remaining_len / (self.workers * 2)).clamp(1, self.chunk_max);
+        // Prefer work overlapping the home region; otherwise steal the
+        // lowest remaining indices.
+        let pick = self.remaining.iter().position(|r| r.start < home.end && home.start < r.end);
+        let (i, stolen) = match pick {
+            Some(i) => (i, false),
+            None => (0, true),
+        };
+        let r = self.remaining[i].clone();
+        let s = if stolen { r.start } else { r.start.max(home.start) };
+        let e = (s + chunk).min(r.end);
+        // Carve s..e out of the range, leaving up to two remnants.
+        let mut remnants = Vec::with_capacity(2);
+        if r.start < s {
+            remnants.push(r.start..s);
+        }
+        if e < r.end {
+            remnants.push(e..r.end);
+        }
+        self.remaining.splice(i..i + 1, remnants);
+        self.remaining_len -= e - s;
+        self.leases += 1;
+        self.steals += u64::from(stolen);
+        Some(Lease { range: s..e, stolen })
+    }
+}
+
+/// Folds `index` into a sorted, disjoint, coalesced range set.
+fn mark_done(done: &mut Vec<Range<usize>>, index: usize) {
+    let i = done.partition_point(|r| r.end < index);
+    if i < done.len() {
+        if done[i].start <= index && index < done[i].end {
+            return; // already recorded (never happens: indices lease once)
+        }
+        if done[i].end == index {
+            done[i].end = index + 1;
+            if i + 1 < done.len() && done[i + 1].start == index + 1 {
+                done[i].end = done[i + 1].end;
+                done.remove(i + 1);
+            }
+            return;
+        }
+        if index + 1 == done[i].start {
+            done[i].start = index;
+            return;
+        }
+    }
+    done.insert(i, index..index + 1);
+}
+
+/// The unleased complement of a done-range set within `0..n`.
+fn complement(done: &[Range<usize>], n: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    for r in done {
+        if at < r.start {
+            out.push(at..r.start);
+        }
+        at = r.end.max(at);
+    }
+    if at < n {
+        out.push(at..n);
+    }
+    out
+}
+
+/// All campaign-global mutable state behind one lock: the scheduler, the
+/// completed-index set, and the tallies. Workers take the lock twice per
+/// injection (lease amortized over its chunk, then one tally apply) —
+/// injections cost milliseconds, so contention is negligible.
+struct CampaignState {
+    sched: Scheduler,
+    done: Vec<Range<usize>>,
+    tally: CampaignTally,
+}
+
+impl CampaignState {
+    fn apply(&mut self, index: usize, r: &InjectionResult) {
+        mark_done(&mut self.done, index);
+        self.tally.apply(r);
     }
 
-    fn apply_quarantined(&mut self, q: QuarantineRecord) {
-        self.cp.done += 1;
-        self.cp.quarantine.push(q);
+    fn apply_hung(&mut self, index: usize) {
+        mark_done(&mut self.done, index);
+        self.tally.apply_hung();
+    }
+
+    fn apply_quarantined(&mut self, index: usize, q: QuarantineRecord) {
+        mark_done(&mut self.done, index);
+        self.tally.apply_quarantined(q);
     }
 }
 
 /// Poison-tolerant lock: a worker that panicked (strict mode) must not
 /// wedge the checkpoint coordinator out of saving everyone else's work.
-fn lock_state(m: &Mutex<ShardState>) -> std::sync::MutexGuard<'_, ShardState> {
+fn lock_state(m: &Mutex<CampaignState>) -> std::sync::MutexGuard<'_, CampaignState> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -349,17 +502,17 @@ impl Drop for LiveGuard<'_> {
     }
 }
 
-/// Runs a sharded, checkpointable, cancellable campaign.
+/// Runs a work-stealing, checkpointable, cancellable campaign.
 ///
-/// `stop` is polled between injections on every shard; once set, workers
+/// `stop` is polled between injections on every worker; once set, workers
 /// drain and a final checkpoint is written. `progress` must have been
-/// created with the same shard count.
+/// created with the same worker count.
 ///
 /// # Panics
 ///
 /// Panics if the workload fails to compile, the golden run does not halt
 /// (same contract as the serial engine), or `progress` disagrees on the
-/// shard count.
+/// worker count.
 pub fn run_sharded(
     w: &Workload,
     cfg: &CampaignConfig,
@@ -370,6 +523,9 @@ pub fn run_sharded(
     if ocfg.shards == 0 {
         return Err(OrchestratorError::Config("shards must be >= 1".into()));
     }
+    if ocfg.chunk == 0 {
+        return Err(OrchestratorError::Config("chunk must be >= 1".into()));
+    }
     assert_eq!(progress.shards(), ocfg.shards, "progress was created for a different shard count");
     let started = Instant::now();
 
@@ -379,13 +535,12 @@ pub fn run_sharded(
         seed: cfg.seed,
         kind: cfg.kind,
         structural_mask: cfg.structural_mask,
-        shards: ocfg.shards,
     };
 
-    // Fresh shard slices, or the ones saved by an earlier interrupted run.
-    let ranges = shard_ranges(cfg.injections, ocfg.shards);
-    let mut initial: Vec<ShardCheckpoint> =
-        ranges.iter().map(|r| ShardCheckpoint::empty(r.start, r.end)).collect();
+    // Fresh pool, or the progress saved by an earlier interrupted run —
+    // the checkpoint is worker-count independent, so a file written under
+    // any --shards value resumes here.
+    let mut initial = Checkpoint::empty(fingerprint.clone());
     let mut recovery_warnings: Vec<String> = Vec::new();
     let mut used_backup_checkpoint = false;
     if ocfg.resume {
@@ -405,133 +560,143 @@ pub fn run_sharded(
             };
             if let Some(saved) = saved {
                 saved.check_matches(&fingerprint)?;
-                for (s, r) in saved.shards.iter().zip(ranges.iter()) {
-                    if s.start != r.start || s.end != r.end {
-                        return Err(CheckpointError::Mismatch(format!(
-                            "saved shard slice {}..{} disagrees with computed {}..{}",
-                            s.start, s.end, r.start, r.end
-                        ))
-                        .into());
-                    }
-                }
-                initial = saved.shards;
+                initial = saved;
             }
             // rec.checkpoint == None: both generations were unusable; the
-            // warnings say so and the whole slice restarts from scratch.
+            // warnings say so and the affected work restarts from scratch.
         }
     }
 
-    let resumed: usize = initial.iter().map(|s| s.done).sum();
-    let mut resumed_outcomes = [0u64; 4];
-    let mut resumed_anomalies = [0u64; 2];
-    for s in &initial {
-        for (acc, &c) in resumed_outcomes.iter_mut().zip(s.outcomes.iter()) {
-            *acc += c;
-        }
-        resumed_anomalies[0] += s.quarantine.len() as u64;
-        resumed_anomalies[1] += s.hung;
-    }
-    let per_shard_done: Vec<u64> = initial.iter().map(|s| s.done as u64).collect();
+    let resumed = initial.completed();
+    let resumed_anomalies = [initial.tally.quarantine.len() as u64, initial.tally.hung];
     progress.begin(
         cfg.injections as u64,
         resumed as u64,
-        resumed_outcomes,
+        initial.tally.outcomes,
         resumed_anomalies,
-        &per_shard_done,
+        &vec![0; ocfg.shards],
     );
-    let resumed_quarantined = resumed_anomalies[0] as usize;
+    let resumed_quarantined = initial.tally.quarantine.len();
 
     let prep = prepare_campaign(w, cfg);
-    let states: Vec<Mutex<ShardState>> =
-        initial.into_iter().map(|cp| Mutex::new(ShardState { cp })).collect();
+    let homes = shard_ranges(cfg.injections, ocfg.shards);
+    let pool = complement(&initial.done, cfg.injections);
+    let state = Mutex::new(CampaignState {
+        sched: Scheduler::new(pool, ocfg.shards, ocfg.chunk),
+        done: initial.done,
+        tally: initial.tally,
+    });
     let live_workers = AtomicUsize::new(ocfg.shards);
     let quarantined_total = AtomicUsize::new(resumed_quarantined);
     let quarantine_abort = AtomicBool::new(false);
     let flush_failures = AtomicU64::new(0);
     let flush_degraded = AtomicBool::new(false);
+    // Per-worker (busy time, out-of-work instant) for utilization stats.
+    let worker_stats: Mutex<Vec<Option<(Duration, Duration)>>> =
+        Mutex::new(vec![None; ocfg.shards]);
     // First panic payload seen by a strict-mode worker: re-raised from the
     // caller's thread after the final checkpoint flush, so the original
     // message survives `thread::scope`'s generic join panic and the
     // progress made so far is still persisted.
     let strict_panic: Mutex<Option<String>> = Mutex::new(None);
 
-    let snapshot_all = |states: &[Mutex<ShardState>]| -> Checkpoint {
+    let snapshot_all = |state: &Mutex<CampaignState>| -> Checkpoint {
+        let g = lock_state(state);
         Checkpoint {
             fingerprint: fingerprint.clone(),
-            shards: states.iter().map(|m| lock_state(m).cp.clone()).collect(),
+            done: g.done.clone(),
+            tally: g.tally.clone(),
         }
     };
 
     std::thread::scope(|scope| {
-        for (k, state) in states.iter().enumerate() {
-            let range = ranges[k].clone();
+        for (k, home) in homes.iter().enumerate() {
+            let state = &state;
             let prep = &prep;
             let live_workers = &live_workers;
             let quarantined_total = &quarantined_total;
             let quarantine_abort = &quarantine_abort;
             let strict_panic = &strict_panic;
+            let worker_stats = &worker_stats;
             scope.spawn(move || {
                 let _live = LiveGuard(live_workers);
-                let first = range.start + lock_state(state).cp.done;
-                for index in first..range.end {
+                // One reusable fork target per worker: consecutive leases
+                // delta-restore into the same warm Machine/Argus pair.
+                let mut ws = CampaignWorkspace::new();
+                let mut busy = Duration::ZERO;
+                'work: loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    // Strict mode runs without the panic net: a panicking
-                    // (or hung) injection aborts the whole campaign. The
-                    // payload is captured so it can be re-raised from the
-                    // caller's thread with its message intact —
-                    // `thread::scope` would replace it with a generic
-                    // "a scoped thread panicked".
-                    let sup = if ocfg.strict {
-                        let guarded =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run_injection_guarded(prep, cfg, index)
-                            }));
-                        match guarded {
-                            Ok(SupervisedOutcome::Hung { index, cause }) => {
-                                strict_panic
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .get_or_insert_with(|| {
-                                        format!("injection {index} hung ({})", cause.label())
-                                    });
-                                stop.store(true, Ordering::Release);
-                                break;
+                    let lease = lock_state(state).sched.lease(home);
+                    let Some(lease) = lease else { break };
+                    progress.record_lease(lease.stolen);
+                    for index in lease.range.clone() {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'work;
+                        }
+                        let t0 = Instant::now();
+                        // Strict mode runs without the panic net: a
+                        // panicking (or hung) injection aborts the whole
+                        // campaign. The payload is captured so it can be
+                        // re-raised from the caller's thread with its
+                        // message intact — `thread::scope` would replace it
+                        // with a generic "a scoped thread panicked".
+                        let sup = if ocfg.strict {
+                            let guarded =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_injection_guarded_in(prep, cfg, index, &mut ws)
+                                }));
+                            match guarded {
+                                Ok(SupervisedOutcome::Hung { index, cause }) => {
+                                    strict_panic
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .get_or_insert_with(|| {
+                                            format!("injection {index} hung ({})", cause.label())
+                                        });
+                                    stop.store(true, Ordering::Release);
+                                    break 'work;
+                                }
+                                Ok(other) => other,
+                                Err(payload) => {
+                                    strict_panic
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .get_or_insert_with(|| panic_message(payload.as_ref()));
+                                    stop.store(true, Ordering::Release);
+                                    break 'work;
+                                }
                             }
-                            Ok(other) => other,
-                            Err(payload) => {
-                                strict_panic
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .get_or_insert_with(|| panic_message(payload.as_ref()));
-                                stop.store(true, Ordering::Release);
-                                break;
+                        } else {
+                            run_injection_supervised_in(prep, cfg, index, &mut ws)
+                        };
+                        let spent = t0.elapsed();
+                        busy += spent;
+                        progress.add_busy(spent);
+                        match sup {
+                            SupervisedOutcome::Classified(r) => {
+                                lock_state(state).apply(index, &r);
+                                progress.record(k, r.outcome);
                             }
-                        }
-                    } else {
-                        run_injection_supervised(prep, cfg, index)
-                    };
-                    match sup {
-                        SupervisedOutcome::Classified(r) => {
-                            lock_state(state).apply(&r);
-                            progress.record(k, r.outcome);
-                        }
-                        SupervisedOutcome::Hung { .. } => {
-                            lock_state(state).apply_hung();
-                            progress.record_anomaly(k, Anomaly::Hung);
-                        }
-                        SupervisedOutcome::Quarantined(q) => {
-                            lock_state(state).apply_quarantined(q);
-                            progress.record_anomaly(k, Anomaly::Quarantined);
-                            let seen = quarantined_total.fetch_add(1, Ordering::AcqRel) + 1;
-                            if seen > ocfg.quarantine_limit {
-                                quarantine_abort.store(true, Ordering::Release);
-                                stop.store(true, Ordering::Release);
+                            SupervisedOutcome::Hung { .. } => {
+                                lock_state(state).apply_hung(index);
+                                progress.record_anomaly(k, Anomaly::Hung);
+                            }
+                            SupervisedOutcome::Quarantined(q) => {
+                                lock_state(state).apply_quarantined(index, q);
+                                progress.record_anomaly(k, Anomaly::Quarantined);
+                                let seen = quarantined_total.fetch_add(1, Ordering::AcqRel) + 1;
+                                if seen > ocfg.quarantine_limit {
+                                    quarantine_abort.store(true, Ordering::Release);
+                                    stop.store(true, Ordering::Release);
+                                }
                             }
                         }
                     }
                 }
+                worker_stats.lock().unwrap_or_else(|e| e.into_inner())[k] =
+                    Some((busy, started.elapsed()));
                 progress.shard_finished(k);
             });
         }
@@ -546,7 +711,7 @@ pub fn run_sharded(
                     // A failing periodic flush is not fatal mid-run — it
                     // retries with backoff, flags degraded mode, and the
                     // final flush below surfaces persistent I/O problems.
-                    match snapshot_all(&states).save_with_retry(
+                    match snapshot_all(&state).save_with_retry(
                         path,
                         ocfg.flush_retries,
                         ocfg.flush_backoff,
@@ -571,7 +736,7 @@ pub fn run_sharded(
     });
 
     let interrupted = stop.load(Ordering::Relaxed);
-    let final_cp = snapshot_all(&states);
+    let final_cp = snapshot_all(&state);
     if let Some(path) = ocfg.checkpoint_path.as_deref() {
         match final_cp.save_with_retry(path, ocfg.flush_retries, ocfg.flush_backoff) {
             Ok(0) => {}
@@ -600,34 +765,31 @@ pub fn run_sharded(
         )));
     }
 
-    // Deterministic merge: shard order is fixed and every accumulator is
-    // commutative/associative, so the result is independent of timing.
-    let mut outcomes = [0u64; 4];
-    let mut attribution = CounterSet::new();
-    let mut latency = Histogram::new();
-    let mut exercised = 0u64;
-    let mut hung = 0u64;
-    let mut quarantine: Vec<QuarantineRecord> = Vec::new();
-    for s in &final_cp.shards {
-        for (acc, &c) in outcomes.iter_mut().zip(s.outcomes.iter()) {
-            *acc += c;
-        }
-        attribution.merge(&s.attribution);
-        latency.merge(&s.latency);
-        exercised += s.exercised;
-        hung += s.hung;
-        quarantine.extend(s.quarantine.iter().cloned());
-    }
-    quarantine.sort_by_key(|q| q.index);
+    // The global tally IS the merged result: every accumulator is
+    // commutative over the completed-index set, so no per-worker merge
+    // step exists to get wrong.
     let completed = final_cp.completed();
+    let tally = final_cp.tally;
+
+    let stats = worker_stats.into_inner().unwrap_or_else(|e| e.into_inner());
+    let busy = stats.iter().flatten().map(|&(b, _)| b).sum();
+    let finishes: Vec<Duration> = stats.iter().flatten().map(|&(_, f)| f).collect();
+    let tail_imbalance = match (finishes.iter().min(), finishes.iter().max()) {
+        (Some(&lo), Some(&hi)) => hi - lo,
+        _ => Duration::ZERO,
+    };
+    let (leases, steals) = {
+        let g = lock_state(&state);
+        (g.sched.leases, g.sched.steals)
+    };
 
     recovery_warnings.extend(prep.take_snapshot_warnings());
 
     Ok(ShardedReport {
-        outcomes,
-        attribution,
-        latency,
-        exercised,
+        outcomes: tally.outcomes,
+        attribution: tally.attribution,
+        latency: tally.latency,
+        exercised: tally.exercised,
         completed,
         completed_this_run: completed - resumed,
         total: cfg.injections,
@@ -635,11 +797,16 @@ pub fn run_sharded(
         golden_cycles: prep.golden_cycles(),
         elapsed: started.elapsed(),
         shards: ocfg.shards,
+        chunk: ocfg.chunk,
+        leases,
+        steals,
+        busy,
+        tail_imbalance,
         interrupted,
         snapshot_every: cfg.snapshot_every,
         snapshots: prep.snapshot_store().map_or(0, |s| s.len()),
-        hung,
-        quarantine,
+        hung: tally.hung,
+        quarantine: tally.quarantine,
         degraded: flush_degraded.load(Ordering::Relaxed),
         flush_failures: flush_failures.load(Ordering::Relaxed),
         snapshot_fallbacks: prep.snapshot_fallbacks(),
@@ -649,6 +816,9 @@ pub fn run_sharded(
 }
 
 #[cfg(test)]
+// Done-sets really are `Vec<Range<usize>>`; single-range literals are the
+// point of these fixtures, not a mistyped `collect()`.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 
@@ -688,5 +858,103 @@ mod tests {
             run_sharded(&w, &cfg, &ocfg, &stop, &progress),
             Err(OrchestratorError::Config(_))
         ));
+    }
+
+    #[test]
+    fn zero_chunk_config_is_an_error() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig { injections: 1, ..Default::default() };
+        let ocfg = OrchestratorConfig { shards: 1, chunk: 0, ..Default::default() };
+        let progress = Progress::new(1);
+        let stop = AtomicBool::new(false);
+        assert!(matches!(
+            run_sharded(&w, &cfg, &ocfg, &stop, &progress),
+            Err(OrchestratorError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn mark_done_coalesces_every_shape() {
+        let mut done = Vec::new();
+        for i in [5usize, 7, 6, 0, 9, 8, 1] {
+            mark_done(&mut done, i);
+        }
+        assert_eq!(done, vec![0..2, 5..10]);
+        mark_done(&mut done, 4);
+        assert_eq!(done, vec![0..2, 4..10]);
+        mark_done(&mut done, 3);
+        mark_done(&mut done, 2);
+        assert_eq!(done, vec![0..10]);
+    }
+
+    #[test]
+    fn complement_inverts_done_ranges() {
+        assert_eq!(complement(&[], 5), vec![0..5]);
+        assert_eq!(complement(&[0..5], 5), Vec::<Range<usize>>::new());
+        assert_eq!(complement(&[1..2, 4..5], 7), vec![0..1, 2..4, 5..7]);
+        assert_eq!(complement(&[0..3], 3), Vec::<Range<usize>>::new());
+    }
+
+    #[test]
+    fn scheduler_leases_cover_the_pool_exactly_once() {
+        // Whatever the stealing pattern, the union of leases must be a
+        // partition of the pool.
+        let n = 103;
+        let workers = 4;
+        let homes = shard_ranges(n, workers);
+        let mut sched = Scheduler::new(vec![0..n], workers, 8);
+        let mut seen = vec![false; n];
+        let mut turn = 0;
+        loop {
+            // Round-robin the workers so everyone leases from everywhere.
+            let home = &homes[turn % workers];
+            turn += 1;
+            let Some(lease) = sched.lease(home) else { break };
+            assert!(lease.range.len() <= 8, "chunk cap respected");
+            for i in lease.range {
+                assert!(!seen[i], "index {i} leased twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index leased");
+        assert!(sched.leases > 0);
+        assert_eq!(sched.remaining_len, 0);
+    }
+
+    #[test]
+    fn scheduler_shrinks_leases_at_the_tail() {
+        let workers = 2;
+        let homes = shard_ranges(20, workers);
+        let mut sched = Scheduler::new(vec![0..20], workers, 64);
+        // 20 remaining / (2 workers * 2) = 5 → first lease is 5 wide.
+        let first = sched.lease(&homes[0]).unwrap();
+        assert_eq!(first.range.len(), 5);
+        // Drain to a tiny tail: leases decay to single injections.
+        while sched.remaining_len > 3 {
+            sched.lease(&homes[0]).unwrap();
+        }
+        let tail = sched.lease(&homes[1]).unwrap();
+        assert_eq!(tail.range.len(), 1, "tail leases shrink to 1");
+    }
+
+    #[test]
+    fn scheduler_counts_steals_only_outside_home() {
+        let workers = 2;
+        let homes = shard_ranges(10, workers);
+        let mut sched = Scheduler::new(vec![0..10], workers, 100);
+        // Worker 1 drains its own home first: no steals.
+        let l = sched.lease(&homes[1]).unwrap();
+        assert!(!l.stolen, "home-region lease is not a steal");
+        assert!(l.range.start >= homes[1].start);
+        // Keep leasing as worker 1 until its home is gone, then the next
+        // lease comes from worker 0's territory and counts as a steal.
+        loop {
+            let l = sched.lease(&homes[1]).unwrap();
+            if l.stolen {
+                assert!(l.range.end <= homes[1].start, "stolen work lies outside home");
+                break;
+            }
+        }
+        assert_eq!(sched.steals, 1);
     }
 }

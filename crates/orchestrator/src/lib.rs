@@ -6,11 +6,13 @@
 //!
 //! * **Determinism under parallelism** — every injection's randomness is a
 //!   private `SplitMix64` stream keyed by `(campaign seed, injection
-//!   index)`, and shards own contiguous index slices, so merged tallies are
-//!   bit-identical to the serial run for *any* shard count.
-//! * **Checkpoint/resume** — per-shard progress and tallies are flushed to
-//!   a hand-rolled JSON state file periodically and on exit; an interrupted
-//!   campaign resumes exactly where it stopped.
+//!   index)`, and every tally accumulator is commutative, so the merged
+//!   report is bit-identical to the serial run for *any* worker count,
+//!   chunk size, or work-stealing schedule.
+//! * **Checkpoint/resume** — the completed-index set (coalesced ranges) and
+//!   the global tally are flushed to a hand-rolled JSON state file
+//!   periodically and on exit; an interrupted campaign resumes exactly
+//!   where it stopped, under any worker count.
 //! * **Live observability** — workers publish per-injection updates through
 //!   atomics; any thread can snapshot injections/sec, per-outcome running
 //!   counts, per-shard liveness, and elapsed time while the campaign runs.
@@ -41,7 +43,7 @@ pub mod json;
 pub mod progress;
 
 pub use checkpoint::{
-    backup_path, Checkpoint, CheckpointError, Fingerprint, Recovery, ShardCheckpoint,
+    backup_path, CampaignTally, Checkpoint, CheckpointError, Fingerprint, Recovery,
 };
 pub use engine::{run_sharded, shard_ranges, OrchestratorConfig, OrchestratorError, ShardedReport};
 pub use json::Json;

@@ -38,6 +38,12 @@ pub struct Progress {
     /// Per-shard heartbeat: millis since `started` of the last completion,
     /// or [`BEAT_DONE`] once the shard's slice is finished.
     shard_beat: Vec<AtomicU64>,
+    /// Scheduler chunks leased out this run.
+    leases: AtomicU64,
+    /// Leases taken outside the leasing worker's home region.
+    steals: AtomicU64,
+    /// Microseconds workers have spent inside injections this run.
+    busy_us: AtomicU64,
     finished: AtomicBool,
 }
 
@@ -62,6 +68,9 @@ impl Progress {
             degraded: AtomicBool::new(false),
             shard_done: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_beat: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            leases: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
             finished: AtomicBool::new(false),
         }
     }
@@ -94,8 +103,25 @@ impl Progress {
         for (slot, &v) in self.shard_done.iter().zip(per_shard.iter()) {
             slot.store(v, Ordering::Relaxed);
         }
+        self.leases.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.busy_us.store(0, Ordering::Relaxed);
         self.degraded.store(false, Ordering::Relaxed);
         self.finished.store(false, Ordering::Relaxed);
+    }
+
+    /// Records one scheduler lease; `stolen` when it came from outside the
+    /// worker's home region.
+    pub fn record_lease(&self, stolen: bool) {
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds time a worker spent inside an injection (utilization numerator).
+    pub fn add_busy(&self, spent: Duration) {
+        self.busy_us.fetch_add(spent.as_micros() as u64, Ordering::Relaxed);
     }
 
     /// Records one completed injection on `shard`.
@@ -163,6 +189,13 @@ impl Progress {
             if elapsed.as_secs_f64() > 1e-9 { fresh as f64 / elapsed.as_secs_f64() } else { 0.0 };
         let now_ms = elapsed.as_millis() as u64;
         let live_cutoff = now_ms.saturating_sub(LIVENESS_WINDOW.as_millis() as u64);
+        let workers = self.shard_done.len().max(1) as f64;
+        let busy = Duration::from_micros(self.busy_us.load(Ordering::Relaxed));
+        let busy_pct = if elapsed.as_secs_f64() > 1e-9 {
+            100.0 * busy.as_secs_f64() / (elapsed.as_secs_f64() * workers)
+        } else {
+            0.0
+        };
         ProgressSnapshot {
             total: self.total.load(Ordering::Relaxed),
             done,
@@ -171,6 +204,9 @@ impl Progress {
             degraded: self.degraded.load(Ordering::Relaxed),
             elapsed,
             rate,
+            leases: self.leases.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            busy_pct,
             shard_done: self.shard_done.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
             shard_live: self
                 .shard_beat
@@ -202,6 +238,13 @@ pub struct ProgressSnapshot {
     /// Injections per second completed by *this* run (resumed work
     /// excluded from the numerator).
     pub rate: f64,
+    /// Scheduler chunks leased out so far.
+    pub leases: u64,
+    /// Leases taken outside the leasing worker's home region.
+    pub steals: u64,
+    /// Worker utilization so far: busy time over `elapsed * workers`, in
+    /// percent.
+    pub busy_pct: f64,
     /// Per-shard completed counts.
     pub shard_done: Vec<u64>,
     /// Per-shard liveness: finished shards and recently-active shards are
@@ -228,6 +271,9 @@ impl std::fmt::Display for ProgressSnapshot {
             self.shard_done.len(),
             quiet,
         )?;
+        if self.leases > 0 {
+            write!(f, " | lease {} steal {} busy {:.0}%", self.leases, self.steals, self.busy_pct)?;
+        }
         if self.anomalies.iter().any(|&a| a > 0) {
             write!(f, " | quar {} hung {}", self.anomalies[0], self.anomalies[1])?;
         }
@@ -293,6 +339,25 @@ mod tests {
         p.set_degraded(true);
         assert!(p.degraded());
         assert!(p.snapshot().to_string().contains("degraded"), "degraded marker renders");
+    }
+
+    #[test]
+    fn scheduler_stats_render_only_once_leased() {
+        let p = Progress::new(2);
+        p.begin(10, 0, [0; 4], [0; 2], &[0, 0]);
+        assert!(!p.snapshot().to_string().contains("lease"), "no lease tail before any lease");
+        p.record_lease(false);
+        p.record_lease(true);
+        p.add_busy(Duration::from_millis(3));
+        let s = p.snapshot();
+        assert_eq!(s.leases, 2);
+        assert_eq!(s.steals, 1);
+        assert!(s.busy_pct > 0.0);
+        let line = s.to_string();
+        assert!(line.contains("lease 2 steal 1"), "{line}");
+        // begin() resets scheduler counters for the next run.
+        p.begin(10, 0, [0; 4], [0; 2], &[0, 0]);
+        assert_eq!(p.snapshot().leases, 0);
     }
 
     #[test]

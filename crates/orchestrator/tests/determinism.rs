@@ -68,13 +68,11 @@ fn sharded_tallies_match_legacy_serial_for_any_shard_count() {
     }
 }
 
-/// The campaign JSON with its wall-clock and run-shape fields removed —
-/// everything left is a deterministic tally.
+/// The campaign JSON with the volatile `"run"` sub-object removed —
+/// everything left is specified to be a deterministic tally.
 fn canonical_json(rep: &ShardedReport) -> String {
     let Json::Obj(fields) = rep.to_json() else { panic!("report JSON is an object") };
-    let volatile = ["elapsed_seconds", "injections_per_second", "shards"];
-    Json::Obj(fields.into_iter().filter(|(k, _)| !volatile.contains(&k.as_str())).collect())
-        .to_string_compact()
+    Json::Obj(fields.into_iter().filter(|(k, _)| k != "run").collect()).to_string_compact()
 }
 
 #[test]
@@ -148,9 +146,11 @@ fn checkpoint_resume_after_stop_matches_uninterrupted_run() {
     let saved = Checkpoint::load(&path).unwrap();
     assert_eq!(saved.completed(), interrupted.completed);
 
-    // Phase 2: resume to completion.
-    let ocfg2 = OrchestratorConfig { resume: true, ..ocfg };
-    let resumed = run_with_shards(shards, ocfg2);
+    // Phase 2: resume to completion — under a *different* worker count,
+    // because the checkpoint deliberately does not record one: a campaign
+    // interrupted on a 3-worker box must resume cleanly on a 5-worker box.
+    let ocfg2 = OrchestratorConfig { resume: true, shards: 5, ..ocfg };
+    let resumed = run_with_shards(5, ocfg2);
     assert!(!resumed.interrupted);
     assert_eq!(resumed.completed, INJECTIONS);
     assert_eq!(
@@ -159,12 +159,14 @@ fn checkpoint_resume_after_stop_matches_uninterrupted_run() {
         "resume must not repeat finished injections"
     );
 
-    // The stitched-together campaign equals one uninterrupted run.
+    // The stitched-together campaign equals one uninterrupted run, down to
+    // the deterministic JSON payload.
     let whole = run_with_shards(shards, OrchestratorConfig { shards, ..Default::default() });
     assert_eq!(resumed.outcomes, whole.outcomes);
     assert_eq!(resumed.attribution, whole.attribution);
     assert_eq!(resumed.latency, whole.latency);
     assert_eq!(resumed.exercised, whole.exercised);
+    assert_eq!(canonical_json(&resumed), canonical_json(&whole));
 
     // Resuming an already-complete campaign is a no-op.
     let ocfg3 = OrchestratorConfig {

@@ -1,24 +1,23 @@
 //! Snapshot-enabled campaigns must be bit-identical to cold-boot ones:
-//! same seed, same injections, same JSON report, for every shard count —
-//! snapshots buy throughput, never different results.
+//! same seed, same injections, same JSON report, for every worker count,
+//! chunk size, and fork strategy — forking and scheduling buy throughput,
+//! never different results.
 
-use argus_faults::campaign::CampaignConfig;
-use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress, ShardedReport};
+use argus_faults::campaign::{CampaignConfig, ForkStrategy};
+use argus_orchestrator::{run_sharded, Json, OrchestratorConfig, Progress, ShardedReport};
 use std::sync::atomic::AtomicBool;
-use std::time::Duration;
 
-fn run(cfg: &CampaignConfig, shards: usize) -> ShardedReport {
-    let ocfg = OrchestratorConfig { shards, ..Default::default() };
+fn run(cfg: &CampaignConfig, ocfg: OrchestratorConfig) -> ShardedReport {
     let stop = AtomicBool::new(false);
-    let progress = Progress::new(shards);
+    let progress = Progress::new(ocfg.shards);
     run_sharded(&argus_workloads::stress(), cfg, &ocfg, &stop, &progress).expect("campaign runs")
 }
 
-/// The comparable form: timing zeroed (elapsed/rate are the only
-/// non-deterministic fields in the JSON report).
-fn canonical_json(mut rep: ShardedReport) -> String {
-    rep.elapsed = Duration::ZERO;
-    rep.to_json().to_string_compact()
+/// The comparable form: the volatile `"run"` sub-object stripped. Every
+/// remaining byte is specified to be schedule- and strategy-independent.
+fn canonical_json(rep: &ShardedReport) -> String {
+    let Json::Obj(fields) = rep.to_json() else { panic!("report JSON is an object") };
+    Json::Obj(fields.into_iter().filter(|(k, _)| k != "run").collect()).to_string_compact()
 }
 
 #[test]
@@ -26,10 +25,11 @@ fn snapshot_campaigns_match_cold_boot_across_shard_counts() {
     let cold_cfg = CampaignConfig { injections: 48, seed: 0xD15C, ..Default::default() };
     let snap_cfg = CampaignConfig { snapshot_every: Some(500), ..cold_cfg.clone() };
 
-    let reference = run(&cold_cfg, 1);
+    let reference = run(&cold_cfg, OrchestratorConfig { shards: 1, ..Default::default() });
     for shards in [1usize, 2, 8] {
-        let cold = run(&cold_cfg, shards);
-        let snap = run(&snap_cfg, shards);
+        let ocfg = OrchestratorConfig { shards, ..Default::default() };
+        let cold = run(&cold_cfg, ocfg.clone());
+        let snap = run(&snap_cfg, ocfg);
         assert!(snap.snapshots > 1, "expected golden-run checkpoints, got {}", snap.snapshots);
         assert_eq!(snap.snapshot_every, Some(500));
         assert_eq!(
@@ -37,9 +37,43 @@ fn snapshot_campaigns_match_cold_boot_across_shard_counts() {
             "cold-boot tallies diverged at {shards} shards"
         );
         assert_eq!(
-            canonical_json(snap),
-            canonical_json(cold),
+            canonical_json(&snap),
+            canonical_json(&cold),
             "snapshot-enabled JSON diverged from cold-boot at {shards} shards"
         );
+    }
+}
+
+#[test]
+fn fork_strategy_chunk_and_worker_count_never_change_the_report() {
+    // Disable the inert shortcut so the delta/full/cold paths all do real
+    // work for every injection, then sweep the perf knobs: every cell of
+    // the (strategy × workers × chunk) grid must render the same
+    // deterministic JSON payload.
+    let base = CampaignConfig {
+        injections: 48,
+        seed: 0xF0CA,
+        snapshot_every: Some(500),
+        shortcut_inert: false,
+        ..Default::default()
+    };
+
+    let reference = canonical_json(&run(
+        &CampaignConfig { fork: ForkStrategy::Delta, ..base.clone() },
+        OrchestratorConfig { shards: 1, ..Default::default() },
+    ));
+    for fork in [ForkStrategy::Delta, ForkStrategy::Full, ForkStrategy::Cold] {
+        for (shards, chunk) in [(1usize, 1usize), (2, 4), (8, 32)] {
+            let rep = run(
+                &CampaignConfig { fork, ..base.clone() },
+                OrchestratorConfig { shards, chunk, ..Default::default() },
+            );
+            assert_eq!(rep.completed, base.injections);
+            assert_eq!(
+                canonical_json(&rep),
+                reference,
+                "JSON diverged: fork={fork:?} shards={shards} chunk={chunk}"
+            );
+        }
     }
 }

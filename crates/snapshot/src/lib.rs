@@ -19,6 +19,11 @@
 //! * [`store::SnapshotStore`] — the finished, read-only store campaign
 //!   shards share behind an `Arc`; `nearest_at_or_before(arm_cycle)`
 //!   seeks the fork point for an injection.
+//! * [`workspace::Workspace`] — a reusable per-worker fork target;
+//!   [`store::Snapshot::restore_into`] rewrites only pages dirtied since
+//!   the workspace's last restore plus pages differing from the target
+//!   snapshot, keeping forks O(touched state) instead of O(machine
+//!   state).
 //! * [`io`] — standalone snapshot files for `argus snapshot save /
 //!   restore / info`.
 //!
@@ -32,6 +37,8 @@
 pub mod io;
 pub mod page;
 pub mod store;
+pub mod workspace;
 
 pub use page::{Page, PageStore, PAGE_WORDS};
 pub use store::{combined_fingerprint, Snapshot, SnapshotBuilder, SnapshotStore, StoreStats};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -16,6 +16,7 @@
 //! residue.
 
 use crate::page::{Page, PageStore, PAGE_WORDS};
+use crate::workspace::Workspace;
 use argus_core::{Argus, ArgusConfig, ArgusState};
 use argus_machine::snapshot::{CoreState, Fnv64, SnapshotState};
 use argus_machine::Machine;
@@ -100,7 +101,12 @@ impl Snapshot {
     }
 
     /// Restores this checkpoint into an existing machine + checker pair
-    /// (built with the same configurations).
+    /// (built with the same configurations), verifying the result against
+    /// the capture-time fingerprint under `debug_assertions`.
+    ///
+    /// Callers on a verify-once path (the campaign engine's per-snapshot
+    /// verified bitmap) should use [`Snapshot::restore_fresh`] /
+    /// [`Snapshot::restore_into`], which skip the redundant digest.
     ///
     /// # Panics
     ///
@@ -127,11 +133,14 @@ impl Snapshot {
     }
 
     /// Builds a fresh machine + checker pair and restores into it — the
-    /// fork operation campaign workers use.
+    /// cold fork operation. Trusts the page list: callers that need
+    /// integrity checking verify once via [`Snapshot::try_restore_fresh`]
+    /// (or the campaign's verified bitmap) instead of digesting full state
+    /// on every fork.
     pub fn restore_fresh(&self) -> (Machine, Argus) {
         let mut m = Machine::new(self.core.cfg);
         let mut argus = Argus::new(self.acfg);
-        self.restore(&mut m, &mut argus);
+        self.restore_unverified(&mut m, &mut argus);
         (m, argus)
     }
 
@@ -158,6 +167,108 @@ impl Snapshot {
                 self.cycle, got, self.fingerprint
             ))
         }
+    }
+
+    /// Delta-restores this checkpoint into a reusable [`Workspace`]:
+    /// core + checker state are rewritten in full (they are small), but
+    /// memory pages are rewritten only when dirtied since the workspace's
+    /// last restore or differing (by interned-page identity) from the
+    /// snapshot the workspace currently mirrors. The resident machine's
+    /// allocation and predecode memo survive.
+    ///
+    /// Trusts the page list like [`Snapshot::restore_fresh`]; under
+    /// `debug_assertions` the full capture fingerprint is re-checked, so
+    /// every test build verifies every delta restore. Release callers
+    /// verify once per snapshot via [`Snapshot::try_restore_into`].
+    pub fn restore_into(&self, ws: &mut Workspace) {
+        self.restore_into_delta(ws);
+        #[cfg(debug_assertions)]
+        {
+            let (m, a) = ws.pair().expect("restore populated the workspace");
+            assert_eq!(
+                combined_fingerprint(m, a),
+                self.fingerprint,
+                "delta restore does not match capture fingerprint"
+            );
+        }
+    }
+
+    /// Like [`Snapshot::restore_into`], but *verifies* the restored pair
+    /// against the capture-time fingerprint. On mismatch the delta
+    /// bookkeeping is discarded and a full restore into a rebuilt pair is
+    /// attempted once; if that still mismatches, the snapshot itself is
+    /// corrupt and `Err` is returned (the workspace then holds the
+    /// mismatched state — callers should fall back to cold boot).
+    ///
+    /// Returns whether the full-restore fallback was needed.
+    pub fn try_restore_into(&self, ws: &mut Workspace) -> Result<bool, String> {
+        self.restore_into_delta(ws);
+        let (m, a) = ws.pair().expect("restore populated the workspace");
+        if combined_fingerprint(m, a) == self.fingerprint {
+            return Ok(false);
+        }
+        ws.invalidate();
+        ws.pair = None;
+        self.restore_into_delta(ws);
+        let (m, a) = ws.pair().expect("restore populated the workspace");
+        let got = combined_fingerprint(m, a);
+        if got == self.fingerprint {
+            Ok(true)
+        } else {
+            Err(format!(
+                "snapshot at cycle {} is corrupt: restored fingerprint {:#018x} != captured {:#018x}",
+                self.cycle, got, self.fingerprint
+            ))
+        }
+    }
+
+    fn restore_into_delta(&self, ws: &mut Workspace) {
+        ws.stats.restores += 1;
+        let compatible = match ws.pair() {
+            Some((m, a)) => m.config() == self.core.cfg && a.config() == self.acfg,
+            None => false,
+        };
+        if !compatible {
+            let mut m = Machine::new(self.core.cfg);
+            let mut argus = Argus::new(self.acfg);
+            self.restore_unverified(&mut m, &mut argus);
+            ws.pair = Some((m, argus));
+            ws.stats.full_restores += 1;
+        } else {
+            let (m, argus) = ws.pair.as_mut().expect("checked compatible above");
+            m.restore_core(&self.core);
+            let mem = m.mem_mut().memory_mut();
+            // Delta is sound only when the mirrored page list is congruent
+            // with this snapshot's (intern_image lays pages out from word 0,
+            // full pages except possibly the last, so equal page counts on
+            // equal-size memories mean identical page boundaries).
+            let delta_ok =
+                ws.mirrored.len() == self.pages.len() && mem.words().len() == self.mem_words;
+            let mut base = 0usize;
+            if delta_ok {
+                for (i, p) in self.pages.iter().enumerate() {
+                    if mem.page_dirty_since(i, ws.clean_gen) || !Arc::ptr_eq(&ws.mirrored[i], p) {
+                        mem.restore_words(base, &p.words, &p.tags);
+                        ws.stats.pages_rewritten += 1;
+                    } else {
+                        ws.stats.pages_skipped += 1;
+                    }
+                    base += p.words.len();
+                }
+            } else {
+                for p in &self.pages {
+                    mem.restore_words(base, &p.words, &p.tags);
+                    base += p.words.len();
+                }
+                ws.stats.full_restores += 1;
+            }
+            assert_eq!(base, self.mem_words, "page list does not cover memory");
+            argus.restore_state(&self.checker);
+        }
+        ws.mirrored.clear();
+        ws.mirrored.extend(self.pages.iter().cloned());
+        let (m, _) = ws.pair.as_mut().expect("restore populated the workspace");
+        ws.clean_gen = m.mem_mut().memory_mut().advance_generation();
     }
 }
 

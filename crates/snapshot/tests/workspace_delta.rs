@@ -1,0 +1,172 @@
+//! Delta-restore workspace contract: restoring a snapshot into a reused
+//! [`Workspace`] is bit-identical to a full restore and to a cold boot
+//! (`restore_fresh`), while actually skipping clean pages.
+
+use argus_core::{Argus, ArgusConfig};
+use argus_isa::encode::encode;
+use argus_isa::instr::{AluImmOp, Instr, MemSize};
+use argus_isa::reg::{r, Reg};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_mem::MemConfig;
+use argus_sim::fault::FaultInjector;
+use argus_snapshot::{combined_fingerprint, PageStore, Snapshot, SnapshotBuilder, Workspace};
+
+/// A short program that stores to two distant addresses (two different
+/// memory pages) and halts.
+fn program() -> Vec<u32> {
+    [
+        Instr::AluImm { op: AluImmOp::Ori, rd: r(3), ra: Reg::ZERO, imm: 0x1234 },
+        Instr::AluImm { op: AluImmOp::Ori, rd: r(4), ra: Reg::ZERO, imm: 0x00FF },
+        Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(3), off: 0x200 },
+        Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(4), off: 0x7F00 },
+        Instr::AluImm { op: AluImmOp::Xori, rd: r(5), ra: r(3), imm: 0x00F0 },
+        Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(5), off: 0x204 },
+        Instr::Halt,
+    ]
+    .iter()
+    .map(encode)
+    .collect()
+}
+
+fn boot(words: &[u32]) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        mem: MemConfig::default(),
+        argus_mode: false,
+        ..Default::default()
+    });
+    m.load_code(0, words);
+    m
+}
+
+fn advance(m: &mut Machine, n: usize) -> usize {
+    let mut inj = FaultInjector::none();
+    for k in 0..n {
+        if m.step(&mut inj) == StepOutcome::Halted {
+            return k;
+        }
+    }
+    n
+}
+
+/// Two snapshots of the same run at different cycles, sharing one pool.
+fn two_snapshots() -> (Snapshot, Snapshot) {
+    let argus = Argus::new(ArgusConfig::default());
+    let mut pool = PageStore::new();
+    let mut m = boot(&program());
+    advance(&mut m, 3);
+    let a = Snapshot::capture(&m, &argus, &mut pool);
+    advance(&mut m, 10_000);
+    assert!(m.halted());
+    let b = Snapshot::capture(&m, &argus, &mut pool);
+    (a, b)
+}
+
+#[test]
+fn delta_restore_matches_cold_boot_and_full_restore() {
+    let (snap_a, snap_b) = two_snapshots();
+
+    let (cold_m, cold_a) = snap_a.restore_fresh();
+    assert_eq!(combined_fingerprint(&cold_m, &cold_a), snap_a.fingerprint());
+
+    let mut ws = Workspace::new();
+    snap_a.restore_into(&mut ws);
+    {
+        let (m, a) = ws.pair().unwrap();
+        assert_eq!(combined_fingerprint(m, a), snap_a.fingerprint());
+        assert_eq!(m.state_digest(), cold_m.state_digest());
+    }
+    assert_eq!(ws.stats().restores, 1);
+    assert_eq!(ws.stats().full_restores, 1, "first use cold-builds the pair");
+
+    // Dirty the workspace by running to halt, then delta-restore back.
+    {
+        let (m, _) = ws.pair_mut().unwrap();
+        advance(m, 10_000);
+        assert!(m.halted());
+    }
+    snap_a.restore_into(&mut ws);
+    {
+        let (m, a) = ws.pair().unwrap();
+        assert_eq!(combined_fingerprint(m, a), snap_a.fingerprint());
+        assert_eq!(m.state_digest(), cold_m.state_digest());
+    }
+    let s = ws.stats();
+    assert_eq!(s.restores, 2);
+    assert_eq!(s.full_restores, 1, "second restore took the delta path");
+    assert!(s.pages_skipped > 0, "delta restore must skip clean pages, got {s:?}");
+    assert!(s.pages_rewritten >= 1, "the run dirtied at least one page, got {s:?}");
+
+    // Cross-snapshot delta: move the same workspace to a different
+    // checkpoint of the same run.
+    snap_b.restore_into(&mut ws);
+    let (m, a) = ws.pair().unwrap();
+    assert_eq!(combined_fingerprint(m, a), snap_b.fingerprint());
+    let (cold_m2, _) = snap_b.restore_fresh();
+    assert_eq!(m.state_digest(), cold_m2.state_digest());
+}
+
+#[test]
+fn workspace_replay_is_bit_identical_to_cold_boot() {
+    let (snap_a, _) = two_snapshots();
+
+    let (mut cold_m, _) = snap_a.restore_fresh();
+    advance(&mut cold_m, 10_000);
+    assert!(cold_m.halted());
+
+    let mut ws = Workspace::new();
+    snap_a.restore_into(&mut ws);
+    // Pollute, restore, replay: the replay must match the cold replay.
+    {
+        let (m, _) = ws.pair_mut().unwrap();
+        advance(m, 2);
+    }
+    snap_a.restore_into(&mut ws);
+    let (m, _) = ws.pair_mut().unwrap();
+    advance(m, 10_000);
+    assert!(m.halted());
+    assert_eq!(m.state_digest(), cold_m.state_digest());
+    assert_eq!(m.cycle(), cold_m.cycle());
+}
+
+#[test]
+fn invalidate_forces_full_rewrite() {
+    let (snap_a, _) = two_snapshots();
+    let mut ws = Workspace::new();
+    snap_a.restore_into(&mut ws);
+    ws.invalidate();
+    snap_a.restore_into(&mut ws);
+    let s = ws.stats();
+    assert_eq!(s.restores, 2);
+    assert_eq!(s.full_restores, 2, "invalidation must force the full path, got {s:?}");
+    let (m, a) = ws.pair().unwrap();
+    assert_eq!(combined_fingerprint(m, a), snap_a.fingerprint());
+}
+
+#[test]
+fn try_restore_into_rejects_corrupt_snapshot() {
+    let argus = Argus::new(ArgusConfig::default());
+    let mut m = boot(&program());
+    advance(&mut m, 3);
+    let mut b = SnapshotBuilder::new(1);
+    b.capture_now(&m, &argus);
+    let mut store = b.finish();
+    assert!(store.corrupt_page_for_test(0));
+
+    let mut ws = Workspace::new();
+    let err = store.get(0).unwrap().try_restore_into(&mut ws).unwrap_err();
+    assert!(err.contains("corrupt"), "unexpected error: {err}");
+}
+
+#[test]
+fn try_restore_into_verifies_clean_snapshot_without_fallback() {
+    let (snap_a, _) = two_snapshots();
+    let mut ws = Workspace::new();
+    assert_eq!(snap_a.try_restore_into(&mut ws), Ok(false));
+    {
+        let (m, _) = ws.pair_mut().unwrap();
+        advance(m, 4);
+    }
+    assert_eq!(snap_a.try_restore_into(&mut ws), Ok(false));
+    let (m, a) = ws.pair().unwrap();
+    assert_eq!(combined_fingerprint(m, a), snap_a.fingerprint());
+}
