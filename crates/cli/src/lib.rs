@@ -36,47 +36,44 @@ use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress, ShardedRepor
 use argus_sim::fault::{Fault, FaultInjector, FaultKind};
 use std::fmt::Write as _;
 
-/// Ctrl-C wiring for long campaigns: a process-wide stop flag flipped from
-/// a signal handler, installed only when the sharded engine runs so other
-/// subcommands keep the default interrupt behaviour.
-pub mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
+// Signal wiring (SIGINT + SIGTERM -> one stop flag) lives in
+// `argus_sim::supervise::signals`, shared between `argus campaign` and the
+// `argus serve` daemon; it is installed only by the long-running verbs so
+// other subcommands keep the default interrupt behaviour.
+use argus_sim::supervise::signals;
 
-    /// Set once SIGINT arrives; polled by every campaign worker.
-    pub static STOP: AtomicBool = AtomicBool::new(false);
-
-    extern "C" fn on_sigint(_sig: i32) {
-        // Only async-signal-safe work here: one atomic store.
-        STOP.store(true, Ordering::SeqCst);
-    }
-
-    /// Routes SIGINT to the [`STOP`] flag. No-op off Unix.
-    pub fn install() {
-        #[cfg(unix)]
-        unsafe {
-            extern "C" {
-                fn signal(signum: i32, handler: usize) -> usize;
-            }
-            const SIGINT: i32 = 2;
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
-        }
-    }
-}
-
-/// A CLI-level failure, printed to stderr with exit code 1.
+/// A CLI-level failure, printed to stderr with its exit code.
+///
+/// Exit codes are uniform across every verb:
+///
+/// - `0` — success
+/// - `1` — runtime failure (I/O, compile, engine, verification)
+/// - `2` — usage error (unknown command/flag, malformed or out-of-range
+///   flag value)
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Message for stderr.
+    pub msg: String,
+    /// Process exit code (`1` runtime, `2` usage).
+    pub code: i32,
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.msg)
     }
 }
 
 impl std::error::Error for CliError {}
 
+/// A runtime failure (exit code 1).
 fn fail(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError { msg: msg.into(), code: 1 }
+}
+
+/// A usage error (exit code 2).
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError { msg: msg.into(), code: 2 }
 }
 
 /// Simple flag scanner: `--name value` and boolean `--name`.
@@ -122,7 +119,7 @@ impl Args {
         if self.rest.is_empty() {
             Ok(())
         } else {
-            Err(fail(format!("unrecognized arguments: {:?}", self.rest)))
+            Err(usage(format!("unrecognized arguments: {:?}", self.rest)))
         }
     }
 }
@@ -135,7 +132,7 @@ fn load_unit(path: &str) -> Result<argus_compiler::ProgramUnit, CliError> {
 
 /// `argus asm`: compile and disassemble.
 pub fn cmd_asm(mut args: Args) -> Result<String, CliError> {
-    let path = args.positional().ok_or_else(|| fail("usage: argus asm <file.s> [--argus]"))?;
+    let path = args.positional().ok_or_else(|| usage("usage: argus asm <file.s> [--argus]"))?;
     let mode = if args.flag("--argus") { Mode::Argus } else { Mode::Baseline };
     args.finish()?;
     let unit = load_unit(&path)?;
@@ -154,9 +151,9 @@ pub fn cmd_asm(mut args: Args) -> Result<String, CliError> {
 
 /// `argus run`: compile + execute, optionally under the checker.
 pub fn cmd_run(mut args: Args) -> Result<String, CliError> {
-    let path = args
-        .positional()
-        .ok_or_else(|| fail("usage: argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]"))?;
+    let path = args.positional().ok_or_else(|| {
+        usage("usage: argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]")
+    })?;
     let baseline = args.flag("--baseline");
     let two_way = args.flag("--two-way");
     let regs: Vec<argus_isa::Reg> = match args.opt("--regs") {
@@ -168,17 +165,17 @@ pub fn cmd_run(mut args: Args) -> Result<String, CliError> {
                     .and_then(|n| n.parse::<u8>().ok())
                     .filter(|&n| n < 32)
                     .map(argus_isa::Reg::new)
-                    .ok_or_else(|| fail(format!("bad register `{t}`")))
+                    .ok_or_else(|| usage(format!("bad register `{t}`")))
             })
             .collect::<Result<_, _>>()?,
         None => vec![],
     };
     let max_cycles: u64 = match args.opt("--max-cycles") {
-        Some(s) => s.parse().map_err(|_| fail("bad --max-cycles"))?,
+        Some(s) => s.parse().map_err(|_| usage("bad --max-cycles"))?,
         None => 200_000_000,
     };
     let trace: u64 = match args.opt("--trace") {
-        Some(s) => s.parse().map_err(|_| fail("bad --trace"))?,
+        Some(s) => s.parse().map_err(|_| usage("bad --trace"))?,
         None => 0,
     };
     args.finish()?;
@@ -244,17 +241,17 @@ pub fn cmd_run(mut args: Args) -> Result<String, CliError> {
 /// `argus inject`: single-fault run with outcome report.
 pub fn cmd_inject(mut args: Args) -> Result<String, CliError> {
     let path = args.positional().ok_or_else(|| {
-        fail("usage: argus inject <file.s> --site S --bit N [--permanent] [--arm C]")
+        usage("usage: argus inject <file.s> --site S --bit N [--permanent] [--arm C]")
     })?;
-    let site_name = args.opt("--site").ok_or_else(|| fail("--site is required"))?;
+    let site_name = args.opt("--site").ok_or_else(|| usage("--site is required"))?;
     let bit: u8 = args
         .opt("--bit")
-        .ok_or_else(|| fail("--bit is required"))?
+        .ok_or_else(|| usage("--bit is required"))?
         .parse()
-        .map_err(|_| fail("bad --bit"))?;
+        .map_err(|_| usage("bad --bit"))?;
     let kind = if args.flag("--permanent") { FaultKind::Permanent } else { FaultKind::Transient };
     let arm: u64 = match args.opt("--arm") {
-        Some(s) => s.parse().map_err(|_| fail("bad --arm"))?,
+        Some(s) => s.parse().map_err(|_| usage("bad --arm"))?,
         None => 100,
     };
     args.finish()?;
@@ -263,9 +260,12 @@ pub fn cmd_inject(mut args: Args) -> Result<String, CliError> {
     let site = inventory
         .iter()
         .find(|s| s.name == site_name)
-        .ok_or_else(|| fail(format!("unknown site `{site_name}` (try `argus sites`)")))?;
+        .ok_or_else(|| usage(format!("unknown site `{site_name}` (try `argus sites`)")))?;
     if bit >= site.width {
-        return Err(fail(format!("bit {bit} out of range for {site_name} (width {})", site.width)));
+        return Err(usage(format!(
+            "bit {bit} out of range for {site_name} (width {})",
+            site.width
+        )));
     }
 
     let unit = load_unit(&path)?;
@@ -362,12 +362,12 @@ pub fn cmd_sites(args: Args) -> Result<String, CliError> {
 /// checkpoints, and live progress on stderr.
 pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     let n: usize = match args.opt("-n") {
-        Some(s) => s.parse().map_err(|_| fail("bad -n"))?,
+        Some(s) => s.parse().map_err(|_| usage("bad -n"))?,
         None => 1000,
     };
     let kind = if args.flag("--permanent") { FaultKind::Permanent } else { FaultKind::Transient };
     let seed: Option<u64> = match args.opt("--seed") {
-        Some(s) => Some(s.parse().map_err(|_| fail("bad --seed"))?),
+        Some(s) => Some(s.parse().map_err(|_| usage("bad --seed"))?),
         None => None,
     };
     let snapshot_every: Option<u64> = match args.opt("--snapshot-every") {
@@ -375,7 +375,7 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
             s.parse()
                 .ok()
                 .filter(|&v| v >= 1)
-                .ok_or_else(|| fail("bad --snapshot-every (want an integer >= 1)"))?,
+                .ok_or_else(|| usage("bad --snapshot-every (want an integer >= 1)"))?,
         ),
         None => None,
     };
@@ -384,12 +384,17 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
             s.parse()
                 .ok()
                 .filter(|v: &f64| v.is_finite() && *v >= 1.0)
-                .ok_or_else(|| fail("bad --inj-cycle-factor (want a number >= 1)"))?,
+                .ok_or_else(|| usage("bad --inj-cycle-factor (want a number >= 1)"))?,
         ),
         None => None,
     };
     let quarantine_limit: Option<usize> = match args.opt("--quarantine-limit") {
-        Some(s) => Some(s.parse().map_err(|_| fail("bad --quarantine-limit (want an integer)"))?),
+        Some(s) => Some(
+            s.parse()
+                .ok()
+                .filter(|&v: &usize| v >= 1)
+                .ok_or_else(|| usage("bad --quarantine-limit (want an integer >= 1)"))?,
+        ),
         None => None,
     };
     let checkpoint_interval_ms: Option<u64> = match args.opt("--checkpoint-interval-ms") {
@@ -397,7 +402,7 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
             s.parse()
                 .ok()
                 .filter(|&v| v >= 1)
-                .ok_or_else(|| fail("bad --checkpoint-interval-ms (want an integer >= 1)"))?,
+                .ok_or_else(|| usage("bad --checkpoint-interval-ms (want an integer >= 1)"))?,
         ),
         None => None,
     };
@@ -408,7 +413,7 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
             s.parse()
                 .ok()
                 .filter(|&v| v >= 1)
-                .ok_or_else(|| fail("bad --chunk (want an integer >= 1)"))?,
+                .ok_or_else(|| usage("bad --chunk (want an integer >= 1)"))?,
         ),
         None => None,
     };
@@ -445,11 +450,11 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
             .parse::<usize>()
             .ok()
             .filter(|&v| v >= 1)
-            .ok_or_else(|| fail("bad --shards (want an integer >= 1)"))?,
+            .ok_or_else(|| usage("bad --shards (want an integer >= 1)"))?,
         None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
     };
     if resume && checkpoint.is_none() {
-        return Err(fail("--resume needs --checkpoint PATH"));
+        return Err(usage("--resume needs --checkpoint PATH"));
     }
     let mut ocfg = OrchestratorConfig {
         shards,
@@ -468,7 +473,7 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         ocfg.checkpoint_interval = std::time::Duration::from_millis(ms);
     }
 
-    sigint::install();
+    signals::install();
     let progress = Progress::new(shards);
     let report = std::thread::scope(|scope| {
         let monitor = (!quiet).then(|| {
@@ -485,7 +490,8 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
                 }
             })
         });
-        let report = run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &sigint::STOP, &progress);
+        let report =
+            run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &signals::STOP, &progress);
         if let Some(m) = monitor {
             let _ = m.join();
         }
@@ -505,6 +511,69 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         return Ok(format!("{}\n", report.to_json().to_string_compact()));
     }
     Ok(render_sharded_report(&report, ocfg.checkpoint_path.as_deref()))
+}
+
+/// `argus serve`: the campaign-as-a-service daemon.
+///
+/// Binds an HTTP/JSON API over a shared worker pool and blocks until
+/// SIGINT/SIGTERM or a `POST /drain`, then drains gracefully: stops
+/// leasing, checkpoints every running job, persists the job table, and
+/// exits 0. Unfinished jobs resume on the next start from the same
+/// `--state-dir`.
+pub fn cmd_serve(mut args: Args) -> Result<String, CliError> {
+    let addr = args.opt("--addr").unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let workers: usize = match args.opt("--workers") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| usage("bad --workers (want an integer >= 1)"))?,
+        None => std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1).max(1))
+            .unwrap_or(1),
+    };
+    let http_threads: usize = match args.opt("--http-threads") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| usage("bad --http-threads (want an integer >= 1)"))?,
+        None => 4,
+    };
+    let state_dir = args.opt("--state-dir").unwrap_or_else(|| "argus-serve-state".to_string());
+    let checkpoint_interval_ms: u64 = match args.opt("--checkpoint-interval-ms") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| usage("bad --checkpoint-interval-ms (want an integer >= 1)"))?,
+        None => 500,
+    };
+    args.finish()?;
+
+    signals::install();
+    let mut server = argus_server::Server::start(argus_server::ServerConfig {
+        addr,
+        workers,
+        http_threads,
+        state_dir: std::path::PathBuf::from(&state_dir),
+        checkpoint_interval: std::time::Duration::from_millis(checkpoint_interval_ms),
+    })
+    .map_err(fail)?;
+    eprintln!(
+        "argus serve: listening on http://{} ({} campaign workers, state dir `{state_dir}`)",
+        server.addr(),
+        workers,
+    );
+
+    while !signals::stop_requested() && !server.drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let cause = signals::stop_cause().unwrap_or("drain request");
+    eprintln!("argus serve: draining ({cause})");
+    server.drain();
+    eprintln!("argus serve: drained; unfinished jobs resume on next start");
+    Ok(String::new())
 }
 
 /// Human-readable rendering of a sharded campaign's merged tallies.
@@ -623,13 +692,13 @@ pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]";
-    let verb = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+    let verb = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
     match verb.as_str() {
         "save" => {
-            let path = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
-            let out_path = args.opt("--out").ok_or_else(|| fail("--out PATH is required"))?;
+            let path = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
+            let out_path = args.opt("--out").ok_or_else(|| usage("--out PATH is required"))?;
             let at_cycle: u64 = match args.opt("--at-cycle") {
-                Some(s) => s.parse().map_err(|_| fail("bad --at-cycle"))?,
+                Some(s) => s.parse().map_err(|_| usage("bad --at-cycle"))?,
                 None => 0,
             };
             let two_way = args.flag("--two-way");
@@ -660,7 +729,7 @@ pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
             ))
         }
         "info" => {
-            let path = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+            let path = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
             args.finish()?;
             let (m, checker) = read_snapshot_file(&path)?;
             let mut out = String::new();
@@ -687,7 +756,7 @@ pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
             Ok(out)
         }
         "restore" => {
-            let path = args.positional().ok_or_else(|| fail(SNAP_USAGE))?;
+            let path = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
             let run = args.flag("--run");
             let regs: Vec<argus_isa::Reg> = match args.opt("--regs") {
                 Some(spec) => spec
@@ -698,7 +767,7 @@ pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
                             .and_then(|n| n.parse::<u8>().ok())
                             .filter(|&n| n < 32)
                             .map(argus_isa::Reg::new)
-                            .ok_or_else(|| fail(format!("bad register `{t}`")))
+                            .ok_or_else(|| usage(format!("bad register `{t}`")))
                     })
                     .collect::<Result<_, _>>()?,
                 None => vec![],
@@ -723,7 +792,7 @@ pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        other => Err(fail(format!("unknown snapshot verb `{other}`\n{SNAP_USAGE}"))),
+        other => Err(usage(format!("unknown snapshot verb `{other}`\n{SNAP_USAGE}"))),
     }
 }
 
@@ -736,7 +805,7 @@ fn read_snapshot_file(path: &str) -> Result<(Machine, Argus), CliError> {
 /// `argus verify`: compile in Argus mode and statically verify the image's
 /// embedded signatures.
 pub fn cmd_verify(mut args: Args) -> Result<String, CliError> {
-    let path = args.positional().ok_or_else(|| fail("usage: argus verify <file.s>"))?;
+    let path = args.positional().ok_or_else(|| usage("usage: argus verify <file.s>"))?;
     args.finish()?;
     let unit = load_unit(&path)?;
     let ecfg = EmbedConfig::default();
@@ -759,14 +828,16 @@ pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
         "inject" => cmd_inject(args),
         "sites" => cmd_sites(args),
         "campaign" => cmd_campaign(args),
+        "serve" => cmd_serve(args),
         "snapshot" => cmd_snapshot(args),
         "verify" => cmd_verify(args),
-        other => Err(fail(format!("unknown command `{other}`\n{USAGE}"))),
+        other => Err(usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign|snapshot> [options]
+pub const USAGE: &str =
+    "usage: argus <asm|run|inject|verify|sites|campaign|serve|snapshot> [options]
   argus asm <file.s> [--argus]
   argus run <file.s> [--baseline] [--two-way] [--regs r3,r4] [--max-cycles N]
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
@@ -776,6 +847,8 @@ pub const USAGE: &str = "usage: argus <asm|run|inject|verify|sites|campaign|snap
                  [--checkpoint-interval-ms MS] [--resume]
                  [--inj-cycle-factor F] [--quarantine-limit N]
                  [--strict] [--json] [--quiet]
+  argus serve [--addr HOST:PORT] [--workers N] [--http-threads N]
+              [--state-dir PATH] [--checkpoint-interval-ms MS]
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]
@@ -795,7 +868,13 @@ cycle budget is golden-run length x --inj-cycle-factor (default 4); panicked
 injections are quarantined (campaign aborts past --quarantine-limit, default
 64); --strict disables the net so the first panic crashes and a hang is
 fatal. Corrupt checkpoints fall back to their .bak generation, then restart
-affected shards from scratch (strict mode refuses instead)";
+affected shards from scratch (strict mode refuses instead).
+serve turns the same engine into a daemon: submit/inspect/cancel fault
+campaigns over an HTTP/JSON API with priorities, per-job worker budgets,
+checkpoint-backed preemption, and streaming progress; SIGTERM/SIGINT (or
+POST /drain) checkpoints everything and exits 0, and the next start
+resumes all unfinished jobs. See EXPERIMENTS.md for the API reference.
+Exit codes (all verbs): 0 success, 1 runtime failure, 2 usage error";
 
 #[cfg(test)]
 mod tests {
@@ -892,11 +971,15 @@ mod tests {
             .map(|(inner, _)| inner)
             .expect("USAGE lists subcommands as <a|b|...>");
         let cmds: Vec<&str> = list.split('|').collect();
-        assert!(cmds.len() >= 6, "expected the full subcommand list, got {cmds:?}");
+        assert!(cmds.len() >= 7, "expected the full subcommand list, got {cmds:?}");
         for cmd in cmds {
-            // Missing-argument errors are fine; an unknown-command error
-            // means USAGE advertises something dispatch() cannot route.
-            match dispatch(cmd, args(&[])) {
+            // A flag no verb knows keeps this a pure routing check: every
+            // verb rejects it (or its missing file) before doing real work
+            // — `serve` would otherwise start a daemon and block, and
+            // `campaign` would run a full default campaign. Any error is
+            // fine except "unknown command", which means USAGE advertises
+            // something dispatch() cannot route.
+            match dispatch(cmd, args(&["--no-such-flag"])) {
                 Ok(_) => {}
                 Err(e) => assert!(
                     !e.to_string().contains("unknown command"),

@@ -11,7 +11,7 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("argus: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

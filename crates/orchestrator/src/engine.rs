@@ -888,6 +888,92 @@ mod tests {
     }
 
     #[test]
+    fn mark_done_adjacency_edges() {
+        // Extending a range on its right edge, left edge, and bridging
+        // two ranges into one — each adjacency case separately.
+        let mut done = vec![2..4];
+        mark_done(&mut done, 4); // right-adjacent
+        assert_eq!(done, vec![2..5]);
+        mark_done(&mut done, 1); // left-adjacent
+        assert_eq!(done, vec![1..5]);
+        let mut done = vec![0..3, 4..7];
+        mark_done(&mut done, 3); // bridges: both neighbours adjacent
+        assert_eq!(done, vec![0..7]);
+        // A mark adjacent to nothing opens its own range.
+        let mut done = vec![0..2, 10..12];
+        mark_done(&mut done, 5);
+        assert_eq!(done, vec![0..2, 5..6, 10..12]);
+    }
+
+    #[test]
+    fn mark_done_duplicates_are_idempotent() {
+        // The engine never leases an index twice, but a resumed run
+        // re-deriving ranges must tolerate replayed marks: interior,
+        // first, and last index of an existing range are all no-ops.
+        let mut done = vec![3..8];
+        for dup in [3usize, 5, 7, 5, 3] {
+            mark_done(&mut done, dup);
+            assert_eq!(done, vec![3..8], "duplicate mark {dup} must not change the set");
+        }
+    }
+
+    #[test]
+    fn mark_done_any_order_converges() {
+        // Out-of-order completion (work stealing finishes indices in an
+        // arbitrary interleaving) must always coalesce to the same set.
+        let indices = [9usize, 2, 7, 0, 4, 3, 8, 1];
+        let mut perm: Vec<usize> = indices.to_vec();
+        // Walk a few hundred distinct orders via next-permutation-ish
+        // rotations; every order must produce the identical range set.
+        for rotation in 0..indices.len() {
+            perm.rotate_left(1);
+            for window in 2..=perm.len() {
+                let mut order = perm.clone();
+                order[..window].reverse();
+                let mut done = Vec::new();
+                for &i in &order {
+                    mark_done(&mut done, i);
+                }
+                assert_eq!(
+                    done,
+                    vec![0..5, 7..10],
+                    "order {order:?} (rotation {rotation}, window {window})"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Random marks with duplicates, any order: the coalesced set
+        /// must cover exactly the marked indices, stay sorted, disjoint,
+        /// non-empty, and gap-separated (no two mergeable neighbours).
+        #[test]
+        fn mark_done_matches_set_model(marks in proptest::collection::vec(0usize..64, 0..96)) {
+            let mut done = Vec::new();
+            for &i in &marks {
+                mark_done(&mut done, i);
+            }
+            let model: std::collections::BTreeSet<usize> = marks.iter().copied().collect();
+            let covered: Vec<usize> = done.iter().flat_map(|r| r.clone()).collect();
+            proptest::prop_assert_eq!(&covered, &model.iter().copied().collect::<Vec<_>>());
+            for pair in done.windows(2) {
+                proptest::prop_assert!(
+                    pair[0].end < pair[1].start,
+                    "ranges {:?} are unsorted, overlapping, or failed to coalesce", pair
+                );
+            }
+            for r in &done {
+                proptest::prop_assert!(r.start < r.end, "empty range {r:?}");
+            }
+            // Complement round-trips: done ∪ complement partitions 0..64.
+            let holes = complement(&done, 64);
+            let total: usize = done.iter().map(Range::len).sum::<usize>()
+                + holes.iter().map(Range::len).sum::<usize>();
+            proptest::prop_assert_eq!(total, 64);
+        }
+    }
+
+    #[test]
     fn complement_inverts_done_ranges() {
         assert_eq!(complement(&[], 5), vec![0..5]);
         assert_eq!(complement(&[0..5], 5), Vec::<Range<usize>>::new());

@@ -46,6 +46,17 @@ impl Json {
         }
     }
 
+    /// Returns the value without the named top-level field (no-op when the
+    /// field is absent or `self` is not an object). Used to strip the
+    /// volatile `"run"` sub-object from campaign reports before comparing
+    /// the deterministic payload byte-for-byte.
+    pub fn without(mut self, key: &str) -> Json {
+        if let Json::Obj(ref mut fields) = self {
+            fields.retain(|(k, _)| k != key);
+        }
+        self
+    }
+
     /// Looks up a field of an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

@@ -1,0 +1,412 @@
+//! A minimal HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! The build environment is offline and the workspace is std-only, so this
+//! implements exactly the subset the daemon's JSON API needs: request-line
+//! and header parsing, `Content-Length` bodies, query strings, and
+//! `Connection: close` responses, served by a small fixed thread pool (one
+//! acceptor, N handlers). Every connection carries one request; clients
+//! reconnect per call. That keeps the parser simple and torn connections
+//! harmless — the daemon's state only changes under its own lock, never
+//! mid-parse.
+//!
+//! Hard limits (header size, body size) make a confused or adversarial
+//! client a `400`/`413`, not a memory balloon — the same philosophy as the
+//! hardened checkpoint parser in `argus_orchestrator::json`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Maximum accepted size of the request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum accepted request body (job specs are a few hundred bytes).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Per-connection socket timeout: a stalled client gets dropped instead of
+/// pinning a handler thread forever. Long-poll waits happen *after* the
+/// request is fully read, so they are not bounded by this.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (e.g. `/jobs/7/events`).
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with this name, parsed as an integer.
+    pub fn query_u64(&self, name: &str) -> Option<u64> {
+        self.query_param(name)?.parse().ok()
+    }
+}
+
+/// One response to write back. The body is always bytes; the daemon's API
+/// layer fills it with compact JSON (or raw stored report bytes).
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from an already-serialized document.
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The handler the server dispatches every parsed request to.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP listener: one acceptor thread feeding `threads` handler
+/// threads over a channel. Dropped connections and parse failures cost one
+/// log-free error response, never a thread.
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handler` on `threads` handler threads.
+    pub fn start(addr: &str, threads: usize, handler: Handler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    let stream = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match stream {
+                        Ok(stream) => handle_connection(stream, &handler),
+                        Err(_) => break, // acceptor gone: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // A full channel is impossible (unbounded); a send
+                        // error means every worker is gone, so stop too.
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                drop(tx);
+            })
+        };
+
+        Ok(Self { local_addr, stop, acceptor: Some(acceptor), workers })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, wakes the acceptor, and joins every thread.
+    /// In-flight requests finish; queued-but-unhandled connections are
+    /// dropped (clients see a reset and retry against the restarted
+    /// daemon).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(Some(req)) => handler(&req),
+        Ok(None) => return, // empty connection (e.g. the shutdown poke)
+        Err(status) => {
+            Response::json(status, format!("{{\"error\":\"malformed request\",\"code\":{status}}}"))
+        }
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Reads and parses one request. `Ok(None)` is a connection that closed
+/// before sending anything; `Err` carries the HTTP status to answer with.
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, u16> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read byte-wise state-machine-free: lines until the blank line.
+    loop {
+        let mut line = Vec::new();
+        reader.read_until(b'\n', &mut line).map_err(|_| 400u16)?;
+        if line.is_empty() {
+            // EOF before any data (or mid-headers).
+            return if head.is_empty() { Ok(None) } else { Err(400) };
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD {
+            return Err(413);
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| 400u16)?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(400u16)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?.to_ascii_uppercase();
+    let target = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(400);
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| 400u16)?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(413);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| 400u16)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+
+    Ok(Some(Request { method, path: percent_decode(path), query, body }))
+}
+
+/// Decodes `%XX` escapes and `+` (query-string space). Invalid escapes
+/// pass through literally — the router will simply not match them.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A tiny blocking HTTP client for tests, benches, and the smoke script's
+/// in-process callers: one request per connection, mirroring the server's
+/// model.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: argus\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw)?;
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    Ok((status, payload.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        let handler: Handler = Arc::new(|req: &Request| {
+            let q = req.query.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join("&");
+            Response::json(
+                200,
+                format!(
+                    "{{\"method\":\"{}\",\"path\":\"{}\",\"query\":\"{q}\",\"body_len\":{}}}",
+                    req.method,
+                    req.path,
+                    req.body.len()
+                ),
+            )
+        });
+        HttpServer::start("127.0.0.1:0", 2, handler).unwrap()
+    }
+
+    #[test]
+    fn serves_parsed_requests() {
+        let server = echo_server();
+        let (status, body) =
+            http_request(server.local_addr(), "GET", "/jobs/7/events?since=3&wait_ms=0", None)
+                .unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"path\":\"/jobs/7/events\""), "{body}");
+        assert!(body.contains("since=3"), "{body}");
+
+        let (status, body) =
+            http_request(server.local_addr(), "POST", "/jobs", Some("{\"n\":12}")).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"body_len\":8"), "{body}");
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_crash() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = BufReader::new(s).read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        // The server survives and keeps answering.
+        let (status, _) = http_request(server.local_addr(), "GET", "/ok", None).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn oversized_headers_get_413() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let huge = format!("GET / HTTP/1.1\r\nX-Filler: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        s.write_all(huge.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = BufReader::new(s).read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("%41%42"), "AB");
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let mut server = echo_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        // Port is released: no thread still accepting.
+        assert!(http_request(addr, "GET", "/", None).is_err());
+    }
+}

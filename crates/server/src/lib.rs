@@ -1,0 +1,36 @@
+//! `argus-server`: campaign-as-a-service.
+//!
+//! The sharded fault-injection engine (`argus-orchestrator`) already
+//! takes an external stop flag and progress sink and checkpoints its
+//! work continuously — this crate wraps it in a persistent daemon:
+//!
+//! - **HTTP/JSON API** ([`http`], [`api`]): submit, inspect, stream,
+//!   cancel, and drain campaigns over plain HTTP/1.1 (std-only; the
+//!   build environment is offline).
+//! - **Multi-tenant scheduling** ([`queue`], [`daemon`]): a shared
+//!   worker pool, strict priorities with FIFO within a class, per-job
+//!   worker budgets, and checkpoint-backed preemption so a big
+//!   campaign cannot starve a smaller, more urgent one.
+//! - **Crash safety** ([`jobs`]): every transition persists an
+//!   atomically-written job table; every running job is backed by
+//!   checkpoint v3. SIGKILL the daemon at any moment and a restart
+//!   resumes all in-flight work, losing at most one checkpoint
+//!   interval per job.
+//!
+//! The identity guarantee: a report fetched from
+//! `GET /jobs/<id>/report` is byte-identical — outside the volatile
+//! `"run"` section — to a one-shot `argus campaign --json` run with
+//! the same spec, whatever scheduling, preemption, or crashes happened
+//! in between. That falls out of the engine's determinism (per-
+//! injection RNG streams, commutative tallies) and is locked in by
+//! tests here and by `scripts/serve_smoke.sh` in CI.
+
+pub mod api;
+pub mod daemon;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+
+pub use daemon::{Daemon, Server, ServerConfig};
+pub use http::http_request;
+pub use jobs::{JobId, JobSpec, JobState};

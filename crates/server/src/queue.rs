@@ -1,0 +1,168 @@
+//! Priority job queue: who runs next, and who gets preempted.
+//!
+//! Ordering is (priority descending, submission sequence ascending):
+//! strict priority between classes, FIFO within a class. There is no
+//! aging — instead, starvation is prevented structurally by the
+//! scheduler's admission rule (see `daemon.rs`): a job is admitted with
+//! `min(budget, free_workers)` workers where free is always at least 1,
+//! so a wide job can never hold *all* workers against a queued peer of
+//! equal-or-higher priority for more than one lease interval, and a
+//! higher-priority arrival preempts a strictly-lower-priority running
+//! job via its checkpoint.
+//!
+//! The queue itself is pure data (no locks, no clock) so the ordering
+//! properties can be unit- and property-tested directly.
+
+use crate::jobs::JobId;
+
+/// One queued entry. `seq` is the submission sequence number; a
+/// preempted job re-enters with its *original* seq, so it keeps its
+/// FIFO position within its priority class rather than going to the
+/// back of the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Which job.
+    pub id: JobId,
+    /// Submission order (FIFO tiebreak).
+    pub seq: u64,
+    /// Higher runs first.
+    pub priority: u8,
+}
+
+/// The ready queue. Backed by a sorted `Vec`: the daemon holds a handful
+/// to a few hundred jobs, where a linear insert beats heap bookkeeping
+/// and keeps iteration order equal to dispatch order for the API's
+/// queue listing.
+#[derive(Debug, Default, Clone)]
+pub struct JobQueue {
+    entries: Vec<QueueEntry>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an entry at its dispatch position (stable: equal keys keep
+    /// insertion order, though (priority, seq) pairs are unique in
+    /// practice since seq is unique).
+    pub fn push(&mut self, entry: QueueEntry) {
+        let pos = self.entries.partition_point(|e| {
+            (e.priority > entry.priority) || (e.priority == entry.priority && e.seq <= entry.seq)
+        });
+        self.entries.insert(pos, entry);
+    }
+
+    /// The entry that would dispatch next, without removing it.
+    pub fn peek(&self) -> Option<&QueueEntry> {
+        self.entries.first()
+    }
+
+    /// Removes and returns the next entry to dispatch.
+    pub fn pop_front(&mut self) -> Option<QueueEntry> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
+    }
+
+    /// Removes a job wherever it sits (cancellation of a queued job).
+    /// Returns whether it was present.
+    pub fn remove(&mut self, id: JobId) -> bool {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Dispatch-ordered view (used by `GET /status`).
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(id: JobId, seq: u64, priority: u8) -> QueueEntry {
+        QueueEntry { id, seq, priority }
+    }
+
+    #[test]
+    fn priority_beats_fifo_and_fifo_breaks_ties() {
+        let mut q = JobQueue::new();
+        q.push(entry(1, 0, 0));
+        q.push(entry(2, 1, 5));
+        q.push(entry(3, 2, 5));
+        q.push(entry(4, 3, 9));
+        q.push(entry(5, 4, 0));
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pop_front()).map(|e| e.id).collect();
+        // 9 first; the two 5s in submission order; the two 0s in
+        // submission order.
+        assert_eq!(order, vec![4, 2, 3, 1, 5]);
+    }
+
+    #[test]
+    fn preempted_job_keeps_its_place() {
+        let mut q = JobQueue::new();
+        q.push(entry(1, 0, 5));
+        q.push(entry(2, 1, 5));
+        // Job 1 dispatches, is preempted, and re-enters with its original
+        // seq while job 3 arrives at the same priority.
+        let first = q.pop_front().unwrap();
+        assert_eq!(first.id, 1);
+        q.push(entry(3, 2, 5));
+        q.push(first);
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pop_front()).map(|e| e.id).collect();
+        assert_eq!(order, vec![1, 2, 3], "requeue must not send a preempted job to the back");
+    }
+
+    #[test]
+    fn remove_targets_the_right_entry() {
+        let mut q = JobQueue::new();
+        q.push(entry(1, 0, 3));
+        q.push(entry(2, 1, 3));
+        assert!(q.remove(1));
+        assert!(!q.remove(1), "double-remove reports absence");
+        assert_eq!(q.pop_front().unwrap().id, 2);
+        assert!(q.pop_front().is_none());
+    }
+
+    proptest! {
+        /// Any interleaving of pushes drains in (priority desc, seq asc)
+        /// order.
+        #[test]
+        fn drains_sorted(specs in proptest::collection::vec((0u8..=9, 0u64..1000), 0..64)) {
+            let mut q = JobQueue::new();
+            for (i, &(priority, seq)) in specs.iter().enumerate() {
+                q.push(entry(i as JobId, seq, priority));
+            }
+            prop_assert_eq!(q.len(), specs.len());
+            let drained: Vec<QueueEntry> = std::iter::from_fn(|| q.pop_front()).collect();
+            for pair in drained.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                prop_assert!(
+                    a.priority > b.priority || (a.priority == b.priority && a.seq <= b.seq),
+                    "out of order: {:?} before {:?}", a, b
+                );
+            }
+        }
+    }
+}

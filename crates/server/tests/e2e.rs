@@ -1,0 +1,329 @@
+//! End-to-end daemon tests over real HTTP: submit → schedule → run →
+//! report, plus the identity guarantee against one-shot runs, cancel,
+//! preemption, and restart-resume.
+
+use argus_faults::CampaignConfig;
+use argus_orchestrator::{run_sharded, Json, OrchestratorConfig, Progress};
+use argus_server::http::http_request;
+use argus_server::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
+
+/// Fresh state dir per test.
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("argus-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str, workers: usize) -> (Server, SocketAddr, PathBuf) {
+    let dir = state_dir(name);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        http_threads: 2,
+        state_dir: dir.clone(),
+        checkpoint_interval: Duration::from_millis(100),
+    })
+    .unwrap();
+    let addr = server.addr();
+    (server, addr, dir)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let (status, body) = http_request(addr, "GET", path, None).unwrap();
+    (status, Json::parse(&body).unwrap_or(Json::Null))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let (status, body) = http_request(addr, "POST", path, Some(body)).unwrap();
+    (status, Json::parse(&body).unwrap_or(Json::Null))
+}
+
+fn submit(addr: SocketAddr, spec: &str) -> u64 {
+    let (status, doc) = post(addr, "/jobs", spec);
+    assert_eq!(status, 201, "{doc:?}");
+    doc.get("id").and_then(Json::as_u64).unwrap()
+}
+
+fn job_state(addr: SocketAddr, id: u64) -> String {
+    let (status, doc) = get(addr, &format!("/jobs/{id}"));
+    assert_eq!(status, 200, "{doc:?}");
+    doc.get("state").and_then(Json::as_str).unwrap().to_owned()
+}
+
+fn wait_for(addr: SocketAddr, id: u64, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let state = job_state(addr, id);
+        if state == want {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}` waiting for `{want}`");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// The deterministic payload (report minus the volatile `"run"` section)
+/// of a one-shot engine run with the given spec — what `argus campaign
+/// --json` prints, scheduling noise removed.
+fn one_shot_payload(n: usize, seed: u64) -> String {
+    let mut cfg = CampaignConfig { injections: n, ..Default::default() };
+    cfg.seed = seed;
+    let ocfg = OrchestratorConfig { shards: 1, ..Default::default() };
+    let progress = Progress::new(1);
+    let rep =
+        run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &AtomicBool::new(false), &progress)
+            .unwrap();
+    rep.to_json().without("run").to_string_compact()
+}
+
+/// Strips the volatile section from fetched report bytes.
+fn payload_of(report_body: &str) -> String {
+    Json::parse(report_body).unwrap().without("run").to_string_compact()
+}
+
+fn fetch_report(addr: SocketAddr, id: u64) -> String {
+    let (status, body) = http_request(addr, "GET", &format!("/jobs/{id}/report"), None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+#[test]
+fn submit_runs_to_done_and_report_matches_one_shot() {
+    let (mut server, addr, dir) = start("basic", 2);
+
+    let (status, doc) = get(addr, "/healthz");
+    assert_eq!((status, doc.get("ok").and_then(Json::as_bool)), (200, Some(true)));
+
+    let id = submit(addr, r#"{"n": 48, "seed": 11}"#);
+    wait_for(addr, id, "done", Duration::from_secs(120));
+
+    // Byte identity with a one-shot run of the same spec, volatile
+    // section removed.
+    let report = fetch_report(addr, id);
+    assert_eq!(payload_of(&report), one_shot_payload(48, 11));
+
+    // The stored report is complete and uninterrupted.
+    let doc = Json::parse(&report).unwrap();
+    assert_eq!(doc.get("completed").and_then(Json::as_u64), Some(48));
+    assert_eq!(doc.get("interrupted").and_then(Json::as_bool), Some(false));
+
+    // Detail carries the spec back and flags the report.
+    let (_, detail) = get(addr, &format!("/jobs/{id}"));
+    assert_eq!(detail.get("report_ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(detail.get("spec").and_then(|s| s.get("n")).and_then(Json::as_u64), Some(48));
+
+    // Events tell the whole story: queued, running, done.
+    let (status, ev) = get(addr, &format!("/jobs/{id}/events?since=0"));
+    assert_eq!(status, 200);
+    let states: Vec<&str> = ev
+        .get("events")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("kind").and_then(Json::as_str) == Some("state"))
+        .map(|e| e.get("state").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(states, vec!["queued", "running", "done"], "{ev:?}");
+    assert_eq!(ev.get("truncated").and_then(Json::as_bool), Some(false));
+
+    // A long-poll against a terminal job returns immediately.
+    let t0 = Instant::now();
+    let next = ev.get("next_since").and_then(Json::as_u64).unwrap();
+    let (status, ev2) = get(addr, &format!("/jobs/{id}/events?since={next}&wait_ms=5000"));
+    assert_eq!(status, 200);
+    assert!(t0.elapsed() < Duration::from_secs(4), "terminal job must not block long-poll");
+    assert_eq!(ev2.get("events").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn api_rejects_nonsense() {
+    let (mut server, addr, dir) = start("reject", 1);
+
+    for (path, body, want) in [
+        ("/jobs", "not json", 400),
+        ("/jobs", r#"{"seed": 3}"#, 400),         // n missing
+        ("/jobs", r#"{"n": 0}"#, 400),            // n out of range
+        ("/jobs", r#"{"n": 5, "typo": 1}"#, 400), // unknown field
+        ("/jobs/7/cancel", "", 404),              // unknown job
+        ("/nope", "", 404),
+    ] {
+        let (status, doc) = post(addr, path, body);
+        assert_eq!(status, want, "{path}: {doc:?}");
+        assert_eq!(doc.get("code").and_then(Json::as_u64), Some(u64::from(want)));
+    }
+    let (status, _) = get(addr, "/jobs/xyz");
+    assert_eq!(status, 400, "non-numeric id");
+    let (status, _) = get(addr, "/jobs/99");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/jobs/99/report");
+    assert_eq!(status, 404);
+    let (status, doc) = post(addr, "/status", "");
+    assert_eq!(status, 405, "{doc:?}");
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn concurrent_priorities_complete_with_correct_tallies() {
+    let (mut server, addr, dir) = start("concurrent", 2);
+
+    // Two jobs with different seeds, priorities, and budgets share the
+    // pool; each must produce exactly the tallies of its own one-shot
+    // run (no cross-talk between concurrently-running campaigns).
+    let low = submit(addr, r#"{"n": 40, "seed": 21, "priority": 1, "budget": 1}"#);
+    let high = submit(addr, r#"{"n": 40, "seed": 22, "priority": 8, "budget": 1}"#);
+    wait_for(addr, low, "done", Duration::from_secs(120));
+    wait_for(addr, high, "done", Duration::from_secs(120));
+
+    assert_eq!(payload_of(&fetch_report(addr, low)), one_shot_payload(40, 21));
+    assert_eq!(payload_of(&fetch_report(addr, high)), one_shot_payload(40, 22));
+
+    let (_, status_doc) = get(addr, "/status");
+    assert_eq!(
+        status_doc.get("jobs").and_then(|j| j.get("done")).and_then(Json::as_u64),
+        Some(2),
+        "{status_doc:?}"
+    );
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn queued_jobs_dispatch_by_priority_then_fifo() {
+    let (mut server, addr, dir) = start("ordering", 1);
+
+    // Saturate the single worker, then queue three more jobs. The queue
+    // must order them priority-first, FIFO within a priority.
+    let _running = submit(addr, r#"{"n": 300, "seed": 1}"#);
+    let low_a = submit(addr, r#"{"n": 5, "seed": 2, "priority": 1}"#);
+    let low_b = submit(addr, r#"{"n": 5, "seed": 3, "priority": 1}"#);
+    let mid = submit(addr, r#"{"n": 5, "seed": 4, "priority": 4}"#);
+
+    let (_, status_doc) = get(addr, "/status");
+    let queue: Vec<u64> = status_doc
+        .get("queue")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    // `mid` outranks both low-priority jobs; the two low jobs keep
+    // submission order. (The first job may be running or still queued at
+    // head, so only check the relative order of the three.)
+    let pos = |id: u64| queue.iter().position(|&q| q == id).unwrap();
+    assert!(pos(mid) < pos(low_a), "{queue:?}");
+    assert!(pos(low_a) < pos(low_b), "{queue:?}");
+
+    // Everything eventually completes: saturation is not starvation.
+    for id in [low_a, low_b, mid] {
+        wait_for(addr, id, "done", Duration::from_secs(240));
+    }
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cancel_works_on_queued_and_running_jobs() {
+    let (mut server, addr, dir) = start("cancel", 1);
+
+    // A long job holds the only worker; a queued job behind it.
+    let running = submit(addr, r#"{"n": 5000, "seed": 5, "chunk": 4}"#);
+    let queued = submit(addr, r#"{"n": 50, "seed": 6}"#);
+    wait_for(addr, running, "running", Duration::from_secs(60));
+
+    // Cancelling a queued job is immediate.
+    let (status, doc) = post(addr, &format!("/jobs/{queued}/cancel"), "");
+    assert_eq!(status, 200, "{doc:?}");
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("cancelled"));
+
+    // Cancelling the running job stops it at the next lease boundary.
+    let (status, _) = post(addr, &format!("/jobs/{running}/cancel"), "");
+    assert_eq!(status, 200);
+    wait_for(addr, running, "cancelled", Duration::from_secs(60));
+
+    // No report for a cancelled job.
+    let (status, _) = http_request(addr, "GET", &format!("/jobs/{running}/report"), None).unwrap();
+    assert_eq!(status, 409);
+
+    // Cancelling again conflicts.
+    let (status, _) = post(addr, &format!("/jobs/{running}/cancel"), "");
+    assert_eq!(status, 409);
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn high_priority_preempts_and_both_finish_correct() {
+    let (mut server, addr, dir) = start("preempt", 1);
+
+    // One worker, one long low-priority job: a high-priority arrival can
+    // only run if the scheduler preempts via checkpoint.
+    let big = submit(addr, r#"{"n": 1500, "seed": 31, "chunk": 4}"#);
+    wait_for(addr, big, "running", Duration::from_secs(60));
+    let urgent = submit(addr, r#"{"n": 10, "seed": 32, "priority": 9}"#);
+    wait_for(addr, urgent, "done", Duration::from_secs(120));
+
+    // The big job was preempted, not killed: it finishes afterwards with
+    // the exact one-shot payload despite the checkpoint round-trip.
+    wait_for(addr, big, "done", Duration::from_secs(600));
+    assert_eq!(payload_of(&fetch_report(addr, urgent)), one_shot_payload(10, 32));
+    assert_eq!(payload_of(&fetch_report(addr, big)), one_shot_payload(1500, 31));
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn drain_persists_and_restart_resumes_to_identical_report() {
+    let (mut server, addr, dir) = start("resume", 2);
+
+    let id = submit(addr, r#"{"n": 900, "seed": 41, "chunk": 4}"#);
+    wait_for(addr, id, "running", Duration::from_secs(60));
+    // Let it make some checkpointed progress before draining.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Graceful drain: stop leasing, checkpoint, persist, exit.
+    let (status, doc) = post(addr, "/drain", "");
+    assert_eq!(status, 200, "{doc:?}");
+    // Draining daemons refuse new work.
+    let (status, _) = post(addr, "/jobs", r#"{"n": 5}"#);
+    assert_eq!(status, 503);
+    server.drain();
+
+    // Restart on the same state dir: the job resumes from its checkpoint
+    // and completes; the final report is byte-identical to a clean
+    // one-shot run.
+    let server2 = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        http_threads: 2,
+        state_dir: dir.clone(),
+        checkpoint_interval: Duration::from_millis(100),
+    })
+    .unwrap();
+    let addr2 = server2.addr();
+    wait_for(addr2, id, "done", Duration::from_secs(600));
+    let report = fetch_report(addr2, id);
+    assert_eq!(payload_of(&report), one_shot_payload(900, 41));
+    // And it genuinely resumed rather than restarting from scratch:
+    // the volatile section shows fewer completions in the final run
+    // than the campaign total.
+    let doc = Json::parse(&report).unwrap();
+    let this_run =
+        doc.get("run").and_then(|r| r.get("completed_this_run")).and_then(Json::as_u64).unwrap();
+    assert!(this_run < 900, "expected a resumed run, got completed_this_run={this_run}");
+
+    drop(server2);
+    let _ = std::fs::remove_dir_all(dir);
+}

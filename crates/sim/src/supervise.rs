@@ -134,6 +134,68 @@ fn install_quiet_hook() {
     });
 }
 
+/// Process-wide termination-signal wiring shared by every long-running
+/// front end (the one-shot `argus campaign` CLI and the `argus serve`
+/// daemon): SIGINT and SIGTERM both flip one stop flag, so a campaign
+/// checkpoints and exits cleanly whether it is interrupted from a terminal
+/// (Ctrl-C) or told to shut down by a service manager (`systemctl stop`,
+/// `docker stop`, a CI timeout).
+///
+/// Installed lazily by [`signals::install`]; subcommands that never call it
+/// keep the default signal behaviour.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+    /// Set once SIGINT or SIGTERM arrives; polled by campaign workers and
+    /// the daemon's scheduler loop.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    /// The signal number that set [`STOP`] (0 until one arrives) — lets a
+    /// front end report *why* it is draining.
+    static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+    extern "C" fn on_stop_signal(sig: i32) {
+        // Only async-signal-safe work here: two atomic stores.
+        LAST_SIGNAL.store(sig, Ordering::SeqCst);
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT and SIGTERM to the [`STOP`] flag. Idempotent; no-op
+    /// off Unix.
+    pub fn install() {
+        #[cfg(unix)]
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            signal(SIGINT, on_stop_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_stop_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Whether a termination signal has been received.
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+
+    /// Human-readable name of the signal that requested the stop, if any.
+    pub fn stop_cause() -> Option<&'static str> {
+        match LAST_SIGNAL.load(Ordering::SeqCst) {
+            2 => Some("SIGINT"),
+            15 => Some("SIGTERM"),
+            _ => None,
+        }
+    }
+
+    /// Clears the flag (tests and daemon restarts within one process).
+    pub fn reset() {
+        STOP.store(false, Ordering::SeqCst);
+        LAST_SIGNAL.store(0, Ordering::SeqCst);
+    }
+}
+
 /// Extracts the human-readable message from a panic payload.
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -200,6 +262,25 @@ mod tests {
         assert_eq!(err, "static boom");
         // The thread-local is reset, so a later success is unaffected.
         assert_eq!(catch_supervised(|| "ok"), Ok("ok"));
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn signals_route_sigterm_to_the_stop_flag() {
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        signals::reset();
+        assert!(!signals::stop_requested());
+        assert_eq!(signals::stop_cause(), None);
+        signals::install();
+        // With the handler installed, SIGTERM must set the flag instead of
+        // killing the process — exactly what a service manager's stop does.
+        unsafe { raise(15) };
+        assert!(signals::stop_requested());
+        assert_eq!(signals::stop_cause(), Some("SIGTERM"));
+        signals::reset();
+        assert!(!signals::stop_requested());
     }
 
     #[test]
