@@ -76,6 +76,7 @@ fn run_via_daemon(n: usize, workers: usize, checkpoint_interval: Duration) -> (f
         http_threads: 2,
         state_dir: state_dir.clone(),
         checkpoint_interval,
+        lease_ttl: Duration::from_secs(10),
     })
     .expect("daemon start");
     let addr = server.addr();

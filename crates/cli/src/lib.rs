@@ -549,6 +549,14 @@ pub fn cmd_serve(mut args: Args) -> Result<String, CliError> {
             .ok_or_else(|| usage("bad --checkpoint-interval-ms (want an integer >= 1)"))?,
         None => 500,
     };
+    let lease_ttl_ms: u64 = match args.opt("--lease-ttl-ms") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| usage("bad --lease-ttl-ms (want an integer >= 1)"))?,
+        None => 10_000,
+    };
     args.finish()?;
 
     signals::install();
@@ -558,6 +566,7 @@ pub fn cmd_serve(mut args: Args) -> Result<String, CliError> {
         http_threads,
         state_dir: std::path::PathBuf::from(&state_dir),
         checkpoint_interval: std::time::Duration::from_millis(checkpoint_interval_ms),
+        lease_ttl: std::time::Duration::from_millis(lease_ttl_ms),
     })
     .map_err(fail)?;
     eprintln!(
@@ -574,6 +583,67 @@ pub fn cmd_serve(mut args: Args) -> Result<String, CliError> {
     server.drain();
     eprintln!("argus serve: drained; unfinished jobs resume on next start");
     Ok(String::new())
+}
+
+/// `argus worker`: a remote campaign worker.
+///
+/// Connects to an `argus serve` daemon, leases injection chunks from its
+/// distributed jobs, executes them against locally reconstructed state,
+/// and posts the merged tallies back. Reconnects with capped backoff
+/// when the daemon is unreachable; SIGINT/SIGTERM drains gracefully
+/// (finish held chunks, stop leasing, exit 0).
+pub fn cmd_worker(mut args: Args) -> Result<String, CliError> {
+    let connect: std::net::SocketAddr = args
+        .opt("--connect")
+        .ok_or_else(|| usage("--connect HOST:PORT is required"))?
+        .parse()
+        .map_err(|_| usage("bad --connect (want HOST:PORT)"))?;
+    let workers: usize = match args.opt("--workers") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| usage("bad --workers (want an integer >= 1)"))?,
+        None => 1,
+    };
+    let poll_ms: u64 = match args.opt("--poll-ms") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| usage("bad --poll-ms (want an integer >= 1)"))?,
+        None => 500,
+    };
+    let job: Option<u64> = match args.opt("--job") {
+        Some(s) => Some(s.parse().map_err(|_| usage("bad --job (want an integer id)"))?),
+        None => None,
+    };
+    let name = args.opt("--name").unwrap_or_else(|| format!("w{}", std::process::id()));
+    if name.is_empty() || name.starts_with("local:") {
+        return Err(usage("--name must be non-empty and not use the `local:` prefix"));
+    }
+    args.finish()?;
+
+    signals::install();
+    let wcfg = argus_remote::WorkerConfig {
+        connect,
+        workers,
+        poll: std::time::Duration::from_millis(poll_ms),
+        job,
+        name: name.clone(),
+    };
+    eprintln!(
+        "argus worker: `{name}` connecting to http://{connect} ({workers} executor thread(s))"
+    );
+    let summary =
+        argus_remote::run_worker(&wcfg, &signals::STOP).map_err(|e| fail(e.to_string()))?;
+    if let Some(cause) = signals::stop_cause() {
+        eprintln!("argus worker: drained ({cause})");
+    }
+    Ok(format!(
+        "worker `{name}`: {} job(s), {} chunk(s) accepted ({} duplicate(s)), {} injection(s)\n",
+        summary.jobs, summary.chunks, summary.duplicates, summary.injections
+    ))
 }
 
 /// Human-readable rendering of a sharded campaign's merged tallies.
@@ -829,6 +899,7 @@ pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
         "sites" => cmd_sites(args),
         "campaign" => cmd_campaign(args),
         "serve" => cmd_serve(args),
+        "worker" => cmd_worker(args),
         "snapshot" => cmd_snapshot(args),
         "verify" => cmd_verify(args),
         other => Err(usage(format!("unknown command `{other}`\n{USAGE}"))),
@@ -837,7 +908,7 @@ pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
 
 /// Top-level usage text.
 pub const USAGE: &str =
-    "usage: argus <asm|run|inject|verify|sites|campaign|serve|snapshot> [options]
+    "usage: argus <asm|run|inject|verify|sites|campaign|serve|worker|snapshot> [options]
   argus asm <file.s> [--argus]
   argus run <file.s> [--baseline] [--two-way] [--regs r3,r4] [--max-cycles N]
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
@@ -849,6 +920,9 @@ pub const USAGE: &str =
                  [--strict] [--json] [--quiet]
   argus serve [--addr HOST:PORT] [--workers N] [--http-threads N]
               [--state-dir PATH] [--checkpoint-interval-ms MS]
+              [--lease-ttl-ms MS]
+  argus worker --connect HOST:PORT [--workers N] [--poll-ms MS]
+               [--job ID] [--name NAME]
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]
@@ -874,6 +948,12 @@ campaigns over an HTTP/JSON API with priorities, per-job worker budgets,
 checkpoint-backed preemption, and streaming progress; SIGTERM/SIGINT (or
 POST /drain) checkpoints everything and exits 0, and the next start
 resumes all unfinished jobs. See EXPERIMENTS.md for the API reference.
+worker joins a daemon's distributed jobs (submitted with
+\"distributed\":true) from any machine: it cold-starts from the job
+manifest, verifies its reconstruction against content-addressed
+snapshots, then leases chunks, runs them, and posts tallies back.
+Results are byte-identical to a local run regardless of worker count,
+crashes, or duplicated posts.
 Exit codes (all verbs): 0 success, 1 runtime failure, 2 usage error";
 
 #[cfg(test)]

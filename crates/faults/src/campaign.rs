@@ -410,6 +410,24 @@ impl PreparedCampaign {
         self.snapshot_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// The campaign's entry state: a fresh machine with the compiled image
+    /// loaded and a checker armed with the entry DCS, at cycle 0 — exactly
+    /// what every cold-booted injection starts from. Distributed campaigns
+    /// serialize this pair as the content-addressed `golden-entry` artifact
+    /// so a remote worker can verify that its locally reconstructed state
+    /// is bit-identical to the coordinator's before leasing any work
+    /// (catching version skew, a different workload, or a diverging
+    /// compiler).
+    pub fn entry_state(&self, cfg: &CampaignConfig) -> (Machine, Argus) {
+        let mut m = Machine::new(cfg.mcfg);
+        self.prog.load(&mut m);
+        let mut argus = Argus::new(cfg.acfg);
+        if let Some(d) = self.prog.entry_dcs {
+            argus.expect_entry(d);
+        }
+        (m, argus)
+    }
+
     /// Drains accumulated snapshot-corruption warnings.
     pub fn take_snapshot_warnings(&self) -> Vec<String> {
         let mut guard =

@@ -137,9 +137,12 @@ impl CampaignTally {
         self.quarantine.insert(at, q);
     }
 
-    /// Adds every accumulator of `other` into `self` (legacy per-shard
-    /// checkpoints merge into one global tally on load).
-    fn merge(&mut self, other: &CampaignTally) {
+    /// Adds every accumulator of `other` into `self`. Legal whenever the
+    /// two tallies cover disjoint injection-index sets: every field is
+    /// commutative, so merging partial tallies in any order yields the
+    /// serial result. Used by legacy per-shard checkpoint loading and by
+    /// the distributed lease protocol's chunk completions.
+    pub fn merge(&mut self, other: &CampaignTally) {
         for (acc, &c) in self.outcomes.iter_mut().zip(other.outcomes.iter()) {
             *acc += c;
         }
@@ -491,7 +494,9 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
-fn tally_to_json(t: &CampaignTally) -> Json {
+/// Serializes a tally to the stable JSON shape used by checkpoint files
+/// and by the distributed `complete` wire message.
+pub fn tally_to_json(t: &CampaignTally) -> Json {
     Json::obj()
         .set("outcomes", Json::Arr(t.outcomes.iter().map(|&c| c.into()).collect()))
         .set("exercised", t.exercised)
@@ -513,7 +518,8 @@ fn tally_to_json(t: &CampaignTally) -> Json {
         .set("quarantine", Json::Arr(t.quarantine.iter().map(quarantine_to_json).collect()))
 }
 
-fn tally_from_json(doc: &Json) -> Result<CampaignTally, CheckpointError> {
+/// Parses the tally shape written by [`tally_to_json`].
+pub fn tally_from_json(doc: &Json) -> Result<CampaignTally, CheckpointError> {
     let outcomes_arr =
         doc.get("outcomes").and_then(Json::as_arr).ok_or_else(|| corrupt("missing outcomes"))?;
     if outcomes_arr.len() != 4 {

@@ -180,6 +180,45 @@ pub struct ShardedReport {
     /// True when resume had to fall back to the `.bak` checkpoint
     /// generation.
     pub used_backup_checkpoint: bool,
+    /// Distributed-execution accounting, present only on runs coordinated
+    /// through the remote lease protocol. Volatile (scheduling-shaped), so
+    /// it serializes under the `"run"` key and never perturbs the
+    /// deterministic payload.
+    pub remote: Option<RemoteRunStats>,
+}
+
+/// Accounting for a distributed (remote-lease) run: how the chunk pool was
+/// split between the daemon's local workers and remote `argus worker`
+/// processes, and how often the lease machinery had to intervene. All
+/// values are wall-clock/schedule shaped — two identical campaigns may
+/// differ here — so they live under the report's volatile `"run"` key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemoteRunStats {
+    /// Distinct remote workers that ever held a lease this run.
+    pub workers_seen: u64,
+    /// Chunks completed over the wire by remote workers.
+    pub remote_chunks: u64,
+    /// Chunks completed by the daemon's local pool workers.
+    pub local_chunks: u64,
+    /// Leases that expired (missed heartbeats) and were reissued.
+    pub expired_leases: u64,
+    /// Duplicate `complete` posts dropped by chunk/range dedup.
+    pub duplicate_completes: u64,
+    /// Artifact bodies served to cold-starting workers.
+    pub artifact_fetches: u64,
+}
+
+impl RemoteRunStats {
+    /// The `"remote"` object under the report's `"run"` key.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("workers_seen", self.workers_seen)
+            .set("remote_chunks", self.remote_chunks)
+            .set("local_chunks", self.local_chunks)
+            .set("expired_leases", self.expired_leases)
+            .set("duplicate_completes", self.duplicate_completes)
+            .set("artifact_fetches", self.artifact_fetches)
+    }
 }
 
 impl ShardedReport {
@@ -242,7 +281,7 @@ impl ShardedReport {
             outcomes = outcomes.set(o.label(), self.count(o));
             fractions = fractions.set(o.label(), self.fraction(o));
         }
-        let run = Json::obj()
+        let mut run = Json::obj()
             .set("elapsed_seconds", self.elapsed.as_secs_f64())
             .set("injections_per_second", self.rate())
             .set("completed_this_run", self.completed_this_run)
@@ -260,6 +299,9 @@ impl ShardedReport {
                 Json::Arr(self.recovery_warnings.iter().map(|w| w.as_str().into()).collect()),
             )
             .set("used_backup_checkpoint", self.used_backup_checkpoint);
+        if let Some(remote) = &self.remote {
+            run = run.set("remote", remote.to_json());
+        }
         Json::obj()
             .set(
                 "kind",
@@ -420,7 +462,7 @@ impl Scheduler {
 }
 
 /// Folds `index` into a sorted, disjoint, coalesced range set.
-fn mark_done(done: &mut Vec<Range<usize>>, index: usize) {
+pub fn mark_done(done: &mut Vec<Range<usize>>, index: usize) {
     let i = done.partition_point(|r| r.end < index);
     if i < done.len() {
         if done[i].start <= index && index < done[i].end {
@@ -442,8 +484,41 @@ fn mark_done(done: &mut Vec<Range<usize>>, index: usize) {
     done.insert(i, index..index + 1);
 }
 
+/// Folds a whole chunk range into a sorted, disjoint, coalesced range set
+/// (the distributed lease protocol completes work a chunk at a time).
+pub fn mark_range_done(done: &mut Vec<Range<usize>>, range: Range<usize>) {
+    for index in range {
+        mark_done(done, index);
+    }
+}
+
+/// Whether `range` overlaps the done set at all, and whether it is fully
+/// covered by it. `(overlaps, covered)`: a duplicate chunk completion is
+/// `(true, true)`; fresh work is `(false, false)`; `(true, false)` is a
+/// partial overlap the lease protocol treats as a protocol violation.
+pub fn range_overlap(done: &[Range<usize>], range: &Range<usize>) -> (bool, bool) {
+    if range.is_empty() {
+        return (false, true);
+    }
+    let mut covered_until = range.start;
+    let mut overlaps = false;
+    for r in done {
+        if r.start >= range.end {
+            break;
+        }
+        if r.end <= range.start {
+            continue;
+        }
+        overlaps = true;
+        if r.start <= covered_until {
+            covered_until = covered_until.max(r.end);
+        }
+    }
+    (overlaps, covered_until >= range.end)
+}
+
 /// The unleased complement of a done-range set within `0..n`.
-fn complement(done: &[Range<usize>], n: usize) -> Vec<Range<usize>> {
+pub fn complement(done: &[Range<usize>], n: usize) -> Vec<Range<usize>> {
     let mut out = Vec::new();
     let mut at = 0;
     for r in done {
@@ -812,6 +887,7 @@ pub fn run_sharded(
         snapshot_fallbacks: prep.snapshot_fallbacks(),
         recovery_warnings,
         used_backup_checkpoint,
+        remote: None,
     })
 }
 
@@ -871,6 +947,59 @@ mod tests {
             run_sharded(&w, &cfg, &ocfg, &stop, &progress),
             Err(OrchestratorError::Config(_))
         ));
+    }
+
+    #[test]
+    fn chunk_larger_than_remaining_clamps_instead_of_empty_lease() {
+        // Regression: a --chunk far beyond the remaining injection count
+        // must clamp the lease to the remnant, never hand out an empty or
+        // out-of-range chunk.
+        let mut s = Scheduler::new(vec![0..5], 1, 1000);
+        let home = 0..5;
+        let mut drained = Vec::new();
+        while let Some(l) = s.lease(&home) {
+            assert!(!l.range.is_empty(), "oversized chunk must clamp, not issue empty");
+            assert!(l.range.end <= 5, "lease stays inside the pool");
+            drained.extend(l.range.clone());
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (0..5).collect::<Vec<_>>(), "pool fully drained");
+
+        // Same at the tail of a larger pool: the last lease is exactly the
+        // leftover, and every lease stays non-empty and in range.
+        let mut s = Scheduler::new(vec![0..7], 2, 64);
+        let mut seen = Vec::new();
+        while let Some(l) = s.lease(&(0..7)) {
+            assert!(!l.range.is_empty());
+            assert!(l.range.end <= 7);
+            seen.extend(l.range.clone());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>(), "every index leased exactly once");
+    }
+
+    #[test]
+    fn range_overlap_classifies_fresh_duplicate_partial() {
+        let done = vec![0..4, 8..12];
+        assert_eq!(range_overlap(&done, &(4..8)), (false, false), "fresh");
+        assert_eq!(range_overlap(&done, &(0..4)), (true, true), "duplicate");
+        assert_eq!(range_overlap(&done, &(8..12)), (true, true), "duplicate");
+        assert_eq!(range_overlap(&done, &(2..6)), (true, false), "partial");
+        assert_eq!(range_overlap(&done, &(0..12)), (true, false), "spanning");
+        assert_eq!(range_overlap(&[], &(0..3)), (false, false));
+    }
+
+    #[test]
+    fn mark_range_done_matches_per_index() {
+        let mut a = vec![2..4];
+        let mut b = vec![2..4];
+        mark_range_done(&mut a, 7..13);
+        for i in 7..13 {
+            mark_done(&mut b, i);
+        }
+        assert_eq!(a, b);
+        mark_range_done(&mut a, 4..7);
+        assert_eq!(a, vec![2..13]);
     }
 
     #[test]

@@ -43,8 +43,12 @@ pub mod json;
 pub mod progress;
 
 pub use checkpoint::{
-    backup_path, CampaignTally, Checkpoint, CheckpointError, Fingerprint, Recovery,
+    backup_path, tally_from_json, tally_to_json, CampaignTally, Checkpoint, CheckpointError,
+    Fingerprint, Recovery,
 };
-pub use engine::{run_sharded, shard_ranges, OrchestratorConfig, OrchestratorError, ShardedReport};
+pub use engine::{
+    complement, mark_done, mark_range_done, range_overlap, run_sharded, shard_ranges,
+    OrchestratorConfig, OrchestratorError, RemoteRunStats, ShardedReport,
+};
 pub use json::Json;
 pub use progress::{Progress, ProgressSnapshot};

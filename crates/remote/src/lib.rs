@@ -1,0 +1,51 @@
+//! # argus-remote — distributed campaign workers
+//!
+//! Opens the orchestrator's chunk pool to the network: a campaign
+//! running under the daemon can be drained by remote `argus worker`
+//! processes that lease injection chunks over plain HTTP/1.1, execute
+//! them against locally reconstructed state, and post merged tallies
+//! back. Std-only, like everything else in the tree.
+//!
+//! The design leans entirely on two properties the repo already
+//! guarantees:
+//!
+//! * **Determinism** — injection `i` of a campaign draws all randomness
+//!   from a stream keyed by `(seed, i)`; *who* runs it and *when* is
+//!   irrelevant to its result.
+//! * **Commutativity** — every tally accumulator merges commutatively,
+//!   so chunk results can arrive in any order.
+//!
+//! On top of that, three mechanisms make the wire safe (see
+//! `DESIGN.md` § Distributed execution for the full argument):
+//!
+//! * [`lease::LeasePool`] — time-bounded leases; a crashed or
+//!   partitioned worker's chunks expire and reissue *verbatim*, so no
+//!   work is lost and overlapping completions are always exact
+//!   duplicates;
+//! * [`share::CampaignShare`] — the coordinator-side dedup gate: every
+//!   completion (local, remote, duplicate, stale) crosses one lock that
+//!   either merges it or provably drops a byte-equal duplicate;
+//! * content-addressed artifacts ([`protocol::ArtifactRef`]) — workers
+//!   cold-start from a URL and fingerprint-check their reconstruction
+//!   against the coordinator's golden-entry snapshot before running
+//!   anything.
+//!
+//! The result: a distributed run's report is byte-identical to one-shot
+//! `argus campaign --json` modulo the volatile `"run"` section, which
+//! the end-to-end tests and `scripts/distributed_smoke.sh` enforce —
+//! including runs where a worker is SIGKILLed mid-campaign.
+
+pub mod client;
+pub mod coordinator;
+pub mod lease;
+pub mod protocol;
+pub mod share;
+pub mod worker;
+
+pub use coordinator::{run_distributed, DistributedConfig};
+pub use lease::{LeaseGrant, LeasePool};
+pub use protocol::{
+    ArtifactRef, CompleteReply, CompleteRequest, LeaseReply, Manifest, PROTOCOL_VERSION,
+};
+pub use share::{CampaignShare, CompleteVerdict, LOCAL_PREFIX};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary};

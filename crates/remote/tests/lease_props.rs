@@ -1,0 +1,201 @@
+//! Property: **any** interleaving of worker crashes, lease expiries,
+//! and duplicate `complete` posts yields a merged tally identical to a
+//! serial run over the same indices.
+//!
+//! The simulation drives a real [`CampaignShare`] (the exact dedup gate
+//! the daemon's HTTP handlers call) with a synthetic clock and
+//! synthetic per-index tallies. Each index `i` contributes a
+//! quarantine record whose fields are functions of `i` alone — the
+//! distributed-determinism contract in miniature — so the merged tally
+//! exposes *which* indices were counted and *how many times*: a single
+//! double-merge or dropped chunk changes the index-sorted quarantine
+//! ledger and the accounting totals.
+
+use argus_faults::campaign::QuarantineRecord;
+use argus_orchestrator::{tally_to_json, CampaignTally};
+use argus_remote::{CampaignShare, CompleteVerdict, LeasePool, LeaseReply, Manifest};
+use argus_sim::fault::FaultKind;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+const N: usize = 30;
+const TTL: Duration = Duration::from_secs(1);
+const WORKERS: [&str; 4] = ["alpha", "beta", "gamma", "local:0"];
+
+/// The deterministic per-index contribution: what a real injection's
+/// result is to a real campaign — a pure function of the index.
+fn index_tally(range: &Range<usize>) -> CampaignTally {
+    let mut t = CampaignTally::empty();
+    for i in range.clone() {
+        t.apply_quarantined(QuarantineRecord {
+            index: i as u64,
+            seed: 0xA5A5 ^ i as u64,
+            panic_msg: format!("synthetic-{i}"),
+        });
+    }
+    t
+}
+
+fn serial_reference() -> CampaignTally {
+    index_tally(&(0..N))
+}
+
+fn fresh_share() -> CampaignShare {
+    let manifest = Manifest {
+        version: argus_remote::PROTOCOL_VERSION,
+        job: 1,
+        workload: "stress".into(),
+        injections: N,
+        seed: 0,
+        kind: FaultKind::Transient,
+        snapshot_every: None,
+        golden_cycles: 1,
+        lease_ttl_ms: TTL.as_millis() as u64,
+        artifacts: vec![],
+    };
+    let whole = 0..N;
+    let pool = LeasePool::new(vec![whole], 3, TTL);
+    CampaignShare::new(manifest, vec![], pool, Vec::new(), CampaignTally::empty(), N)
+}
+
+/// One scripted action against the share.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Worker leases a chunk and holds it.
+    Lease(usize),
+    /// Worker completes its oldest held chunk.
+    Complete(usize),
+    /// Worker re-posts an already-acknowledged completion verbatim
+    /// (lost-reply retry).
+    DuplicatePost(usize),
+    /// Worker crashes: held chunks are forgotten, never completed.
+    Crash(usize),
+    /// The clock jumps past the TTL and the coordinator sweeps.
+    ExpireSweep,
+    /// Worker renews its held chunks.
+    Heartbeat(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..6, 0usize..WORKERS.len()).prop_map(|(kind, w)| match kind {
+        0 => Op::Lease(w),
+        1 => Op::Complete(w),
+        2 => Op::DuplicatePost(w),
+        3 => Op::Crash(w),
+        4 => Op::ExpireSweep,
+        _ => Op::Heartbeat(w),
+    })
+}
+
+proptest! {
+    #[test]
+    fn any_crash_and_duplicate_interleaving_matches_serial(
+        ops in prop::collection::vec(op_strategy(), 0..120)
+    ) {
+        let share = fresh_share();
+        let base = Instant::now();
+        let mut now = base;
+        // Held grants per worker, and every acknowledged completion
+        // (for duplicate re-posts).
+        let mut held: HashMap<usize, Vec<(u64, Range<usize>)>> = HashMap::new();
+        let mut acked: Vec<(usize, u64, Range<usize>)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Lease(w) => {
+                    if let LeaseReply::Grant { chunk, range, .. } =
+                        share.lease(WORKERS[*w], now)
+                    {
+                        held.entry(*w).or_default().push((chunk, range));
+                    }
+                }
+                Op::Complete(w) => {
+                    if let Some((chunk, range)) =
+                        held.get_mut(w).and_then(|v| (!v.is_empty()).then(|| v.remove(0)))
+                    {
+                        let v = share.complete(
+                            WORKERS[*w], chunk, &range, &index_tally(&range),
+                        );
+                        prop_assert!(
+                            !matches!(v, CompleteVerdict::Conflict(_)),
+                            "live completion must never conflict"
+                        );
+                        acked.push((*w, chunk, range));
+                    }
+                }
+                Op::DuplicatePost(w) => {
+                    if let Some((_, chunk, range)) =
+                        acked.iter().find(|(ow, _, _)| ow == w).cloned()
+                    {
+                        let v = share.complete(
+                            WORKERS[w.to_owned()], chunk, &range, &index_tally(&range),
+                        );
+                        prop_assert!(
+                            matches!(v, CompleteVerdict::Duplicate { .. }),
+                            "verbatim re-post must be classified duplicate, got {v:?}"
+                        );
+                    }
+                }
+                Op::Crash(w) => {
+                    // SIGKILL: grants vanish from the worker's memory;
+                    // the pool still holds them until expiry.
+                    held.remove(w);
+                }
+                Op::ExpireSweep => {
+                    now += TTL + Duration::from_millis(1);
+                    share.expire(now);
+                    // Chunks the sweep reclaimed can re-lease; grants
+                    // still in `held` may now be stale — completing
+                    // them later exercises the late-complete path.
+                }
+                Op::Heartbeat(w) => {
+                    let ids: Vec<u64> =
+                        held.get(w).map(|v| v.iter().map(|(c, _)| *c).collect()).unwrap_or_default();
+                    share.heartbeat(WORKERS[*w], &ids, now);
+                }
+            }
+        }
+
+        // Drain: one surviving worker finishes whatever is left, with
+        // expiry sweeps recovering anything still stuck in dead hands.
+        let mut spins = 0;
+        while !share.finished() {
+            spins += 1;
+            prop_assert!(spins < 10_000, "drain loop wedged");
+            match share.lease("drainer", now) {
+                LeaseReply::Grant { chunk, range, .. } => {
+                    share.complete("drainer", chunk, &range, &index_tally(&range));
+                }
+                LeaseReply::Empty { done } => {
+                    prop_assert!(!done || share.finished());
+                    now += TTL + Duration::from_millis(1);
+                    share.expire(now);
+                }
+            }
+        }
+
+        // Stragglers limp in after the campaign finished: every held
+        // grant completes late, then every acked completion re-posts.
+        // None of it may perturb the tally.
+        for (w, grants) in &held {
+            for (chunk, range) in grants {
+                let v = share.complete(WORKERS[*w], *chunk, range, &index_tally(range));
+                prop_assert!(matches!(v, CompleteVerdict::Duplicate { .. }));
+            }
+        }
+        for (w, chunk, range) in &acked {
+            let v = share.complete(WORKERS[*w], *chunk, range, &index_tally(range));
+            prop_assert!(matches!(v, CompleteVerdict::Duplicate { .. }));
+        }
+
+        let (_, merged) = share.checkpoint_state();
+        let serial = serial_reference();
+        prop_assert_eq!(
+            tally_to_json(&merged).to_string_compact(),
+            tally_to_json(&serial).to_string_compact(),
+            "merged tally must be byte-identical to the serial run"
+        );
+    }
+}

@@ -14,11 +14,23 @@
 //! | GET    | `/jobs/<id>/report`       | stored report bytes (done jobs only)   |
 //! | POST   | `/jobs/<id>/cancel`       | cancel queued or running job           |
 //! | POST   | `/drain`                  | graceful shutdown request              |
+//!
+//! Distributed-worker endpoints (see `argus_remote::protocol`):
+//!
+//! | Method | Path                          | What                                |
+//! |--------|-------------------------------|-------------------------------------|
+//! | GET    | `/work`                       | leasable distributed job ids        |
+//! | GET    | `/jobs/<id>/manifest`         | campaign manifest for cold start    |
+//! | GET    | `/jobs/<id>/artifacts/<crc>`  | raw ARGSNAP artifact body           |
+//! | POST   | `/jobs/<id>/lease`            | lease one injection chunk           |
+//! | POST   | `/jobs/<id>/complete`         | post a chunk's merged tally         |
+//! | POST   | `/jobs/<id>/heartbeat`        | renew held leases                   |
 
 use crate::daemon::{CancelError, Daemon, SubmitError};
 use crate::http::{Handler, Request, Response};
 use crate::jobs::{report_path, JobId, JobSpec, JobState};
 use argus_orchestrator::Json;
+use argus_remote::{CampaignShare, CompleteRequest, LOCAL_PREFIX};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,8 +64,14 @@ fn route(daemon: &Arc<Daemon>, req: &Request) -> Response {
         ("GET", ["jobs", id, "report"]) => with_id(id, |id| report(daemon, id)),
         ("POST", ["jobs", id, "cancel"]) => with_id(id, |id| cancel(daemon, id)),
         ("POST", ["drain"]) => drain(daemon),
+        ("GET", ["work"]) => work(daemon),
+        ("GET", ["jobs", id, "manifest"]) => with_id(id, |id| manifest(daemon, id)),
+        ("GET", ["jobs", id, "artifacts", hash]) => with_id(id, |id| artifact(daemon, id, hash)),
+        ("POST", ["jobs", id, "lease"]) => with_id(id, |id| lease(daemon, id, req)),
+        ("POST", ["jobs", id, "complete"]) => with_id(id, |id| complete(daemon, id, req)),
+        ("POST", ["jobs", id, "heartbeat"]) => with_id(id, |id| heartbeat(daemon, id, req)),
         // Known paths with the wrong verb are 405, everything else 404.
-        (_, ["healthz" | "status" | "jobs" | "drain", ..]) => {
+        (_, ["healthz" | "status" | "jobs" | "drain" | "work", ..]) => {
             error(405, "method not allowed for this path")
         }
         _ => error(404, "no such endpoint"),
@@ -194,7 +212,7 @@ fn report(daemon: &Arc<Daemon>, id: JobId) -> Response {
         return error(409, &format!("job is {}, report only exists once done", state.label()));
     }
     match std::fs::read(report_path(&daemon.cfg.state_dir, id)) {
-        Ok(bytes) => Response { status: 200, content_type: "application/json", body: bytes },
+        Ok(bytes) => Response::bytes(200, "application/json", bytes),
         Err(e) => error(500, &format!("report missing from state dir: {e}")),
     }
 }
@@ -210,4 +228,126 @@ fn cancel(daemon: &Arc<Daemon>, id: JobId) -> Response {
 fn drain(daemon: &Arc<Daemon>) -> Response {
     daemon.request_drain();
     ok(Json::obj().set("draining", true))
+}
+
+// ---------------------------------------------------------------- remote
+
+fn work(daemon: &Arc<Daemon>) -> Response {
+    let jobs: Vec<Json> = daemon.leasable_jobs().into_iter().map(Json::from).collect();
+    ok(Json::obj().set("jobs", Json::Arr(jobs)))
+}
+
+/// The open lease pool for a distributed job, or the error that explains
+/// its absence: 404 for an unknown id, 409 for a job that exists but is
+/// not currently leasable (not distributed, queued, or already settled).
+fn open_share(daemon: &Arc<Daemon>, id: JobId) -> Result<Arc<CampaignShare>, Response> {
+    if let Some(share) = daemon.share(id) {
+        return Ok(share);
+    }
+    let st = daemon.state.lock().unwrap();
+    Err(match st.job(id) {
+        None => error(404, "no such job"),
+        Some(_) => error(409, "job has no open lease pool"),
+    })
+}
+
+fn body_json(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| error(400, "body must be UTF-8 JSON"))?;
+    Json::parse(text).map_err(|e| error(400, &format!("body is not valid JSON: {e}")))
+}
+
+/// The worker name from a lease/heartbeat body. The `local:` namespace
+/// belongs to the coordinator's own pool threads; a remote worker
+/// claiming it would skew the remote/local accounting split.
+fn worker_name(doc: &Json) -> Result<String, Response> {
+    let name = doc
+        .get("worker")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error(400, "body must carry a `worker` name"))?;
+    if name.is_empty() || name.starts_with(LOCAL_PREFIX) {
+        return Err(error(400, "worker name must be non-empty and not use the `local:` prefix"));
+    }
+    Ok(name.to_owned())
+}
+
+fn manifest(daemon: &Arc<Daemon>, id: JobId) -> Response {
+    match open_share(daemon, id) {
+        Ok(share) => ok(share.manifest.to_json()),
+        Err(resp) => resp,
+    }
+}
+
+fn artifact(daemon: &Arc<Daemon>, id: JobId, hash: &str) -> Response {
+    let share = match open_share(daemon, id) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    match share.artifact(hash) {
+        Some(bytes) => Response::bytes(200, "application/octet-stream", bytes),
+        None => error(404, "no artifact with that hash"),
+    }
+}
+
+fn lease(daemon: &Arc<Daemon>, id: JobId, req: &Request) -> Response {
+    let share = match open_share(daemon, id) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let worker = match body_json(req).and_then(|doc| worker_name(&doc)) {
+        Ok(w) => w,
+        Err(resp) => return resp,
+    };
+    let reply = share.lease(&worker, Instant::now());
+    daemon.wake.notify_all();
+    ok(reply.to_json())
+}
+
+fn complete(daemon: &Arc<Daemon>, id: JobId, req: &Request) -> Response {
+    let share = match open_share(daemon, id) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let doc = match body_json(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let post = match CompleteRequest::from_json(&doc) {
+        Ok(p) => p,
+        Err(e) => return error(400, &e),
+    };
+    if post.worker.starts_with(LOCAL_PREFIX) {
+        return error(400, "worker name must not use the `local:` prefix");
+    }
+    let verdict = share.complete(&post.worker, post.chunk, &post.range, &post.tally);
+    daemon.wake.notify_all();
+    match CampaignShare::reply_for(&verdict) {
+        Ok(reply) => ok(reply.to_json()),
+        Err(msg) => error(409, &format!("completion conflicts with the lease ledger: {msg}")),
+    }
+}
+
+fn heartbeat(daemon: &Arc<Daemon>, id: JobId, req: &Request) -> Response {
+    let share = match open_share(daemon, id) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let doc = match body_json(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let worker = match worker_name(&doc) {
+        Ok(w) => w,
+        Err(resp) => return resp,
+    };
+    let mut chunks = Vec::new();
+    if let Some(arr) = doc.get("chunks").and_then(Json::as_arr) {
+        for c in arr {
+            match c.as_u64() {
+                Some(v) => chunks.push(v),
+                None => return error(400, "`chunks` must be an array of chunk ids"),
+            }
+        }
+    }
+    let renewed = share.heartbeat(&worker, &chunks, Instant::now());
+    ok(Json::obj().set("renewed", renewed as u64).set("ttl_ms", share.ttl_ms()))
 }

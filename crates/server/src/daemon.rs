@@ -30,8 +30,9 @@ use crate::http::{Handler, HttpServer};
 use crate::jobs::{checkpoint_path, report_path, JobId, JobRow, JobSpec, JobState, JobTable};
 use crate::queue::{JobQueue, QueueEntry};
 use argus_faults::CampaignConfig;
-use argus_orchestrator::{run_sharded, Json, OrchestratorConfig, Progress};
-use std::collections::VecDeque;
+use argus_orchestrator::{run_sharded, Json, OrchestratorConfig, Progress, RemoteRunStats};
+use argus_remote::{run_distributed, CampaignShare, DistributedConfig};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +60,9 @@ pub struct ServerConfig {
     /// Per-job checkpoint flush interval. Shorter = less work lost to a
     /// crash; results are identical either way.
     pub checkpoint_interval: Duration,
+    /// Remote chunk lease time-to-live for distributed jobs. A worker
+    /// silent for this long forfeits its chunks (they reissue).
+    pub lease_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +75,7 @@ impl Default for ServerConfig {
             http_threads: 4,
             state_dir: PathBuf::from("argus-serve-state"),
             checkpoint_interval: Duration::from_millis(500),
+            lease_ttl: Duration::from_secs(10),
         }
     }
 }
@@ -180,6 +185,11 @@ pub struct Daemon {
     stop: AtomicBool,
     /// Runner thread handles, joined on drain.
     runners: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Live distributed campaigns, keyed by job id: the HTTP handlers
+    /// route lease/complete/heartbeat/artifact calls through this. A
+    /// job registers when its pool opens and deregisters when its run
+    /// settles; a request for an absent id answers 409.
+    remote: Mutex<HashMap<JobId, Arc<CampaignShare>>>,
 }
 
 /// Submission failure modes the API maps to status codes.
@@ -199,6 +209,20 @@ pub enum CancelError {
 impl Daemon {
     fn jobs_path(&self) -> PathBuf {
         self.cfg.state_dir.join("jobs.json")
+    }
+
+    /// The live share for a distributed job, if its pool is open.
+    pub fn share(&self, id: JobId) -> Option<Arc<CampaignShare>> {
+        self.remote.lock().unwrap_or_else(|p| p.into_inner()).get(&id).cloned()
+    }
+
+    /// Job ids currently leasable by remote workers (ascending — workers
+    /// drain the oldest job first).
+    pub fn leasable_jobs(&self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> =
+            self.remote.lock().unwrap_or_else(|p| p.into_inner()).keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Persists the job table; failures are reported on stderr and do
@@ -319,12 +343,19 @@ impl Daemon {
         let Some(&head) = st.queue.peek() else {
             return false;
         };
-        if st.free >= 1 {
+        // Remote-only distributed jobs (budget 0) hold no pool workers,
+        // so they dispatch even when the pool is saturated — their
+        // execution capacity lives in `argus worker` processes.
+        let remote_only = st
+            .job(head.id)
+            .map(|j| j.row.spec.distributed && j.row.spec.budget == 0)
+            .unwrap_or(false);
+        if st.free >= 1 || remote_only {
             let head = st.queue.pop_front().unwrap();
             let alloc = {
                 let free = st.free;
                 let job = st.job_mut(head.id).expect("queued job exists");
-                let alloc = job.row.spec.budget.min(free).max(1);
+                let alloc = if remote_only { 0 } else { job.row.spec.budget.min(free).max(1) };
                 job.alloc = alloc;
                 job.stop = Arc::new(AtomicBool::new(false));
                 job.row.state = JobState::Running;
@@ -391,16 +422,49 @@ impl Daemon {
             ocfg.chunk = c;
         }
 
-        let progress = Progress::new(alloc);
+        // Distributed jobs run the coordinator loop on this thread; the
+        // progress tracker always has at least one shard because remote
+        // deltas are replayed into shard 0 even when alloc == 0.
+        let progress = Progress::new(if spec.distributed { alloc.max(1) } else { alloc });
         let sampler_stop = AtomicBool::new(false);
         let result = std::thread::scope(|scope| {
             scope.spawn(|| self.sample_progress(id, &progress, &sampler_stop));
             let result = catch_unwind(AssertUnwindSafe(|| {
-                run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &stop, &progress)
+                if spec.distributed {
+                    let dcfg = DistributedConfig { job: id, lease_ttl: self.cfg.lease_ttl };
+                    run_distributed(
+                        &argus_workloads::stress(),
+                        &cfg,
+                        &ocfg,
+                        &dcfg,
+                        &stop,
+                        &progress,
+                        &|share: &Arc<CampaignShare>| {
+                            self.remote
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .insert(id, Arc::clone(share));
+                            let mut st = self.state.lock().unwrap();
+                            if let Some(job) = st.job_mut(id) {
+                                job.push_event(
+                                    Json::obj()
+                                        .set("kind", "distributed_open")
+                                        .set("lease_ttl_ms", self.cfg.lease_ttl.as_millis() as u64),
+                                );
+                            }
+                            self.wake.notify_all();
+                        },
+                    )
+                } else {
+                    run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &stop, &progress)
+                }
             }));
             sampler_stop.store(true, Ordering::Relaxed);
             result
         });
+        if spec.distributed {
+            self.remote.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+        }
 
         let mut st = self.state.lock().unwrap();
         st.free += alloc;
@@ -458,17 +522,22 @@ impl Daemon {
     }
 
     /// Publishes a progress event whenever the numbers move, until the
-    /// runner raises `done`.
+    /// runner raises `done`. For distributed jobs it also watches the
+    /// share's remote accounting and turns deltas into discrete
+    /// `worker_connected` / `lease_expired` events.
     fn sample_progress(&self, id: JobId, progress: &Progress, done: &AtomicBool) {
         let mut last_done = u64::MAX;
+        let mut last_remote: Option<RemoteRunStats> = None;
         while !done.load(Ordering::Relaxed) {
             std::thread::sleep(SAMPLE_INTERVAL);
             let snap = progress.snapshot();
-            if snap.done == last_done {
+            let remote = self.share(id).map(|s| (s.stats(), s.outstanding()));
+            let remote_moved = remote.as_ref().map(|(s, _)| s) != last_remote.as_ref();
+            if snap.done == last_done && !remote_moved {
                 continue;
             }
             last_done = snap.done;
-            let payload = Json::obj()
+            let mut payload = Json::obj()
                 .set("kind", "progress")
                 .set("done", snap.done)
                 .set("total", snap.total)
@@ -477,9 +546,33 @@ impl Daemon {
                 .set("steals", snap.steals)
                 .set("busy_pct", snap.busy_pct)
                 .set("elapsed_ms", snap.elapsed.as_millis() as u64);
+            let mut extra: Vec<Json> = Vec::new();
+            if let Some((stats, outstanding)) = &remote {
+                payload =
+                    payload.set("remote", stats.to_json().set("outstanding", *outstanding as u64));
+                let prev = last_remote.take().unwrap_or_default();
+                if stats.workers_seen > prev.workers_seen {
+                    extra.push(
+                        Json::obj()
+                            .set("kind", "worker_connected")
+                            .set("workers_seen", stats.workers_seen),
+                    );
+                }
+                if stats.expired_leases > prev.expired_leases {
+                    extra.push(
+                        Json::obj()
+                            .set("kind", "lease_expired")
+                            .set("expired_leases", stats.expired_leases),
+                    );
+                }
+                last_remote = Some(stats.clone());
+            }
             let mut st = self.state.lock().unwrap();
             if let Some(job) = st.job_mut(id) {
                 job.last_progress = Some(payload.clone());
+                for ev in extra {
+                    job.push_event(ev);
+                }
                 job.push_event(payload);
             }
             self.wake.notify_all();
@@ -541,6 +634,7 @@ impl Server {
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
             runners: Mutex::new(Vec::new()),
+            remote: Mutex::new(HashMap::new()),
             cfg,
         });
         if resumed > 0 {

@@ -55,10 +55,14 @@ pub struct JobSpec {
     /// Scheduler priority, `0..=MAX_PRIORITY`; higher preempts lower.
     pub priority: u8,
     /// Worker budget: the most pool workers this job may hold at once.
+    /// Zero is legal only for distributed jobs (remote-only: every chunk
+    /// runs on `argus worker` processes, none on the daemon's pool).
     pub budget: usize,
     /// Scheduler lease size cap (`OrchestratorConfig::chunk` default when
     /// absent).
     pub chunk: Option<usize>,
+    /// Open this job's chunk pool to remote `argus worker` leasing.
+    pub distributed: bool,
 }
 
 impl JobSpec {
@@ -68,7 +72,7 @@ impl JobSpec {
     pub fn from_json(doc: &Json, max_budget: usize) -> Result<Self, String> {
         let obj = doc.as_obj().ok_or("job spec must be a JSON object")?;
         const KNOWN: &[&str] =
-            &["n", "seed", "kind", "snapshot_every", "priority", "budget", "chunk"];
+            &["n", "seed", "kind", "snapshot_every", "priority", "budget", "chunk", "distributed"];
         for (key, _) in obj {
             if !KNOWN.contains(&key.as_str()) {
                 return Err(format!("unknown field `{key}` (known: {})", KNOWN.join(", ")));
@@ -106,10 +110,19 @@ impl JobSpec {
                 .ok_or_else(|| format!("`priority` must be an integer in 0..={MAX_PRIORITY}"))?
                 as u8,
         };
+        let distributed = match doc.get("distributed") {
+            None => false,
+            Some(v) => v.as_bool().ok_or("`distributed` must be a boolean")?,
+        };
         let budget = match doc.get("budget") {
             None => max_budget,
             Some(v) => {
-                let b = v.as_u64().filter(|&b| b >= 1).ok_or("`budget` must be an integer >= 1")?
+                // Budget 0 means remote-only execution, which only makes
+                // sense when remote workers can lease the pool at all.
+                let b = v
+                    .as_u64()
+                    .filter(|&b| b >= 1 || distributed)
+                    .ok_or("`budget` must be >= 1 (0 is allowed only with `distributed`)")?
                     as usize;
                 b.min(max_budget)
             }
@@ -121,7 +134,7 @@ impl JobSpec {
                     as usize)
             }
         };
-        Ok(Self { injections, seed, kind, snapshot_every, priority, budget, chunk })
+        Ok(Self { injections, seed, kind, snapshot_every, priority, budget, chunk, distributed })
     }
 
     /// Serializes the spec (job table file and API responses).
@@ -143,6 +156,9 @@ impl JobSpec {
         }
         if let Some(c) = self.chunk {
             doc = doc.set("chunk", c);
+        }
+        if self.distributed {
+            doc = doc.set("distributed", true);
         }
         doc
     }
@@ -392,6 +408,22 @@ mod tests {
         let spec = JobSpec::from_json(&doc, 8).unwrap();
         let back = JobSpec::from_json(&spec.to_json(), 8).unwrap();
         assert_eq!(back, spec);
+
+        let doc = spec_doc().set("distributed", true).set("budget", 0u64);
+        let spec = JobSpec::from_json(&doc, 8).unwrap();
+        let back = JobSpec::from_json(&spec.to_json(), 8).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn zero_budget_requires_distributed() {
+        let err = JobSpec::from_json(&spec_doc().set("budget", 0u64), 8).unwrap_err();
+        assert!(err.contains("distributed"), "{err}");
+
+        let doc = spec_doc().set("budget", 0u64).set("distributed", true);
+        let spec = JobSpec::from_json(&doc, 8).unwrap();
+        assert_eq!(spec.budget, 0, "remote-only jobs hold no pool workers");
+        assert!(spec.distributed);
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Distributed-execution end-to-end tests over real HTTP: remote
+//! workers cold-start from a URL, lease chunks, and post tallies back —
+//! and the merged report is byte-identical to a one-shot run no matter
+//! how many workers join, crash, or repeat themselves.
+
+use argus_faults::CampaignConfig;
+use argus_orchestrator::{
+    run_sharded, tally_to_json, CampaignTally, Json, OrchestratorConfig, Progress,
+};
+use argus_server::http::http_request;
+use argus_server::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("argus-dist-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Short lease TTL so a zombie worker's chunks reissue within the test.
+fn start(name: &str, workers: usize) -> (Server, SocketAddr, PathBuf) {
+    let dir = state_dir(name);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        http_threads: 4,
+        state_dir: dir.clone(),
+        checkpoint_interval: Duration::from_millis(100),
+        lease_ttl: Duration::from_millis(500),
+    })
+    .unwrap();
+    let addr = server.addr();
+    (server, addr, dir)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let (status, body) = http_request(addr, "GET", path, None).unwrap();
+    (status, Json::parse(&body).unwrap_or(Json::Null))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let (status, body) = http_request(addr, "POST", path, Some(body)).unwrap();
+    (status, Json::parse(&body).unwrap_or(Json::Null))
+}
+
+fn submit(addr: SocketAddr, spec: &str) -> u64 {
+    let (status, doc) = post(addr, "/jobs", spec);
+    assert_eq!(status, 201, "{doc:?}");
+    doc.get("id").and_then(Json::as_u64).unwrap()
+}
+
+fn wait_for_state(addr: SocketAddr, id: u64, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, doc) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "{doc:?}");
+        let state = doc.get("state").and_then(Json::as_str).unwrap().to_owned();
+        if state == want {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}` waiting for `{want}`");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Blocks until the job's lease pool is open (listed under `/work`).
+fn wait_leasable(addr: SocketAddr, id: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, doc) = get(addr, "/work");
+        assert_eq!(status, 200, "{doc:?}");
+        let listed = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .map(|js| js.iter().any(|j| j.as_u64() == Some(id)))
+            .unwrap_or(false);
+        if listed {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {id} never became leasable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn one_shot_payload(n: usize, seed: u64) -> String {
+    let mut cfg = CampaignConfig { injections: n, ..Default::default() };
+    cfg.seed = seed;
+    let ocfg = OrchestratorConfig { shards: 1, ..Default::default() };
+    let progress = Progress::new(1);
+    let rep =
+        run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &AtomicBool::new(false), &progress)
+            .unwrap();
+    rep.to_json().without("run").to_string_compact()
+}
+
+fn fetch_report(addr: SocketAddr, id: u64) -> String {
+    let (status, body) = http_request(addr, "GET", &format!("/jobs/{id}/report"), None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+fn spawn_worker(
+    addr: SocketAddr,
+    job: u64,
+    name: &str,
+    stop: &'static AtomicBool,
+) -> std::thread::JoinHandle<argus_remote::WorkerSummary> {
+    let wcfg = argus_remote::WorkerConfig {
+        connect: addr,
+        workers: 1,
+        poll: Duration::from_millis(25),
+        job: Some(job),
+        name: name.to_owned(),
+    };
+    std::thread::spawn(move || argus_remote::run_worker(&wcfg, stop).expect("worker run"))
+}
+
+/// The tentpole identity bar: a hybrid run (1 daemon worker + 2 remote
+/// workers over loopback, plus one zombie worker that leases a chunk and
+/// vanishes) stores a report byte-identical to a one-shot `argus
+/// campaign --json`, modulo the volatile `run` section — and the `run`
+/// section accounts for the zombie's expired lease.
+#[test]
+fn hybrid_run_with_zombie_worker_matches_one_shot() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let (n, seed) = (60usize, 7u64);
+    let (mut server, addr, dir) = start("zombie", 1);
+    let id = submit(
+        addr,
+        &format!(r#"{{"n": {n}, "seed": {seed}, "distributed": true, "budget": 1, "chunk": 4}}"#),
+    );
+    wait_leasable(addr, id, Duration::from_secs(120));
+
+    // A zombie worker grabs one chunk and is never heard from again —
+    // the campaign cannot finish until its lease expires and reissues.
+    let (status, grant) = post(addr, &format!("/jobs/{id}/lease"), r#"{"worker":"zombie"}"#);
+    assert_eq!(status, 200, "{grant:?}");
+    assert!(grant.get("chunk").and_then(Json::as_u64).is_some(), "pool drained early: {grant:?}");
+
+    let w1 = spawn_worker(addr, id, "alpha", &STOP);
+    let w2 = spawn_worker(addr, id, "beta", &STOP);
+    wait_for_state(addr, id, "done", Duration::from_secs(300));
+    let (s1, s2) = (w1.join().unwrap(), w2.join().unwrap());
+    assert!(s1.chunks + s2.chunks >= 1, "no remote chunk landed: {s1:?} {s2:?}");
+
+    let report = fetch_report(addr, id);
+    let doc = Json::parse(&report).unwrap();
+    assert_eq!(doc.clone().without("run").to_string_compact(), one_shot_payload(n, seed));
+
+    // The volatile section carries the distributed accounting.
+    let remote = doc.get("run").and_then(|r| r.get("remote")).expect("run.remote present");
+    let stat = |k: &str| remote.get(k).and_then(Json::as_u64).unwrap();
+    assert!(stat("workers_seen") >= 3, "alpha, beta, zombie: {remote:?}");
+    assert!(stat("expired_leases") >= 1, "zombie lease must expire: {remote:?}");
+    assert!(stat("remote_chunks") >= 1, "{remote:?}");
+    assert!(stat("artifact_fetches") >= 2, "both live workers cold-start: {remote:?}");
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Remote-only mode: `budget: 0` holds no pool workers; a single remote
+/// worker does all the work and the report still matches one-shot.
+#[test]
+fn remote_only_job_runs_with_zero_local_workers() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let (n, seed) = (24usize, 3u64);
+    let (mut server, addr, dir) = start("remote-only", 1);
+    let id =
+        submit(addr, &format!(r#"{{"n": {n}, "seed": {seed}, "distributed": true, "budget": 0}}"#));
+    wait_leasable(addr, id, Duration::from_secs(120));
+
+    let w = spawn_worker(addr, id, "solo", &STOP);
+    wait_for_state(addr, id, "done", Duration::from_secs(300));
+    let summary = w.join().unwrap();
+    assert!(summary.injections >= n as u64, "solo worker ran everything: {summary:?}");
+
+    let doc = Json::parse(&fetch_report(addr, id)).unwrap();
+    assert_eq!(doc.clone().without("run").to_string_compact(), one_shot_payload(n, seed));
+    let remote = doc.get("run").and_then(|r| r.get("remote")).expect("run.remote present");
+    assert_eq!(remote.get("local_chunks").and_then(Json::as_u64), Some(0));
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Wire surface: manifest and content-addressed artifacts round-trip,
+/// wrong hashes 404, unknown jobs 404, non-distributed jobs 409.
+#[test]
+fn manifest_and_artifact_endpoints() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let (mut server, addr, dir) = start("wire", 1);
+    let id = submit(addr, r#"{"n": 16, "seed": 5, "distributed": true, "budget": 0}"#);
+    wait_leasable(addr, id, Duration::from_secs(120));
+
+    let (status, man) = get(addr, &format!("/jobs/{id}/manifest"));
+    assert_eq!(status, 200, "{man:?}");
+    assert_eq!(man.get("version").and_then(Json::as_u64), Some(argus_remote::PROTOCOL_VERSION));
+    assert_eq!(man.get("workload").and_then(Json::as_str), Some("stress"));
+    assert_eq!(man.get("n").and_then(Json::as_u64), Some(16));
+
+    // Every advertised artifact is fetchable at its hash, and the body
+    // checks out against the advertised length.
+    let artifacts = man.get("artifacts").and_then(Json::as_arr).unwrap();
+    assert!(!artifacts.is_empty(), "manifest must advertise the entry snapshot");
+    // Artifact bodies are binary ARGSNAP images, so this goes through
+    // the worker's binary-safe client, not the text-only test helper.
+    for a in artifacts {
+        let crc = a.get("crc32").and_then(Json::as_str).unwrap();
+        let len = a.get("len").and_then(Json::as_u64).unwrap();
+        let (status, body) =
+            argus_remote::client::fetch(addr, "GET", &format!("/jobs/{id}/artifacts/{crc}"), None)
+                .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.len() as u64, len);
+    }
+    let (status, _) = get(addr, &format!("/jobs/{id}/artifacts/00000000"));
+    assert_eq!(status, 404);
+
+    // Unknown job vs. known-but-not-leasable job.
+    let (status, _) = get(addr, "/jobs/999/manifest");
+    assert_eq!(status, 404);
+    let plain = submit(addr, r#"{"n": 4, "seed": 1}"#);
+    let (status, _) = post(addr, &format!("/jobs/{plain}/lease"), r#"{"worker":"w"}"#);
+    assert_eq!(status, 409);
+
+    // Local-pool impersonation is rejected before touching the ledger.
+    let (status, _) = post(addr, &format!("/jobs/{id}/lease"), r#"{"worker":"local:9"}"#);
+    assert_eq!(status, 400);
+
+    // Drain the distributed job so shutdown is clean.
+    let w = spawn_worker(addr, id, "finisher", &STOP);
+    wait_for_state(addr, id, "done", Duration::from_secs(300));
+    w.join().unwrap();
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A verbatim re-posted completion (lost-reply retry) is acknowledged as
+/// a duplicate and merges nothing.
+#[test]
+fn duplicate_complete_is_idempotent_over_the_wire() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let (mut server, addr, dir) = start("dup", 1);
+    let id = submit(addr, r#"{"n": 20, "seed": 9, "distributed": true, "budget": 0, "chunk": 2}"#);
+    wait_leasable(addr, id, Duration::from_secs(120));
+
+    let (status, grant) = post(addr, &format!("/jobs/{id}/lease"), r#"{"worker":"dup"}"#);
+    assert_eq!(status, 200, "{grant:?}");
+    let chunk = grant.get("chunk").and_then(Json::as_u64).unwrap();
+    let start_i = grant.get("start").and_then(Json::as_u64).unwrap();
+    let end_i = grant.get("end").and_then(Json::as_u64).unwrap();
+
+    // A synthetic-but-accounting-correct tally: this test checks the
+    // dedup gate, not result identity (the job never runs to done here).
+    let mut tally = CampaignTally::empty();
+    for _ in start_i..end_i {
+        tally.apply_hung();
+    }
+    let body = Json::obj()
+        .set("worker", "dup")
+        .set("chunk", chunk)
+        .set("start", start_i)
+        .set("end", end_i)
+        .set("tally", tally_to_json(&tally))
+        .to_string_compact();
+
+    let (status, first) = post(addr, &format!("/jobs/{id}/complete"), &body);
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(first.get("accepted").and_then(Json::as_bool), Some(true));
+    assert_eq!(first.get("duplicate").and_then(Json::as_bool), Some(false));
+
+    let (status, second) = post(addr, &format!("/jobs/{id}/complete"), &body);
+    assert_eq!(status, 200, "{second:?}");
+    assert_eq!(second.get("accepted").and_then(Json::as_bool), Some(false));
+    assert_eq!(second.get("duplicate").and_then(Json::as_bool), Some(true));
+
+    // Heartbeat on a completed chunk renews nothing but answers 200.
+    let hb = Json::obj()
+        .set("worker", "dup")
+        .set("chunks", Json::Arr(vec![Json::from(chunk)]))
+        .to_string_compact();
+    let (status, renew) = post(addr, &format!("/jobs/{id}/heartbeat"), &hb);
+    assert_eq!(status, 200, "{renew:?}");
+    assert_eq!(renew.get("renewed").and_then(Json::as_u64), Some(0));
+
+    // Finish the job so drain does not have to cancel it.
+    let w = spawn_worker(addr, id, "finisher", &STOP);
+    wait_for_state(addr, id, "done", Duration::from_secs(300));
+    w.join().unwrap();
+    server.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -26,6 +26,7 @@ fn start(name: &str, workers: usize) -> (Server, SocketAddr, PathBuf) {
         http_threads: 2,
         state_dir: dir.clone(),
         checkpoint_interval: Duration::from_millis(100),
+        lease_ttl: Duration::from_secs(2),
     })
     .unwrap();
     let addr = server.addr();
@@ -310,6 +311,7 @@ fn drain_persists_and_restart_resumes_to_identical_report() {
         http_threads: 2,
         state_dir: dir.clone(),
         checkpoint_interval: Duration::from_millis(100),
+        lease_ttl: Duration::from_secs(2),
     })
     .unwrap();
     let addr2 = server2.addr();

@@ -125,6 +125,28 @@ pub fn read_snapshot_value(r: &mut dyn Read, pool: &mut PageStore) -> io::Result
     Ok(Snapshot::capture(&m, &argus, pool))
 }
 
+/// Serializes a live machine + checker pair to an in-memory ARGSNAP v3
+/// image (payload + CRC-32 trailer). This is the body the distributed
+/// lease protocol serves from `GET /jobs/<id>/artifacts/<hash>`: the byte
+/// stream is deterministic for a given state, so its CRC doubles as the
+/// artifact's content address.
+pub fn snapshot_to_vec(m: &Machine, argus: &Argus) -> io::Result<Vec<u8>> {
+    let mut pool = PageStore::new();
+    let snap = Snapshot::capture(m, argus, &mut pool);
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, &snap)?;
+    Ok(buf)
+}
+
+/// Parses an in-memory ARGSNAP image produced by [`snapshot_to_vec`] (or
+/// any snapshot file read into memory), verifying the CRC trailer before
+/// interpreting a single byte.
+pub fn snapshot_from_slice(bytes: &[u8]) -> io::Result<(Machine, Argus)> {
+    let mut r: &[u8] = bytes;
+    let rd: &mut dyn Read = &mut r;
+    read_snapshot(rd)
+}
+
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
