@@ -1,0 +1,255 @@
+//! Block-compiled execution gate (the JIT-lite tentpole's headline number).
+//!
+//! Measures golden-run throughput — quiescent injector, argus-mode binary —
+//! through the one-step interpreter (`block_exec` off) and through the
+//! block-compiled engine (`block_exec` on, plan cache warmed by `preplan`),
+//! machine-only and with the checker batched per block. Every run first
+//! asserts the two paths land on the same `state_digest`, so the speedup is
+//! never bought with a semantic change.
+//!
+//! Results land in `BENCH_blockexec.json` at the repo root. The gate: the
+//! block-compiled machine-only configuration must clear
+//! [`REQUIRED_SPEEDUP`]x the quiescent interpreter baseline recorded in
+//! [`PRE_PR_QUIESCENT_STEPS_PER_SEC`] (from `BENCH_throughput.json` at the
+//! pre-PR tree) on at least one workload.
+//!
+//! `ARGUS_BENCH_SMOKE=1` caps each row at a fixed handful of runs and
+//! gates on the *relative* in-run speedup instead (block-on vs. block-off
+//! within the same smoke run), so CI machines with different absolute
+//! throughput still verify the engine engages. `ARGUS_BENCH_SECS`
+//! overrides the full-mode per-row measuring window.
+
+use argus_compiler::{compile, preplan, EmbedConfig, Mode, Program};
+use argus_core::{Argus, ArgusConfig};
+use argus_machine::{Machine, MachineConfig, StepOutcome};
+use argus_orchestrator::Json;
+use argus_sim::fault::FaultInjector;
+use argus_workloads::Workload;
+use std::time::Instant;
+
+/// Golden-run (argus-on, quiescent-injector, machine-only interpreter)
+/// steps/sec of the pre-PR tree, from `BENCH_throughput.json` measured at
+/// commit 3b2db9d on the build machine with the same release profile.
+const PRE_PR_QUIESCENT_STEPS_PER_SEC: &[(&str, f64)] = &[("stress", 9.60e6), ("pegwit", 1.59e7)];
+
+/// Speedup the block-compiled machine-only path must reach over the
+/// pre-PR interpreter baseline on at least one workload (full mode).
+const REQUIRED_SPEEDUP: f64 = 3.0;
+
+/// Relative block-on vs. block-off speedup required in smoke mode, where
+/// absolute baselines from another machine are meaningless.
+const SMOKE_RELATIVE_SPEEDUP: f64 = 1.3;
+
+const BOUND: u64 = 500_000_000;
+
+fn smoke() -> bool {
+    std::env::var_os("ARGUS_BENCH_SMOKE").is_some()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// One-step interpreter, `block_exec` off.
+    Interp,
+    /// Block-compiled, machine-only (`run_to_halt` fast path).
+    Blocks,
+    /// Block-compiled with batched SHS/DCS checking.
+    BlocksChecked,
+}
+
+/// One full program execution; returns (steps, final state digest).
+fn run_once(prog: &Program, engine: Engine) -> (u64, u64) {
+    let mcfg = MachineConfig { block_exec: engine != Engine::Interp, ..MachineConfig::default() };
+    let mut m = Machine::new(mcfg);
+    prog.load(&mut m);
+    let mut inj = FaultInjector::none();
+    match engine {
+        Engine::Interp => {
+            while let StepOutcome::Committed(_) | StepOutcome::Stalled = m.step(&mut inj) {
+                assert!(m.cycle() < BOUND, "workload must halt");
+            }
+        }
+        Engine::Blocks => {
+            preplan(prog, &mut m);
+            let res = m.run_to_halt(&mut inj, BOUND);
+            assert!(res.halted, "workload must halt");
+        }
+        Engine::BlocksChecked => {
+            preplan(prog, &mut m);
+            let mut argus = Argus::new(ArgusConfig::default());
+            if let Some(d) = prog.entry_dcs {
+                argus.expect_entry(d);
+            }
+            loop {
+                if let Some(gate) = m.plan_block(&inj, BOUND) {
+                    if argus.block_ready(&gate, &inj) {
+                        if let Some(commit) = m.exec_block(&mut inj, &gate) {
+                            let plan =
+                                m.plan_at(gate.addr).expect("completed block keeps its plan");
+                            argus.on_block(plan, &commit, &mut inj);
+                            continue;
+                        }
+                    }
+                }
+                match m.step(&mut inj) {
+                    StepOutcome::Committed(rec) => {
+                        argus.on_commit(&rec, &mut inj);
+                    }
+                    StepOutcome::Stalled => {}
+                    StepOutcome::Halted => break,
+                }
+                assert!(m.cycle() < BOUND, "workload must halt");
+            }
+            assert!(argus.events().is_empty(), "fault-free run raised a detection");
+        }
+    }
+    assert!(m.halted(), "workload must halt");
+    (m.cycle(), m.state_digest())
+}
+
+struct Row {
+    workload: &'static str,
+    config: &'static str,
+    runs: u64,
+    steps: u64,
+    secs: f64,
+    rate: f64,
+}
+
+fn bench_engine(
+    w: &Workload,
+    prog: &Program,
+    engine: Engine,
+    config: &'static str,
+    window_secs: f64,
+) -> Row {
+    // Warm-up run (page faults, cache warming) outside the window.
+    run_once(prog, engine);
+    let (mut steps, mut runs) = (0u64, 0u64);
+    let t = Instant::now();
+    loop {
+        steps += run_once(prog, engine).0;
+        runs += 1;
+        // Smoke caps on run count, not wall time: enough repeats to make
+        // the relative gate stable, few enough to stay fast in CI.
+        if smoke() {
+            if runs >= 25 {
+                break;
+            }
+        } else if t.elapsed().as_secs_f64() >= window_secs {
+            break;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let rate = steps as f64 / secs;
+    println!(
+        "{:>8} | {:<22} | {:>4} runs | {:>9} steps | {:>6.3}s | {:>10.0} steps/s",
+        w.name, config, runs, steps, secs, rate
+    );
+    Row { workload: w.name, config, runs, steps, secs, rate }
+}
+
+fn main() {
+    let window_secs: f64 =
+        std::env::var("ARGUS_BENCH_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(0.6);
+    println!("== block-compiled execution throughput ==");
+    if smoke() {
+        println!("(smoke mode: 25 runs per row, relative gate only)");
+    }
+
+    let workloads = [argus_workloads::stress(), argus_workloads::pegwit::pegwit()];
+    let mut rows = Vec::new();
+    let mut relative = Vec::new();
+    for w in &workloads {
+        let prog = compile(&w.unit, Mode::Argus, &EmbedConfig::default())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+
+        // Digest parity before any timing: the engine under test must be
+        // semantically invisible.
+        let (steps_i, digest_i) = run_once(&prog, Engine::Interp);
+        let (steps_b, digest_b) = run_once(&prog, Engine::Blocks);
+        let (steps_c, digest_c) = run_once(&prog, Engine::BlocksChecked);
+        assert_eq!(digest_i, digest_b, "{}: block-exec digest diverged", w.name);
+        assert_eq!(digest_i, digest_c, "{}: batched-checking digest diverged", w.name);
+        assert_eq!(steps_i, steps_b, "{}: block-exec trajectory diverged", w.name);
+        assert_eq!(steps_i, steps_c, "{}: batched-checking trajectory diverged", w.name);
+
+        let interp = bench_engine(w, &prog, Engine::Interp, "interp/quiescent", window_secs);
+        let blocks = bench_engine(w, &prog, Engine::Blocks, "blocks/quiescent", window_secs);
+        let checked =
+            bench_engine(w, &prog, Engine::BlocksChecked, "blocks_checked/quiescent", window_secs);
+        relative.push((w.name, blocks.rate / interp.rate));
+        rows.extend([interp, blocks, checked]);
+    }
+
+    let mut speedups = Vec::new();
+    for &(name, base) in PRE_PR_QUIESCENT_STEPS_PER_SEC {
+        let row = rows
+            .iter()
+            .find(|r| r.workload == name && r.config == "blocks/quiescent")
+            .expect("blocks row present");
+        speedups.push((name, row.rate / base));
+    }
+    println!();
+    for &(name, s) in &speedups {
+        println!("{name}: {s:.2}x vs pre-PR quiescent interpreter baseline");
+    }
+    let best_speedup = speedups.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+    let best_relative = relative.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+
+    let json = Json::obj()
+        .set("bench", "block_exec")
+        .set("smoke", smoke())
+        .set(
+            "pre_pr_quiescent_steps_per_sec",
+            PRE_PR_QUIESCENT_STEPS_PER_SEC
+                .iter()
+                .fold(Json::obj(), |j, &(name, rate)| j.set(name, rate)),
+        )
+        .set(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("workload", r.workload)
+                            .set("config", r.config)
+                            .set("runs", r.runs)
+                            .set("steps", r.steps)
+                            .set("seconds", r.secs)
+                            .set("steps_per_sec", r.rate)
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "block_speedup_vs_pre_pr",
+            speedups.iter().fold(Json::obj(), |j, &(name, s)| j.set(name, s)),
+        )
+        .set(
+            "block_speedup_vs_interp_in_run",
+            relative.iter().fold(Json::obj(), |j, &(name, s)| j.set(name, s)),
+        )
+        .set("best_speedup_vs_pre_pr", best_speedup)
+        .set("best_speedup_vs_interp", best_relative);
+    let text = json.to_string_compact();
+    Json::parse(&text).expect("bench emitted invalid JSON");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_blockexec.json");
+    std::fs::write(out, &text).expect("write BENCH_blockexec.json");
+    println!("wrote BENCH_blockexec.json");
+
+    if smoke() {
+        assert!(
+            best_relative >= SMOKE_RELATIVE_SPEEDUP,
+            "block-exec smoke gate: block-compiled golden run must clear \
+             {SMOKE_RELATIVE_SPEEDUP}x the in-run interpreter rate on at least one workload, \
+             got {best_relative:.2}x"
+        );
+    } else {
+        assert!(
+            best_speedup >= REQUIRED_SPEEDUP,
+            "block-exec gate: block-compiled golden-run steps/sec must clear \
+             {REQUIRED_SPEEDUP}x the pre-PR quiescent baseline on at least one workload, \
+             got {best_speedup:.2}x"
+        );
+    }
+}

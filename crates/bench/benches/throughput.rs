@@ -12,7 +12,9 @@
 //!   sensitization 0 so execution is architecturally identical and only
 //!   the injector-path overhead is measured);
 //! * plus a `checked` row stepping the full Argus checker in lockstep
-//!   (the per-injection campaign loop).
+//!   (the per-injection campaign loop), and `blocks` rows running the
+//!   block-compiled engine — machine-only (`argus_on_blocks`) and with
+//!   batched SHS/DCS checking (`argus_on_checked_blocks`).
 //!
 //! Results land in `BENCH_throughput.json` at the repo root. The gate: the argus-on,
 //! quiescent-injector golden-run configuration must clear 1.5x the pre-PR
@@ -22,7 +24,7 @@
 //! gate (CI smoke mode: proves the bench runs and emits valid JSON).
 //! `ARGUS_BENCH_SECS` overrides the per-row measuring window.
 
-use argus_compiler::{compile, EmbedConfig, Mode, Program};
+use argus_compiler::{compile, preplan, EmbedConfig, Mode, Program};
 use argus_core::{Argus, ArgusConfig};
 use argus_machine::{sites, Machine, MachineConfig, StepOutcome};
 use argus_orchestrator::Json;
@@ -64,18 +66,60 @@ struct Scenario {
     argus_mode: bool,
     armed: bool,
     checked: bool,
+    /// Run through the block-compiled engine (`run_to_halt` with the plan
+    /// cache warmed) instead of the one-step interpreter loop.
+    blocks: bool,
 }
 
 const SCENARIOS: &[Scenario] = &[
-    Scenario { config: "argus_on/quiescent", argus_mode: true, armed: false, checked: false },
-    Scenario { config: "argus_on/armed", argus_mode: true, armed: true, checked: false },
-    Scenario { config: "argus_off/quiescent", argus_mode: false, armed: false, checked: false },
-    Scenario { config: "argus_off/armed", argus_mode: false, armed: true, checked: false },
+    Scenario {
+        config: "argus_on/quiescent",
+        argus_mode: true,
+        armed: false,
+        checked: false,
+        blocks: false,
+    },
+    Scenario {
+        config: "argus_on/armed",
+        argus_mode: true,
+        armed: true,
+        checked: false,
+        blocks: false,
+    },
+    Scenario {
+        config: "argus_off/quiescent",
+        argus_mode: false,
+        armed: false,
+        checked: false,
+        blocks: false,
+    },
+    Scenario {
+        config: "argus_off/armed",
+        argus_mode: false,
+        armed: true,
+        checked: false,
+        blocks: false,
+    },
     Scenario {
         config: "argus_on_checked/quiescent",
         argus_mode: true,
         armed: false,
         checked: true,
+        blocks: false,
+    },
+    Scenario {
+        config: "argus_on_blocks/quiescent",
+        argus_mode: true,
+        armed: false,
+        checked: false,
+        blocks: true,
+    },
+    Scenario {
+        config: "argus_on_checked_blocks/quiescent",
+        argus_mode: true,
+        armed: false,
+        checked: true,
+        blocks: true,
     },
 ];
 
@@ -88,6 +132,44 @@ fn run_once(prog: &Program, mcfg: MachineConfig, sc: &Scenario, bound: u64) -> u
     } else {
         FaultInjector::none()
     };
+    if sc.blocks {
+        // Block-compiled path: lower every static block up front (the cost
+        // is inside the measured window, as in a real golden run), then
+        // retire whole blocks per iteration. Quiescent execution never
+        // stalls, so cycles == steps.
+        preplan(prog, &mut m);
+        if !sc.checked {
+            let res = m.run_to_halt(&mut inj, bound);
+            assert!(res.halted, "workload must halt");
+            return res.cycles;
+        }
+        let mut argus = Argus::new(ArgusConfig::default());
+        if let Some(d) = prog.entry_dcs {
+            argus.expect_entry(d);
+        }
+        loop {
+            if let Some(gate) = m.plan_block(&inj, bound) {
+                if argus.block_ready(&gate, &inj) {
+                    if let Some(commit) = m.exec_block(&mut inj, &gate) {
+                        let plan = m.plan_at(gate.addr).expect("completed block keeps its plan");
+                        argus.on_block(plan, &commit, &mut inj);
+                        continue;
+                    }
+                }
+            }
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    argus.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {}
+                StepOutcome::Halted => break,
+            }
+            assert!(m.cycle() < bound, "workload must halt");
+        }
+        assert!(m.halted(), "workload must halt");
+        assert!(argus.events().is_empty(), "fault-free run raised a detection");
+        return m.cycle();
+    }
     let mut checker = sc.checked.then(|| {
         let mut a = Argus::new(ArgusConfig::default());
         if let Some(d) = prog.entry_dcs {

@@ -86,8 +86,8 @@ pub struct VerifyReport {
 }
 
 #[derive(Debug)]
-struct Block {
-    addr: u32,
+pub(crate) struct Block {
+    pub(crate) addr: u32,
     /// Word indices `[start, end]` inclusive.
     start: usize,
     end: usize,
@@ -97,7 +97,7 @@ struct Block {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Term {
+pub(crate) enum Term {
     Cond { target: u32 },
     Jump { target: u32, link: bool },
     JumpReg { link: bool },
@@ -105,7 +105,7 @@ enum Term {
     Halt,
 }
 
-fn segment(code: &[u32], base: u32) -> Result<Vec<Block>, VerifyError> {
+pub(crate) fn segment(code: &[u32], base: u32) -> Result<Vec<Block>, VerifyError> {
     let mut blocks = Vec::new();
     let mut start = 0usize;
     let mut i = 0usize;

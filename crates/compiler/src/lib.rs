@@ -39,10 +39,12 @@ pub mod binver;
 pub mod builder;
 pub mod compile;
 pub mod error;
+pub mod lower;
 pub mod program;
 pub mod verify;
 
 pub use builder::{DataItem, ProgramBuilder, ProgramUnit, Stmt};
 pub use compile::{compile, EmbedConfig, Mode};
 pub use error::CompileError;
+pub use lower::{preplan, LowerReport};
 pub use program::{EmbedStats, Program};

@@ -1,0 +1,116 @@
+//! Block-plan lowering: warm a machine's plan cache from the static CFG.
+//!
+//! The runtime's block-compiled execution engine
+//! (`argus_machine::block`) discovers blocks lazily — the first visit to a
+//! block entry pays the plan-build scan. This pass front-loads that work
+//! using the same delay-slot-aware segmentation the static binary verifier
+//! applies ([`crate::binver`]), so a campaign's golden run starts with
+//! every statically-reachable block already compiled.
+//!
+//! Lowering is purely an optimization: plans are a pure function of
+//! program bytes, validated against memory on every use, so a machine that
+//! skips this pass (or a program whose blocks outnumber the plan-cache
+//! slots) executes bit-identically, just with plan-build misses spread
+//! across the run instead of batched here.
+
+use crate::binver::segment;
+use crate::program::Program;
+use argus_machine::Machine;
+
+/// What [`preplan`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerReport {
+    /// Basic blocks the static segmentation found.
+    pub blocks: usize,
+    /// Blocks successfully lowered into the machine's plan cache. Can be
+    /// lower than `blocks` under direct-mapped cache conflicts (a later
+    /// block evicting an earlier one still counts as planned).
+    pub planned: usize,
+}
+
+/// Lowers every statically-discovered basic block of `prog` into `m`'s
+/// plan cache. The program's code must already be loaded into the machine
+/// (see `Program::load`) — plans compile from the machine's memory, the
+/// single source of truth the runtime validates against.
+pub fn preplan(prog: &Program, m: &mut Machine) -> LowerReport {
+    // An image that runs off its end without a terminator still gets its
+    // well-formed prefix planned lazily at runtime; here we just skip.
+    let Ok(blocks) = segment(&prog.code, prog.code_base) else {
+        return LowerReport::default();
+    };
+    let mut planned = 0;
+    for b in &blocks {
+        if m.prepare_plan(b.addr) {
+            planned += 1;
+        }
+    }
+    LowerReport { blocks: blocks.len(), planned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::compile::{compile, EmbedConfig, Mode};
+    use argus_isa::instr::Cond;
+    use argus_isa::reg::{r, Reg};
+    use argus_machine::{Machine, MachineConfig};
+    use argus_sim::fault::FaultInjector;
+
+    /// A loop + a function call: several blocks, every terminator kind.
+    fn demo_program() -> crate::program::Program {
+        let mut b = ProgramBuilder::new();
+        b.li(r(3), 0);
+        b.li(r(4), 1);
+        b.label("loop");
+        b.add(r(3), r(3), r(4));
+        b.addi(r(4), r(4), 1);
+        b.sfi(Cond::Leu, r(4), 100);
+        b.bf("loop");
+        b.nop();
+        b.jal("double");
+        b.nop();
+        b.halt();
+        b.label("double");
+        b.add(r(3), r(3), r(3));
+        b.jr(Reg::LR);
+        b.nop();
+        compile(&b.unit(), Mode::Argus, &EmbedConfig::default()).expect("demo compiles")
+    }
+
+    #[test]
+    fn preplan_compiles_every_static_block() {
+        let prog = demo_program();
+        let mut m = Machine::new(MachineConfig::default());
+        prog.load(&mut m);
+        let report = preplan(&prog, &mut m);
+        assert!(report.blocks >= 4, "the demo has a real CFG: {report:?}");
+        assert_eq!(report.planned, report.blocks, "every static block is plannable");
+        // The warmed cache serves the run: no further builds needed.
+        let mut inj = FaultInjector::none();
+        m.take_exec_stats();
+        m.run_to_halt(&mut inj, 1_000_000);
+        assert!(m.halted());
+        let stats = m.take_exec_stats();
+        assert!(stats.plan_hits > 0, "warm plans must be hit: {stats:?}");
+        assert_eq!(stats.plan_misses, 0, "no rebuild after warming: {stats:?}");
+        assert_eq!(stats.plan_fallbacks, 0, "the demo never self-modifies: {stats:?}");
+        assert_eq!(m.reg(r(3)), 5050 * 2);
+    }
+
+    #[test]
+    fn preplan_is_semantically_inert() {
+        use argus_machine::SnapshotState;
+        let prog = demo_program();
+        let mut warmed = Machine::new(MachineConfig::default());
+        let mut cold = Machine::new(MachineConfig::default());
+        prog.load(&mut warmed);
+        prog.load(&mut cold);
+        preplan(&prog, &mut warmed);
+        let ra = warmed.run_to_halt(&mut FaultInjector::none(), 1_000_000);
+        let rb = cold.run_to_halt(&mut FaultInjector::none(), 1_000_000);
+        assert_eq!(ra, rb);
+        assert_eq!(warmed.state_digest(), cold.state_digest());
+        assert_eq!(warmed.state_fingerprint(), cold.state_fingerprint());
+    }
+}

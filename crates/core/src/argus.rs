@@ -26,7 +26,9 @@ use argus_isa::split_indirect_target;
 use argus_isa::INDIRECT_ADDR_MASK;
 use argus_machine::commit::CommitRecord;
 use argus_machine::exec;
+use argus_machine::{BlockCommit, BlockGate, BlockPlan};
 use argus_sim::bits::{parity32, sign_extend};
+use argus_sim::bitstream::BitStream;
 use argus_sim::fault::FaultInjector;
 
 /// The Argus-1 runtime checker.
@@ -47,6 +49,12 @@ pub struct Argus {
     /// is bit-exact even when a fault corrupts decode. Not part of
     /// [`ArgusState`]: a stale entry can only miss, never lie.
     op_memo: Vec<OpMemoEntry>,
+    /// Direct-mapped memo of per-block static facts for the batched
+    /// checking path ([`Argus::on_block`]), keyed by (block address, plan
+    /// words hash): the block's static DCS and its parsed successor slots.
+    /// Pure functions of the block's program words, so — like `op_memo` —
+    /// not part of [`ArgusState`], and a stale entry can only miss.
+    block_memo: Vec<BlockMemoEntry>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -56,9 +64,27 @@ struct OpMemoEntry {
     sym: u32,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct BlockMemoEntry {
+    addr: u32,
+    words_hash: u64,
+    /// `DcsUnit::compute` over the block's statically-replayed SHS file
+    /// (unmasked; the caller taps and masks at use).
+    static_dcs: u32,
+    /// Embedded slot 0 / slot 1 as parsed at the block's CTI (the bit
+    /// stream accumulated through the CTI, zero-padded).
+    slot_taken: u32,
+    slot_fall: u32,
+    /// Embedded slot 0 as parsed at block end (fall-through successor).
+    slot0_full: u32,
+}
+
 /// Size of the direct-mapped `op_sym` memo (slots; must be a power of two).
 /// 512 four-byte-aligned pcs cover the hot loops of every bundled workload.
 const OP_MEMO_SLOTS: usize = 512;
+
+/// Size of the direct-mapped block memo (slots; must be a power of two).
+const BLOCK_MEMO_SLOTS: usize = 256;
 
 /// The checker's mutable state, captured for snapshot/restore.
 ///
@@ -158,6 +184,19 @@ impl Argus {
             watchdog: Watchdog::new(cfg.watchdog_bits),
             events: Vec::new(),
             op_memo: vec![seed; OP_MEMO_SLOTS],
+            // The address sentinel is unmatchable (block entries are
+            // word-aligned), so no validity flag is needed.
+            block_memo: vec![
+                BlockMemoEntry {
+                    addr: u32::MAX,
+                    words_hash: 0,
+                    static_dcs: 0,
+                    slot_taken: 0,
+                    slot_fall: 0,
+                    slot0_full: 0,
+                };
+                BLOCK_MEMO_SLOTS
+            ],
         }
     }
 
@@ -336,16 +375,7 @@ impl Argus {
             if rec.block_end {
                 let computed =
                     inj.tap32(sites::DCS_XOR_OUT, self.dcs.compute(&self.file)) & self.sig_mask();
-                static TRACE_DCS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-                if *TRACE_DCS.get_or_init(|| std::env::var_os("ARGUS_TRACE_DCS").is_some()) {
-                    eprintln!(
-                        "[dcs] c{} pc={:#x} computed={:#04x} expected={:?}",
-                        rec.cycle,
-                        rec.pc,
-                        computed,
-                        self.cfc.expected()
-                    );
-                }
+                trace_dcs(rec.cycle, rec.pc, computed, self.cfc.expected());
                 if let Some(exp) = self.cfc.finish_block(rec.in_delay_slot, inj) {
                     let exp = inj.tap32(sites::DCS_EXPECTED, exp) & self.sig_mask();
                     if exp != computed {
@@ -358,6 +388,161 @@ impl Argus {
 
         self.events.extend(evs.iter().cloned());
         evs
+    }
+
+    /// Whether a planned block may be checked in one batched step
+    /// ([`Argus::on_block`]) instead of per-commit. All of these must hold,
+    /// or the caller has to drive the block through the one-step
+    /// interpreter + [`Argus::on_commit`]:
+    ///
+    /// * no fault has ever flipped state (`inj` pristine): the machine is
+    ///   on its golden trajectory, so every per-op computation and operand
+    ///   parity check is provably silent and only the block-level checks
+    ///   (static DCS, successor hand-off, out-of-range load parity) carry
+    ///   information;
+    /// * the plan is canonical (`argus_simple`: one CTI right before the
+    ///   delay slot, or none) and store-free, so its execution is
+    ///   guaranteed complete and the slot-parse order is static;
+    /// * the block respects the CFC length bound (a longer block must
+    ///   raise `block_length_exceeded` per-op);
+    /// * the watchdog is idle and no single op can stall it to saturation;
+    /// * the CFC sits exactly at a block boundary.
+    pub fn block_ready(&self, gate: &BlockGate, inj: &FaultInjector) -> bool {
+        if inj.first_flip_cycle().is_some() {
+            return false;
+        }
+        if !gate.argus_simple || gate.has_store || gate.len > self.cfg.max_block_len {
+            return false;
+        }
+        if self.cfg.enable_watchdog
+            && (self.watchdog.count() != 0
+                || self.watchdog.tripped()
+                || gate.max_op_stall >= self.watchdog.threshold())
+        {
+            return false;
+        }
+        if self.cfg.enable_dcs && !self.cfc.at_block_boundary() {
+            return false;
+        }
+        true
+    }
+
+    /// Batched equivalent of [`Argus::on_commit`] over one whole compiled
+    /// block, valid only under [`Argus::block_ready`]'s preconditions. On a
+    /// pristine trajectory the per-op checks are silent by construction, so
+    /// only the block-granular work remains: the static-DCS comparison
+    /// against the inherited expectation, the successor-DCS selection, the
+    /// flag-shadow and watchdog hand-off, and parity on any out-of-range
+    /// load — bit-identical, events included, to feeding every commit
+    /// record one at a time.
+    pub fn on_block(
+        &mut self,
+        plan: &BlockPlan,
+        commit: &BlockCommit,
+        inj: &mut FaultInjector,
+    ) -> Vec<DetectionEvent> {
+        debug_assert!(commit.complete, "on_block requires a complete block execution");
+        let mut evs: Vec<DetectionEvent> = Vec::new();
+
+        // Per-op: stall(n) then progress() on every commit; from an idle
+        // counter with every op's stall below threshold, the net effect is
+        // exactly one reset.
+        if self.cfg.enable_watchdog {
+            self.watchdog.progress();
+        }
+
+        // The only parity check that can carry information on a golden
+        // trajectory: a load outside main memory observes the fallback
+        // word, whose clear tag may mismatch.
+        if self.cfg.enable_parity {
+            for o in &commit.oob_loads {
+                if !inj.tap1(sites::MFC_PARITY_CHECK, o.parity_ok) {
+                    evs.push(DetectionEvent {
+                        checker: CheckerKind::Parity,
+                        reason: "load_parity",
+                        cycle: o.end_cycle,
+                        pc: o.pc,
+                    });
+                }
+            }
+        }
+
+        if self.cfg.enable_dcs {
+            let memo = self.block_memo(plan);
+            // Successor selection, exactly as Cfc::on_cti/finish_block
+            // would: the CFC parses only the slot it selects.
+            let next = if commit.ended_by_cti {
+                match plan.instr(plan.len().saturating_sub(2)) {
+                    Instr::Branch { taken_if, .. } => {
+                        // On a pristine run the CFC's flag shadow equals the
+                        // machine flag the branch observed.
+                        let shadow =
+                            inj.tap1(sites::CFC_FLAG_SHADOW, commit.cti_flag.unwrap_or(false));
+                        let slot =
+                            if shadow == taken_if { memo.slot_taken } else { memo.slot_fall };
+                        inj.tap32(sites::CFC_SLOT_PARSE, slot) & 31
+                    }
+                    Instr::Jump { .. } => inj.tap32(sites::CFC_SLOT_PARSE, memo.slot_taken) & 31,
+                    Instr::JumpReg { .. } => commit.indirect_dcs.unwrap_or(0),
+                    other => unreachable!("argus_simple block ends in a CTI, got {other:?}"),
+                }
+            } else {
+                inj.tap32(sites::CFC_SLOT_PARSE, memo.slot0_full) & 31
+            };
+            let computed = inj.tap32(sites::DCS_XOR_OUT, memo.static_dcs) & self.sig_mask();
+            trace_dcs(commit.end_cycle, commit.last_pc, computed, self.cfc.expected());
+            if let Some(exp) = self.cfc.batch_block(next, commit.flag_after) {
+                let exp = inj.tap32(sites::DCS_EXPECTED, exp) & self.sig_mask();
+                if exp != computed {
+                    evs.push(DetectionEvent {
+                        checker: CheckerKind::Dcs,
+                        reason: "dcs_mismatch",
+                        cycle: commit.end_cycle,
+                        pc: commit.last_pc,
+                    });
+                }
+            }
+            self.file.reset();
+        }
+
+        self.events.extend(evs.iter().cloned());
+        evs
+    }
+
+    /// The memoized static facts of a compiled block: its static DCS (the
+    /// per-op SHS applications replayed over a reset file — identical to
+    /// the live application on a pristine run) and the successor slots as
+    /// the CFC would parse them.
+    fn block_memo(&mut self, plan: &BlockPlan) -> BlockMemoEntry {
+        let slot = ((plan.addr() >> 2) as usize) & (BLOCK_MEMO_SLOTS - 1);
+        let hit = self.block_memo[slot];
+        if hit.addr == plan.addr() && hit.words_hash == plan.words_hash() {
+            return hit;
+        }
+        let mut file = ShsFile::new(self.cfg.sig_width);
+        let mut bits = BitStream::new();
+        let (mut slot_taken, mut slot_fall) = (0, 0);
+        for i in 0..plan.len() {
+            let instr = plan.instr(i);
+            self.engine.apply_static(&mut file, &instr);
+            bits.push_packed(plan.embedded(i));
+            if instr.is_cti() {
+                // Slots as visible when the CTI commits (bits collected so
+                // far, zero-padded) — later ops may append more bits.
+                slot_taken = bits.extract(0, 5) & 31;
+                slot_fall = bits.extract(5, 5) & 31;
+            }
+        }
+        let entry = BlockMemoEntry {
+            addr: plan.addr(),
+            words_hash: plan.words_hash(),
+            static_dcs: self.dcs.compute(&file),
+            slot_taken,
+            slot_fall,
+            slot0_full: bits.extract(0, 5) & 31,
+        };
+        self.block_memo[slot] = entry;
+        entry
     }
 
     fn sig_mask(&self) -> u32 {
@@ -518,6 +703,15 @@ impl Argus {
             }
         }
         out
+    }
+}
+
+/// `ARGUS_TRACE_DCS=1` debug tracing of every block-boundary DCS compare
+/// (shared by the per-commit and batched paths).
+fn trace_dcs(cycle: u64, pc: u32, computed: u32, expected: Option<u32>) {
+    static TRACE_DCS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *TRACE_DCS.get_or_init(|| std::env::var_os("ARGUS_TRACE_DCS").is_some()) {
+        eprintln!("[dcs] c{cycle} pc={pc:#x} computed={computed:#04x} expected={expected:?}");
     }
 }
 
@@ -696,6 +890,102 @@ mod tests {
         }
         let ev = detected.expect("watchdog must fire");
         assert_eq!(ev.checker, CheckerKind::Watchdog);
+    }
+
+    /// Driving blocks through `exec_block` + `on_block` must leave machine
+    /// AND checker bit-identical to pure per-op interpretation — events
+    /// included — on a clean run.
+    #[test]
+    fn batched_block_checking_matches_per_op() {
+        use argus_machine::SnapshotState;
+        for entry_dcs in [None, Some(0u32)] {
+            let words: Vec<u32> = two_block_program().iter().map(encode).collect();
+            let mut m_blk = Machine::new(MachineConfig::default());
+            let mut m_ref = Machine::new(MachineConfig { block_exec: false, ..Default::default() });
+            m_blk.load_code(0, &words);
+            m_ref.load_code(0, &words);
+            let mut a_blk = Argus::new(ArgusConfig::default());
+            let mut a_ref = Argus::new(ArgusConfig::default());
+            if let Some(d) = entry_dcs {
+                a_blk.expect_entry(d);
+                a_ref.expect_entry(d);
+            }
+            let mut inj_blk = FaultInjector::none();
+            let mut inj_ref = FaultInjector::none();
+            let mut batched = 0;
+            while !m_blk.halted() {
+                let gate = m_blk.plan_block(&inj_blk, u64::MAX);
+                if let Some(gate) = gate.filter(|g| a_blk.block_ready(g, &inj_blk)) {
+                    let commit = m_blk.exec_block(&mut inj_blk, &gate).expect("gated");
+                    assert!(commit.complete, "store-free plans always complete");
+                    let plan = m_blk.plan_at(commit.addr).expect("hit plans survive");
+                    a_blk.on_block(plan, &commit, &mut inj_blk);
+                    batched += 1;
+                    continue;
+                }
+                match m_blk.step(&mut inj_blk) {
+                    StepOutcome::Committed(rec) => {
+                        a_blk.on_commit(&rec, &mut inj_blk);
+                    }
+                    StepOutcome::Stalled => {
+                        a_blk.on_stall(1, &mut inj_blk);
+                    }
+                    StepOutcome::Halted => break,
+                }
+            }
+            while !m_ref.halted() {
+                match m_ref.step(&mut inj_ref) {
+                    StepOutcome::Committed(rec) => {
+                        a_ref.on_commit(&rec, &mut inj_ref);
+                    }
+                    StepOutcome::Stalled => {
+                        a_ref.on_stall(1, &mut inj_ref);
+                    }
+                    StepOutcome::Halted => break,
+                }
+            }
+            assert!(batched >= 2, "both blocks must take the batched path");
+            assert_eq!(m_blk.state_digest(), m_ref.state_digest());
+            assert_eq!(m_blk.state_fingerprint(), m_ref.state_fingerprint());
+            assert_eq!(a_blk.state_fingerprint(), a_ref.state_fingerprint());
+            assert_eq!(a_blk.events(), a_ref.events());
+        }
+    }
+
+    /// A wrong embedded successor DCS must be detected by the batched path
+    /// with the exact same event the per-op path raises.
+    #[test]
+    fn batched_block_checking_detects_wrong_dcs() {
+        let mut prog = two_block_program();
+        if let Instr::Sig { payload, .. } = &mut prog[1] {
+            *payload ^= 1;
+        } else {
+            panic!("expected Sig");
+        }
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_code(0, &words);
+        let mut a = Argus::new(ArgusConfig::default());
+        let mut inj = FaultInjector::none();
+        while !m.halted() {
+            let gate = m.plan_block(&inj, u64::MAX);
+            if let Some(gate) = gate.filter(|g| a.block_ready(g, &inj)) {
+                let commit = m.exec_block(&mut inj, &gate).expect("gated");
+                let plan = m.plan_at(commit.addr).expect("hit plans survive");
+                a.on_block(plan, &commit, &mut inj);
+                continue;
+            }
+            match m.step(&mut inj) {
+                StepOutcome::Committed(rec) => {
+                    a.on_commit(&rec, &mut inj);
+                }
+                StepOutcome::Stalled => {}
+                StepOutcome::Halted => break,
+            }
+        }
+        let ref_events = run_clean(&prog);
+        assert!(!ref_events.is_empty(), "per-op path must flag the bad DCS");
+        assert_eq!(a.events(), &ref_events[..], "batched events must match per-op exactly");
     }
 
     #[test]

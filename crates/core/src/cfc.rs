@@ -156,6 +156,32 @@ impl Cfc {
         self.pending_next = Some(next);
     }
 
+    /// Whether the checker sits exactly at a block boundary: no collected
+    /// bits, no counted instructions, no pending successor. This is the
+    /// precondition for [`Cfc::batch_block`].
+    pub fn at_block_boundary(&self) -> bool {
+        self.block_bits.is_empty() && self.block_len == 0 && self.pending_next.is_none()
+    }
+
+    /// Batched equivalent of `note_instr` × N + `on_flag_write` + `on_cti` +
+    /// `finish_block` over one whole block, for callers that computed the
+    /// successor selection themselves (block-compiled execution): collecting
+    /// then clearing the block bits is a net no-op from a boundary, so only
+    /// the expectation hand-off and the flag shadow remain. Returns the DCS
+    /// the finished block was expected to produce, exactly like
+    /// [`Cfc::finish_block`].
+    ///
+    /// Callers must hold [`Cfc::at_block_boundary`] and must not exceed the
+    /// block-length bound (gated by `Argus::block_ready`).
+    pub fn batch_block(&mut self, next_expected: u32, flag_after: bool) -> Option<u32> {
+        debug_assert!(self.at_block_boundary());
+        let finished_expectation = self.expected;
+        self.flag_shadow = flag_after;
+        self.expected = Some(next_expected);
+        self.pending_next = None;
+        finished_expectation
+    }
+
     /// Ends the current block. `ended_by_cti` is true when the block ended
     /// after the delay slot of a control transfer (vs. a fall-through
     /// end-of-block marker). Returns the DCS the block was expected to

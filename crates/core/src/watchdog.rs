@@ -79,6 +79,11 @@ impl Watchdog {
     pub fn tripped(&self) -> bool {
         self.tripped
     }
+
+    /// The live stall count (0 right after any progress).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! The error-injection campaign and Table-1 classification.
 
 use crate::sites::{full_inventory, sample_points, SamplePoint};
-use argus_compiler::{compile, EmbedConfig, Mode, Program};
+use argus_compiler::{compile, preplan, EmbedConfig, Mode, Program};
 use argus_core::{Argus, ArgusConfig, CheckerKind, DetectionEvent};
+pub use argus_machine::ExecStats;
 use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_sim::fault::{FaultInjector, FaultKind};
 use argus_sim::rng::SplitMix64;
@@ -318,6 +319,8 @@ fn compile_workload(w: &Workload, ecfg: &EmbedConfig) -> Program {
 struct GoldenRun {
     digest: u64,
     cycles: u64,
+    /// Predecode/plan-cache counters the golden run accumulated.
+    exec: ExecStats,
 }
 
 /// Everything a campaign computes once up front and shares across all
@@ -352,6 +355,10 @@ pub struct PreparedCampaign {
     /// [`CampaignConfig::shortcut_inert`]). One cold-boot replay of the
     /// workload, shared by every worker.
     inert_template: OnceLock<InertTemplate>,
+    /// Predecode/plan-cache counters from the golden run (after the
+    /// lowering pass warmed the plan cache). Reported under the campaign
+    /// report's volatile `"run"` key.
+    golden_exec: ExecStats,
 }
 
 /// What a no-fault run of the campaign's faulty loop produces. A
@@ -373,6 +380,9 @@ struct InertTemplate {
 #[derive(Debug, Default)]
 pub struct CampaignWorkspace {
     ws: Workspace,
+    /// Predecode/plan-cache counters accumulated over every injection run
+    /// through this workspace, whatever fork strategy each one took.
+    exec: ExecStats,
 }
 
 impl CampaignWorkspace {
@@ -384,6 +394,16 @@ impl CampaignWorkspace {
     /// Cumulative delta-restore statistics (bench/test observability).
     pub fn stats(&self) -> WorkspaceStats {
         self.ws.stats()
+    }
+
+    /// Cumulative predecode/plan-cache counters (campaign `run` reporting).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec
+    }
+
+    /// Drains the accumulated predecode/plan-cache counters.
+    pub fn take_exec_stats(&mut self) -> ExecStats {
+        std::mem::take(&mut self.exec)
     }
 }
 
@@ -408,6 +428,11 @@ impl PreparedCampaign {
     /// verification.
     pub fn snapshot_fallbacks(&self) -> u64 {
         self.snapshot_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Predecode/plan-cache counters from the golden run.
+    pub fn golden_exec(&self) -> ExecStats {
+        self.golden_exec
     }
 
     /// The campaign's entry state: a fresh machine with the compiled image
@@ -552,10 +577,14 @@ const INJECTION_STREAM_SALT: u64 = 0x5EED;
 fn golden_run(prog: &Program, mcfg: MachineConfig) -> GoldenRun {
     let mut m = Machine::new(mcfg);
     prog.load(&mut m);
+    // Lower every statically-reachable block into the plan cache up front;
+    // `run_to_halt` then retires whole blocks per loop iteration wherever
+    // the block-exec gates allow (bit-identical either way).
+    preplan(prog, &mut m);
     let mut inj = FaultInjector::none();
     let res = m.run_to_halt(&mut inj, 500_000_000);
     assert!(res.halted, "golden run must halt");
-    GoldenRun { digest: m.state_digest(), cycles: res.cycles }
+    GoldenRun { digest: m.state_digest(), cycles: res.cycles, exec: m.take_exec_stats() }
 }
 
 /// The golden run again, but stepping the checker in lockstep and
@@ -581,8 +610,25 @@ fn golden_run_with_snapshots(
     }
     let mut builder = SnapshotBuilder::new(every);
     builder.capture_now(&m, &argus);
+    preplan(prog, &mut m);
     let mut inj = FaultInjector::none();
     loop {
+        // Checker-batched block execution: the golden run is pristine, so
+        // whenever the machine can retire a compiled block and the checker
+        // can verify it as one batch (`block_ready`), both advance in one
+        // call. Snapshots land on block boundaries — still step boundaries,
+        // so forked injections resume exactly as before.
+        if let Some(gate) = m.plan_block(&inj, 500_000_000) {
+            if argus.block_ready(&gate, &inj) {
+                if let Some(commit) = m.exec_block(&mut inj, &gate) {
+                    let plan = m.plan_at(gate.addr).expect("completed block keeps its plan");
+                    let events = argus.on_block(plan, &commit, &mut inj);
+                    debug_assert!(events.is_empty(), "golden run raised a false positive");
+                    builder.maybe_capture(&m, &argus);
+                    continue;
+                }
+            }
+        }
         match m.step(&mut inj) {
             StepOutcome::Committed(rec) => {
                 argus.on_commit(&rec, &mut inj);
@@ -596,7 +642,10 @@ fn golden_run_with_snapshots(
         assert!(m.cycle() < 500_000_000, "golden run must halt");
     }
     debug_assert!(argus.events().is_empty(), "golden run raised a false positive");
-    (GoldenRun { digest: m.state_digest(), cycles: m.cycle() }, builder.finish())
+    (
+        GoldenRun { digest: m.state_digest(), cycles: m.cycle(), exec: m.take_exec_stats() },
+        builder.finish(),
+    )
 }
 
 /// What one faulty run produced, before classification.
@@ -608,6 +657,9 @@ struct FaultyOutcome {
     /// `Some` when the watchdog abandoned the run; the other fields are
     /// then meaningless and the run is unclassifiable.
     hung: Option<HangCause>,
+    /// Predecode/plan-cache counters the run accumulated (drained from the
+    /// machine, so workspace-resident machines never double-count).
+    exec: ExecStats,
 }
 
 /// The faulty-run step loop, shared by the cold-boot and forked paths.
@@ -625,6 +677,42 @@ fn faulty_loop(
 ) -> FaultyOutcome {
     let mut first: Option<DetectionEvent> = None;
     loop {
+        // Block-compiled fast path: retire a whole basic block per loop
+        // iteration when every gate passes. `plan_block` refuses unless the
+        // block provably finishes inside both `window` and the injector's
+        // quiescent horizon (so no tap inside it could have fired), and the
+        // checker — while still live — additionally requires a block it can
+        // verify as one batch (`block_ready`: pristine run, simple
+        // store-free block, watchdog checker idle). Post-detection only
+        // the machine-side gates apply, mirroring the skipped `on_commit`
+        // below. `tick_many` settles the supervision-watchdog debt for the
+        // interpreter iterations the block replaced (quiescent execution
+        // never stalls, so retired ops == replaced iterations), keeping
+        // the hung/not-hung verdict bit-identical to the one-step loop.
+        if let Some(gate) = m.plan_block(inj, window) {
+            if first.is_some() || argus.block_ready(&gate, inj) {
+                if let Some(commit) = m.exec_block(inj, &gate) {
+                    if let Some(cause) = wd.tick_many(u64::from(commit.executed)) {
+                        return FaultyOutcome {
+                            detection: None,
+                            exercised_at: inj.first_flip_cycle(),
+                            halted: false,
+                            digest: 0,
+                            hung: Some(cause),
+                            exec: m.take_exec_stats(),
+                        };
+                    }
+                    if first.is_none() {
+                        let plan = m.plan_at(gate.addr).expect("completed block keeps its plan");
+                        first = argus.on_block(plan, &commit, inj).into_iter().next();
+                    }
+                    if m.cycle() > window {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
         if let Some(cause) = wd.tick() {
             return FaultyOutcome {
                 detection: None,
@@ -632,6 +720,7 @@ fn faulty_loop(
                 halted: false,
                 digest: 0,
                 hung: Some(cause),
+                exec: m.take_exec_stats(),
             };
         }
         // Once the first detection is recorded the checker is done: only
@@ -670,6 +759,7 @@ fn faulty_loop(
         halted: m.halted(),
         digest: m.state_digest(),
         hung: None,
+        exec: m.take_exec_stats(),
     }
 }
 
@@ -741,6 +831,7 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         prog,
         golden_digest: golden.digest,
         golden_cycles: golden.cycles,
+        golden_exec: golden.exec,
         window,
         points,
         snapshots,
@@ -837,6 +928,7 @@ fn run_injection_watched(
             }
         }
     };
+    ws.exec.merge(&out.exec);
     if let Some(cause) = out.hung {
         return Err(cause);
     }

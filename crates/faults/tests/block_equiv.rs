@@ -1,0 +1,183 @@
+//! Block-compiled execution equivalence (the tentpole's safety net).
+//!
+//! The JIT-lite block engine is an optimisation, never a semantic change:
+//! machine trajectories, checker verdicts, and campaign classifications
+//! must be bit-identical with the plan cache on or off. These tests sweep
+//! the whole workload suite (plus the stress kernel) and real injection
+//! campaigns — faults arm at arbitrary cycles, including mid-block, which
+//! exercises the quiescent-horizon gate and the interpreter fallback.
+
+use argus_compiler::{compile, preplan, EmbedConfig, Mode, Program};
+use argus_core::{Argus, ArgusConfig};
+use argus_faults::campaign::{run_campaign, CampaignConfig};
+use argus_machine::{Machine, MachineConfig, SnapshotState, StepOutcome};
+use argus_sim::fault::{FaultInjector, FaultKind};
+use argus_workloads::Workload;
+
+const BOUND: u64 = 500_000_000;
+
+fn all_workloads() -> Vec<Workload> {
+    let mut ws = argus_workloads::suite();
+    ws.push(argus_workloads::stress());
+    ws
+}
+
+fn build(w: &Workload) -> Program {
+    compile(&w.unit, Mode::Argus, &EmbedConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e:?}", w.name))
+}
+
+fn mcfg(block_exec: bool) -> MachineConfig {
+    MachineConfig { block_exec, ..MachineConfig::default() }
+}
+
+/// Every suite workload retires to the same architectural state, digest,
+/// and fingerprint whether blocks are compiled or interpreted one op at a
+/// time — and the block engine actually engages on each of them.
+#[test]
+fn block_exec_matches_interpreter_on_every_suite_workload() {
+    for w in &all_workloads() {
+        let prog = build(w);
+
+        let mut on = Machine::new(mcfg(true));
+        prog.load(&mut on);
+        preplan(&prog, &mut on);
+        let mut inj = FaultInjector::none();
+        let res_on = on.run_to_halt(&mut inj, BOUND);
+
+        let mut off = Machine::new(mcfg(false));
+        prog.load(&mut off);
+        let mut inj = FaultInjector::none();
+        let res_off = off.run_to_halt(&mut inj, BOUND);
+
+        assert!(res_on.halted, "{}: block-exec run did not halt", w.name);
+        assert_eq!(res_on, res_off, "{}: RunResult diverged", w.name);
+        assert_eq!(on.state_digest(), off.state_digest(), "{}: state digest diverged", w.name);
+        assert_eq!(
+            on.state_fingerprint(),
+            off.state_fingerprint(),
+            "{}: state fingerprint diverged",
+            w.name
+        );
+
+        let stats = on.take_exec_stats();
+        assert!(stats.plan_hits > 0, "{}: block engine never engaged ({stats:?})", w.name);
+        let off_stats = off.take_exec_stats();
+        assert_eq!(
+            (off_stats.plan_hits, off_stats.plan_misses, off_stats.plan_fallbacks),
+            (0, 0, 0),
+            "{}: interpreter-only machine counted plan activity",
+            w.name
+        );
+    }
+}
+
+/// Drives machine + checker to halt, taking the checker-batched block path
+/// whenever the gates allow (exactly the campaign's golden-run shape).
+/// Returns how many blocks were verified as batches.
+fn run_checked(m: &mut Machine, argus: &mut Argus, prog: &Program) -> u64 {
+    if let Some(d) = prog.entry_dcs {
+        argus.expect_entry(d);
+    }
+    let mut inj = FaultInjector::none();
+    let mut batched = 0u64;
+    loop {
+        if let Some(gate) = m.plan_block(&inj, BOUND) {
+            if argus.block_ready(&gate, &inj) {
+                if let Some(commit) = m.exec_block(&mut inj, &gate) {
+                    let plan = m.plan_at(gate.addr).expect("completed block keeps its plan");
+                    let events = argus.on_block(plan, &commit, &mut inj);
+                    assert!(events.is_empty(), "fault-free run raised a detection");
+                    batched += 1;
+                    continue;
+                }
+            }
+        }
+        match m.step(&mut inj) {
+            StepOutcome::Committed(rec) => {
+                argus.on_commit(&rec, &mut inj);
+            }
+            StepOutcome::Stalled => {
+                argus.on_stall(1, &mut inj);
+            }
+            StepOutcome::Halted => break,
+        }
+        assert!(m.cycle() < BOUND, "fault-free run must halt");
+    }
+    assert!(argus.events().is_empty(), "fault-free run raised a detection");
+    batched
+}
+
+/// Batched SHS/DCS checking leaves the checker's own state (signature
+/// file, CFC stack, watchdog) bit-identical to per-op checking, on every
+/// suite workload.
+#[test]
+fn batched_checking_matches_per_op_checking_on_every_suite_workload() {
+    for w in &all_workloads() {
+        let prog = build(w);
+
+        let mut m_blk = Machine::new(mcfg(true));
+        prog.load(&mut m_blk);
+        preplan(&prog, &mut m_blk);
+        let mut a_blk = Argus::new(ArgusConfig::default());
+        let batched = run_checked(&mut m_blk, &mut a_blk, &prog);
+
+        let mut m_ref = Machine::new(mcfg(false));
+        prog.load(&mut m_ref);
+        let mut a_ref = Argus::new(ArgusConfig::default());
+        let per_op = run_checked(&mut m_ref, &mut a_ref, &prog);
+
+        assert!(batched > 0, "{}: checker never batched a block", w.name);
+        assert_eq!(per_op, 0, "{}: plan cache leaked into the off machine", w.name);
+        assert_eq!(
+            m_blk.state_digest(),
+            m_ref.state_digest(),
+            "{}: machine digest diverged under batched checking",
+            w.name
+        );
+        assert_eq!(
+            a_blk.state_fingerprint(),
+            a_ref.state_fingerprint(),
+            "{}: checker state diverged under batched checking",
+            w.name
+        );
+    }
+}
+
+/// Full campaigns — transient and permanent faults, with and without
+/// snapshot forking — classify every injection identically with the block
+/// engine on or off. Arm cycles land anywhere in the golden window, so
+/// faults routinely arm mid-block and force the quiescent-horizon bail
+/// back to the interpreter.
+#[test]
+fn campaigns_classify_identically_with_block_exec_on_and_off() {
+    let w = argus_workloads::stress();
+    for kind in [FaultKind::Transient, FaultKind::Permanent] {
+        for snapshot_every in [None, Some(500)] {
+            let base = CampaignConfig {
+                injections: 40,
+                kind,
+                seed: 0xB10CEC5,
+                snapshot_every,
+                ..CampaignConfig::default()
+            };
+            let mut on_cfg = base.clone();
+            on_cfg.mcfg.block_exec = true;
+            let mut off_cfg = base;
+            off_cfg.mcfg.block_exec = false;
+
+            let on = run_campaign(&w, &on_cfg);
+            let off = run_campaign(&w, &off_cfg);
+
+            assert_eq!(
+                on.golden_cycles, off.golden_cycles,
+                "golden trajectory diverged ({kind:?}, snapshots {snapshot_every:?})"
+            );
+            assert_eq!(
+                format!("{:?}", on.results),
+                format!("{:?}", off.results),
+                "classification diverged ({kind:?}, snapshots {snapshot_every:?})"
+            );
+        }
+    }
+}

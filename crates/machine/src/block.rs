@@ -1,0 +1,1104 @@
+//! Block-compiled golden execution (JIT-lite).
+//!
+//! The interpreter dispatches one instruction per [`Machine::step`] even on
+//! quiescent golden runs, where every fault tap is an identity function and
+//! every per-step fault hook is dead weight. This module lowers basic
+//! blocks — the unit the Argus checker already works in — into pre-decoded
+//! straight-line *plans* and executes a whole plan per dispatch whenever it
+//! is provably safe to do so.
+//!
+//! # Plans are a pure function of program bytes
+//!
+//! A [`BlockPlan`] is built by scanning main memory forward from a block
+//! entry address with the same delay-slot-aware termination rule the
+//! machine and the compiler's `binver` segmentation use: a block ends after
+//! a CTI's delay slot, an end-of-block `Sig` marker, or `halt`. Each plan
+//! op records the raw word, its decode, its embedded signature bits, and —
+//! for linking jumps — the link-register value, which the interpreter
+//! derives from the live signature bit stream but a plan knows statically.
+//!
+//! Plans live in a direct-mapped [`PlanCache`] keyed on the entry address.
+//! Like the predecode memo, the cache is excluded from snapshots and
+//! fingerprints: a stale entry can never produce wrong execution because it
+//! is *validated against program bytes* before and during use:
+//!
+//! - on lookup, the entry's first word is compared against main memory; a
+//!   mismatch rebuilds the plan (entry-level staleness);
+//! - during execution, every op's fetched word is compared against the
+//!   plan's word; a mismatch — only possible when an earlier op of the same
+//!   block stored over upcoming code — executes the *freshly fetched* word
+//!   through the generic path and hands control back to the interpreter
+//!   (mid-block staleness, see [`BlockCommit::complete`]).
+//!
+//! # Fallback rules
+//!
+//! [`Machine::plan_block`] declines (and the caller falls back to the
+//! one-step interpreter) unless all of these hold:
+//!
+//! - [`MachineConfig`](crate::machine::MachineConfig)`::block_exec` is on,
+//!   the machine is not halted, not in a delay slot, has no pending branch,
+//!   and its signature-bit accumulator is empty (i.e. it sits at a block
+//!   boundary);
+//! - the current PC begins a plannable block (a terminator within the scan
+//!   cap, all words in range);
+//! - `cycle + plan.worst_cycles` stays within both the caller's cycle
+//!   bound and [`FaultInjector::quiescent_horizon`] — so every fault tap
+//!   the interpreter would have evaluated inside the block is provably an
+//!   identity function, and the run stops at the exact same cycle under
+//!   either engine.
+//!
+//! Under those gates a complete plan execution is bit-identical to the
+//! interpreter by construction — same registers, parity, flag, memory,
+//! cache timing state, cycle count and PC — which the equivalence suite
+//! (`argus-faults/tests/block_equiv.rs`) checks property-style over every
+//! suite workload.
+
+use crate::exec;
+use crate::machine::Machine;
+use argus_isa::decode::decode;
+use argus_isa::encode::embedded_bits_packed;
+use argus_isa::instr::{Instr, MemSize, MulDivOp};
+use argus_isa::reg::Reg;
+use argus_isa::{pack_indirect_target, split_indirect_target, INDIRECT_ADDR_MASK};
+use argus_mem::MemorySystem;
+use argus_sim::bits::parity32;
+use argus_sim::bitstream::{BitStream, PackedBits};
+use argus_sim::fault::FaultInjector;
+
+/// Scan cap per plan, in instructions. The compiler's `max_block_len` is 64
+/// plus a delay slot; anything longer is left to the interpreter.
+const MAX_PLAN_OPS: usize = 96;
+
+/// Direct-mapped plan cache slots (covers 2KB of block entry points per
+/// conflict-free residency; collisions just rebuild).
+const PLAN_SLOTS: usize = 512;
+
+/// One pre-decoded instruction of a block plan.
+#[derive(Debug, Clone, Copy)]
+struct PlanOp {
+    /// The raw program word the decode came from (validated against every
+    /// fetch; see the module docs on mid-block staleness).
+    word: u32,
+    instr: Instr,
+    /// Embedded signature bits of `word` (batched checking + bit-stream
+    /// reconstruction on a mid-block bail).
+    embedded: PackedBits,
+    /// Precomputed link-register value for linking jumps: the interpreter
+    /// reads the DCS slot from the live signature bit stream, which a plan
+    /// knows statically. Zero for non-linking ops.
+    link_value: u32,
+}
+
+/// A compiled straight-line plan for one basic block.
+///
+/// Pure function of the machine configuration and the program words at
+/// `[addr, addr + 4 * len)`; holds no machine state.
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    addr: u32,
+    first_word: u32,
+    /// Empty for a *negative* plan: an address where no well-formed block
+    /// terminator exists within the scan cap (cached so unplannable
+    /// addresses don't rescan every visit).
+    ops: Vec<PlanOp>,
+    /// FNV-1a over the plan's words: checker-side memo key.
+    words_hash: u64,
+    /// Worst-case cycles a full execution can charge (every fetch and data
+    /// access missing, dirty writebacks, div latency). Overestimates only:
+    /// used to gate against cycle bounds and the quiescent horizon.
+    worst_cycles: u64,
+    /// Worst-case stall (cycles − 1) of any single op, for the checker's
+    /// watchdog gate.
+    max_op_stall: u32,
+    has_store: bool,
+    /// The block ends in a CTI's delay slot (vs an `eob` Sig / `halt`
+    /// fallthrough) — the distinction `Cfc::finish_block` keys on.
+    ends_with_cti: bool,
+    /// Canonical shape the batched checker accepts: exactly one CTI sitting
+    /// immediately before the final (delay-slot) op, or no CTI at all.
+    argus_simple: bool,
+}
+
+impl BlockPlan {
+    /// Scans program bytes forward from `addr` and compiles a plan.
+    /// Returns a negative (empty) plan when no terminator is found within
+    /// [`MAX_PLAN_OPS`] or the scan walks out of memory.
+    fn build(cfg: &crate::machine::MachineConfig, mem: &MemorySystem, addr: u32) -> BlockPlan {
+        let addr = addr & !3;
+        let first_word = mem.memory().read(addr).map(|(w, _)| w).unwrap_or(0);
+        let argus = cfg.argus_mode;
+        // Worst-case latencies; `fetch` never writes back, data ops might.
+        let fetch_worst = cfg.mem.hit_cycles + cfg.mem.miss_penalty;
+        let data_worst = fetch_worst + cfg.mem.writeback_penalty;
+
+        let mut ops: Vec<PlanOp> = Vec::new();
+        let mut bits = BitStream::new();
+        let mut delay = false;
+        let mut worst_cycles = 0u64;
+        let mut max_op_cycles = 0u32;
+        let mut has_store = false;
+        let mut ends_with_cti = false;
+        let mut cti_count = 0u32;
+        let mut cti_at = None;
+        let mut hash = crate::snapshot::Fnv64::new();
+        let mut complete = false;
+
+        for k in 0..MAX_PLAN_OPS {
+            let pc = addr.wrapping_add(4 * k as u32);
+            let Ok((word, _tag)) = mem.memory().read(pc) else {
+                break;
+            };
+            let instr = decode(word);
+            let embedded = embedded_bits_packed(word);
+            bits.push_packed(embedded);
+            let in_delay = delay;
+            delay = false;
+            let mut block_end = in_delay;
+            let mut op_cycles = fetch_worst;
+            let mut link_value = 0u32;
+            match instr {
+                Instr::MulDiv { op, .. } => {
+                    op_cycles += if matches!(op, MulDivOp::Div | MulDivOp::Divu) {
+                        cfg.div_cycles.saturating_sub(1)
+                    } else {
+                        cfg.mul_cycles.saturating_sub(1)
+                    };
+                }
+                Instr::Load { .. } => op_cycles += data_worst.saturating_sub(1),
+                Instr::Store { .. } => {
+                    has_store = true;
+                    op_cycles += data_worst.saturating_sub(1);
+                }
+                Instr::Jump { link: true, .. } => {
+                    link_value = static_link_value(argus, pc, &bits, 1);
+                }
+                Instr::JumpReg { link: true, .. } => {
+                    link_value = static_link_value(argus, pc, &bits, 0);
+                }
+                Instr::Sig { eob: true, .. } | Instr::Halt => block_end = true,
+                _ => {}
+            }
+            if instr.is_cti() {
+                delay = true;
+                cti_count += 1;
+                if cti_at.is_none() {
+                    cti_at = Some(k);
+                }
+            }
+            ops.push(PlanOp { word, instr, embedded, link_value });
+            worst_cycles += op_cycles as u64;
+            max_op_cycles = max_op_cycles.max(op_cycles);
+            hash.mix(word as u64);
+            if block_end {
+                ends_with_cti = in_delay;
+                complete = true;
+                break;
+            }
+        }
+        if !complete {
+            ops.clear();
+            worst_cycles = 0;
+            max_op_cycles = 0;
+            has_store = false;
+        }
+        let argus_simple = complete
+            && match (ends_with_cti, cti_count) {
+                (true, 1) => cti_at == Some(ops.len().saturating_sub(2)),
+                (false, 0) => true,
+                _ => false,
+            };
+        BlockPlan {
+            addr,
+            first_word,
+            ops,
+            words_hash: hash.finish(),
+            worst_cycles,
+            max_op_stall: max_op_cycles.saturating_sub(1),
+            has_store,
+            ends_with_cti,
+            argus_simple,
+        }
+    }
+
+    /// Block entry address.
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Instructions in the plan (0 for a negative plan).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether this is a negative (unplannable-address) plan.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// FNV-1a over the plan's raw words (checker-side memo key).
+    pub fn words_hash(&self) -> u64 {
+        self.words_hash
+    }
+
+    /// The raw program word of op `i`.
+    pub fn word(&self, i: usize) -> u32 {
+        self.ops[i].word
+    }
+
+    /// The decoded instruction of op `i`.
+    pub fn instr(&self, i: usize) -> Instr {
+        self.ops[i].instr
+    }
+
+    /// The embedded signature bits of op `i`.
+    pub fn embedded(&self, i: usize) -> PackedBits {
+        self.ops[i].embedded
+    }
+
+    /// Whether the block ends in a CTI's delay slot.
+    pub fn ends_with_cti(&self) -> bool {
+        self.ends_with_cti
+    }
+
+    /// Whether the batched checker accepts this shape (see field docs).
+    pub fn argus_simple(&self) -> bool {
+        self.argus_simple
+    }
+
+    /// Whether any op is a store (a store-free plan can never go stale
+    /// mid-block, so its execution is guaranteed complete).
+    pub fn has_store(&self) -> bool {
+        self.has_store
+    }
+
+    /// Worst-case stall (cycles − 1) of any single op.
+    pub fn max_op_stall(&self) -> u32 {
+        self.max_op_stall
+    }
+
+    /// Worst-case cycles a full execution can charge.
+    pub fn worst_cycles(&self) -> u64 {
+        self.worst_cycles
+    }
+}
+
+/// What the interpreter's link-value computation would produce given the
+/// signature bits accumulated through this op.
+fn static_link_value(argus: bool, pc: u32, bits: &BitStream, slot: usize) -> u32 {
+    let ret = pc.wrapping_add(8);
+    if argus {
+        let dcs = bits.extract(5 * slot, 5) & 31;
+        pack_indirect_target(ret & INDIRECT_ADDR_MASK, dcs)
+    } else {
+        ret
+    }
+}
+
+/// Pre-flight summary of the plan gating decision, returned by
+/// [`Machine::plan_block`]. Carrying this (Copy) value instead of a plan
+/// borrow lets callers consult the checker between planning and execution.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockGate {
+    /// Block entry address (the machine's current PC).
+    pub addr: u32,
+    /// Instructions in the plan.
+    pub len: u32,
+    /// The plan contains a store; a store-free plan cannot bail mid-block.
+    pub has_store: bool,
+    /// The block ends in a CTI's delay slot.
+    pub ends_with_cti: bool,
+    /// Canonical single-CTI/no-CTI shape the batched checker accepts.
+    pub argus_simple: bool,
+    /// Worst-case stall (cycles − 1) of any single op.
+    pub max_op_stall: u32,
+    /// Checker-side memo key (with `addr`).
+    pub words_hash: u64,
+}
+
+/// A load whose word address fell outside main memory during a block
+/// execution. The interpreter substitutes an all-ones payload with a clear
+/// tag, which the checker's memory parity check may flag — a batched
+/// checker needs the exact (pc, cycle, observed word) triple to raise the
+/// identical event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OobLoad {
+    /// PC of the load.
+    pub pc: u32,
+    /// Machine cycle after the load committed.
+    pub end_cycle: u64,
+    /// Whether the fallback word's parity checks out against its (clear)
+    /// tag — exactly the `parity_ok` the interpreter's commit record would
+    /// carry for this load.
+    pub parity_ok: bool,
+}
+
+/// What one block execution did, returned by [`Machine::exec_block`].
+#[derive(Debug, Clone)]
+pub struct BlockCommit {
+    /// Block entry address.
+    pub addr: u32,
+    /// Instructions actually retired (== plan length when `complete`).
+    pub executed: u32,
+    /// Whether the whole plan ran. `false` means an in-block store rewrote
+    /// an upcoming word: the fresh word was executed generically and the
+    /// machine is mid-block — the caller must resume the interpreter.
+    pub complete: bool,
+    /// PC of the last retired instruction.
+    pub last_pc: u32,
+    /// Machine cycle after the block.
+    pub end_cycle: u64,
+    /// The block ended in a CTI's delay slot (always false when not
+    /// `complete`; the interpreter finishes the block).
+    pub ended_by_cti: bool,
+    /// Flag value a conditional branch in the block observed.
+    pub cti_flag: Option<bool>,
+    /// DCS bits split from an indirect jump's target (argus mode).
+    pub indirect_dcs: Option<u32>,
+    /// The block executed `halt`.
+    pub halted: bool,
+    /// The machine's compare flag after the block.
+    pub flag_after: bool,
+    /// Loads that fell outside main memory, in commit order (almost always
+    /// empty — an empty `Vec` does not allocate).
+    pub oob_loads: Vec<OobLoad>,
+}
+
+/// Plan/predecode cache counters drained by [`Machine::take_exec_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Predecode memo lookups that found their word.
+    pub predecode_hits: u64,
+    /// Predecode memo lookups that recomputed a slot.
+    pub predecode_misses: u64,
+    /// Block plans executed to completion.
+    pub plan_hits: u64,
+    /// Block plans (re)built.
+    pub plan_misses: u64,
+    /// Plan cache slots whose previous occupant was replaced or dropped.
+    pub plan_evictions: u64,
+    /// Block executions that bailed mid-plan back to the interpreter.
+    pub plan_fallbacks: u64,
+}
+
+impl ExecStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.predecode_hits += other.predecode_hits;
+        self.predecode_misses += other.predecode_misses;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.plan_evictions += other.plan_evictions;
+        self.plan_fallbacks += other.plan_fallbacks;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == ExecStats::default()
+    }
+}
+
+/// Direct-mapped plan cache. Excluded from snapshots and fingerprints:
+/// entries are validated against program bytes before and during use, so a
+/// stale entry is rebuilt (or bailed out of), never wrong.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanCache {
+    slots: Box<[Option<Box<BlockPlan>>]>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) evictions: u64,
+    pub(crate) fallbacks: u64,
+}
+
+impl PlanCache {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: vec![None; PLAN_SLOTS].into_boxed_slice(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            fallbacks: 0,
+        }
+    }
+
+    #[inline]
+    fn index(addr: u32) -> usize {
+        ((addr >> 2) as usize) & (PLAN_SLOTS - 1)
+    }
+}
+
+impl Machine {
+    /// Ensures the cache slot for `addr` holds a fresh plan (rebuilding on
+    /// entry-word mismatch). Returns the slot index if `addr` begins a
+    /// plannable block.
+    fn ensure_plan(&mut self, addr: u32) -> Option<usize> {
+        let addr = addr & !3;
+        let idx = PlanCache::index(addr);
+        let first = self.mem.memory().read(addr).ok()?.0;
+        let fresh = matches!(&self.plans.slots[idx],
+            Some(p) if p.addr == addr && p.first_word == first);
+        if !fresh {
+            let plan = BlockPlan::build(&self.cfg, &self.mem, addr);
+            if self.plans.slots[idx].is_some() {
+                self.plans.evictions += 1;
+            }
+            self.plans.misses += 1;
+            self.plans.slots[idx] = Some(Box::new(plan));
+        }
+        let plannable = !self.plans.slots[idx].as_ref().expect("slot just filled").is_empty();
+        plannable.then_some(idx)
+    }
+
+    /// Warms the plan cache for the block at `addr` (compiler lowering
+    /// pass). Returns whether `addr` begins a plannable block.
+    pub fn prepare_plan(&mut self, addr: u32) -> bool {
+        self.ensure_plan(addr).is_some()
+    }
+
+    /// The cached plan at `addr`, if fresh enough to have just executed
+    /// (checker-side introspection after [`Machine::exec_block`]).
+    pub fn plan_at(&self, addr: u32) -> Option<&BlockPlan> {
+        let idx = PlanCache::index(addr & !3);
+        self.plans.slots[idx].as_deref().filter(|p| p.addr == addr & !3 && !p.is_empty())
+    }
+
+    /// Decides whether the block at the current PC may run as one compiled
+    /// plan, applying every fallback rule in the module docs. `cycle_bound`
+    /// is the caller's stopping bound (e.g. `max_cycles`): the block is
+    /// declined unless it provably finishes within it, so both engines stop
+    /// at the identical cycle.
+    pub fn plan_block(&mut self, inj: &FaultInjector, cycle_bound: u64) -> Option<BlockGate> {
+        if !self.cfg.block_exec
+            || self.halted
+            || self.delay_slot
+            || self.pending_branch.is_some()
+            || !self.block_bits.is_empty()
+        {
+            return None;
+        }
+        let idx = self.ensure_plan(self.pc)?;
+        let plan = self.plans.slots[idx].as_deref().expect("ensured");
+        let end = self.cycle.checked_add(plan.worst_cycles)?;
+        if end > cycle_bound || end > inj.quiescent_horizon() {
+            return None;
+        }
+        Some(BlockGate {
+            addr: plan.addr,
+            len: plan.ops.len() as u32,
+            has_store: plan.has_store,
+            ends_with_cti: plan.ends_with_cti,
+            argus_simple: plan.argus_simple,
+            max_op_stall: plan.max_op_stall,
+            words_hash: plan.words_hash,
+        })
+    }
+
+    /// Executes the plan approved by [`Machine::plan_block`]. Returns
+    /// `None` (machine untouched) if the machine moved since the gate was
+    /// issued; otherwise retires the block's instructions with semantics
+    /// bit-identical to the same number of interpreter steps.
+    pub fn exec_block(&mut self, inj: &mut FaultInjector, gate: &BlockGate) -> Option<BlockCommit> {
+        if self.halted || self.pc != gate.addr || self.delay_slot || self.pending_branch.is_some() {
+            return None;
+        }
+        let idx = PlanCache::index(gate.addr);
+        // Take the plan out of its slot so executing (which borrows the
+        // machine mutably) cannot alias it.
+        let plan = self.plans.slots[idx].take()?;
+        if plan.addr != gate.addr || plan.is_empty() {
+            self.plans.slots[idx] = Some(plan);
+            return None;
+        }
+        let commit = self.exec_plan_ops(&plan);
+        if commit.complete {
+            self.plans.hits += 1;
+            self.plans.slots[idx] = Some(plan);
+        } else {
+            // The block stored over its own upcoming words; drop the stale
+            // plan so the next visit rebuilds from the new program bytes.
+            self.plans.fallbacks += 1;
+            self.plans.evictions += 1;
+        }
+        inj.set_cycle(self.cycle);
+        Some(commit)
+    }
+
+    /// One-call fast path: plan the block at PC and execute it if every
+    /// gate passes. `None` means "interpret at least one step".
+    pub fn try_block_exec(
+        &mut self,
+        inj: &mut FaultInjector,
+        cycle_bound: u64,
+    ) -> Option<BlockCommit> {
+        let gate = self.plan_block(inj, cycle_bound)?;
+        self.exec_block(inj, &gate)
+    }
+
+    /// Drains the predecode and plan-cache counters accumulated since the
+    /// last call (campaign `run` accounting).
+    pub fn take_exec_stats(&mut self) -> ExecStats {
+        let (predecode_hits, predecode_misses) = self.predecode.take_counters();
+        ExecStats {
+            predecode_hits,
+            predecode_misses,
+            plan_hits: std::mem::take(&mut self.plans.hits),
+            plan_misses: std::mem::take(&mut self.plans.misses),
+            plan_evictions: std::mem::take(&mut self.plans.evictions),
+            plan_fallbacks: std::mem::take(&mut self.plans.fallbacks),
+        }
+    }
+
+    /// The straight-line executor: an unrolled, tap-free rendition of
+    /// [`Machine::step`]'s quiescent path. Every per-op fetch revalidates
+    /// the plan's word; see the module docs for the mid-block bail.
+    fn exec_plan_ops(&mut self, plan: &BlockPlan) -> BlockCommit {
+        let mut pc = self.pc;
+        let mut last_pc = pc;
+        let mut cti_flag = None;
+        let mut indirect_dcs = None;
+        let mut oob_loads: Vec<OobLoad> = Vec::new();
+        for (k, op) in plan.ops.iter().enumerate() {
+            let (raw, fetch_cycles) = self.mem.fetch(pc);
+            if raw != op.word {
+                self.exec_stale_op(
+                    plan,
+                    k,
+                    pc,
+                    raw,
+                    fetch_cycles,
+                    &mut cti_flag,
+                    &mut indirect_dcs,
+                    &mut oob_loads,
+                );
+                return BlockCommit {
+                    addr: plan.addr,
+                    executed: k as u32 + 1,
+                    complete: false,
+                    last_pc: pc,
+                    end_cycle: self.cycle,
+                    ended_by_cti: false,
+                    cti_flag,
+                    indirect_dcs,
+                    halted: self.halted,
+                    flag_after: self.flag,
+                    oob_loads,
+                };
+            }
+            let in_delay = self.delay_slot;
+            self.delay_slot = false;
+            let oob_before = oob_loads.len();
+            let (mem_cycles, extra_cycles, new_pending) = self.exec_op_quiescent(
+                op.instr,
+                pc,
+                Some(op.link_value),
+                &mut cti_flag,
+                &mut indirect_dcs,
+                &mut oob_loads,
+            );
+            let seq = pc.wrapping_add(4);
+            let next = if in_delay { self.pending_branch.take().unwrap_or(seq) } else { seq };
+            if op.instr.is_cti() {
+                self.pending_branch = new_pending;
+                self.delay_slot = true;
+            }
+            last_pc = pc;
+            pc = next & !3;
+            self.cycle += (fetch_cycles + mem_cycles + extra_cycles) as u64;
+            self.retired += 1;
+            for e in &mut oob_loads[oob_before..] {
+                e.end_cycle = self.cycle;
+            }
+        }
+        self.pc = pc;
+        // The interpreter pushes each op's signature bits and clears them at
+        // block end; the net effect on an empty accumulator is empty, so the
+        // clean path never touches `block_bits` at all.
+        BlockCommit {
+            addr: plan.addr,
+            executed: plan.ops.len() as u32,
+            complete: true,
+            last_pc,
+            end_cycle: self.cycle,
+            ended_by_cti: plan.ends_with_cti,
+            cti_flag,
+            indirect_dcs,
+            halted: self.halted,
+            flag_after: self.flag,
+            oob_loads,
+        }
+    }
+
+    /// Mid-block staleness: an earlier op of this very block stored over
+    /// the word the plan expected at `pc`. The fetch already happened (and
+    /// advanced cache state), so the freshly fetched word is executed here
+    /// through the generic quiescent path after reconstructing the
+    /// signature bit stream the interpreter would hold — leaving the
+    /// machine exactly where `k + 1` interpreter steps would.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_stale_op(
+        &mut self,
+        plan: &BlockPlan,
+        k: usize,
+        pc: u32,
+        raw: u32,
+        fetch_cycles: u32,
+        cti_flag: &mut Option<bool>,
+        indirect_dcs: &mut Option<u32>,
+        oob_loads: &mut Vec<OobLoad>,
+    ) {
+        for op in &plan.ops[..k] {
+            self.block_bits.push_packed(op.embedded);
+        }
+        let instr = decode(raw);
+        self.block_bits.push_packed(embedded_bits_packed(raw));
+        let in_delay = self.delay_slot;
+        self.delay_slot = false;
+        let mut block_end = in_delay;
+        if matches!(instr, Instr::Sig { eob: true, .. } | Instr::Halt) {
+            block_end = true;
+        }
+        let oob_before = oob_loads.len();
+        let (mem_cycles, extra_cycles, new_pending) =
+            self.exec_op_quiescent(instr, pc, None, cti_flag, indirect_dcs, oob_loads);
+        let seq = pc.wrapping_add(4);
+        let next = if in_delay { self.pending_branch.take().unwrap_or(seq) } else { seq };
+        if instr.is_cti() {
+            self.pending_branch = new_pending;
+            self.delay_slot = true;
+        }
+        self.pc = next & !3;
+        self.cycle += (fetch_cycles + mem_cycles + extra_cycles) as u64;
+        self.retired += 1;
+        for e in &mut oob_loads[oob_before..] {
+            e.end_cycle = self.cycle;
+        }
+        if block_end {
+            self.block_bits.clear();
+        }
+    }
+
+    /// Executes one decoded instruction with quiescent (identity-tap)
+    /// semantics: the exact state updates of [`Machine::step`] minus the
+    /// fault taps, commit-record plumbing and fetch (already done by the
+    /// caller). Returns `(mem_cycles, extra_cycles, new_pending_branch)`.
+    ///
+    /// `link_value`: `Some` uses the plan's precomputed value (the clean
+    /// path never materializes signature bits); `None` derives it from the
+    /// live bit stream (the stale-op path, where the bits are real).
+    fn exec_op_quiescent(
+        &mut self,
+        instr: Instr,
+        pc: u32,
+        link_value: Option<u32>,
+        cti_flag: &mut Option<bool>,
+        indirect_dcs: &mut Option<u32>,
+        oob_loads: &mut Vec<OobLoad>,
+    ) -> (u32, u32, Option<u32>) {
+        let argus = self.cfg.argus_mode;
+        let mut mem_cycles = 0u32;
+        let mut extra_cycles = 0u32;
+        let mut new_pending: Option<u32> = None;
+        match instr {
+            Instr::Alu { op, rd, ra, rb } => {
+                let r = exec::alu(op, self.regs[usize::from(ra)], self.regs[usize::from(rb)]);
+                self.set_reg(rd, r);
+            }
+            Instr::AluImm { op, rd, ra, imm } => {
+                let r = exec::alu(
+                    exec::alu_imm_base(op),
+                    self.regs[usize::from(ra)],
+                    exec::alu_imm_operand(op, imm),
+                );
+                self.set_reg(rd, r);
+            }
+            Instr::ShiftImm { op, rd, ra, sh } => {
+                let r = exec::shift_imm(op, self.regs[usize::from(ra)], sh);
+                self.set_reg(rd, r);
+            }
+            Instr::Ext { kind, rd, ra } => {
+                let r = exec::extend(kind, self.regs[usize::from(ra)]);
+                self.set_reg(rd, r);
+            }
+            Instr::Movhi { rd, imm } => {
+                self.set_reg(rd, (imm as u32) << 16);
+            }
+            Instr::MulDiv { op, rd, ra, rb } => {
+                let a = self.regs[usize::from(ra)];
+                let b = self.regs[usize::from(rb)];
+                let v = match op {
+                    MulDivOp::Mul | MulDivOp::Mulu => {
+                        extra_cycles = self.cfg.mul_cycles.saturating_sub(1);
+                        exec::multiply(op, a, b).0
+                    }
+                    MulDivOp::Div | MulDivOp::Divu => {
+                        extra_cycles = self.cfg.div_cycles.saturating_sub(1);
+                        exec::divide(op, a, b).0
+                    }
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::SetFlag { cond, ra, rb } => {
+                self.flag = cond.eval(self.regs[usize::from(ra)], self.regs[usize::from(rb)]);
+            }
+            Instr::SetFlagImm { cond, ra, imm } => {
+                let b = argus_sim::bits::sign_extend(imm as u32, 16);
+                self.flag = cond.eval(self.regs[usize::from(ra)], b);
+            }
+            Instr::Branch { taken_if, off } => {
+                let f = self.flag;
+                *cti_flag = Some(f);
+                new_pending = (f == taken_if).then(|| pc.wrapping_add((off as u32) << 2));
+            }
+            Instr::Jump { link, off } => {
+                new_pending = Some(pc.wrapping_add((off as u32) << 2));
+                if link {
+                    let v = link_value.unwrap_or_else(|| self.link_value_quiescent(pc, 1));
+                    self.set_reg(Reg::LR, v);
+                }
+            }
+            Instr::JumpReg { link, rb } => {
+                let v = self.regs[usize::from(rb)];
+                let (addr, dcs) = if argus { split_indirect_target(v) } else { (v, 0) };
+                new_pending = Some(addr);
+                if link {
+                    let lv = link_value.unwrap_or_else(|| self.link_value_quiescent(pc, 0));
+                    self.set_reg(Reg::LR, lv);
+                }
+                *indirect_dcs = argus.then_some(dcs);
+            }
+            Instr::Load { size, signed, off, rd, ra } => {
+                let base = self.regs[usize::from(ra)];
+                let addr = base.wrapping_add(off as i32 as u32);
+                let ali = exec::align_addr(addr, size);
+                let word_addr = ali & !3;
+                let fallback = self.cfg.mem.hit_cycles + self.cfg.mem.miss_penalty;
+                let loaded = self.mem.load_word(word_addr);
+                let oob = loaded.is_err();
+                let (payload, _tag, lat) = loaded.unwrap_or((u32::MAX, false, fallback));
+                let d = if argus { payload ^ word_addr } else { payload };
+                if oob {
+                    // end_cycle is patched by the caller once the op's
+                    // cycles are charged. The fallback tag is clear.
+                    let parity_ok = !argus || !parity32(d);
+                    oob_loads.push(OobLoad { pc, end_cycle: 0, parity_ok });
+                }
+                let v = exec::align_load(d, ali & 3, size, signed);
+                mem_cycles = lat.saturating_sub(1);
+                self.set_reg(rd, v);
+            }
+            Instr::Store { size, off, ra, rb } => {
+                let base = self.regs[usize::from(ra)];
+                let data = self.regs[usize::from(rb)];
+                let addr = base.wrapping_add(off as i32 as u32);
+                let ali = exec::align_addr(addr, size);
+                let word_addr = ali & !3;
+                let (payload, tag) = if matches!(size, MemSize::Word) {
+                    let payload = if argus { data ^ word_addr } else { data };
+                    // Word stores carry the operand's parity tag through
+                    // (the paper's end-to-end register→memory protection).
+                    let tag = if argus { self.parity[usize::from(rb)] } else { parity32(data) };
+                    (payload, tag)
+                } else {
+                    let (oldp, _t) = self.mem.memory().read(word_addr).unwrap_or((0, false));
+                    let old_d = if argus { oldp ^ word_addr } else { oldp };
+                    let merged = exec::merge_store(old_d, ali & 3, size, data);
+                    let payload = if argus { merged ^ word_addr } else { merged };
+                    (payload, parity32(merged))
+                };
+                let fallback = self.cfg.mem.hit_cycles + self.cfg.mem.miss_penalty;
+                let lat = self.mem.store_word_tagged(word_addr, payload, tag).unwrap_or(fallback);
+                mem_cycles = lat.saturating_sub(1);
+            }
+            Instr::Nop | Instr::Sig { .. } => {}
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+        (mem_cycles, extra_cycles, new_pending)
+    }
+
+    /// Quiescent rendition of the interpreter's link-value computation,
+    /// reading the live signature bit stream (stale-op path only).
+    fn link_value_quiescent(&self, pc: u32, slot: usize) -> u32 {
+        let ret = pc.wrapping_add(8);
+        if self.cfg.argus_mode {
+            let dcs = self.block_bits.extract(5 * slot, 5) & 31;
+            pack_indirect_target(ret & INDIRECT_ADDR_MASK, dcs)
+        } else {
+            ret
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MachineConfig, StepOutcome};
+    use argus_isa::encode::encode;
+    use argus_isa::instr::{AluImmOp, AluOp, Cond};
+    use argus_isa::reg::r;
+
+    fn machine(block_exec: bool, argus_mode: bool, words: &[u32]) -> Machine {
+        let mut m = Machine::new(MachineConfig { block_exec, argus_mode, ..Default::default() });
+        m.load_code(0, words);
+        m
+    }
+
+    fn demo_program() -> Vec<u32> {
+        // Two blocks: a loop body ending in a conditional branch + delay
+        // slot, then a fallthrough block ending in halt.
+        [
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: Reg::ZERO, imm: 5 },
+            // loop: r4 += r3; r3 -= 1; if r3 != 0 goto loop (delay: nop)
+            Instr::Alu { op: AluOp::Add, rd: r(4), ra: r(4), rb: r(3) },
+            Instr::AluImm { op: AluImmOp::Addi, rd: r(3), ra: r(3), imm: 0xFFFF },
+            Instr::SetFlagImm { cond: Cond::Ne, ra: r(3), imm: 0 },
+            Instr::Branch { taken_if: true, off: -3 },
+            Instr::Nop,
+            Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(4), off: 0x400 },
+            Instr::Load { size: MemSize::Word, signed: false, rd: r(5), ra: Reg::ZERO, off: 0x400 },
+            Instr::MulDiv { op: MulDivOp::Mul, rd: r(6), ra: r(5), rb: r(5) },
+            Instr::Halt,
+        ]
+        .iter()
+        .map(encode)
+        .collect()
+    }
+
+    /// The contract in one test: block exec on vs off is bit-identical —
+    /// digest, full fingerprint, cycles, retired.
+    #[test]
+    fn block_exec_is_bit_identical_to_interpreter() {
+        use crate::snapshot::SnapshotState;
+        for argus_mode in [false, true] {
+            let words = demo_program();
+            let mut on = machine(true, argus_mode, &words);
+            let mut off = machine(false, argus_mode, &words);
+            let ra = on.run_to_halt(&mut FaultInjector::none(), 100_000);
+            let rb = off.run_to_halt(&mut FaultInjector::none(), 100_000);
+            assert_eq!(ra, rb, "argus={argus_mode}: run results diverged");
+            assert_eq!(on.state_digest(), off.state_digest(), "argus={argus_mode}");
+            assert_eq!(on.state_fingerprint(), off.state_fingerprint(), "argus={argus_mode}");
+            let stats = on.take_exec_stats();
+            assert!(stats.plan_hits > 0, "fast path must actually run: {stats:?}");
+        }
+    }
+
+    /// Cycle bounds stop both engines at the identical cycle, even when the
+    /// bound falls mid-block (the plan is declined, the interpreter steps).
+    #[test]
+    fn cycle_bound_stops_identically() {
+        let words = demo_program();
+        for bound in [1u64, 5, 23, 24, 25, 40, 60, 200] {
+            let mut on = machine(true, true, &words);
+            let mut off = machine(false, true, &words);
+            let ra = on.run_to_halt(&mut FaultInjector::none(), bound);
+            let rb = off.run_to_halt(&mut FaultInjector::none(), bound);
+            assert_eq!(ra, rb, "bound={bound}");
+            assert_eq!(on.state_digest(), off.state_digest(), "bound={bound}");
+        }
+    }
+
+    /// An in-block store over an upcoming word of the same block must bail
+    /// to the generic path and still match the interpreter bit for bit.
+    #[test]
+    fn self_modifying_block_bails_and_stays_identical() {
+        use crate::snapshot::SnapshotState;
+        // r3 := encoding of "addi r5, r0, 7"; store it over the word the
+        // nop at index 4 occupies — then fall into it within the block.
+        let patch = encode(&Instr::AluImm { op: AluImmOp::Addi, rd: r(5), ra: Reg::ZERO, imm: 7 });
+        let words: Vec<u32> = [
+            Instr::Movhi { rd: r(3), imm: (patch >> 16) as u16 },
+            Instr::AluImm { op: AluImmOp::Ori, rd: r(3), ra: r(3), imm: (patch & 0xFFFF) as u16 },
+            Instr::Store { size: MemSize::Word, ra: Reg::ZERO, rb: r(3), off: 16 },
+            Instr::Nop,
+            Instr::Nop, // word 4 (byte 16): patched to "addi r5, r0, 7"
+            Instr::Halt,
+        ]
+        .iter()
+        .map(encode)
+        .collect();
+        let mut on = machine(true, false, &words);
+        let mut off = machine(false, false, &words);
+        let ra = on.run_to_halt(&mut FaultInjector::none(), 100_000);
+        let rb = off.run_to_halt(&mut FaultInjector::none(), 100_000);
+        assert_eq!(ra, rb);
+        assert_eq!(on.reg(r(5)), 7, "patched instruction must have executed");
+        assert_eq!(on.state_digest(), off.state_digest());
+        assert_eq!(on.state_fingerprint(), off.state_fingerprint());
+        let stats = on.take_exec_stats();
+        assert!(stats.plan_fallbacks > 0, "the stale word must trigger a bail: {stats:?}");
+    }
+
+    /// With a fault armed inside a block's cycle span, the plan must be
+    /// declined (quiescent horizon) and the armed path must match the
+    /// always-interpreted machine exactly.
+    #[test]
+    fn armed_fault_mid_block_falls_back_identically() {
+        use argus_sim::fault::{Fault, FaultKind, SiteFlavor};
+        let words = demo_program();
+        for arm_cycle in [0u64, 10, 25, 26, 27, 40, 80] {
+            let fault = Fault {
+                site: crate::sites::EX_RESULT_BUS,
+                bit: 1,
+                kind: FaultKind::Transient,
+                arm_cycle,
+                flavor: SiteFlavor::Single,
+                width: 32,
+                sensitization: 1.0,
+            };
+            let mut on = machine(true, true, &words);
+            let mut off = machine(false, true, &words);
+            let mut inj_on = FaultInjector::with_fault(fault.clone());
+            let mut inj_off = FaultInjector::with_fault(fault);
+            let ra = on.run_to_halt(&mut inj_on, 100_000);
+            let rb = off.run_to_halt(&mut inj_off, 100_000);
+            assert_eq!(ra, rb, "arm={arm_cycle}");
+            assert_eq!(on.state_digest(), off.state_digest(), "arm={arm_cycle}");
+            assert_eq!(inj_on.flip_count(), inj_off.flip_count(), "arm={arm_cycle}");
+        }
+    }
+
+    /// Interleaving block execution with single stepping (the campaign's
+    /// mixed driving pattern) also stays bit-identical.
+    #[test]
+    fn mixed_stepping_and_blocks_match_pure_interpretation() {
+        let words = demo_program();
+        let mut mixed = machine(true, true, &words);
+        let mut pure = machine(false, true, &words);
+        let mut inj_a = FaultInjector::none();
+        let mut inj_b = FaultInjector::none();
+        let mut toggle = false;
+        while !mixed.halted() {
+            toggle = !toggle;
+            let did_block = toggle && mixed.try_block_exec(&mut inj_a, u64::MAX).is_some();
+            let steps = if did_block {
+                // Catch the interpreter up to the block's end cycle.
+                let mut n = 0u32;
+                while pure.cycle() < mixed.cycle() {
+                    pure.step(&mut inj_b);
+                    n += 1;
+                }
+                n
+            } else {
+                if mixed.step(&mut inj_a) == StepOutcome::Halted {
+                    break;
+                }
+                pure.step(&mut inj_b);
+                1
+            };
+            assert!(steps > 0 || mixed.halted());
+            assert_eq!(mixed.cycle(), pure.cycle());
+            assert_eq!(mixed.pc(), pure.pc());
+            assert_eq!(mixed.state_digest(), pure.state_digest());
+        }
+        while !pure.halted() {
+            pure.step(&mut inj_b);
+        }
+        assert_eq!(mixed.state_digest(), pure.state_digest());
+    }
+
+    /// Plan gating refuses mid-block machine states (delay slot / pending
+    /// branch / partial signature stream).
+    #[test]
+    fn gate_refuses_non_boundary_states() {
+        let words = demo_program();
+        let mut m = machine(true, true, &words);
+        let mut inj = FaultInjector::none();
+        // Step to land exactly on the CTI (index 4); the following state is
+        // a delay slot with a pending branch.
+        for _ in 0..5 {
+            m.step(&mut inj);
+        }
+        assert!(m.plan_block(&inj, u64::MAX).is_none(), "delay-slot state must be refused");
+    }
+
+    /// Negative plans (no terminator within the cap) are cached and the
+    /// address is simply interpreted.
+    #[test]
+    fn unplannable_address_is_refused_but_cached() {
+        // A long run of nops with no terminator anywhere within the cap.
+        let words = vec![encode(&Instr::Nop); MAX_PLAN_OPS + 8];
+        let mut m = machine(true, false, &words);
+        assert!(!m.prepare_plan(0));
+        assert!(!m.prepare_plan(0), "second probe hits the cached negative plan");
+        let stats = m.take_exec_stats();
+        assert_eq!(stats.plan_misses, 1, "negative plan built once: {stats:?}");
+        assert!(m.plan_at(0).is_none());
+    }
+
+    /// `prepare_plan` + `plan_at` expose a plan whose static metadata
+    /// matches the program.
+    #[test]
+    fn plan_metadata_reflects_block_shape() {
+        let words = demo_program();
+        let mut m = machine(true, true, &words);
+        // Block at 4: add, addi, setflag, branch, nop(delay) = 5 ops.
+        assert!(m.prepare_plan(4));
+        let plan = m.plan_at(4).expect("plannable");
+        assert_eq!(plan.len(), 5);
+        assert!(plan.ends_with_cti());
+        assert!(plan.argus_simple());
+        assert!(!plan.has_store());
+        // Block at 24: store, load, mul, halt = 4 ops, fallthrough end.
+        assert!(m.prepare_plan(24));
+        let plan = m.plan_at(24).expect("plannable");
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.ends_with_cti());
+        assert!(plan.argus_simple());
+        assert!(plan.has_store());
+    }
+
+    /// The worst-case cycle estimate dominates the real cost (the gate's
+    /// safety depends on it overestimating only).
+    #[test]
+    fn worst_cycles_bounds_actual_cost() {
+        let words = demo_program();
+        let mut m = machine(true, true, &words);
+        let mut inj = FaultInjector::none();
+        loop {
+            let before = m.cycle();
+            match m.try_block_exec(&mut inj, u64::MAX) {
+                Some(commit) => {
+                    let plan = m.plan_at(commit.addr).expect("plan survives a hit");
+                    assert!(
+                        commit.end_cycle - before <= plan.worst_cycles(),
+                        "worst_cycles must dominate"
+                    );
+                    if commit.halted {
+                        break;
+                    }
+                }
+                None => {
+                    if m.step(&mut inj) == StepOutcome::Halted {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(m.halted());
+    }
+
+    /// Link values are precomputed per plan and must equal the interpreter's
+    /// bit-stream-derived values (jal inside a signed block).
+    #[test]
+    fn link_values_match_interpreter_in_argus_mode() {
+        let sig = Instr::Sig { nslots: 2, eob: false, payload: (0b10101 << 5) | 0b00111 };
+        let words: Vec<u32> = [
+            sig,
+            Instr::Jump { link: true, off: 3 }, // to word 4
+            Instr::Nop,                         // delay slot
+            Instr::Halt,
+            Instr::Halt, // jal target
+        ]
+        .iter()
+        .map(encode)
+        .collect();
+        let mut on = machine(true, true, &words);
+        let mut off = machine(false, true, &words);
+        on.run_to_halt(&mut FaultInjector::none(), 10_000);
+        off.run_to_halt(&mut FaultInjector::none(), 10_000);
+        assert_eq!(on.reg(Reg::LR), off.reg(Reg::LR));
+        let (addr, dcs) = split_indirect_target(on.reg(Reg::LR));
+        assert_eq!((addr, dcs), (12, 0b10101));
+    }
+}

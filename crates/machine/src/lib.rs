@@ -36,6 +36,7 @@
 //! ```
 
 pub mod alu;
+pub mod block;
 pub mod commit;
 pub mod exec;
 pub mod machine;
@@ -44,6 +45,7 @@ pub mod predecode;
 pub mod sites;
 pub mod snapshot;
 
+pub use block::{BlockCommit, BlockGate, BlockPlan, ExecStats, OobLoad};
 pub use commit::{BranchInfo, CommitRecord, MemAccess, Operand, Operands};
 pub use machine::{Machine, MachineConfig, RunResult, StepOutcome};
 pub use snapshot::{CoreState, MachineState, SnapshotState};

@@ -71,6 +71,15 @@ pub struct MachineConfig {
     /// inert (the memo always equals direct decode); exposed so identity
     /// tests can compare campaigns with it on and off.
     pub predecode: bool,
+    /// Slots in the predecode memo (power of two; see
+    /// [`crate::predecode::DEFAULT_ENTRIES`]). Purely a perf knob: the memo
+    /// is bit-identical to direct decode at every size.
+    pub predecode_entries: usize,
+    /// Execute whole pre-compiled blocks on the quiescent fast path (see
+    /// [`crate::block`]). Semantically inert like `predecode`: block plans
+    /// replay the interpreter bit for bit, and any armed fault falls back
+    /// to one-step interpretation before its arm cycle.
+    pub block_exec: bool,
 }
 
 impl Default for MachineConfig {
@@ -81,6 +90,8 @@ impl Default for MachineConfig {
             mul_cycles: 3,
             div_cycles: 32,
             predecode: true,
+            predecode_entries: crate::predecode::DEFAULT_ENTRIES,
+            block_exec: true,
         }
     }
 }
@@ -115,21 +126,26 @@ pub struct RunResult {
 /// The OR1200-like core.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    cfg: MachineConfig,
-    regs: [u32; 32],
-    parity: [bool; 32],
-    flag: bool,
-    pc: u32,
-    mem: MemorySystem,
-    cycle: u64,
-    retired: u64,
-    pending_branch: Option<u32>,
-    delay_slot: bool,
-    block_bits: BitStream,
-    halted: bool,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) regs: [u32; 32],
+    pub(crate) parity: [bool; 32],
+    pub(crate) flag: bool,
+    pub(crate) pc: u32,
+    pub(crate) mem: MemorySystem,
+    pub(crate) cycle: u64,
+    pub(crate) retired: u64,
+    pub(crate) pending_branch: Option<u32>,
+    pub(crate) delay_slot: bool,
+    pub(crate) block_bits: BitStream,
+    pub(crate) halted: bool,
     /// Pure decode memo — deliberately excluded from snapshots and
     /// fingerprints (a stale entry is re-derived, never wrong).
-    predecode: Predecode,
+    pub(crate) predecode: Predecode,
+    /// Pure block-plan cache (see [`crate::block`]) — excluded from
+    /// snapshots and fingerprints for the same reason as `predecode`:
+    /// every entry is validated against program bytes before use, so a
+    /// stale entry is rebuilt, never wrong.
+    pub(crate) plans: crate::block::PlanCache,
 }
 
 impl Machine {
@@ -157,7 +173,8 @@ impl Machine {
             delay_slot: false,
             block_bits: BitStream::new(),
             halted: false,
-            predecode: Predecode::new(),
+            predecode: Predecode::with_entries(cfg.predecode_entries),
+            plans: crate::block::PlanCache::new(),
         }
     }
 
@@ -659,8 +676,16 @@ impl Machine {
 
     /// Runs until `halt` or until `max_cycles` elapse, discarding commit
     /// records (baseline timing runs).
+    ///
+    /// When [`MachineConfig::block_exec`] is on, quiescent stretches run
+    /// whole pre-compiled blocks at a time (see [`crate::block`]); the
+    /// one-step interpreter handles everything else. The two paths are
+    /// bit-identical, including the exact cycle the run stops at.
     pub fn run_to_halt(&mut self, inj: &mut FaultInjector, max_cycles: u64) -> RunResult {
         while !self.halted && self.cycle < max_cycles {
+            if self.try_block_exec(inj, max_cycles).is_some() {
+                continue;
+            }
             match self.step(inj) {
                 StepOutcome::Halted => break,
                 StepOutcome::Committed(_) | StepOutcome::Stalled => {}

@@ -48,7 +48,7 @@ use crate::json::Json;
 use crate::progress::Progress;
 use argus_faults::campaign::{
     prepare_campaign, run_injection_guarded_in, run_injection_supervised_in, CampaignConfig,
-    CampaignWorkspace, InjectionResult, QuarantineRecord, SupervisedOutcome,
+    CampaignWorkspace, ExecStats, InjectionResult, QuarantineRecord, SupervisedOutcome,
 };
 use argus_faults::Outcome;
 use argus_sim::fault::FaultKind;
@@ -174,6 +174,13 @@ pub struct ShardedReport {
     /// Injections that cold-booted because their golden-run snapshot
     /// failed verification (0 unless a snapshot was corrupted in memory).
     pub snapshot_fallbacks: u64,
+    /// Predecode/plan-cache counters summed over this run's local workers.
+    /// Volatile — cache warmth depends on scheduling and fork strategy —
+    /// so it serializes under the report's `"run"` key.
+    pub exec: ExecStats,
+    /// Predecode/plan-cache counters from the campaign's golden run (after
+    /// the lowering pass warmed the plan cache). Also under `"run"`.
+    pub golden_exec: ExecStats,
     /// Human-readable warnings from artifact recovery (corrupt checkpoint
     /// or snapshot handling). Empty on undisturbed runs.
     pub recovery_warnings: Vec<String>,
@@ -219,6 +226,17 @@ impl RemoteRunStats {
             .set("duplicate_completes", self.duplicate_completes)
             .set("artifact_fetches", self.artifact_fetches)
     }
+}
+
+/// An [`ExecStats`] as a `"run"`-key JSON object.
+fn exec_json(e: &ExecStats) -> Json {
+    Json::obj()
+        .set("predecode_hits", e.predecode_hits)
+        .set("predecode_misses", e.predecode_misses)
+        .set("plan_hits", e.plan_hits)
+        .set("plan_misses", e.plan_misses)
+        .set("plan_evictions", e.plan_evictions)
+        .set("plan_fallbacks", e.plan_fallbacks)
 }
 
 impl ShardedReport {
@@ -298,7 +316,9 @@ impl ShardedReport {
                 "recovery_warnings",
                 Json::Arr(self.recovery_warnings.iter().map(|w| w.as_str().into()).collect()),
             )
-            .set("used_backup_checkpoint", self.used_backup_checkpoint);
+            .set("used_backup_checkpoint", self.used_backup_checkpoint)
+            .set("exec", exec_json(&self.exec))
+            .set("golden_exec", exec_json(&self.golden_exec));
         if let Some(remote) = &self.remote {
             run = run.set("remote", remote.to_json());
         }
@@ -666,8 +686,9 @@ pub fn run_sharded(
     let quarantine_abort = AtomicBool::new(false);
     let flush_failures = AtomicU64::new(0);
     let flush_degraded = AtomicBool::new(false);
-    // Per-worker (busy time, out-of-work instant) for utilization stats.
-    let worker_stats: Mutex<Vec<Option<(Duration, Duration)>>> =
+    // Per-worker (busy time, out-of-work instant, exec-cache counters) for
+    // utilization and plan-cache stats.
+    let worker_stats: Mutex<Vec<Option<(Duration, Duration, ExecStats)>>> =
         Mutex::new(vec![None; ocfg.shards]);
     // First panic payload seen by a strict-mode worker: re-raised from the
     // caller's thread after the final checkpoint flush, so the original
@@ -699,6 +720,7 @@ pub fn run_sharded(
                 // delta-restore into the same warm Machine/Argus pair.
                 let mut ws = CampaignWorkspace::new();
                 let mut busy = Duration::ZERO;
+                let mut exec_total = ExecStats::default();
                 'work: loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -749,6 +771,9 @@ pub fn run_sharded(
                         let spent = t0.elapsed();
                         busy += spent;
                         progress.add_busy(spent);
+                        let ex = ws.take_exec_stats();
+                        exec_total.merge(&ex);
+                        progress.add_exec(&ex);
                         match sup {
                             SupervisedOutcome::Classified(r) => {
                                 lock_state(state).apply(index, &r);
@@ -771,7 +796,7 @@ pub fn run_sharded(
                     }
                 }
                 worker_stats.lock().unwrap_or_else(|e| e.into_inner())[k] =
-                    Some((busy, started.elapsed()));
+                    Some((busy, started.elapsed(), exec_total));
                 progress.shard_finished(k);
             });
         }
@@ -847,8 +872,12 @@ pub fn run_sharded(
     let tally = final_cp.tally;
 
     let stats = worker_stats.into_inner().unwrap_or_else(|e| e.into_inner());
-    let busy = stats.iter().flatten().map(|&(b, _)| b).sum();
-    let finishes: Vec<Duration> = stats.iter().flatten().map(|&(_, f)| f).collect();
+    let busy = stats.iter().flatten().map(|&(b, _, _)| b).sum();
+    let finishes: Vec<Duration> = stats.iter().flatten().map(|&(_, f, _)| f).collect();
+    let mut exec = ExecStats::default();
+    for &(_, _, e) in stats.iter().flatten() {
+        exec.merge(&e);
+    }
     let tail_imbalance = match (finishes.iter().min(), finishes.iter().max()) {
         (Some(&lo), Some(&hi)) => hi - lo,
         _ => Duration::ZERO,
@@ -885,6 +914,8 @@ pub fn run_sharded(
         degraded: flush_degraded.load(Ordering::Relaxed),
         flush_failures: flush_failures.load(Ordering::Relaxed),
         snapshot_fallbacks: prep.snapshot_fallbacks(),
+        exec,
+        golden_exec: prep.golden_exec(),
         recovery_warnings,
         used_backup_checkpoint,
         remote: None,

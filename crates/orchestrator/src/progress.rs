@@ -5,6 +5,7 @@
 //! [`ProgressSnapshot`] at any time to render a progress line, without
 //! perturbing the workers.
 
+use argus_faults::campaign::ExecStats;
 use argus_faults::Outcome;
 use argus_sim::supervise::Anomaly;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,6 +45,9 @@ pub struct Progress {
     steals: AtomicU64,
     /// Microseconds workers have spent inside injections this run.
     busy_us: AtomicU64,
+    /// Block-plan cache counters published by the workers:
+    /// `[hits, misses, evictions, fallbacks]`.
+    plan: [AtomicU64; 4],
     finished: AtomicBool,
 }
 
@@ -71,6 +75,7 @@ impl Progress {
             leases: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
+            plan: [const { AtomicU64::new(0) }; 4],
             finished: AtomicBool::new(false),
         }
     }
@@ -106,6 +111,9 @@ impl Progress {
         self.leases.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.busy_us.store(0, Ordering::Relaxed);
+        for slot in &self.plan {
+            slot.store(0, Ordering::Relaxed);
+        }
         self.degraded.store(false, Ordering::Relaxed);
         self.finished.store(false, Ordering::Relaxed);
     }
@@ -122,6 +130,17 @@ impl Progress {
     /// Adds time a worker spent inside an injection (utilization numerator).
     pub fn add_busy(&self, spent: Duration) {
         self.busy_us.fetch_add(spent.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Publishes a worker's drained predecode/plan-cache counters.
+    pub fn add_exec(&self, e: &ExecStats) {
+        for (slot, v) in
+            self.plan.iter().zip([e.plan_hits, e.plan_misses, e.plan_evictions, e.plan_fallbacks])
+        {
+            if v > 0 {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Records one completed injection on `shard`.
@@ -207,6 +226,7 @@ impl Progress {
             leases: self.leases.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             busy_pct,
+            plan: std::array::from_fn(|i| self.plan[i].load(Ordering::Relaxed)),
             shard_done: self.shard_done.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
             shard_live: self
                 .shard_beat
@@ -245,6 +265,9 @@ pub struct ProgressSnapshot {
     /// Worker utilization so far: busy time over `elapsed * workers`, in
     /// percent.
     pub busy_pct: f64,
+    /// Block-plan cache counters published by the workers:
+    /// `[hits, misses, evictions, fallbacks]`.
+    pub plan: [u64; 4],
     /// Per-shard completed counts.
     pub shard_done: Vec<u64>,
     /// Per-shard liveness: finished shards and recently-active shards are
@@ -273,6 +296,13 @@ impl std::fmt::Display for ProgressSnapshot {
         )?;
         if self.leases > 0 {
             write!(f, " | lease {} steal {} busy {:.0}%", self.leases, self.steals, self.busy_pct)?;
+        }
+        if self.plan.iter().any(|&v| v > 0) {
+            write!(
+                f,
+                " | plan hit {} miss {} evict {} fb {}",
+                self.plan[0], self.plan[1], self.plan[2], self.plan[3]
+            )?;
         }
         if self.anomalies.iter().any(|&a| a > 0) {
             write!(f, " | quar {} hung {}", self.anomalies[0], self.anomalies[1])?;

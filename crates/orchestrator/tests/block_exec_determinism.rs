@@ -1,0 +1,54 @@
+//! Block-compiled execution across the sharded engine: the deterministic
+//! JSON payload (everything outside the volatile `"run"` sub-object) must
+//! be identical with the plan cache on or off, for any shard count — the
+//! JIT-lite engine may only change throughput, never tallies.
+
+use argus_faults::campaign::CampaignConfig;
+use argus_orchestrator::{run_sharded, Json, OrchestratorConfig, Progress, ShardedReport};
+use argus_sim::fault::FaultKind;
+use std::sync::atomic::AtomicBool;
+
+const INJECTIONS: usize = 90;
+
+/// The campaign JSON with the volatile `"run"` sub-object removed —
+/// everything left is specified to be a deterministic tally.
+fn canonical_json(rep: &ShardedReport) -> String {
+    let Json::Obj(fields) = rep.to_json() else { panic!("report JSON is an object") };
+    Json::Obj(fields.into_iter().filter(|(k, _)| k != "run").collect()).to_string_compact()
+}
+
+#[test]
+fn block_exec_and_shard_count_leave_json_tallies_identical() {
+    let mut tallies: Vec<(bool, usize, String)> = Vec::new();
+    for block_exec in [true, false] {
+        for shards in [1usize, 2, 8] {
+            let mut ccfg = CampaignConfig {
+                injections: INJECTIONS,
+                kind: FaultKind::Transient,
+                seed: 0xB10C5,
+                ..Default::default()
+            };
+            ccfg.mcfg.block_exec = block_exec;
+            let progress = Progress::new(shards);
+            let stop = AtomicBool::new(false);
+            let ocfg = OrchestratorConfig { shards, ..Default::default() };
+            let rep =
+                run_sharded(&argus_workloads::stress(), &ccfg, &ocfg, &stop, &progress).unwrap();
+            assert_eq!(rep.completed, INJECTIONS, "block_exec={block_exec} shards={shards}");
+            if block_exec {
+                assert!(
+                    rep.golden_exec.plan_hits > 0,
+                    "block engine never engaged on the golden run"
+                );
+            } else {
+                assert_eq!(rep.golden_exec.plan_hits, 0, "plan cache leaked past the knob");
+                assert_eq!(rep.exec.plan_hits, 0, "plan cache leaked past the knob");
+            }
+            tallies.push((block_exec, shards, canonical_json(&rep)));
+        }
+    }
+    let (_, _, reference) = &tallies[0];
+    for (block_exec, shards, json) in &tallies {
+        assert_eq!(json, reference, "tallies diverged at block_exec={block_exec} shards={shards}");
+    }
+}

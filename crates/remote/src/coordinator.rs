@@ -17,7 +17,7 @@ use crate::lease::LeasePool;
 use crate::protocol::{ArtifactRef, Manifest, PROTOCOL_VERSION};
 use crate::share::{CampaignShare, CompleteVerdict, LOCAL_PREFIX};
 use argus_faults::campaign::{
-    prepare_campaign, run_injection_supervised_in, CampaignConfig, CampaignWorkspace,
+    prepare_campaign, run_injection_supervised_in, CampaignConfig, CampaignWorkspace, ExecStats,
     SupervisedOutcome,
 };
 use argus_faults::Outcome;
@@ -169,7 +169,7 @@ pub fn run_distributed(
 
     let flush_failures = AtomicU64::new(0);
     let flush_degraded = AtomicBool::new(false);
-    let worker_stats: Mutex<Vec<Option<(Duration, Duration)>>> =
+    let worker_stats: Mutex<Vec<Option<(Duration, Duration, ExecStats)>>> =
         Mutex::new(vec![None; ocfg.shards]);
     let quarantine_abort = AtomicBool::new(false);
 
@@ -187,6 +187,7 @@ pub fn run_distributed(
                 let worker = format!("{LOCAL_PREFIX}{k}");
                 let mut ws = CampaignWorkspace::new();
                 let mut busy = Duration::ZERO;
+                let mut exec_total = ExecStats::default();
                 'work: loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -209,6 +210,9 @@ pub fn run_distributed(
                                 let spent = t0.elapsed();
                                 busy += spent;
                                 progress.add_busy(spent);
+                                let ex = ws.take_exec_stats();
+                                exec_total.merge(&ex);
+                                progress.add_exec(&ex);
                                 match sup {
                                     SupervisedOutcome::Classified(r) => tally.apply(&r),
                                     SupervisedOutcome::Hung { .. } => tally.apply_hung(),
@@ -234,7 +238,7 @@ pub fn run_distributed(
                     }
                 }
                 worker_stats.lock().unwrap_or_else(|e| e.into_inner())[k] =
-                    Some((busy, started.elapsed()));
+                    Some((busy, started.elapsed(), exec_total));
                 progress.shard_finished(k);
             });
         }
@@ -332,8 +336,12 @@ pub fn run_distributed(
     let completed = final_cp.completed();
     let tally = final_cp.tally;
     let stats = worker_stats.into_inner().unwrap_or_else(|e| e.into_inner());
-    let busy = stats.iter().flatten().map(|&(b, _)| b).sum();
-    let finishes: Vec<Duration> = stats.iter().flatten().map(|&(_, f)| f).collect();
+    let busy = stats.iter().flatten().map(|&(b, _, _)| b).sum();
+    let finishes: Vec<Duration> = stats.iter().flatten().map(|&(_, f, _)| f).collect();
+    let mut exec = ExecStats::default();
+    for &(_, _, e) in stats.iter().flatten() {
+        exec.merge(&e);
+    }
     let tail_imbalance = match (finishes.iter().min(), finishes.iter().max()) {
         (Some(&lo), Some(&hi)) => hi - lo,
         _ => Duration::ZERO,
@@ -367,6 +375,8 @@ pub fn run_distributed(
         degraded: flush_degraded.load(Ordering::Relaxed),
         flush_failures: flush_failures.load(Ordering::Relaxed),
         snapshot_fallbacks: prep.snapshot_fallbacks(),
+        exec,
+        golden_exec: prep.golden_exec(),
         recovery_warnings,
         used_backup_checkpoint,
         remote: Some(share.stats()),

@@ -257,6 +257,23 @@ impl FaultInjector {
         !self.active
     }
 
+    /// First cycle at which any carried fault could fire: `u64::MAX` when
+    /// every slot has expired (or none exist), else the earliest arm cycle.
+    /// Taps are guaranteed identity functions at every cycle strictly below
+    /// the horizon, so a caller that will simulate cycles `[c, c+n)` without
+    /// tapping may do so exactly when `c + n <= quiescent_horizon()` — this
+    /// is the gate for block-compiled execution. Conservative in the same
+    /// direction as `min_arm`: expiry never moves the horizon later, so the
+    /// only error mode is declining a batch that would have been safe.
+    #[inline]
+    pub fn quiescent_horizon(&self) -> u64 {
+        if self.live == 0 {
+            u64::MAX
+        } else {
+            self.min_arm
+        }
+    }
+
     /// Current cycle as last set by [`Self::set_cycle`].
     pub fn cycle(&self) -> u64 {
         self.cycle

@@ -112,6 +112,33 @@ impl InjectionWatchdog {
         }
         None
     }
+
+    /// Accounts `n` step-loop iterations at once — the block-compiled fast
+    /// path retires a whole basic block per loop iteration and settles the
+    /// watchdog debt for the interpreter iterations it replaced. Fires iff
+    /// `n` sequential [`InjectionWatchdog::tick`]s would have fired within
+    /// the span, which keeps the hung/not-hung verdict identical to the
+    /// one-step loop: a budget that runs out mid-block abandons the run
+    /// with the same [`HangCause`], and a hung run's machine state is
+    /// never reported anyway.
+    #[inline]
+    pub fn tick_many(&mut self, n: u64) -> Option<HangCause> {
+        if self.remaining < n {
+            self.remaining = 0;
+            return Some(HangCause::CycleBudget);
+        }
+        self.remaining -= n;
+        let before = self.ticks;
+        self.ticks += n;
+        if before / WALL_CHECK_INTERVAL != self.ticks / WALL_CHECK_INTERVAL {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Some(HangCause::WallClock);
+                }
+            }
+        }
+        None
+    }
 }
 
 thread_local! {
@@ -235,6 +262,50 @@ mod tests {
         assert_eq!(wd.tick(), Some(HangCause::CycleBudget));
         // Expired watchdogs stay expired.
         assert_eq!(wd.tick(), Some(HangCause::CycleBudget));
+    }
+
+    #[test]
+    fn tick_many_matches_sequential_ticks() {
+        // Same budget, one loop batched and one per-tick: the batched
+        // watchdog must fire on (exactly) the batch that would have
+        // contained the firing tick.
+        for batch in [1u64, 3, 7, 10, 11] {
+            let cfg = WatchdogConfig { cycle_budget: 10, wall_limit: None };
+            let mut a = InjectionWatchdog::new(&cfg);
+            let mut b = InjectionWatchdog::new(&cfg);
+            let mut fired_a = None;
+            let mut fired_b = None;
+            for step in 0..40u64 {
+                if fired_a.is_none() {
+                    if let Some(c) = a.tick_many(batch) {
+                        fired_a = Some((step, c));
+                    }
+                }
+                if fired_b.is_none() {
+                    let mut hit = None;
+                    for _ in 0..batch {
+                        if let Some(c) = b.tick() {
+                            hit = Some(c);
+                            break;
+                        }
+                    }
+                    if let Some(c) = hit {
+                        fired_b = Some((step, c));
+                    }
+                }
+            }
+            assert_eq!(fired_a, fired_b, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn tick_many_zero_is_free() {
+        let mut wd = InjectionWatchdog::new(&WatchdogConfig { cycle_budget: 2, wall_limit: None });
+        for _ in 0..100 {
+            assert_eq!(wd.tick_many(0), None);
+        }
+        assert_eq!(wd.tick_many(2), None);
+        assert_eq!(wd.tick_many(1), Some(HangCause::CycleBudget));
     }
 
     #[test]

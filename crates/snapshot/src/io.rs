@@ -16,14 +16,16 @@ use argus_machine::{Machine, SnapshotState};
 use argus_mem::{CacheConfig, CacheState, CachesState, LineState, MemConfig};
 use std::io::{self, Read, Write};
 
-/// File magic: "ARGSNAP" + format version 3.
+/// File magic: "ARGSNAP" + format version 4.
 ///
 /// Version 2 packed the CFC block-bit stream as u64 words (was one byte
 /// per bit) and recorded the machine's predecode flag. Version 3 appends
 /// a little-endian CRC-32 (IEEE) trailer over everything before it —
 /// including the magic — so torn writes and flipped bits are rejected on
-/// load *before* any state is parsed or allocated.
-const MAGIC: [u8; 8] = *b"ARGSNAP\x03";
+/// load *before* any state is parsed or allocated. Version 4 records the
+/// `predecode_entries` and `block_exec` machine-config knobs (the plan
+/// cache itself, like the predecode memo, is pure and never serialized).
+const MAGIC: [u8; 8] = *b"ARGSNAP\x04";
 
 /// Largest memory image (in words) a snapshot file may describe: 1 GiB of
 /// payload. Guards allocation against crafted headers.
@@ -219,6 +221,8 @@ fn put_machine_config(w: &mut dyn Write, c: &MachineConfig) -> io::Result<()> {
     put_u32(w, c.mem.writeback_penalty)?;
     put_u8(w, c.argus_mode as u8)?;
     put_u8(w, c.predecode as u8)?;
+    put_u64(w, c.predecode_entries as u64)?;
+    put_u8(w, c.block_exec as u8)?;
     put_u32(w, c.mul_cycles)?;
     put_u32(w, c.div_cycles)
 }
@@ -235,9 +239,24 @@ fn get_machine_config(r: &mut dyn Read) -> io::Result<MachineConfig> {
         },
         argus_mode: get_bool(r)?,
         predecode: get_bool(r)?,
+        predecode_entries: get_predecode_entries(r)?,
+        block_exec: get_bool(r)?,
         mul_cycles: get_u32(r)?,
         div_cycles: get_u32(r)?,
     })
+}
+
+/// Reads the predecode table size, rejecting crafted headers that would
+/// panic `Predecode::with_entries` (must be a power of two in [2, 2^30]).
+fn get_predecode_entries(r: &mut dyn Read) -> io::Result<usize> {
+    let n = get_u64(r)?;
+    if !n.is_power_of_two() || !(2..=1 << 30).contains(&n) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid predecode_entries in snapshot: {n}"),
+        ));
+    }
+    Ok(n as usize)
 }
 
 fn put_argus_config(w: &mut dyn Write, c: &ArgusConfig) -> io::Result<()> {
