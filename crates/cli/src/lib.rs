@@ -28,8 +28,9 @@
 
 use argus_compiler::{asm, compile, EmbedConfig, Mode};
 use argus_core::{Argus, ArgusConfig};
-use argus_faults::campaign::{run_campaign, CampaignConfig};
+use argus_faults::campaign::{run_campaign, CampaignConfig, ChaosConfig};
 use argus_faults::Outcome;
+use argus_invariants::InvariantMode;
 use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_mem::MemConfig;
 use argus_orchestrator::{run_sharded, OrchestratorConfig, Progress, ShardedReport};
@@ -407,6 +408,22 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         None => None,
     };
     let strict = args.flag("--strict");
+    let invariants: Option<InvariantMode> = match args.opt("--invariants") {
+        Some(s) => Some(
+            InvariantMode::parse(&s)
+                .ok_or_else(|| usage("bad --invariants (want off|sampled|full)"))?,
+        ),
+        None => None,
+    };
+    let chaos_panic_at: Option<Vec<usize>> = match args.opt("--chaos-panic-at") {
+        Some(s) => Some(
+            s.split(',')
+                .map(|p| p.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| usage("bad --chaos-panic-at (want INDEX[,INDEX...])"))?,
+        ),
+        None => None,
+    };
     let shards_arg = args.opt("--shards");
     let chunk: Option<usize> = match args.opt("--chunk") {
         Some(s) => Some(
@@ -430,6 +447,12 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     if let Some(f) = inj_cycle_factor {
         cfg.inj_cycle_factor = f;
     }
+    if let Some(mode) = invariants {
+        cfg.invariants = mode;
+    }
+    if let Some(panic_at) = &chaos_panic_at {
+        cfg.chaos = Some(ChaosConfig { panic_at: panic_at.clone(), livelock_at: vec![] });
+    }
 
     let sharded = shards_arg.is_some()
         || chunk.is_some()
@@ -438,6 +461,8 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         || json
         || quiet
         || strict
+        || invariants.is_some()
+        || chaos_panic_at.is_some()
         || quarantine_limit.is_some()
         || checkpoint_interval_ms.is_some();
     if !sharded {
@@ -700,6 +725,24 @@ fn render_sharded_report(rep: &ShardedReport, checkpoint: Option<&std::path::Pat
             );
         }
     }
+    // Invariant results are printed only on violation: `checks_run` depends
+    // on worker scheduling, and every later line of this report must stay
+    // deterministic for a given seed regardless of shard count.
+    if rep.invariants.violations > 0 {
+        let _ = writeln!(
+            out,
+            "INVARIANT VIOLATIONS: {} ({} mode)",
+            rep.invariants.violations, rep.invariants.mode
+        );
+        for (name, count) in &rep.invariants.per_invariant {
+            if *count > 0 {
+                let _ = writeln!(out, "  {name}: {count}");
+            }
+        }
+        for (name, detail) in &rep.invariants.examples {
+            let _ = writeln!(out, "  example [{name}]: {detail}");
+        }
+    }
     if rep.snapshot_fallbacks > 0 {
         let _ = writeln!(
             out,
@@ -890,6 +933,39 @@ pub fn cmd_verify(mut args: Args) -> Result<String, CliError> {
     ))
 }
 
+/// `argus invariants`: inspect the always-on invariant registry.
+///
+/// `list` prints every registered invariant with its severity, the hooks
+/// it observes, and the `expected_to_catch` documentation — the registry
+/// is self-describing so operators can map a violation name in a report
+/// straight to the failure class it guards against.
+pub fn cmd_invariants(mut args: Args) -> Result<String, CliError> {
+    const INV_USAGE: &str = "usage: argus invariants list";
+    let verb = args.positional().ok_or_else(|| usage(INV_USAGE))?;
+    args.finish()?;
+    match verb.as_str() {
+        "list" => {
+            let regs = argus_invariants::registry();
+            let mut out = String::new();
+            let _ =
+                writeln!(out, "{} registered invariants (modes: off|sampled|full):", regs.len());
+            for inv in &regs {
+                let hooks: Vec<&str> = inv.hooks().iter().map(|h| h.label()).collect();
+                let _ = writeln!(
+                    out,
+                    "{} [{}] hooks: {}",
+                    inv.name(),
+                    inv.severity().label(),
+                    hooks.join(",")
+                );
+                let _ = writeln!(out, "    expected to catch: {}", inv.expected_to_catch());
+            }
+            Ok(out)
+        }
+        other => Err(usage(format!("unknown invariants verb `{other}`\n{INV_USAGE}"))),
+    }
+}
+
 /// Dispatches a subcommand; returns the text to print.
 pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
     match cmd {
@@ -901,6 +977,7 @@ pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
         "serve" => cmd_serve(args),
         "worker" => cmd_worker(args),
         "snapshot" => cmd_snapshot(args),
+        "invariants" => cmd_invariants(args),
         "verify" => cmd_verify(args),
         other => Err(usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -908,7 +985,7 @@ pub fn dispatch(cmd: &str, args: Args) -> Result<String, CliError> {
 
 /// Top-level usage text.
 pub const USAGE: &str =
-    "usage: argus <asm|run|inject|verify|sites|campaign|serve|worker|snapshot> [options]
+    "usage: argus <asm|run|inject|verify|sites|campaign|serve|worker|snapshot|invariants> [options]
   argus asm <file.s> [--argus]
   argus run <file.s> [--baseline] [--two-way] [--regs r3,r4] [--max-cycles N]
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
@@ -917,6 +994,7 @@ pub const USAGE: &str =
                  [--shards N] [--chunk N] [--checkpoint PATH]
                  [--checkpoint-interval-ms MS] [--resume]
                  [--inj-cycle-factor F] [--quarantine-limit N]
+                 [--invariants off|sampled|full] [--chaos-panic-at I,J,...]
                  [--strict] [--json] [--quiet]
   argus serve [--addr HOST:PORT] [--workers N] [--http-threads N]
               [--state-dir PATH] [--checkpoint-interval-ms MS]
@@ -926,10 +1004,12 @@ pub const USAGE: &str =
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]
+  argus invariants list
   argus sites
 campaign runs serially by default; any sharded-engine flag (--shards,
 --chunk, --checkpoint, --resume, --json, --quiet, --strict,
---quarantine-limit, --checkpoint-interval-ms) uses the work-stealing engine
+--invariants, --chaos-panic-at, --quarantine-limit,
+--checkpoint-interval-ms) uses the work-stealing engine
 (same tallies and same JSON for the same seed under ANY worker count;
 Ctrl-C flushes a checkpoint, --resume continues it — even under a different
 --shards; progress goes to stderr, results to stdout). --chunk caps the
@@ -937,6 +1017,12 @@ scheduler lease size (default 32); leases shrink toward 1 at the tail.
 --snapshot-every N checkpoints the golden run every N cycles and forks each
 injection from the nearest checkpoint at or before its arm cycle — identical
 results, fewer replayed cycles.
+--invariants selects how densely the always-on invariant registry audits
+the run (off, sampled [default], full); violations land in the report
+(JSON: run.invariants) and, with --strict, abort the campaign naming the
+violating invariant. `argus invariants list` documents every check.
+--chaos-panic-at injects deliberate panics at the given injection indices
+(testing aid for quarantine/checkpoint recovery paths).
 Supervision: each injection runs behind a panic net and a watchdog whose
 cycle budget is golden-run length x --inj-cycle-factor (default 4); panicked
 injections are quarantined (campaign aborts past --quarantine-limit, default

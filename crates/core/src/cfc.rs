@@ -55,6 +55,16 @@ impl Cfc {
         self.expected
     }
 
+    /// Instructions counted in the current block (invariant auditing).
+    pub fn block_len(&self) -> u32 {
+        self.block_len
+    }
+
+    /// Embedded bits collected for the current block (invariant auditing).
+    pub fn bits_len(&self) -> usize {
+        self.block_bits.len()
+    }
+
     /// Flattens the checker into state words (external serialization; the
     /// inverse of [`Cfc::from_state_words`]).
     pub fn state_words(&self) -> Vec<u64> {
@@ -178,6 +188,9 @@ impl Cfc {
         let finished_expectation = self.expected;
         self.flag_shadow = flag_after;
         self.expected = Some(next_expected);
+        if argus_sim::canary::enabled("canary-cfc-drop-expectation") {
+            self.expected = None;
+        }
         self.pending_next = None;
         finished_expectation
     }
@@ -195,6 +208,9 @@ impl Cfc {
             self.pending_next = None;
             Some(self.slot(0, inj))
         };
+        if argus_sim::canary::enabled("canary-cfc-drop-expectation") {
+            self.expected = None;
+        }
         self.block_bits.clear();
         self.block_len = 0;
         finished_expectation

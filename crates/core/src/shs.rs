@@ -211,7 +211,51 @@ impl ShsEngine {
                 step_tab[(state << width) | symbol] = sbox[next as usize];
             }
         }
+        if argus_sim::canary::enabled("canary-shs-stale-table-row") {
+            // Seeded bug: one fused-table row holds a stale transition.
+            // Both live updates and static recomputation read the same
+            // corrupted table, so the campaign stays self-consistent —
+            // only the table-vs-reference invariant can notice.
+            let row = n / 2;
+            for symbol in 0..n {
+                step_tab[(row << width) | symbol] ^= 1;
+            }
+        }
         Self { crc, crc_tab, step_tab }
+    }
+
+    /// Recomputes both fused tables from first principles (the bit-serial
+    /// CRC and the seeded substitution box) and compares every entry
+    /// against the tables in use. The invariant registry calls this on
+    /// sampled block boundaries to catch silent table corruption.
+    pub fn verify_tables(&self) -> Result<(), String> {
+        let width = self.crc.width();
+        let sbox: Vec<u32> =
+            argus_sim::rng::seeded_permutation(SBOX_SEED ^ width as u64, 1 << width)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+        let n = 1usize << width;
+        for state in 0..n {
+            for symbol in 0..n {
+                let ix = (state << width) | symbol;
+                let next = self.crc.update(state as u32, symbol as u32);
+                if self.crc_tab[ix] != next {
+                    return Err(format!(
+                        "crc_tab[{state},{symbol}] = {} but reference CRC gives {next}",
+                        self.crc_tab[ix]
+                    ));
+                }
+                let stepped = sbox[next as usize];
+                if self.step_tab[ix] != stepped {
+                    return Err(format!(
+                        "step_tab[{state},{symbol}] = {} but reference CRC+sbox gives {stepped}",
+                        self.step_tab[ix]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Signature width in bits.

@@ -62,7 +62,9 @@ impl Watchdog {
     pub fn stall(&mut self, n: u32, inj: &mut FaultInjector) -> bool {
         let next = self.count.saturating_add(n).min(self.threshold());
         self.count = inj.tap32(sites::WD_COUNT, next) & self.threshold();
-        if self.count >= self.threshold() {
+        if self.count >= self.threshold()
+            && !argus_sim::canary::enabled("canary-watchdog-never-fires")
+        {
             self.tripped = true;
         }
         self.tripped

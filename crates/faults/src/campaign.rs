@@ -3,13 +3,18 @@
 use crate::sites::{full_inventory, sample_points, SamplePoint};
 use argus_compiler::{compile, preplan, EmbedConfig, Mode, Program};
 use argus_core::{Argus, ArgusConfig, CheckerKind, DetectionEvent};
+use argus_invariants::{
+    ExecView, Hook, InvariantCtx, InvariantEngine, InvariantMode, SnapshotView,
+};
 pub use argus_machine::ExecStats;
 use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_sim::fault::{FaultInjector, FaultKind};
 use argus_sim::rng::SplitMix64;
 use argus_sim::stats::CounterSet;
 use argus_sim::supervise::{catch_supervised, HangCause, InjectionWatchdog, WatchdogConfig};
-use argus_snapshot::{SnapshotBuilder, SnapshotStore, Workspace, WorkspaceStats};
+use argus_snapshot::{
+    combined_fingerprint, Snapshot, SnapshotBuilder, SnapshotStore, Workspace, WorkspaceStats,
+};
 use argus_workloads::Workload;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -80,6 +85,13 @@ pub struct CampaignConfig {
     /// construction (the equivalence suite pins this too); the toggle
     /// exists for those tests and for A/B measurements.
     pub shortcut_inert: bool,
+    /// Always-on invariant checking: read-only structural assertions over
+    /// the machine, checker, snapshot, and bookkeeping state, evaluated at
+    /// commit/block/snapshot hooks. Purely observational — checks never
+    /// mutate observed state, so results are bit-identical across modes;
+    /// `Sampled` (the default) strides the hooks so the overhead stays
+    /// inside the bench gates, `Full` checks every hook.
+    pub invariants: InvariantMode,
 }
 
 /// How an injection whose campaign has snapshots forks its run state.
@@ -137,6 +149,7 @@ impl Default for CampaignConfig {
             chaos: None,
             fork: ForkStrategy::default(),
             shortcut_inert: true,
+            invariants: InvariantMode::default(),
         }
     }
 }
@@ -359,6 +372,10 @@ pub struct PreparedCampaign {
     /// lowering pass warmed the plan cache). Reported under the campaign
     /// report's volatile `"run"` key.
     golden_exec: ExecStats,
+    /// The always-on invariant engine shared by every worker. Checks are
+    /// read-only, so sharing one engine across threads only aggregates
+    /// counters — it never couples run results.
+    invariants: Arc<InvariantEngine>,
 }
 
 /// What a no-fault run of the campaign's faulty loop produces. A
@@ -435,6 +452,11 @@ impl PreparedCampaign {
         self.golden_exec
     }
 
+    /// The campaign's invariant engine (violation counts, report stats).
+    pub fn invariants(&self) -> &Arc<InvariantEngine> {
+        &self.invariants
+    }
+
     /// The campaign's entry state: a fresh machine with the compiled image
     /// loaded and a checker armed with the entry DCS, at cycle 0 — exactly
     /// what every cold-booted injection starts from. Distributed campaigns
@@ -460,6 +482,22 @@ impl PreparedCampaign {
         std::mem::take(&mut *guard)
     }
 
+    /// Runs the snapshot-identity invariant against a freshly restored
+    /// pair when the engine's restore clock says this one is due. Read-only
+    /// (recomputes the combined fingerprint and compares it to the one the
+    /// snapshot recorded at capture time), so forked runs are unaffected.
+    fn check_snapshot_identity(&self, snap: &Snapshot, m: &Machine, argus: &Argus) {
+        if !self.invariants.snapshot_due() {
+            return;
+        }
+        let view = SnapshotView {
+            expected: snap.fingerprint(),
+            reconstructed: combined_fingerprint(m, argus),
+            cycle: snap.cycle(),
+        };
+        self.invariants.run_hook(Hook::SnapshotRestore, &InvariantCtx::Snapshot(view));
+    }
+
     /// Forks a machine/checker pair from the nearest snapshot at or before
     /// `arm_cycle`, verifying the snapshot's fingerprint on first use.
     /// Returns `None` when no snapshot applies or the applicable one is
@@ -473,11 +511,14 @@ impl PreparedCampaign {
         }
         let snap = store.get(i)?;
         if self.snapshot_verified[i].load(Ordering::Relaxed) {
-            return Some(snap.restore_fresh());
+            let pair = snap.restore_fresh();
+            self.check_snapshot_identity(snap, &pair.0, &pair.1);
+            return Some(pair);
         }
         match snap.try_restore_fresh() {
             Ok(pair) => {
                 self.snapshot_verified[i].store(true, Ordering::Relaxed);
+                self.check_snapshot_identity(snap, &pair.0, &pair.1);
                 Some(pair)
             }
             Err(why) => {
@@ -508,11 +549,15 @@ impl PreparedCampaign {
         let Some(snap) = store.get(i) else { return false };
         if self.snapshot_verified[i].load(Ordering::Relaxed) {
             snap.restore_into(ws);
+            let (m, a) = ws.pair().expect("restore populated the workspace");
+            self.check_snapshot_identity(snap, m, a);
             return true;
         }
         match snap.try_restore_into(ws) {
             Ok(_) => {
                 self.snapshot_verified[i].store(true, Ordering::Relaxed);
+                let (m, a) = ws.pair().expect("restore populated the workspace");
+                self.check_snapshot_identity(snap, m, a);
                 true
             }
             Err(why) => {
@@ -547,6 +592,7 @@ impl PreparedCampaign {
                 self.window,
                 self.prog.data_base,
                 &mut wd,
+                &self.invariants,
             );
             InertTemplate {
                 detection: out.detection,
@@ -674,8 +720,18 @@ fn faulty_loop(
     window: u64,
     data_base: u32,
     wd: &mut InjectionWatchdog,
+    inv: &InvariantEngine,
 ) -> FaultyOutcome {
     let mut first: Option<DetectionEvent> = None;
+    // Invariant-hook strides, advanced only while the run is still
+    // pristine (no flip has fired): a fault is *allowed* to corrupt the
+    // very state the invariants assert over, so post-flip state is out of
+    // scope — divergence detection there belongs to the checker itself.
+    // Checks are read-only, so the run's outcome is stride-independent.
+    let commit_stride = inv.mode().commit_stride();
+    let block_stride = inv.mode().block_stride();
+    let mut commits: u64 = 0;
+    let mut blocks: u64 = 0;
     loop {
         // Block-compiled fast path: retire a whole basic block per loop
         // iteration when every gate passes. `plan_block` refuses unless the
@@ -705,6 +761,33 @@ fn faulty_loop(
                     if first.is_none() {
                         let plan = m.plan_at(gate.addr).expect("completed block keeps its plan");
                         first = argus.on_block(plan, &commit, inj).into_iter().next();
+                        if commit_stride != 0 && inj.first_flip_cycle().is_none() {
+                            commits += u64::from(commit.executed);
+                            blocks += 1;
+                            if blocks.is_multiple_of(block_stride) {
+                                inv.run_hook(
+                                    Hook::BlockEnd,
+                                    &InvariantCtx::Exec(ExecView {
+                                        machine: m,
+                                        argus,
+                                        entry_armed: inv.entry_armed(),
+                                        block: Some(plan),
+                                    }),
+                                );
+                            }
+                            if commits >= commit_stride {
+                                commits = 0;
+                                inv.run_hook(
+                                    Hook::Commit,
+                                    &InvariantCtx::Exec(ExecView {
+                                        machine: m,
+                                        argus,
+                                        entry_armed: inv.entry_armed(),
+                                        block: None,
+                                    }),
+                                );
+                            }
+                        }
                     }
                     if m.cycle() > window {
                         break;
@@ -735,6 +818,35 @@ fn faulty_loop(
             StepOutcome::Committed(rec) => {
                 if first.is_none() {
                     first = argus.on_commit(&rec, inj).into_iter().next();
+                    if commit_stride != 0 && inj.first_flip_cycle().is_none() {
+                        commits += 1;
+                        if commits >= commit_stride {
+                            commits = 0;
+                            inv.run_hook(
+                                Hook::Commit,
+                                &InvariantCtx::Exec(ExecView {
+                                    machine: m,
+                                    argus,
+                                    entry_armed: inv.entry_armed(),
+                                    block: None,
+                                }),
+                            );
+                        }
+                        if rec.block_end {
+                            blocks += 1;
+                            if blocks.is_multiple_of(block_stride) {
+                                inv.run_hook(
+                                    Hook::BlockEnd,
+                                    &InvariantCtx::Exec(ExecView {
+                                        machine: m,
+                                        argus,
+                                        entry_armed: inv.entry_armed(),
+                                        block: None,
+                                    }),
+                                );
+                            }
+                        }
+                    }
                 }
             }
             StepOutcome::Stalled => {
@@ -770,6 +882,7 @@ fn faulty_run(
     fault: argus_sim::fault::Fault,
     window: u64,
     wd: &mut InjectionWatchdog,
+    inv: &InvariantEngine,
 ) -> FaultyOutcome {
     let mut m = Machine::new(cfg.mcfg);
     prog.load(&mut m);
@@ -778,7 +891,7 @@ fn faulty_run(
         argus.expect_entry(d);
     }
     let mut inj = FaultInjector::with_fault(fault);
-    faulty_loop(&mut m, &mut argus, &mut inj, window, prog.data_base, wd)
+    faulty_loop(&mut m, &mut argus, &mut inj, window, prog.data_base, wd, inv)
 }
 
 /// One faulty run forked from a golden-run snapshot instead of cold boot.
@@ -795,11 +908,12 @@ fn faulty_run_forked(
     window: u64,
     data_base: u32,
     wd: &mut InjectionWatchdog,
+    inv: &InvariantEngine,
 ) -> FaultyOutcome {
     let (mut m, mut argus) = pair;
     debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
     let mut inj = FaultInjector::with_fault(fault);
-    faulty_loop(&mut m, &mut argus, &mut inj, window, data_base, wd)
+    faulty_loop(&mut m, &mut argus, &mut inj, window, data_base, wd, inv)
 }
 
 /// Compiles the workload, takes the golden run, and samples the injection
@@ -827,6 +941,8 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
     let inventory = full_inventory();
     let points = sample_points(&inventory, cfg.injections, cfg.seed);
     let nsnaps = snapshots.as_deref().map_or(0, SnapshotStore::len);
+    let invariants = Arc::new(InvariantEngine::new(cfg.invariants));
+    invariants.set_entry_armed(prog.entry_dcs.is_some());
     PreparedCampaign {
         prog,
         golden_digest: golden.digest,
@@ -840,6 +956,7 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         snapshot_fallbacks: AtomicU64::new(0),
         snapshot_warnings: Mutex::new(Vec::new()),
         inert_template: OnceLock::new(),
+        invariants,
     }
 }
 
@@ -911,20 +1028,23 @@ fn run_injection_watched(
         ));
     }
     let mut wd = InjectionWatchdog::new(&cfg.watchdog_config(prep.golden_cycles));
+    let inv = prep.invariants.as_ref();
     let out = match cfg.fork {
-        ForkStrategy::Cold => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd),
+        ForkStrategy::Cold => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd, inv),
         ForkStrategy::Full => match prep.fork_at(arm_cycle) {
-            Some(pair) => faulty_run_forked(pair, fault, prep.window, prep.prog.data_base, &mut wd),
-            None => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd),
+            Some(pair) => {
+                faulty_run_forked(pair, fault, prep.window, prep.prog.data_base, &mut wd, inv)
+            }
+            None => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd, inv),
         },
         ForkStrategy::Delta => {
             if prep.fork_into(arm_cycle, &mut ws.ws) {
                 let (m, argus) = ws.ws.pair_mut().expect("fork_into populated the workspace");
                 debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
                 let mut inj = FaultInjector::with_fault(fault);
-                faulty_loop(m, argus, &mut inj, prep.window, prep.prog.data_base, &mut wd)
+                faulty_loop(m, argus, &mut inj, prep.window, prep.prog.data_base, &mut wd, inv)
             } else {
-                faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd)
+                faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd, inv)
             }
         }
     };

@@ -51,6 +51,7 @@ use argus_faults::campaign::{
     CampaignWorkspace, ExecStats, InjectionResult, QuarantineRecord, SupervisedOutcome,
 };
 use argus_faults::Outcome;
+use argus_invariants::{Hook, InvariantCtx, InvariantStats, LedgerView};
 use argus_sim::fault::FaultKind;
 use argus_sim::stats::{CounterSet, Histogram};
 use argus_sim::supervise::{panic_message, Anomaly};
@@ -192,6 +193,11 @@ pub struct ShardedReport {
     /// it serializes under the `"run"` key and never perturbs the
     /// deterministic payload.
     pub remote: Option<RemoteRunStats>,
+    /// Always-on invariant accounting. `checks_run` is scheduling-shaped
+    /// (hooks stride over whatever chunks this run happened to execute),
+    /// so the whole object serializes under the volatile `"run"` key; on a
+    /// healthy campaign `violations` is 0 in every mode.
+    pub invariants: InvariantStats,
 }
 
 /// Accounting for a distributed (remote-lease) run: how the chunk pool was
@@ -226,6 +232,30 @@ impl RemoteRunStats {
             .set("duplicate_completes", self.duplicate_completes)
             .set("artifact_fetches", self.artifact_fetches)
     }
+}
+
+/// An [`InvariantStats`] as the `"invariants"` object under the `"run"`
+/// key: mode, totals, per-invariant violation counts, and example details.
+fn invariants_json(s: &InvariantStats) -> Json {
+    Json::obj()
+        .set("mode", s.mode.as_str())
+        .set("checks_run", s.checks_run)
+        .set("violations", s.violations)
+        .set(
+            "per_invariant",
+            Json::Obj(s.per_invariant.iter().map(|(k, v)| (k.clone(), (*v).into())).collect()),
+        )
+        .set(
+            "examples",
+            Json::Arr(
+                s.examples
+                    .iter()
+                    .map(|(name, detail)| {
+                        Json::obj().set("invariant", name.as_str()).set("detail", detail.as_str())
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 /// An [`ExecStats`] as a `"run"`-key JSON object.
@@ -318,7 +348,8 @@ impl ShardedReport {
             )
             .set("used_backup_checkpoint", self.used_backup_checkpoint)
             .set("exec", exec_json(&self.exec))
-            .set("golden_exec", exec_json(&self.golden_exec));
+            .set("golden_exec", exec_json(&self.golden_exec))
+            .set("invariants", invariants_json(&self.invariants));
         if let Some(remote) = &self.remote {
             run = run.set("remote", remote.to_json());
         }
@@ -383,6 +414,9 @@ pub enum OrchestratorError {
     /// The supervision layer aborted the campaign (quarantine limit
     /// exceeded — the campaign machinery itself is suspect).
     Supervision(String),
+    /// Strict mode observed an invariant violation; the message names the
+    /// violating invariant and its first recorded detail.
+    Invariant(String),
 }
 
 impl std::fmt::Display for OrchestratorError {
@@ -391,6 +425,7 @@ impl std::fmt::Display for OrchestratorError {
             Self::Checkpoint(e) => write!(f, "{e}"),
             Self::Config(m) => write!(f, "bad orchestrator config: {m}"),
             Self::Supervision(m) => write!(f, "campaign aborted by supervision: {m}"),
+            Self::Invariant(m) => write!(f, "invariant violated: {m}"),
         }
     }
 }
@@ -553,6 +588,20 @@ pub fn complement(done: &[Range<usize>], n: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// The bookkeeping view the orchestrator's conservation-law invariants
+/// check: done ranges, outcome tallies, and the quarantine ledger, as one
+/// plain-data snapshot taken under the state lock.
+pub fn ledger_view(total: usize, done: &[Range<usize>], tally: &CampaignTally) -> LedgerView {
+    LedgerView {
+        total: total as u64,
+        done: done.iter().map(|r| (r.start as u64, r.end as u64)).collect(),
+        outcomes: tally.outcomes.to_vec(),
+        hung: tally.hung,
+        quarantine_indices: tally.quarantine.iter().map(|q| q.index).collect(),
+        accounted: tally.accounted(),
+    }
+}
+
 /// All campaign-global mutable state behind one lock: the scheduler, the
 /// completed-index set, and the tallies. Workers take the lock twice per
 /// injection (lease amortized over its chunk, then one tally apply) —
@@ -661,6 +710,12 @@ pub fn run_sharded(
             // warnings say so and the affected work restarts from scratch.
         }
     }
+    if argus_sim::canary::enabled("canary-quarantine-drop-on-resume") {
+        // Seeded bug: resume "forgets" the quarantine ledger it just
+        // loaded. The post-load checkpoint audit must flag the tally as no
+        // longer accounting for the done ranges.
+        initial.tally.quarantine.clear();
+    }
 
     let resumed = initial.completed();
     let resumed_anomalies = [initial.tally.quarantine.len() as u64, initial.tally.hung];
@@ -674,6 +729,16 @@ pub fn run_sharded(
     let resumed_quarantined = initial.tally.quarantine.len();
 
     let prep = prepare_campaign(w, cfg);
+    let inv = prep.invariants().clone();
+    // Audit the bookkeeping exactly as loaded (or empty, on a fresh run)
+    // before any new work: a resume that lost or double-counted ledger
+    // state is caught here, not hours into the continuation.
+    if inv.enabled() {
+        inv.run_hook(
+            Hook::Checkpoint,
+            &InvariantCtx::Ledger(ledger_view(cfg.injections, &initial.done, &initial.tally)),
+        );
+    }
     let homes = shard_ranges(cfg.injections, ocfg.shards);
     let pool = complement(&initial.done, cfg.injections);
     let state = Mutex::new(CampaignState {
@@ -698,17 +763,30 @@ pub fn run_sharded(
 
     let snapshot_all = |state: &Mutex<CampaignState>| -> Checkpoint {
         let g = lock_state(state);
-        Checkpoint {
+        let cp = Checkpoint {
             fingerprint: fingerprint.clone(),
             done: g.done.clone(),
             tally: g.tally.clone(),
+        };
+        // Every checkpoint snapshot is audited before it hits disk, in
+        // every mode — a persisted ledger that violates the conservation
+        // laws would poison any later resume. The audit runs under the
+        // state lock: ledger snapshots must reach the monotonicity
+        // invariants in the order they were taken.
+        if inv.enabled() {
+            inv.run_hook(
+                Hook::Checkpoint,
+                &InvariantCtx::Ledger(ledger_view(cfg.injections, &cp.done, &cp.tally)),
+            );
         }
+        cp
     };
 
     std::thread::scope(|scope| {
         for (k, home) in homes.iter().enumerate() {
             let state = &state;
             let prep = &prep;
+            let inv = &inv;
             let live_workers = &live_workers;
             let quarantined_total = &quarantined_total;
             let quarantine_abort = &quarantine_abort;
@@ -776,7 +854,18 @@ pub fn run_sharded(
                         progress.add_exec(&ex);
                         match sup {
                             SupervisedOutcome::Classified(r) => {
-                                lock_state(state).apply(index, &r);
+                                let mut g = lock_state(state);
+                                if lease.stolen
+                                    && argus_sim::canary::enabled("canary-tally-drop-on-steal")
+                                {
+                                    // Seeded bug: stolen work is marked
+                                    // done but never tallied, so the tally
+                                    // stops accounting for the done set.
+                                    mark_done(&mut g.done, index);
+                                } else {
+                                    g.apply(index, &r);
+                                }
+                                drop(g);
                                 progress.record(k, r.outcome);
                             }
                             SupervisedOutcome::Hung { .. } => {
@@ -792,6 +881,23 @@ pub fn run_sharded(
                                     stop.store(true, Ordering::Release);
                                 }
                             }
+                        }
+                    }
+                    // Chunk-completion ledger audit (every chunk, every
+                    // mode): the conservation laws must hold at each lease
+                    // boundary, not only at checkpoint flushes.
+                    if inv.enabled() {
+                        // Snapshot and audit under one lock hold: if another
+                        // worker's newer snapshot could overtake this one on
+                        // the way into the registry, the monotonicity
+                        // invariants would see time run backwards.
+                        let g = lock_state(state);
+                        let view = ledger_view(cfg.injections, &g.done, &g.tally);
+                        let fresh = inv.run_hook(Hook::ChunkComplete, &InvariantCtx::Ledger(view));
+                        drop(g);
+                        progress.set_invariant_violations(inv.violations());
+                        if fresh > 0 && ocfg.strict {
+                            stop.store(true, Ordering::Release);
                         }
                     }
                 }
@@ -865,6 +971,13 @@ pub fn run_sharded(
         )));
     }
 
+    let invariants = inv.stats();
+    progress.set_invariant_violations(invariants.violations);
+    if ocfg.strict && invariants.violations > 0 {
+        let first = inv.first_violation().unwrap_or_else(|| "unnamed invariant".into());
+        return Err(OrchestratorError::Invariant(first));
+    }
+
     // The global tally IS the merged result: every accumulator is
     // commutative over the completed-index set, so no per-worker merge
     // step exists to get wrong.
@@ -919,6 +1032,7 @@ pub fn run_sharded(
         recovery_warnings,
         used_backup_checkpoint,
         remote: None,
+        invariants,
     })
 }
 

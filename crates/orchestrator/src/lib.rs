@@ -47,7 +47,7 @@ pub use checkpoint::{
     Fingerprint, Recovery,
 };
 pub use engine::{
-    complement, mark_done, mark_range_done, range_overlap, run_sharded, shard_ranges,
+    complement, ledger_view, mark_done, mark_range_done, range_overlap, run_sharded, shard_ranges,
     OrchestratorConfig, OrchestratorError, RemoteRunStats, ShardedReport,
 };
 pub use json::Json;

@@ -48,6 +48,9 @@ pub struct Progress {
     /// Block-plan cache counters published by the workers:
     /// `[hits, misses, evictions, fallbacks]`.
     plan: [AtomicU64; 4],
+    /// Cumulative invariant violations observed by the campaign's
+    /// invariant engine (published after each chunk; 0 on healthy runs).
+    invariant_violations: AtomicU64,
     finished: AtomicBool,
 }
 
@@ -76,6 +79,7 @@ impl Progress {
             steals: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             plan: [const { AtomicU64::new(0) }; 4],
+            invariant_violations: AtomicU64::new(0),
             finished: AtomicBool::new(false),
         }
     }
@@ -114,8 +118,15 @@ impl Progress {
         for slot in &self.plan {
             slot.store(0, Ordering::Relaxed);
         }
+        self.invariant_violations.store(0, Ordering::Relaxed);
         self.degraded.store(false, Ordering::Relaxed);
         self.finished.store(false, Ordering::Relaxed);
+    }
+
+    /// Publishes the engine's cumulative invariant-violation count (a
+    /// store, not an add — the engine already accumulates).
+    pub fn set_invariant_violations(&self, total: u64) {
+        self.invariant_violations.store(total, Ordering::Relaxed);
     }
 
     /// Records one scheduler lease; `stolen` when it came from outside the
@@ -227,6 +238,7 @@ impl Progress {
             steals: self.steals.load(Ordering::Relaxed),
             busy_pct,
             plan: std::array::from_fn(|i| self.plan[i].load(Ordering::Relaxed)),
+            invariant_violations: self.invariant_violations.load(Ordering::Relaxed),
             shard_done: self.shard_done.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
             shard_live: self
                 .shard_beat
@@ -268,6 +280,8 @@ pub struct ProgressSnapshot {
     /// Block-plan cache counters published by the workers:
     /// `[hits, misses, evictions, fallbacks]`.
     pub plan: [u64; 4],
+    /// Cumulative invariant violations observed so far (0 when healthy).
+    pub invariant_violations: u64,
     /// Per-shard completed counts.
     pub shard_done: Vec<u64>,
     /// Per-shard liveness: finished shards and recently-active shards are
@@ -306,6 +320,9 @@ impl std::fmt::Display for ProgressSnapshot {
         }
         if self.anomalies.iter().any(|&a| a > 0) {
             write!(f, " | quar {} hung {}", self.anomalies[0], self.anomalies[1])?;
+        }
+        if self.invariant_violations > 0 {
+            write!(f, " | INVARIANT VIOLATIONS {}", self.invariant_violations)?;
         }
         if self.degraded {
             write!(f, " [degraded: checkpoint I/O]")?;

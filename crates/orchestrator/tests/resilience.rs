@@ -304,3 +304,74 @@ fn quarantine_records_survive_checkpoint_resume() {
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(backup_path(&path));
 }
+
+#[test]
+fn resume_under_different_shards_and_chunk_conserves_ledger_and_tally() {
+    // The checkpoint is worker-count independent: crash a chaos campaign
+    // under one --shards/--chunk geometry and resume under a different
+    // one, with the invariant registry in full mode auditing every chunk
+    // completion and checkpoint flush. The conservation laws (tally
+    // accounts for the done set, quarantine ledger canonical, done ranges
+    // coalesced) must hold throughout, and the stitched result must equal
+    // a single-pass run's deterministic payload.
+    let path = temp_path("reshard_resume.ckpt.json");
+    let cfg =
+        CampaignConfig { invariants: argus_invariants::InvariantMode::Full, ..chaos_config() };
+
+    // Crash partway under 3 shards / chunk 4.
+    let ocfg = OrchestratorConfig {
+        shards: 3,
+        chunk: 4,
+        checkpoint_path: Some(path.clone()),
+        ..Default::default()
+    };
+    let progress = Progress::new(3);
+    let stop = AtomicBool::new(false);
+    let first = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while progress.done() < (INJECTIONS / 2) as u64 && !progress.finished() {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        run_sharded(&argus_workloads::stress(), &cfg, &ocfg, &stop, &progress).unwrap()
+    });
+    assert!(first.interrupted);
+    assert_eq!(first.invariants.violations, 0, "{:?}", first.invariants.examples);
+
+    // Resume under 2 shards / chunk 7.
+    let resumed = run(
+        &cfg,
+        OrchestratorConfig {
+            shards: 2,
+            chunk: 7,
+            checkpoint_path: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(resumed.completed, INJECTIONS);
+    assert_eq!(resumed.invariants.mode, "full");
+    assert!(resumed.invariants.checks_run > 0, "full mode must actually check");
+    assert_eq!(resumed.invariants.violations, 0, "{:?}", resumed.invariants.examples);
+
+    // Tally conservation: every planned injection is accounted for in
+    // exactly one bucket after the stitch.
+    let accounted =
+        resumed.outcomes.iter().sum::<u64>() + resumed.hung + resumed.quarantine.len() as u64;
+    assert_eq!(accounted, INJECTIONS as u64, "first pass stopped at {}", first.completed);
+
+    // And the stitched payload is bit-identical to a single-pass run.
+    let single = run(&cfg, OrchestratorConfig { shards: 2, ..Default::default() });
+    assert_eq!(resumed.outcomes, single.outcomes);
+    assert_eq!(resumed.attribution, single.attribution);
+    assert_eq!(resumed.hung, single.hung);
+    let key = |q: &QuarantineRecord| (q.index, q.seed, q.panic_msg.clone());
+    assert_eq!(
+        resumed.quarantine.iter().map(key).collect::<Vec<_>>(),
+        single.quarantine.iter().map(key).collect::<Vec<_>>(),
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(backup_path(&path));
+}

@@ -21,9 +21,10 @@ use argus_faults::campaign::{
     SupervisedOutcome,
 };
 use argus_faults::Outcome;
+use argus_invariants::{Hook, InvariantCtx};
 use argus_orchestrator::{
-    complement, CampaignTally, Checkpoint, CheckpointError, Fingerprint, OrchestratorConfig,
-    OrchestratorError, Progress, ShardedReport,
+    complement, ledger_view, CampaignTally, Checkpoint, CheckpointError, Fingerprint,
+    OrchestratorConfig, OrchestratorError, Progress, ShardedReport,
 };
 use argus_sim::crc::crc32;
 use argus_sim::supervise::Anomaly;
@@ -127,6 +128,17 @@ pub fn run_distributed(
     );
 
     let prep = prepare_campaign(w, cfg);
+    let inv = prep.invariants().clone();
+    // Post-load audit: the resumed ledger must already satisfy the
+    // conservation invariants before the pool opens — a checkpoint that
+    // lost quarantine records or double-counted a range is caught here,
+    // not after hours of distributed work.
+    if inv.enabled() {
+        inv.run_hook(
+            Hook::Checkpoint,
+            &InvariantCtx::Ledger(ledger_view(cfg.injections, &initial.done, &initial.tally)),
+        );
+    }
 
     // The golden-entry artifact: cycle 0, image loaded, entry DCS armed.
     // A cold-starting worker rebuilds the same state from the manifest
@@ -148,6 +160,7 @@ pub fn run_distributed(
         snapshot_every: cfg.snapshot_every,
         golden_cycles: prep.golden_cycles(),
         lease_ttl_ms: dcfg.lease_ttl.as_millis() as u64,
+        invariants: cfg.invariants,
         artifacts: vec![ArtifactRef {
             name: "entry".into(),
             crc32: entry_crc,
@@ -249,6 +262,7 @@ pub fn run_distributed(
         let mut last_flush = Instant::now();
         let mut published_outcomes = initial.tally.outcomes;
         let mut published_anomalies = resumed_anomalies; // [quarantined, hung]
+        let mut last_covered = 0usize;
         loop {
             let finished = share.finished();
             let stopping = stop.load(Ordering::Relaxed);
@@ -256,7 +270,7 @@ pub fn run_distributed(
 
             // Replay completion deltas (whoever ran them) into shard 0
             // so live progress tracks the whole campaign.
-            let (_, tally) = share.checkpoint_state();
+            let (done, tally) = share.checkpoint_state();
             for o in Outcome::ALL {
                 let i = o.index();
                 for _ in published_outcomes[i]..tally.outcomes[i] {
@@ -272,6 +286,24 @@ pub fn run_distributed(
                 progress.record_anomaly(0, Anomaly::Hung);
             }
             published_anomalies[1] = tally.hung;
+
+            // Fold remote workers' invariant deltas into the engine,
+            // then audit the merged ledger whenever coverage moved —
+            // the same conservation checks a local run gets per chunk.
+            if inv.enabled() {
+                for remote_stats in share.take_invariants() {
+                    inv.absorb_remote(&remote_stats);
+                }
+                let covered = done.iter().map(|r| r.len()).sum::<usize>();
+                if covered != last_covered {
+                    last_covered = covered;
+                    inv.run_hook(
+                        Hook::ChunkComplete,
+                        &InvariantCtx::Ledger(ledger_view(cfg.injections, &done, &tally)),
+                    );
+                }
+                progress.set_invariant_violations(inv.violations());
+            }
 
             if tally.quarantine.len() > ocfg.quarantine_limit {
                 quarantine_abort.store(true, Ordering::Release);
@@ -310,6 +342,12 @@ pub fn run_distributed(
     });
 
     let interrupted = stop.load(Ordering::Relaxed) && !share.finished();
+    // A completion can land between the coordinator loop's last drain
+    // and the pool closing; fold any straggler deltas before reporting.
+    for remote_stats in share.take_invariants() {
+        inv.absorb_remote(&remote_stats);
+    }
+    progress.set_invariant_violations(inv.violations());
     let final_cp = snapshot_all(&share);
     if let Some(path) = ocfg.checkpoint_path.as_deref() {
         match final_cp.save_with_retry(path, ocfg.flush_retries, ocfg.flush_backoff) {
@@ -380,5 +418,6 @@ pub fn run_distributed(
         recovery_warnings,
         used_backup_checkpoint,
         remote: Some(share.stats()),
+        invariants: inv.stats(),
     })
 }

@@ -17,6 +17,7 @@
 //! | POST | `/jobs/<id>/complete` | [`CompleteRequest`] → [`CompleteReply`] |
 //! | POST | `/jobs/<id>/heartbeat` | `{"worker":w,"chunks":[…]}` → `{"renewed":k,"ttl_ms":t}` |
 
+use argus_invariants::{InvariantMode, InvariantStats};
 use argus_orchestrator::{tally_from_json, tally_to_json, CampaignTally, Json};
 use argus_sim::fault::FaultKind;
 use std::ops::Range;
@@ -58,6 +59,9 @@ pub struct Manifest {
     pub golden_cycles: u64,
     /// Lease time-to-live; a worker heartbeats at a fraction of this.
     pub lease_ttl_ms: u64,
+    /// Invariant-checking density the coordinator runs under; workers
+    /// adopt the same mode so both halves audit the campaign equally.
+    pub invariants: InvariantMode,
     pub artifacts: Vec<ArtifactRef>,
 }
 
@@ -73,6 +77,7 @@ impl Manifest {
             .set("snapshot_every", self.snapshot_every.map_or(Json::Null, Json::from))
             .set("golden_cycles", self.golden_cycles)
             .set("lease_ttl_ms", self.lease_ttl_ms)
+            .set("invariants", self.invariants.label())
             .set(
                 "artifacts",
                 Json::Arr(
@@ -122,6 +127,12 @@ impl Manifest {
             .get("lease_ttl_ms")
             .and_then(Json::as_u64)
             .ok_or("manifest missing lease_ttl_ms")?;
+        let invariants = match doc.get("invariants").and_then(Json::as_str) {
+            None => InvariantMode::default(),
+            Some(s) => {
+                InvariantMode::parse(s).ok_or("manifest invariants must be off|sampled|full")?
+            }
+        };
         let mut artifacts = Vec::new();
         for a in doc.get("artifacts").and_then(Json::as_arr).ok_or("manifest missing artifacts")? {
             let name =
@@ -142,9 +153,57 @@ impl Manifest {
             snapshot_every,
             golden_cycles,
             lease_ttl_ms,
+            invariants,
             artifacts,
         })
     }
+}
+
+/// Serializes [`InvariantStats`] for the wire (completion posts).
+pub fn invariant_stats_to_json(s: &InvariantStats) -> Json {
+    Json::obj()
+        .set("mode", s.mode.as_str())
+        .set("checks_run", s.checks_run)
+        .set("violations", s.violations)
+        .set(
+            "per_invariant",
+            Json::Obj(s.per_invariant.iter().map(|(k, v)| (k.clone(), (*v).into())).collect()),
+        )
+        .set(
+            "examples",
+            Json::Arr(
+                s.examples
+                    .iter()
+                    .map(|(name, detail)| {
+                        Json::obj().set("invariant", name.as_str()).set("detail", detail.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Parses [`InvariantStats`] from the wire.
+pub fn invariant_stats_from_json(doc: &Json) -> Result<InvariantStats, String> {
+    let mode = doc.get("mode").and_then(Json::as_str).unwrap_or_default().to_owned();
+    let checks_run = doc.get("checks_run").and_then(Json::as_u64).unwrap_or(0);
+    let violations = doc.get("violations").and_then(Json::as_u64).unwrap_or(0);
+    let mut per_invariant = Vec::new();
+    if let Some(obj) = doc.get("per_invariant").and_then(Json::as_obj) {
+        for (name, count) in obj {
+            let c = count.as_u64().ok_or("invariant count must be an integer")?;
+            per_invariant.push((name.clone(), c));
+        }
+    }
+    let mut examples = Vec::new();
+    if let Some(arr) = doc.get("examples").and_then(Json::as_arr) {
+        for ex in arr {
+            let name =
+                ex.get("invariant").and_then(Json::as_str).ok_or("example missing invariant")?;
+            let detail = ex.get("detail").and_then(Json::as_str).ok_or("example missing detail")?;
+            examples.push((name.to_owned(), detail.to_owned()));
+        }
+    }
+    Ok(InvariantStats { mode, checks_run, violations, per_invariant, examples })
 }
 
 pub fn kind_label(kind: FaultKind) -> &'static str {
@@ -224,16 +283,25 @@ pub struct CompleteRequest {
     pub chunk: u64,
     pub range: Range<usize>,
     pub tally: CampaignTally,
+    /// Invariant-checking delta accumulated while running this chunk
+    /// (empty when the worker checks nothing). The coordinator absorbs
+    /// accepted posts so remote violations surface in the final report
+    /// exactly like local ones.
+    pub invariants: InvariantStats,
 }
 
 impl CompleteRequest {
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut doc = Json::obj()
             .set("worker", self.worker.as_str())
             .set("chunk", self.chunk)
             .set("start", self.range.start)
             .set("end", self.range.end)
-            .set("tally", tally_to_json(&self.tally))
+            .set("tally", tally_to_json(&self.tally));
+        if !self.invariants.is_empty() {
+            doc = doc.set("invariants", invariant_stats_to_json(&self.invariants));
+        }
+        doc
     }
 
     pub fn from_json(doc: &Json) -> Result<Self, String> {
@@ -253,7 +321,11 @@ impl CompleteRequest {
         if got != want {
             return Err(format!("complete tally accounts {got} injections, range holds {want}"));
         }
-        Ok(Self { worker, chunk, range: start..end, tally })
+        let invariants = match doc.get("invariants") {
+            None | Some(Json::Null) => InvariantStats::default(),
+            Some(v) => invariant_stats_from_json(v).map_err(|e| format!("complete: {e}"))?,
+        };
+        Ok(Self { worker, chunk, range: start..end, tally, invariants })
     }
 }
 
@@ -304,10 +376,18 @@ mod tests {
             snapshot_every: Some(256),
             golden_cycles: 12345,
             lease_ttl_ms: 10_000,
+            invariants: InvariantMode::Full,
             artifacts: vec![ArtifactRef { name: "entry".into(), crc32: 0xdead_beef, len: 4096 }],
         };
         let back = Manifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+        // A manifest from an older coordinator carries no invariants
+        // field; the worker defaults rather than refusing it.
+        let legacy = {
+            let Json::Obj(pairs) = m.to_json() else { panic!("manifest serializes to an object") };
+            Json::Obj(pairs.into_iter().filter(|(k, _)| k != "invariants").collect())
+        };
+        assert_eq!(Manifest::from_json(&legacy).unwrap().invariants, InvariantMode::default());
     }
 
     #[test]
@@ -322,6 +402,7 @@ mod tests {
             snapshot_every: None,
             golden_cycles: 1,
             lease_ttl_ms: 1000,
+            invariants: InvariantMode::default(),
             artifacts: vec![],
         };
         let doc = m.to_json().set("version", PROTOCOL_VERSION + 1);
@@ -346,10 +427,24 @@ mod tests {
     fn complete_request_validates_accounting() {
         let mut tally = CampaignTally::empty();
         tally.apply_hung();
-        let req = CompleteRequest { worker: "w1".into(), chunk: 1, range: 0..1, tally };
+        let stats = InvariantStats {
+            mode: "full".into(),
+            checks_run: 12,
+            violations: 1,
+            per_invariant: vec![("tally-accounts-done".into(), 1)],
+            examples: vec![("tally-accounts-done".into(), "accounted 3, covered 4".into())],
+        };
+        let req = CompleteRequest {
+            worker: "w1".into(),
+            chunk: 1,
+            range: 0..1,
+            tally,
+            invariants: stats.clone(),
+        };
         let back = CompleteRequest::from_json(&req.to_json()).unwrap();
         assert_eq!(back.range, 0..1);
         assert_eq!(back.tally.hung, 1);
+        assert_eq!(back.invariants, stats, "invariant delta survives the wire");
         // A tally accounting fewer injections than the range is a
         // protocol violation, not a partial credit.
         let bad = req.to_json().set("end", 5u64);

@@ -13,6 +13,7 @@
 
 use crate::lease::{LeaseGrant, LeasePool};
 use crate::protocol::{CompleteReply, LeaseReply, Manifest};
+use argus_invariants::InvariantStats;
 use argus_orchestrator::{mark_range_done, range_overlap, CampaignTally, RemoteRunStats};
 use std::collections::HashSet;
 use std::ops::Range;
@@ -42,6 +43,9 @@ struct ShareInner {
     stats: RemoteRunStats,
     /// Distinct remote worker names ever granted a lease.
     remote_workers: HashSet<String>,
+    /// Invariant deltas posted by remote workers, awaiting absorption
+    /// into the coordinator's engine (drained by the coordinator loop).
+    pending_invariants: Vec<InvariantStats>,
 }
 
 /// One distributed campaign's shared state. The daemon keeps an
@@ -81,6 +85,7 @@ impl CampaignShare {
                 tally,
                 stats: RemoteRunStats::default(),
                 remote_workers: HashSet::new(),
+                pending_invariants: Vec::new(),
             }),
             artifact_fetches: AtomicU64::new(0),
             total,
@@ -145,6 +150,14 @@ impl CampaignShare {
         }
         mark_range_done(&mut g.done, range.clone());
         g.tally.merge(tally);
+        if argus_sim::canary::enabled("canary-lease-double-complete") {
+            // Seeded bug: merge the accepted tally a second time, as if
+            // the dedup gate let a duplicate post through. The merged
+            // tally then accounts more injections than the done ranges
+            // cover, which `tally-accounts-done` flags at the next
+            // ledger hook.
+            g.tally.merge(tally);
+        }
         g.pool.complete(chunk, range);
         if worker.starts_with(LOCAL_PREFIX) {
             g.stats.local_chunks += 1;
@@ -152,6 +165,20 @@ impl CampaignShare {
             g.stats.remote_chunks += 1;
         }
         CompleteVerdict::Accepted { done: self.finished_locked(&g) }
+    }
+
+    /// Queues a remote worker's invariant delta for the coordinator to
+    /// absorb. Called only for *accepted* completions — a duplicate
+    /// post's checks already counted the first time.
+    pub fn absorb_invariants(&self, stats: InvariantStats) {
+        if !stats.is_empty() {
+            self.lock().pending_invariants.push(stats);
+        }
+    }
+
+    /// Drains the queued remote invariant deltas.
+    pub fn take_invariants(&self) -> Vec<InvariantStats> {
+        std::mem::take(&mut self.lock().pending_invariants)
     }
 
     /// Renews `worker`'s leases; returns the renewed count.
@@ -246,6 +273,7 @@ mod tests {
             snapshot_every: None,
             golden_cycles: 100,
             lease_ttl_ms: 10_000,
+            invariants: Default::default(),
             artifacts: vec![],
         }
     }

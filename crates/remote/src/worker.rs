@@ -24,6 +24,7 @@ use argus_faults::campaign::{
     prepare_campaign, run_injection_supervised_in, CampaignConfig, CampaignWorkspace,
     SupervisedOutcome,
 };
+use argus_invariants::InvariantStats;
 use argus_orchestrator::{CampaignTally, Json};
 use argus_sim::crc::crc32;
 use argus_snapshot::combined_fingerprint;
@@ -177,6 +178,7 @@ fn serve_job(
         ..Default::default()
     };
     cfg.seed = manifest.seed;
+    cfg.invariants = manifest.invariants;
     let prep = prepare_campaign(&workload, &cfg);
     if prep.golden_cycles() != manifest.golden_cycles {
         return Err(io::Error::new(
@@ -201,6 +203,10 @@ fn serve_job(
     let duplicates = AtomicU64::new(0);
     let injections = AtomicU64::new(0);
     let wire_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    // Last invariant-stats snapshot already posted. Each completion
+    // carries only the delta since then (computed under this lock so
+    // concurrent executor threads never double-report a check).
+    let inv_sent: Mutex<InvariantStats> = Mutex::new(InvariantStats::default());
 
     std::thread::scope(|scope| {
         for _ in 0..wcfg.workers {
@@ -213,6 +219,7 @@ fn serve_job(
             let duplicates = &duplicates;
             let injections = &injections;
             let wire_error = &wire_error;
+            let inv_sent = &inv_sent;
             scope.spawn(move || {
                 let mut ws = CampaignWorkspace::new();
                 loop {
@@ -256,11 +263,19 @@ fn serve_job(
                                 }
                             }
                             injections.fetch_add(range.len() as u64, Ordering::Relaxed);
+                            let inv_delta = {
+                                let mut sent = inv_sent.lock().unwrap_or_else(|p| p.into_inner());
+                                let cur = prep.invariants().stats();
+                                let delta = cur.delta_since(&sent);
+                                *sent = cur;
+                                delta
+                            };
                             let req = CompleteRequest {
                                 worker: wcfg.name.clone(),
                                 chunk,
                                 range: range.clone(),
                                 tally,
+                                invariants: inv_delta,
                             };
                             match post_complete(wcfg, job, &req, stop) {
                                 Ok(Some(reply)) => {

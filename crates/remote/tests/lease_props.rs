@@ -53,6 +53,7 @@ fn fresh_share() -> CampaignShare {
         snapshot_every: None,
         golden_cycles: 1,
         lease_ttl_ms: TTL.as_millis() as u64,
+        invariants: Default::default(),
         artifacts: vec![],
     };
     let whole = 0..N;

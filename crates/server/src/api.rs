@@ -30,7 +30,7 @@ use crate::daemon::{CancelError, Daemon, SubmitError};
 use crate::http::{Handler, Request, Response};
 use crate::jobs::{report_path, JobId, JobSpec, JobState};
 use argus_orchestrator::Json;
-use argus_remote::{CampaignShare, CompleteRequest, LOCAL_PREFIX};
+use argus_remote::{CampaignShare, CompleteRequest, CompleteVerdict, LOCAL_PREFIX};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -319,6 +319,11 @@ fn complete(daemon: &Arc<Daemon>, id: JobId, req: &Request) -> Response {
         return error(400, "worker name must not use the `local:` prefix");
     }
     let verdict = share.complete(&post.worker, post.chunk, &post.range, &post.tally);
+    // Absorb the worker's invariant delta only for fresh work — a
+    // duplicate post's checks already counted when it first landed.
+    if matches!(verdict, CompleteVerdict::Accepted { .. }) {
+        share.absorb_invariants(post.invariants);
+    }
     daemon.wake.notify_all();
     match CampaignShare::reply_for(&verdict) {
         Ok(reply) => ok(reply.to_json()),

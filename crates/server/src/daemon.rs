@@ -411,6 +411,7 @@ impl Daemon {
             ..Default::default()
         };
         cfg.seed = spec.seed;
+        cfg.invariants = spec.invariants;
         let mut ocfg = OrchestratorConfig {
             shards: alloc,
             checkpoint_path: Some(ckpt.clone()),
@@ -528,12 +529,14 @@ impl Daemon {
     fn sample_progress(&self, id: JobId, progress: &Progress, done: &AtomicBool) {
         let mut last_done = u64::MAX;
         let mut last_remote: Option<RemoteRunStats> = None;
+        let mut last_violations = 0u64;
         while !done.load(Ordering::Relaxed) {
             std::thread::sleep(SAMPLE_INTERVAL);
             let snap = progress.snapshot();
             let remote = self.share(id).map(|s| (s.stats(), s.outstanding()));
             let remote_moved = remote.as_ref().map(|(s, _)| s) != last_remote.as_ref();
-            if snap.done == last_done && !remote_moved {
+            let violations_moved = snap.invariant_violations > last_violations;
+            if snap.done == last_done && !remote_moved && !violations_moved {
                 continue;
             }
             last_done = snap.done;
@@ -546,7 +549,23 @@ impl Daemon {
                 .set("steals", snap.steals)
                 .set("busy_pct", snap.busy_pct)
                 .set("elapsed_ms", snap.elapsed.as_millis() as u64);
+            if snap.invariant_violations > 0 {
+                payload = payload.set("invariant_violations", snap.invariant_violations);
+            }
             let mut extra: Vec<Json> = Vec::new();
+            // Violations become discrete events so a streaming client
+            // sees them the moment they happen — identical for local,
+            // hybrid, and remote execution, since remote workers' deltas
+            // funnel through the same progress counter.
+            if violations_moved {
+                extra.push(
+                    Json::obj()
+                        .set("kind", "invariant_violation")
+                        .set("violations", snap.invariant_violations)
+                        .set("new", snap.invariant_violations - last_violations),
+                );
+                last_violations = snap.invariant_violations;
+            }
             if let Some((stats, outstanding)) = &remote {
                 payload =
                     payload.set("remote", stats.to_json().set("outstanding", *outstanding as u64));

@@ -22,6 +22,7 @@
 //! `{crc32, body}` envelope and atomic tmp-rename discipline as campaign
 //! checkpoints — a torn write at any point leaves a loadable generation.
 
+use argus_invariants::InvariantMode;
 use argus_orchestrator::Json;
 use argus_sim::crc::crc32;
 use argus_sim::fault::FaultKind;
@@ -63,6 +64,9 @@ pub struct JobSpec {
     pub chunk: Option<usize>,
     /// Open this job's chunk pool to remote `argus worker` leasing.
     pub distributed: bool,
+    /// Invariant-checking density (`"off"|"sampled"|"full"`), defaulting
+    /// to sampled like one-shot `argus campaign`.
+    pub invariants: InvariantMode,
 }
 
 impl JobSpec {
@@ -71,8 +75,17 @@ impl JobSpec {
     /// runs with the wrong seed.
     pub fn from_json(doc: &Json, max_budget: usize) -> Result<Self, String> {
         let obj = doc.as_obj().ok_or("job spec must be a JSON object")?;
-        const KNOWN: &[&str] =
-            &["n", "seed", "kind", "snapshot_every", "priority", "budget", "chunk", "distributed"];
+        const KNOWN: &[&str] = &[
+            "n",
+            "seed",
+            "kind",
+            "snapshot_every",
+            "priority",
+            "budget",
+            "chunk",
+            "distributed",
+            "invariants",
+        ];
         for (key, _) in obj {
             if !KNOWN.contains(&key.as_str()) {
                 return Err(format!("unknown field `{key}` (known: {})", KNOWN.join(", ")));
@@ -134,7 +147,24 @@ impl JobSpec {
                     as usize)
             }
         };
-        Ok(Self { injections, seed, kind, snapshot_every, priority, budget, chunk, distributed })
+        let invariants = match doc.get("invariants") {
+            None | Some(Json::Null) => InvariantMode::default(),
+            Some(v) => v
+                .as_str()
+                .and_then(InvariantMode::parse)
+                .ok_or("`invariants` must be \"off\", \"sampled\", or \"full\"")?,
+        };
+        Ok(Self {
+            injections,
+            seed,
+            kind,
+            snapshot_every,
+            priority,
+            budget,
+            chunk,
+            distributed,
+            invariants,
+        })
     }
 
     /// Serializes the spec (job table file and API responses).
@@ -159,6 +189,9 @@ impl JobSpec {
         }
         if self.distributed {
             doc = doc.set("distributed", true);
+        }
+        if self.invariants != InvariantMode::default() {
+            doc = doc.set("invariants", self.invariants.label());
         }
         doc
     }

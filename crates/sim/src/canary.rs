@@ -1,0 +1,45 @@
+//! Canary selection for mutation testing of the checkers.
+//!
+//! A *canary* is a deliberately seeded checker bug, compiled in only under
+//! the `canary` cargo feature and activated one at a time via the
+//! `ARGUS_CANARY` environment variable. Seeded-bug sites throughout the
+//! workspace ask [`enabled`] whether their specific mutation is live;
+//! `scripts/canary_matrix.sh` runs a campaign per canary and asserts a
+//! named invariant — or campaign divergence — notices the breakage.
+//!
+//! Without the feature, [`enabled`] is a compile-time constant `false`, so
+//! every canary branch folds away and production builds carry zero cost
+//! and zero mutated code paths.
+
+#[cfg(feature = "canary")]
+mod imp {
+    use std::sync::OnceLock;
+
+    static ACTIVE: OnceLock<Option<String>> = OnceLock::new();
+
+    pub fn active() -> Option<&'static str> {
+        ACTIVE
+            .get_or_init(|| std::env::var("ARGUS_CANARY").ok().filter(|s| !s.is_empty()))
+            .as_deref()
+    }
+}
+
+#[cfg(not(feature = "canary"))]
+mod imp {
+    #[inline(always)]
+    pub fn active() -> Option<&'static str> {
+        None
+    }
+}
+
+/// The canary selected by `ARGUS_CANARY`, if the feature is compiled in
+/// and the variable named one (read once per process).
+pub fn active() -> Option<&'static str> {
+    imp::active()
+}
+
+/// Whether the named canary mutation is live in this process.
+#[inline(always)]
+pub fn enabled(name: &str) -> bool {
+    active() == Some(name)
+}

@@ -27,6 +27,7 @@
 
 pub mod bits;
 pub mod bitstream;
+pub mod canary;
 pub mod crc;
 pub mod fault;
 pub mod rng;

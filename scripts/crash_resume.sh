@@ -83,6 +83,20 @@ for key in sorted(set(a) | set(b)):
         print(f"MISMATCH {key}: clean={a.get(key)!r} resumed={b.get(key)!r}")
         sys.exit(1)
 print("crash+resume report is identical to the clean run")
+
+# The invariant registry audited both runs (default sampled mode) and
+# must be clean on both sides: a resume that lost or double-counted
+# ledger state shows up here as a tally/quarantine violation.
+for label, doc in (("clean", clean), ("resumed", resumed)):
+    inv = doc["run"]["invariants"]
+    assert inv["mode"] == "sampled", f"{label}: invariants mode {inv['mode']!r}, want 'sampled'"
+    assert inv["checks_run"] > 0, f"{label}: invariant registry never ran"
+    if inv["violations"] != 0:
+        print(f"INVARIANT VIOLATIONS in {label} run: {inv['per_invariant']}")
+        sys.exit(1)
+print("invariant registry clean on both runs "
+      f"(clean: {clean['run']['invariants']['checks_run']} checks, "
+      f"resumed: {resumed['run']['invariants']['checks_run']} checks)")
 EOF
 
 echo "crash_resume: OK"
