@@ -113,6 +113,7 @@ struct Row {
     steps: u64,
     secs: f64,
     rate: f64,
+    peak_rss: u64,
 }
 
 fn bench_engine(
@@ -145,7 +146,15 @@ fn bench_engine(
         "{:>8} | {:<22} | {:>4} runs | {:>9} steps | {:>6.3}s | {:>10.0} steps/s",
         w.name, config, runs, steps, secs, rate
     );
-    Row { workload: w.name, config, runs, steps, secs, rate }
+    Row {
+        workload: w.name,
+        config,
+        runs,
+        steps,
+        secs,
+        rate,
+        peak_rss: argus_bench::peak_rss_bytes().unwrap_or(0),
+    }
 }
 
 fn main() {
@@ -217,6 +226,7 @@ fn main() {
                             .set("steps", r.steps)
                             .set("seconds", r.secs)
                             .set("steps_per_sec", r.rate)
+                            .set("peak_rss_bytes", r.peak_rss)
                     })
                     .collect(),
             ),

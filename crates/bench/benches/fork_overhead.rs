@@ -63,6 +63,7 @@ struct Row {
     config: &'static str,
     secs: f64,
     rate: f64,
+    peak_rss: u64,
 }
 
 fn main() {
@@ -97,8 +98,9 @@ fn main() {
             assert_eq!(counts, reference, "{}: fork strategy changed campaign results", sc.config);
         }
         let rate = injections as f64 / secs;
+        let peak_rss = argus_bench::peak_rss_bytes().unwrap_or(0);
         println!("{:>20} | {:>6.2}s | {:>8.1} inj/s", sc.config, secs, rate);
-        rows.push(Row { config: sc.config, secs, rate });
+        rows.push(Row { config: sc.config, secs, rate, peak_rss });
     }
 
     let headline = rows.last().expect("scenarios ran").rate;
@@ -121,6 +123,7 @@ fn main() {
                             .set("config", r.config)
                             .set("seconds", r.secs)
                             .set("injections_per_second", r.rate)
+                            .set("peak_rss_bytes", r.peak_rss)
                     })
                     .collect(),
             ),

@@ -93,6 +93,7 @@ fn run_remote(n: usize, workers: usize) -> (f64, String) {
                 poll: Duration::from_millis(20),
                 job: Some(id),
                 name: format!("bench-{k}"),
+                cache_dir: None,
             };
             std::thread::spawn(move || argus_remote::run_worker(&wcfg, &STOP).expect("worker"))
         })

@@ -125,9 +125,54 @@ pub fn mean_of(rows: &[OverheadRow], metric: impl Fn(&OverheadRow) -> f64) -> f6
     s.mean()
 }
 
+/// Reads one `kB`-denominated field of `/proc/self/status` into bytes.
+#[cfg(target_os = "linux")]
+fn proc_status_bytes(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn proc_status_bytes(_key: &str) -> Option<u64> {
+    None
+}
+
+/// Peak resident set size (`VmHWM`) of this process, in bytes — the
+/// self-sampler every bench row records as `peak_rss_bytes`, so memory
+/// regressions show up in the benchmark trajectory alongside time.
+/// `None` on platforms without `/proc/self/status`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident set size (`VmRSS`) of this process, in bytes.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+/// Current *anonymous* resident set (`RssAnon`) of this process, in
+/// bytes: heap and stacks, excluding file-backed mappings. This is the
+/// number an out-of-core store must keep bounded — pages resident via a
+/// shared read-only `mmap` show up in `VmRSS` but are reclaimable by the
+/// kernel at will, while anonymous pages are not. `None` off Linux.
+pub fn anon_rss_bytes() -> Option<u64> {
+    proc_status_bytes("RssAnon:")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_sampler_reports_plausible_numbers() {
+        let peak = peak_rss_bytes().expect("/proc/self/status has VmHWM");
+        let cur = current_rss_bytes().expect("/proc/self/status has VmRSS");
+        assert!(peak >= cur, "peak {peak} < current {cur}");
+        assert!(cur > 1 << 20, "a running test process holds more than 1 MiB resident");
+    }
 
     #[test]
     fn measure_one_workload() {

@@ -7,10 +7,11 @@
 //! argus run <file.s> [--baseline] [--two-way] [--regs r3,r4]
 //! argus inject <file.s> --site S --bit N [--permanent] [--arm C]
 //! argus campaign [-n N] [--permanent] [--snapshot-every N] [--shards N]
-//!                [--checkpoint PATH] [--checkpoint-interval-ms MS] [--resume]
+//!                [--store ram|mmap] [--checkpoint PATH]
+//!                [--checkpoint-interval-ms MS] [--resume]
 //!                [--inj-cycle-factor F] [--quarantine-limit N] [--strict]
 //!                [--json] [--quiet]
-//! argus snapshot save|info|restore       standalone state files
+//! argus snapshot save|pack|info|restore  standalone state files
 //! argus sites                            list the fault-site inventory
 //! ```
 //!
@@ -29,7 +30,7 @@
 use argus_compiler::{asm, compile, EmbedConfig, Mode};
 use argus_core::{Argus, ArgusConfig};
 use argus_faults::campaign::{run_campaign, CampaignConfig, ChaosConfig};
-use argus_faults::Outcome;
+use argus_faults::{Outcome, StoreKind};
 use argus_invariants::InvariantMode;
 use argus_machine::{Machine, MachineConfig, StepOutcome};
 use argus_mem::MemConfig;
@@ -407,6 +408,13 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
         ),
         None => None,
     };
+    let store: StoreKind = match args.opt("--store") {
+        Some(s) => StoreKind::parse(&s).ok_or_else(|| usage("bad --store (want ram|mmap)"))?,
+        // Out-of-core by default: snapshot pages live in a mapped file,
+        // so campaign RSS stays bounded at any machine size. Reports
+        // are bit-identical either way.
+        None => StoreKind::Mapped,
+    };
     let strict = args.flag("--strict");
     let invariants: Option<InvariantMode> = match args.opt("--invariants") {
         Some(s) => Some(
@@ -440,7 +448,8 @@ pub fn cmd_campaign(mut args: Args) -> Result<String, CliError> {
     let quiet = args.flag("--quiet");
     args.finish()?;
 
-    let mut cfg = CampaignConfig { injections: n, kind, snapshot_every, ..Default::default() };
+    let mut cfg =
+        CampaignConfig { injections: n, kind, snapshot_every, store, ..Default::default() };
     if let Some(s) = seed {
         cfg.seed = s;
     }
@@ -647,6 +656,7 @@ pub fn cmd_worker(mut args: Args) -> Result<String, CliError> {
     if name.is_empty() || name.starts_with("local:") {
         return Err(usage("--name must be non-empty and not use the `local:` prefix"));
     }
+    let cache_dir = args.opt("--cache-dir").map(std::path::PathBuf::from);
     args.finish()?;
 
     signals::install();
@@ -656,6 +666,7 @@ pub fn cmd_worker(mut args: Args) -> Result<String, CliError> {
         poll: std::time::Duration::from_millis(poll_ms),
         job,
         name: name.clone(),
+        cache_dir,
     };
     eprintln!(
         "argus worker: `{name}` connecting to http://{connect} ({workers} executor thread(s))"
@@ -666,8 +677,9 @@ pub fn cmd_worker(mut args: Args) -> Result<String, CliError> {
         eprintln!("argus worker: drained ({cause})");
     }
     Ok(format!(
-        "worker `{name}`: {} job(s), {} chunk(s) accepted ({} duplicate(s)), {} injection(s)\n",
-        summary.jobs, summary.chunks, summary.duplicates, summary.injections
+        "worker `{name}`: {} job(s), {} chunk(s) accepted ({} duplicate(s)), {} injection(s), \
+         {} artifact cache hit(s)\n",
+        summary.jobs, summary.chunks, summary.duplicates, summary.injections, summary.cache_hits
     ))
 }
 
@@ -801,8 +813,9 @@ fn run_checked(m: &mut Machine, checker: &mut Argus, stop_at: u64) {
 /// `argus snapshot`: standalone state files — capture a program at a
 /// cycle, inspect a file, or restore one and resume execution.
 pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
-    const SNAP_USAGE: &str = "usage: argus snapshot <save|info|restore>
+    const SNAP_USAGE: &str = "usage: argus snapshot <save|pack|info|restore>
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
+  argus snapshot pack <file.s> --out PATH [--every N] [--until-cycle C]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]";
     let verb = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
@@ -841,9 +854,68 @@ pub fn cmd_snapshot(mut args: Args) -> Result<String, CliError> {
                 out_path
             ))
         }
+        "pack" => {
+            let path = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
+            let out_path = args.opt("--out").ok_or_else(|| usage("--out PATH is required"))?;
+            let every: u64 = match args.opt("--every") {
+                Some(s) => s
+                    .parse()
+                    .ok()
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| usage("bad --every (want an integer >= 1)"))?,
+                None => 1000,
+            };
+            let until_cycle: u64 = match args.opt("--until-cycle") {
+                Some(s) => s.parse().map_err(|_| usage("bad --until-cycle"))?,
+                None => 200_000_000,
+            };
+            args.finish()?;
+
+            let unit = load_unit(&path)?;
+            let prog = compile(&unit, Mode::Argus, &EmbedConfig::default())
+                .map_err(|e| fail(e.to_string()))?;
+            let mut m = Machine::new(MachineConfig::default());
+            prog.load(&mut m);
+            let mut checker = Argus::new(ArgusConfig::default());
+            checker.expect_entry(prog.entry_dcs.unwrap_or(0));
+
+            let mut writer =
+                argus_snapshot::mapped::MappedStoreWriter::create(out_path.as_ref(), every)
+                    .map_err(|e| fail(format!("cannot create `{out_path}`: {e}")))?;
+            let pack_err = |e: std::io::Error| fail(format!("writing `{out_path}`: {e}"));
+            // Seed cycle 0 like the campaign golden run, then capture on
+            // the interval until the program halts.
+            writer.capture_now(&m, &checker).map_err(pack_err)?;
+            let mut inj = FaultInjector::none();
+            while !m.halted() && m.cycle() < until_cycle {
+                match m.step(&mut inj) {
+                    StepOutcome::Committed(rec) => {
+                        checker.on_commit(&rec, &mut inj);
+                    }
+                    StepOutcome::Stalled => {
+                        checker.on_stall(1, &mut inj);
+                    }
+                    StepOutcome::Halted => break,
+                }
+                writer.maybe_capture(&m, &checker).map_err(pack_err)?;
+            }
+            let store = writer.finish().map_err(pack_err)?;
+            let stats = store.stats();
+            Ok(format!(
+                "packed {out_path}: {} snapshot(s) every {every} cycles, {} distinct page(s) \
+                 of {} referenced, {} bytes saved by dedup\n",
+                store.len(),
+                stats.pages_distinct,
+                stats.pages_total,
+                stats.bytes_saved,
+            ))
+        }
         "info" => {
             let path = args.positional().ok_or_else(|| usage(SNAP_USAGE))?;
             args.finish()?;
+            if file_has_magic(&path, b"ARGSTORE") {
+                return store_info(&path);
+            }
             let (m, checker) = read_snapshot_file(&path)?;
             let mut out = String::new();
             let _ = writeln!(out, "snapshot {path}");
@@ -913,6 +985,45 @@ fn read_snapshot_file(path: &str) -> Result<(Machine, Argus), CliError> {
     let mut f =
         std::fs::File::open(path).map_err(|e| fail(format!("cannot open `{path}`: {e}")))?;
     argus_snapshot::io::read_snapshot(&mut f).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+/// Whether the file starts with the given magic — how `snapshot info`
+/// tells a packed ARGSTORE from a single-snapshot ARGSNAP file, so a
+/// corrupt store reports a store error rather than a bad-magic one.
+fn file_has_magic(path: &str, magic: &[u8]) -> bool {
+    use std::io::Read as _;
+    let mut head = vec![0u8; magic.len()];
+    std::fs::File::open(path).and_then(|mut f| f.read_exact(&mut head)).is_ok() && head == magic
+}
+
+/// `argus snapshot info` on an ARGSTORE file: open (verifying the
+/// whole-file CRC envelope) and report the dedup accounting.
+fn store_info(path: &str) -> Result<String, CliError> {
+    let store = argus_snapshot::mapped::MappedStore::open(path.as_ref())
+        .map_err(|e| fail(format!("{path}: {e}")))?;
+    let stats = store.stats();
+    let first = store.cycle(0).unwrap_or(0);
+    let last = store.len().checked_sub(1).and_then(|i| store.cycle(i)).unwrap_or(first);
+    let mut out = String::new();
+    let _ = writeln!(out, "store {path}");
+    let _ = writeln!(
+        out,
+        "  {} snapshot(s) every {} cycles, covering cycles {first}..={last}",
+        store.len(),
+        stats.interval,
+    );
+    let _ = writeln!(
+        out,
+        "  pages: {} referenced, {} distinct, {} bytes saved by dedup",
+        stats.pages_total, stats.pages_distinct, stats.bytes_saved,
+    );
+    let _ = writeln!(
+        out,
+        "  file {} bytes, materialized image {} bytes",
+        store.file_bytes().len(),
+        store.materialized_bytes(),
+    );
+    Ok(out)
 }
 
 /// `argus verify`: compile in Argus mode and statically verify the image's
@@ -991,8 +1102,8 @@ pub const USAGE: &str =
   argus inject <file.s> --site S --bit N [--permanent] [--arm C]
   argus verify <file.s>
   argus campaign [-n N] [--permanent] [--seed S] [--snapshot-every N]
-                 [--shards N] [--chunk N] [--checkpoint PATH]
-                 [--checkpoint-interval-ms MS] [--resume]
+                 [--store ram|mmap] [--shards N] [--chunk N]
+                 [--checkpoint PATH] [--checkpoint-interval-ms MS] [--resume]
                  [--inj-cycle-factor F] [--quarantine-limit N]
                  [--invariants off|sampled|full] [--chaos-panic-at I,J,...]
                  [--strict] [--json] [--quiet]
@@ -1000,8 +1111,9 @@ pub const USAGE: &str =
               [--state-dir PATH] [--checkpoint-interval-ms MS]
               [--lease-ttl-ms MS]
   argus worker --connect HOST:PORT [--workers N] [--poll-ms MS]
-               [--job ID] [--name NAME]
+               [--job ID] [--name NAME] [--cache-dir PATH]
   argus snapshot save <file.s> --out PATH [--at-cycle C] [--two-way]
+  argus snapshot pack <file.s> --out PATH [--every N] [--until-cycle C]
   argus snapshot info <PATH>
   argus snapshot restore <PATH> [--run] [--regs r3,r4]
   argus invariants list
@@ -1017,6 +1129,12 @@ scheduler lease size (default 32); leases shrink toward 1 at the tail.
 --snapshot-every N checkpoints the golden run every N cycles and forks each
 injection from the nearest checkpoint at or before its arm cycle — identical
 results, fewer replayed cycles.
+--store picks where those checkpoints live: mmap (default) streams deduped
+pages to a memory-mapped scratch file so campaign RSS stays bounded at any
+machine size; ram keeps them in the heap. Reports are bit-identical.
+snapshot pack writes the same out-of-core format standalone (inspect it
+with snapshot info); worker --cache-dir caches fetched job artifacts by
+content address so reconnects skip re-fetching and golden-run rebuilds.
 --invariants selects how densely the always-on invariant registry audits
 the run (off, sampled [default], full); violations land in the report
 (JSON: run.invariants) and, with --strict, abort the campaign naming the

@@ -329,6 +329,59 @@ impl Argus {
         None
     }
 
+    /// [`Argus::scrub_memory`] restricted to pages written at or after
+    /// generation `since_gen` (the fork point of a delta-restored
+    /// workspace). Observationally identical to the full scrub: pages
+    /// untouched since the fork still hold golden-run content, which
+    /// carries valid EDC by construction, so skipping their checks can
+    /// neither miss a detection nor change which word detects first. The
+    /// one exception is a fault on the scrub's own parity comparator —
+    /// its masking draws are per-exposure, so the tap count is observable
+    /// — and that case falls back to the full sweep.
+    pub fn scrub_memory_dirty(
+        &mut self,
+        m: &argus_machine::Machine,
+        from_addr: u32,
+        inj: &mut FaultInjector,
+        since_gen: u64,
+    ) -> Option<DetectionEvent> {
+        if !self.cfg.enable_parity {
+            return None;
+        }
+        if inj.targets_live_site(sites::MFC_PARITY_CHECK) {
+            return self.scrub_memory(m, from_addr, inj);
+        }
+        let mem = m.mem().memory();
+        let page_bytes = 4 * argus_mem::DIRTY_PAGE_WORDS as u32;
+        for page in 0..mem.page_count() {
+            if !mem.page_dirty_since(page, since_gen) {
+                continue;
+            }
+            let mut addr = (page as u32 * page_bytes).max(from_addr & !3);
+            let page_end = (page as u32 + 1) * page_bytes;
+            while addr < page_end {
+                let Ok((payload, tag)) = mem.read(addr) else { break };
+                let d = payload ^ addr;
+                let ok = inj.tap1(sites::MFC_PARITY_CHECK, parity32(d) == tag);
+                if !ok {
+                    let ev = DetectionEvent {
+                        checker: CheckerKind::Parity,
+                        reason: "scrub_parity",
+                        cycle: inj.cycle(),
+                        pc: addr,
+                    };
+                    self.events.push(ev.clone());
+                    return Some(ev);
+                }
+                match addr.checked_add(4) {
+                    Some(a) => addr = a,
+                    None => return None,
+                }
+            }
+        }
+        None
+    }
+
     /// The first detection, if any.
     pub fn first_detection(&self) -> Option<&DetectionEvent> {
         self.events.first()

@@ -4,7 +4,7 @@ use crate::sites::{full_inventory, sample_points, SamplePoint};
 use argus_compiler::{compile, preplan, EmbedConfig, Mode, Program};
 use argus_core::{Argus, ArgusConfig, CheckerKind, DetectionEvent};
 use argus_invariants::{
-    ExecView, Hook, InvariantCtx, InvariantEngine, InvariantMode, SnapshotView,
+    ExecView, Hook, InvariantCtx, InvariantEngine, InvariantMode, SnapshotView, StoreView,
 };
 pub use argus_machine::ExecStats;
 use argus_machine::{Machine, MachineConfig, StepOutcome};
@@ -13,10 +13,12 @@ use argus_sim::rng::SplitMix64;
 use argus_sim::stats::CounterSet;
 use argus_sim::supervise::{catch_supervised, HangCause, InjectionWatchdog, WatchdogConfig};
 use argus_snapshot::{
-    combined_fingerprint, Snapshot, SnapshotBuilder, SnapshotStore, Workspace, WorkspaceStats,
+    combined_fingerprint, MappedStore, MappedStoreWriter, PageCache, Snapshot, SnapshotBuilder,
+    SnapshotStore, StoreStats, Workspace, WorkspaceStats, PAGE_WORDS,
 };
 use argus_workloads::Workload;
 use std::fmt;
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -92,6 +94,177 @@ pub struct CampaignConfig {
     /// `Sampled` (the default) strides the hooks so the overhead stays
     /// inside the bench gates, `Full` checks every hook.
     pub invariants: InvariantMode,
+    /// Which backend holds the golden-run snapshot store when
+    /// `snapshot_every` is set. Purely a memory/IO knob: forked state is
+    /// bit-identical across backends (the equivalence suite pins this), so
+    /// like [`ForkStrategy`] it is excluded from checkpoint fingerprints.
+    pub store: StoreKind,
+}
+
+/// Which backend holds the golden-run snapshot store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// In-RAM content-addressed page pool ([`SnapshotStore`]): every
+    /// distinct page resident for the campaign's lifetime. The library
+    /// default (no filesystem dependency); the CLI defaults to `Mapped`.
+    #[default]
+    Ram,
+    /// Out-of-core memory-mapped ARGSTORE file ([`MappedStore`]): page
+    /// bodies live on disk behind one shared read-only map, workers keep
+    /// only a small decoded-page cache resident, so peak RSS stays bounded
+    /// however many checkpoints the golden run takes. Falls back to `Ram`
+    /// (with a warning) when the store file cannot be written.
+    Mapped,
+}
+
+impl StoreKind {
+    /// Stable label (JSON reports, `--store` flag values).
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreKind::Ram => "ram",
+            StoreKind::Mapped => "mmap",
+        }
+    }
+
+    /// Parses a `--store` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ram" => Some(StoreKind::Ram),
+            "mmap" => Some(StoreKind::Mapped),
+            _ => None,
+        }
+    }
+}
+
+/// The golden-run snapshot store, whichever backend holds it. Shards and
+/// remote-serving coordinators only need the common surface (length,
+/// seek-by-cycle, stats); forking dispatches internally.
+pub enum CampaignStore {
+    /// In-RAM page pool.
+    Ram(Arc<SnapshotStore>),
+    /// Memory-mapped on-disk ARGSTORE.
+    Mapped(Arc<MappedStore>),
+}
+
+impl CampaignStore {
+    /// Which backend this is.
+    pub fn kind(&self) -> StoreKind {
+        match self {
+            CampaignStore::Ram(_) => StoreKind::Ram,
+            CampaignStore::Mapped(_) => StoreKind::Mapped,
+        }
+    }
+
+    /// The mapped store, when that backend holds it (artifact serving).
+    pub fn mapped(&self) -> Option<&Arc<MappedStore>> {
+        match self {
+            CampaignStore::Mapped(s) => Some(s),
+            CampaignStore::Ram(_) => None,
+        }
+    }
+
+    /// Number of checkpoints.
+    pub fn len(&self) -> usize {
+        match self {
+            CampaignStore::Ram(s) => s.len(),
+            CampaignStore::Mapped(s) => s.len(),
+        }
+    }
+
+    /// Whether the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Page-sharing statistics.
+    pub fn stats(&self) -> StoreStats {
+        match self {
+            CampaignStore::Ram(s) => s.stats(),
+            CampaignStore::Mapped(s) => s.stats(),
+        }
+    }
+
+    /// Bytes a store without page sharing would have used.
+    pub fn materialized_bytes(&self) -> u64 {
+        match self {
+            CampaignStore::Ram(s) => s.materialized_bytes(),
+            CampaignStore::Mapped(s) => s.materialized_bytes(),
+        }
+    }
+
+    /// The latest snapshot index at or before `cycle`, if any.
+    pub fn nearest_index_at_or_before(&self, cycle: u64) -> Option<usize> {
+        match self {
+            CampaignStore::Ram(s) => s.nearest_index_at_or_before(cycle),
+            CampaignStore::Mapped(s) => s.nearest_index_at_or_before(cycle),
+        }
+    }
+
+    /// Cycle stamp of snapshot `i`.
+    pub fn cycle(&self, i: usize) -> Option<u64> {
+        match self {
+            CampaignStore::Ram(s) => s.get(i).map(Snapshot::cycle),
+            CampaignStore::Mapped(s) => s.cycle(i),
+        }
+    }
+
+    /// Capture-time fingerprint of snapshot `i`.
+    pub fn fingerprint(&self, i: usize) -> Option<u64> {
+        match self {
+            CampaignStore::Ram(s) => s.get(i).map(Snapshot::fingerprint),
+            CampaignStore::Mapped(s) => s.fingerprint(i),
+        }
+    }
+
+    /// Plain-data observation for the `StoreOpen` invariant hook.
+    fn view(&self) -> StoreView {
+        match self {
+            CampaignStore::Ram(s) => {
+                let st = s.stats();
+                StoreView {
+                    backend: "ram".into(),
+                    snapshots: s.len(),
+                    pages_distinct: st.pages_distinct,
+                    pages_total: st.pages_total,
+                    table_lens: s.snapshots().iter().map(Snapshot::page_slots).collect(),
+                    expected_lens: s
+                        .snapshots()
+                        .iter()
+                        .map(|x| x.mem_words().div_ceil(PAGE_WORDS))
+                        .collect(),
+                    cycles: s.snapshots().iter().map(Snapshot::cycle).collect(),
+                    max_page_id: None,
+                    crc_checks: Vec::new(),
+                }
+            }
+            CampaignStore::Mapped(s) => {
+                let st = s.stats();
+                let n = s.len();
+                // Deterministic spot sample: up to 8 stored pages, evenly
+                // strided, re-CRCed against the on-disk index.
+                let pages = s.page_count();
+                let step = (pages / 8).max(1);
+                let crc_checks = (0..pages)
+                    .step_by(step)
+                    .take(8)
+                    .filter_map(|id| s.check_page_crc(id as u32).map(|ok| (id as u32, ok)))
+                    .collect();
+                StoreView {
+                    backend: "mmap".into(),
+                    snapshots: n,
+                    pages_distinct: st.pages_distinct,
+                    pages_total: st.pages_total,
+                    table_lens: (0..n).map(|i| s.page_ids(i).map_or(0, <[u32]>::len)).collect(),
+                    expected_lens: (0..n)
+                        .map(|i| s.mem_words(i).unwrap_or(0).div_ceil(PAGE_WORDS))
+                        .collect(),
+                    cycles: (0..n).filter_map(|i| s.cycle(i)).collect(),
+                    max_page_id: (0..n).filter_map(|i| s.page_ids(i)).flatten().copied().max(),
+                    crc_checks,
+                }
+            }
+        }
+    }
 }
 
 /// How an injection whose campaign has snapshots forks its run state.
@@ -150,11 +323,24 @@ impl Default for CampaignConfig {
             fork: ForkStrategy::default(),
             shortcut_inert: true,
             invariants: InvariantMode::default(),
+            store: StoreKind::default(),
         }
     }
 }
 
 impl CampaignConfig {
+    /// Returns a copy with the machine's main memory grown to the
+    /// workload's [`Workload::min_mem_bytes`]. Call this at the campaign
+    /// entry point — the same configuration must reach both
+    /// [`prepare_campaign`] and every `run_injection*` call, or the forked
+    /// machines would not match the golden snapshots.
+    #[must_use]
+    pub fn sized_for(&self, w: &Workload) -> Self {
+        let mut cfg = self.clone();
+        cfg.mcfg.mem.mem_bytes = cfg.mcfg.mem.mem_bytes.max(w.min_mem_bytes);
+        cfg
+    }
+
     /// Watchdog limits for one injection of a campaign whose golden run
     /// took `golden_cycles`.
     pub fn watchdog_config(&self, golden_cycles: u64) -> WatchdogConfig {
@@ -346,9 +532,10 @@ pub struct PreparedCampaign {
     golden_cycles: u64,
     window: u64,
     points: Vec<SamplePoint>,
-    /// Golden-run checkpoints when `snapshot_every` is set; shards clone
-    /// the `Arc` and fork injections from the read-only store.
-    snapshots: Option<Arc<SnapshotStore>>,
+    /// Golden-run checkpoints when `snapshot_every` is set; shards share
+    /// the read-only store (an `Arc`'d RAM pool, or one mmap of the
+    /// ARGSTORE file) and fork injections from it.
+    snapshots: Option<CampaignStore>,
     /// Per-snapshot "restored once and matched its fingerprint" flags.
     /// Full-state verification is too expensive per fork, so each snapshot
     /// is verified the first time any worker forks from it and trusted
@@ -397,6 +584,11 @@ struct InertTemplate {
 #[derive(Debug, Default)]
 pub struct CampaignWorkspace {
     ws: Workspace,
+    /// Resident decoded-page cache for mapped-store restores. This — not
+    /// the store — is what bounds a worker's peak RSS: page bodies stay on
+    /// disk behind the shared map and only the entries here are
+    /// materialized. Unused by the RAM backend.
+    cache: PageCache,
     /// Predecode/plan-cache counters accumulated over every injection run
     /// through this workspace, whatever fork strategy each one took.
     exec: ExecStats,
@@ -411,6 +603,11 @@ impl CampaignWorkspace {
     /// Cumulative delta-restore statistics (bench/test observability).
     pub fn stats(&self) -> WorkspaceStats {
         self.ws.stats()
+    }
+
+    /// The mapped-store page cache (hit/miss/residency observability).
+    pub fn page_cache(&self) -> &PageCache {
+        &self.cache
     }
 
     /// Cumulative predecode/plan-cache counters (campaign `run` reporting).
@@ -435,9 +632,29 @@ impl PreparedCampaign {
         self.golden_cycles
     }
 
+    /// The cycle at which injection `index` arms, derived from the same
+    /// per-index RNG stream [`run_injection_in`] uses (each stream is
+    /// seeded independently, so peeking here consumes nothing). Schedulers
+    /// use this to sort a chunk of indices by arm cycle: injections that
+    /// arm near each other fork from the same snapshot, so a warm
+    /// workspace rewrites only run-dirty pages instead of cross-snapshot
+    /// diffs. Pure per-index — execution order never changes any result.
+    pub fn arm_cycle_of(&self, cfg: &CampaignConfig, index: usize) -> u64 {
+        let mut rng = SplitMix64::stream(cfg.seed ^ INJECTION_STREAM_SALT, index as u64);
+        self.draw_arm_cycle(&mut rng)
+    }
+
+    /// Draws the arm cycle from an injection's RNG stream: somewhere in
+    /// the first 3/4 of the golden execution, so the fault has time to be
+    /// exercised and detected. Single source of truth for
+    /// [`Self::arm_cycle_of`] and the injection runner.
+    fn draw_arm_cycle(&self, rng: &mut SplitMix64) -> u64 {
+        rng.below((self.golden_cycles * 3 / 4).max(1))
+    }
+
     /// The golden-run snapshot store, when the campaign was prepared with
-    /// `snapshot_every`.
-    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+    /// `snapshot_every` (whichever backend holds it).
+    pub fn snapshot_store(&self) -> Option<&CampaignStore> {
         self.snapshots.as_ref()
     }
 
@@ -486,48 +703,70 @@ impl PreparedCampaign {
     /// pair when the engine's restore clock says this one is due. Read-only
     /// (recomputes the combined fingerprint and compares it to the one the
     /// snapshot recorded at capture time), so forked runs are unaffected.
-    fn check_snapshot_identity(&self, snap: &Snapshot, m: &Machine, argus: &Argus) {
+    fn check_snapshot_identity(&self, i: usize, m: &Machine, argus: &Argus) {
         if !self.invariants.snapshot_due() {
             return;
         }
-        let view = SnapshotView {
-            expected: snap.fingerprint(),
-            reconstructed: combined_fingerprint(m, argus),
-            cycle: snap.cycle(),
+        let Some(store) = self.snapshots.as_ref() else { return };
+        let (Some(expected), Some(cycle)) = (store.fingerprint(i), store.cycle(i)) else {
+            return;
         };
+        let view = SnapshotView { expected, reconstructed: combined_fingerprint(m, argus), cycle };
         self.invariants.run_hook(Hook::SnapshotRestore, &InvariantCtx::Snapshot(view));
+    }
+
+    /// Poisons snapshot `i` after a failed restore and records why; the
+    /// caller falls back to cold boot (bit-identical, just slower).
+    fn poison_snapshot(&self, i: usize, why: &str) {
+        self.snapshot_poisoned[i].store(true, Ordering::Relaxed);
+        self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_warnings
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(format!("snapshot {i} failed verification, cold-booting: {why}"));
     }
 
     /// Forks a machine/checker pair from the nearest snapshot at or before
     /// `arm_cycle`, verifying the snapshot's fingerprint on first use.
     /// Returns `None` when no snapshot applies or the applicable one is
     /// corrupt — the caller cold-boots, which yields bit-identical results.
-    fn fork_at(&self, arm_cycle: u64) -> Option<(Machine, Argus)> {
-        let store = self.snapshots.as_deref()?;
+    fn fork_at(&self, arm_cycle: u64, cache: &mut PageCache) -> Option<(Machine, Argus)> {
+        let store = self.snapshots.as_ref()?;
         let i = store.nearest_index_at_or_before(arm_cycle)?;
         if self.snapshot_poisoned[i].load(Ordering::Relaxed) {
             self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let snap = store.get(i)?;
-        if self.snapshot_verified[i].load(Ordering::Relaxed) {
-            let pair = snap.restore_fresh();
-            self.check_snapshot_identity(snap, &pair.0, &pair.1);
-            return Some(pair);
-        }
-        match snap.try_restore_fresh() {
+        let verified = self.snapshot_verified[i].load(Ordering::Relaxed);
+        // The RAM path is infallible once verified; the mapped path stays
+        // fallible on every fork (a page body can fail its CRC on first
+        // decode), so both arms surface a Result and share the
+        // poison-and-fall-back handling below.
+        let restored = match store {
+            CampaignStore::Ram(s) => {
+                let snap = s.get(i)?;
+                if verified {
+                    Ok(snap.restore_fresh())
+                } else {
+                    snap.try_restore_fresh()
+                }
+            }
+            CampaignStore::Mapped(s) => {
+                if verified {
+                    s.restore_fresh(i, cache)
+                } else {
+                    s.try_restore_fresh(i, cache)
+                }
+            }
+        };
+        match restored {
             Ok(pair) => {
                 self.snapshot_verified[i].store(true, Ordering::Relaxed);
-                self.check_snapshot_identity(snap, &pair.0, &pair.1);
+                self.check_snapshot_identity(i, &pair.0, &pair.1);
                 Some(pair)
             }
             Err(why) => {
-                self.snapshot_poisoned[i].store(true, Ordering::Relaxed);
-                self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
-                self.snapshot_warnings
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .push(format!("snapshot {i} failed verification, cold-booting: {why}"));
+                self.poison_snapshot(i, &why);
                 None
             }
         }
@@ -535,38 +774,47 @@ impl PreparedCampaign {
 
     /// Delta-forks into `ws` from the nearest snapshot at or before
     /// `arm_cycle`, verifying the snapshot's fingerprint on first use
-    /// (with [`argus_snapshot::Snapshot::try_restore_into`]'s full-restore
-    /// fallback). Returns whether `ws` now holds the forked pair; `false`
-    /// means no snapshot applies or the applicable one is corrupt, and the
-    /// caller cold-boots — bit-identical, just slower.
-    fn fork_into(&self, arm_cycle: u64, ws: &mut Workspace) -> bool {
-        let Some(store) = self.snapshots.as_deref() else { return false };
+    /// (with the `try_restore_into` full-restore fallback of whichever
+    /// backend holds the store). Returns whether `ws` now holds the forked
+    /// pair; `false` means no snapshot applies or the applicable one is
+    /// corrupt, and the caller cold-boots — bit-identical, just slower.
+    fn fork_into(&self, arm_cycle: u64, ws: &mut Workspace, cache: &mut PageCache) -> bool {
+        let Some(store) = self.snapshots.as_ref() else { return false };
         let Some(i) = store.nearest_index_at_or_before(arm_cycle) else { return false };
         if self.snapshot_poisoned[i].load(Ordering::Relaxed) {
             self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        let Some(snap) = store.get(i) else { return false };
-        if self.snapshot_verified[i].load(Ordering::Relaxed) {
-            snap.restore_into(ws);
-            let (m, a) = ws.pair().expect("restore populated the workspace");
-            self.check_snapshot_identity(snap, m, a);
-            return true;
-        }
-        match snap.try_restore_into(ws) {
-            Ok(_) => {
+        let verified = self.snapshot_verified[i].load(Ordering::Relaxed);
+        let restored = match store {
+            CampaignStore::Ram(s) => match s.get(i) {
+                None => return false,
+                Some(snap) => {
+                    if verified {
+                        snap.restore_into(ws);
+                        Ok(())
+                    } else {
+                        snap.try_restore_into(ws).map(|_| ())
+                    }
+                }
+            },
+            CampaignStore::Mapped(s) => {
+                if verified {
+                    s.restore_into(i, ws, cache)
+                } else {
+                    s.try_restore_into(i, ws, cache).map(|_| ())
+                }
+            }
+        };
+        match restored {
+            Ok(()) => {
                 self.snapshot_verified[i].store(true, Ordering::Relaxed);
                 let (m, a) = ws.pair().expect("restore populated the workspace");
-                self.check_snapshot_identity(snap, m, a);
+                self.check_snapshot_identity(i, m, a);
                 true
             }
             Err(why) => {
-                self.snapshot_poisoned[i].store(true, Ordering::Relaxed);
-                self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
-                self.snapshot_warnings
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .push(format!("snapshot {i} failed verification, cold-booting: {why}"));
+                self.poison_snapshot(i, &why);
                 false
             }
         }
@@ -593,6 +841,7 @@ impl PreparedCampaign {
                 self.prog.data_base,
                 &mut wd,
                 &self.invariants,
+                None,
             );
             InertTemplate {
                 detection: out.detection,
@@ -609,9 +858,15 @@ impl PreparedCampaign {
     /// range, or the store is already shared.
     #[doc(hidden)]
     pub fn corrupt_snapshot_for_test(&mut self, index: usize) -> bool {
-        match self.snapshots.as_mut().and_then(Arc::get_mut) {
-            Some(store) => store.corrupt_page_for_test(index),
-            None => false,
+        match self.snapshots.as_mut() {
+            // The mapped file is sealed and mapped read-only; its
+            // corruption paths are exercised by the snapshot crate's own
+            // post-map mutation tests and the adversarial IO suite.
+            Some(CampaignStore::Ram(store)) => match Arc::get_mut(store) {
+                Some(store) => store.corrupt_page_for_test(index),
+                None => false,
+            },
+            _ => false,
         }
     }
 }
@@ -633,29 +888,59 @@ fn golden_run(prog: &Program, mcfg: MachineConfig) -> GoldenRun {
     GoldenRun { digest: m.state_digest(), cycles: res.cycles, exec: m.take_exec_stats() }
 }
 
+/// The golden run's checkpoint sink, whichever backend the campaign
+/// selected. The RAM builder cannot fail; the mapped writer surfaces IO
+/// errors, which [`prepare_campaign`] degrades to the RAM backend.
+enum CaptureSink {
+    Ram(SnapshotBuilder),
+    Mapped(MappedStoreWriter),
+}
+
+impl CaptureSink {
+    fn capture_now(&mut self, m: &Machine, argus: &Argus) -> io::Result<()> {
+        match self {
+            CaptureSink::Ram(b) => {
+                b.capture_now(m, argus);
+                Ok(())
+            }
+            CaptureSink::Mapped(w) => w.capture_now(m, argus),
+        }
+    }
+
+    fn maybe_capture(&mut self, m: &Machine, argus: &Argus) -> io::Result<()> {
+        match self {
+            CaptureSink::Ram(b) => {
+                b.maybe_capture(m, argus);
+                Ok(())
+            }
+            CaptureSink::Mapped(w) => w.maybe_capture(m, argus).map(|_| ()),
+        }
+    }
+}
+
 /// The golden run again, but stepping the checker in lockstep and
-/// checkpointing every `every` cycles. The checker runs because its state
-/// (signature file, CFC expectation, watchdog) evolves over the fault-free
-/// prefix and a forked injection must resume it mid-flight; it never
-/// mutates the machine, so the trajectory — and the golden digest — are
-/// identical to [`golden_run`].
+/// checkpointing every `every` cycles into `sink`. The checker runs
+/// because its state (signature file, CFC expectation, watchdog) evolves
+/// over the fault-free prefix and a forked injection must resume it
+/// mid-flight; it never mutates the machine, so the trajectory — and the
+/// golden digest — are identical to [`golden_run`].
 ///
 /// Cycle 0 (image loaded, entry DCS armed, nothing executed) is always
-/// captured, so every arm cycle has a snapshot at or before it.
+/// captured, so every arm cycle has a snapshot at or before it. `Err` can
+/// only come from a mapped sink's IO.
 fn golden_run_with_snapshots(
     prog: &Program,
     mcfg: MachineConfig,
     acfg: ArgusConfig,
-    every: u64,
-) -> (GoldenRun, SnapshotStore) {
+    sink: &mut CaptureSink,
+) -> io::Result<GoldenRun> {
     let mut m = Machine::new(mcfg);
     prog.load(&mut m);
     let mut argus = Argus::new(acfg);
     if let Some(d) = prog.entry_dcs {
         argus.expect_entry(d);
     }
-    let mut builder = SnapshotBuilder::new(every);
-    builder.capture_now(&m, &argus);
+    sink.capture_now(&m, &argus)?;
     preplan(prog, &mut m);
     let mut inj = FaultInjector::none();
     loop {
@@ -670,7 +955,7 @@ fn golden_run_with_snapshots(
                     let plan = m.plan_at(gate.addr).expect("completed block keeps its plan");
                     let events = argus.on_block(plan, &commit, &mut inj);
                     debug_assert!(events.is_empty(), "golden run raised a false positive");
-                    builder.maybe_capture(&m, &argus);
+                    sink.maybe_capture(&m, &argus)?;
                     continue;
                 }
             }
@@ -684,14 +969,32 @@ fn golden_run_with_snapshots(
             }
             StepOutcome::Halted => break,
         }
-        builder.maybe_capture(&m, &argus);
+        sink.maybe_capture(&m, &argus)?;
         assert!(m.cycle() < 500_000_000, "golden run must halt");
     }
     debug_assert!(argus.events().is_empty(), "golden run raised a false positive");
-    (
-        GoldenRun { digest: m.state_digest(), cycles: m.cycle(), exec: m.take_exec_stats() },
-        builder.finish(),
-    )
+    Ok(GoldenRun { digest: m.state_digest(), cycles: m.cycle(), exec: m.take_exec_stats() })
+}
+
+/// The mapped-backend golden capture: stream checkpoints into a temp
+/// ARGSTORE file, seal and map it, then unlink the path — the map keeps
+/// the bytes alive, nothing stays in the directory listing, and the
+/// kernel reclaims the space when the campaign drops the store.
+fn mapped_golden_capture(
+    prog: &Program,
+    cfg: &CampaignConfig,
+    every: u64,
+) -> io::Result<(GoldenRun, MappedStore)> {
+    let writer = MappedStoreWriter::create_temp(every)?;
+    let tmp = writer.path().to_path_buf();
+    let mut sink = CaptureSink::Mapped(writer);
+    let sealed = (|| {
+        let golden = golden_run_with_snapshots(prog, cfg.mcfg, cfg.acfg, &mut sink)?;
+        let CaptureSink::Mapped(writer) = sink else { unreachable!() };
+        Ok((golden, writer.finish()?))
+    })();
+    let _ = std::fs::remove_file(&tmp);
+    sealed
 }
 
 /// What one faulty run produced, before classification.
@@ -713,6 +1016,7 @@ struct FaultyOutcome {
 /// The watchdog is ticked once per iteration *before* stepping, so it
 /// bounds the loop even when a fault corrupts the cycle counter that the
 /// `window` check reads.
+#[allow(clippy::too_many_arguments)]
 fn faulty_loop(
     m: &mut Machine,
     argus: &mut Argus,
@@ -721,6 +1025,7 @@ fn faulty_loop(
     data_base: u32,
     wd: &mut InjectionWatchdog,
     inv: &InvariantEngine,
+    scrub_since: Option<u64>,
 ) -> FaultyOutcome {
     let mut first: Option<DetectionEvent> = None;
     // Invariant-hook strides, advanced only while the run is still
@@ -861,15 +1166,21 @@ fn faulty_loop(
         }
     }
     // End-of-run scrub bounds the EDC detection latency for errors parked
-    // in memory (§4.2).
+    // in memory (§4.2). A delta-forked run passes its fork generation so
+    // the scrub skips pages still holding golden-run content (valid EDC
+    // by construction — observationally identical, see
+    // `Argus::scrub_memory_dirty`).
     if first.is_none() {
-        first = argus.scrub_memory(m, data_base, inj);
+        first = match scrub_since {
+            Some(since) => argus.scrub_memory_dirty(m, data_base, inj, since),
+            None => argus.scrub_memory(m, data_base, inj),
+        };
     }
     FaultyOutcome {
         detection: first,
         exercised_at: inj.first_flip_cycle(),
         halted: m.halted(),
-        digest: m.state_digest(),
+        digest: m.state_digest_cached(),
         hung: None,
         exec: m.take_exec_stats(),
     }
@@ -891,7 +1202,7 @@ fn faulty_run(
         argus.expect_entry(d);
     }
     let mut inj = FaultInjector::with_fault(fault);
-    faulty_loop(&mut m, &mut argus, &mut inj, window, prog.data_base, wd, inv)
+    faulty_loop(&mut m, &mut argus, &mut inj, window, prog.data_base, wd, inv, None)
 }
 
 /// One faulty run forked from a golden-run snapshot instead of cold boot.
@@ -913,7 +1224,7 @@ fn faulty_run_forked(
     let (mut m, mut argus) = pair;
     debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
     let mut inj = FaultInjector::with_fault(fault);
-    faulty_loop(&mut m, &mut argus, &mut inj, window, data_base, wd, inv)
+    faulty_loop(&mut m, &mut argus, &mut inj, window, data_base, wd, inv, None)
 }
 
 /// Compiles the workload, takes the golden run, and samples the injection
@@ -925,25 +1236,157 @@ fn faulty_run_forked(
 /// compile, or the golden run does not halt.
 pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign {
     assert!(cfg.mcfg.argus_mode, "campaigns run signature-embedded binaries");
+    assert!(
+        cfg.mcfg.mem.mem_bytes >= w.min_mem_bytes,
+        "{} needs at least {} bytes of main memory but the campaign machine has {}; \
+         size the configuration with CampaignConfig::sized_for",
+        w.name,
+        w.min_mem_bytes,
+        cfg.mcfg.mem.mem_bytes,
+    );
     assert_eq!(
         cfg.ecfg.sig_width, cfg.acfg.sig_width,
         "embedding and checker signature widths must agree"
     );
     let prog = compile_workload(w, &cfg.ecfg);
+    let mut startup_warnings: Vec<String> = Vec::new();
     let (golden, snapshots) = match cfg.snapshot_every {
         Some(every) => {
-            let (golden, store) = golden_run_with_snapshots(&prog, cfg.mcfg, cfg.acfg, every);
-            (golden, Some(Arc::new(store)))
+            let mapped = if cfg.store == StoreKind::Mapped {
+                match mapped_golden_capture(&prog, cfg, every) {
+                    Ok(ok) => Some(ok),
+                    Err(e) => {
+                        startup_warnings.push(format!(
+                            "mmap snapshot store unavailable ({e}); campaign degraded to the RAM store"
+                        ));
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            match mapped {
+                Some((golden, store)) => (golden, Some(CampaignStore::Mapped(Arc::new(store)))),
+                None => {
+                    let mut sink = CaptureSink::Ram(SnapshotBuilder::new(every));
+                    let golden = golden_run_with_snapshots(&prog, cfg.mcfg, cfg.acfg, &mut sink)
+                        .expect("the RAM snapshot builder cannot fail");
+                    let CaptureSink::Ram(builder) = sink else { unreachable!() };
+                    (golden, Some(CampaignStore::Ram(Arc::new(builder.finish()))))
+                }
+            }
         }
         None => (golden_run(&prog, cfg.mcfg), None),
     };
     let window = golden.cycles * 2 + cfg.hang_slack;
     let inventory = full_inventory();
     let points = sample_points(&inventory, cfg.injections, cfg.seed);
-    let nsnaps = snapshots.as_deref().map_or(0, SnapshotStore::len);
+    let nsnaps = snapshots.as_ref().map_or(0, CampaignStore::len);
     let invariants = Arc::new(InvariantEngine::new(cfg.invariants));
     invariants.set_entry_armed(prog.entry_dcs.is_some());
+    if invariants.enabled() {
+        if let Some(store) = &snapshots {
+            invariants.run_hook(Hook::StoreOpen, &InvariantCtx::Store(store.view()));
+        }
+    }
     PreparedCampaign {
+        prog,
+        golden_digest: golden.digest,
+        golden_cycles: golden.cycles,
+        golden_exec: golden.exec,
+        window,
+        points,
+        snapshots,
+        snapshot_verified: (0..nsnaps).map(|_| AtomicBool::new(false)).collect(),
+        snapshot_poisoned: (0..nsnaps).map(|_| AtomicBool::new(false)).collect(),
+        snapshot_fallbacks: AtomicU64::new(0),
+        snapshot_warnings: Mutex::new(startup_warnings),
+        inert_template: OnceLock::new(),
+        invariants,
+    }
+}
+
+/// [`prepare_campaign`] for a process that already holds the campaign's
+/// sealed ARGSTORE — a remote worker that fetched it from the coordinator
+/// or found it in its on-disk artifact cache. The golden run is still
+/// replayed (its digest and warmed plan cache are needed), but every
+/// checkpoint capture and page intern — the expensive half at XL scale —
+/// is skipped in favor of the adopted store.
+///
+/// # Errors
+///
+/// Returns an error when the store does not plausibly describe this
+/// campaign: no snapshots, no cycle-0 checkpoint, checkpoints beyond the
+/// golden run's end, or a cycle-0 fingerprint differing from the locally
+/// reconstructed entry state. Callers fall back to [`prepare_campaign`],
+/// which rebuilds the store from scratch.
+///
+/// # Panics
+///
+/// Panics on the same configuration inconsistencies as
+/// [`prepare_campaign`].
+pub fn prepare_campaign_with_store(
+    w: &Workload,
+    cfg: &CampaignConfig,
+    store: Arc<MappedStore>,
+) -> io::Result<PreparedCampaign> {
+    assert!(cfg.mcfg.argus_mode, "campaigns run signature-embedded binaries");
+    assert!(
+        cfg.mcfg.mem.mem_bytes >= w.min_mem_bytes,
+        "{} needs at least {} bytes of main memory but the campaign machine has {}; \
+         size the configuration with CampaignConfig::sized_for",
+        w.name,
+        w.min_mem_bytes,
+        cfg.mcfg.mem.mem_bytes,
+    );
+    let prog = compile_workload(w, &cfg.ecfg);
+    let golden = golden_run(&prog, cfg.mcfg);
+    let bad = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+    if store.is_empty() {
+        return bad("adopted store holds no snapshots".into());
+    }
+    if store.cycle(0) != Some(0) {
+        return bad("adopted store is missing the cycle-0 checkpoint".into());
+    }
+    if let Some(last) = store.cycle(store.len() - 1) {
+        if last > golden.cycles {
+            return bad(format!(
+                "adopted store checkpoints cycle {last}, past this binary's golden run \
+                 ({} cycles) — version or config skew",
+                golden.cycles
+            ));
+        }
+    }
+    let entry_print = {
+        let mut m = Machine::new(cfg.mcfg);
+        prog.load(&mut m);
+        let mut argus = Argus::new(cfg.acfg);
+        if let Some(d) = prog.entry_dcs {
+            argus.expect_entry(d);
+        }
+        combined_fingerprint(&m, &argus)
+    };
+    if store.fingerprint(0) != Some(entry_print) {
+        return bad(format!(
+            "adopted store's entry fingerprint {:016x?} differs from the locally \
+             reconstructed entry state {entry_print:016x} — refusing to fork from a \
+             skewed campaign",
+            store.fingerprint(0),
+        ));
+    }
+    let window = golden.cycles * 2 + cfg.hang_slack;
+    let inventory = full_inventory();
+    let points = sample_points(&inventory, cfg.injections, cfg.seed);
+    let snapshots = Some(CampaignStore::Mapped(store));
+    let nsnaps = snapshots.as_ref().map_or(0, CampaignStore::len);
+    let invariants = Arc::new(InvariantEngine::new(cfg.invariants));
+    invariants.set_entry_armed(prog.entry_dcs.is_some());
+    if invariants.enabled() {
+        if let Some(store) = &snapshots {
+            invariants.run_hook(Hook::StoreOpen, &InvariantCtx::Store(store.view()));
+        }
+    }
+    Ok(PreparedCampaign {
         prog,
         golden_digest: golden.digest,
         golden_cycles: golden.cycles,
@@ -957,7 +1400,7 @@ pub fn prepare_campaign(w: &Workload, cfg: &CampaignConfig) -> PreparedCampaign 
         snapshot_warnings: Mutex::new(Vec::new()),
         inert_template: OnceLock::new(),
         invariants,
-    }
+    })
 }
 
 /// Runs and classifies the `index`-th injection of a prepared campaign.
@@ -1007,9 +1450,7 @@ fn run_injection_watched(
 ) -> Result<InjectionResult, HangCause> {
     let point = prep.points[index];
     let mut rng = SplitMix64::stream(cfg.seed ^ INJECTION_STREAM_SALT, index as u64);
-    // Arm somewhere in the first 3/4 of the golden execution so the
-    // fault has time to be exercised and detected.
-    let arm_cycle = rng.below((prep.golden_cycles * 3 / 4).max(1));
+    let arm_cycle = prep.draw_arm_cycle(&mut rng);
     let mut fault = point.fault(cfg.kind, arm_cycle);
     if rng.next_f64() < cfg.structural_mask {
         fault.sensitization = 0.0;
@@ -1031,18 +1472,30 @@ fn run_injection_watched(
     let inv = prep.invariants.as_ref();
     let out = match cfg.fork {
         ForkStrategy::Cold => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd, inv),
-        ForkStrategy::Full => match prep.fork_at(arm_cycle) {
+        ForkStrategy::Full => match prep.fork_at(arm_cycle, &mut ws.cache) {
             Some(pair) => {
                 faulty_run_forked(pair, fault, prep.window, prep.prog.data_base, &mut wd, inv)
             }
             None => faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd, inv),
         },
         ForkStrategy::Delta => {
-            if prep.fork_into(arm_cycle, &mut ws.ws) {
+            if prep.fork_into(arm_cycle, &mut ws.ws, &mut ws.cache) {
+                // Pages clean since this generation still hold golden-run
+                // content; the end-of-run scrub may skip them.
+                let fork_gen = ws.ws.clean_generation();
                 let (m, argus) = ws.ws.pair_mut().expect("fork_into populated the workspace");
                 debug_assert!(m.cycle() <= fault.arm_cycle, "forked past the arm cycle");
                 let mut inj = FaultInjector::with_fault(fault);
-                faulty_loop(m, argus, &mut inj, prep.window, prep.prog.data_base, &mut wd, inv)
+                faulty_loop(
+                    m,
+                    argus,
+                    &mut inj,
+                    prep.window,
+                    prep.prog.data_base,
+                    &mut wd,
+                    inv,
+                    Some(fork_gen),
+                )
             } else {
                 faulty_run(&prep.prog, cfg, fault, prep.window, &mut wd, inv)
             }
@@ -1170,6 +1623,7 @@ pub fn run_injection_supervised_in(
 ///
 /// Panics if the workload fails to compile or the golden run does not halt.
 pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> CampaignReport {
+    let cfg = &cfg.sized_for(w);
     let prep = prepare_campaign(w, cfg);
     let mut results = Vec::with_capacity(prep.injections());
     let mut attribution = CounterSet::new();
@@ -1277,6 +1731,139 @@ mod tests {
         );
         assert!(4 * 1024 * (stats.unique_pages as u64) >= stats.unique_bytes);
         assert!(store.materialized_bytes() > stats.unique_bytes, "dedup saved nothing");
+    }
+
+    #[test]
+    fn mapped_store_campaign_is_bit_identical_to_ram() {
+        let w = argus_workloads::stress();
+        let base = CampaignConfig {
+            injections: 40,
+            seed: 0xF0_0D,
+            snapshot_every: Some(500),
+            ..Default::default()
+        };
+        let ram = prepare_campaign(&w, &CampaignConfig { store: StoreKind::Ram, ..base.clone() });
+        let mapped =
+            prepare_campaign(&w, &CampaignConfig { store: StoreKind::Mapped, ..base.clone() });
+        assert_eq!(ram.golden_cycles(), mapped.golden_cycles());
+        let ram_store = ram.snapshot_store().unwrap();
+        let map_store = mapped.snapshot_store().unwrap();
+        assert_eq!(ram_store.kind(), StoreKind::Ram);
+        assert_eq!(map_store.kind(), StoreKind::Mapped);
+        assert_eq!(ram_store.len(), map_store.len(), "backends captured different checkpoints");
+        for i in 0..ram_store.len() {
+            assert_eq!(ram_store.cycle(i), map_store.cycle(i), "snapshot {i} cycle");
+            assert_eq!(
+                ram_store.fingerprint(i),
+                map_store.fingerprint(i),
+                "snapshot {i} fingerprint"
+            );
+        }
+        let ram_cfg = CampaignConfig { store: StoreKind::Ram, ..base.clone() };
+        let map_cfg = CampaignConfig { store: StoreKind::Mapped, ..base.clone() };
+        let mut ram_ws = CampaignWorkspace::new();
+        let mut map_ws = CampaignWorkspace::new();
+        for index in 0..ram.injections() {
+            let a = run_injection_in(&ram, &ram_cfg, index, &mut ram_ws);
+            let b = run_injection_in(&mapped, &map_cfg, index, &mut map_ws);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "injection {index} diverged between RAM and mapped stores"
+            );
+        }
+        assert_eq!(mapped.snapshot_fallbacks(), 0, "{:?}", mapped.take_snapshot_warnings());
+    }
+
+    #[test]
+    fn adopted_store_campaign_is_bit_identical() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig {
+            injections: 25,
+            seed: 0xF0_0D,
+            snapshot_every: Some(500),
+            store: StoreKind::Mapped,
+            ..Default::default()
+        };
+        let fresh = prepare_campaign(&w, &cfg);
+        let store = fresh.snapshot_store().unwrap().mapped().unwrap().clone();
+        let adopted = prepare_campaign_with_store(&w, &cfg, store)
+            .expect("a store from the same binary and config must adopt cleanly");
+        assert_eq!(fresh.golden_cycles(), adopted.golden_cycles());
+        let mut fresh_ws = CampaignWorkspace::new();
+        let mut adopted_ws = CampaignWorkspace::new();
+        for index in 0..fresh.injections() {
+            let a = run_injection_in(&fresh, &cfg, index, &mut fresh_ws);
+            let b = run_injection_in(&adopted, &cfg, index, &mut adopted_ws);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "injection {index} diverged between the fresh and adopted stores"
+            );
+        }
+        assert_eq!(adopted.snapshot_fallbacks(), 0, "{:?}", adopted.take_snapshot_warnings());
+
+        // A store from a differently configured campaign must be refused
+        // up front: a narrower signature width changes the embedded image,
+        // so the cycle-0 fingerprints cannot match.
+        let other = prepare_campaign(&w, &cfg);
+        let store = other.snapshot_store().unwrap().mapped().unwrap().clone();
+        let bad_cfg = CampaignConfig {
+            acfg: ArgusConfig { sig_width: 4, ..Default::default() },
+            ecfg: EmbedConfig { sig_width: 4, ..Default::default() },
+            ..cfg.clone()
+        };
+        let err = prepare_campaign_with_store(&w, &bad_cfg, store);
+        assert!(err.is_err(), "a fingerprint-skewed store must not be adopted");
+    }
+
+    #[test]
+    fn mapped_store_fork_strategies_are_bit_identical() {
+        let w = argus_workloads::stress();
+        let base = CampaignConfig {
+            injections: 30,
+            seed: 0xF0_0D,
+            snapshot_every: Some(500),
+            shortcut_inert: false,
+            store: StoreKind::Mapped,
+            ..Default::default()
+        };
+        let delta = run_campaign(&w, &CampaignConfig { fork: ForkStrategy::Delta, ..base.clone() });
+        let full = run_campaign(&w, &CampaignConfig { fork: ForkStrategy::Full, ..base.clone() });
+        let cold = run_campaign(&w, &CampaignConfig { fork: ForkStrategy::Cold, ..base.clone() });
+        assert_eq!(format!("{:?}", delta.results), format!("{:?}", full.results));
+        assert_eq!(format!("{:?}", delta.results), format!("{:?}", cold.results));
+    }
+
+    #[test]
+    fn mapped_store_dedups_and_stays_out_of_core() {
+        let w = argus_workloads::stress();
+        let cfg = CampaignConfig {
+            injections: 1,
+            snapshot_every: Some(1_000),
+            store: StoreKind::Mapped,
+            ..Default::default()
+        };
+        let prep = prepare_campaign(&w, &cfg);
+        let store = prep.snapshot_store().unwrap();
+        let stats = store.stats();
+        assert!(stats.pages_total > stats.pages_distinct, "no cross-snapshot sharing: {stats:?}");
+        assert!(stats.bytes_saved > 0, "{stats:?}");
+        assert!(store.materialized_bytes() > 4096 * stats.pages_distinct);
+        // The backing temp file is unlinked once mapped.
+        let mapped = store.mapped().unwrap();
+        assert!(!mapped.path().exists(), "campaign store file was not unlinked");
+        // StoreOpen invariants ran clean over the fresh store.
+        assert_eq!(prep.invariants().violations(), 0);
+    }
+
+    #[test]
+    fn store_kind_labels_roundtrip() {
+        for k in [StoreKind::Ram, StoreKind::Mapped] {
+            assert_eq!(StoreKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(StoreKind::parse("bogus"), None);
+        assert_eq!(StoreKind::default(), StoreKind::Ram);
     }
 
     #[test]

@@ -116,6 +116,9 @@ pub enum Hook {
     ChunkComplete,
     /// Around checkpoint save/load.
     Checkpoint,
+    /// After a snapshot store (RAM-built or memory-mapped) finishes
+    /// opening, before any fork reads from it.
+    StoreOpen,
 }
 
 impl Hook {
@@ -127,6 +130,7 @@ impl Hook {
             Self::SnapshotRestore => "snapshot",
             Self::ChunkComplete => "chunk",
             Self::Checkpoint => "checkpoint",
+            Self::StoreOpen => "store",
         }
     }
 }
@@ -206,6 +210,32 @@ impl LedgerView {
     }
 }
 
+/// A plain-data observation of a freshly opened snapshot store
+/// (RAM-built or memory-mapped), taken before any fork reads from it.
+/// Neutral (no snapshot-crate types) so the dependency arrow stays
+/// faults → invariants.
+#[derive(Debug, Clone, Default)]
+pub struct StoreView {
+    /// Backend label ("ram" / "mmap").
+    pub backend: String,
+    /// Snapshots in the store.
+    pub snapshots: usize,
+    /// Distinct pages stored.
+    pub pages_distinct: u64,
+    /// Total page references across all snapshots (>= distinct).
+    pub pages_total: u64,
+    /// Per-snapshot page-table lengths.
+    pub table_lens: Vec<usize>,
+    /// Per-snapshot expected table lengths (`mem_words.div_ceil(PAGE_WORDS)`).
+    pub expected_lens: Vec<usize>,
+    /// Per-snapshot capture cycles (must be strictly increasing).
+    pub cycles: Vec<u64>,
+    /// Largest page id referenced by any snapshot (mapped backend only).
+    pub max_page_id: Option<u32>,
+    /// Page-body CRC spot checks as (page id, ok) (mapped backend only).
+    pub crc_checks: Vec<(u32, bool)>,
+}
+
 /// The state an invariant is asked to judge.
 pub enum InvariantCtx<'a> {
     /// Live machine + checker state.
@@ -214,6 +244,8 @@ pub enum InvariantCtx<'a> {
     Snapshot(SnapshotView),
     /// A campaign-ledger observation.
     Ledger(LedgerView),
+    /// A freshly opened snapshot store.
+    Store(StoreView),
 }
 
 /// One invariant's verdict on one observation.
@@ -794,6 +826,80 @@ invariant!(
     }
 );
 
+invariant!(
+    StorePageIndexCanonical,
+    "store-page-index-canonical",
+    Severity::Critical,
+    &[Hook::StoreOpen],
+    "Snapshot-store index corruption at open time: every snapshot's page \
+     table must cover exactly its memory image (one entry per page), page \
+     ids must stay inside the stored page pool, capture cycles must be \
+     strictly increasing, and the reference/distinct page accounting must \
+     balance — a store violating any of these would fork corrupted state \
+     into every injection.",
+    |_s, ctx| {
+        let InvariantCtx::Store(v) = ctx else { return InvariantResult::Skip };
+        if v.table_lens.len() != v.snapshots || v.cycles.len() != v.snapshots {
+            return violation(format!(
+                "store holds {} snapshots but {} page tables / {} cycles",
+                v.snapshots,
+                v.table_lens.len(),
+                v.cycles.len()
+            ));
+        }
+        for (i, (&got, &want)) in v.table_lens.iter().zip(&v.expected_lens).enumerate() {
+            if got != want {
+                return violation(format!(
+                    "snapshot {i} page table has {got} entries, memory needs {want}"
+                ));
+            }
+        }
+        for w in v.cycles.windows(2) {
+            if w[1] <= w[0] {
+                return violation(format!(
+                    "capture cycles not strictly increasing: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        if let Some(max) = v.max_page_id {
+            if u64::from(max) >= v.pages_distinct {
+                return violation(format!(
+                    "page id {max} referenced but only {} pages stored",
+                    v.pages_distinct
+                ));
+            }
+        }
+        let refs: u64 = v.table_lens.iter().map(|&n| n as u64).sum();
+        pass_if(v.pages_total == refs, || {
+            format!("store accounts {} page references but tables hold {refs}", v.pages_total)
+        })
+    }
+);
+
+invariant!(
+    StorePageCrcSpotCheck,
+    "store-page-crc-spot-check",
+    Severity::Critical,
+    &[Hook::StoreOpen],
+    "Bit rot or post-write tampering in a memory-mapped store's page \
+     bodies: a deterministic sample of stored pages is re-CRCed against \
+     the on-disk index at open; a mismatch means the mapped file no longer \
+     holds the bytes the golden run wrote.",
+    |_s, ctx| {
+        let InvariantCtx::Store(v) = ctx else { return InvariantResult::Skip };
+        if v.crc_checks.is_empty() {
+            return InvariantResult::Skip;
+        }
+        for &(id, ok) in &v.crc_checks {
+            if !ok {
+                return violation(format!("stored page {id} fails its index CRC"));
+            }
+        }
+        InvariantResult::Pass
+    }
+);
+
 /// Builds one fresh instance of every registered invariant. Per-campaign
 /// instances: some invariants carry monotonicity state.
 pub fn registry() -> Vec<Box<dyn Invariant>> {
@@ -818,6 +924,8 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         TallyWithinTotal::boxed(),
         QuarantineLedgerCanonical::boxed(),
         CompletedMonotone::boxed(),
+        StorePageIndexCanonical::boxed(),
+        StorePageCrcSpotCheck::boxed(),
     ]
 }
 
@@ -1186,6 +1294,65 @@ mod tests {
         assert_eq!(s.violations, 2);
         assert_eq!(s.per_invariant, vec![("tally-accounts-done".to_string(), 2)]);
         assert_eq!(eng.first_violation().unwrap(), "tally-accounts-done: remote detail");
+    }
+
+    fn store_view() -> StoreView {
+        StoreView {
+            backend: "mmap".into(),
+            snapshots: 2,
+            pages_distinct: 5,
+            pages_total: 8,
+            table_lens: vec![4, 4],
+            expected_lens: vec![4, 4],
+            cycles: vec![100, 200],
+            max_page_id: Some(4),
+            crc_checks: vec![(0, true), (4, true)],
+        }
+    }
+
+    #[test]
+    fn healthy_store_passes_open_hook() {
+        let eng = InvariantEngine::new(InvariantMode::Full);
+        eng.run_hook(Hook::StoreOpen, &InvariantCtx::Store(store_view()));
+        assert_eq!(eng.violations(), 0, "{:?}", eng.stats().examples);
+        assert!(eng.checks_run() >= 2);
+    }
+
+    #[test]
+    fn store_open_catches_index_and_crc_corruption() {
+        for (mutate, want) in [
+            (
+                Box::new(|v: &mut StoreView| v.table_lens[1] = 3) as Box<dyn Fn(&mut StoreView)>,
+                "store-page-index-canonical",
+            ),
+            (Box::new(|v: &mut StoreView| v.cycles = vec![200, 100]), "store-page-index-canonical"),
+            (Box::new(|v: &mut StoreView| v.max_page_id = Some(5)), "store-page-index-canonical"),
+            (Box::new(|v: &mut StoreView| v.pages_total = 9), "store-page-index-canonical"),
+            (
+                Box::new(|v: &mut StoreView| v.crc_checks[1] = (4, false)),
+                "store-page-crc-spot-check",
+            ),
+        ] {
+            let mut v = store_view();
+            mutate(&mut v);
+            let eng = InvariantEngine::new(InvariantMode::Full);
+            eng.run_hook(Hook::StoreOpen, &InvariantCtx::Store(v));
+            let first = eng.first_violation().expect("violation expected");
+            assert!(first.starts_with(want), "wanted {want}, got {first}");
+        }
+    }
+
+    #[test]
+    fn ram_store_without_crc_checks_skips_spot_check() {
+        let eng = InvariantEngine::new(InvariantMode::Full);
+        let v = StoreView {
+            backend: "ram".into(),
+            max_page_id: None,
+            crc_checks: Vec::new(),
+            ..store_view()
+        };
+        eng.run_hook(Hook::StoreOpen, &InvariantCtx::Store(v));
+        assert_eq!(eng.violations(), 0, "{:?}", eng.stats().examples);
     }
 
     #[test]

@@ -284,16 +284,33 @@ impl Machine {
     /// into [`SnapshotState::state_fingerprint`]. It deliberately excludes
     /// microarchitectural state (cycle counts, cache arrays, parity tags) —
     /// two runs that differ only there are architecturally the same.
+    ///
+    /// Memory enters as `MainMemory::words_digest` — a page-combinable sum
+    /// of per-page hashes — so [`Machine::state_digest_cached`] can serve
+    /// the same value from the dirty-page stamps instead of walking the
+    /// whole image. Both entry points agree bit for bit.
     pub fn state_digest(&self) -> u64 {
+        self.state_digest_of(self.mem.memory().words_digest())
+    }
+
+    /// [`Machine::state_digest`] with the memory term served from the
+    /// per-page hash cache: only pages written since their hash was last
+    /// taken are rehashed. This is the campaign engine's per-injection
+    /// path — on large machines the end-of-run digest would otherwise walk
+    /// the full image for every fork.
+    pub fn state_digest_cached(&mut self) -> u64 {
+        let mem = self.mem.memory_mut().words_digest_cached();
+        self.state_digest_of(mem)
+    }
+
+    fn state_digest_of(&self, mem_digest: u64) -> u64 {
         let mut h = crate::snapshot::Fnv64::new();
         for &r in &self.regs {
             h.mix(r as u64);
         }
         h.mix(self.flag as u64);
         h.mix(self.pc as u64);
-        for &w in self.mem.memory().words() {
-            h.mix(w as u64);
-        }
+        h.mix(mem_digest);
         h.finish()
     }
 

@@ -28,6 +28,12 @@ pub struct MainMemory {
     /// Per-page generation of the most recent write (one entry per
     /// `DIRTY_PAGE_WORDS` words, last page possibly partial).
     page_gen: Vec<u64>,
+    /// Cached per-page payload hash ([`MainMemory::words_digest`] terms);
+    /// valid only where `page_hash_gen` is non-zero and no write has
+    /// landed since that stamp.
+    page_hash: Vec<u64>,
+    /// Generation at which each `page_hash` entry was computed (0 = never).
+    page_hash_gen: Vec<u64>,
 }
 
 /// Error for accesses beyond the configured memory size.
@@ -63,6 +69,8 @@ impl MainMemory {
             size_bytes,
             generation: 1,
             page_gen: vec![0; pages],
+            page_hash: vec![0; pages],
+            page_hash_gen: vec![0; pages],
         }
     }
 
@@ -168,6 +176,44 @@ impl MainMemory {
     /// page possibly partial).
     pub fn page_count(&self) -> usize {
         self.page_gen.len()
+    }
+
+    /// FNV-1a over the page index and the page's payload words.
+    fn hash_page(&self, page: usize) -> u64 {
+        let start = page * DIRTY_PAGE_WORDS;
+        let end = (start + DIRTY_PAGE_WORDS).min(self.words.len());
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = (h ^ page as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        for &w in &self.words[start..end] {
+            h = (h ^ w as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Digest of the payload words: the wrapping sum of per-page hashes
+    /// (each over the page index and its words). Page-combinable by
+    /// construction, so [`MainMemory::words_digest_cached`] can maintain
+    /// it incrementally from the dirty-page stamps; this entry point is
+    /// the pure definition the cached one must agree with.
+    pub fn words_digest(&self) -> u64 {
+        (0..self.page_gen.len()).fold(0u64, |acc, p| acc.wrapping_add(self.hash_page(p)))
+    }
+
+    /// [`MainMemory::words_digest`] served from the per-page hash cache:
+    /// only pages written since their hash was last computed are rehashed.
+    /// Advances the write generation so later writes invalidate exactly
+    /// the pages they touch.
+    pub fn words_digest_cached(&mut self) -> u64 {
+        let g = self.advance_generation();
+        let mut acc = 0u64;
+        for p in 0..self.page_gen.len() {
+            if self.page_hash_gen[p] == 0 || self.page_gen[p] >= self.page_hash_gen[p] {
+                self.page_hash[p] = self.hash_page(p);
+                self.page_hash_gen[p] = g;
+            }
+            acc = acc.wrapping_add(self.page_hash[p]);
+        }
+        acc
     }
 
     /// Initializes every word with the address-embedded encoding of zero
@@ -303,6 +349,40 @@ mod tests {
     fn out_of_range_page_reports_dirty() {
         let m = MainMemory::new(64);
         assert!(m.page_dirty_since(usize::MAX, 1));
+    }
+
+    #[test]
+    fn cached_words_digest_matches_pure_definition() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 3 + 8);
+        assert_eq!(m.words_digest_cached(), m.words_digest());
+        m.write(0, 0xDEAD, true).unwrap();
+        m.write(4 * DIRTY_PAGE_WORDS as u32 * 2, 0xBEEF, false).unwrap();
+        assert_eq!(m.words_digest_cached(), m.words_digest());
+        // Write after a cached query must invalidate exactly that page.
+        m.write(4, 7, false).unwrap();
+        assert_eq!(m.words_digest_cached(), m.words_digest());
+        m.fill_protected_zero();
+        assert_eq!(m.words_digest_cached(), m.words_digest());
+    }
+
+    #[test]
+    fn words_digest_distinguishes_page_position() {
+        let mut a = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 2);
+        let mut b = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 2);
+        a.write(0, 1, false).unwrap();
+        b.write(4 * DIRTY_PAGE_WORDS as u32, 1, false).unwrap();
+        assert_ne!(a.words_digest(), b.words_digest());
+    }
+
+    #[test]
+    fn restore_words_invalidates_cached_page_hash() {
+        let mut m = MainMemory::new(4 * DIRTY_PAGE_WORDS as u32 * 2);
+        let d0 = m.words_digest_cached();
+        let run = vec![9u32; DIRTY_PAGE_WORDS];
+        let tags = vec![false; DIRTY_PAGE_WORDS];
+        m.restore_words(DIRTY_PAGE_WORDS, &run, &tags);
+        assert_ne!(m.words_digest_cached(), d0);
+        assert_eq!(m.words_digest_cached(), m.words_digest());
     }
 
     #[test]

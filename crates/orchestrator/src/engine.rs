@@ -219,6 +219,9 @@ pub struct RemoteRunStats {
     pub duplicate_completes: u64,
     /// Artifact bodies served to cold-starting workers.
     pub artifact_fetches: u64,
+    /// Artifact bodies workers resolved from their on-disk CRC-keyed
+    /// caches instead of re-fetching (reported on completion posts).
+    pub artifact_cache_hits: u64,
 }
 
 impl RemoteRunStats {
@@ -231,6 +234,7 @@ impl RemoteRunStats {
             .set("expired_leases", self.expired_leases)
             .set("duplicate_completes", self.duplicate_completes)
             .set("artifact_fetches", self.artifact_fetches)
+            .set("artifact_cache_hits", self.artifact_cache_hits)
     }
 }
 
@@ -671,6 +675,7 @@ pub fn run_sharded(
         return Err(OrchestratorError::Config("chunk must be >= 1".into()));
     }
     assert_eq!(progress.shards(), ocfg.shards, "progress was created for a different shard count");
+    let cfg = &cfg.sized_for(w);
     let started = Instant::now();
 
     let fingerprint = Fingerprint {
@@ -806,7 +811,15 @@ pub fn run_sharded(
                     let lease = lock_state(state).sched.lease(home);
                     let Some(lease) = lease else { break };
                     progress.record_lease(lease.stolen);
-                    for index in lease.range.clone() {
+                    // Execute the lease in arm-cycle order: each injection's
+                    // parameters (and thus its result) depend only on its
+                    // index, so any order tallies identically — but armed
+                    // neighbors fork from the same golden snapshot, so the
+                    // warm workspace rewrites only run-dirty pages instead
+                    // of cross-snapshot diffs.
+                    let mut order: Vec<usize> = lease.range.clone().collect();
+                    order.sort_by_key(|&i| prep.arm_cycle_of(cfg, i));
+                    for index in order {
                         if stop.load(Ordering::Relaxed) {
                             break 'work;
                         }

@@ -4,8 +4,9 @@
 //! never different results.
 
 use argus_faults::campaign::{CampaignConfig, ForkStrategy};
+use argus_faults::StoreKind;
 use argus_orchestrator::{run_sharded, Json, OrchestratorConfig, Progress, ShardedReport};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn run(cfg: &CampaignConfig, ocfg: OrchestratorConfig) -> ShardedReport {
     let stop = AtomicBool::new(false);
@@ -42,6 +43,61 @@ fn snapshot_campaigns_match_cold_boot_across_shard_counts() {
             "snapshot-enabled JSON diverged from cold-boot at {shards} shards"
         );
     }
+}
+
+/// The out-of-core store is a pure perf knob: campaigns forking from the
+/// mapped file render the same JSON as RAM-store campaigns at every shard
+/// count, and a crash-resume cycle under mmap stitches back to the same
+/// report (the checkpoint fingerprint deliberately excludes the store
+/// kind, so a RAM checkpoint even resumes under mmap).
+#[test]
+fn mapped_store_matches_ram_across_shard_counts_and_crash_resume() {
+    let ram_cfg = CampaignConfig {
+        injections: 48,
+        seed: 0xABBA,
+        snapshot_every: Some(500),
+        store: StoreKind::Ram,
+        ..Default::default()
+    };
+    let mmap_cfg = CampaignConfig { store: StoreKind::Mapped, ..ram_cfg.clone() };
+
+    let reference =
+        canonical_json(&run(&ram_cfg, OrchestratorConfig { shards: 1, ..Default::default() }));
+    for shards in [1usize, 2, 8] {
+        let rep = run(&mmap_cfg, OrchestratorConfig { shards, ..Default::default() });
+        assert!(rep.snapshots > 1, "expected checkpoints, got {}", rep.snapshots);
+        assert_eq!(
+            canonical_json(&rep),
+            reference,
+            "mmap JSON diverged from RAM at {shards} shards"
+        );
+    }
+
+    let path = std::env::temp_dir().join("argus-snapdet-mmap-resume.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let ocfg =
+        OrchestratorConfig { shards: 2, checkpoint_path: Some(path.clone()), ..Default::default() };
+    let stop = AtomicBool::new(false);
+    let progress = Progress::new(2);
+    let rep = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while progress.done() < 16 && !progress.finished() {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        run_sharded(&argus_workloads::stress(), &mmap_cfg, &ocfg, &stop, &progress)
+            .expect("interruptible mmap campaign runs")
+    });
+    if rep.interrupted {
+        let resumed = run(&mmap_cfg, OrchestratorConfig { resume: true, ..ocfg });
+        assert_eq!(canonical_json(&resumed), reference, "resumed mmap JSON diverged from RAM");
+    } else {
+        // The interrupter lost the race on a fast machine; the completed
+        // run must still match.
+        assert_eq!(canonical_json(&rep), reference);
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

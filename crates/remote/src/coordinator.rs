@@ -85,6 +85,7 @@ pub fn run_distributed(
         ocfg.shards.max(1),
         "progress must have max(shards, 1) shards (shard 0 carries remote completions)"
     );
+    let cfg = &cfg.sized_for(w);
     let started = Instant::now();
 
     let fingerprint = Fingerprint {
@@ -150,6 +151,19 @@ pub fn run_distributed(
             .map_err(|e| OrchestratorError::Config(format!("cannot build entry artifact: {e}")))?
     };
     let entry_crc = crc32(&entry_bytes);
+    let mut artifact_refs =
+        vec![ArtifactRef { name: "entry".into(), crc32: entry_crc, len: entry_bytes.len() }];
+    let mut artifact_bodies = vec![(entry_crc, entry_bytes)];
+    // A mapped snapshot store is served straight from the sealed ARGSTORE
+    // bytes behind the coordinator's own map — no re-serialization, one
+    // copy per fetch. Workers that adopt it skip the whole checkpoint
+    // capture on their side (see `prepare_campaign_with_store`).
+    if let Some(store) = prep.snapshot_store().and_then(|s| s.mapped()) {
+        let body = store.file_bytes().to_vec();
+        let store_crc = crc32(&body);
+        artifact_refs.push(ArtifactRef { name: "store".into(), crc32: store_crc, len: body.len() });
+        artifact_bodies.push((store_crc, body));
+    }
     let manifest = Manifest {
         version: PROTOCOL_VERSION,
         job: dcfg.job,
@@ -161,18 +175,14 @@ pub fn run_distributed(
         golden_cycles: prep.golden_cycles(),
         lease_ttl_ms: dcfg.lease_ttl.as_millis() as u64,
         invariants: cfg.invariants,
-        artifacts: vec![ArtifactRef {
-            name: "entry".into(),
-            crc32: entry_crc,
-            len: entry_bytes.len(),
-        }],
+        artifacts: artifact_refs,
     };
 
     let pool =
         LeasePool::new(complement(&initial.done, cfg.injections), ocfg.chunk, dcfg.lease_ttl);
     let share = Arc::new(CampaignShare::new(
         manifest,
-        vec![(entry_crc, entry_bytes)],
+        artifact_bodies,
         pool,
         initial.done,
         initial.tally.clone(),
@@ -209,7 +219,12 @@ pub fn run_distributed(
                         crate::protocol::LeaseReply::Grant { chunk, range, .. } => {
                             progress.record_lease(false);
                             let mut tally = CampaignTally::empty();
-                            for index in range.clone() {
+                            // Arm-cycle order: result-identical for any
+                            // order, but armed neighbors share a snapshot
+                            // so warm-workspace restores stay cheap.
+                            let mut order: Vec<usize> = range.clone().collect();
+                            order.sort_by_key(|&i| prep.arm_cycle_of(cfg, i));
+                            for index in order {
                                 if stop.load(Ordering::Relaxed) {
                                     // Abandon mid-chunk: the partial
                                     // tally is discarded and the whole

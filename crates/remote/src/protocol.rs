@@ -288,6 +288,11 @@ pub struct CompleteRequest {
     /// accepted posts so remote violations surface in the final report
     /// exactly like local ones.
     pub invariants: InvariantStats,
+    /// Artifact bodies this worker resolved from its on-disk CRC cache
+    /// when it joined the job (zero once reported — it rides the first
+    /// completion post only, so retries and later chunks never
+    /// double-count).
+    pub artifact_cache_hits: u64,
 }
 
 impl CompleteRequest {
@@ -300,6 +305,9 @@ impl CompleteRequest {
             .set("tally", tally_to_json(&self.tally));
         if !self.invariants.is_empty() {
             doc = doc.set("invariants", invariant_stats_to_json(&self.invariants));
+        }
+        if self.artifact_cache_hits > 0 {
+            doc = doc.set("artifact_cache_hits", self.artifact_cache_hits);
         }
         doc
     }
@@ -325,7 +333,9 @@ impl CompleteRequest {
             None | Some(Json::Null) => InvariantStats::default(),
             Some(v) => invariant_stats_from_json(v).map_err(|e| format!("complete: {e}"))?,
         };
-        Ok(Self { worker, chunk, range: start..end, tally, invariants })
+        let artifact_cache_hits =
+            doc.get("artifact_cache_hits").and_then(Json::as_u64).unwrap_or(0);
+        Ok(Self { worker, chunk, range: start..end, tally, invariants, artifact_cache_hits })
     }
 }
 
@@ -440,11 +450,13 @@ mod tests {
             range: 0..1,
             tally,
             invariants: stats.clone(),
+            artifact_cache_hits: 3,
         };
         let back = CompleteRequest::from_json(&req.to_json()).unwrap();
         assert_eq!(back.range, 0..1);
         assert_eq!(back.tally.hung, 1);
         assert_eq!(back.invariants, stats, "invariant delta survives the wire");
+        assert_eq!(back.artifact_cache_hits, 3, "cache-hit count survives the wire");
         // A tally accounting fewer injections than the range is a
         // protocol violation, not a partial credit.
         let bad = req.to_json().set("end", 5u64);

@@ -58,6 +58,7 @@ pub struct CampaignShare {
     artifacts: Vec<(u32, Vec<u8>)>,
     inner: Mutex<ShareInner>,
     artifact_fetches: AtomicU64,
+    artifact_cache_hits: AtomicU64,
     total: usize,
 }
 
@@ -88,6 +89,7 @@ impl CampaignShare {
                 pending_invariants: Vec::new(),
             }),
             artifact_fetches: AtomicU64::new(0),
+            artifact_cache_hits: AtomicU64::new(0),
             total,
         }
     }
@@ -102,6 +104,13 @@ impl CampaignShare {
         let body = self.artifacts.iter().find(|(c, _)| *c == crc).map(|(_, b)| b.clone())?;
         self.artifact_fetches.fetch_add(1, Ordering::Relaxed);
         Some(body)
+    }
+
+    /// Records artifact bodies a worker resolved from its on-disk cache
+    /// instead of fetching. Reported once per job join on the worker's
+    /// first accepted completion, so duplicates never double-count.
+    pub fn note_artifact_cache_hits(&self, n: u64) {
+        self.artifact_cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Grants a lease to `worker` (see [`LeasePool::lease`]).
@@ -225,6 +234,7 @@ impl CampaignShare {
     pub fn stats(&self) -> RemoteRunStats {
         let mut s = self.lock().stats.clone();
         s.artifact_fetches = self.artifact_fetches.load(Ordering::Relaxed);
+        s.artifact_cache_hits = self.artifact_cache_hits.load(Ordering::Relaxed);
         s
     }
 

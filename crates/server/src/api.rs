@@ -323,6 +323,7 @@ fn complete(daemon: &Arc<Daemon>, id: JobId, req: &Request) -> Response {
     // duplicate post's checks already counted when it first landed.
     if matches!(verdict, CompleteVerdict::Accepted { .. }) {
         share.absorb_invariants(post.invariants);
+        share.note_artifact_cache_hits(post.artifact_cache_hits);
     }
     daemon.wake.notify_all();
     match CampaignShare::reply_for(&verdict) {

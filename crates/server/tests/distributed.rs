@@ -114,6 +114,7 @@ fn spawn_worker(
         poll: Duration::from_millis(25),
         job: Some(job),
         name: name.to_owned(),
+        cache_dir: None,
     };
     std::thread::spawn(move || argus_remote::run_worker(&wcfg, stop).expect("worker run"))
 }

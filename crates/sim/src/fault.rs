@@ -335,6 +335,15 @@ impl FaultInjector {
         })
     }
 
+    /// True when any non-expired fault targets `site`, regardless of arm
+    /// cycle or kind. Callers that want to *skip* taps on `site` (e.g. the
+    /// bounded memory scrub skipping provably clean words) must take the
+    /// full tap sequence whenever this holds: a matching fault draws its
+    /// masking decision per exposure, so the tap count is observable.
+    pub fn targets_live_site(&self, site: &'static str) -> bool {
+        self.slots.iter().any(|s| !s.expired && s.fault.site == site)
+    }
+
     /// Computes the XOR mask contributed by all matching faults at this
     /// tap, handling expiry and masking. Returns 0 when nothing fires.
     #[inline]

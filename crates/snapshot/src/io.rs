@@ -149,48 +149,48 @@ pub fn snapshot_from_slice(bytes: &[u8]) -> io::Result<(Machine, Argus)> {
     read_snapshot(rd)
 }
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn put_u8(w: &mut dyn Write, v: u8) -> io::Result<()> {
+pub(crate) fn put_u8(w: &mut dyn Write, v: u8) -> io::Result<()> {
     w.write_all(&[v])
 }
 
-fn put_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
+pub(crate) fn put_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn put_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
+pub(crate) fn put_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn put_bools(w: &mut dyn Write, bs: &[bool]) -> io::Result<()> {
+pub(crate) fn put_bools(w: &mut dyn Write, bs: &[bool]) -> io::Result<()> {
     for &b in bs {
         put_u8(w, b as u8)?;
     }
     Ok(())
 }
 
-fn get_u8(r: &mut dyn Read) -> io::Result<u8> {
+pub(crate) fn get_u8(r: &mut dyn Read) -> io::Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
 }
 
-fn get_u32(r: &mut dyn Read) -> io::Result<u32> {
+pub(crate) fn get_u32(r: &mut dyn Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn get_u64(r: &mut dyn Read) -> io::Result<u64> {
+pub(crate) fn get_u64(r: &mut dyn Read) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn get_bool(r: &mut dyn Read) -> io::Result<bool> {
+pub(crate) fn get_bool(r: &mut dyn Read) -> io::Result<bool> {
     match get_u8(r)? {
         0 => Ok(false),
         1 => Ok(true),
@@ -198,7 +198,7 @@ fn get_bool(r: &mut dyn Read) -> io::Result<bool> {
     }
 }
 
-fn get_bools(r: &mut dyn Read, n: usize) -> io::Result<Vec<bool>> {
+pub(crate) fn get_bools(r: &mut dyn Read, n: usize) -> io::Result<Vec<bool>> {
     (0..n).map(|_| get_bool(r)).collect()
 }
 
@@ -212,7 +212,7 @@ fn get_cache_config(r: &mut dyn Read) -> io::Result<CacheConfig> {
     Ok(CacheConfig { size_bytes: get_u32(r)?, line_bytes: get_u32(r)?, ways: get_u32(r)? })
 }
 
-fn put_machine_config(w: &mut dyn Write, c: &MachineConfig) -> io::Result<()> {
+pub(crate) fn put_machine_config(w: &mut dyn Write, c: &MachineConfig) -> io::Result<()> {
     put_cache_config(w, &c.mem.icache)?;
     put_cache_config(w, &c.mem.dcache)?;
     put_u32(w, c.mem.mem_bytes)?;
@@ -227,7 +227,7 @@ fn put_machine_config(w: &mut dyn Write, c: &MachineConfig) -> io::Result<()> {
     put_u32(w, c.div_cycles)
 }
 
-fn get_machine_config(r: &mut dyn Read) -> io::Result<MachineConfig> {
+pub(crate) fn get_machine_config(r: &mut dyn Read) -> io::Result<MachineConfig> {
     Ok(MachineConfig {
         mem: MemConfig {
             icache: get_cache_config(r)?,
@@ -259,7 +259,7 @@ fn get_predecode_entries(r: &mut dyn Read) -> io::Result<usize> {
     Ok(n as usize)
 }
 
-fn put_argus_config(w: &mut dyn Write, c: &ArgusConfig) -> io::Result<()> {
+pub(crate) fn put_argus_config(w: &mut dyn Write, c: &ArgusConfig) -> io::Result<()> {
     put_u32(w, c.sig_width)?;
     put_u32(w, c.modulus)?;
     put_u32(w, c.watchdog_bits)?;
@@ -271,7 +271,7 @@ fn put_argus_config(w: &mut dyn Write, c: &ArgusConfig) -> io::Result<()> {
     put_u8(w, flags)
 }
 
-fn get_argus_config(r: &mut dyn Read) -> io::Result<ArgusConfig> {
+pub(crate) fn get_argus_config(r: &mut dyn Read) -> io::Result<ArgusConfig> {
     let (sig_width, modulus) = (get_u32(r)?, get_u32(r)?);
     let (watchdog_bits, max_block_len) = (get_u32(r)?, get_u32(r)?);
     let flags = get_u8(r)?;
@@ -287,7 +287,7 @@ fn get_argus_config(r: &mut dyn Read) -> io::Result<ArgusConfig> {
     })
 }
 
-fn put_core(w: &mut dyn Write, c: &CoreState) -> io::Result<()> {
+pub(crate) fn put_core(w: &mut dyn Write, c: &CoreState) -> io::Result<()> {
     for &reg in &c.regs {
         put_u32(w, reg)?;
     }
@@ -313,7 +313,7 @@ fn put_core(w: &mut dyn Write, c: &CoreState) -> io::Result<()> {
     put_cache(w, &c.caches.dcache)
 }
 
-fn get_core(r: &mut dyn Read, cfg: MachineConfig) -> io::Result<CoreState> {
+pub(crate) fn get_core(r: &mut dyn Read, cfg: MachineConfig) -> io::Result<CoreState> {
     let mut regs = [0u32; 32];
     for reg in &mut regs {
         *reg = get_u32(r)?;
@@ -393,7 +393,7 @@ fn get_cache(r: &mut dyn Read) -> io::Result<CacheState> {
     Ok(CacheState { lines, tick, stats })
 }
 
-fn put_checker(w: &mut dyn Write, s: &ArgusState) -> io::Result<()> {
+pub(crate) fn put_checker(w: &mut dyn Write, s: &ArgusState) -> io::Result<()> {
     put_words(w, &s.file.state_words())?;
     put_words(w, &s.cfc.state_words())?;
     put_words(w, &s.watchdog.state_words())?;
@@ -417,7 +417,7 @@ fn put_checker(w: &mut dyn Write, s: &ArgusState) -> io::Result<()> {
     Ok(())
 }
 
-fn get_checker(r: &mut dyn Read) -> io::Result<ArgusState> {
+pub(crate) fn get_checker(r: &mut dyn Read) -> io::Result<ArgusState> {
     let file = argus_core::shs::ShsFile::from_state_words(&get_words(r)?)
         .ok_or_else(|| bad("malformed SHS file state"))?;
     let cfc = argus_core::cfc::Cfc::from_state_words(&get_words(r)?)

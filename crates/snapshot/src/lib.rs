@@ -35,10 +35,12 @@
 //! checker) round-trips through capture/restore.
 
 pub mod io;
+pub mod mapped;
 pub mod page;
 pub mod store;
 pub mod workspace;
 
+pub use mapped::{MappedStore, MappedStoreWriter, PageCache, DEFAULT_PAGE_CACHE_ENTRIES};
 pub use page::{Page, PageStore, PAGE_WORDS};
 pub use store::{combined_fingerprint, Snapshot, SnapshotBuilder, SnapshotStore, StoreStats};
 pub use workspace::{Workspace, WorkspaceStats};

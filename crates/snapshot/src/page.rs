@@ -57,6 +57,7 @@ pub struct PageStore {
     buckets: HashMap<u64, Vec<Arc<Page>>>,
     interned: u64,
     hits: u64,
+    saved: u64,
 }
 
 impl PageStore {
@@ -71,6 +72,7 @@ impl PageStore {
         let bucket = self.buckets.entry(page.content_hash()).or_default();
         if let Some(existing) = bucket.iter().find(|p| ***p == page) {
             self.hits += 1;
+            self.saved += 4 * page.words.len() as u64;
             return Arc::clone(existing);
         }
         self.interned += 1;
@@ -97,6 +99,12 @@ impl PageStore {
     /// Intern requests satisfied by an already-stored page.
     pub fn dedup_hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Payload bytes deduplication avoided storing (bytes of every page
+    /// reference satisfied by an already-stored page).
+    pub fn saved_bytes(&self) -> u64 {
+        self.saved
     }
 
     /// Bytes held by distinct pages (payload words only).

@@ -89,6 +89,12 @@ impl Snapshot {
         self.mem_words
     }
 
+    /// Number of page slots in this snapshot's page table (one per
+    /// [`crate::page::PAGE_WORDS`]-word chunk of the memory image).
+    pub fn page_slots(&self) -> usize {
+        self.pages.len()
+    }
+
     /// Reassembles the full memory image (standalone files, tests).
     pub fn materialize_memory(&self) -> (Vec<u32>, Vec<bool>) {
         let mut words = Vec::with_capacity(self.mem_words);
@@ -267,6 +273,10 @@ impl Snapshot {
         }
         ws.mirrored.clear();
         ws.mirrored.extend(self.pages.iter().cloned());
+        // A RAM restore invalidates any mapped-store mirror (and vice
+        // versa): the two delta paths track identity differently.
+        ws.mirrored_ids.clear();
+        ws.mirrored_store = 0;
         let (m, _) = ws.pair.as_mut().expect("restore populated the workspace");
         ws.clean_gen = m.mem_mut().memory_mut().advance_generation();
     }
@@ -322,6 +332,9 @@ impl SnapshotBuilder {
                 unique_pages: self.pool.unique_pages(),
                 dedup_hits: self.pool.dedup_hits(),
                 unique_bytes: self.pool.unique_bytes(),
+                pages_total: self.pool.unique_pages() + self.pool.dedup_hits(),
+                pages_distinct: self.pool.unique_pages(),
+                bytes_saved: self.pool.saved_bytes(),
             },
             snaps: self.snaps,
         }
@@ -329,7 +342,7 @@ impl SnapshotBuilder {
 }
 
 /// Page-sharing statistics of a finished store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Capture interval in cycles.
     pub interval: u64,
@@ -339,6 +352,13 @@ pub struct StoreStats {
     pub dedup_hits: u64,
     /// Payload bytes held by distinct pages.
     pub unique_bytes: u64,
+    /// Page references across all snapshots (distinct + deduplicated).
+    pub pages_total: u64,
+    /// Distinct page bodies actually stored (alias of `unique_pages`,
+    /// under the name `argus snapshot info` reports).
+    pub pages_distinct: u64,
+    /// Payload bytes dedup avoided storing versus one body per reference.
+    pub bytes_saved: u64,
 }
 
 /// A finished, read-only set of golden-run checkpoints, ordered by cycle.

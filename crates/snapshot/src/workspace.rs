@@ -53,6 +53,14 @@ pub struct Workspace {
     /// Page slots of the snapshot this workspace's memory mirrored after
     /// the last restore (empty = unknown → next restore is full).
     pub(crate) mirrored: Vec<Arc<Page>>,
+    /// Mapped-store twin of `mirrored`: page ids (within the store
+    /// identified by `mirrored_store`) the memory mirrored after the last
+    /// mapped restore. A store dedups its pages, so equal ids mean equal
+    /// contents — but only within one store, hence the uid check.
+    pub(crate) mirrored_ids: Vec<u32>,
+    /// Process-unique uid of the mapped store `mirrored_ids` refers to
+    /// (0 = none). Restores from a different store must not trust the ids.
+    pub(crate) mirrored_store: u64,
     /// Memory write generation stamped right after the last restore:
     /// pages dirty since this generation have diverged from `mirrored`.
     pub(crate) clean_gen: u64,
@@ -82,6 +90,16 @@ impl Workspace {
     /// for tests and future instrumentation).
     pub fn invalidate(&mut self) {
         self.mirrored.clear();
+        self.mirrored_ids.clear();
+        self.mirrored_store = 0;
+    }
+
+    /// Memory write generation stamped right after the last restore:
+    /// pages not dirty since this generation still hold the restored
+    /// snapshot's content (the campaign engine bounds its end-of-run
+    /// memory scrub with this).
+    pub fn clean_generation(&self) -> u64 {
+        self.clean_gen
     }
 
     /// Cumulative restore statistics.

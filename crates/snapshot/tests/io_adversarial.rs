@@ -142,3 +142,132 @@ proptest! {
         prop_assert!(read_snapshot(&mut &buf[..cut]).is_err());
     }
 }
+
+// ---------------------------------------------------------------------------
+// ARGSTORE (the out-of-core, mapped multi-snapshot format) under the same
+// attack model. `MappedStore::open` verifies the whole-file CRC envelope
+// before parsing, so damaged files must surface as `Err` — never a panic,
+// never an allocation sized by a lying count. A file mutated *after* open
+// is the mapped format's extra hazard; it must fail the per-page CRC.
+// ---------------------------------------------------------------------------
+
+use argus_snapshot::mapped::{MappedStore, MappedStoreWriter, PageCache};
+use std::sync::OnceLock;
+
+/// A sealed ARGSTORE with a handful of snapshots of a stepping machine,
+/// built once (each proptest case re-writes these bytes to its own file).
+fn valid_store_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut m = Machine::new(small_config());
+        let argus = Argus::new(ArgusConfig::default());
+        let mut w = MappedStoreWriter::create_temp(64).expect("create store writer");
+        w.capture_now(&m, &argus).expect("seed cycle 0");
+        let mut inj = FaultInjector::none();
+        for _ in 0..400 {
+            let _ = m.step(&mut inj);
+            w.maybe_capture(&m, &argus).expect("interval capture");
+        }
+        let store = w.finish().expect("seal store");
+        assert!(store.len() >= 3, "want several snapshots to attack");
+        store.file_bytes().to_vec()
+    })
+}
+
+/// Writes bytes to a fresh scratch file and tries to open it as a store.
+fn open_bytes(tag: &str, bytes: &[u8]) -> Result<MappedStore, std::io::Error> {
+    let path =
+        std::env::temp_dir().join(format!("argus-advstore-{}-{tag}.bin", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    let r = MappedStore::open(&path);
+    let _ = std::fs::remove_file(&path);
+    r
+}
+
+#[test]
+fn the_valid_store_itself_opens_and_restores() {
+    let store = open_bytes("pristine", valid_store_bytes()).expect("pristine store must open");
+    let mut cache = PageCache::new(8);
+    for i in 0..store.len() {
+        store.try_restore_fresh(i, &mut cache).expect("every snapshot restores verified");
+    }
+}
+
+#[test]
+fn store_lying_footer_counts_are_rejected_without_allocating() {
+    // Footer layout (before the 4-byte CRC trailer):
+    // [n_pages: u64][n_snaps: u64][meta_len: u64][footer magic: 8].
+    let buf = valid_store_bytes();
+    let footer_at = buf.len() - 4 - 32;
+    for field in 0..3usize {
+        let mut crafted = buf.to_vec();
+        let at = footer_at + 8 * field;
+        crafted[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // Keep the envelope honest so the size equation — not the CRC —
+        // must reject the 2^64-page store.
+        let end = crafted.len() - 4;
+        let crc = argus_sim::crc::crc32(&crafted[..end]);
+        crafted[end..].copy_from_slice(&crc.to_le_bytes());
+        let err = open_bytes(&format!("lying-{field}"), &crafted);
+        assert!(err.is_err(), "footer field {field} = u64::MAX must not open");
+    }
+}
+
+#[test]
+fn store_mutated_after_open_fails_page_crc_not_execution() {
+    let path = std::env::temp_dir().join(format!("argus-advstore-{}-live.bin", std::process::id()));
+    std::fs::write(&path, valid_store_bytes()).unwrap();
+    let store = MappedStore::open(&path).expect("pristine store must open");
+
+    // Flip one byte in the body slot of a page the last snapshot uses,
+    // through the file — the shared mapping observes it.
+    let victim = *store
+        .page_ids(store.len() - 1)
+        .expect("snapshot has pages")
+        .last()
+        .expect("non-empty page table");
+    let body_off = 4096 + victim as u64 * 4096;
+    {
+        use std::io::{Seek, SeekFrom, Write as _};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(body_off)).unwrap();
+        f.write_all(&[0xFF]).unwrap();
+        f.sync_all().unwrap();
+    }
+
+    assert_eq!(store.check_page_crc(victim), Some(false), "spot check must see the flip");
+    assert_eq!(store.check_page_crc(u32::MAX), None, "out-of-range id is None, not a panic");
+    let mut cache = PageCache::new(8);
+    let err = store
+        .try_restore_fresh(store.len() - 1, &mut cache)
+        .expect_err("restoring through the damaged page must fail");
+    assert!(err.contains("CRC") || err.contains("corrupt"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single flipped bit anywhere in the store file — header, page
+    /// bodies, tags, index, snapshot metas, footer, or trailer — must be
+    /// rejected at open.
+    #[test]
+    fn store_single_bit_flips_are_rejected(pos in 0usize..usize::MAX, bit in 0u8..8) {
+        let mut buf = valid_store_bytes().to_vec();
+        let pos = pos % buf.len();
+        buf[pos] ^= 1 << bit;
+        prop_assert!(
+            open_bytes(&format!("flip-{pos}-{bit}"), &buf).is_err(),
+            "flipping bit {bit} of byte {pos} went unnoticed"
+        );
+    }
+
+    /// Random truncation points never open (the footer magic backstops
+    /// the envelope even on CRC collisions).
+    #[test]
+    fn store_truncations_are_rejected(cut in 0usize..usize::MAX) {
+        let buf = valid_store_bytes();
+        let cut = cut % buf.len();
+        prop_assert!(open_bytes(&format!("cut-{cut}"), &buf[..cut]).is_err());
+    }
+}

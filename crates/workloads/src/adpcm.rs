@@ -149,7 +149,12 @@ fn build(encode: bool) -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v as u32)).collect();
-    Workload { name: if encode { "adpcm_enc" } else { "adpcm_dec" }, unit: b.into_unit(), checks }
+    Workload {
+        name: if encode { "adpcm_enc" } else { "adpcm_dec" },
+        unit: b.into_unit(),
+        checks,
+        min_mem_bytes: 0,
+    }
 }
 
 /// The ADPCM encoder workload.

@@ -17,6 +17,10 @@ pub struct Workload {
     /// `(data-section byte offset, expected word)` pairs to verify after a
     /// run.
     pub checks: Vec<(u32, u32)>,
+    /// Minimum main-memory size the program needs; `0` means the default
+    /// machine configuration is large enough. Runners must size
+    /// `MemConfig::mem_bytes` to at least this value.
+    pub min_mem_bytes: u32,
 }
 
 impl Workload {
@@ -56,10 +60,12 @@ pub fn run_workload(
     let mode = if argus { Mode::Argus } else { Mode::Baseline };
     let prog = compile(&w.unit, mode, &EmbedConfig::default())
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    let mut mcfg = argus_machine::MachineConfig::default();
+    mcfg.mem.mem_bytes = mcfg.mem.mem_bytes.max(w.min_mem_bytes);
     let run = if argus {
         argus_compiler::verify::run_checked(
             &prog,
-            argus_machine::MachineConfig::default(),
+            mcfg,
             argus_core::ArgusConfig::default(),
             &mut argus_sim::fault::FaultInjector::none(),
             max_cycles,
@@ -67,7 +73,7 @@ pub fn run_workload(
     } else {
         argus_compiler::verify::run_baseline(
             &prog,
-            argus_machine::MachineConfig { argus_mode: false, ..Default::default() },
+            argus_machine::MachineConfig { argus_mode: false, ..mcfg },
             max_cycles,
         )
     };

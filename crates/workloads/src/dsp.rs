@@ -122,7 +122,12 @@ fn g721_build(encode: bool) -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v as u32)).collect();
-    Workload { name: if encode { "g721_enc" } else { "g721_dec" }, unit: b.into_unit(), checks }
+    Workload {
+        name: if encode { "g721_enc" } else { "g721_dec" },
+        unit: b.into_unit(),
+        checks,
+        min_mem_bytes: 0,
+    }
 }
 
 /// G.721-style encoder (emits quantized residuals).
@@ -208,7 +213,7 @@ pub fn gsm_encode() -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v as u32)).collect();
-    Workload { name: "gsm_enc", unit: b.into_unit(), checks }
+    Workload { name: "gsm_enc", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 #[cfg(test)]

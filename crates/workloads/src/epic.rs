@@ -145,7 +145,7 @@ pub fn epic() -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (out + 4 * i as u32, v as u32)).collect();
-    Workload { name: "epic", unit: b.into_unit(), checks }
+    Workload { name: "epic", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 /// The EPIC synthesis (reconstruction) workload.
@@ -180,7 +180,7 @@ pub fn unepic() -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (out + 4 * i as u32, v as u32)).collect();
-    Workload { name: "unepic", unit: b.into_unit(), checks }
+    Workload { name: "unepic", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 #[cfg(test)]

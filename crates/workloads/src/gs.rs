@@ -307,7 +307,7 @@ pub fn gs() -> Workload {
 
     let checks =
         expected.iter().take(3).enumerate().map(|(i, &v)| (out + 4 * i as u32, v)).collect();
-    Workload { name: "gs", unit: b.into_unit(), checks }
+    Workload { name: "gs", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 #[cfg(test)]

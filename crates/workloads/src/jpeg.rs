@@ -160,7 +160,7 @@ pub fn encode() -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
-    Workload { name: "jpeg_enc", unit: b.into_unit(), checks }
+    Workload { name: "jpeg_enc", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 /// The JPEG-style decoder workload (dequantize + inverse transform).
@@ -236,7 +236,7 @@ pub fn decode() -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
-    Workload { name: "jpeg_dec", unit: b.into_unit(), checks }
+    Workload { name: "jpeg_dec", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 #[cfg(test)]

@@ -67,6 +67,14 @@ pub fn stress() -> Workload {
     stress::stress()
 }
 
+/// The XL tier of the stress test: the same fault-injection target scaled
+/// to a 16 MiB machine with a page-strided sweep over an 8 MiB window,
+/// sized to exercise the out-of-core snapshot store
+/// ([`Workload::min_mem_bytes`] carries the memory requirement).
+pub fn stress_xl() -> Workload {
+    stress::stress_xl()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -97,7 +97,7 @@ pub fn decode() -> Workload {
         }
         checks.push((out_off + 4 * wi as u32, w));
     }
-    Workload { name: "mpeg2_dec", unit: b.into_unit(), checks }
+    Workload { name: "mpeg2_dec", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 #[cfg(test)]

@@ -118,7 +118,12 @@ pub fn pegwit() -> Workload {
     b.nop();
     b.halt();
 
-    Workload { name: "pegwit", unit: b.into_unit(), checks: vec![(out_off, crc), (out_off + 4, h)] }
+    Workload {
+        name: "pegwit",
+        unit: b.into_unit(),
+        checks: vec![(out_off, crc), (out_off + 4, h)],
+        min_mem_bytes: 0,
+    }
 }
 
 #[cfg(test)]

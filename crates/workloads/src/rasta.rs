@@ -104,7 +104,7 @@ pub fn rasta() -> Workload {
 
     let checks =
         expected.iter().enumerate().map(|(i, &v)| (ooff + 4 * i as u32, v as u32)).collect();
-    Workload { name: "rasta", unit: b.into_unit(), checks }
+    Workload { name: "rasta", unit: b.into_unit(), checks, min_mem_bytes: 0 }
 }
 
 #[cfg(test)]

@@ -236,7 +236,133 @@ pub fn stress() -> Workload {
     b.nop();
 
     let checks = expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v)).collect();
-    Workload { name: "stress", unit: b.into_unit(), checks }
+    Workload { name: "stress", unit: b.into_unit(), checks, min_mem_bytes: 0 }
+}
+
+/// Main-memory size (bytes) the XL tier requires: 16 MiB, sixteen times
+/// the default machine configuration.
+pub const XL_MEM_BYTES: u32 = 1 << 24;
+
+/// Base of the XL sweep region — above the code and data sections of the
+/// default layout.
+const XL_BASE: u32 = 0x10_0000;
+
+/// Power-of-two span the sweep wraps over (8 MiB).
+const XL_SPAN: u32 = 1 << 23;
+
+/// Read-modify-write touches in the main sweep, roughly one per 4 KiB
+/// page of the span.
+const XL_TOUCHES: u32 = 2048;
+
+/// Re-read touches in the verification pass.
+const XL_RECHECK: u32 = 256;
+
+/// Main-sweep stride: a multiple of 4 slightly past four pages, so
+/// successive touches land on distinct pages at drifting offsets.
+const XL_STRIDE: u32 = 16_644;
+
+/// Verification-pass stride (`7 × XL_STRIDE`), revisiting a different
+/// subset of the touched addresses.
+const XL_RESTRIDE: u32 = 7 * XL_STRIDE;
+
+/// One checkpoint word is emitted every this many touches.
+const XL_CHECK_EVERY: u32 = 256;
+
+/// Host-side mirror of the XL sweep. Untouched memory reads as zero in
+/// both machine modes (the Argus-mode ramp fill is the address-embedded
+/// encoding of zero), so a sparse map suffices.
+fn xl_reference() -> Vec<u32> {
+    let mut mem = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    let mut acc: u32 = 0xA5F1_5EED;
+    for k in 0..XL_TOUCHES {
+        let addr = XL_BASE + (k.wrapping_mul(XL_STRIDE) & (XL_SPAN - 1));
+        acc ^= mem.get(&addr).copied().unwrap_or(0);
+        acc = acc.wrapping_add(k.wrapping_mul(0x9E37_79B9));
+        acc = acc.rotate_left(5);
+        mem.insert(addr, acc);
+        if k & (XL_CHECK_EVERY - 1) == XL_CHECK_EVERY - 1 {
+            out.push(acc);
+        }
+    }
+    for k in 0..XL_RECHECK {
+        let addr = XL_BASE + (k.wrapping_mul(XL_RESTRIDE) & (XL_SPAN - 1));
+        acc = acc.wrapping_add(mem.get(&addr).copied().unwrap_or(0) ^ k);
+        acc ^= acc >> 7;
+    }
+    out.push(acc);
+    out
+}
+
+/// Builds the XL stress tier: a page-strided read-modify-write sweep over
+/// an 8 MiB window of a 16 MiB machine. The sweep dirties ~2048 distinct
+/// pages, so every snapshot interval materialises a fresh set of pages and
+/// the golden store grows to tens of megabytes — the scale the out-of-core
+/// snapshot store exists for — while the run itself stays short enough for
+/// million-injection campaigns.
+pub fn stress_xl() -> Workload {
+    let expected = xl_reference();
+
+    let mut b = ProgramBuilder::new();
+    b.data_label("output");
+    b.data_zeros(XL_TOUCHES / XL_CHECK_EVERY + 1);
+    let out_off = b.data_offset("output").unwrap();
+
+    // r29 = k, r28 = &output, r27 = XL_BASE, r26 = span mask,
+    // r25 = stride, r24 = mix constant, r3 = acc.
+    b.li(r(29), 0);
+    b.li(r(28), DATA_BASE + out_off);
+    b.li(r(27), XL_BASE);
+    b.li(r(26), XL_SPAN - 1);
+    b.li(r(25), XL_STRIDE);
+    b.li(r(24), 0x9E37_79B9);
+    b.li(r(3), 0xA5F1_5EED);
+
+    b.label("xl_touch");
+    b.mulu(r(5), r(29), r(25)); // k * stride (low 32 bits)
+    b.and(r(5), r(5), r(26));
+    b.add(r(5), r(5), r(27)); // sweep address
+    b.lw(r(6), r(5), 0);
+    b.xor(r(3), r(3), r(6));
+    b.mulu(r(7), r(29), r(24));
+    b.add(r(3), r(3), r(7));
+    b.slli(r(4), r(3), 5); // rotl 5
+    b.srli(r(6), r(3), 27);
+    b.or(r(3), r(4), r(6));
+    b.sw(r(5), r(3), 0);
+    b.andi(r(7), r(29), (XL_CHECK_EVERY - 1) as u16);
+    b.sfi(Cond::Eq, r(7), (XL_CHECK_EVERY - 1) as i16);
+    b.bnf("xl_no_ckpt");
+    b.nop();
+    b.sw(r(28), r(3), 0);
+    b.addi(r(28), r(28), 4);
+    b.label("xl_no_ckpt");
+    b.addi(r(29), r(29), 1);
+    b.sfi(Cond::Ltu, r(29), XL_TOUCHES as i16);
+    b.bf("xl_touch");
+    b.nop();
+
+    // Verification pass: re-read a different subset of the sweep and fold.
+    b.li(r(29), 0);
+    b.li(r(25), XL_RESTRIDE);
+    b.label("xl_recheck");
+    b.mulu(r(5), r(29), r(25));
+    b.and(r(5), r(5), r(26));
+    b.add(r(5), r(5), r(27));
+    b.lw(r(6), r(5), 0);
+    b.xor(r(6), r(6), r(29));
+    b.add(r(3), r(3), r(6));
+    b.srli(r(4), r(3), 7);
+    b.xor(r(3), r(3), r(4));
+    b.addi(r(29), r(29), 1);
+    b.sfi(Cond::Ltu, r(29), XL_RECHECK as i16);
+    b.bf("xl_recheck");
+    b.nop();
+    b.sw(r(28), r(3), 0);
+    b.halt();
+
+    let checks = expected.iter().enumerate().map(|(i, &v)| (out_off + 4 * i as u32, v)).collect();
+    Workload { name: "stress_xl", unit: b.into_unit(), checks, min_mem_bytes: XL_MEM_BYTES }
 }
 
 #[cfg(test)]
@@ -250,6 +376,25 @@ mod tests {
         let base = run_workload(&w, false, 10_000_000);
         let argus = run_workload(&w, true, 10_000_000);
         assert!(argus.retired >= base.retired);
+    }
+
+    #[test]
+    fn stress_xl_runs_clean_in_both_modes() {
+        let w = stress_xl();
+        assert_eq!(w.min_mem_bytes, XL_MEM_BYTES);
+        let base = run_workload(&w, false, 10_000_000);
+        let argus = run_workload(&w, true, 10_000_000);
+        assert!(argus.retired >= base.retired);
+    }
+
+    #[test]
+    fn xl_reference_is_chaotic() {
+        let out = xl_reference();
+        assert_eq!(out.len() as u32, XL_TOUCHES / XL_CHECK_EVERY + 1);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.len(), "checkpoints must not repeat");
     }
 
     #[test]
